@@ -1,0 +1,1 @@
+bench/suite/programs.ml: List

@@ -1,0 +1,1097 @@
+(** The 14-program benchmark suite of Figure 4, rebuilt as Mini-C
+    miniatures.
+
+    Each program is a faithful miniature of the original's {e memory
+    behaviour} as the paper describes it — which programs expose promotable
+    global scalars in hot loops, which hide them behind calls or pointers,
+    which degrade — not of its full functionality (DESIGN.md §2,
+    substitutions).  Every program prints a final checksum so the test suite
+    can verify that all analysis/promotion configurations compute identical
+    results. *)
+
+type program = {
+  name : string;
+  description : string;  (** the Figure 4 description *)
+  source : string;
+  paper_note : string;
+      (** what Figures 5–7 / §5 of the paper say this program should show *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* tsp — "a traveling salesman problem" (760 lines)                    *)
+(* Paper: promotion finds nothing (0.00% in all three tables): the hot *)
+(* state is loop-local and the distance matrix is an array.            *)
+(* ------------------------------------------------------------------ *)
+
+let tsp_src =
+  {|
+// tsp: nearest-neighbour tour + 2-opt improvement over a synthetic
+// distance matrix.  Hot loops keep all scalar state in locals, so the
+// register promoter has nothing to do -- matching the paper's 0.00% rows.
+int dist[30][30];
+int tour[31];
+int visited[30];
+const int NC = 30;
+
+void build_distances() {
+  int i;
+  int j;
+  for (i = 0; i < NC; i++) {
+    for (j = 0; j < NC; j++) {
+      int dx = i - j;
+      if (dx < 0) dx = -dx;
+      dist[i][j] = 10 + (i * 7 + j * 13) % 97 + dx;
+    }
+  }
+}
+
+int nearest_unvisited(int from) {
+  int best = -1;
+  int bestd = 1000000;
+  int j;
+  for (j = 0; j < NC; j++) {
+    if (!visited[j]) {
+      if (dist[from][j] < bestd) {
+        bestd = dist[from][j];
+        best = j;
+      }
+    }
+  }
+  return best;
+}
+
+int tour_length() {
+  int sum = 0;
+  int i;
+  for (i = 0; i < NC; i++) {
+    sum += dist[tour[i]][tour[i + 1]];
+  }
+  return sum;
+}
+
+void two_opt() {
+  int improved = 1;
+  while (improved) {
+    improved = 0;
+    int i;
+    for (i = 1; i < NC - 1; i++) {
+      int j;
+      for (j = i + 1; j < NC; j++) {
+        int a = tour[i - 1];
+        int b = tour[i];
+        int c = tour[j];
+        int d = tour[j + 1];
+        int before = dist[a][b] + dist[c][d];
+        int after = dist[a][c] + dist[b][d];
+        if (after < before) {
+          int lo = i;
+          int hi = j;
+          while (lo < hi) {
+            int t = tour[lo];
+            tour[lo] = tour[hi];
+            tour[hi] = t;
+            lo++;
+            hi--;
+          }
+          improved = 1;
+        }
+      }
+    }
+  }
+}
+
+int main() {
+  build_distances();
+  int i;
+  for (i = 0; i < NC; i++) visited[i] = 0;
+  tour[0] = 0;
+  visited[0] = 1;
+  for (i = 1; i < NC; i++) {
+    int nxt = nearest_unvisited(tour[i - 1]);
+    tour[i] = nxt;
+    visited[nxt] = 1;
+  }
+  tour[NC] = 0;
+  int before = tour_length();
+  two_opt();
+  int after = tour_length();
+  print_int(before);
+  print_int(after);
+  print_int(before * 31 + after);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* mlink — "genetic linkage analysis" (SPEC-era medical code)          *)
+(* Paper: the headline win — 57.4% of stores and 4.1% of ops removed;  *)
+(* "register promotion removed 2.8 million loads from one function".   *)
+(* ------------------------------------------------------------------ *)
+
+let mlink_src =
+  {|
+// mlink: the hot function accumulates likelihoods into GLOBAL scalars
+// inside a triple loop with no interfering calls -- the paper's ideal
+// promotion target.  Most dynamic stores hit those globals.
+float g_like;
+float g_theta;
+float g_scale;
+int g_evals;
+float ped[16][8];
+float fam_like[16];
+
+void init_pedigree() {
+  int i;
+  int j;
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 8; j++) {
+      ped[i][j] = 0.01 * (1 + (i * 31 + j * 17) % 89);
+    }
+  }
+}
+
+void likelihood_pass() {
+  int fam;
+  int locus;
+  int iter;
+  for (iter = 0; iter < 40; iter++) {
+    for (fam = 0; fam < 16; fam++) {
+      for (locus = 0; locus < 8; locus++) {
+        // every one of these reads and writes globals: without promotion
+        // each is an sLoad/sStore per iteration
+        g_like = g_like + ped[fam][locus] * g_theta;
+        g_scale = g_scale * 0.999 + 0.001;
+        g_evals = g_evals + 1;
+        g_theta = g_theta + 0.0001;
+        fam_like[locus] = fam_like[locus] + g_like * 0.001;
+        if (g_like > 1000.0) {
+          g_like = g_like * 0.5;
+        }
+      }
+    }
+  }
+}
+
+int main() {
+  g_like = 0.0;
+  g_theta = 0.1;
+  g_scale = 1.0;
+  g_evals = 0;
+  init_pedigree();
+  int pass;
+  for (pass = 0; pass < 8; pass++) {
+    likelihood_pass();
+  }
+  print_float(g_like);
+  print_float(g_theta);
+  print_float(fam_like[7]);
+  print_int(g_evals);
+  print_int((int)(g_like * 1000.0) + g_evals);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* fft — fast Fourier transform                                        *)
+(* Paper: the pointer-analysis show-case.  "An example where pointer   *)
+(* analysis was required to promote a value arose in fft": T1's        *)
+(* address is taken elsewhere and X2 is a pointer, so MOD/REF cannot   *)
+(* prove the stores through X2 leave T1 alone.  Also the only program  *)
+(* where §3.3 pointer-based promotion wins measurably.                 *)
+(* ------------------------------------------------------------------ *)
+
+let fft_src =
+  {|
+// fft: miniature of the paper's §5 excerpt.  T1 is an address-taken
+// global; the butterfly stores go through pointer parameters, so only
+// points-to analysis can keep T1 in a register across the inner loop.
+float T1;
+float KT;
+float x1data[256];
+float x2data[256];
+float x3data[256];
+float twiddle[16];
+
+void seed(float *t) {
+  // takes T1's address: T1 lands in the address-taken set
+  *t = 1.0;
+}
+
+void butterfly(float *X1, float *X2, float *X3, int N1, int N3) {
+  int I;
+  int J;
+  int K;
+  for (I = 0; I < 4; I++) {
+    for (J = 0; J < N3; J++) {
+      for (K = 0; K < N1; K++) {
+        int index3 = (I * N3 + J) * N1 + K;
+        int index1 = (I * N3 + J) * N1 * 2 + K;
+        T1 = X3[index3] * KT + 0.5;
+        X2[index1] = T1 * X1[index1];
+        X2[index1 + N1] = T1 * X1[index1 + N1];
+      }
+    }
+  }
+}
+
+void accumulate_twiddles() {
+  // Figure-3 shape: twiddle[i] is loop-invariant in the inner loop;
+  // §3.3 pointer-based promotion keeps it in a register.
+  int i;
+  int j;
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 64; j++) {
+      twiddle[i] += x1data[i * 16 + j % 16] * 0.01;
+    }
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 256; i++) {
+    x1data[i] = 0.001 * (i % 61);
+    x3data[i] = 0.002 * (i % 47);
+    x2data[i] = 0.0;
+  }
+  KT = 0.75;
+  seed(&T1);
+  int rep;
+  for (rep = 0; rep < 30; rep++) {
+    butterfly(x1data, x2data, x3data, 4, 8);
+  }
+  accumulate_twiddles();
+  float sum = 0.0;
+  for (i = 0; i < 256; i++) sum += x2data[i];
+  for (i = 0; i < 16; i++) sum += twiddle[i];
+  print_float(sum);
+  print_float(T1);
+  print_int((int)(sum * 100.0));
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* clean — "text cleaning" filter                                      *)
+(* Paper: 3.28% of stores removed; a character loop with global        *)
+(* counters, some shielded by calls.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let clean_src =
+  {|
+// clean: strips comments/extra blanks from a synthetic character
+// stream; global counters in the scanning loop promote, but the
+// dominant traffic is array stores (not promotable), so the win is
+// a few percent -- like the paper's 3.28%.
+int input[4096];
+int output[4096];
+int n_in;
+int n_out;
+int n_lines;
+int n_blanks_squeezed;
+int in_comment;
+
+void make_input() {
+  int i;
+  srand(42);
+  for (i = 0; i < 4096; i++) {
+    int r = rand() % 100;
+    if (r < 12) input[i] = 32;        // space
+    else if (r < 16) input[i] = 10;   // newline
+    else if (r < 18) input[i] = 35;   // '#': comment to end of line
+    else input[i] = 97 + r % 26;
+  }
+  n_in = 4096;
+}
+
+void emit(int c) {
+  output[n_out] = c;
+  n_out = n_out + 1;
+}
+
+void pass() {
+  int i;
+  int prev_blank = 0;
+  n_out = 0;
+  n_lines = 0;
+  in_comment = 0;
+  n_blanks_squeezed = 0;
+  for (i = 0; i < n_in; i++) {
+    int c = input[i];
+    if (c == 10) {
+      n_lines = n_lines + 1;
+      in_comment = 0;
+      emit(c);
+      prev_blank = 0;
+    } else if (in_comment) {
+      n_blanks_squeezed = n_blanks_squeezed + 0;
+    } else if (c == 35) {
+      in_comment = 1;
+    } else if (c == 32) {
+      if (prev_blank) {
+        n_blanks_squeezed = n_blanks_squeezed + 1;
+      } else {
+        emit(c);
+        prev_blank = 1;
+      }
+    } else {
+      emit(c);
+      prev_blank = 0;
+    }
+  }
+}
+
+int main() {
+  make_input();
+  int rep;
+  int check = 0;
+  for (rep = 0; rep < 30; rep++) {
+    pass();
+    check = check + n_out + n_lines * 3 + n_blanks_squeezed * 7;
+  }
+  print_int(n_out);
+  print_int(n_lines);
+  print_int(check);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* sim — "game program from SPEC benchmarks" slot; here: a dynamic-    *)
+(* programming sequence-alignment kernel whose traffic is all array    *)
+(* loads/stores.  Paper: 0.00% everywhere.                             *)
+(* ------------------------------------------------------------------ *)
+
+let sim_src =
+  {|
+// sim: Smith-Waterman-style DP over global matrices.  All hot values
+// are array cells or loop locals; the promoter finds nothing.
+int score[65][65];
+int seq_a[64];
+int seq_b[64];
+
+int maxi(int a, int b) { if (a > b) return a; return b; }
+
+void fill() {
+  int i;
+  int j;
+  for (i = 1; i <= 64; i++) {
+    int av = seq_a[i - 1];
+    for (j = 1; j <= 64; j++) {
+      int match = -1;
+      if (av == seq_b[j - 1]) match = 2;
+      int diag = score[i - 1][j - 1] + match;
+      int up = score[i - 1][j] - 1;
+      int left = score[i][j - 1] - 1;
+      int best = maxi(0, maxi(diag, maxi(up, left)));
+      score[i][j] = best;
+    }
+  }
+}
+
+int main() {
+  int i;
+  srand(7);
+  for (i = 0; i < 64; i++) {
+    seq_a[i] = rand() % 4;
+    seq_b[i] = rand() % 4;
+  }
+  int rep;
+  int best = 0;
+  for (rep = 0; rep < 12; rep++) {
+    fill();
+    int j;
+    for (i = 1; i <= 64; i++)
+      for (j = 1; j <= 64; j++)
+        if (score[i][j] > best) best = score[i][j];
+    seq_a[rep % 64] = (seq_a[rep % 64] + 1) % 4;
+  }
+  print_int(best);
+  print_int(score[64][64]);
+  print_int(best * 1000 + score[32][32]);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* dhrystone — the synthetic benchmark                                 *)
+(* Paper §5: "in dhrystone, values were promoted in a loop that always *)
+(* executed once" — the landing-pad load and exit store match the      *)
+(* single interior reference, so promotion buys nothing (0.00%) and    *)
+(* can cost a little.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let dhrystone_src =
+  {|
+// dhrystone: the inner while-loop always executes exactly once (the
+// original's famous quirk).  Globals touched there get promoted at the
+// inner-loop level: one pad load + one exit store versus one interior
+// load/store pair -- a wash, or a slight loss.
+int Int_Glob;
+int Bool_Glob;
+int Ch_1_Glob;
+int Arr_1_Glob[50];
+
+int Func_1(int c1, int c2) {
+  int c = c1;
+  if (c != c2) return 0;
+  Ch_1_Glob = c;
+  return 1;
+}
+
+void Proc_7(int a, int b, int *out) { *out = a + b + 2; }
+
+void Proc_8(int *arr, int idx, int val) {
+  arr[idx] = val;
+  arr[idx + 1] = val + 1;
+  Int_Glob = 5;
+  Bool_Glob = Bool_Glob & 1;
+}
+
+int main() {
+  int Run_Index;
+  int Int_1 = 0;
+  int Int_2 = 0;
+  int Int_3 = 0;
+  Int_Glob = 0;
+  Bool_Glob = 0;
+  for (Run_Index = 1; Run_Index <= 3000; Run_Index++) {
+    Int_1 = 2;
+    Int_2 = 3;
+    // the "loop that always executes once"
+    while (Int_1 < Int_2) {
+      // two interior loads + two interior stores: promotion's landing-pad
+      // load and exit store exactly cancel them in this once-executing
+      // loop, giving the paper's 0.00% dhrystone rows
+      Int_3 = 5 * Int_1 - Int_2 + Int_Glob;
+      Bool_Glob = Bool_Glob + 1;
+      Int_Glob = Run_Index % 17;
+      Proc_7(Int_1, Int_2, &Int_3);
+      Int_1 = Int_1 + Int_3;
+    }
+    Proc_8(Arr_1_Glob, Run_Index % 40, Run_Index);
+    if (Func_1(65 + Run_Index % 3, 66)) {
+      Bool_Glob = 1;
+    }
+  }
+  print_int(Int_Glob);
+  print_int(Bool_Glob);
+  print_int(Arr_1_Glob[17] + Int_Glob * 7 + Bool_Glob);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* water — N-body water simulation                                     *)
+(* Paper §5: "register promotion was able to promote twenty-eight      *)
+(* values for one loop nest.  Unfortunately, this caused the register  *)
+(* allocator to spill values which resulted in a performance loss."    *)
+(* ------------------------------------------------------------------ *)
+
+let water_src =
+  {|
+// water: one loop nest reads and writes 28 global scalars per
+// iteration.  Promoting all of them plus the loop temporaries exceeds
+// the register file, so the graph-coloring allocator spills --
+// reproducing the paper's net loss.
+float e00; float e01; float e02; float e03; float e04; float e05;
+float e06; float e07; float e08; float e09; float e10; float e11;
+float e12; float e13; float e14; float e15; float e16; float e17;
+float e18; float e19; float e20; float e21; float e22; float e23;
+float e24; float e25; float e26; float e27;
+float pos[64];
+
+void kick(float dt) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    float p = pos[i];
+    e00 = e00 + p * dt;      e01 = e01 + e00 * 0.5;
+    e02 = e02 + e01 * 0.25;  e03 = e03 + e02 * 0.125;
+    e04 = e04 + p;           e05 = e05 + e04 * dt;
+    e06 = e06 + e05 * 0.5;   e07 = e07 + e06 * 0.25;
+    e08 = e08 + p * p;       e09 = e09 + e08 * dt;
+    e10 = e10 + e09 * 0.5;   e11 = e11 + e10 * 0.25;
+    e12 = e12 + p;           e13 = e13 + e12 * dt;
+    e14 = e14 + e13 * 0.5;   e15 = e15 + e14 * 0.25;
+    e16 = e16 + p * dt;      e17 = e17 + e16 * 0.5;
+    e18 = e18 + e17 * 0.25;  e19 = e19 + e18 * 0.125;
+    e20 = e20 + p;           e21 = e21 + e20 * dt;
+    e22 = e22 + e21 * 0.5;   e23 = e23 + e22 * 0.25;
+    e24 = e24 + p * p;       e25 = e25 + e24 * dt;
+    e26 = e26 + e25 * 0.5;   e27 = e27 + e26 * 0.25;
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) pos[i] = 0.001 * (i % 13);
+  int step;
+  for (step = 0; step < 150; step++) {
+    kick(0.01);
+  }
+  float sum = e00 + e01 + e02 + e03 + e04 + e05 + e06 + e07 + e08 + e09
+            + e10 + e11 + e12 + e13 + e14 + e15 + e16 + e17 + e18 + e19
+            + e20 + e21 + e22 + e23 + e24 + e25 + e26 + e27;
+  print_float(sum);
+  print_int((int)(sum * 10.0));
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* indent — "prettyprinter for C programs" (5955 lines)                *)
+(* Paper: 3.98% of stores removed — a token state machine whose global *)
+(* mode flags promote, while the bulk of the traffic is array I/O.     *)
+(* ------------------------------------------------------------------ *)
+
+let indent_src =
+  {|
+// indent: reformat a synthetic token stream.  The state flags live in
+// globals and are updated every token; emitting goes through a call
+// that touches other globals, shielding part of the state.
+int toks[3000];
+int out[6000];
+int n_out;
+int col;
+int depth;
+int want_space;
+int n_tokens;
+
+void put(int c) {
+  out[n_out] = c;
+  n_out = n_out + 1;
+  if (c == 10) col = 0;
+  else col = col + 1;
+}
+
+void make_tokens() {
+  int i;
+  srand(99);
+  for (i = 0; i < 3000; i++) {
+    int r = rand() % 100;
+    if (r < 10) toks[i] = 1;        // '{'
+    else if (r < 20) toks[i] = 2;   // '}'
+    else if (r < 35) toks[i] = 3;   // ';'
+    else toks[i] = 4;               // word
+  }
+  n_tokens = 3000;
+}
+
+void reformat() {
+  int i;
+  n_out = 0;
+  col = 0;
+  depth = 0;
+  want_space = 0;
+  for (i = 0; i < n_tokens; i++) {
+    int t = toks[i];
+    if (t == 1) {
+      depth = depth + 1;
+      put(123);
+      put(10);
+    } else if (t == 2) {
+      if (depth > 0) depth = depth - 1;
+      put(125);
+      put(10);
+    } else if (t == 3) {
+      put(59);
+      put(10);
+    } else {
+      // promotable per-word state updates
+      want_space = want_space + 1;
+      if (want_space > 2) want_space = 0;
+      if (want_space) put(32);
+      put(119);
+    }
+  }
+}
+
+int main() {
+  make_tokens();
+  int rep;
+  int check = 0;
+  for (rep = 0; rep < 12; rep++) {
+    reformat();
+    check = check + n_out + depth * 17 + col;
+  }
+  print_int(n_out);
+  print_int(check);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* allroots — "polynomial root-finder" (215 lines)                     *)
+(* Paper: 11 stores executed in total; everything is loop-local, so    *)
+(* there is nothing to promote and nothing to measure.                 *)
+(* ------------------------------------------------------------------ *)
+
+let allroots_src =
+  {|
+// allroots: Newton iteration on a fixed cubic; tiny run, counts in the
+// tens, matching the paper's 11-store row.
+float coef[4];
+
+float eval(float x) {
+  return ((coef[3] * x + coef[2]) * x + coef[1]) * x + coef[0];
+}
+
+float deriv(float x) {
+  return (3.0 * coef[3] * x + 2.0 * coef[2]) * x + coef[1];
+}
+
+int main() {
+  coef[0] = -6.0;
+  coef[1] = 11.0;
+  coef[2] = -6.0;
+  coef[3] = 1.0;
+  float x = 0.5;
+  int i;
+  for (i = 0; i < 12; i++) {
+    float f = eval(x);
+    float d = deriv(x);
+    if (fabs(d) > 0.000001) x = x - f / d;
+  }
+  print_float(x);
+  print_int((int)(x * 1000.0 + 0.5));
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* bc — "calculator language from GNU" (7583 lines)                    *)
+(* Paper: the program where pointer analysis pays: 8.83% of stores     *)
+(* removed with MOD/REF, 27.52% with points-to.  Our miniature gets    *)
+(* the same split from function pointers: the VM dispatches through a  *)
+(* handler table, and MOD/REF must assume every addressed function —   *)
+(* including the tracing hook that writes the counters — can be the    *)
+(* callee.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bc_src =
+  {|
+// bc: a bytecode-calculator VM.  acc promotes under both analyses;
+// count/steps promote only under points-to, because MOD/REF thinks the
+// indirect call might target trace(), which writes them.
+int prog_op[2000];
+int prog_arg[2000];
+int result_ring[64];
+int n_prog;
+int acc;
+int count;
+int steps;
+int lineno;
+int (*hook)(int);
+
+int op_add(int a, int b) { return a + b; }
+int op_sub(int a, int b) { return a - b; }
+int op_mul(int a, int b) { return a * b % 9973; }
+int op_xor(int a, int b) { return a ^ b; }
+
+int trace(int x) {
+  // never called from the hot loop, but its address is taken: MOD/REF's
+  // indirect-call assumption drags these globals into every dispatch
+  count = count + 1000;
+  steps = steps + 1000;
+  lineno = lineno + 1;
+  return x;
+}
+
+void assemble() {
+  int i;
+  srand(5);
+  for (i = 0; i < 2000; i++) {
+    prog_op[i] = rand() % 4;
+    prog_arg[i] = rand() % 1000;
+  }
+  n_prog = 2000;
+}
+
+void execute(int (*ops[4])(int, int)) {
+  int pc;
+  for (pc = 0; pc < n_prog; pc++) {
+    acc = ops[prog_op[pc]](acc, prog_arg[pc]);
+    result_ring[pc & 63] = acc;
+    count = count + 1;
+    steps = steps + 2;
+  }
+}
+
+int main() {
+  int (*ops[4])(int, int);
+  ops[0] = op_add;
+  ops[1] = op_sub;
+  ops[2] = op_mul;
+  ops[3] = op_xor;
+  hook = trace;
+  assemble();
+  acc = 1;
+  count = 0;
+  steps = 0;
+  lineno = 0;
+  int rep;
+  for (rep = 0; rep < 25; rep++) {
+    execute(ops);
+  }
+  lineno = hook(acc);
+  print_int(acc);
+  print_int(count);
+  print_int(steps + lineno + result_ring[13]);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* go — "game program from SPEC benchmarks" (28553 lines)              *)
+(* Paper: the biggest load win — 15.6% of loads removed.  Inner board  *)
+(* scans reload several global scalars per cell; promotion keeps them  *)
+(* in registers.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let go_src =
+  {|
+// go: board-scanning loops that, without promotion, reload global
+// scalars (board size, ko point, colour to move) on every cell.
+int board[19][19];
+int bsize;
+int ko_x;
+int ko_y;
+int to_move;
+int captures;
+
+void setup() {
+  int i;
+  int j;
+  bsize = 19;
+  srand(11);
+  for (i = 0; i < 19; i++)
+    for (j = 0; j < 19; j++)
+      board[i][j] = rand() % 3;
+  ko_x = 3;
+  ko_y = 16;
+  to_move = 1;
+  captures = 0;
+}
+
+int count_color(int c) {
+  int n = 0;
+  int i;
+  int j;
+  for (i = 0; i < bsize; i++) {
+    for (j = 0; j < bsize; j++) {
+      // bsize, ko_x, ko_y, to_move are all explicit global loads here
+      if (board[i][j] == c) {
+        if (i != ko_x || j != ko_y) {
+          if (c == to_move) n = n + 2;
+          else n = n + 1;
+        }
+      }
+    }
+  }
+  return n;
+}
+
+int score_position() {
+  int s = 0;
+  int i;
+  int j;
+  for (i = 0; i < bsize; i++) {
+    for (j = 0; j < bsize; j++) {
+      int v = board[i][j];
+      if (v == to_move) s = s + 3;
+      else if (v != 0) s = s - 2;
+      if (i == ko_x && j == ko_y) s = s + captures;
+    }
+  }
+  return s;
+}
+
+int main() {
+  setup();
+  int turn;
+  int total = 0;
+  for (turn = 0; turn < 60; turn++) {
+    total = total + count_color(1) - count_color(2) + score_position();
+    to_move = 3 - to_move;
+    ko_x = (ko_x + 7) % 19;
+    ko_y = (ko_y + 11) % 19;
+    board[turn % 19][(turn * 7) % 19] = turn % 3;
+    if (turn % 9 == 0) captures = captures + 1;
+  }
+  print_int(total);
+  print_int(captures);
+  print_int(total * 13 + captures);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* bison — "LR(1) parser generator" (10179 lines)                      *)
+(* Paper §5: "in bison, values were promoted that were only accessed   *)
+(* on an error condition" — the landing-pad/exit traffic for the never *)
+(* -taken error path makes promotion a tiny net loss (−0.01% ops).     *)
+(* ------------------------------------------------------------------ *)
+
+let bison_src =
+  {|
+// bison: a table-driven parser run over many small inputs.  The error
+// counters are referenced only on a never-taken path inside the parse
+// loop, yet promotion still lifts them: one load and one store per
+// parse for values the loop never touches.
+int action[32][8];
+int tokens[64];
+int yynerrs;
+int yyerrtok;
+int parses;
+
+void build_tables() {
+  int s;
+  int t;
+  for (s = 0; s < 32; s++)
+    for (t = 0; t < 8; t++)
+      action[s][t] = (s * 5 + t * 3) % 31 + 1;   // always a valid state
+}
+
+int stack_st[128];
+int stack_tok[128];
+
+int parse_one(int seed) {
+  int state = 0;
+  int sp = 0;
+  int i;
+  for (i = 0; i < 64; i++) {
+    int tok = tokens[(i + seed) % 64];
+    int next = action[state % 32][tok % 8];
+    if (next < 0) {
+      // never taken: action[][] is always positive
+      yynerrs = yynerrs + 1;
+      yyerrtok = tok;
+      state = 0;
+    } else {
+      // shift: push onto the parse stack
+      stack_st[sp % 128] = state;
+      stack_tok[sp % 128] = tok;
+      sp = sp + 1;
+      state = next % 32;
+    }
+  }
+  return state + stack_st[(sp - 1) % 128];
+}
+
+int main() {
+  build_tables();
+  int i;
+  srand(3);
+  for (i = 0; i < 64; i++) tokens[i] = rand() % 8;
+  yynerrs = 0;
+  yyerrtok = 0;
+  parses = 0;
+  int check = 0;
+  for (i = 0; i < 400; i++) {
+    check = check + parse_one(i);
+    parses = parses + 1;
+  }
+  print_int(check);
+  print_int(yynerrs);
+  print_int(parses + yynerrs * 1000 + check);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* gzip(enc) — "file compression program" (19842 lines), encoder side  *)
+(* Paper: 1.75% of ops removed (2.15% with points-to).                 *)
+(* ------------------------------------------------------------------ *)
+
+let gzip_enc_src =
+  {|
+// gzip encoder: LZ77 hash-chain matcher.  The window and hash table
+// dominate traffic (arrays, unpromotable); the bit-packing counters
+// promote for a low-single-digit win.
+int window[4096];
+int head[256];
+int outbuf[8192];
+int n_out;
+int bitbuf;
+int bitcnt;
+int matches;
+int literals;
+
+void put_bits(int v, int n) {
+  // n <= 8 and bitcnt stays below 8, so one flush suffices: gzip's real
+  // send_bits has the same shape
+  bitbuf = bitbuf | (v << bitcnt);
+  bitcnt = bitcnt + n;
+  if (bitcnt >= 8) {
+    outbuf[n_out] = bitbuf & 255;
+    n_out = n_out + 1;
+    bitbuf = bitbuf >> 8;
+    bitcnt = bitcnt - 8;
+  }
+}
+
+int match_len(int cand, int i) {
+  int j = 0;
+  while (j < 8 && i + j < 4096 && window[cand + j] == window[i + j]) {
+    j = j + 1;
+  }
+  return j;
+}
+
+void deflate() {
+  int i;
+  n_out = 0;
+  bitbuf = 0;
+  bitcnt = 0;
+  matches = 0;
+  literals = 0;
+  for (i = 0; i < 256; i++) head[i] = -1;
+  for (i = 0; i < 4096 - 3; i++) {
+    int h = (window[i] * 33 + window[i + 1] * 7 + window[i + 2]) & 255;
+    int cand = head[h];
+    int len = 0;
+    if (cand >= 0 && cand < i) {
+      len = match_len(cand, i);
+    }
+    if (len >= 3) {
+      matches = matches + 1;
+      put_bits(1, 1);
+      put_bits(len, 4);
+    } else {
+      literals = literals + 1;
+      put_bits(0, 1);
+      put_bits(window[i] & 255, 8);
+    }
+    head[h] = i;
+  }
+}
+
+int main() {
+  int i;
+  srand(17);
+  for (i = 0; i < 4096; i++) {
+    if (i % 7 < 3 && i > 64) window[i] = window[i - 64];
+    else window[i] = rand() % 64;
+  }
+  int rep;
+  int check = 0;
+  for (rep = 0; rep < 4; rep++) {
+    deflate();
+    check = check + n_out + matches * 3 + literals;
+  }
+  print_int(n_out);
+  print_int(matches);
+  print_int(check);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* gzip(dec) — decoder side                                            *)
+(* Paper: promotion is a slight net loss (−0.02% ops, −200 ops): the   *)
+(* refill loop usually runs zero times, but its landing-pad load and   *)
+(* exit store run on every symbol.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gzip_dec_src =
+  {|
+// gzip decoder: per-symbol inner refill loop that almost never
+// iterates.  bitbuf/bitcnt are ambiguous in the outer loop (the
+// source-fetch call writes them) but promotable in the refill loop, so
+// promotion pays a pad-load/exit-store per symbol for nothing.
+int inbuf[8192];
+int outbuf[8192];
+int n_in;
+int pos;
+int bitbuf;
+int bitcnt;
+int symbols;
+
+void fetch() {
+  // called once per symbol: modifies the bit state, making it
+  // ambiguous at the per-symbol loop level
+  if (pos < n_in) {
+    bitbuf = bitbuf | (inbuf[pos] << bitcnt);
+    bitcnt = bitcnt + 8;
+    pos = pos + 1;
+  }
+}
+
+int main() {
+  int i;
+  srand(23);
+  for (i = 0; i < 8192; i++) inbuf[i] = rand() % 256;
+  n_in = 8192;
+  pos = 0;
+  bitbuf = 0;
+  bitcnt = 0;
+  symbols = 0;
+  int n_dec = 0;
+  while (pos < n_in && n_dec < 8000) {
+    fetch();
+    // refill loop: usually zero iterations since fetch keeps us fed
+    while (bitcnt < 4) {
+      bitbuf = bitbuf | (1 << bitcnt);
+      bitcnt = bitcnt + 4;
+    }
+    int sym = bitbuf & 15;
+    bitbuf = bitbuf >> 4;
+    bitcnt = bitcnt - 4;
+    outbuf[n_dec] = sym;
+    n_dec = n_dec + 1;
+    symbols = symbols + 1;
+  }
+  int check = 0;
+  for (i = 0; i < n_dec; i++) check = check + outbuf[i];
+  print_int(symbols);
+  print_int(check);
+  print_int(check * 7 + symbols);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* The suite                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let all : program list =
+  [
+    { name = "tsp"; description = "a traveling salesman problem";
+      source = tsp_src;
+      paper_note = "paper: 0.00% everywhere (nothing promotable)" };
+    { name = "mlink"; description = "genetic linkage analysis";
+      source = mlink_src;
+      paper_note = "paper: 57.4% stores, 4.1% ops removed (headline win)" };
+    { name = "fft"; description = "fast Fourier transform";
+      source = fft_src;
+      paper_note =
+        "paper: needs points-to to promote T1; only §3.3 success story" };
+    { name = "clean"; description = "text cleaning filter";
+      source = clean_src; paper_note = "paper: 3.28% stores removed" };
+    { name = "sim"; description = "DP sequence alignment";
+      source = sim_src; paper_note = "paper: 0.00% (array traffic only)" };
+    { name = "dhrystone"; description = "synthetic benchmark";
+      source = dhrystone_src;
+      paper_note = "paper: ~0, promoted values in a once-executing loop" };
+    { name = "water"; description = "N-body water simulation";
+      source = water_src;
+      paper_note = "paper: 28 promoted values induce spills, net loss" };
+    { name = "indent"; description = "prettyprinter for C programs";
+      source = indent_src; paper_note = "paper: 3.98% stores removed" };
+    { name = "allroots"; description = "polynomial root-finder";
+      source = allroots_src; paper_note = "paper: 11 stores total, no change" };
+    { name = "bc"; description = "calculator language from GNU";
+      source = bc_src;
+      paper_note = "paper: 8.83% stores (modref) vs 27.52% (pointer)" };
+    { name = "go"; description = "game program from SPEC benchmarks";
+      source = go_src; paper_note = "paper: 15.6% of loads removed" };
+    { name = "bison"; description = "LR(1) parser generator";
+      source = bison_src;
+      paper_note = "paper: slight net loss from error-path promotion" };
+    { name = "gzip(enc)"; description = "file compression (encode)";
+      source = gzip_enc_src; paper_note = "paper: 1.75% ops removed" };
+    { name = "gzip(dec)"; description = "file compression (decode)";
+      source = gzip_dec_src;
+      paper_note = "paper: -0.02% ops (slight degradation)" };
+  ]
+
+let find name = List.find (fun p -> p.name = name) all

@@ -1,0 +1,246 @@
+(** rpcc — the register-promotion C compiler driver.
+
+    {v
+      rpcc run file.c        compile + execute, print output and counts
+      rpcc dump file.c       compile, print the final IL
+      rpcc table file.c      the paper's 4-configuration comparison
+    v} *)
+
+open Cmdliner
+open Rp_driver
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Shared flags                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_conv =
+  Arg.enum
+    [ ("none", Config.Anone); ("modref", Config.Amodref);
+      ("steens", Config.Asteens); ("pointer", Config.Apointer) ]
+
+let analysis_t =
+  Arg.(
+    value
+    & opt analysis_conv Config.Amodref
+    & info [ "analysis" ] ~docv:"KIND"
+        ~doc:"Interprocedural analysis: none, modref, steens, or pointer.")
+
+let promote_t =
+  Arg.(
+    value & opt bool true
+    & info [ "promote" ] ~docv:"BOOL" ~doc:"Enable register promotion (§3.1).")
+
+let ptr_promote_t =
+  Arg.(
+    value & flag
+    & info [ "ptr-promote" ]
+        ~doc:"Enable pointer-based promotion (§3.3).")
+
+let always_store_t =
+  Arg.(
+    value & flag
+    & info [ "always-store" ]
+        ~doc:
+          "Store every lifted tag at loop exits even if it was never stored \
+           inside the loop (the paper's literal scheme).")
+
+let throttle_t =
+  Arg.(
+    value & flag
+    & info [ "throttle" ]
+        ~doc:
+          "Enable the pressure-aware promotion throttle (the paper's §7 \
+           proposal): keep the least-referenced promotable values in memory \
+           when a loop's estimated register pressure would exceed the \
+           register count.")
+
+let dse_t =
+  Arg.(
+    value & flag
+    & info [ "dse" ]
+        ~doc:
+          "Enable global dead-store elimination over memory tags (a §3.4 \
+           extension; not part of the paper's compiler).")
+
+let opt_t =
+  Arg.(
+    value & opt bool true
+    & info [ "opt" ] ~docv:"BOOL"
+        ~doc:"Run the scalar optimizer (VN, const-prop, LICM, PRE, DCE).")
+
+let regalloc_t =
+  Arg.(
+    value & opt bool true
+    & info [ "regalloc" ] ~docv:"BOOL" ~doc:"Run the register allocator.")
+
+let k_t =
+  Arg.(
+    value & opt int 24
+    & info [ "k"; "registers" ] ~docv:"N" ~doc:"Physical register count.")
+
+let file_t =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+
+let config_t =
+  let mk analysis promote ptr_promote always_store throttle dse optimize
+      regalloc k =
+    { Config.analysis; promote; ptr_promote; always_store; throttle; dse;
+      optimize; regalloc; k }
+  in
+  Term.(
+    const mk $ analysis_t $ promote_t $ ptr_promote_t $ always_store_t
+    $ throttle_t $ dse_t $ opt_t $ regalloc_t $ k_t)
+
+let handle_errors f =
+  try f () with
+  | Rp_minic.Srcloc.Error (loc, msg) ->
+    Fmt.epr "error: %s@." (Rp_minic.Srcloc.to_string (loc, msg));
+    exit 1
+  | Rp_exec.Value.Runtime_error msg ->
+    Fmt.epr "runtime error: %s@." msg;
+    exit 2
+  | Failure msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let run config file quiet =
+    handle_errors @@ fun () ->
+    let (_, st, r) = Pipeline.compile_and_run ~config (read_file file) in
+    if not quiet then print_string r.Rp_exec.Interp.output;
+    Fmt.pr "; config: %a@." Config.pp config;
+    Fmt.pr "; ops=%d loads=%d stores=%d checksum=%d@."
+      r.Rp_exec.Interp.total.Rp_exec.Interp.ops
+      r.Rp_exec.Interp.total.Rp_exec.Interp.loads
+      r.Rp_exec.Interp.total.Rp_exec.Interp.stores r.Rp_exec.Interp.checksum;
+    Fmt.pr "; promoted=%d ptr_promoted=%d hoisted=%d spilled=%d@."
+      st.Pipeline.promoted st.Pipeline.ptr_promoted st.Pipeline.hoisted
+      st.Pipeline.spilled
+  in
+  let quiet_t =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress program output.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute, reporting dynamic counts.")
+    Term.(const run $ config_t $ file_t $ quiet_t)
+
+let dump_cmd =
+  let dump config file stage format =
+    handle_errors @@ fun () ->
+    let src = read_file file in
+    let p =
+      match stage with
+      | `Front -> Rp_irgen.Irgen.compile_source src
+      | `Final -> fst (Pipeline.compile ~config src)
+    in
+    match format with
+    | `Pretty -> Fmt.pr "%a@." Rp_ir.Program.pp p
+    | `Il -> print_string (Rp_ir.Serial.write p)
+  in
+  let stage_t =
+    Arg.(
+      value
+      & opt (enum [ ("front", `Front); ("final", `Final) ]) `Final
+      & info [ "stage" ] ~docv:"STAGE"
+          ~doc:"Which IL to print: front (pre-optimization) or final.")
+  in
+  let format_t =
+    Arg.(
+      value
+      & opt (enum [ ("pretty", `Pretty); ("il", `Il) ]) `Pretty
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: pretty (human-readable) or il (the exact \
+             machine-readable serialization accepted by run-il).")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Compile and print the IL.")
+    Term.(const dump $ config_t $ file_t $ stage_t $ format_t)
+
+let run_il_cmd =
+  let run file quiet =
+    handle_errors @@ fun () ->
+    let p =
+      try Rp_ir.Serial.read (read_file file)
+      with Rp_ir.Serial.Parse_error (ln, msg) ->
+        Fmt.epr "error: %s:%d: %s@." file ln msg;
+        exit 1
+    in
+    Rp_ir.Validate.assert_ok p;
+    let r = Rp_exec.Interp.run p in
+    if not quiet then print_string r.Rp_exec.Interp.output;
+    Fmt.pr "; ops=%d loads=%d stores=%d checksum=%d@."
+      r.Rp_exec.Interp.total.Rp_exec.Interp.ops
+      r.Rp_exec.Interp.total.Rp_exec.Interp.loads
+      r.Rp_exec.Interp.total.Rp_exec.Interp.stores r.Rp_exec.Interp.checksum
+  in
+  let file_il_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.il")
+  in
+  let quiet_t =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress program output.")
+  in
+  Cmd.v
+    (Cmd.info "run-il"
+       ~doc:"Execute a serialized IL file (as produced by dump --format il).")
+    Term.(const run $ file_il_t $ quiet_t)
+
+let table_cmd =
+  let table file k =
+    handle_errors @@ fun () ->
+    let src = read_file file in
+    Fmt.pr "%-10s %-8s %10s %10s %10s %9s@." "metric" "analysis" "without"
+      "with" "difference" "% removed";
+    let results =
+      List.map
+        (fun (name, cfg) ->
+          let cfg = { cfg with Config.k } in
+          let (_, _, r) = Pipeline.compile_and_run ~config:cfg src in
+          (name, r))
+        Config.paper_grid
+    in
+    let find n = List.assoc n results in
+    let row metric pick =
+      List.iter
+        (fun analysis ->
+          let without = pick (find (analysis ^ "/without")) in
+          let with_ = pick (find (analysis ^ "/with")) in
+          let diff = without - with_ in
+          let pct =
+            if without = 0 then 0.
+            else 100. *. float_of_int diff /. float_of_int without
+          in
+          Fmt.pr "%-10s %-8s %10d %10d %10d %9.2f@." metric analysis without
+            with_ diff pct)
+        [ "modref"; "pointer" ]
+    in
+    let total (r : Rp_exec.Interp.result) = r.Rp_exec.Interp.total in
+    row "ops" (fun r -> (total r).Rp_exec.Interp.ops);
+    row "stores" (fun r -> (total r).Rp_exec.Interp.stores);
+    row "loads" (fun r -> (total r).Rp_exec.Interp.loads)
+  in
+  Cmd.v
+    (Cmd.info "table"
+       ~doc:"Run the paper's four-configuration comparison on one file.")
+    Term.(const table $ file_t $ k_t)
+
+let main =
+  Cmd.group
+    (Cmd.info "rpcc" ~version:"1.0.0"
+       ~doc:
+         "Register promotion in C programs (Cooper & Lu, PLDI 1997) — \
+          reference reimplementation.")
+    [ run_cmd; dump_cmd; run_il_cmd; table_cmd ]
+
+let () = exit (Cmd.eval main)

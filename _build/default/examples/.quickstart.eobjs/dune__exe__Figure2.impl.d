@@ -1,0 +1,1 @@
+examples/figure2.ml: Block Fmt Func Hashtbl Instr List Program Rp_cfg Rp_core Rp_ir Tag Tagset Validate

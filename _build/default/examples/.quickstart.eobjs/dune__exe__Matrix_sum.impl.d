@@ -1,0 +1,1 @@
+examples/matrix_sum.ml: Config Fmt Pipeline Rp_driver Rp_exec String

@@ -1,0 +1,1 @@
+examples/needs_pointer.ml: Config Fmt Pipeline Rp_driver Rp_exec

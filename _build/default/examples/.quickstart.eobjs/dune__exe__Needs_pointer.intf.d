@@ -1,0 +1,1 @@
+examples/needs_pointer.mli:

@@ -1,0 +1,1 @@
+examples/particles.ml: Config Fmt Pipeline Rp_driver Rp_exec String

@@ -1,0 +1,1 @@
+examples/pressure.ml: Config Fmt List Pipeline Rp_driver Rp_exec

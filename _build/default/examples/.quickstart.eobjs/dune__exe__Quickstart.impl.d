@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Fmt Pipeline Rp_driver Rp_exec Rp_ir String

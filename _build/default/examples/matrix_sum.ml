@@ -1,0 +1,64 @@
+(** Figure 3 of the paper: promoting the array reference [B\[i\]] in
+
+    {v
+      for (i=0; i<DIM_X; i++) {
+        B[i] = 0;
+        for (j=0; j<DIM_Y; j++)
+          B[i] += A[i][j];
+      }
+    v}
+
+    [B\[i\]]'s address is invariant in the inner loop and nothing else in
+    that loop can touch [B], so §3.3 pointer-based promotion rewrites the
+    inner loop to accumulate in a register — "the code that might be
+    expected of a good assembly programmer".
+
+    {v dune exec examples/matrix_sum.exe v} *)
+
+open Rp_driver
+
+let src =
+  {|
+int A[40][30];
+int B[40];
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 40; i++)
+    for (j = 0; j < 30; j++)
+      A[i][j] = (i * 13 + j * 7) % 19;
+  for (i = 0; i < 40; i++) {
+    B[i] = 0;
+    for (j = 0; j < 30; j++) {
+      B[i] += A[i][j];
+    }
+  }
+  int sum = 0;
+  for (i = 0; i < 40; i++) sum += B[i];
+  print_int(sum);
+  return 0;
+}
+|}
+
+let run name cfg =
+  let (_, stats, r) = Pipeline.compile_and_run ~config:cfg src in
+  let t = r.Rp_exec.Interp.total in
+  Fmt.pr "%-28s ops=%6d loads=%6d stores=%6d  (ptr-promoted groups: %d)@."
+    name t.Rp_exec.Interp.ops t.Rp_exec.Interp.loads t.Rp_exec.Interp.stores
+    stats.Pipeline.ptr_promoted;
+  r.Rp_exec.Interp.output
+
+let () =
+  Fmt.pr "== Figure 3: promoting B[i] across the inner loop ==@.@.";
+  let base = { Config.default with Config.analysis = Config.Amodref } in
+  let o1 = run "scalar promotion only" base in
+  let o2 =
+    run "scalar + §3.3 pointer-based" { base with Config.ptr_promote = true }
+  in
+  assert (o1 = o2);
+  Fmt.pr "@.identical output: %s@." (String.trim o1);
+  Fmt.pr
+    "The inner-loop load AND store of B[i] become register copies; the load \
+     moves@.to the landing pad and the store to the loop exit — one \
+     load/store pair per@.row instead of one per element.@."

@@ -1,0 +1,100 @@
+(** Structs, the heap, and promotion working together: a linked particle
+    system.  Shows
+    - struct field accesses carrying the owning object's tag,
+    - §3.3 invariant-base promotion firing on a single-field update loop,
+    - the global accumulator promoting under §3.1 while the call-bearing
+      loop around it blocks promotion at the outer level.
+
+    {v dune exec examples/particles.exe v} *)
+
+open Rp_driver
+
+let src =
+  {|
+struct Particle {
+  float pos;
+  float vel;
+  struct Particle *next;
+};
+
+struct Particle pool[32];
+float total_energy;
+int n_steps;
+
+struct Particle *build_chain(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    pool[i].pos = 0.0;
+    pool[i].vel = 0.01 * (i + 1);
+    if (i + 1 < n) pool[i].next = &pool[i + 1];
+    else pool[i].next = 0;
+  }
+  return &pool[0];
+}
+
+void integrate(struct Particle *p, float dt, float v) {
+  // single-field inner loop: p->pos is the only access to pool in here,
+  // through an invariant base — §3.3 keeps it in a register for the
+  // whole loop.  (Touching p->vel too would create a second base register
+  // over the same tag and correctly block the promotion: the tags are
+  // per-object, not per-field.)
+  int t;
+  for (t = 0; t < 100; t++) {
+    p->pos = p->pos + v * dt;
+  }
+}
+
+float energy(struct Particle *head) {
+  float e = 0.0;
+  struct Particle *p = head;
+  while (p != 0) {
+    e = e + 0.5 * p->vel * p->vel + p->pos;
+    p = p->next;
+  }
+  return e;
+}
+
+int main() {
+  struct Particle *head = build_chain(32);
+  int step;
+  for (step = 0; step < 20; step++) {
+    struct Particle *p = head;
+    while (p != 0) {
+      integrate(p, 0.125, p->vel);
+      p = p->next;
+    }
+    // total_energy and n_steps are globals: promotable in this loop only
+    // where no call can touch them
+    total_energy = total_energy + energy(head);
+    n_steps = n_steps + 1;
+  }
+  print_float(total_energy);
+  print_int(n_steps);
+  return 0;
+}
+|}
+
+let run name cfg =
+  let (_, stats, r) = Pipeline.compile_and_run ~config:cfg src in
+  let t = r.Rp_exec.Interp.total in
+  Fmt.pr "%-26s ops=%8d loads=%7d stores=%7d  ptr-groups=%d@." name
+    t.Rp_exec.Interp.ops t.Rp_exec.Interp.loads t.Rp_exec.Interp.stores
+    stats.Pipeline.ptr_promoted;
+  r.Rp_exec.Interp.output
+
+let () =
+  Fmt.pr "== particles: structs + heap-style chains + promotion ==@.@.";
+  let o1 =
+    run "no promotion" { Config.default with Config.promote = false }
+  in
+  let o2 = run "scalar promotion" Config.default in
+  let o3 =
+    run "scalar + §3.3 (pointer)"
+      { Config.default with
+        Config.analysis = Config.Apointer; ptr_promote = true }
+  in
+  assert (o1 = o2 && o2 = o3);
+  Fmt.pr "@.identical output:@.%s@." (String.trim o1);
+  Fmt.pr
+    "§3.3 lifts p->pos out of integrate's loop: one Load/Store pair per \
+     call@.instead of one per timestep.@."

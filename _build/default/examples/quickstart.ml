@@ -1,0 +1,53 @@
+(** Quickstart: compile a small C program with and without register
+    promotion and watch the memory traffic drop.
+
+    {v dune exec examples/quickstart.exe v} *)
+
+open Rp_driver
+
+let src =
+  {|
+int total;       // a global: lives in memory, accessed by sLoad/sStore
+int hist[32];
+
+void tally(int *data, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    total = total + data[i];          // promotable: explicit in the loop
+    hist[data[i] & 31] = hist[data[i] & 31] + 1;
+  }
+}
+
+int main() {
+  int buf[64];
+  int i;
+  for (i = 0; i < 64; i++) buf[i] = i * 7 % 23;
+  int rep;
+  for (rep = 0; rep < 50; rep++) tally(buf, 64);
+  print_int(total);
+  return 0;
+}
+|}
+
+let show name cfg =
+  let (prog, stats, result) = Pipeline.compile_and_run ~config:cfg src in
+  let t = result.Rp_exec.Interp.total in
+  Fmt.pr "%-22s ops=%7d loads=%6d stores=%6d  (promoted %d tags)@." name
+    t.Rp_exec.Interp.ops t.Rp_exec.Interp.loads t.Rp_exec.Interp.stores
+    stats.Pipeline.promoted;
+  (prog, result)
+
+let () =
+  Fmt.pr "== quickstart: register promotion on a reduction loop ==@.@.";
+  let without = { Config.default with Config.promote = false } in
+  let (_, r1) = show "without promotion" without in
+  let (prog, r2) = show "with promotion" Config.default in
+  assert (r1.Rp_exec.Interp.output = r2.Rp_exec.Interp.output);
+  Fmt.pr "@.program output (identical in both configurations): %s@."
+    (String.trim r1.Rp_exec.Interp.output);
+  Fmt.pr
+    "@.The promoted loop body of tally (final IL) — note the copies where@.\
+     sLoad/sStore of [total] used to be, and the load/store pushed to the@.\
+     landing pad and loop exit:@.@.%a@."
+    Rp_ir.Func.pp
+    (Rp_ir.Program.func prog "tally")

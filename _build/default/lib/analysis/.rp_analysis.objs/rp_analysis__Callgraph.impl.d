@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Func Hashtbl Instr List Option Program Rp_ir Rp_support

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.mli: Hashtbl Instr Program Rp_ir Rp_support

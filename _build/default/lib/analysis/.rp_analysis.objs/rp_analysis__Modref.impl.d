@@ -1,0 +1,1 @@
+lib/analysis/modref.ml: Block Callgraph Fmt Func Hashtbl Instr Lazy List Option Program Rp_ir Rp_support Tag Tagset

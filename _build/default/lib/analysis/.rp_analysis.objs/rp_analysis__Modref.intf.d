@@ -1,0 +1,1 @@
+lib/analysis/modref.mli: Callgraph Format Func Hashtbl Instr Program Rp_ir Tag Tagset

@@ -1,0 +1,1 @@
+lib/analysis/pointsto.ml: Block Callgraph Func Hashtbl Instr List Modref Option Program Rp_ir Rp_minic Rp_ssa Set String Tag Tagset

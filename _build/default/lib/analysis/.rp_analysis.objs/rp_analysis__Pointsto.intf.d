@@ -1,0 +1,1 @@
+lib/analysis/pointsto.mli: Func Hashtbl Instr Program Rp_ir Set Tag

@@ -1,0 +1,1 @@
+lib/analysis/steensgaard.ml: Block Callgraph Func Hashtbl Instr List Modref Option Program Rp_ir Rp_minic Rp_support String Tag Tagset

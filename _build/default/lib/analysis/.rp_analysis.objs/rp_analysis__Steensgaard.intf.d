@@ -1,0 +1,1 @@
+lib/analysis/steensgaard.mli: Instr Program Rp_ir Tag

@@ -1,0 +1,157 @@
+(** Program call graph with Tarjan SCC condensation.
+
+    The MOD/REF analysis "identifies the strongly-connected components (SCC)
+    of the call-graph, and calculates the tag set of each SCC ... Processing
+    the SCCs in reverse topological order ensures that the tag set of any
+    called function not in the current SCC has already been calculated."
+
+    Indirect-call resolution is pluggable: the baseline assumes any
+    {e addressed} function (conservative, as in the paper); the pointer
+    analysis later narrows each call's target list. *)
+
+open Rp_ir
+module SS = Rp_support.Smaps.String_set
+
+type t = {
+  callees : (string, SS.t) Hashtbl.t;
+      (** user-function callees only (builtins have empty summaries and do
+          not matter for reachability) *)
+  addressed : SS.t;  (** functions whose address is taken somewhere *)
+  sccs : string list list;  (** reverse topological (callees first) *)
+  scc_index : (string, int) Hashtbl.t;
+  reaches : (string, SS.t) Hashtbl.t;
+      (** transitive: functions reachable from each function (inclusive) *)
+}
+
+(** Compute the set of functions whose address is taken ([Loadfp]). *)
+let addressed_functions (p : Program.t) : SS.t =
+  let acc = ref SS.empty in
+  Program.iter_funcs
+    (fun f ->
+      Func.iter_instrs
+        (fun _ i ->
+          match i with
+          | Instr.Loadfp (_, n) when Program.func_opt p n <> None ->
+            acc := SS.add n !acc
+          | _ -> ())
+        f)
+    p;
+  !acc
+
+(** [build p ~targets_of] constructs the call graph, resolving each indirect
+    call with [targets_of]. *)
+let build (p : Program.t) ~(targets_of : Instr.call -> string list) : t =
+  let callees = Hashtbl.create 16 in
+  Program.iter_funcs
+    (fun f ->
+      let acc = ref SS.empty in
+      Func.iter_instrs
+        (fun _ i ->
+          match i with
+          | Instr.Call c ->
+            let ts =
+              match c.Instr.target with
+              | Instr.Direct n -> [ n ]
+              | Instr.Indirect _ -> targets_of c
+            in
+            List.iter
+              (fun n ->
+                if Program.func_opt p n <> None then acc := SS.add n !acc)
+              ts
+          | _ -> ())
+        f;
+      Hashtbl.replace callees f.Func.name !acc)
+    p;
+  (* Tarjan SCC *)
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    SS.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (Option.value ~default:SS.empty (Hashtbl.find_opt callees v));
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  Program.iter_funcs
+    (fun f -> if not (Hashtbl.mem index f.Func.name) then strongconnect f.Func.name)
+    p;
+  (* Tarjan identifies sink components first; reversing the accumulator
+     (which holds last-identified first) restores identification order,
+     i.e. reverse topological order: callees before callers. *)
+  let sccs = List.rev !sccs in
+  let scc_index = Hashtbl.create 16 in
+  List.iteri (fun i scc -> List.iter (fun f -> Hashtbl.replace scc_index f i) scc) sccs;
+  (* transitive reachability, via the SCC DAG in reverse topological order *)
+  let reaches = Hashtbl.create 16 in
+  List.iter
+    (fun scc ->
+      let members = SS.of_list scc in
+      let out = ref members in
+      List.iter
+        (fun f ->
+          SS.iter
+            (fun callee ->
+              if not (SS.mem callee members) then
+                out :=
+                  SS.union !out
+                    (Option.value ~default:(SS.singleton callee)
+                       (Hashtbl.find_opt reaches callee)))
+            (Option.value ~default:SS.empty (Hashtbl.find_opt callees f)))
+        scc;
+      List.iter (fun f -> Hashtbl.replace reaches f !out) scc)
+    sccs;
+  {
+    callees;
+    addressed = addressed_functions p;
+    sccs;
+    scc_index;
+    reaches;
+  }
+
+(** Does [f] (transitively, reflexively) call [g]? *)
+let reaches t f g =
+  match Hashtbl.find_opt t.reaches f with
+  | Some s -> SS.mem g s
+  | None -> f = g
+
+let callees_of t f =
+  Option.value ~default:SS.empty (Hashtbl.find_opt t.callees f)
+
+(** Baseline indirect-target resolution: "Indirect calls are conservatively
+    assumed to target any addressed function." *)
+let conservative_targets (p : Program.t) : Instr.call -> string list =
+  let addr = addressed_functions p in
+  fun _ -> SS.elements addr
+
+(** Resolution using analysis-filled target lists, falling back to the
+    conservative assumption when a call has none. *)
+let recorded_targets (p : Program.t) : Instr.call -> string list =
+  let addr = addressed_functions p in
+  fun c ->
+    match c.Instr.targets with [] -> SS.elements addr | ts -> ts

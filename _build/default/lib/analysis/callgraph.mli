@@ -1,0 +1,31 @@
+(** Program call graph with Tarjan SCC condensation in reverse topological
+    order (callees first) — the processing order MOD/REF needs. *)
+
+open Rp_ir
+module SS = Rp_support.Smaps.String_set
+
+type t = {
+  callees : (string, SS.t) Hashtbl.t;  (** user-function callees *)
+  addressed : SS.t;  (** functions whose address is taken *)
+  sccs : string list list;  (** reverse topological *)
+  scc_index : (string, int) Hashtbl.t;
+  reaches : (string, SS.t) Hashtbl.t;  (** transitive, reflexive *)
+}
+
+val addressed_functions : Program.t -> SS.t
+
+(** Build the graph; [targets_of] resolves indirect calls. *)
+val build : Program.t -> targets_of:(Instr.call -> string list) -> t
+
+(** Does [f] (transitively, reflexively) call [g]? *)
+val reaches : t -> string -> string -> bool
+
+val callees_of : t -> string -> SS.t
+
+(** "Indirect calls are conservatively assumed to target any addressed
+    function." *)
+val conservative_targets : Program.t -> Instr.call -> string list
+
+(** Use analysis-recorded target lists, falling back to the conservative
+    assumption for calls without one. *)
+val recorded_targets : Program.t -> Instr.call -> string list

@@ -1,0 +1,230 @@
+(** Interprocedural MOD/REF analysis (§4 of the paper, after Cooper–Kennedy).
+
+    Three steps:
+
+    + {b Limit pointer-based operations.}  "Only tags that have had their
+      address taken are placed in the tag sets of pointer-based memory
+      operations.  To further limit the tag sets, it only places the tag of
+      a local variable into the tag sets of memory operations that appear in
+      descendants of the function that creates the local variable."  Every
+      tag set that is still the conservative universe is replaced by the
+      per-function visible address-taken set; tag sets already narrowed (by
+      the front end or by points-to analysis) are left alone.
+    + {b Function summaries.}  A function's MOD (resp. REF) set is the union
+      of the tags its body may store to (load from), plus the summaries of
+      everything it calls; computed over call-graph SCCs in reverse
+      topological order, with every member of an SCC receiving the SCC's
+      union.
+    + {b Annotate call sites} with the callee summaries (union over possible
+      targets for indirect calls).
+
+    The analysis is re-runnable: after points-to analysis narrows pointer
+    tag sets and indirect targets, calling {!run} again produces the
+    sharper summaries. *)
+
+open Rp_ir
+module SS = Rp_support.Smaps.String_set
+
+type summary = { mods : Tagset.t; refs : Tagset.t }
+
+type t = {
+  graph : Callgraph.t;
+  summaries : (string, summary) Hashtbl.t;
+  address_taken : Tagset.t;  (** global/heap address-taken tags *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Address-taken and visibility                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Tags whose address is taken ([Loada]) anywhere, plus every heap-site
+    tag.  Split into globals (visible everywhere) and per-creator locals. *)
+let address_taken_tags (p : Program.t) =
+  let globals = ref Tagset.empty in
+  let locals : (string, Tag.t list) Hashtbl.t = Hashtbl.create 16 in
+  let add (t : Tag.t) =
+    match t.Tag.storage with
+    | Tag.Global | Tag.Heap _ -> globals := Tagset.add t !globals
+    | Tag.Local fn | Tag.Spill fn ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt locals fn) in
+      if not (List.exists (Tag.equal t) cur) then
+        Hashtbl.replace locals fn (t :: cur)
+  in
+  Program.iter_funcs
+    (fun f ->
+      Func.iter_instrs
+        (fun _ i -> match i with Instr.Loada (_, t) -> add t | _ -> ())
+        f)
+    p;
+  Hashtbl.iter (fun _ t -> add t) p.Program.heap_site_tags;
+  (!globals, locals)
+
+(** The address-taken tags visible inside function [fn]: all addressed
+    globals and heap sites, plus addressed locals of every function that
+    (transitively) reaches [fn] in the call graph. *)
+let visible_tags (graph : Callgraph.t) globals locals fn =
+  Hashtbl.fold
+    (fun creator tags acc ->
+      if Callgraph.reaches graph creator fn then
+        List.fold_left (fun acc t -> Tagset.add t acc) acc tags
+      else acc)
+    locals globals
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: concretize pointer-op tag sets                              *)
+(* ------------------------------------------------------------------ *)
+
+let limit_pointer_ops (p : Program.t) (graph : Callgraph.t) globals locals =
+  Program.iter_funcs
+    (fun f ->
+      let visible = lazy (visible_tags graph globals locals f.Func.name) in
+      Func.iter_blocks
+        (fun (b : Block.t) ->
+          b.Block.instrs <-
+            List.map
+              (fun i ->
+                match i with
+                | Instr.Loadg (d, a, ts) when Tagset.is_univ ts ->
+                  Instr.Loadg (d, a, Lazy.force visible)
+                | Instr.Storeg (a, s, ts) when Tagset.is_univ ts ->
+                  Instr.Storeg (a, s, Lazy.force visible)
+                | i -> i)
+              b.Block.instrs)
+        f)
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: function summaries over SCCs                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Local (intraprocedural) MOD/REF contribution of a function body,
+    excluding calls. *)
+let local_contribution (f : Func.t) =
+  let mods = ref Tagset.empty in
+  let refs = ref Tagset.empty in
+  Func.iter_instrs
+    (fun _ i ->
+      match i with
+      | Instr.Loads (_, t) | Instr.Loadc (_, t) -> refs := Tagset.add t !refs
+      | Instr.Stores (t, _) -> mods := Tagset.add t !mods
+      | Instr.Loadg (_, _, ts) -> refs := Tagset.union ts !refs
+      | Instr.Storeg (_, _, ts) -> mods := Tagset.union ts !mods
+      | _ -> ())
+    f;
+  { mods = !mods; refs = !refs }
+
+let compute_summaries (p : Program.t) (graph : Callgraph.t) =
+  let summaries : (string, summary) Hashtbl.t = Hashtbl.create 16 in
+  let summary_of name =
+    match Hashtbl.find_opt summaries name with
+    | Some s -> s
+    | None -> { mods = Tagset.empty; refs = Tagset.empty }
+    (* builtins and not-yet-processed SCC members (handled by the union
+       over the whole SCC) *)
+  in
+  List.iter
+    (fun scc ->
+      let members = SS.of_list scc in
+      let acc = ref { mods = Tagset.empty; refs = Tagset.empty } in
+      List.iter
+        (fun fname ->
+          match Program.func_opt p fname with
+          | None -> ()
+          | Some f ->
+            let local = local_contribution f in
+            acc :=
+              {
+                mods = Tagset.union !acc.mods local.mods;
+                refs = Tagset.union !acc.refs local.refs;
+              };
+            SS.iter
+              (fun callee ->
+                if not (SS.mem callee members) then begin
+                  let s = summary_of callee in
+                  acc :=
+                    {
+                      mods = Tagset.union !acc.mods s.mods;
+                      refs = Tagset.union !acc.refs s.refs;
+                    }
+                end)
+              (Callgraph.callees_of graph fname))
+        scc;
+      List.iter (fun fname -> Hashtbl.replace summaries fname !acc) scc)
+    graph.Callgraph.sccs;
+  summaries
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: annotate call sites                                         *)
+(* ------------------------------------------------------------------ *)
+
+let annotate_calls (p : Program.t) (graph : Callgraph.t) summaries
+    ~(targets_of : Instr.call -> string list) =
+  ignore graph;
+  Program.iter_funcs
+    (fun f ->
+      Func.iter_blocks
+        (fun (b : Block.t) ->
+          b.Block.instrs <-
+            List.map
+              (fun i ->
+                match i with
+                | Instr.Call c ->
+                  let targets =
+                    match c.Instr.target with
+                    | Instr.Direct n -> [ n ]
+                    | Instr.Indirect _ -> targets_of c
+                  in
+                  let user_targets =
+                    List.filter (fun n -> Program.func_opt p n <> None) targets
+                  in
+                  let mods, refs =
+                    List.fold_left
+                      (fun (m, r) n ->
+                        match Hashtbl.find_opt summaries n with
+                        | Some s ->
+                          (Tagset.union m s.mods, Tagset.union r s.refs)
+                        | None -> (m, r))
+                      (Tagset.empty, Tagset.empty)
+                      user_targets
+                  in
+                  Instr.Call { c with mods; refs; targets }
+                | i -> i)
+              b.Block.instrs)
+        f)
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Run MOD/REF over the whole program, rewriting tag sets and call
+    annotations in place.  [targets_of] resolves indirect calls; use
+    {!Callgraph.conservative_targets} for the baseline or
+    {!Callgraph.recorded_targets} after points-to analysis. *)
+let run ?(targets_of : (Instr.call -> string list) option) (p : Program.t) : t
+    =
+  let targets_of =
+    match targets_of with
+    | Some f -> f
+    | None -> Callgraph.conservative_targets p
+  in
+  let graph = Callgraph.build p ~targets_of in
+  let (globals, locals) = address_taken_tags p in
+  limit_pointer_ops p graph globals locals;
+  let summaries = compute_summaries p graph in
+  annotate_calls p graph summaries ~targets_of;
+  { graph; summaries; address_taken = globals }
+
+let summary t name =
+  Option.value
+    ~default:{ mods = Tagset.empty; refs = Tagset.empty }
+    (Hashtbl.find_opt t.summaries name)
+
+let pp ppf t =
+  let rows = Hashtbl.fold (fun n s acc -> (n, s) :: acc) t.summaries [] in
+  let rows = List.sort compare rows in
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf (n, s) ->
+          Fmt.pf ppf "%s: MOD=%a REF=%a" n Tagset.pp s.mods Tagset.pp s.refs))
+    rows

@@ -1,0 +1,41 @@
+(** Interprocedural MOD/REF analysis (paper §4, after Cooper–Kennedy).
+
+    Rewrites the program in place: every ⊤ pointer-operation tag set is
+    replaced by the per-function visible address-taken set, and every call
+    site receives its callees' MOD/REF summaries (union over possible
+    targets for indirect calls).  Re-runnable after points-to refinement
+    sharpens the underlying sets. *)
+
+open Rp_ir
+
+type summary = { mods : Tagset.t; refs : Tagset.t }
+
+type t = {
+  graph : Callgraph.t;
+  summaries : (string, summary) Hashtbl.t;
+  address_taken : Tagset.t;  (** addressed globals and heap-site tags *)
+}
+
+(** Address-taken tags: the globally visible set (globals + heap sites) and
+    the per-creator addressed locals. *)
+val address_taken_tags :
+  Program.t -> Tagset.t * (string, Tag.t list) Hashtbl.t
+
+(** The address-taken tags visible inside a function: everything global
+    plus addressed locals of each function that (transitively) reaches it. *)
+val visible_tags :
+  Callgraph.t -> Tagset.t -> (string, Tag.t list) Hashtbl.t -> string ->
+  Tagset.t
+
+(** Intraprocedural MOD/REF contribution of one body, calls excluded. *)
+val local_contribution : Func.t -> summary
+
+(** Run the analysis, mutating tag sets and call annotations.
+    @param targets_of indirect-call resolution; defaults to
+      {!Callgraph.conservative_targets} ("any addressed function"). *)
+val run : ?targets_of:(Instr.call -> string list) -> Program.t -> t
+
+(** A function's summary ([empty] for builtins/unknowns). *)
+val summary : t -> string -> summary
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,241 @@
+(** Whole-program points-to analysis, after Ruf [18] as described in §4:
+
+    "We analyze the entire program at once.  Each function is converted into
+    SSA form.  For each SSA name, the analyzer determines the set of tags to
+    which it may point. ... Pointer values are propagated through the
+    program using a worklist algorithm.  Non-local memory is modeled with
+    explicit names rather than representative names.  Heap memory is modeled
+    with a single name for each call-site that can generate a new heap
+    address.  The analysis is context-insensitive."
+
+    Design notes (DESIGN.md §6): registers are flow-sensitive through SSA;
+    memory contents are modeled per tag with weak updates only; addressed
+    locals of recursive functions already collapse to one tag at IR
+    generation, so strong updates on them are impossible by construction —
+    and we forgo strong updates everywhere, which is sound and only
+    marginally less precise.
+
+    After the fixpoint, {!refine} rewrites the original program's
+    pointer-operation tag sets (never widening: the new set is intersected
+    with the old) and fills indirect-call target lists.  MOD/REF is then
+    expected to be re-run by the caller. *)
+
+open Rp_ir
+
+type loc = Ltag of Tag.t | Lfun of string
+
+module LS = Set.Make (struct
+  type t = loc
+
+  let compare a b =
+    match (a, b) with
+    | Ltag x, Ltag y -> Tag.compare x y
+    | Lfun x, Lfun y -> String.compare x y
+    | Ltag _, Lfun _ -> -1
+    | Lfun _, Ltag _ -> 1
+end)
+
+type t = {
+  ssa : (string, Func.t) Hashtbl.t;  (** SSA clones, one per function *)
+  pts : (string * Instr.reg, LS.t) Hashtbl.t;  (** per SSA name *)
+  mem : (int, LS.t) Hashtbl.t;  (** tag id -> contents' points-to set *)
+  rets : (string, LS.t) Hashtbl.t;  (** per function: returned locations *)
+}
+
+let pts_get st key = Option.value ~default:LS.empty (Hashtbl.find_opt st.pts key)
+let mem_get st (tag : Tag.t) =
+  Option.value ~default:LS.empty (Hashtbl.find_opt st.mem tag.Tag.id)
+
+let tags_of ls =
+  LS.fold (fun l acc -> match l with Ltag t -> t :: acc | Lfun _ -> acc) ls []
+
+let funs_of ls =
+  LS.fold (fun l acc -> match l with Lfun f -> f :: acc | Ltag _ -> acc) ls []
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let analyze (p : Program.t) : t =
+  let st =
+    {
+      ssa = Hashtbl.create 16;
+      pts = Hashtbl.create 256;
+      mem = Hashtbl.create 64;
+      rets = Hashtbl.create 16;
+    }
+  in
+  Program.iter_funcs
+    (fun f ->
+      let clone = Func.copy f in
+      ignore (Rp_ssa.Ssa.construct clone : Rp_ssa.Ssa.info);
+      Hashtbl.replace st.ssa f.Func.name clone)
+    p;
+  let changed = ref true in
+  let join_pts key ls =
+    if not (LS.is_empty ls) then begin
+      let cur = pts_get st key in
+      let nxt = LS.union cur ls in
+      if not (LS.equal cur nxt) then begin
+        Hashtbl.replace st.pts key nxt;
+        changed := true
+      end
+    end
+  in
+  let join_mem (tag : Tag.t) ls =
+    if not (LS.is_empty ls) then begin
+      let cur = mem_get st tag in
+      let nxt = LS.union cur ls in
+      if not (LS.equal cur nxt) then begin
+        Hashtbl.replace st.mem tag.Tag.id nxt;
+        changed := true
+      end
+    end
+  in
+  let join_ret fname ls =
+    if not (LS.is_empty ls) then begin
+      let cur = Option.value ~default:LS.empty (Hashtbl.find_opt st.rets fname) in
+      let nxt = LS.union cur ls in
+      if not (LS.equal cur nxt) then begin
+        Hashtbl.replace st.rets fname nxt;
+        changed := true
+      end
+    end
+  in
+  let bind_call fname (c : Instr.call) argv_pts ret_reg =
+    (* one callee: bind arguments to parameters, returns to result *)
+    match Hashtbl.find_opt st.ssa fname with
+    | None ->
+      (* builtin: malloc allocates; everything else returns no pointers *)
+      if Rp_minic.Builtins.allocates fname then
+        Option.iter
+          (fun d ->
+            join_pts d (LS.singleton (Ltag (Program.heap_tag p c.Instr.site))))
+          ret_reg
+    | Some callee ->
+      List.iteri
+        (fun i ls ->
+          match List.nth_opt callee.Func.params i with
+          | Some prm -> join_pts (fname, prm) ls
+          | None -> ())
+        argv_pts;
+      Option.iter
+        (fun d ->
+          join_pts d
+            (Option.value ~default:LS.empty (Hashtbl.find_opt st.rets fname)))
+        ret_reg
+  in
+  let transfer fname (i : Instr.t) =
+    let get r = pts_get st (fname, r) in
+    let set d ls = join_pts (fname, d) ls in
+    match i with
+    | Instr.Loada (d, t) -> set d (LS.singleton (Ltag t))
+    | Instr.Loadfp (d, n) -> set d (LS.singleton (Lfun n))
+    | Instr.Copy (d, s) -> set d (get s)
+    | Instr.Phi (d, srcs) ->
+      List.iter (fun (_, r) -> set d (get r)) srcs
+    | Instr.Unop (_, _, _) -> ()
+    | Instr.Binop (op, d, a, b) -> (
+      (* pointer arithmetic keeps pointing into the same objects; any
+         arithmetic op that could carry a pointer bit-pattern propagates *)
+      match op with
+      | Instr.Add | Instr.Sub | Instr.Mul | Instr.Band | Instr.Bor
+      | Instr.Bxor | Instr.Shl | Instr.Shr ->
+        set d (LS.union (get a) (get b))
+      | _ -> ())
+    | Instr.Loadi _ -> ()
+    | Instr.Loads (d, t) | Instr.Loadc (d, t) -> set d (mem_get st t)
+    | Instr.Stores (t, s) -> join_mem t (get s)
+    | Instr.Loadg (d, a, _) ->
+      List.iter (fun t -> set d (mem_get st t)) (tags_of (get a))
+    | Instr.Storeg (a, s, _) ->
+      List.iter (fun t -> join_mem t (get s)) (tags_of (get a))
+    | Instr.Call c -> (
+      let argv_pts = List.map get c.Instr.args in
+      let ret = Option.map (fun d -> (fname, d)) c.Instr.ret in
+      match c.Instr.target with
+      | Instr.Direct n -> bind_call n c argv_pts ret
+      | Instr.Indirect r ->
+        List.iter
+          (fun n -> bind_call n c argv_pts ret)
+          (funs_of (get r)))
+  in
+  let guard = ref 0 in
+  while !changed do
+    changed := false;
+    incr guard;
+    if !guard > 1000 then failwith "Pointsto.analyze: fixpoint did not converge";
+    Hashtbl.iter
+      (fun fname (clone : Func.t) ->
+        Func.iter_blocks
+          (fun (b : Block.t) ->
+            List.iter (transfer fname) b.Block.instrs;
+            match b.Block.term with
+            | Instr.Ret (Some r) -> join_ret fname (pts_get st (fname, r))
+            | _ -> ())
+          clone)
+      st.ssa
+  done;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Refinement of the original program                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Rewrite pointer-op tag sets and indirect-call target lists of [p] from
+    the analysis [st].  Walks each original block in lockstep with its SSA
+    clone (SSA construction preserves per-block instruction order and only
+    prepends phis). *)
+let refine_program (p : Program.t) (st : t) : unit =
+  Program.iter_funcs
+    (fun f ->
+      let clone =
+        match Hashtbl.find_opt st.ssa f.Func.name with
+        | Some c -> c
+        | None -> invalid_arg "Pointsto.refine: missing clone"
+      in
+      Func.iter_blocks
+        (fun (b : Block.t) ->
+          match Func.block_opt clone b.Block.label with
+          | None -> () (* unreachable in the clone: never executed *)
+          | Some cb ->
+            let cinstrs =
+              List.filter (fun i -> not (Instr.is_phi i)) cb.Block.instrs
+            in
+            if List.length cinstrs <> List.length b.Block.instrs then
+              invalid_arg "Pointsto.refine: lockstep walk desynchronized";
+            b.Block.instrs <-
+              List.map2
+                (fun orig ssa_i ->
+                  let narrowed old addr_ssa =
+                    let ls = pts_get st (f.Func.name, addr_ssa) in
+                    let nw = Tagset.of_list (tags_of ls) in
+                    Tagset.inter old nw
+                  in
+                  match (orig, ssa_i) with
+                  | Instr.Loadg (d, a, old), Instr.Loadg (_, a', _) ->
+                    Instr.Loadg (d, a, narrowed old a')
+                  | Instr.Storeg (a, s, old), Instr.Storeg (a', _, _) ->
+                    Instr.Storeg (a, s, narrowed old a')
+                  | Instr.Call c, Instr.Call c' -> (
+                    match (c.Instr.target, c'.Instr.target) with
+                    | Instr.Indirect _, Instr.Indirect r' ->
+                      let targets =
+                        funs_of (pts_get st (f.Func.name, r'))
+                        |> List.sort compare
+                      in
+                      Instr.Call { c with targets }
+                    | _ -> orig)
+                  | _ -> orig)
+                b.Block.instrs cinstrs)
+        f)
+    p
+
+(** The full §4 pipeline for the pointer-analysis configuration: baseline
+    MOD/REF, points-to, refinement, MOD/REF again on the sharper sets. *)
+let run (p : Program.t) : t =
+  ignore (Modref.run p : Modref.t);
+  let st = analyze p in
+  refine_program p st;
+  ignore (Modref.run ~targets_of:(Callgraph.recorded_targets p) p : Modref.t);
+  st

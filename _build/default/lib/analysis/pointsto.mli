@@ -1,0 +1,33 @@
+(** Whole-program, context-insensitive points-to analysis (paper §4, after
+    Ruf): SSA names get points-to sets via a worklist; memory is modeled
+    per tag with weak updates; heap objects are named by allocation site;
+    function pointers are first-class. *)
+
+open Rp_ir
+
+type loc = Ltag of Tag.t | Lfun of string
+
+module LS : Set.S with type elt = loc
+
+type t = {
+  ssa : (string, Func.t) Hashtbl.t;  (** per-function SSA clones *)
+  pts : (string * Instr.reg, LS.t) Hashtbl.t;  (** per SSA name *)
+  mem : (int, LS.t) Hashtbl.t;  (** tag id -> contents *)
+  rets : (string, LS.t) Hashtbl.t;  (** per function: returned locations *)
+}
+
+val pts_get : t -> string * Instr.reg -> LS.t
+val mem_get : t -> Tag.t -> LS.t
+val tags_of : LS.t -> Tag.t list
+val funs_of : LS.t -> string list
+
+(** Solve the points-to constraints to a fixed point. *)
+val analyze : Program.t -> t
+
+(** Narrow the original program's pointer-operation tag sets (never
+    widening) and fill indirect-call target lists from the solution. *)
+val refine_program : Program.t -> t -> unit
+
+(** The full §4 pipeline: baseline MOD/REF → points-to → refinement →
+    MOD/REF again over the sharper sets. *)
+val run : Program.t -> t

@@ -1,0 +1,257 @@
+(** Steensgaard-style unification-based points-to analysis.
+
+    The paper's related-work section cites it directly: "Steensgaard showed
+    a linear-time algorithm for performing a flow-insensitive points-to
+    analysis by casting it as a type-inference problem [20]."  We implement
+    it as a third precision point between the MOD/REF baseline and the
+    Ruf-style inclusion analysis, giving the evaluation's precision axis a
+    cheap lower rung.
+
+    Model: every abstract node (a register, a memory tag, or a function)
+    carries at most one {e pointee cell}; assignments unify cells instead
+    of propagating subsets, so the whole analysis is a near-linear pass of
+    union-find operations.  Conflation is the price: a pointer that ever
+    targets two objects merges them for good.
+
+    The analysis is flow-insensitive, so it runs directly on the non-SSA
+    IL.  [refine_program] then narrows pointer-operation tag sets
+    (intersecting with the existing sets — never widening) and fills
+    indirect-call target lists, after which MOD/REF is re-run. *)
+
+open Rp_ir
+
+type node = int
+
+type t = {
+  parent : (node, node) Hashtbl.t;
+  size : (node, int) Hashtbl.t;
+  succ : (node, node) Hashtbl.t;  (** keyed by ECR representative *)
+  tag_node : (int, node) Hashtbl.t;  (** tag id -> node *)
+  fn_node : (string, node) Hashtbl.t;
+  reg_node : (string * Instr.reg, node) Hashtbl.t;
+  fresh : Rp_support.Idgen.t;
+  mutable changed : bool;  (** any union performed this pass *)
+}
+
+let create () =
+  {
+    parent = Hashtbl.create 256;
+    size = Hashtbl.create 256;
+    succ = Hashtbl.create 256;
+    tag_node = Hashtbl.create 64;
+    fn_node = Hashtbl.create 16;
+    reg_node = Hashtbl.create 256;
+    fresh = Rp_support.Idgen.create ();
+    changed = false;
+  }
+
+let new_node st =
+  let n = Rp_support.Idgen.fresh st.fresh in
+  Hashtbl.replace st.parent n n;
+  Hashtbl.replace st.size n 1;
+  n
+
+let rec find st n =
+  let p = Hashtbl.find st.parent n in
+  if p = n then n
+  else begin
+    let r = find st p in
+    Hashtbl.replace st.parent n r;
+    r
+  end
+
+let node_of tbl st key =
+  match Hashtbl.find_opt tbl key with
+  | Some n -> n
+  | None ->
+    let n = new_node st in
+    Hashtbl.replace tbl key n;
+    n
+
+let tag_node st (t : Tag.t) = node_of st.tag_node st t.Tag.id
+let fn_node st name = node_of st.fn_node st name
+let reg_node st fname r = node_of st.reg_node st (fname, r)
+
+(** The pointee cell of a node, created on demand. *)
+let succ_of st n =
+  let r = find st n in
+  match Hashtbl.find_opt st.succ r with
+  | Some s -> find st s
+  | None ->
+    let s = new_node st in
+    Hashtbl.replace st.succ r s;
+    s
+
+(** Unify two ECRs, recursively merging their pointee cells — the heart of
+    Steensgaard's algorithm.  Terminates because every union strictly
+    decreases the number of equivalence classes. *)
+let rec unify st a b =
+  let ra = find st a and rb = find st b in
+  if ra <> rb then begin
+    st.changed <- true;
+    let sa = Hashtbl.find_opt st.succ ra in
+    let sb = Hashtbl.find_opt st.succ rb in
+    (* union by size *)
+    let (root, child) =
+      if Hashtbl.find st.size ra >= Hashtbl.find st.size rb then (ra, rb)
+      else (rb, ra)
+    in
+    Hashtbl.replace st.parent child root;
+    Hashtbl.replace st.size root
+      (Hashtbl.find st.size ra + Hashtbl.find st.size rb);
+    Hashtbl.remove st.succ child;
+    (match (sa, sb) with
+    | None, None -> ()
+    | Some s, None | None, Some s -> Hashtbl.replace st.succ root s
+    | Some s1, Some s2 ->
+      Hashtbl.replace st.succ root s1;
+      unify st s1 s2)
+  end
+
+(** [join st a b] — make the values of [a] and [b] compatible (used for
+    copies and arithmetic): their pointee cells unify. *)
+let join st a b = unify st (succ_of st a) (succ_of st b)
+
+(* ------------------------------------------------------------------ *)
+(* Constraint generation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** All function names currently unified into the cell of [n]. *)
+let funs_in_cell st n =
+  let r = find st n in
+  Hashtbl.fold
+    (fun name fn acc -> if find st fn = r then name :: acc else acc)
+    st.fn_node []
+
+(** A conventional node holding each function's returned value. *)
+let fn_ret st name = node_of st.fn_node st ("$ret$" ^ name)
+
+let transfer st (p : Program.t) fname (i : Instr.t) =
+  let reg r = reg_node st fname r in
+  match i with
+  | Instr.Loada (d, t) ->
+    (* d points to t: t joins d's pointee cell *)
+    unify st (succ_of st (reg d)) (tag_node st t)
+  | Instr.Loadfp (d, fn) -> unify st (succ_of st (reg d)) (fn_node st fn)
+  | Instr.Copy (d, s) -> join st (reg d) (reg s)
+  | Instr.Phi (d, srcs) -> List.iter (fun (_, s) -> join st (reg d) (reg s)) srcs
+  | Instr.Binop (op, d, a, b) -> (
+    match op with
+    | Instr.Add | Instr.Sub | Instr.Mul | Instr.Band | Instr.Bor
+    | Instr.Bxor | Instr.Shl | Instr.Shr ->
+      join st (reg d) (reg a);
+      join st (reg d) (reg b)
+    | _ -> ())
+  | Instr.Loads (d, t) | Instr.Loadc (d, t) ->
+    (* contents of t flow into d *)
+    join st (reg d) (tag_node st t)
+  | Instr.Stores (t, s) -> join st (tag_node st t) (reg s)
+  | Instr.Loadg (d, a, _) ->
+    (* d receives the contents of whatever a points to *)
+    join st (reg d) (succ_of st (reg a))
+  | Instr.Storeg (a, s, _) -> join st (succ_of st (reg a)) (reg s)
+  | Instr.Call c -> (
+    let bind callee =
+      if Rp_minic.Builtins.allocates callee then
+        Option.iter
+          (fun d ->
+            unify st
+              (succ_of st (reg d))
+              (tag_node st (Program.heap_tag p c.Instr.site)))
+          c.Instr.ret
+      else
+        match Program.func_opt p callee with
+        | None -> () (* other builtins return and take non-pointers *)
+        | Some f ->
+          List.iteri
+            (fun i prm ->
+              match List.nth_opt c.Instr.args i with
+              | Some a -> join st (reg a) (reg_node st callee prm)
+              | None -> ())
+            f.Func.params;
+          (* returns: unified via a conventional per-function node, wired
+             below in [solve] when scanning Ret terminators *)
+          Option.iter
+            (fun d -> join st (reg d) (fn_ret st callee))
+            c.Instr.ret
+    in
+    match c.Instr.target with
+    | Instr.Direct n -> bind n
+    | Instr.Indirect r ->
+      List.iter bind (funs_in_cell st (succ_of st (reg r))))
+  | Instr.Loadi _ | Instr.Unop _ -> ()
+
+let solve (p : Program.t) : t =
+  let st = create () in
+  let guard = ref 0 in
+  st.changed <- true;
+  while st.changed do
+    st.changed <- false;
+    incr guard;
+    if !guard > 100 then failwith "Steensgaard.solve: did not converge";
+    Program.iter_funcs
+      (fun f ->
+        Func.iter_blocks
+          (fun (b : Block.t) ->
+            List.iter (transfer st p f.Func.name) b.Block.instrs;
+            match b.Block.term with
+            | Instr.Ret (Some r) ->
+              join st (reg_node st f.Func.name r) (fn_ret st f.Func.name)
+            | _ -> ())
+          f)
+      p
+  done;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Extraction and refinement                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Tags whose node lives in the pointee cell of register [r]. *)
+let tags_pointed_to st (p : Program.t) fname r : Tag.t list =
+  let cell = find st (succ_of st (reg_node st fname r)) in
+  List.filter
+    (fun (t : Tag.t) ->
+      match Hashtbl.find_opt st.tag_node t.Tag.id with
+      | Some n -> find st n = cell
+      | None -> false)
+    (Tag.Table.all p.Program.tags)
+
+let funs_pointed_to st fname r =
+  funs_in_cell st (succ_of st (reg_node st fname r))
+  |> List.filter (fun n -> not (String.length n > 0 && n.[0] = '$'))
+  |> List.sort compare
+
+(** Narrow the program's pointer operations and indirect calls. *)
+let refine_program (p : Program.t) (st : t) : unit =
+  Program.iter_funcs
+    (fun f ->
+      Func.iter_blocks
+        (fun (b : Block.t) ->
+          b.Block.instrs <-
+            List.map
+              (fun i ->
+                let narrowed old a =
+                  Tagset.inter old
+                    (Tagset.of_list (tags_pointed_to st p f.Func.name a))
+                in
+                match i with
+                | Instr.Loadg (d, a, old) -> Instr.Loadg (d, a, narrowed old a)
+                | Instr.Storeg (a, s, old) ->
+                  Instr.Storeg (a, s, narrowed old a)
+                | Instr.Call ({ target = Instr.Indirect r; _ } as c) ->
+                  Instr.Call
+                    { c with targets = funs_pointed_to st f.Func.name r }
+                | i -> i)
+              b.Block.instrs)
+        f)
+    p
+
+(** The full pipeline for the [steens] configuration: baseline MOD/REF,
+    unification analysis, refinement, MOD/REF again. *)
+let run (p : Program.t) : t =
+  ignore (Modref.run p : Modref.t);
+  let st = solve p in
+  refine_program p st;
+  ignore (Modref.run ~targets_of:(Callgraph.recorded_targets p) p : Modref.t);
+  st

@@ -1,0 +1,23 @@
+(** Steensgaard-style unification-based points-to analysis — the cheap rung
+    of the precision ladder (paper's related work [20]).  Near-linear
+    union-find over pointee cells; conflation on multi-target pointers.
+    Runs directly on the non-SSA IL (it is flow-insensitive). *)
+
+open Rp_ir
+
+type t
+
+(** Solve the unification constraints. *)
+val solve : Program.t -> t
+
+(** Tags / functions in the pointee cell of a register. *)
+val tags_pointed_to : t -> Program.t -> string -> Instr.reg -> Tag.t list
+
+val funs_pointed_to : t -> string -> Instr.reg -> string list
+
+(** Narrow pointer-operation tag sets (never widening) and fill
+    indirect-call targets from the solution. *)
+val refine_program : Program.t -> t -> unit
+
+(** Baseline MOD/REF → unification analysis → refinement → MOD/REF. *)
+val run : Program.t -> t

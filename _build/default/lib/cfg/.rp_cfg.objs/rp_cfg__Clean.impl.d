@@ -1,0 +1,1 @@
+lib/cfg/clean.ml: Block Func Hashtbl Instr List Program Rp_ir

@@ -1,0 +1,1 @@
+lib/cfg/clean.mli: Func Program Rp_ir

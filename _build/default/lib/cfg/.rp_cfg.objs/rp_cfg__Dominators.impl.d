@@ -1,0 +1,1 @@
+lib/cfg/dominators.ml: Array Fmt Func Hashtbl Instr List Option Rp_ir

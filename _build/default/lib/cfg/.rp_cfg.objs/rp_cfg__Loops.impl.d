@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Block Dominators Fmt Func Hashtbl Instr List Option Rp_ir Rp_support

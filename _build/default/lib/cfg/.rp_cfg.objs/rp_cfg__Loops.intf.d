@@ -1,0 +1,1 @@
+lib/cfg/loops.mli: Dominators Format Func Hashtbl Instr Rp_ir Rp_support

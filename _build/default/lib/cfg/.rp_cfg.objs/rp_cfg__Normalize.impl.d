@@ -1,0 +1,1 @@
+lib/cfg/normalize.ml: Block Dominators Func Hashtbl Instr List Loops Program Rp_ir Rp_support

@@ -1,0 +1,1 @@
+lib/cfg/normalize.mli: Func Program Rp_ir

@@ -1,0 +1,137 @@
+(** CFG cleaning, after Cooper's classic "Clean" pass.
+
+    Four transformations applied to a fixed point:
+    + removal of unreachable blocks;
+    + folding of conditional branches with identical targets;
+    + removal of empty blocks (an empty block that just jumps to [l] is
+      bypassed by retargeting its predecessors — this is how the unused
+      landing pads and exit blocks disappear, "empty blocks are
+      automatically removed after optimization");
+    + merging of straight-line chains ([b] jumps to [c], [c] has exactly one
+      predecessor).
+
+    The pass never removes the entry block and is careful not to touch
+    blocks containing phis (it runs only on non-SSA code in the pipeline,
+    but hand-written tests may call it on anything). *)
+
+open Rp_ir
+
+let has_phi (b : Block.t) = List.exists Instr.is_phi b.Block.instrs
+
+let remove_unreachable (f : Func.t) : bool =
+  let reach = Hashtbl.create 64 in
+  let rec dfs l =
+    if not (Hashtbl.mem reach l) then begin
+      Hashtbl.replace reach l ();
+      List.iter dfs (Func.succs f (Func.block f l))
+    end
+  in
+  dfs f.Func.entry;
+  let dead =
+    List.filter (fun l -> not (Hashtbl.mem reach l)) f.Func.order
+  in
+  List.iter (Func.remove_block f) dead;
+  dead <> []
+
+let fold_branches (f : Func.t) : bool =
+  let changed = ref false in
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      match b.Block.term with
+      | Instr.Cbr (_, a, c) when a = c ->
+        b.Block.term <- Instr.Jump a;
+        changed := true
+      | _ -> ())
+    f;
+  !changed
+
+let remove_empty (f : Func.t) : bool =
+  let changed = ref false in
+  let victims =
+    List.filter
+      (fun l ->
+        l <> f.Func.entry
+        &&
+        let b = Func.block f l in
+        b.Block.instrs = []
+        && (match b.Block.term with
+           | Instr.Jump t -> t <> l
+           | _ -> false))
+      f.Func.order
+  in
+  List.iter
+    (fun l ->
+      (* re-check: an earlier removal may have retargeted this block *)
+      if Func.mem_block f l then begin
+        let b = Func.block f l in
+        match b.Block.term with
+        | Instr.Jump target when target <> l && b.Block.instrs = [] ->
+          if not (has_phi (Func.block f target)) then begin
+            let preds = Func.preds f in
+            let ps = Hashtbl.find preds l in
+            List.iter
+              (fun p ->
+                let pb = Func.block f p in
+                pb.Block.term <-
+                  Instr.term_map_labels
+                    (fun x -> if x = l then target else x)
+                    pb.Block.term)
+              ps;
+            Func.remove_block f l;
+            changed := true
+          end
+        | _ -> ()
+      end)
+    victims;
+  !changed
+
+let merge_chains (f : Func.t) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let preds = Func.preds f in
+    let candidate =
+      List.find_opt
+        (fun l ->
+          match (Func.block f l).Block.term with
+          | Instr.Jump c ->
+            c <> l && c <> f.Func.entry
+            && (match Hashtbl.find_opt preds c with
+               | Some [ _ ] -> true
+               | _ -> false)
+            && not (has_phi (Func.block f c))
+          | _ -> false)
+        f.Func.order
+    in
+    match candidate with
+    | Some l ->
+      let b = Func.block f l in
+      (match b.Block.term with
+      | Instr.Jump c ->
+        let cb = Func.block f c in
+        b.Block.instrs <- b.Block.instrs @ cb.Block.instrs;
+        b.Block.term <- cb.Block.term;
+        Func.remove_block f c;
+        changed := true;
+        continue_ := true
+      | _ -> assert false)
+    | None -> ()
+  done;
+  !changed
+
+(** Run all four transformations to a fixed point. *)
+let run (f : Func.t) : unit =
+  let rec go guard =
+    if guard = 0 then ()
+    else begin
+      let c1 = remove_unreachable f in
+      let c2 = fold_branches f in
+      let c3 = remove_empty f in
+      let c4 = merge_chains f in
+      if c1 || c2 || c3 || c4 then go (guard - 1)
+    end
+  in
+  go 1000
+
+let run_program (p : Program.t) = Program.iter_funcs run p

@@ -1,0 +1,10 @@
+(** CFG cleaning after Cooper's "Clean": remove unreachable blocks, fold
+    same-target conditional branches, bypass empty blocks (this is how
+    unused landing pads and exits vanish), and merge straight-line chains;
+    iterated to a fixed point. *)
+
+open Rp_ir
+
+val remove_unreachable : Func.t -> bool
+val run : Func.t -> unit
+val run_program : Program.t -> unit

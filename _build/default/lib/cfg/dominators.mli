@@ -1,0 +1,31 @@
+(** Dominator computation: Lengauer–Tarjan (primary) and an independent
+    iterative solver used by the test-suite to cross-check it. *)
+
+open Rp_ir
+
+type t
+(** Dominator information for one function: immediate dominators, dominator
+    tree (children/depths), and reachability from the entry. *)
+
+(** Compute dominators with Lengauer–Tarjan (simple path-compression
+    variant, O(E log V)). *)
+val compute : Func.t -> t
+
+(** Compute dominators with the Cooper–Harvey–Kennedy iterative scheme;
+    same results, independent code path. *)
+val compute_iterative : Func.t -> t
+
+(** Immediate dominator; [None] for the entry (and unreachable blocks). *)
+val idom : t -> Instr.label -> Instr.label option
+
+(** Depth in the dominator tree (entry = 0; 0 for unreachable blocks). *)
+val depth : t -> Instr.label -> int
+
+val is_reachable : t -> Instr.label -> bool
+val dom_children : t -> Instr.label -> Instr.label list
+
+(** [dominates t a b]: does [a] dominate [b]?  Reflexive. *)
+val dominates : t -> Instr.label -> Instr.label -> bool
+
+val strictly_dominates : t -> Instr.label -> Instr.label -> bool
+val pp : Format.formatter -> t -> unit

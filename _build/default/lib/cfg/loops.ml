@@ -1,0 +1,161 @@
+(** Natural-loop detection and the loop-nesting forest.
+
+    A back edge is an edge [u -> h] where [h] dominates [u]; the natural loop
+    of the back edge is [h] plus every block that can reach [u] without
+    passing through [h].  Loops sharing a header are merged.  The nesting
+    forest orders loops by block-set containment; [parent] is the innermost
+    enclosing loop, matching the paper's equation (4) use of
+    "parent-in-loop-tree(l)". *)
+
+open Rp_ir
+module SS = Rp_support.Smaps.String_set
+
+type loop = {
+  header : Instr.label;
+  mutable blocks : SS.t;  (** all blocks of the loop, inner loops included *)
+  mutable parent : loop option;
+  mutable children : loop list;
+  mutable depth : int;  (** 1 for outermost loops *)
+}
+
+type forest = {
+  loops : loop list;  (** all loops, outermost-first within each nest *)
+  by_header : (Instr.label, loop) Hashtbl.t;
+  innermost : (Instr.label, loop) Hashtbl.t;
+      (** block -> innermost loop containing it *)
+}
+
+let is_outermost l = l.parent = None
+
+(** All loops that contain block [b], innermost first. *)
+let loops_of forest b =
+  match Hashtbl.find_opt forest.innermost b with
+  | None -> []
+  | Some l ->
+    let rec up l = l :: (match l.parent with Some p -> up p | None -> []) in
+    up l
+
+let mem_block l b = SS.mem b l.blocks
+
+(** Compute the loop forest of [f] using dominator information [dom]. *)
+let analyze (f : Func.t) (dom : Dominators.t) : forest =
+  let preds = Func.preds f in
+  (* collect back edges, grouped by header *)
+  let back_edges = Hashtbl.create 16 in
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      List.iter
+        (fun s ->
+          if
+            Dominators.is_reachable dom b.Block.label
+            && Dominators.dominates dom s b.Block.label
+          then
+            Hashtbl.replace back_edges s
+              (b.Block.label
+              :: Option.value ~default:[] (Hashtbl.find_opt back_edges s)))
+        (Func.succs f b))
+    f;
+  (* natural loop per header: header + reverse-reachable from latches *)
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) back_edges [] in
+  let headers = List.sort compare headers in
+  let loops =
+    List.map
+      (fun h ->
+        let latches = Hashtbl.find back_edges h in
+        let blocks = ref (SS.singleton h) in
+        let rec pull l =
+          (* unreachable predecessors have edges into the loop but are not
+             dominated by the header; they are not part of it *)
+          if (not (SS.mem l !blocks)) && Dominators.is_reachable dom l then begin
+            blocks := SS.add l !blocks;
+            List.iter pull (Hashtbl.find preds l)
+          end
+        in
+        List.iter pull latches;
+        { header = h; blocks = !blocks; parent = None; children = []; depth = 0 })
+      headers
+  in
+  (* nesting: parent = smallest strictly containing loop *)
+  let sorted =
+    List.sort (fun a b -> compare (SS.cardinal a.blocks) (SS.cardinal b.blocks)) loops
+  in
+  List.iteri
+    (fun i l ->
+      let rec find j =
+        if j >= List.length sorted then None
+        else
+          let cand = List.nth sorted j in
+          if cand != l && SS.mem l.header cand.blocks && SS.subset l.blocks cand.blocks
+          then Some cand
+          else find (j + 1)
+      in
+      match find (i + 1) with
+      | Some p ->
+        l.parent <- Some p;
+        p.children <- l :: p.children
+      | None -> ())
+    sorted;
+  let rec set_depth d l =
+    l.depth <- d;
+    List.iter (set_depth (d + 1)) l.children
+  in
+  List.iter (fun l -> if is_outermost l then set_depth 1 l) loops;
+  (* innermost map: smallest loop containing each block *)
+  let innermost = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      SS.iter
+        (fun b ->
+          match Hashtbl.find_opt innermost b with
+          | Some prev when SS.cardinal prev.blocks <= SS.cardinal l.blocks -> ()
+          | _ -> Hashtbl.replace innermost b l)
+        l.blocks)
+    loops;
+  let by_header = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace by_header l.header l) loops;
+  { loops; by_header; innermost }
+
+(* ------------------------------------------------------------------ *)
+(* Landing pads and exits                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** The loop's landing pad: the unique predecessor of the header outside the
+    loop, provided it has the header as its only successor.  [None] when the
+    CFG has not been normalized. *)
+let preheader (f : Func.t) (l : loop) : Instr.label option =
+  let preds = Func.preds f in
+  let outside =
+    List.filter (fun p -> not (mem_block l p)) (Hashtbl.find preds l.header)
+  in
+  match outside with
+  | [ p ] -> (
+    match (Func.block f p).Block.term with
+    | Instr.Jump _ -> Some p
+    | _ -> None)
+  | _ -> None
+
+(** Blocks outside the loop that are targets of loop-leaving edges. *)
+let exit_targets (f : Func.t) (l : loop) : Instr.label list =
+  let out = ref SS.empty in
+  SS.iter
+    (fun b ->
+      List.iter
+        (fun s -> if not (mem_block l s) then out := SS.add s !out)
+        (Func.succs f (Func.block f b)))
+    l.blocks;
+  SS.elements !out
+
+(** Exit targets are dedicated when every predecessor lies inside the loop. *)
+let exits_dedicated (f : Func.t) (l : loop) : bool =
+  let preds = Func.preds f in
+  List.for_all
+    (fun e -> List.for_all (fun p -> mem_block l p) (Hashtbl.find preds e))
+    (exit_targets f l)
+
+let pp_loop ppf l =
+  Fmt.pf ppf "loop@%s depth=%d blocks={%a}" l.header l.depth
+    Fmt.(list ~sep:sp string)
+    (SS.elements l.blocks)
+
+let pp ppf forest =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_loop) forest.loops

@@ -1,0 +1,48 @@
+(** Natural loops and the loop-nesting forest.
+
+    A back edge is an edge [u -> h] with [h] dominating [u]; the natural
+    loop of [h] is [h] plus everything reaching a latch without passing
+    [h].  Loops sharing a header are merged; nesting follows block-set
+    containment — [parent] is the paper's "parent-in-loop-tree". *)
+
+open Rp_ir
+module SS = Rp_support.Smaps.String_set
+
+type loop = {
+  header : Instr.label;
+  mutable blocks : SS.t;  (** all blocks, inner loops included *)
+  mutable parent : loop option;
+  mutable children : loop list;
+  mutable depth : int;  (** 1 for outermost loops *)
+}
+
+type forest = {
+  loops : loop list;
+  by_header : (Instr.label, loop) Hashtbl.t;
+  innermost : (Instr.label, loop) Hashtbl.t;
+      (** block -> innermost containing loop *)
+}
+
+val is_outermost : loop -> bool
+
+(** Loops containing a block, innermost first. *)
+val loops_of : forest -> Instr.label -> loop list
+
+val mem_block : loop -> Instr.label -> bool
+
+(** Build the forest from dominator information. *)
+val analyze : Func.t -> Dominators.t -> forest
+
+(** The loop's landing pad — the unique out-of-loop predecessor of the
+    header whose only successor is the header — or [None] when the CFG is
+    not normalized (see {!Normalize}). *)
+val preheader : Func.t -> loop -> Instr.label option
+
+(** Out-of-loop targets of loop-leaving edges. *)
+val exit_targets : Func.t -> loop -> Instr.label list
+
+(** True when every exit target's predecessors all lie inside the loop. *)
+val exits_dedicated : Func.t -> loop -> bool
+
+val pp_loop : Format.formatter -> loop -> unit
+val pp : Format.formatter -> forest -> unit

@@ -1,0 +1,86 @@
+(** CFG normalization: guarantee that every natural loop has
+
+    - a {e landing pad}: a unique out-of-loop predecessor of the header whose
+      only successor is the header, and
+    - {e dedicated exits}: every edge leaving the loop targets a block whose
+      predecessors all lie inside the loop.
+
+    The paper's compiler establishes both invariants while building the CFG
+    ("Our compiler automatically inserts landing pads and exits as part of
+    constructing the control-flow graph"); our front end does the same for
+    structured loops, and this pass re-establishes the invariants for
+    hand-built or transformed CFGs.  Empty pads and exits left unused by the
+    optimizer are removed afterwards by {!Clean}. *)
+
+open Rp_ir
+
+(** Retarget every successor edge of [b] going to [old_l] so that it goes to
+    [new_l]. *)
+let retarget (b : Block.t) ~old_l ~new_l =
+  b.Block.term <-
+    Instr.term_map_labels (fun l -> if l = old_l then new_l else l) b.Block.term
+
+(** Ensure loop [l] has a landing pad; returns true if the CFG changed. *)
+let ensure_preheader (f : Func.t) (l : Loops.loop) : bool =
+  match Loops.preheader f l with
+  | Some _ -> false
+  | None ->
+    let preds = Func.preds f in
+    let outside =
+      List.filter
+        (fun p -> not (Loops.mem_block l p))
+        (Hashtbl.find preds l.Loops.header)
+    in
+    let pad = Func.new_block ~hint:"pad" f in
+    pad.Block.term <- Instr.Jump l.Loops.header;
+    List.iter
+      (fun p -> retarget (Func.block f p) ~old_l:l.Loops.header ~new_l:pad.Block.label)
+      outside;
+    (* entry header: the pad must become the entry *)
+    if f.Func.entry = l.Loops.header then f.Func.entry <- pad.Block.label;
+    true
+
+(** Ensure all exits of loop [l] are dedicated; returns true if changed. *)
+let ensure_dedicated_exits (f : Func.t) (l : Loops.loop) : bool =
+  let preds = Func.preds f in
+  let changed = ref false in
+  List.iter
+    (fun e ->
+      let outside_preds =
+        List.exists
+          (fun p -> not (Loops.mem_block l p))
+          (Hashtbl.find preds e)
+      in
+      if outside_preds then begin
+        (* split every in-loop edge into e through a fresh exit block *)
+        let ex = Func.new_block ~hint:"exit" f in
+        ex.Block.term <- Instr.Jump e;
+        Rp_support.Smaps.String_set.iter
+          (fun b -> retarget (Func.block f b) ~old_l:e ~new_l:ex.Block.label)
+          l.Loops.blocks;
+        changed := true
+      end)
+    (Loops.exit_targets f l);
+  !changed
+
+(** Normalize the whole function.  Because inserting blocks invalidates the
+    loop analysis, the pass iterates (analyze, fix one round) until no more
+    changes occur — at most a few rounds in practice. *)
+let run (f : Func.t) : unit =
+  let rec go guard =
+    if guard = 0 then invalid_arg "Normalize.run: did not converge";
+    let dom = Dominators.compute f in
+    let forest = Loops.analyze f dom in
+    let changed =
+      List.fold_left
+        (fun acc l ->
+          let a = ensure_preheader f l in
+          let b = ensure_dedicated_exits f l in
+          acc || a || b)
+        false forest.Loops.loops
+    in
+    if changed then go (guard - 1)
+  in
+  go 16
+
+let run_program (p : Program.t) = Program.iter_funcs run p

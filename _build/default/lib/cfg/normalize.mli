@@ -1,0 +1,11 @@
+(** CFG normalization: guarantee every natural loop a landing pad and
+    dedicated exit blocks (the invariants the paper's compiler establishes
+    during CFG construction, and which promotion's lift placement needs). *)
+
+open Rp_ir
+
+(** Normalize one function (iterates loop analysis + fixes to a fixed
+    point; a handful of rounds at most). *)
+val run : Func.t -> unit
+
+val run_program : Program.t -> unit

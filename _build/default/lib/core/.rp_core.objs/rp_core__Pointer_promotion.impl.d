@@ -1,0 +1,1 @@
+lib/core/pointer_promotion.ml: Block Func Hashtbl Instr List Option Program Rp_cfg Rp_ir Rp_support Tagset

@@ -1,0 +1,1 @@
+lib/core/pointer_promotion.mli: Func Program Rp_ir

@@ -1,0 +1,1 @@
+lib/core/promotion.ml: Array Block Float Func Hashtbl Instr List Option Program Rp_cfg Rp_ir Rp_opt Rp_support Tag Tagset

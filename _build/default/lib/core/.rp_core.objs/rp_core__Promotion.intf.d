@@ -1,0 +1,1 @@
+lib/core/promotion.mli: Block Func Hashtbl Instr Program Rp_cfg Rp_ir Tag Tagset

@@ -1,0 +1,210 @@
+(** Pointer-based register promotion — the paper's §3.3 extension.
+
+    "It finds memory references r where the base register b is invariant in
+    a loop and the only accesses in the loop to the tags accessed by r are
+    through the invariant base register b.  This algorithm relies on
+    loop-invariant code motion to identify the loop-invariant base registers
+    and place the computation of these registers outside a loop.  When it
+    finds memory references satisfying these conditions, it promotes the
+    reference into a register using the same rewriting scheme as before — a
+    load before each loop entry, a store at each loop exit, and a copy at
+    each reference."
+
+    This is what turns the Figure 3 loop
+
+    {v for (j=0; j<DIM_Y; j++) B[i] += A[i][j]; v}
+
+    into a loop over a scalar [rb], with the load of [B[i]] hoisted to the
+    landing pad and the store sunk to the exit.
+
+    Run it {e after} LICM so address computations sit outside loops.
+
+    Like the paper's promoter, the inserted landing-pad load is speculative
+    with respect to a zero-trip loop; it can only differ from the original
+    program when the original would have been free to fault (see
+    DESIGN.md §6). *)
+
+open Rp_ir
+module Loops = Rp_cfg.Loops
+module SS = Rp_support.Smaps.String_set
+
+type stats = {
+  mutable promoted_refs : int;  (** invariant-base groups promoted *)
+  mutable rewritten_ops : int;
+  mutable inserted_loads : int;
+  mutable inserted_stores : int;
+}
+
+let zero_stats () =
+  { promoted_refs = 0; rewritten_ops = 0; inserted_loads = 0; inserted_stores = 0 }
+
+(** Information about candidate base registers within one loop. *)
+type group = {
+  base : Instr.reg;
+  mutable tags : Tagset.t;
+  mutable has_load : bool;
+  mutable has_store : bool;
+  mutable nops : int;
+}
+
+let promote_loop ?(always_store = false) (f : Func.t)
+    (dom : Rp_cfg.Dominators.t) (l : Loops.loop) (stats : stats) : bool =
+  match Loops.preheader f l with
+  | None -> false
+  | Some pad ->
+    (* single-definition registers and their defining blocks *)
+    let def_count : (Instr.reg, int) Hashtbl.t = Hashtbl.create 64 in
+    let def_block : (Instr.reg, Instr.label) Hashtbl.t = Hashtbl.create 64 in
+    let bump r lbl =
+      Hashtbl.replace def_count r
+        (1 + Option.value ~default:0 (Hashtbl.find_opt def_count r));
+      Hashtbl.replace def_block r lbl
+    in
+    List.iter (fun r -> bump r f.Func.entry) f.Func.params;
+    Func.iter_blocks
+      (fun (b : Block.t) ->
+        List.iter
+          (fun i -> List.iter (fun d -> bump d b.Block.label) (Instr.defs i))
+          b.Block.instrs)
+      f;
+    let invariant_base r =
+      Hashtbl.find_opt def_count r = Some 1
+      &&
+      match Hashtbl.find_opt def_block r with
+      | Some dl ->
+        (not (SS.mem dl l.Loops.blocks))
+        && Rp_cfg.Dominators.dominates dom dl pad
+      | None -> false
+    in
+    (* gather pointer-op groups keyed by base register *)
+    let groups : (Instr.reg, group) Hashtbl.t = Hashtbl.create 8 in
+    let group r =
+      match Hashtbl.find_opt groups r with
+      | Some g -> g
+      | None ->
+        let g =
+          { base = r; tags = Tagset.empty; has_load = false;
+            has_store = false; nops = 0 }
+        in
+        Hashtbl.replace groups r g;
+        g
+    in
+    SS.iter
+      (fun lbl ->
+        List.iter
+          (fun i ->
+            match i with
+            | Instr.Loadg (_, a, ts) ->
+              let g = group a in
+              g.tags <- Tagset.union ts g.tags;
+              g.has_load <- true;
+              g.nops <- g.nops + 1
+            | Instr.Storeg (a, _, ts) ->
+              let g = group a in
+              g.tags <- Tagset.union ts g.tags;
+              g.has_store <- true;
+              g.nops <- g.nops + 1
+            | _ -> ())
+          (Func.block f lbl).Block.instrs)
+      l.Loops.blocks;
+    (* a group qualifies if its base is invariant and nothing else in the
+       loop can touch its tags *)
+    let conflicts (g : group) =
+      let clash = ref false in
+      SS.iter
+        (fun lbl ->
+          List.iter
+            (fun i ->
+              match i with
+              | Instr.Loads (_, t) | Instr.Loadc (_, t) | Instr.Stores (t, _)
+                ->
+                if Tagset.mem t g.tags then clash := true
+              | Instr.Loadg (_, a, ts) | Instr.Storeg (a, _, ts) ->
+                if a <> g.base && not (Tagset.disjoint ts g.tags) then
+                  clash := true
+              | Instr.Call c ->
+                if
+                  (not (Tagset.disjoint c.Instr.mods g.tags))
+                  || not (Tagset.disjoint c.Instr.refs g.tags)
+                then clash := true
+              | _ -> ())
+            (Func.block f lbl).Block.instrs)
+        l.Loops.blocks;
+      !clash
+    in
+    let candidates =
+      Hashtbl.fold
+        (fun _ g acc ->
+          if
+            invariant_base g.base
+            && (not (Tagset.is_univ g.tags))
+            && (not (Tagset.is_empty g.tags))
+            && not (conflicts g)
+          then g :: acc
+          else acc)
+        groups []
+      |> List.sort (fun a b -> compare a.base b.base)
+    in
+    if candidates = [] then false
+    else begin
+      let exits = Loops.exit_targets f l in
+      List.iter
+        (fun g ->
+          let v = Func.fresh_reg f in
+          stats.promoted_refs <- stats.promoted_refs + 1;
+          (* rewrite in-loop references *)
+          SS.iter
+            (fun lbl ->
+              let b = Func.block f lbl in
+              b.Block.instrs <-
+                List.map
+                  (fun i ->
+                    match i with
+                    | Instr.Loadg (d, a, _) when a = g.base ->
+                      stats.rewritten_ops <- stats.rewritten_ops + 1;
+                      Instr.Copy (d, v)
+                    | Instr.Storeg (a, s, _) when a = g.base ->
+                      stats.rewritten_ops <- stats.rewritten_ops + 1;
+                      Instr.Copy (v, s)
+                    | i -> i)
+                  b.Block.instrs)
+            l.Loops.blocks;
+          (* load before entry, store at exits *)
+          Block.append (Func.block f pad) (Instr.Loadg (v, g.base, g.tags));
+          stats.inserted_loads <- stats.inserted_loads + 1;
+          if g.has_store || always_store then
+            List.iter
+              (fun e ->
+                Block.prepend (Func.block f e)
+                  (Instr.Storeg (g.base, v, g.tags));
+                stats.inserted_stores <- stats.inserted_stores + 1)
+              exits)
+        candidates;
+      true
+    end
+
+(** Promote invariant-base pointer references in one function.  Loops are
+    processed outermost-first, so a reference promotable across a whole nest
+    is lifted as far out as its conditions allow. *)
+let promote_func ?always_store (f : Func.t) : stats =
+  let stats = zero_stats () in
+  Rp_cfg.Normalize.run f;
+  let dom = Rp_cfg.Dominators.compute f in
+  let forest = Loops.analyze f dom in
+  let loops =
+    List.sort (fun a b -> compare a.Loops.depth b.Loops.depth) forest.Loops.loops
+  in
+  List.iter (fun l -> ignore (promote_loop ?always_store f dom l stats : bool)) loops;
+  stats
+
+let promote_program ?always_store (p : Program.t) : stats =
+  let total = zero_stats () in
+  Program.iter_funcs
+    (fun f ->
+      let s = promote_func ?always_store f in
+      total.promoted_refs <- total.promoted_refs + s.promoted_refs;
+      total.rewritten_ops <- total.rewritten_ops + s.rewritten_ops;
+      total.inserted_loads <- total.inserted_loads + s.inserted_loads;
+      total.inserted_stores <- total.inserted_stores + s.inserted_stores)
+    p;
+  total

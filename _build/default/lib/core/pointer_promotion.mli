@@ -1,0 +1,27 @@
+(** Pointer-based register promotion — the paper's §3.3 extension.
+
+    Promotes memory references whose base register is loop invariant when
+    they are the only accesses in the loop to the tags they may touch (the
+    Figure 3 [B\[i\] += A\[i\]\[j\]] pattern).  Run after loop-invariant
+    code motion so address computations sit in landing pads. *)
+
+open Rp_ir
+
+type stats = {
+  mutable promoted_refs : int;  (** invariant-base groups promoted *)
+  mutable rewritten_ops : int;
+  mutable inserted_loads : int;
+  mutable inserted_stores : int;
+}
+
+val zero_stats : unit -> stats
+
+(** Promote invariant-base pointer references in one function (the CFG is
+    normalized internally).  Loops are processed outermost-first so a
+    reference promotable across a whole nest lifts as far out as its
+    conditions allow.
+
+    @param always_store emit exit stores even for read-only groups. *)
+val promote_func : ?always_store:bool -> Func.t -> stats
+
+val promote_program : ?always_store:bool -> Program.t -> stats

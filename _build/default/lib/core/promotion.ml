@@ -1,0 +1,397 @@
+(** Register promotion — the paper's §3.1 algorithm, implemented from the
+    Figure 1 equations.
+
+    For every basic block the pass gathers
+    - [B_EXPLICIT(b)]: tags referenced by explicit memory operations
+      (sLoad/sStore/cLoad, plus a pointer-based operation whose tag set is a
+      singleton promotable scalar — a pointer that "cannot point to multiple
+      objects");
+    - [B_AMBIGUOUS(b)]: tags referenced ambiguously — through procedure
+      calls (MOD ∪ REF) or through pointer-based operations whose tag set
+      contains multiple tags (or a single tag that does not denote a single
+      scalar location).
+
+    Per loop [l] (equations 1–4):
+    {v
+      L_EXPLICIT(l)   = ∪ B_EXPLICIT(b),  b ∈ l
+      L_AMBIGUOUS(l)  = ∪ B_AMBIGUOUS(b), b ∈ l
+      L_PROMOTABLE(l) = L_EXPLICIT(l) - L_AMBIGUOUS(l)
+      L_LIFT(l)       = L_PROMOTABLE(l)                          l outermost
+                      = L_PROMOTABLE(l) - L_PROMOTABLE(parent l) otherwise
+    v}
+
+    Rewriting: every reference to a promotable tag inside a loop where it is
+    promotable becomes a register copy ("subject to coalescing by the
+    register allocator"); a load of the tag is placed in the landing pad and
+    a store in the dedicated exit blocks of every loop in whose [L_LIFT] the
+    tag appears.
+
+    Exit stores are emitted only when a store to the tag was rewritten
+    inside the promoted region, unless [always_store] requests the paper's
+    literal unconditional behaviour (DESIGN.md §6.2). *)
+
+open Rp_ir
+module Loops = Rp_cfg.Loops
+
+type block_info = { explicit_ : Tagset.t; ambiguous : Tagset.t }
+
+(** Per-instruction classification feeding [B_EXPLICIT]/[B_AMBIGUOUS]. *)
+let classify (i : Instr.t) : [ `Explicit of Tag.t | `Ambiguous of Tagset.t | `None ]
+    =
+  match i with
+  | Instr.Loads (_, t) | Instr.Loadc (_, t) | Instr.Stores (t, _) ->
+    if Tag.promotable_direct t then `Explicit t
+    else `Ambiguous (Tagset.singleton t)
+  | Instr.Loadg (_, _, ts) | Instr.Storeg (_, _, ts) -> (
+    match Tagset.as_singleton ts with
+    | Some t when Tag.promotable_via_pointer t -> `Explicit t
+    | _ -> `Ambiguous ts)
+  | Instr.Call c -> `Ambiguous (Tagset.union c.Instr.mods c.Instr.refs)
+  | _ -> `None
+
+let block_info (b : Block.t) : block_info =
+  List.fold_left
+    (fun acc i ->
+      match classify i with
+      | `Explicit t -> { acc with explicit_ = Tagset.add t acc.explicit_ }
+      | `Ambiguous ts -> { acc with ambiguous = Tagset.union ts acc.ambiguous }
+      | `None -> acc)
+    { explicit_ = Tagset.empty; ambiguous = Tagset.empty }
+    b.Block.instrs
+
+type loop_info = {
+  loop : Loops.loop;
+  l_explicit : Tagset.t;
+  l_ambiguous : Tagset.t;
+  l_promotable : Tagset.t;
+  l_lift : Tagset.t;
+  l_stored : Tagset.t;
+      (** tags stored to by an explicit (rewritable) store inside the loop —
+          drives the exit-store decision *)
+}
+
+(** Solve the Figure 1 equations over the loop forest of [f]. *)
+let analyze_loops (f : Func.t) (forest : Loops.forest) :
+    (Instr.label, loop_info) Hashtbl.t =
+  (* per-block info, once *)
+  let binfo = Hashtbl.create 32 in
+  Func.iter_blocks
+    (fun b -> Hashtbl.replace binfo b.Block.label (block_info b))
+    f;
+  let stored_of (b : Block.t) =
+    List.fold_left
+      (fun acc i ->
+        match i with
+        | Instr.Stores (t, _) when Tag.promotable_direct t -> Tagset.add t acc
+        | Instr.Storeg (_, _, ts) -> (
+          match Tagset.as_singleton ts with
+          | Some t when Tag.promotable_via_pointer t -> Tagset.add t acc
+          | _ -> acc)
+        | _ -> acc)
+      Tagset.empty b.Block.instrs
+  in
+  let infos : (Instr.label, loop_info) Hashtbl.t = Hashtbl.create 16 in
+  (* equations 1-3 per loop *)
+  List.iter
+    (fun (l : Loops.loop) ->
+      let ex = ref Tagset.empty in
+      let am = ref Tagset.empty in
+      let stored = ref Tagset.empty in
+      Rp_support.Smaps.String_set.iter
+        (fun lbl ->
+          match Hashtbl.find_opt binfo lbl with
+          | Some bi ->
+            ex := Tagset.union bi.explicit_ !ex;
+            am := Tagset.union bi.ambiguous !am;
+            stored := Tagset.union (stored_of (Func.block f lbl)) !stored
+          | None -> ())
+        l.Loops.blocks;
+      Hashtbl.replace infos l.Loops.header
+        {
+          loop = l;
+          l_explicit = !ex;
+          l_ambiguous = !am;
+          l_promotable = Tagset.diff !ex !am;
+          l_lift = Tagset.empty;
+          l_stored = !stored;
+        })
+    forest.Loops.loops;
+  (* equation 4, outermost first *)
+  let rec set_lift (l : Loops.loop) =
+    let info = Hashtbl.find infos l.Loops.header in
+    let lift =
+      match l.Loops.parent with
+      | None -> info.l_promotable
+      | Some parent ->
+        let pinfo = Hashtbl.find infos parent.Loops.header in
+        Tagset.diff info.l_promotable pinfo.l_promotable
+    in
+    Hashtbl.replace infos l.Loops.header { info with l_lift = lift };
+    List.iter set_lift l.Loops.children
+  in
+  List.iter
+    (fun l -> if Loops.is_outermost l then set_lift l)
+    forest.Loops.loops;
+  infos
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable promoted_tags : int;  (** tag-loop pairs lifted *)
+  mutable rewritten_ops : int;  (** memory operations turned into copies *)
+  mutable inserted_loads : int;
+  mutable inserted_stores : int;
+  mutable throttled_tags : int;
+      (** promotable tags left in memory by the pressure throttle *)
+}
+
+let zero_stats () =
+  { promoted_tags = 0; rewritten_ops = 0; inserted_loads = 0;
+    inserted_stores = 0; throttled_tags = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Register-pressure throttling (the paper's §7 proposal)              *)
+(* ------------------------------------------------------------------ *)
+
+(** The paper closes with: "To guard against this problem, we may need to
+    extend our promotion algorithm with an explicit decision-making process
+    that considers register pressure and frequency of use before promoting
+    a value" — citing Carr's bin-packing discipline for scalar replacement.
+
+    [throttle] implements that process.  For each loop, it estimates the
+    baseline register pressure (the maximum number of live registers across
+    the loop's blocks), computes how many additional loop-long live ranges
+    fit under the [budget] (the physical register count, minus headroom for
+    the allocator's temporaries), ranks the promotable tags by reference
+    frequency — static references weighted by loop depth, the classic 10^d
+    estimate — and demotes the least-referenced tags that do not fit.
+
+    Demotion is inheritance-safe: a tag removed from a loop's
+    [L_PROMOTABLE] is also removed from all inner loops' sets (the inner
+    loops could re-promote it locally, but that would reintroduce the very
+    landing-pad traffic the throttle is avoiding on every outer iteration;
+    matching Carr, the value simply stays in memory). *)
+let throttle (f : Func.t) (forest : Loops.forest)
+    (infos : (Instr.label, loop_info) Hashtbl.t) ~(budget : int)
+    (stats : stats) : unit =
+  let live = Rp_opt.Liveness.compute f in
+  (* instruction-grained pressure: the maximum number of simultaneously
+     live registers anywhere in the loop *)
+  let block_pressure = Hashtbl.create 16 in
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      let after = Rp_opt.Liveness.live_after_each f live b in
+      let m =
+        Array.fold_left
+          (fun acc s -> max acc (Rp_support.Smaps.Int_set.cardinal s))
+          (Rp_support.Smaps.Int_set.cardinal
+             (Rp_opt.Liveness.live_in live b.Block.label))
+          after
+      in
+      Hashtbl.replace block_pressure b.Block.label m)
+    f;
+  let pressure_of (l : Loops.loop) =
+    Rp_support.Smaps.String_set.fold
+      (fun lbl acc ->
+        max acc (Option.value ~default:0 (Hashtbl.find_opt block_pressure lbl)))
+      l.Loops.blocks 0
+  in
+  (* reference frequency of each tag inside loop l, weighted by depth *)
+  let freq (l : Loops.loop) (t : Tag.t) =
+    Rp_support.Smaps.String_set.fold
+      (fun lbl acc ->
+        let depth =
+          match Hashtbl.find_opt forest.Loops.innermost lbl with
+          | Some il -> il.Loops.depth
+          | None -> 0
+        in
+        let w = Float.pow 10. (float_of_int (min depth 6)) in
+        List.fold_left
+          (fun acc i ->
+            match classify i with
+            | `Explicit t' when Tag.equal t t' -> acc +. w
+            | _ -> acc)
+          acc (Func.block f lbl).Block.instrs)
+      l.Loops.blocks 0.
+  in
+  let rec demote_in_children (l : Loops.loop) (t : Tag.t) =
+    List.iter
+      (fun (child : Loops.loop) ->
+        let info = Hashtbl.find infos child.Loops.header in
+        if Tagset.mem t info.l_promotable then begin
+          Hashtbl.replace infos child.Loops.header
+            { info with
+              l_promotable = Tagset.diff info.l_promotable (Tagset.singleton t) };
+          demote_in_children child t
+        end)
+      l.Loops.children
+  in
+  let rec visit (l : Loops.loop) =
+    let info = Hashtbl.find infos l.Loops.header in
+    (match Tagset.cardinal info.l_promotable with
+    | Some n when n > 0 ->
+      let room = max 0 (budget - pressure_of l) in
+      if n > room then begin
+        let ranked =
+          Tagset.fold (fun acc t -> (freq l t, t) :: acc) [] info.l_promotable
+          |> List.sort (fun (a, ta) (b, tb) ->
+                 match compare b a with 0 -> Tag.compare ta tb | c -> c)
+        in
+        let keep = List.filteri (fun i _ -> i < room) ranked in
+        let keep_set = Tagset.of_list (List.map snd keep) in
+        let dropped = Tagset.diff info.l_promotable keep_set in
+        stats.throttled_tags <-
+          stats.throttled_tags
+          + Option.value ~default:0 (Tagset.cardinal dropped);
+        Hashtbl.replace infos l.Loops.header
+          { info with l_promotable = keep_set };
+        Tagset.iter (fun t -> demote_in_children l t) dropped
+      end
+    | _ -> ());
+    List.iter visit l.Loops.children
+  in
+  List.iter (fun l -> if Loops.is_outermost l then visit l) forest.Loops.loops;
+  (* recompute L_LIFT (equation 4) over the throttled promotable sets *)
+  let rec relift (l : Loops.loop) =
+    let info = Hashtbl.find infos l.Loops.header in
+    let lift =
+      match l.Loops.parent with
+      | None -> info.l_promotable
+      | Some parent ->
+        let pinfo = Hashtbl.find infos parent.Loops.header in
+        Tagset.diff info.l_promotable pinfo.l_promotable
+    in
+    Hashtbl.replace infos l.Loops.header { info with l_lift = lift };
+    List.iter relift l.Loops.children
+  in
+  List.iter (fun l -> if Loops.is_outermost l then relift l) forest.Loops.loops
+
+(** Promote in one function.  The CFG must be normalized (every loop has a
+    landing pad and dedicated exits) — see {!Rp_cfg.Normalize}.
+
+    [pressure_budget], when given, enables the §7 throttle: promotable tags
+    are kept in memory when the loop's estimated register pressure plus the
+    promoted live ranges would exceed the budget (typically the physical
+    register count). *)
+let promote_func ?(always_store = false) ?pressure_budget (f : Func.t) : stats
+    =
+  let stats = zero_stats () in
+  let dom = Rp_cfg.Dominators.compute f in
+  let forest = Loops.analyze f dom in
+  if forest.Loops.loops = [] then stats
+  else begin
+    let infos = analyze_loops f forest in
+    (match pressure_budget with
+    | Some budget -> throttle f forest infos ~budget stats
+    | None -> ());
+    (* virtual register for each promoted tag *)
+    let vreg : (int, Instr.reg) Hashtbl.t = Hashtbl.create 16 in
+    let reg_of (t : Tag.t) =
+      match Hashtbl.find_opt vreg t.Tag.id with
+      | Some r -> r
+      | None ->
+        let r = Func.fresh_reg f in
+        Hashtbl.replace vreg t.Tag.id r;
+        r
+    in
+    (* a tag is rewritable in block b if some loop containing b promotes it *)
+    let promotable_in_block lbl (t : Tag.t) =
+      List.exists
+        (fun (l : Loops.loop) ->
+          match Hashtbl.find_opt infos l.Loops.header with
+          | Some info -> Tagset.mem t info.l_promotable
+          | None -> false)
+        (Loops.loops_of forest lbl)
+    in
+    (* pass 1: rewrite references *)
+    Func.iter_blocks
+      (fun (b : Block.t) ->
+        if Hashtbl.mem forest.Loops.innermost b.Block.label then
+          b.Block.instrs <-
+            List.map
+              (fun i ->
+                let lbl = b.Block.label in
+                match i with
+                | Instr.Loads (d, t) | Instr.Loadc (d, t)
+                  when promotable_in_block lbl t ->
+                  stats.rewritten_ops <- stats.rewritten_ops + 1;
+                  Instr.Copy (d, reg_of t)
+                | Instr.Stores (t, s) when promotable_in_block lbl t ->
+                  stats.rewritten_ops <- stats.rewritten_ops + 1;
+                  Instr.Copy (reg_of t, s)
+                | Instr.Loadg (d, _, ts) -> (
+                  match Tagset.as_singleton ts with
+                  | Some t
+                    when Tag.promotable_via_pointer t
+                         && promotable_in_block lbl t ->
+                    stats.rewritten_ops <- stats.rewritten_ops + 1;
+                    Instr.Copy (d, reg_of t)
+                  | _ -> i)
+                | Instr.Storeg (_, s, ts) -> (
+                  match Tagset.as_singleton ts with
+                  | Some t
+                    when Tag.promotable_via_pointer t
+                         && promotable_in_block lbl t ->
+                    stats.rewritten_ops <- stats.rewritten_ops + 1;
+                    Instr.Copy (reg_of t, s)
+                  | _ -> i)
+                | i -> i)
+              b.Block.instrs)
+      f;
+    (* pass 2: insert lifted loads and stores around each loop *)
+    Hashtbl.iter
+      (fun _ info ->
+        let l = info.loop in
+        if not (Tagset.is_empty info.l_lift) then begin
+          match Loops.preheader f l with
+          | None ->
+            (* un-normalized CFG: refuse quietly; references inside were
+               rewritten only if promotable, and promotable requires the
+               lift to land somewhere — so assert instead *)
+            invalid_arg
+              ("Promotion: loop at " ^ l.Loops.header ^ " has no landing pad")
+          | Some pad ->
+            let exits = Loops.exit_targets f l in
+            Tagset.iter
+              (fun t ->
+                stats.promoted_tags <- stats.promoted_tags + 1;
+                let v = reg_of t in
+                let load =
+                  if t.Tag.is_const then Instr.Loadc (v, t)
+                  else Instr.Loads (v, t)
+                in
+                Block.append (Func.block f pad) load;
+                stats.inserted_loads <- stats.inserted_loads + 1;
+                let must_store =
+                  (always_store && not t.Tag.is_const)
+                  || Tagset.mem t info.l_stored
+                in
+                if must_store then
+                  List.iter
+                    (fun e ->
+                      Block.prepend (Func.block f e) (Instr.Stores (t, v));
+                      stats.inserted_stores <- stats.inserted_stores + 1)
+                    exits)
+              info.l_lift
+        end)
+      infos;
+    stats
+  end
+
+(** Promote every function of the program (normalizing CFGs first) and
+    return aggregate statistics. *)
+let promote_program ?always_store ?pressure_budget (p : Program.t) : stats =
+  let total = zero_stats () in
+  Program.iter_funcs
+    (fun f ->
+      Rp_cfg.Normalize.run f;
+      let s = promote_func ?always_store ?pressure_budget f in
+      total.promoted_tags <- total.promoted_tags + s.promoted_tags;
+      total.rewritten_ops <- total.rewritten_ops + s.rewritten_ops;
+      total.inserted_loads <- total.inserted_loads + s.inserted_loads;
+      total.inserted_stores <- total.inserted_stores + s.inserted_stores;
+      total.throttled_tags <- total.throttled_tags + s.throttled_tags)
+    p;
+  total

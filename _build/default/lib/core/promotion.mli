@@ -1,0 +1,86 @@
+(** Register promotion — the paper's §3.1 algorithm (Figure 1 equations),
+    plus the §7 register-pressure throttle.
+
+    The pass rewrites references to promotable memory tags inside loops
+    into register copies, loading the tag in the loop's landing pad and
+    storing it at the loop's dedicated exits.  See the implementation for
+    the full commentary; this interface is the library's public surface. *)
+
+open Rp_ir
+
+(** Per-block contribution to the equations. *)
+type block_info = {
+  explicit_ : Tagset.t;
+      (** tags referenced by explicit memory operations in the block *)
+  ambiguous : Tagset.t;
+      (** tags referenced ambiguously: call MOD ∪ REF sets and pointer
+          operations that may touch several locations *)
+}
+
+(** Classify one instruction's contribution: an explicit single-location
+    reference, an ambiguous tag set, or no memory effect.  A pointer-based
+    operation whose tag set is a singleton global scalar counts as
+    explicit. *)
+val classify :
+  Instr.t -> [ `Explicit of Tag.t | `Ambiguous of Tagset.t | `None ]
+
+val block_info : Block.t -> block_info
+
+(** Per-loop solution of equations (1)–(4). *)
+type loop_info = {
+  loop : Rp_cfg.Loops.loop;
+  l_explicit : Tagset.t;
+  l_ambiguous : Tagset.t;
+  l_promotable : Tagset.t;  (** equation 3: L_EXPLICIT − L_AMBIGUOUS *)
+  l_lift : Tagset.t;
+      (** equation 4: tags loaded/stored around {e this} loop (empty when an
+          enclosing loop already promotes the tag) *)
+  l_stored : Tagset.t;
+      (** tags with a rewritable store inside the loop; drives the
+          store-only-if-stored exit policy *)
+}
+
+(** Solve the Figure 1 equations over a function's loop forest.  The result
+    maps each loop header to its {!loop_info}. *)
+val analyze_loops :
+  Func.t -> Rp_cfg.Loops.forest -> (Instr.label, loop_info) Hashtbl.t
+
+type stats = {
+  mutable promoted_tags : int;  (** tag–loop pairs lifted *)
+  mutable rewritten_ops : int;  (** memory operations turned into copies *)
+  mutable inserted_loads : int;
+  mutable inserted_stores : int;
+  mutable throttled_tags : int;
+      (** promotable tags kept in memory by the pressure throttle *)
+}
+
+val zero_stats : unit -> stats
+
+(** The §7 throttle: demote the least-referenced promotable tags of each
+    loop whose estimated register pressure would exceed [budget], then
+    recompute the lift sets.  Exposed for testing; [promote_func] calls it
+    when [pressure_budget] is given. *)
+val throttle :
+  Func.t ->
+  Rp_cfg.Loops.forest ->
+  (Instr.label, loop_info) Hashtbl.t ->
+  budget:int ->
+  stats ->
+  unit
+
+(** Promote one function.  The CFG must be normalized
+    ({!Rp_cfg.Normalize.run}): every loop needs a landing pad and dedicated
+    exits.
+
+    @param always_store store every lifted tag at loop exits even when no
+      store to it was rewritten (the paper's literal scheme); default
+      [false] stores only tags actually stored in the promoted region.
+    @param pressure_budget enable the §7 throttle with the given register
+      budget. *)
+val promote_func :
+  ?always_store:bool -> ?pressure_budget:int -> Func.t -> stats
+
+(** Normalize and promote every function of a program; returns aggregate
+    statistics. *)
+val promote_program :
+  ?always_store:bool -> ?pressure_budget:int -> Program.t -> stats

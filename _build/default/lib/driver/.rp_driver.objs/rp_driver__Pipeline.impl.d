@@ -1,0 +1,1 @@
+lib/driver/pipeline.ml: Config Program Rp_analysis Rp_cfg Rp_core Rp_exec Rp_ir Rp_irgen Rp_opt Rp_regalloc Validate

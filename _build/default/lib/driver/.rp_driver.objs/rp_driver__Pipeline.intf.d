@@ -1,0 +1,1 @@
+lib/driver/pipeline.mli: Config Program Rp_exec Rp_ir

@@ -1,0 +1,66 @@
+(** Compilation configurations.
+
+    The paper's experiment compiles each program four ways — {MOD/REF,
+    points-to} × {promotion off, promotion on} — with the rest of the
+    optimizer always enabled.  [`None] analysis is an extra ablation: with
+    every tag set left at ⊤, promotion finds nothing (quantifying the
+    paper's premise that promotion requires interprocedural analysis). *)
+
+type analysis =
+  | Anone  (** keep the front end's ⊤ sets (ablation) *)
+  | Amodref  (** interprocedural MOD/REF only *)
+  | Asteens  (** MOD/REF + Steensgaard unification points-to *)
+  | Apointer  (** MOD/REF + Ruf-style inclusion points-to *)
+
+type t = {
+  analysis : analysis;
+  promote : bool;  (** §3.1 scalar register promotion *)
+  ptr_promote : bool;  (** §3.3 pointer-based promotion *)
+  always_store : bool;  (** paper-literal unconditional exit stores *)
+  throttle : bool;
+      (** the §7 proposal: cap promotions by estimated register pressure
+          (budget = [k]), keeping the least-referenced values in memory *)
+  dse : bool;
+      (** §3.4-inspired extension: global dead-store elimination over tags;
+          off by default because the paper's compiler has no equivalent *)
+  optimize : bool;  (** value numbering, const prop, LICM, PRE, DCE, clean *)
+  regalloc : bool;
+  k : int;  (** physical register count *)
+}
+
+let default =
+  {
+    analysis = Amodref;
+    promote = true;
+    ptr_promote = false;
+    always_store = false;
+    throttle = false;
+    dse = false;
+    optimize = true;
+    regalloc = true;
+    k = 24;
+  }
+
+(** The four configurations of Figures 5–7. *)
+let paper_grid =
+  [
+    ("modref/without", { default with analysis = Amodref; promote = false });
+    ("modref/with", { default with analysis = Amodref; promote = true });
+    ("pointer/without", { default with analysis = Apointer; promote = false });
+    ("pointer/with", { default with analysis = Apointer; promote = true });
+  ]
+
+let analysis_name = function
+  | Anone -> "none"
+  | Amodref -> "modref"
+  | Asteens -> "steens"
+  | Apointer -> "pointer"
+
+let pp ppf c =
+  Fmt.pf ppf "%s%s%s%s%s%s k=%d" (analysis_name c.analysis)
+    (if c.promote then "+promote" else "")
+    (if c.ptr_promote then "+ptrpromote" else "")
+    (if c.throttle then "+throttle" else "")
+    (if c.dse then "+dse" else "")
+    (if c.optimize then "+opt" else "")
+    c.k

@@ -1,0 +1,115 @@
+(** The compilation pipeline, in the paper's §5 order: front end →
+    interprocedural analysis → register promotion (early) → value numbering,
+    partial redundancy elimination, constant propagation, loop invariant
+    code motion, dead code elimination → register allocation → block
+    cleaning. *)
+
+open Rp_ir
+
+type stage_stats = {
+  mutable promoted : int;
+  mutable throttled : int;
+  mutable ptr_promoted : int;
+  mutable hoisted : int;
+  mutable vn_rewrites : int;
+  mutable pre_removed : int;
+  mutable folded : int;
+  mutable dce_removed : int;
+  mutable dse_removed : int;
+  mutable spilled : int;
+  mutable coalesced : int;
+}
+
+let zero_stage_stats () =
+  {
+    promoted = 0;
+    throttled = 0;
+    ptr_promoted = 0;
+    hoisted = 0;
+    vn_rewrites = 0;
+    pre_removed = 0;
+    folded = 0;
+    dce_removed = 0;
+    dse_removed = 0;
+    spilled = 0;
+    coalesced = 0;
+  }
+
+(** Run the middle- and back-end on an already-lowered program. *)
+let optimize ?(config = Config.default) (p : Program.t) : stage_stats =
+  let s = zero_stage_stats () in
+  Rp_cfg.Clean.run_program p;
+  (* interprocedural analysis *)
+  (match config.Config.analysis with
+  | Config.Anone -> ()
+  | Config.Amodref -> ignore (Rp_analysis.Modref.run p : Rp_analysis.Modref.t)
+  | Config.Asteens ->
+    ignore (Rp_analysis.Steensgaard.run p : Rp_analysis.Steensgaard.t)
+  | Config.Apointer ->
+    ignore (Rp_analysis.Pointsto.run p : Rp_analysis.Pointsto.t));
+  (* register promotion, "in the early phases of optimization" *)
+  if config.Config.promote then begin
+    let pressure_budget =
+      if config.Config.throttle then Some config.Config.k else None
+    in
+    let st =
+      Rp_core.Promotion.promote_program ~always_store:config.Config.always_store
+        ?pressure_budget p
+    in
+    s.promoted <- st.Rp_core.Promotion.promoted_tags;
+    s.throttled <- st.Rp_core.Promotion.throttled_tags
+  end;
+  if config.Config.optimize then begin
+    s.vn_rewrites <- Rp_opt.Valnum.run_program p;
+    s.folded <- Rp_opt.Constprop.run_program p;
+    ignore (Rp_opt.Copyprop.run_program p : int);
+    Rp_cfg.Clean.run_program p;
+    s.hoisted <- Rp_opt.Licm.run_program p;
+    ignore (Rp_opt.Copyprop.run_program p : int);
+    (* §3.3 depends on LICM having hoisted base addresses *)
+    if config.Config.ptr_promote then begin
+      let st =
+        Rp_core.Pointer_promotion.promote_program
+          ~always_store:config.Config.always_store p
+      in
+      s.ptr_promoted <- st.Rp_core.Pointer_promotion.promoted_refs
+    end;
+    s.pre_removed <- Rp_opt.Pre.run_program p;
+    s.vn_rewrites <- s.vn_rewrites + Rp_opt.Valnum.run_program p;
+    if config.Config.dse then
+      s.dse_removed <- Rp_opt.Dse.run_program p;
+    s.dce_removed <- Rp_opt.Dce.run_program p;
+    Rp_cfg.Clean.run_program p
+  end
+  else if config.Config.ptr_promote then begin
+    let st =
+      Rp_core.Pointer_promotion.promote_program
+        ~always_store:config.Config.always_store p
+    in
+    s.ptr_promoted <- st.Rp_core.Pointer_promotion.promoted_refs
+  end;
+  if config.Config.regalloc then begin
+    let st = Rp_regalloc.Regalloc.alloc_program ~k:config.Config.k p in
+    s.spilled <- st.Rp_regalloc.Regalloc.spilled_regs;
+    s.coalesced <- st.Rp_regalloc.Regalloc.coalesced;
+    (* allocation can leave self-jump-free empty blocks and dead code *)
+    ignore (Rp_opt.Dce.run_program p : int);
+    Rp_cfg.Clean.run_program p
+  end;
+  Validate.assert_ok p;
+  s
+
+(** Compile Mini-C source text under [config]. *)
+let compile ?(config = Config.default) (src : string) : Program.t * stage_stats
+    =
+  let p = Rp_irgen.Irgen.compile_source src in
+  let s = optimize ~config p in
+  (p, s)
+
+(** Compile and execute; returns the program, pipeline stats, and the
+    interpreter result (output, checksum, dynamic counts). *)
+let compile_and_run ?(config = Config.default) ?fuel ?check_tags (src : string)
+    : Program.t * stage_stats * Rp_exec.Interp.result =
+  let (p, s) = compile ~config src in
+  let r = Rp_exec.Interp.run ?fuel ?check_tags p in
+  (p, s, r)

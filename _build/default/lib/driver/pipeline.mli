@@ -1,0 +1,34 @@
+(** The compilation pipeline in the paper's §5 order: analysis → register
+    promotion (early) → scalar optimizer → register allocation → cleaning. *)
+
+open Rp_ir
+
+type stage_stats = {
+  mutable promoted : int;
+  mutable throttled : int;
+  mutable ptr_promoted : int;
+  mutable hoisted : int;
+  mutable vn_rewrites : int;
+  mutable pre_removed : int;
+  mutable folded : int;
+  mutable dce_removed : int;
+  mutable dse_removed : int;
+  mutable spilled : int;
+  mutable coalesced : int;
+}
+
+val zero_stage_stats : unit -> stage_stats
+
+(** Run the middle- and back-end on lowered IL; validates the result. *)
+val optimize : ?config:Config.t -> Program.t -> stage_stats
+
+(** Compile Mini-C source text. *)
+val compile : ?config:Config.t -> string -> Program.t * stage_stats
+
+(** Compile and execute. *)
+val compile_and_run :
+  ?config:Config.t ->
+  ?fuel:int ->
+  ?check_tags:bool ->
+  string ->
+  Program.t * stage_stats * Rp_exec.Interp.result

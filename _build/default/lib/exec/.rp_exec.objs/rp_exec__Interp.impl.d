@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Block Buffer Char Float Func Hashtbl Instr List Memory Printf Program Rp_ir Rp_minic String Tag Tagset Value

@@ -1,0 +1,1 @@
+lib/exec/memory.ml: Array Hashtbl List Rp_ir Rp_support Value

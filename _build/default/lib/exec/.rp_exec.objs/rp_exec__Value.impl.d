@@ -1,0 +1,1 @@
+lib/exec/value.ml: Fmt Rp_ir

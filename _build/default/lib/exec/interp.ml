@@ -1,0 +1,288 @@
+(** The instrumented IL interpreter.
+
+    Executes a whole program from [main], producing its output, an output
+    checksum, and dynamic operation counts — "each version was instrumented
+    to record the total number of operations executed, stores executed, and
+    loads executed" (§5).  Counts are kept for the whole program and per
+    function.
+
+    Classification (DESIGN.md §6): every executed instruction and terminator
+    is one operation; loads are cLoad/sLoad/Load; stores are sStore/Store;
+    iLoad and address materialization are plain operations.
+
+    With [check_tags] enabled (the default), every pointer-based access is
+    dynamically checked against its static tag set: the tag naming the
+    object actually touched must belong to the operation's tag set.  This
+    turns every program run into a soundness test for the MOD/REF and
+    points-to analyses. *)
+
+open Rp_ir
+
+type counts = {
+  mutable ops : int;
+  mutable loads : int;
+  mutable stores : int;
+}
+
+let zero_counts () = { ops = 0; loads = 0; stores = 0 }
+
+let add_counts a b =
+  a.ops <- a.ops + b.ops;
+  a.loads <- a.loads + b.loads;
+  a.stores <- a.stores + b.stores
+
+type result = {
+  ret : Value.t;  (** main's return value *)
+  output : string;
+  checksum : int;  (** FNV-1a over the output bytes *)
+  total : counts;
+  per_func : (string * counts) list;  (** sorted by function name *)
+}
+
+exception Error = Value.Runtime_error
+
+type state = {
+  prog : Program.t;
+  mem : Memory.t;
+  globals : (int, int) Hashtbl.t;  (** tag id -> base *)
+  mutable rng : int;
+  out : Buffer.t;
+  mutable checksum : int;
+  total : counts;
+  per_func : (string, counts) Hashtbl.t;
+  fuel : int;
+  check_tags : bool;
+  max_depth : int;
+  mutable depth : int;
+}
+
+let fnv_byte cs b = (cs lxor b) * 16777619 land 0x3FFFFFFFFFFFFFF
+
+let emit_str st s =
+  Buffer.add_string st.out s;
+  String.iter (fun c -> st.checksum <- fnv_byte st.checksum (Char.code c)) s
+
+(* ------------------------------------------------------------------ *)
+(* Builtins                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let call_builtin st name (args : Value.t list) site : Value.t =
+  match (name, args) with
+  | "malloc", [ n ] ->
+    let size = Value.as_int n in
+    if size < 0 then Value.error "malloc of negative size %d" size;
+    let tag = Program.heap_tag st.prog site in
+    let b = Memory.alloc st.mem ~tag ~size in
+    Memory.zero_fill st.mem b;
+    Value.Vptr (b, 0)
+  | "free", [ Value.Vptr (b, 0) ] ->
+    Memory.release st.mem b;
+    Value.Vundef
+  | "free", [ Value.Vint 0 ] -> Value.Vundef
+  | "free", [ v ] -> Value.error "free of a non-base pointer %a" Value.pp v
+  | "print_int", [ v ] ->
+    emit_str st (string_of_int (Value.as_int v));
+    emit_str st "\n";
+    Value.Vundef
+  | "print_float", [ v ] ->
+    emit_str st (Printf.sprintf "%.6g" (Value.as_flt v));
+    emit_str st "\n";
+    Value.Vundef
+  | "print_char", [ v ] ->
+    emit_str st (String.make 1 (Char.chr (Value.as_int v land 0xff)));
+    Value.Vundef
+  | "rand", [] ->
+    st.rng <- (st.rng * 1103515245) + 12345;
+    st.rng <- st.rng land 0x3FFFFFFF;
+    Value.Vint ((st.rng lsr 8) land 0x7FFF)
+  | "srand", [ v ] ->
+    st.rng <- Value.as_int v land 0x3FFFFFFF;
+    Value.Vundef
+  | "pow", [ a; b ] -> Value.Vflt (Float.pow (Value.as_flt a) (Value.as_flt b))
+  | "sqrt", [ a ] -> Value.Vflt (sqrt (Value.as_flt a))
+  | "sin", [ a ] -> Value.Vflt (sin (Value.as_flt a))
+  | "cos", [ a ] -> Value.Vflt (cos (Value.as_flt a))
+  | "exp", [ a ] -> Value.Vflt (exp (Value.as_flt a))
+  | "log", [ a ] -> Value.Vflt (log (Value.as_flt a))
+  | "fabs", [ a ] -> Value.Vflt (Float.abs (Value.as_flt a))
+  | "abs", [ a ] -> Value.Vint (abs (Value.as_int a))
+  | _ ->
+    Value.error "bad builtin call: %s/%d" name (List.length args)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let func_counts st fname =
+  match Hashtbl.find_opt st.per_func fname with
+  | Some c -> c
+  | None ->
+    let c = zero_counts () in
+    Hashtbl.replace st.per_func fname c;
+    c
+
+(** Resolve the base of a tag in the current frame. *)
+let tag_base st frame (t : Tag.t) =
+  match t.Tag.storage with
+  | Tag.Global -> (
+    match Hashtbl.find_opt st.globals t.Tag.id with
+    | Some b -> b
+    | None -> Value.error "no storage for global tag '%s'" t.Tag.name)
+  | Tag.Local _ | Tag.Spill _ -> (
+    match Hashtbl.find_opt frame t.Tag.id with
+    | Some b -> b
+    | None -> Value.error "no frame storage for tag '%s'" t.Tag.name)
+  | Tag.Heap _ -> Value.error "direct access to heap tag '%s'" t.Tag.name
+
+let check_tagset st (tags : Tagset.t) base op =
+  if st.check_tags && not (Tagset.is_univ tags) then begin
+    let actual = Memory.obj_tag st.mem base in
+    if not (Tagset.mem actual tags) then
+      Value.error
+        "tag-set violation in %s: object '%s' not in static tag set %a" op
+        actual.Tag.name Tagset.pp tags
+  end
+
+let rec exec_func st (fname : string) (args : Value.t list) : Value.t =
+  st.depth <- st.depth + 1;
+  if st.depth > st.max_depth then Value.error "call stack overflow";
+  let f = Program.func st.prog fname in
+  if List.length args <> List.length f.Func.params then
+    Value.error "arity mismatch calling %s" fname;
+  let regs = Array.make (max f.Func.nreg 1) Value.Vundef in
+  List.iter2 (fun p v -> regs.(p) <- v) f.Func.params args;
+  (* frame: one fresh object per local tag *)
+  let frame = Hashtbl.create 8 in
+  List.iter
+    (fun (t : Tag.t) ->
+      Hashtbl.replace frame t.Tag.id
+        (Memory.alloc st.mem ~tag:t ~size:t.Tag.size))
+    f.Func.local_tags;
+  let fc = func_counts st fname in
+  let tick () =
+    st.total.ops <- st.total.ops + 1;
+    fc.ops <- fc.ops + 1;
+    if st.total.ops > st.fuel then Value.error "fuel exhausted"
+  in
+  let count_load () =
+    st.total.loads <- st.total.loads + 1;
+    fc.loads <- fc.loads + 1
+  in
+  let count_store () =
+    st.total.stores <- st.total.stores + 1;
+    fc.stores <- fc.stores + 1
+  in
+  let exec_instr (i : Instr.t) : unit =
+    tick ();
+    match i with
+    | Instr.Loadi (d, c) -> regs.(d) <- Value.of_const c
+    | Instr.Loada (d, t) -> regs.(d) <- Value.Vptr (tag_base st frame t, 0)
+    | Instr.Loadfp (d, n) -> regs.(d) <- Value.Vfun n
+    | Instr.Unop (op, d, s) -> regs.(d) <- Value.unop op regs.(s)
+    | Instr.Binop (op, d, s1, s2) ->
+      regs.(d) <- Value.binop op regs.(s1) regs.(s2)
+    | Instr.Copy (d, s) -> regs.(d) <- regs.(s)
+    | Instr.Loadc (d, t) | Instr.Loads (d, t) ->
+      count_load ();
+      regs.(d) <- Memory.load st.mem (tag_base st frame t) 0
+    | Instr.Stores (t, s) ->
+      count_store ();
+      Memory.store st.mem (tag_base st frame t) 0 regs.(s)
+    | Instr.Loadg (d, a, tags) -> (
+      count_load ();
+      match regs.(a) with
+      | Value.Vptr (b, o) ->
+        check_tagset st tags b "Load";
+        regs.(d) <- Memory.load st.mem b o
+      | v -> Value.error "Load through non-pointer %a" Value.pp v)
+    | Instr.Storeg (a, s, tags) -> (
+      count_store ();
+      match regs.(a) with
+      | Value.Vptr (b, o) ->
+        check_tagset st tags b "Store";
+        Memory.store st.mem b o regs.(s)
+      | v -> Value.error "Store through non-pointer %a" Value.pp v)
+    | Instr.Call c -> (
+      let argv = List.map (fun r -> regs.(r)) c.Instr.args in
+      let callee =
+        match c.Instr.target with
+        | Instr.Direct n -> n
+        | Instr.Indirect r -> (
+          match regs.(r) with
+          | Value.Vfun n -> n
+          | v -> Value.error "indirect call through %a" Value.pp v)
+      in
+      let rv =
+        if Program.func_opt st.prog callee <> None then
+          exec_func st callee argv
+        else if Rp_minic.Builtins.is_builtin callee then
+          call_builtin st callee argv c.Instr.site
+        else Value.error "call to unknown function '%s'" callee
+      in
+      match c.Instr.ret with
+      | Some d -> regs.(d) <- rv
+      | None -> ())
+    | Instr.Phi _ -> Value.error "phi instruction reached the interpreter"
+  in
+  let rec run_block (l : Instr.label) : Value.t =
+    let b = Func.block f l in
+    List.iter exec_instr b.Block.instrs;
+    tick ();
+    (* terminator *)
+    match b.Block.term with
+    | Instr.Jump l -> run_block l
+    | Instr.Cbr (r, a, bb) ->
+      if Value.truthy regs.(r) then run_block a else run_block bb
+    | Instr.Ret None -> Value.Vundef
+    | Instr.Ret (Some r) -> regs.(r)
+  in
+  let ret = run_block f.Func.entry in
+  (* pop the frame: locals die here, catching dangling pointers *)
+  Hashtbl.iter (fun _ b -> Memory.release st.mem b) frame;
+  st.depth <- st.depth - 1;
+  ret
+
+(** Run [main] and return outputs plus dynamic counts. *)
+let run ?(fuel = 400_000_000) ?(check_tags = true) ?(max_depth = 100_000)
+    ?(seed = 12345) (prog : Program.t) : result =
+  let st =
+    {
+      prog;
+      mem = Memory.create ();
+      globals = Hashtbl.create 64;
+      rng = seed land 0x3FFFFFFF;
+      out = Buffer.create 256;
+      checksum = 0x1505;
+      total = zero_counts ();
+      per_func = Hashtbl.create 16;
+      fuel;
+      check_tags;
+      max_depth;
+      depth = 0;
+    }
+  in
+  (* allocate and initialize globals *)
+  List.iter
+    (fun ((t : Tag.t), init) ->
+      let b = Memory.alloc st.mem ~tag:t ~size:t.Tag.size in
+      Hashtbl.replace st.globals t.Tag.id b;
+      (match init with
+      | Program.Init_zero zero ->
+        let o = Value.of_const zero in
+        for i = 0 to t.Tag.size - 1 do
+          Memory.store st.mem b i o
+        done
+      | Program.Init_words ws -> Memory.init_words st.mem b ws))
+    st.prog.Program.globals;
+  let ret = exec_func st st.prog.Program.main [] in
+  let per_func =
+    Hashtbl.fold (fun n c acc -> (n, c) :: acc) st.per_func []
+    |> List.sort compare
+  in
+  {
+    ret;
+    output = Buffer.contents st.out;
+    checksum = st.checksum;
+    total = st.total;
+    per_func;
+  }

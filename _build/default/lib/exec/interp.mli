@@ -1,0 +1,47 @@
+(** The instrumented IL interpreter.
+
+    Executes a program from [main] and reports its output, an FNV-1a output
+    checksum, and the dynamic operation counts the paper's evaluation is
+    built on: total operations, loads (cLoad/sLoad/Load), and stores
+    (sStore/Store), whole-program and per-function.
+
+    With [check_tags] (default on), every pointer-based access dynamically
+    verifies that the tag of the object actually touched belongs to the
+    operation's static tag set — each run doubles as a soundness check of
+    MOD/REF and points-to analysis. *)
+
+open Rp_ir
+
+type counts = {
+  mutable ops : int;
+  mutable loads : int;
+  mutable stores : int;
+}
+
+val zero_counts : unit -> counts
+val add_counts : counts -> counts -> unit
+
+type result = {
+  ret : Value.t;  (** [main]'s return value *)
+  output : string;
+  checksum : int;
+  total : counts;
+  per_func : (string * counts) list;  (** sorted by function name *)
+}
+
+exception Error of string
+(** Alias of {!Value.Runtime_error}: traps (bounds, use-after-free,
+    undefined values, division by zero, tag-set violations, fuel). *)
+
+(** Run the program.
+    @param fuel maximum executed operations (default 4×10⁸)
+    @param check_tags dynamic tag-set verification (default on)
+    @param max_depth call-stack limit (default 100000)
+    @param seed PRNG seed for the [rand] builtin (default 12345) *)
+val run :
+  ?fuel:int ->
+  ?check_tags:bool ->
+  ?max_depth:int ->
+  ?seed:int ->
+  Program.t ->
+  result

@@ -1,0 +1,64 @@
+(** Word-addressed object memory.
+
+    Every memory object — a global, one activation of an address-taken
+    local or spill slot, or one heap allocation — occupies a distinct
+    {e base}.  An address is a (base, offset) pair, so out-of-bounds,
+    cross-object, use-after-free, and dangling-frame accesses are detected
+    rather than silently absorbed.  Each base remembers the {!Rp_ir.Tag.t}
+    that names it, which lets the interpreter dynamically verify that the
+    static tag sets over-approximate the accesses that actually happen. *)
+
+type obj = {
+  cells : Value.t array;
+  tag : Rp_ir.Tag.t;
+  mutable live : bool;
+}
+
+type t = {
+  objects : (int, obj) Hashtbl.t;
+  bases : Rp_support.Idgen.t;
+}
+
+let create () =
+  { objects = Hashtbl.create 256; bases = Rp_support.Idgen.create ~start:1 () }
+
+(** Allocate a fresh object of [size] words named by [tag]. *)
+let alloc mem ~(tag : Rp_ir.Tag.t) ~size : int =
+  let b = Rp_support.Idgen.fresh mem.bases in
+  Hashtbl.replace mem.objects b
+    { cells = Array.make (max size 0) Value.Vundef; tag; live = true };
+  b
+
+let find mem b =
+  match Hashtbl.find_opt mem.objects b with
+  | Some o -> o
+  | None -> Value.error "access to invalid base %d" b
+
+let obj_tag mem b = (find mem b).tag
+
+(** Release an object (heap [free], or frame pop).  Later accesses fail. *)
+let release mem b =
+  let o = find mem b in
+  o.live <- false
+
+let check mem b off =
+  let o = find mem b in
+  if not o.live then
+    Value.error "access to dead object '%s'" o.tag.Rp_ir.Tag.name;
+  if off < 0 || off >= Array.length o.cells then
+    Value.error "out-of-bounds access to '%s' (offset %d, size %d)"
+      o.tag.Rp_ir.Tag.name off (Array.length o.cells);
+  o
+
+let load mem b off = (check mem b off).cells.(off)
+
+let store mem b off v = (check mem b off).cells.(off) <- v
+
+(** Initialize an object's prefix from constants (globals). *)
+let init_words mem b words =
+  let o = find mem b in
+  List.iteri (fun i c -> o.cells.(i) <- Value.of_const c) words
+
+let zero_fill mem b =
+  let o = find mem b in
+  Array.fill o.cells 0 (Array.length o.cells) (Value.Vint 0)

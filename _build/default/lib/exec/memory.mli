@@ -1,0 +1,30 @@
+(** Word-addressed object memory with full error detection.
+
+    Every object — a global, one activation of an addressed local or spill
+    slot, or one heap allocation — occupies a distinct base; an address is
+    a (base, offset) pair.  Each base remembers the {!Rp_ir.Tag.t} naming
+    it, enabling the interpreter's dynamic tag-set verification. *)
+
+type t
+
+val create : unit -> t
+
+(** Allocate a fresh object; cells start undefined. *)
+val alloc : t -> tag:Rp_ir.Tag.t -> size:int -> int
+
+(** The tag that named an (alive or dead) base.
+    @raise Value.Runtime_error on an unknown base. *)
+val obj_tag : t -> int -> Rp_ir.Tag.t
+
+(** Release an object (heap [free] or frame pop); later accesses trap. *)
+val release : t -> int -> unit
+
+(** Checked load/store: traps on dead objects and out-of-bounds offsets. *)
+val load : t -> int -> int -> Value.t
+
+val store : t -> int -> int -> Value.t -> unit
+
+(** Initialize a prefix from constants (global initializers). *)
+val init_words : t -> int -> Rp_ir.Instr.const list -> unit
+
+val zero_fill : t -> int -> unit

@@ -1,0 +1,136 @@
+(** Runtime values of the IL interpreter.
+
+    The machine is word-oriented and dynamically checked: using an undefined
+    value in arithmetic, mixing types under an operator, or comparing
+    pointers into different objects raises {!Runtime_error} instead of
+    producing garbage.  The null pointer is the integer 0. *)
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type t =
+  | Vint of int
+  | Vflt of float
+  | Vptr of int * int  (** (base, word offset) *)
+  | Vfun of string  (** function pointer *)
+  | Vundef  (** uninitialized; may be copied/stored but not computed with *)
+
+let pp ppf = function
+  | Vint n -> Fmt.int ppf n
+  | Vflt f -> Fmt.pf ppf "%g" f
+  | Vptr (b, o) -> Fmt.pf ppf "<%d:+%d>" b o
+  | Vfun f -> Fmt.pf ppf "@%s" f
+  | Vundef -> Fmt.string ppf "undef"
+
+let as_int = function
+  | Vint n -> n
+  | Vundef -> error "use of an undefined value as an integer"
+  | v -> error "expected an integer, got %a" pp v
+
+let as_flt = function
+  | Vflt f -> f
+  | Vundef -> error "use of an undefined value as a float"
+  | v -> error "expected a float, got %a" pp v
+
+let truthy = function
+  | Vint n -> n <> 0
+  | Vptr _ -> true
+  | Vundef -> error "branch on an undefined value"
+  | v -> error "branch on a non-integer value %a" pp v
+
+let of_bool b = Vint (if b then 1 else 0)
+
+let of_const = function
+  | Rp_ir.Instr.Cint n -> Vint n
+  | Rp_ir.Instr.Cflt f -> Vflt f
+
+(* ------------------------------------------------------------------ *)
+(* Operators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let unop (op : Rp_ir.Instr.unop) v =
+  match op with
+  | Rp_ir.Instr.Neg -> Vint (-as_int v)
+  | Rp_ir.Instr.Fneg -> Vflt (-.as_flt v)
+  | Rp_ir.Instr.Lnot -> of_bool (not (truthy v))
+  | Rp_ir.Instr.Bnot -> Vint (lnot (as_int v))
+  | Rp_ir.Instr.I2f -> Vflt (float_of_int (as_int v))
+  | Rp_ir.Instr.F2i -> Vint (int_of_float (as_flt v))
+
+let ptr_eq a b =
+  match (a, b) with
+  | Vptr (b1, o1), Vptr (b2, o2) -> b1 = b2 && o1 = o2
+  | Vptr _, Vint 0 | Vint 0, Vptr _ -> false
+  | Vfun f, Vfun g -> f = g
+  | Vfun _, Vint 0 | Vint 0, Vfun _ -> false
+  | _ -> error "invalid pointer comparison %a == %a" pp a pp b
+
+let ptr_cmp name cmp a b =
+  match (a, b) with
+  | Vptr (b1, o1), Vptr (b2, o2) when b1 = b2 -> of_bool (cmp o1 o2)
+  | Vptr _, Vptr _ -> error "%s on pointers into different objects" name
+  | _ -> error "invalid pointer comparison under %s" name
+
+let binop (op : Rp_ir.Instr.binop) a b =
+  let module I = Rp_ir.Instr in
+  match op with
+  | I.Add -> (
+    match (a, b) with
+    | Vptr (ba, oa), Vint n -> Vptr (ba, oa + n)
+    | Vint n, Vptr (bb, ob) -> Vptr (bb, ob + n)
+    | _ -> Vint (as_int a + as_int b))
+  | I.Sub -> (
+    match (a, b) with
+    | Vptr (ba, oa), Vint n -> Vptr (ba, oa - n)
+    | Vptr (ba, oa), Vptr (bb, ob) ->
+      if ba = bb then Vint (oa - ob)
+      else error "subtraction of pointers into different objects"
+    | _ -> Vint (as_int a - as_int b))
+  | I.Mul -> Vint (as_int a * as_int b)
+  | I.Div ->
+    let d = as_int b in
+    if d = 0 then error "integer division by zero" else Vint (as_int a / d)
+  | I.Rem ->
+    let d = as_int b in
+    if d = 0 then error "integer remainder by zero" else Vint (as_int a mod d)
+  | I.Shl -> Vint (as_int a lsl as_int b)
+  | I.Shr -> Vint (as_int a asr as_int b)
+  | I.Band -> Vint (as_int a land as_int b)
+  | I.Bor -> Vint (as_int a lor as_int b)
+  | I.Bxor -> Vint (as_int a lxor as_int b)
+  | I.Lt -> (
+    match (a, b) with
+    | Vptr _, _ | _, Vptr _ -> ptr_cmp "<" ( < ) a b
+    | _ -> of_bool (as_int a < as_int b))
+  | I.Le -> (
+    match (a, b) with
+    | Vptr _, _ | _, Vptr _ -> ptr_cmp "<=" ( <= ) a b
+    | _ -> of_bool (as_int a <= as_int b))
+  | I.Gt -> (
+    match (a, b) with
+    | Vptr _, _ | _, Vptr _ -> ptr_cmp ">" ( > ) a b
+    | _ -> of_bool (as_int a > as_int b))
+  | I.Ge -> (
+    match (a, b) with
+    | Vptr _, _ | _, Vptr _ -> ptr_cmp ">=" ( >= ) a b
+    | _ -> of_bool (as_int a >= as_int b))
+  | I.Eq -> (
+    match (a, b) with
+    | (Vptr _ | Vfun _), _ | _, (Vptr _ | Vfun _) -> of_bool (ptr_eq a b)
+    | _ -> of_bool (as_int a = as_int b))
+  | I.Ne -> (
+    match (a, b) with
+    | (Vptr _ | Vfun _), _ | _, (Vptr _ | Vfun _) ->
+      of_bool (not (ptr_eq a b))
+    | _ -> of_bool (as_int a <> as_int b))
+  | I.Fadd -> Vflt (as_flt a +. as_flt b)
+  | I.Fsub -> Vflt (as_flt a -. as_flt b)
+  | I.Fmul -> Vflt (as_flt a *. as_flt b)
+  | I.Fdiv -> Vflt (as_flt a /. as_flt b)
+  | I.Flt -> of_bool (as_flt a < as_flt b)
+  | I.Fle -> of_bool (as_flt a <= as_flt b)
+  | I.Fgt -> of_bool (as_flt a > as_flt b)
+  | I.Fge -> of_bool (as_flt a >= as_flt b)
+  | I.Feq -> of_bool (as_flt a = as_flt b)
+  | I.Fne -> of_bool (as_flt a <> as_flt b)

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Fmt Func Hashtbl Instr List Printf Rp_support Tag

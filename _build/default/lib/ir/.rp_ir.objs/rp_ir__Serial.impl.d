@@ -1,0 +1,1 @@
+lib/ir/serial.ml: Block Buffer Func Hashtbl Instr List Option Printf Program Rp_support Scanf String Tag Tagset

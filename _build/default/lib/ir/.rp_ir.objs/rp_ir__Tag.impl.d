@@ -1,0 +1,1 @@
+lib/ir/tag.ml: Fmt Int List

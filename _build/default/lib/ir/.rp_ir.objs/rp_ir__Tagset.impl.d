@@ -1,0 +1,1 @@
+lib/ir/tagset.ml: Fmt Set Tag

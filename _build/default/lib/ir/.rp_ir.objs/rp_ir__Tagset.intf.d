@@ -1,0 +1,1 @@
+lib/ir/tagset.mli: Format Set Tag

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Block Fmt Func Hashtbl Instr List Program String

@@ -1,0 +1,35 @@
+(** Basic blocks: a label, a straight-line instruction list, and one
+    terminator.  Blocks are mutable containers; optimization passes replace
+    [instrs]/[term] wholesale. *)
+
+type t = {
+  label : Instr.label;
+  mutable instrs : Instr.t list;
+  mutable term : Instr.term;
+}
+
+let create ?(instrs = []) ?(term = Instr.Ret None) label =
+  { label; instrs; term }
+
+let succs b = Instr.term_succs b.term
+
+(** Append an instruction at the end of the block body. *)
+let append b i = b.instrs <- b.instrs @ [ i ]
+
+(** Prepend an instruction at the start of the block body (after phis, which
+    must stay first — callers in SSA form use [prepend_after_phis]). *)
+let prepend b i = b.instrs <- i :: b.instrs
+
+let prepend_after_phis b i =
+  let phis, rest = List.partition Instr.is_phi b.instrs in
+  b.instrs <- phis @ (i :: rest)
+
+let instr_count b = List.length b.instrs
+
+let pp ppf b =
+  let pp_body ppf = function
+    | [] -> ()
+    | is -> Fmt.pf ppf "%a@," Fmt.(list ~sep:cut Instr.pp) is
+  in
+  Fmt.pf ppf "@[<v 2>%s:@,%a%a@]" b.label pp_body b.instrs Instr.pp_term
+    b.term

@@ -1,0 +1,143 @@
+(** IL functions: a register namespace, an entry label, and a labelled set of
+    basic blocks kept in a deterministic layout order. *)
+
+type t = {
+  name : string;
+  mutable params : Instr.reg list;
+      (** incoming argument registers, in order; rewritten by the register
+          allocator when parameters are assigned physical registers *)
+  mutable nreg : int;  (** next fresh virtual register *)
+  mutable nlab : int;  (** suffix for fresh label generation *)
+  mutable entry : Instr.label;
+  blocks : (Instr.label, Block.t) Hashtbl.t;
+  mutable order : Instr.label list;  (** layout order; entry is first *)
+  mutable local_tags : Tag.t list;
+      (** tags for address-taken locals / local arrays / spill slots whose
+          storage lives in this function's frame; the interpreter allocates
+          one fresh base per tag per activation *)
+}
+
+let create ~name ~nparams =
+  {
+    name;
+    params = List.init nparams (fun i -> i);
+    nreg = nparams;
+    nlab = 0;
+    entry = "entry";
+    blocks = Hashtbl.create 16;
+    order = [];
+    local_tags = [];
+  }
+
+let fresh_reg f =
+  let r = f.nreg in
+  f.nreg <- r + 1;
+  r
+
+let fresh_label ?(hint = "B") f =
+  let rec next () =
+    let l = Printf.sprintf "%s%d" hint f.nlab in
+    f.nlab <- f.nlab + 1;
+    if Hashtbl.mem f.blocks l then next () else l
+  in
+  next ()
+
+let add_block f (b : Block.t) =
+  if Hashtbl.mem f.blocks b.label then
+    invalid_arg ("Func.add_block: duplicate label " ^ b.label);
+  Hashtbl.replace f.blocks b.label b;
+  f.order <- f.order @ [ b.label ]
+
+(** Create and register a fresh empty block. *)
+let new_block ?hint f =
+  let l = fresh_label ?hint f in
+  let b = Block.create l in
+  add_block f b;
+  b
+
+let block f l =
+  match Hashtbl.find_opt f.blocks l with
+  | Some b -> b
+  | None -> invalid_arg ("Func.block: no block " ^ l)
+
+let block_opt f l = Hashtbl.find_opt f.blocks l
+let mem_block f l = Hashtbl.mem f.blocks l
+
+let remove_block f l =
+  Hashtbl.remove f.blocks l;
+  f.order <- List.filter (fun l' -> l' <> l) f.order
+
+(** Blocks in layout order (entry first). *)
+let blocks f = List.map (block f) f.order
+
+let entry_block f = block f f.entry
+
+let iter_blocks fn f = List.iter fn (blocks f)
+let fold_blocks fn acc f = List.fold_left fn acc (blocks f)
+
+(** Iterate every instruction of the function, in layout order. *)
+let iter_instrs fn f =
+  iter_blocks (fun (b : Block.t) -> List.iter (fn b) b.instrs) f
+
+let instr_count f =
+  fold_blocks (fun n (b : Block.t) -> n + Block.instr_count b + 1) 0 f
+
+(** Reachable successor labels of a block that actually exist. *)
+let succs f (b : Block.t) = List.filter (mem_block f) (Block.succs b)
+
+(** Compute the predecessor map label -> label list, in layout order. *)
+let preds f =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace tbl l []) f.order;
+  iter_blocks
+    (fun (b : Block.t) ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt tbl s with
+          | Some ps -> Hashtbl.replace tbl s (b.label :: ps)
+          | None -> ())
+        (succs f b))
+    f;
+  Hashtbl.iter (fun l ps -> Hashtbl.replace tbl l (List.rev ps)) tbl;
+  tbl
+
+(** Reverse postorder over the CFG from the entry; unreachable blocks are
+    excluded.  The canonical iteration order for forward dataflow. *)
+let rpo f =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      List.iter dfs (succs f (block f l));
+      out := l :: !out
+    end
+  in
+  dfs f.entry;
+  !out
+
+(** Deep-copy a function (instructions are immutable and shared; blocks and
+    tables are fresh).  Used to run destructive analyses (SSA construction
+    for points-to) on a scratch copy. *)
+let copy (f : t) : t =
+  let g =
+    {
+      f with
+      blocks = Hashtbl.create (Hashtbl.length f.blocks);
+      order = f.order;
+      local_tags = f.local_tags;
+    }
+  in
+  Hashtbl.iter
+    (fun l (b : Block.t) ->
+      Hashtbl.replace g.blocks l
+        { Block.label = b.Block.label; instrs = b.Block.instrs; term = b.Block.term })
+    f.blocks;
+  g
+
+let pp ppf f =
+  Fmt.pf ppf "@[<v>function %s(%a)  [%d regs]@,%a@]" f.name
+    Fmt.(list ~sep:(any ", ") Instr.pp_reg)
+    f.params f.nreg
+    Fmt.(list ~sep:cut Block.pp)
+    (blocks f)

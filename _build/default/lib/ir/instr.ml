@@ -1,0 +1,270 @@
+(** The intermediate language.
+
+    A register-based, ILOC-style IL.  The memory-operation hierarchy follows
+    Table 1 of the paper:
+
+    {v
+      Loadi            iLoad  — load a known constant value (immediate)
+      Loadc            cLoad  — load an invariant, but unknown, value
+      Loads / Stores   sLoad / sStore — scalar load/store, address is a tag
+      Loadg / Storeg   Load / Store   — general pointer-based load/store
+    v}
+
+    Every pointer-based memory operation carries a {!Tagset.t}; every call
+    carries MOD and REF tag sets summarizing its side effects. *)
+
+type reg = int
+(** Virtual (pre-allocation) or physical (post-allocation) register. *)
+
+type label = string
+
+type const = Cint of int | Cflt of float
+
+type unop =
+  | Neg  (** integer negate *)
+  | Lnot  (** logical not: 0 -> 1, nonzero -> 0 *)
+  | Bnot  (** bitwise complement *)
+  | Fneg  (** float negate *)
+  | I2f  (** int -> float conversion *)
+  | F2i  (** float -> int truncation *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr | Band | Bor | Bxor
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Fadd | Fsub | Fmul | Fdiv
+  | Flt | Fle | Fgt | Fge | Feq | Fne
+
+type target =
+  | Direct of string
+  | Indirect of reg
+      (** call through a function pointer held in [reg]; the set of possible
+          callees lives in the call record and is refined by analysis *)
+
+type call = {
+  target : target;
+  args : reg list;
+  ret : reg option;
+  mods : Tagset.t;  (** tags the call may modify (JSR modified-tags list) *)
+  refs : Tagset.t;  (** tags the call may reference *)
+  targets : string list;
+      (** possible callees of an [Indirect] target, filled by analysis;
+          for [Direct f] this is [[f]] *)
+  site : int;  (** unique call-site id; names the heap site for [malloc] *)
+}
+
+type t =
+  | Loadi of reg * const  (** iLoad: materialize a known constant *)
+  | Loada of reg * Tag.t  (** materialize the address of a memory object *)
+  | Loadfp of reg * string  (** materialize a function pointer *)
+  | Unop of unop * reg * reg  (** [Unop (op, dst, src)] *)
+  | Binop of binop * reg * reg * reg  (** [Binop (op, dst, s1, s2)] *)
+  | Copy of reg * reg  (** [Copy (dst, src)] — coalescable register copy *)
+  | Loadc of reg * Tag.t  (** cLoad: load an invariant, unknown value *)
+  | Loads of reg * Tag.t  (** sLoad: scalar load, address is the tag *)
+  | Stores of Tag.t * reg  (** sStore: scalar store *)
+  | Loadg of reg * reg * Tagset.t  (** [Loadg (dst, addr, tags)] *)
+  | Storeg of reg * reg * Tagset.t  (** [Storeg (addr, src, tags)] *)
+  | Call of call  (** JSR with MOD/REF tag lists *)
+  | Phi of reg * (label * reg) list  (** SSA only; removed before execution *)
+
+type term =
+  | Jump of label
+  | Cbr of reg * label * label  (** branch on nonzero *)
+  | Ret of reg option
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Is this instruction a load in the accounting sense of the paper (cLoad,
+    sLoad, or general Load)?  [Loadi]/[Loada]/[Loadfp] materialize constants
+    and addresses without touching memory. *)
+let is_load = function Loadc _ | Loads _ | Loadg _ -> true | _ -> false
+
+let is_store = function Stores _ | Storeg _ -> true | _ -> false
+let is_mem = function
+  | Loadc _ | Loads _ | Loadg _ | Stores _ | Storeg _ -> true
+  | _ -> false
+
+let is_call = function Call _ -> true | _ -> false
+let is_phi = function Phi _ -> true | _ -> false
+
+(** Registers written by an instruction. *)
+let defs = function
+  | Loadi (d, _) | Loada (d, _) | Loadfp (d, _)
+  | Unop (_, d, _) | Binop (_, d, _, _) | Copy (d, _)
+  | Loadc (d, _) | Loads (d, _)
+  | Loadg (d, _, _) -> [ d ]
+  | Stores _ | Storeg _ -> []
+  | Call c -> (match c.ret with Some r -> [ r ] | None -> [])
+  | Phi (d, _) -> [ d ]
+
+(** Registers read by an instruction.  Phi arguments are excluded here
+    because their reads happen on the incoming edges; liveness and SSA
+    handle them specially. *)
+let uses = function
+  | Loadi _ | Loada _ | Loadfp _ | Loadc _ | Loads _ -> []
+  | Unop (_, _, s) | Copy (_, s) | Stores (_, s) -> [ s ]
+  | Binop (_, _, s1, s2) -> [ s1; s2 ]
+  | Loadg (_, a, _) -> [ a ]
+  | Storeg (a, s, _) -> [ a; s ]
+  | Call c -> (
+    c.args @ match c.target with Indirect r -> [ r ] | Direct _ -> [])
+  | Phi _ -> []
+
+(** Rebuild an instruction with every register (defs and uses) renamed. *)
+let map_regs f = function
+  | Loadi (d, c) -> Loadi (f d, c)
+  | Loada (d, t) -> Loada (f d, t)
+  | Loadfp (d, n) -> Loadfp (f d, n)
+  | Unop (op, d, s) -> Unop (op, f d, f s)
+  | Binop (op, d, s1, s2) -> Binop (op, f d, f s1, f s2)
+  | Copy (d, s) -> Copy (f d, f s)
+  | Loadc (d, t) -> Loadc (f d, t)
+  | Loads (d, t) -> Loads (f d, t)
+  | Stores (t, s) -> Stores (t, f s)
+  | Loadg (d, a, ts) -> Loadg (f d, f a, ts)
+  | Storeg (a, s, ts) -> Storeg (f a, f s, ts)
+  | Call c ->
+    Call
+      {
+        c with
+        args = List.map f c.args;
+        ret = Option.map f c.ret;
+        target =
+          (match c.target with
+          | Direct n -> Direct n
+          | Indirect r -> Indirect (f r));
+      }
+  | Phi (d, srcs) -> Phi (f d, List.map (fun (l, r) -> (l, f r)) srcs)
+
+(** Rename only the used (read) registers — needed by SSA renaming, where the
+    definition gets a fresh name after the uses are rewritten. *)
+let map_uses f = function
+  | (Loadi _ | Loada _ | Loadfp _ | Loadc _ | Loads _) as i -> i
+  | Unop (op, d, s) -> Unop (op, d, f s)
+  | Binop (op, d, s1, s2) -> Binop (op, d, f s1, f s2)
+  | Copy (d, s) -> Copy (d, f s)
+  | Stores (t, s) -> Stores (t, f s)
+  | Loadg (d, a, ts) -> Loadg (d, f a, ts)
+  | Storeg (a, s, ts) -> Storeg (f a, f s, ts)
+  | Call c ->
+    Call
+      {
+        c with
+        args = List.map f c.args;
+        target =
+          (match c.target with
+          | Direct n -> Direct n
+          | Indirect r -> Indirect (f r));
+      }
+  | Phi (d, srcs) -> Phi (d, srcs)
+
+let map_defs f = function
+  | Loadi (d, c) -> Loadi (f d, c)
+  | Loada (d, t) -> Loada (f d, t)
+  | Loadfp (d, n) -> Loadfp (f d, n)
+  | Unop (op, d, s) -> Unop (op, f d, s)
+  | Binop (op, d, s1, s2) -> Binop (op, f d, s1, s2)
+  | Copy (d, s) -> Copy (f d, s)
+  | Loadc (d, t) -> Loadc (f d, t)
+  | Loads (d, t) -> Loads (f d, t)
+  | (Stores _ | Storeg _) as i -> i
+  | Loadg (d, a, ts) -> Loadg (f d, a, ts)
+  | Call c -> Call { c with ret = Option.map f c.ret }
+  | Phi (d, srcs) -> Phi (f d, srcs)
+
+let term_uses = function
+  | Jump _ -> []
+  | Cbr (r, _, _) -> [ r ]
+  | Ret (Some r) -> [ r ]
+  | Ret None -> []
+
+let term_map_uses f = function
+  | Jump l -> Jump l
+  | Cbr (r, a, b) -> Cbr (f r, a, b)
+  | Ret (Some r) -> Ret (Some (f r))
+  | Ret None -> Ret None
+
+let term_succs = function
+  | Jump l -> [ l ]
+  | Cbr (_, a, b) -> if a = b then [ a ] else [ a; b ]
+  | Ret _ -> []
+
+let term_map_labels f = function
+  | Jump l -> Jump (f l)
+  | Cbr (r, a, b) -> Cbr (r, f a, f b)
+  | Ret r -> Ret r
+
+(* ------------------------------------------------------------------ *)
+(* Pure-expression classification (for value numbering / PRE / LICM)   *)
+(* ------------------------------------------------------------------ *)
+
+(** An instruction with no side effects whose result depends only on its
+    register operands (and, for loads, on memory named by its tags). *)
+let is_pure = function
+  | Loadi _ | Loada _ | Loadfp _ | Unop _ | Binop _ | Copy _ -> true
+  | Loadc _ | Loads _ | Loadg _ -> false (* pure given untouched tags *)
+  | Stores _ | Storeg _ | Call _ | Phi _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_const ppf = function
+  | Cint i -> Fmt.int ppf i
+  | Cflt f -> Fmt.pf ppf "%h" f
+
+let pp_reg ppf r = Fmt.pf ppf "r%d" r
+
+let unop_name = function
+  | Neg -> "neg" | Lnot -> "lnot" | Bnot -> "bnot" | Fneg -> "fneg"
+  | I2f -> "i2f" | F2i -> "f2i"
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | Shl -> "shl" | Shr -> "shr" | Band -> "and" | Bor -> "or" | Bxor -> "xor"
+  | Lt -> "cmplt" | Le -> "cmple" | Gt -> "cmpgt" | Ge -> "cmpge"
+  | Eq -> "cmpeq" | Ne -> "cmpne"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Flt -> "fcmplt" | Fle -> "fcmple" | Fgt -> "fcmpgt" | Fge -> "fcmpge"
+  | Feq -> "fcmpeq" | Fne -> "fcmpne"
+
+let pp ppf = function
+  | Loadi (d, c) -> Fmt.pf ppf "%a <- iLoad %a" pp_reg d pp_const c
+  | Loada (d, t) -> Fmt.pf ppf "%a <- addr [%a]" pp_reg d Tag.pp t
+  | Loadfp (d, n) -> Fmt.pf ppf "%a <- fnptr @%s" pp_reg d n
+  | Unop (op, d, s) -> Fmt.pf ppf "%a <- %s %a" pp_reg d (unop_name op) pp_reg s
+  | Binop (op, d, s1, s2) ->
+    Fmt.pf ppf "%a <- %s %a, %a" pp_reg d (binop_name op) pp_reg s1 pp_reg s2
+  | Copy (d, s) -> Fmt.pf ppf "%a <- cp %a" pp_reg d pp_reg s
+  | Loadc (d, t) -> Fmt.pf ppf "%a <- cLoad [%a]" pp_reg d Tag.pp t
+  | Loads (d, t) -> Fmt.pf ppf "%a <- sLoad [%a]" pp_reg d Tag.pp t
+  | Stores (t, s) -> Fmt.pf ppf "sStore [%a] %a" Tag.pp t pp_reg s
+  | Loadg (d, a, ts) ->
+    Fmt.pf ppf "%a <- Load %a %a" pp_reg d Tagset.pp ts pp_reg a
+  | Storeg (a, s, ts) ->
+    Fmt.pf ppf "Store %a %a <- %a" Tagset.pp ts pp_reg a pp_reg s
+  | Call c ->
+    let callee ppf = function
+      | Direct n -> Fmt.string ppf n
+      | Indirect r -> Fmt.pf ppf "*%a" pp_reg r
+    in
+    Fmt.pf ppf "%ajsr %a(%a) mods=%a refs=%a"
+      (fun ppf -> function
+        | Some r -> Fmt.pf ppf "%a <- " pp_reg r
+        | None -> ())
+      c.ret callee c.target
+      Fmt.(list ~sep:(any ", ") pp_reg)
+      c.args Tagset.pp c.mods Tagset.pp c.refs
+  | Phi (d, srcs) ->
+    Fmt.pf ppf "%a <- phi %a" pp_reg d
+      Fmt.(list ~sep:(any ", ") (pair ~sep:(any ":") string pp_reg))
+      srcs
+
+let pp_term ppf = function
+  | Jump l -> Fmt.pf ppf "jump %s" l
+  | Cbr (r, a, b) -> Fmt.pf ppf "cbr %a ? %s : %s" pp_reg r a b
+  | Ret None -> Fmt.string ppf "ret"
+  | Ret (Some r) -> Fmt.pf ppf "ret %a" pp_reg r

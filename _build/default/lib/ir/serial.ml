@@ -1,0 +1,476 @@
+(** Textual IL serialization: an exact, machine-readable round trip for
+    whole programs.
+
+    The pretty-printers in {!Instr}/{!Func}/{!Program} are for humans; this
+    module defines a stable line-oriented format that reads back to an
+    identical program (same tag ids, registers, labels, tag sets, call
+    sites), so passes can be tested against golden [.il] files and IL can
+    be authored by hand.
+
+    {v
+      ; comment
+      tag t0 "g" global scalar size=1
+      tag t1 "a" global object size=10
+      tag t2 "f.x" local:f scalar size=1 rec
+      tag t3 "heap@0" heap:0 object size=0
+      global t0 zero int
+      global t1 words 1 2 3.5 0x1.8p1
+      main main
+      func main params= nreg=5 entry=entry
+      block entry
+        r0 = iload 42
+        r1 = addr t1
+        r2 = sload t0
+        sstore t0 r2
+        r3 = load r1 [t1]
+        store r1 r3 [*]
+        r4 = call sum(r1, r0) mods=[t0] refs=[*] targets=[sum] site=0
+        cbr r4 B1 B2
+      ...
+      endfunc
+    v}
+
+    Floats are written as hexadecimal literals ([%h]) so the round trip is
+    bit-exact. *)
+
+let version = "regpromo-il 1"
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let storage_str = function
+  | Tag.Global -> "global"
+  | Tag.Local f -> "local:" ^ f
+  | Tag.Heap s -> Printf.sprintf "heap:%d" s
+  | Tag.Spill f -> "spill:" ^ f
+
+let const_str = function
+  | Instr.Cint n -> string_of_int n
+  | Instr.Cflt f -> Printf.sprintf "%h" f
+
+let tagset_str = function
+  | Tagset.Univ -> "[*]"
+  | ts ->
+    "["
+    ^ String.concat " "
+        (List.map (fun (t : Tag.t) -> Printf.sprintf "t%d" t.Tag.id)
+           (Tagset.elements ts))
+    ^ "]"
+
+let instr_str (i : Instr.t) : string =
+  let r = Printf.sprintf "r%d" in
+  let t (tg : Tag.t) = Printf.sprintf "t%d" tg.Tag.id in
+  match i with
+  | Instr.Loadi (d, c) -> Printf.sprintf "%s = iload %s" (r d) (const_str c)
+  | Instr.Loada (d, tg) -> Printf.sprintf "%s = addr %s" (r d) (t tg)
+  | Instr.Loadfp (d, f) -> Printf.sprintf "%s = fnptr %s" (r d) f
+  | Instr.Unop (op, d, s) ->
+    Printf.sprintf "%s = un %s %s" (r d) (Instr.unop_name op) (r s)
+  | Instr.Binop (op, d, a, b) ->
+    Printf.sprintf "%s = bin %s %s %s" (r d) (Instr.binop_name op) (r a) (r b)
+  | Instr.Copy (d, s) -> Printf.sprintf "%s = cp %s" (r d) (r s)
+  | Instr.Loadc (d, tg) -> Printf.sprintf "%s = cload %s" (r d) (t tg)
+  | Instr.Loads (d, tg) -> Printf.sprintf "%s = sload %s" (r d) (t tg)
+  | Instr.Stores (tg, s) -> Printf.sprintf "sstore %s %s" (t tg) (r s)
+  | Instr.Loadg (d, a, ts) ->
+    Printf.sprintf "%s = load %s %s" (r d) (r a) (tagset_str ts)
+  | Instr.Storeg (a, s, ts) ->
+    Printf.sprintf "store %s %s %s" (r a) (r s) (tagset_str ts)
+  | Instr.Call c ->
+    let head =
+      match c.Instr.ret with
+      | Some d -> Printf.sprintf "%s = " (r d)
+      | None -> ""
+    in
+    let callee =
+      match c.Instr.target with
+      | Instr.Direct n -> "call " ^ n
+      | Instr.Indirect fr -> "callind " ^ r fr
+    in
+    Printf.sprintf "%s%s(%s) mods=%s refs=%s targets=[%s] site=%d" head
+      callee
+      (String.concat ", " (List.map r c.Instr.args))
+      (tagset_str c.Instr.mods) (tagset_str c.Instr.refs)
+      (String.concat " " c.Instr.targets)
+      c.Instr.site
+  | Instr.Phi (d, srcs) ->
+    Printf.sprintf "%s = phi %s" (r d)
+      (String.concat " "
+         (List.map (fun (l, s) -> Printf.sprintf "%s:%s" l (r s)) srcs))
+
+let term_str = function
+  | Instr.Jump l -> "jump " ^ l
+  | Instr.Cbr (c, a, b) -> Printf.sprintf "cbr r%d %s %s" c a b
+  | Instr.Ret None -> "ret"
+  | Instr.Ret (Some rr) -> Printf.sprintf "ret r%d" rr
+
+(** Serialize a whole program. *)
+let write (p : Program.t) : string =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  pr "; %s" version;
+  List.iter
+    (fun (tg : Tag.t) ->
+      pr "tag t%d %S %s %s size=%d%s%s" tg.Tag.id tg.Tag.name
+        (storage_str tg.Tag.storage)
+        (if tg.Tag.is_scalar then "scalar" else "object")
+        tg.Tag.size
+        (if tg.Tag.is_const then " const" else "")
+        (if tg.Tag.declared_in_recursive then " rec" else ""))
+    (Tag.Table.all p.Program.tags);
+  List.iter
+    (fun ((tg : Tag.t), init) ->
+      match init with
+      | Program.Init_zero (Instr.Cint _) -> pr "global t%d zero int" tg.Tag.id
+      | Program.Init_zero (Instr.Cflt _) -> pr "global t%d zero flt" tg.Tag.id
+      | Program.Init_words ws ->
+        pr "global t%d words %s" tg.Tag.id
+          (String.concat " " (List.map const_str ws)))
+    p.Program.globals;
+  pr "main %s" p.Program.main;
+  Program.iter_funcs
+    (fun f ->
+      pr "func %s params=%s nreg=%d entry=%s" f.Func.name
+        (String.concat "," (List.map string_of_int f.Func.params))
+        f.Func.nreg f.Func.entry;
+      List.iter
+        (fun (tg : Tag.t) -> pr "frame t%d" tg.Tag.id)
+        f.Func.local_tags;
+      Func.iter_blocks
+        (fun (b : Block.t) ->
+          pr "block %s" b.Block.label;
+          List.iter (fun i -> pr "  %s" (instr_str i)) b.Block.instrs;
+          pr "  %s" (term_str b.Block.term))
+        f;
+      pr "endfunc")
+    p;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+(** (line number, message) *)
+
+let fail ln fmt = Printf.ksprintf (fun m -> raise (Parse_error (ln, m))) fmt
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+
+let parse_reg ln s =
+  if String.length s >= 2 && s.[0] = 'r' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n -> n
+    | None -> fail ln "bad register %S" s
+  else fail ln "bad register %S" s
+
+let parse_const ln s =
+  match int_of_string_opt s with
+  | Some n -> Instr.Cint n
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Instr.Cflt f
+    | None -> fail ln "bad constant %S" s)
+
+let unop_of_name ln = function
+  | "neg" -> Instr.Neg | "lnot" -> Instr.Lnot | "bnot" -> Instr.Bnot
+  | "fneg" -> Instr.Fneg | "i2f" -> Instr.I2f | "f2i" -> Instr.F2i
+  | s -> fail ln "bad unop %S" s
+
+let binop_of_name ln s =
+  let table =
+    [ "add", Instr.Add; "sub", Instr.Sub; "mul", Instr.Mul; "div", Instr.Div;
+      "rem", Instr.Rem; "shl", Instr.Shl; "shr", Instr.Shr;
+      "and", Instr.Band; "or", Instr.Bor; "xor", Instr.Bxor;
+      "cmplt", Instr.Lt; "cmple", Instr.Le; "cmpgt", Instr.Gt;
+      "cmpge", Instr.Ge; "cmpeq", Instr.Eq; "cmpne", Instr.Ne;
+      "fadd", Instr.Fadd; "fsub", Instr.Fsub; "fmul", Instr.Fmul;
+      "fdiv", Instr.Fdiv; "fcmplt", Instr.Flt; "fcmple", Instr.Fle;
+      "fcmpgt", Instr.Fgt; "fcmpge", Instr.Fge; "fcmpeq", Instr.Feq;
+      "fcmpne", Instr.Fne ]
+  in
+  match List.assoc_opt s table with
+  | Some op -> op
+  | None -> fail ln "bad binop %S" s
+
+(** Parse a program written by {!write}. *)
+let rec read (src : string) : Program.t =
+  let p = Program.create () in
+  let tag_by_id : (int, Tag.t) Hashtbl.t = Hashtbl.create 64 in
+  let tag ln id_s =
+    if String.length id_s >= 2 && id_s.[0] = 't' then
+      match
+        Option.bind
+          (int_of_string_opt (String.sub id_s 1 (String.length id_s - 1)))
+          (Hashtbl.find_opt tag_by_id)
+      with
+      | Some t -> t
+      | None -> fail ln "unknown tag %S" id_s
+    else fail ln "bad tag reference %S" id_s
+  in
+  let parse_tagset ln s =
+    if s = "[*]" then Tagset.univ
+    else if String.length s >= 2 && s.[0] = '[' && s.[String.length s - 1] = ']'
+    then
+      let inner = String.sub s 1 (String.length s - 2) in
+      Tagset.of_list (List.map (tag ln) (split_ws inner))
+    else fail ln "bad tag set %S" s
+  in
+  let max_site = ref (-1) in
+  let cur_func : Func.t option ref = ref None in
+  let cur_block : Block.t option ref = ref None in
+  let finish_block () = cur_block := None in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun idx raw ->
+      let ln = idx + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = ';' then ()
+      else
+        let words = split_ws line in
+        match words with
+        | "tag" :: id_s :: rest ->
+          (* the quoted name may contain spaces; recover it from the raw
+             line between the first and last double quote *)
+          let name =
+            match (String.index_opt line '"', String.rindex_opt line '"') with
+            | Some i, Some j when j > i -> Scanf.sscanf
+                (String.sub line i (j - i + 1)) "%S" (fun s -> s)
+            | _ -> fail ln "tag line missing quoted name"
+          in
+          let rest =
+            (* drop the quoted name token(s): a space-free name is a single
+               token that both starts and ends with a quote *)
+            match rest with
+            | tok :: tl
+              when String.length tok >= 2
+                   && tok.[0] = '"'
+                   && tok.[String.length tok - 1] = '"' ->
+              tl
+            | _ ->
+              (* re-split the raw suffix after the closing quote *)
+              let j = String.rindex line '"' in
+              split_ws (String.sub line (j + 1) (String.length line - j - 1))
+          in
+          (match rest with
+          | storage_s :: kind_s :: size_s :: flags ->
+            let storage =
+              match String.split_on_char ':' storage_s with
+              | [ "global" ] -> Tag.Global
+              | [ "local"; f ] -> Tag.Local f
+              | [ "heap"; s ] -> Tag.Heap (int_of_string s)
+              | [ "spill"; f ] -> Tag.Spill f
+              | _ -> fail ln "bad storage %S" storage_s
+            in
+            let size =
+              match String.split_on_char '=' size_s with
+              | [ "size"; n ] -> int_of_string n
+              | _ -> fail ln "bad size %S" size_s
+            in
+            let expected_id =
+              match int_of_string_opt (String.sub id_s 1 (String.length id_s - 1)) with
+              | Some n -> n
+              | None -> fail ln "bad tag id %S" id_s
+            in
+            if Tag.Table.count p.Program.tags <> expected_id then
+              fail ln "tag ids must be dense and in order (expected t%d)"
+                (Tag.Table.count p.Program.tags);
+            let t =
+              Tag.Table.fresh p.Program.tags ~name ~storage ~size
+                ~is_scalar:(kind_s = "scalar")
+                ~is_const:(List.mem "const" flags)
+                ~declared_in_recursive:(List.mem "rec" flags) ()
+            in
+            (match storage with
+            | Tag.Heap site ->
+              Hashtbl.replace p.Program.heap_site_tags site t;
+              if site > !max_site then max_site := site
+            | _ -> ());
+            Hashtbl.replace tag_by_id t.Tag.id t
+          | _ -> fail ln "malformed tag line")
+        | [ "global"; id_s; "zero"; "int" ] ->
+          Program.add_global p (tag ln id_s) (Program.Init_zero (Instr.Cint 0))
+        | [ "global"; id_s; "zero"; "flt" ] ->
+          Program.add_global p (tag ln id_s) (Program.Init_zero (Instr.Cflt 0.))
+        | "global" :: id_s :: "words" :: ws ->
+          Program.add_global p (tag ln id_s)
+            (Program.Init_words (List.map (parse_const ln) ws))
+        | [ "main"; name ] -> p.Program.main <- name
+        | [ "func"; name; params_s; nreg_s; entry_s ] ->
+          let field prefix s =
+            match String.split_on_char '=' s with
+            | [ k; v ] when k = prefix -> v
+            | _ -> fail ln "expected %s=... in %S" prefix s
+          in
+          let f = Func.create ~name ~nparams:0 in
+          let params_v = field "params" params_s in
+          f.Func.params <-
+            (if params_v = "" then []
+             else
+               List.map int_of_string (String.split_on_char ',' params_v));
+          f.Func.nreg <- int_of_string (field "nreg" nreg_s);
+          f.Func.entry <- field "entry" entry_s;
+          Program.add_func p f;
+          cur_func := Some f
+        | [ "frame"; id_s ] -> (
+          match !cur_func with
+          | Some f -> f.Func.local_tags <- f.Func.local_tags @ [ tag ln id_s ]
+          | None -> fail ln "frame outside func")
+        | [ "block"; label ] -> (
+          finish_block ();
+          match !cur_func with
+          | Some f ->
+            let b = Block.create label in
+            Func.add_block f b;
+            cur_block := Some b
+          | None -> fail ln "block outside func")
+        | [ "endfunc" ] ->
+          finish_block ();
+          cur_func := None
+        | _ -> (
+          let b =
+            match !cur_block with
+            | Some b -> b
+            | None -> fail ln "instruction outside a block: %S" line
+          in
+          (* terminators *)
+          match words with
+          | [ "jump"; l ] -> b.Block.term <- Instr.Jump l
+          | [ "cbr"; c; l1; l2 ] ->
+            b.Block.term <- Instr.Cbr (parse_reg ln c, l1, l2)
+          | [ "ret" ] -> b.Block.term <- Instr.Ret None
+          | [ "ret"; rr ] -> b.Block.term <- Instr.Ret (Some (parse_reg ln rr))
+          | [ "sstore"; t_s; s ] ->
+            Block.append b (Instr.Stores (tag ln t_s, parse_reg ln s))
+          | "store" :: a :: s :: ts_parts when ts_parts <> [] ->
+            Block.append b
+              (Instr.Storeg
+                 ( parse_reg ln a,
+                   parse_reg ln s,
+                   parse_tagset ln (String.concat " " ts_parts) ))
+          | d :: "=" :: rhs -> (
+            let d = parse_reg ln d in
+            match rhs with
+            | [ "iload"; c ] -> Block.append b (Instr.Loadi (d, parse_const ln c))
+            | [ "addr"; t_s ] -> Block.append b (Instr.Loada (d, tag ln t_s))
+            | [ "fnptr"; f ] -> Block.append b (Instr.Loadfp (d, f))
+            | [ "un"; op; s ] ->
+              Block.append b (Instr.Unop (unop_of_name ln op, d, parse_reg ln s))
+            | [ "bin"; op; a; bb ] ->
+              Block.append b
+                (Instr.Binop (binop_of_name ln op, d, parse_reg ln a, parse_reg ln bb))
+            | [ "cp"; s ] -> Block.append b (Instr.Copy (d, parse_reg ln s))
+            | [ "cload"; t_s ] -> Block.append b (Instr.Loadc (d, tag ln t_s))
+            | [ "sload"; t_s ] -> Block.append b (Instr.Loads (d, tag ln t_s))
+            | "load" :: a :: ts_parts when ts_parts <> [] ->
+              Block.append b
+                (Instr.Loadg
+                   (d, parse_reg ln a, parse_tagset ln (String.concat " " ts_parts)))
+            | "phi" :: srcs ->
+              Block.append b
+                (Instr.Phi
+                   ( d,
+                     List.map
+                       (fun s ->
+                         match String.split_on_char ':' s with
+                         | [ l; rr ] -> (l, parse_reg ln rr)
+                         | _ -> fail ln "bad phi source %S" s)
+                       srcs ))
+            | _ -> parse_call ln p max_site b (Some d) rhs
+            )
+          | rhs -> parse_call ln p max_site b None rhs))
+    lines;
+  (* keep fresh call-site ids beyond everything read back *)
+  while Rp_support.Idgen.peek p.Program.sites <= !max_site do
+    ignore (Rp_support.Idgen.fresh p.Program.sites)
+  done;
+  p
+
+(* calls: [call f(r1, r2) mods=[..] refs=[..] targets=[..] site=N]
+   or     [callind r9(r1) ...]; argument lists were written with ", "
+   separators so commas may glue tokens — reparse from the raw text *)
+and parse_call ln p max_site (b : Block.t) ret words =
+  let line = String.concat " " words in
+  let callee_part, rest =
+    match String.index_opt line '(' with
+    | Some i ->
+      (String.sub line 0 i, String.sub line i (String.length line - i))
+    | None -> fail ln "malformed call %S" line
+  in
+  let target =
+    match split_ws callee_part with
+    | [ "call"; n ] -> Instr.Direct n
+    | [ "callind"; r ] -> Instr.Indirect (parse_reg ln r)
+    | _ -> fail ln "malformed call head %S" callee_part
+  in
+  let close =
+    match String.index_opt rest ')' with
+    | Some i -> i
+    | None -> fail ln "unclosed argument list"
+  in
+  let args_s = String.sub rest 1 (close - 1) in
+  let args =
+    String.split_on_char ',' args_s
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (parse_reg ln)
+  in
+  let attrs = split_ws (String.sub rest (close + 1) (String.length rest - close - 1)) in
+  (* attributes: mods=[..] refs=[..] targets=[..] site=N; tag sets may
+     contain spaces, so scan bracket-aware over the raw attr string *)
+  let attr_str = String.concat " " attrs in
+  let find_attr key =
+    let pat = key ^ "=" in
+    match
+      let rec search i =
+        if i + String.length pat > String.length attr_str then None
+        else if String.sub attr_str i (String.length pat) = pat then Some i
+        else search (i + 1)
+      in
+      search 0
+    with
+    | None -> fail ln "missing %s= in call" key
+    | Some i ->
+      let start = i + String.length pat in
+      if start < String.length attr_str && attr_str.[start] = '[' then begin
+        match String.index_from_opt attr_str start ']' with
+        | Some j -> String.sub attr_str start (j - start + 1)
+        | None -> fail ln "unclosed bracket in %s=" key
+      end
+      else begin
+        let j = ref start in
+        while !j < String.length attr_str && attr_str.[!j] <> ' ' do incr j done;
+        String.sub attr_str start (!j - start)
+      end
+  in
+  let parse_tagset_local s =
+    if s = "[*]" then Tagset.univ
+    else
+      let inner = String.sub s 1 (String.length s - 2) in
+      Tagset.of_list
+        (List.map
+           (fun id_s ->
+             match
+               Option.bind
+                 (int_of_string_opt
+                    (String.sub id_s 1 (String.length id_s - 1)))
+                 (fun id ->
+                   List.find_opt
+                     (fun (t : Tag.t) -> t.Tag.id = id)
+                     (Tag.Table.all p.Program.tags))
+             with
+             | Some t -> t
+             | None -> fail ln "unknown tag %S in call attr" id_s)
+           (split_ws inner))
+  in
+  let mods = parse_tagset_local (find_attr "mods") in
+  let refs = parse_tagset_local (find_attr "refs") in
+  let targets_s = find_attr "targets" in
+  let targets =
+    split_ws (String.sub targets_s 1 (String.length targets_s - 2))
+  in
+  let site = int_of_string (find_attr "site") in
+  if site > !max_site then max_site := site;
+  Block.append b (Instr.Call { target; args; ret; mods; refs; targets; site })

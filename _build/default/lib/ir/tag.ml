@@ -1,0 +1,102 @@
+(** Memory tags.
+
+    A {e tag} is the textual/structural name of a memory object, exactly as in
+    the Rice compiler's ILOC described in the paper: "Each memory operation
+    has an associated list of tags; these are textual names that identify the
+    memory locations that can be used by the operation."
+
+    One tag is created per global variable, per address-taken local (one tag
+    per declaration, covering every activation), per array, per spill slot,
+    and per heap allocation site. *)
+
+type storage =
+  | Global  (** a file-scope variable or array *)
+  | Local of string
+      (** an address-taken local or local array; the payload is the name of
+          the function that declares it.  One tag covers all activations. *)
+  | Heap of int
+      (** all memory allocated by the call site with this id ("a single name
+          for each call-site that can generate a new heap address") *)
+  | Spill of string
+      (** a spill slot introduced by the register allocator in the named
+          function; participates in load/store accounting like any memory *)
+
+type t = {
+  id : int;  (** dense unique id; the key for set operations *)
+  name : string;  (** source-level or synthesized name, for printing *)
+  storage : storage;
+  size : int;  (** object size in words (scalars are 1) *)
+  is_scalar : bool;  (** a single one-word location (not an array/heap blob) *)
+  is_const : bool;  (** contents never change after initialization *)
+  declared_in_recursive : bool;
+      (** for [Local] tags: the declaring function may be recursive, so this
+          one tag stands for several live activations at once and must never
+          be treated as a single location through a pointer *)
+}
+
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+let hash a = a.id
+
+(** Can a {e direct} (sLoad/sStore) reference to this tag be promoted?  True
+    for any scalar, non-heap location: a direct reference always denotes the
+    current activation's (or the global's) unique word. *)
+let promotable_direct t =
+  t.is_scalar && (match t.storage with Heap _ -> false | _ -> true)
+
+(** Can a {e pointer-based} reference whose tag set is the singleton [t] be
+    treated as an explicit reference to a single location?  Only globals
+    qualify: a singleton [Local] tag may still denote a different activation
+    of a recursive function, and a [Heap] tag denotes a whole allocation
+    site. *)
+let promotable_via_pointer t =
+  t.is_scalar && (not t.declared_in_recursive) && t.storage = Global
+
+let storage_pp ppf = function
+  | Global -> Fmt.string ppf "global"
+  | Local f -> Fmt.pf ppf "local(%s)" f
+  | Heap s -> Fmt.pf ppf "heap@%d" s
+  | Spill f -> Fmt.pf ppf "spill(%s)" f
+
+let pp ppf t = Fmt.string ppf t.name
+
+let pp_full ppf t =
+  Fmt.pf ppf "%s#%d[%a,%dw%s%s]" t.name t.id storage_pp t.storage t.size
+    (if t.is_scalar then ",scalar" else "")
+    (if t.is_const then ",const" else "")
+
+(** Tag registries.  A program owns one table; every tag in the program is
+    registered there so that tag ids are dense, deterministic, and printable
+    from any pass. *)
+module Table = struct
+  type tag = t
+
+  type t = { mutable tags : tag list; mutable n : int }
+  (* [tags] is kept in reverse creation order; [all] reverses on demand. *)
+
+  let create () = { tags = []; n = 0 }
+
+  let fresh table ~name ~storage ?(size = 1) ?(is_scalar = true)
+      ?(is_const = false) ?(declared_in_recursive = false) () =
+    let tag =
+      { id = table.n; name; storage; size; is_scalar; is_const;
+        declared_in_recursive }
+    in
+    table.tags <- tag :: table.tags;
+    table.n <- table.n + 1;
+    tag
+
+  let count table = table.n
+  let all table = List.rev table.tags
+
+  let get table id =
+    if id < 0 || id >= table.n then invalid_arg "Tag.Table.get"
+    else List.nth table.tags (table.n - 1 - id)
+
+  (** Mark an existing local tag as belonging to a recursive function.  Tags
+      are immutable, so this returns a fresh record with the same id; callers
+      (the front end) must substitute it wherever the old record escaped.  In
+      practice the front end computes recursiveness before creating tags, so
+      this is only used by tests. *)
+  let as_recursive tag = { tag with declared_in_recursive = true }
+end

@@ -1,0 +1,88 @@
+(** Sets of memory tags, with an explicit top element.
+
+    Before interprocedural analysis runs, the front end "must behave
+    conservatively and assume that an operation may reference any memory
+    location" — represented here as [Univ].  MOD/REF analysis replaces every
+    [Univ] with a concrete set, so the optimizer and the promoter only ever
+    iterate concrete sets. *)
+
+module S = Set.Make (Tag)
+
+type t = Univ | Set of S.t
+
+let empty = Set S.empty
+let univ = Univ
+let singleton t = Set (S.singleton t)
+let of_list ts = Set (S.of_list ts)
+
+let is_univ = function Univ -> true | Set _ -> false
+let is_empty = function Univ -> false | Set s -> S.is_empty s
+
+let mem tag = function Univ -> true | Set s -> S.mem tag s
+
+let add tag = function Univ -> Univ | Set s -> Set (S.add tag s)
+
+let union a b =
+  match (a, b) with
+  | Univ, _ | _, Univ -> Univ
+  | Set a, Set b -> Set (S.union a b)
+
+let inter a b =
+  match (a, b) with
+  | Univ, x | x, Univ -> x
+  | Set a, Set b -> Set (S.inter a b)
+
+(** [diff a b]: when [b] is [Univ] the result is empty; when [a] is [Univ]
+    the (sound, conservative) result is [Univ]. *)
+let diff a b =
+  match (a, b) with
+  | _, Univ -> Set S.empty
+  | Univ, _ -> Univ
+  | Set a, Set b -> Set (S.diff a b)
+
+let subset a b =
+  match (a, b) with
+  | _, Univ -> true
+  | Univ, Set _ -> false
+  | Set a, Set b -> S.subset a b
+
+let equal a b =
+  match (a, b) with
+  | Univ, Univ -> true
+  | Set a, Set b -> S.equal a b
+  | _ -> false
+
+(** Cardinality; [None] for the universe. *)
+let cardinal = function Univ -> None | Set s -> Some (S.cardinal s)
+
+(** The unique element of a singleton set, if any. *)
+let as_singleton = function
+  | Univ -> None
+  | Set s -> if S.cardinal s = 1 then Some (S.choose s) else None
+
+(** Fold over a concrete set.  Raises [Invalid_argument] on [Univ]: passes
+    that iterate tag sets must run after analysis has concretized them. *)
+let fold f acc = function
+  | Univ -> invalid_arg "Tagset.fold: universe"
+  | Set s -> S.fold (fun tag acc -> f acc tag) s acc
+
+let iter f = function
+  | Univ -> invalid_arg "Tagset.iter: universe"
+  | Set s -> S.iter f s
+
+let elements = function
+  | Univ -> invalid_arg "Tagset.elements: universe"
+  | Set s -> S.elements s
+
+let exists f = function Univ -> true | Set s -> S.exists f s
+let for_all f = function Univ -> false | Set s -> S.for_all f s
+let filter f = function Univ -> Univ | Set s -> Set (S.filter f s)
+
+(** [disjoint a b] — never true when either side is the universe and the
+    other is non-empty. *)
+let disjoint a b = is_empty (inter a b)
+
+let pp ppf = function
+  | Univ -> Fmt.string ppf "[*]"
+  | Set s ->
+    Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") Tag.pp) (S.elements s)

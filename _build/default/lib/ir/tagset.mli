@@ -1,0 +1,47 @@
+(** Sets of memory tags with an explicit top element.
+
+    [Univ] ("⊤") represents the front end's conservative "may touch any
+    memory location"; interprocedural analysis replaces every ⊤ with a
+    concrete set before the optimizer or the promoter iterate one. *)
+
+type t = Univ | Set of Set.Make(Tag).t
+
+val empty : t
+val univ : t
+val singleton : Tag.t -> t
+val of_list : Tag.t list -> t
+
+val is_univ : t -> bool
+val is_empty : t -> bool
+val mem : Tag.t -> t -> bool
+val add : Tag.t -> t -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+(** [diff a b] over-approximates in the may-direction: [diff _ Univ] is
+    empty (nothing certainly survives subtracting everything) and
+    [diff Univ _] stays [Univ].  Do {e not} use ⊤ operands where an
+    under-approximation is required (see {!Rp_opt.Dse} for the pattern). *)
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+
+(** [None] on the universe. *)
+val cardinal : t -> int option
+
+val as_singleton : t -> Tag.t option
+
+(** Iteration over concrete sets; raises [Invalid_argument] on [Univ]. *)
+val fold : ('a -> Tag.t -> 'a) -> 'a -> t -> 'a
+
+val iter : (Tag.t -> unit) -> t -> unit
+val elements : t -> Tag.t list
+
+val exists : (Tag.t -> bool) -> t -> bool
+val for_all : (Tag.t -> bool) -> t -> bool
+val filter : (Tag.t -> bool) -> t -> t
+val disjoint : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

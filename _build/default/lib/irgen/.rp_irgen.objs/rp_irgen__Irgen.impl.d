@@ -1,0 +1,1 @@
+lib/irgen/irgen.ml: Block Func Hashtbl Instr List Option Program Rp_ir Rp_minic Tag Tagset

@@ -1,0 +1,1 @@
+lib/irgen/irgen.mli: Rp_ir Rp_minic

@@ -1,0 +1,613 @@
+(** Lowering from the typed AST to the IL.
+
+    The storage decision (the paper's §2): a scalar local or parameter whose
+    address is never taken lives in a virtual register from birth; globals,
+    address-taken locals, arrays, and heap objects live in memory behind
+    tags.  The front end "encodes the best information it has into the tag
+    field and the opcode": a direct array access gets the array's singleton
+    tag set; an access through a pointer variable gets the conservative
+    universe (shrunk later by analysis); calls get universal MOD/REF sets
+    unless the callee is a builtin with an empty summary.
+
+    Loops are emitted with an explicit empty landing pad before the header
+    and a dedicated exit block, as the paper's compiler does when building
+    the control-flow graph. *)
+
+open Rp_ir
+module T = Rp_minic.Tast
+module A = Rp_minic.Ast
+module B = Rp_minic.Builtins
+
+type loc =
+  | Lreg of Instr.reg  (** enregistered scalar *)
+  | Ltag of Tag.t  (** memory-resident scalar (global / addressed local) *)
+  | Lobj of Tag.t  (** aggregate (array) — only its address is taken *)
+
+type ctx = {
+  prog : Program.t;
+  fn : Func.t;
+  var_loc : (int, loc) Hashtbl.t;  (** vid -> storage *)
+  mutable cur : Block.t;
+  mutable acc : Instr.t list;  (** current block's instrs, reversed *)
+  mutable break_to : Instr.label list;
+  mutable cont_to : Instr.label list;
+  mutable finished : bool;  (** current block already terminated *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Block plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let emit ctx i = ctx.acc <- i :: ctx.acc
+
+let flush ctx =
+  ctx.cur.Block.instrs <- List.rev ctx.acc;
+  ctx.acc <- []
+
+(** Terminate the current block and switch to [next]. *)
+let finish ctx term (next : Block.t) =
+  if not ctx.finished then ctx.cur.Block.term <- term;
+  flush ctx;
+  ctx.cur <- next;
+  ctx.finished <- false
+
+(** Terminate the current block; continue in a fresh unreachable block
+    (after return/break/continue, any trailing code is dead). *)
+let finish_dead ctx term =
+  let dead = Func.new_block ~hint:"dead" ctx.fn in
+  finish ctx term dead
+
+let fresh ctx = Func.fresh_reg ctx.fn
+
+(* ------------------------------------------------------------------ *)
+(* Variables and lvalues                                               *)
+(* ------------------------------------------------------------------ *)
+
+let var_loc ctx (v : T.var) =
+  match Hashtbl.find_opt ctx.var_loc v.T.vid with
+  | Some l -> l
+  | None -> invalid_arg ("irgen: variable without storage: " ^ v.T.vname)
+
+let tag_of_var ctx (v : T.var) =
+  match var_loc ctx v with
+  | Ltag t | Lobj t -> t
+  | Lreg _ -> invalid_arg ("irgen: register variable has no tag: " ^ v.T.vname)
+
+(** A resolved lvalue: the address (if any) is computed exactly once. *)
+type rlval =
+  | Rreg of Instr.reg
+  | Rtag of Tag.t
+  | Rmem of Instr.reg * Tagset.t
+
+let rl_load ctx = function
+  | Rreg r -> r
+  | Rtag t ->
+    let d = fresh ctx in
+    emit ctx (if t.Tag.is_const then Instr.Loadc (d, t) else Instr.Loads (d, t));
+    d
+  | Rmem (a, ts) ->
+    let d = fresh ctx in
+    emit ctx (Instr.Loadg (d, a, ts));
+    d
+
+let rl_store ctx rl r =
+  match rl with
+  | Rreg dst -> if dst <> r then emit ctx (Instr.Copy (dst, r))
+  | Rtag t -> emit ctx (Instr.Stores (t, r))
+  | Rmem (a, ts) -> emit ctx (Instr.Storeg (a, r, ts))
+
+(* ------------------------------------------------------------------ *)
+(* Operators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let int_binop : A.binop -> Instr.binop = function
+  | A.Badd -> Instr.Add
+  | A.Bsub -> Instr.Sub
+  | A.Bmul -> Instr.Mul
+  | A.Bdiv -> Instr.Div
+  | A.Brem -> Instr.Rem
+  | A.Bshl -> Instr.Shl
+  | A.Bshr -> Instr.Shr
+  | A.Bband -> Instr.Band
+  | A.Bbor -> Instr.Bor
+  | A.Bbxor -> Instr.Bxor
+  | A.Blt -> Instr.Lt
+  | A.Ble -> Instr.Le
+  | A.Bgt -> Instr.Gt
+  | A.Bge -> Instr.Ge
+  | A.Beq -> Instr.Eq
+  | A.Bne -> Instr.Ne
+  | A.Bland | A.Blor -> invalid_arg "irgen: unlowered short-circuit operator"
+
+let flt_binop : A.binop -> Instr.binop = function
+  | A.Badd -> Instr.Fadd
+  | A.Bsub -> Instr.Fsub
+  | A.Bmul -> Instr.Fmul
+  | A.Bdiv -> Instr.Fdiv
+  | A.Blt -> Instr.Flt
+  | A.Ble -> Instr.Fle
+  | A.Bgt -> Instr.Fgt
+  | A.Bge -> Instr.Fge
+  | A.Beq -> Instr.Feq
+  | A.Bne -> Instr.Fne
+  | op ->
+    ignore op;
+    invalid_arg "irgen: float operator has no float form"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_expr ctx (e : T.expr) : Instr.reg =
+  match e.T.edesc with
+  | T.Tint_lit n ->
+    let d = fresh ctx in
+    emit ctx (Instr.Loadi (d, Instr.Cint n));
+    d
+  | T.Tflt_lit f ->
+    let d = fresh ctx in
+    emit ctx (Instr.Loadi (d, Instr.Cflt f));
+    d
+  | T.Tload lv -> rl_load ctx (resolve_lval ctx lv)
+  | T.Taddr lv -> gen_addr ctx lv
+  | T.Tfunref f ->
+    let d = fresh ctx in
+    emit ctx (Instr.Loadfp (d, f));
+    d
+  | T.Tunop (op, a) ->
+    let ra = gen_expr ctx a in
+    let d = fresh ctx in
+    let iop =
+      match (op, a.T.ety) with
+      | A.Uneg, A.Tflt -> Instr.Fneg
+      | A.Uneg, _ -> Instr.Neg
+      | A.Unot, _ -> Instr.Lnot
+      | A.Ubnot, _ -> Instr.Bnot
+    in
+    emit ctx (Instr.Unop (iop, d, ra));
+    d
+  | T.Tbinop (op, a, b) ->
+    let ra = gen_expr ctx a in
+    let rb = gen_expr ctx b in
+    let d = fresh ctx in
+    let iop = if a.T.ety = A.Tflt then flt_binop op else int_binop op in
+    emit ctx (Instr.Binop (iop, d, ra, rb));
+    d
+  | T.Tptradd (p, i, scale) ->
+    let rp = gen_expr ctx p in
+    let ri = gen_expr ctx i in
+    let ri =
+      if scale = 1 then ri
+      else begin
+        let rs = fresh ctx in
+        emit ctx (Instr.Loadi (rs, Instr.Cint scale));
+        let rm = fresh ctx in
+        emit ctx (Instr.Binop (Instr.Mul, rm, ri, rs));
+        rm
+      end
+    in
+    let d = fresh ctx in
+    emit ctx (Instr.Binop (Instr.Add, d, rp, ri));
+    d
+  | T.Tptrdiff (a, b, scale) ->
+    let ra = gen_expr ctx a in
+    let rb = gen_expr ctx b in
+    let d = fresh ctx in
+    emit ctx (Instr.Binop (Instr.Sub, d, ra, rb));
+    if scale = 1 then d
+    else begin
+      let rs = fresh ctx in
+      emit ctx (Instr.Loadi (rs, Instr.Cint scale));
+      let q = fresh ctx in
+      emit ctx (Instr.Binop (Instr.Div, q, d, rs));
+      q
+    end
+  | T.Tand (a, b) -> gen_shortcircuit ctx ~is_and:true a b
+  | T.Tor (a, b) -> gen_shortcircuit ctx ~is_and:false a b
+  | T.Tcond (c, t, e2) ->
+    let res = fresh ctx in
+    let rc = gen_expr ctx c in
+    let bt = Func.new_block ctx.fn in
+    let be = Func.new_block ctx.fn in
+    let bj = Func.new_block ctx.fn in
+    finish ctx (Instr.Cbr (rc, bt.Block.label, be.Block.label)) bt;
+    let rt = gen_expr ctx t in
+    emit ctx (Instr.Copy (res, rt));
+    finish ctx (Instr.Jump bj.Block.label) be;
+    let re = gen_expr ctx e2 in
+    emit ctx (Instr.Copy (res, re));
+    finish ctx (Instr.Jump bj.Block.label) bj;
+    res
+  | T.Tconv (conv, a) ->
+    let ra = gen_expr ctx a in
+    let d = fresh ctx in
+    (match conv with
+    | T.CI2F -> emit ctx (Instr.Unop (Instr.I2f, d, ra))
+    | T.CF2I -> emit ctx (Instr.Unop (Instr.F2i, d, ra))
+    | T.CBits -> emit ctx (Instr.Copy (d, ra)));
+    d
+  | T.Tassign (None, lv, rhs) ->
+    let rl = resolve_lval ctx lv in
+    let r = gen_expr ctx rhs in
+    rl_store ctx rl r;
+    r
+  | T.Tassign (Some op, lv, rhs) ->
+    let rl = resolve_lval ctx lv in
+    let old = rl_load ctx rl in
+    let r = gen_expr ctx rhs in
+    let d = fresh ctx in
+    (match T.lval_ty lv with
+    | A.Tptr pointee ->
+      (* p += i / p -= i with the index scaled to words *)
+      let scale = A.sizeof pointee in
+      let r =
+        if scale = 1 then r
+        else begin
+          let rs = fresh ctx in
+          emit ctx (Instr.Loadi (rs, Instr.Cint scale));
+          let rm = fresh ctx in
+          emit ctx (Instr.Binop (Instr.Mul, rm, r, rs));
+          rm
+        end
+      in
+      let iop = if op = A.Badd then Instr.Add else Instr.Sub in
+      emit ctx (Instr.Binop (iop, d, old, r))
+    | A.Tflt -> emit ctx (Instr.Binop (flt_binop op, d, old, r))
+    | _ -> emit ctx (Instr.Binop (int_binop op, d, old, r)));
+    rl_store ctx rl d;
+    d
+  | T.Tincdec (pre, inc, lv) ->
+    let rl = resolve_lval ctx lv in
+    let old = rl_load ctx rl in
+    (* for post-inc/dec the old value must be snapshotted: when the lvalue
+       is a register variable, [rl_load] returns that very register, which
+       the store below overwrites *)
+    let old =
+      if pre then old
+      else begin
+        let snap = fresh ctx in
+        emit ctx (Instr.Copy (snap, old));
+        snap
+      end
+    in
+    let step = fresh ctx in
+    let d = fresh ctx in
+    (match T.lval_ty lv with
+    | A.Tflt ->
+      emit ctx (Instr.Loadi (step, Instr.Cflt 1.));
+      emit ctx (Instr.Binop ((if inc then Instr.Fadd else Instr.Fsub), d, old, step))
+    | A.Tptr pointee ->
+      emit ctx (Instr.Loadi (step, Instr.Cint (A.sizeof pointee)));
+      emit ctx (Instr.Binop ((if inc then Instr.Add else Instr.Sub), d, old, step))
+    | _ ->
+      emit ctx (Instr.Loadi (step, Instr.Cint 1));
+      emit ctx (Instr.Binop ((if inc then Instr.Add else Instr.Sub), d, old, step)));
+    rl_store ctx rl d;
+    if pre then d else old
+  | T.Tcall (callee, args) -> (
+    match gen_call ctx callee args ~want_value:(e.T.ety <> A.Tvoid) with
+    | Some r -> r
+    | None -> invalid_arg "irgen: void call used as a value")
+
+and gen_shortcircuit ctx ~is_and a b =
+  let res = fresh ctx in
+  let ra = gen_expr ctx a in
+  let brhs = Func.new_block ctx.fn in
+  let bshort = Func.new_block ctx.fn in
+  let bj = Func.new_block ctx.fn in
+  let term =
+    if is_and then Instr.Cbr (ra, brhs.Block.label, bshort.Block.label)
+    else Instr.Cbr (ra, bshort.Block.label, brhs.Block.label)
+  in
+  finish ctx term brhs;
+  (* rhs path: result is (b != 0) *)
+  let rb = gen_expr ctx b in
+  let z = fresh ctx in
+  emit ctx (Instr.Loadi (z, Instr.Cint 0));
+  let nb = fresh ctx in
+  emit ctx (Instr.Binop (Instr.Ne, nb, rb, z));
+  emit ctx (Instr.Copy (res, nb));
+  finish ctx (Instr.Jump bj.Block.label) bshort;
+  (* short-circuit path: && -> 0, || -> 1 *)
+  emit ctx (Instr.Loadi (res, Instr.Cint (if is_and then 0 else 1)));
+  finish ctx (Instr.Jump bj.Block.label) bj;
+  res
+
+and gen_addr ctx (lv : T.lval) : Instr.reg =
+  match lv with
+  | T.Lvar v -> (
+    match var_loc ctx v with
+    | Lreg _ -> invalid_arg "irgen: address of register variable"
+    | Ltag t | Lobj t ->
+      let d = fresh ctx in
+      emit ctx (Instr.Loada (d, t));
+      d)
+  | T.Lmem (addr, _, _) -> gen_expr ctx addr
+
+and resolve_lval ctx (lv : T.lval) : rlval =
+  match lv with
+  | T.Lvar v -> (
+    match var_loc ctx v with
+    | Lreg r -> Rreg r
+    | Ltag t -> Rtag t
+    | Lobj _ -> invalid_arg "irgen: array used as scalar lvalue")
+  | T.Lmem (addr, _, prov) ->
+    let ra = gen_expr ctx addr in
+    let tags =
+      match prov with
+      | Some v when T.var_in_memory v -> Tagset.singleton (tag_of_var ctx v)
+      | _ -> Tagset.univ
+    in
+    Rmem (ra, tags)
+
+and gen_call ctx callee args ~want_value : Instr.reg option =
+  let rargs = List.map (gen_expr ctx) args in
+  let ret = if want_value then Some (fresh ctx) else None in
+  let site = Program.fresh_site ctx.prog in
+  let call =
+    match callee with
+    | T.Cdirect f when B.is_builtin f ->
+      (* builtins touch no user-visible memory: empty summaries; an
+         allocating builtin gets a heap tag for its site now, so the tag
+         exists for every later phase *)
+      if B.allocates f then
+        ignore (Program.heap_tag ctx.prog site : Tag.t);
+      {
+        Instr.target = Instr.Direct f;
+        args = rargs;
+        ret;
+        mods = Tagset.empty;
+        refs = Tagset.empty;
+        targets = [ f ];
+        site;
+      }
+    | T.Cdirect f ->
+      {
+        Instr.target = Instr.Direct f;
+        args = rargs;
+        ret;
+        mods = Tagset.univ;
+        refs = Tagset.univ;
+        targets = [ f ];
+        site;
+      }
+    | T.Cindirect fe ->
+      let rf = gen_expr ctx fe in
+      {
+        Instr.target = Instr.Indirect rf;
+        args = rargs;
+        ret;
+        mods = Tagset.univ;
+        refs = Tagset.univ;
+        targets = [];
+        site;
+      }
+  in
+  emit ctx (Instr.Call call);
+  ret
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_stmt ctx (s : T.stmt) : unit =
+  match s with
+  | T.Sskip -> ()
+  | T.Sblock ss -> List.iter (gen_stmt ctx) ss
+  | T.Sexpr { T.edesc = T.Tcall (callee, args); ety = A.Tvoid } ->
+    ignore (gen_call ctx callee args ~want_value:false : Instr.reg option)
+  | T.Sexpr e -> ignore (gen_expr ctx e : Instr.reg)
+  | T.Svardef (v, init) -> (
+    match (var_loc ctx v, init) with
+    | _, None -> ()
+    | Lreg r, Some e ->
+      let re = gen_expr ctx e in
+      if re <> r then emit ctx (Instr.Copy (r, re))
+    | Ltag t, Some e ->
+      let re = gen_expr ctx e in
+      emit ctx (Instr.Stores (t, re))
+    | Lobj _, Some _ -> invalid_arg "irgen: array initializer not expanded")
+  | T.Sif (c, then_, else_) -> (
+    let rc = gen_expr ctx c in
+    let bt = Func.new_block ctx.fn in
+    let bj = Func.new_block ctx.fn in
+    match else_ with
+    | None ->
+      finish ctx (Instr.Cbr (rc, bt.Block.label, bj.Block.label)) bt;
+      gen_stmt ctx then_;
+      finish ctx (Instr.Jump bj.Block.label) bj
+    | Some else_ ->
+      let be = Func.new_block ctx.fn in
+      finish ctx (Instr.Cbr (rc, bt.Block.label, be.Block.label)) bt;
+      gen_stmt ctx then_;
+      finish ctx (Instr.Jump bj.Block.label) be;
+      gen_stmt ctx else_;
+      finish ctx (Instr.Jump bj.Block.label) bj)
+  | T.Swhile (c, body) ->
+    let pad = Func.new_block ~hint:"pad" ctx.fn in
+    let header = Func.new_block ~hint:"head" ctx.fn in
+    let bbody = Func.new_block ctx.fn in
+    let bexit = Func.new_block ~hint:"exit" ctx.fn in
+    let after = Func.new_block ctx.fn in
+    finish ctx (Instr.Jump pad.Block.label) pad;
+    finish ctx (Instr.Jump header.Block.label) header;
+    let rc = gen_expr ctx c in
+    finish ctx (Instr.Cbr (rc, bbody.Block.label, bexit.Block.label)) bbody;
+    ctx.break_to <- bexit.Block.label :: ctx.break_to;
+    ctx.cont_to <- header.Block.label :: ctx.cont_to;
+    gen_stmt ctx body;
+    ctx.break_to <- List.tl ctx.break_to;
+    ctx.cont_to <- List.tl ctx.cont_to;
+    finish ctx (Instr.Jump header.Block.label) bexit;
+    finish ctx (Instr.Jump after.Block.label) after
+  | T.Sdowhile (body, c) ->
+    let pad = Func.new_block ~hint:"pad" ctx.fn in
+    let bbody = Func.new_block ctx.fn in
+    let bcond = Func.new_block ~hint:"latch" ctx.fn in
+    let bexit = Func.new_block ~hint:"exit" ctx.fn in
+    let after = Func.new_block ctx.fn in
+    finish ctx (Instr.Jump pad.Block.label) pad;
+    finish ctx (Instr.Jump bbody.Block.label) bbody;
+    ctx.break_to <- bexit.Block.label :: ctx.break_to;
+    ctx.cont_to <- bcond.Block.label :: ctx.cont_to;
+    gen_stmt ctx body;
+    ctx.break_to <- List.tl ctx.break_to;
+    ctx.cont_to <- List.tl ctx.cont_to;
+    finish ctx (Instr.Jump bcond.Block.label) bcond;
+    let rc = gen_expr ctx c in
+    finish ctx (Instr.Cbr (rc, bbody.Block.label, bexit.Block.label)) bexit;
+    finish ctx (Instr.Jump after.Block.label) after
+  | T.Sfor (init, cond, step, body) ->
+    Option.iter (gen_stmt ctx) init;
+    let pad = Func.new_block ~hint:"pad" ctx.fn in
+    let header = Func.new_block ~hint:"head" ctx.fn in
+    let bbody = Func.new_block ctx.fn in
+    let bstep = Func.new_block ~hint:"step" ctx.fn in
+    let bexit = Func.new_block ~hint:"exit" ctx.fn in
+    let after = Func.new_block ctx.fn in
+    finish ctx (Instr.Jump pad.Block.label) pad;
+    finish ctx (Instr.Jump header.Block.label) header;
+    (match cond with
+    | Some c ->
+      let rc = gen_expr ctx c in
+      finish ctx (Instr.Cbr (rc, bbody.Block.label, bexit.Block.label)) bbody
+    | None -> finish ctx (Instr.Jump bbody.Block.label) bbody);
+    ctx.break_to <- bexit.Block.label :: ctx.break_to;
+    ctx.cont_to <- bstep.Block.label :: ctx.cont_to;
+    gen_stmt ctx body;
+    ctx.break_to <- List.tl ctx.break_to;
+    ctx.cont_to <- List.tl ctx.cont_to;
+    finish ctx (Instr.Jump bstep.Block.label) bstep;
+    Option.iter (fun e -> ignore (gen_expr ctx e : Instr.reg)) step;
+    finish ctx (Instr.Jump header.Block.label) bexit;
+    finish ctx (Instr.Jump after.Block.label) after
+  | T.Sbreak -> finish_dead ctx (Instr.Jump (List.hd ctx.break_to))
+  | T.Scontinue -> finish_dead ctx (Instr.Jump (List.hd ctx.cont_to))
+  | T.Sreturn None -> finish_dead ctx (Instr.Ret None)
+  | T.Sreturn (Some e) ->
+    let r = gen_expr ctx e in
+    finish_dead ctx (Instr.Ret (Some r))
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_func prog ~(globals : (int, loc) Hashtbl.t) (fd : T.fundef) : Func.t =
+  let fn = Func.create ~name:fd.T.fname ~nparams:(List.length fd.T.fparams) in
+  let entry = Block.create fn.Func.entry in
+  Func.add_block fn entry;
+  let var_loc = Hashtbl.copy globals in
+  let ctx =
+    {
+      prog;
+      fn;
+      var_loc;
+      cur = entry;
+      acc = [];
+      break_to = [];
+      cont_to = [];
+      finished = false;
+    }
+  in
+  (* storage decisions for parameters *)
+  List.iteri
+    (fun i (v : T.var) ->
+      if T.var_in_memory v then begin
+        let tag =
+          Tag.Table.fresh prog.Program.tags ~name:(fd.T.fname ^ "." ^ v.T.vname)
+            ~storage:(Tag.Local fd.T.fname) ~size:1 ~is_scalar:true
+            ~declared_in_recursive:fd.T.frecursive ()
+        in
+        fn.Func.local_tags <- fn.Func.local_tags @ [ tag ];
+        Hashtbl.replace ctx.var_loc v.T.vid (Ltag tag);
+        (* prologue: spill the incoming value to its home *)
+        emit ctx (Instr.Stores (tag, i))
+      end
+      else Hashtbl.replace ctx.var_loc v.T.vid (Lreg i))
+    fd.T.fparams;
+  (* storage decisions for locals *)
+  List.iter
+    (fun (v : T.var) ->
+      if T.var_in_memory v then begin
+        let is_agg = T.var_is_aggregate v in
+        let tag =
+          Tag.Table.fresh prog.Program.tags ~name:(fd.T.fname ^ "." ^ v.T.vname)
+            ~storage:(Tag.Local fd.T.fname) ~size:(A.sizeof v.T.vty)
+            ~is_scalar:(not is_agg) ~is_const:v.T.vconst
+            ~declared_in_recursive:fd.T.frecursive ()
+        in
+        fn.Func.local_tags <- fn.Func.local_tags @ [ tag ];
+        Hashtbl.replace ctx.var_loc v.T.vid
+          (if is_agg then Lobj tag else Ltag tag)
+      end
+      else Hashtbl.replace ctx.var_loc v.T.vid (Lreg (fresh ctx)))
+    fd.T.flocals;
+  gen_stmt ctx fd.T.fbody;
+  (* implicit return *)
+  (match fd.T.fret with
+  | A.Tvoid -> ctx.cur.Block.term <- Instr.Ret None
+  | _ ->
+    let r = fresh ctx in
+    emit ctx (Instr.Loadi (r, Instr.Cint 0));
+    ctx.cur.Block.term <- Instr.Ret (Some r));
+  flush ctx;
+  fn
+
+(** Lower a whole checked program. *)
+let gen_program (tast : T.program) : Program.t =
+  let prog = Program.create () in
+  (* globals first, so their tags exist before any body is lowered *)
+  let globals : (int, loc) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun ((v : T.var), ginit) ->
+      let is_agg = T.var_is_aggregate v in
+      let tag =
+        Tag.Table.fresh prog.Program.tags ~name:v.T.vname ~storage:Tag.Global
+          ~size:(A.sizeof v.T.vty) ~is_scalar:(not is_agg)
+          ~is_const:v.T.vconst ()
+      in
+      Hashtbl.replace globals v.T.vid (if is_agg then Lobj tag else Ltag tag);
+      let rec elem_zero = function
+        | A.Tflt -> Instr.Cflt 0.
+        | A.Tarr (t, _) -> elem_zero t
+        | _ -> Instr.Cint 0
+      in
+      (* struct-containing objects are heterogeneous: spell the zeros out
+         word by word so float fields start as typed zeros *)
+      let rec has_struct = function
+        | A.Tstruct _ -> true
+        | A.Tarr (t, _) -> has_struct t
+        | _ -> false
+      in
+      let rec zero_words = function
+        | A.Tint | A.Tptr _ -> [ Instr.Cint 0 ]
+        | A.Tflt -> [ Instr.Cflt 0. ]
+        | A.Tarr (t, n) -> List.concat (List.init n (fun _ -> zero_words t))
+        | A.Tstruct sd ->
+          List.concat_map (fun (_, t, _) -> zero_words t) sd.A.sfields
+        | A.Tvoid | A.Tfun _ -> invalid_arg "irgen: zero of non-object type"
+      in
+      let init =
+        match ginit with
+        | T.Gzero when has_struct v.T.vty ->
+          Program.Init_words (zero_words v.T.vty)
+        | T.Gzero -> Program.Init_zero (elem_zero v.T.vty)
+        | T.Gwords ws ->
+          Program.Init_words
+            (List.map
+               (function
+                 | T.Wint n -> Instr.Cint n
+                 | T.Wflt f -> Instr.Cflt f)
+               ws)
+      in
+      Program.add_global prog tag init)
+    tast.T.pglobals;
+  List.iter
+    (fun (fd : T.fundef) -> Program.add_func prog (gen_func prog ~globals fd))
+    tast.T.pfuncs;
+  prog.Program.main <- "main";
+  prog
+
+(** Front-end pipeline: source text to IL. *)
+let compile_source src =
+  src |> Rp_minic.Typecheck.check_source |> gen_program

@@ -1,0 +1,12 @@
+(** Lowering from the typed Mini-C AST to the tagged IL.
+
+    Storage decisions per the paper's §2: never-addressed local scalars live
+    in virtual registers; globals, address-taken locals, aggregates, and
+    heap objects live in memory behind tags.  Loops are emitted with landing
+    pads and dedicated exit blocks; calls start with ⊤ MOD/REF summaries
+    (builtins excepted). *)
+
+val gen_program : Rp_minic.Tast.program -> Rp_ir.Program.t
+
+(** Front-end pipeline: source text to IL (parse, check, lower). *)
+val compile_source : string -> Rp_ir.Program.t

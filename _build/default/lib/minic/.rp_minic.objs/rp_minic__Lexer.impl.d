@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Array Char List Srcloc String Token

@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Builtins Hashtbl List Option Parser Rp_support Srcloc Tast

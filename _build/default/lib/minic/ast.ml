@@ -1,0 +1,118 @@
+(** Untyped abstract syntax, as produced by the parser. *)
+
+type ty =
+  | Tint
+  | Tflt
+  | Tvoid
+  | Tptr of ty
+  | Tarr of ty * int  (** element type, length *)
+  | Tfun of ty * ty list  (** return type, parameter types (via fn pointers) *)
+  | Tstruct of sdef  (** fully resolved at parse time (decl-before-use) *)
+
+and sdef = {
+  sname : string;
+  mutable sfields : (string * ty * int) list;
+      (** name, type, word offset; filled in when the definition closes, so
+          that [struct X *self] fields can reference the incomplete type *)
+  mutable ssize : int;  (** total size in words; 0 while incomplete *)
+}
+
+(** Object size in words.  Every scalar (int, float, pointer) is one word;
+    the interpreter's memory is word-addressed (see DESIGN.md §6). *)
+let rec sizeof = function
+  | Tint | Tflt | Tptr _ -> 1
+  | Tarr (t, n) -> n * sizeof t
+  | Tstruct sd -> sd.ssize
+  | Tvoid | Tfun _ -> invalid_arg "sizeof: not an object type"
+
+let field sd name =
+  List.find_opt (fun (n, _, _) -> n = name) sd.sfields
+
+let rec pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tflt -> Fmt.string ppf "float"
+  | Tvoid -> Fmt.string ppf "void"
+  | Tptr t -> Fmt.pf ppf "%a*" pp_ty t
+  | Tarr _ as t ->
+    (* print dimensions outside-in, C-style: int[3][4] *)
+    let rec split = function
+      | Tarr (inner, n) ->
+        let (base, dims) = split inner in
+        (base, n :: dims)
+      | base -> (base, [])
+    in
+    let (base, dims) = split t in
+    Fmt.pf ppf "%a%a" pp_ty base
+      Fmt.(list ~sep:(any "") (fun ppf n -> Fmt.pf ppf "[%d]" n))
+      dims
+  | Tfun (r, args) ->
+    Fmt.pf ppf "%a(%a)" pp_ty r Fmt.(list ~sep:(any ", ") pp_ty) args
+  | Tstruct sd -> Fmt.pf ppf "struct %s" sd.sname
+
+type unop = Uneg | Unot | Ubnot
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Brem
+  | Bshl | Bshr | Bband | Bbor | Bbxor
+  | Blt | Ble | Bgt | Bge | Beq | Bne
+  | Bland | Blor  (** short-circuit; lowered to control flow *)
+
+type expr = { desc : desc; eloc : Srcloc.t }
+
+and desc =
+  | Eint of int
+  | Eflt of float
+  | Evar of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eassign of binop option * expr * expr
+      (** [lhs op= rhs]; [None] is plain assignment *)
+  | Eincdec of bool * bool * expr  (** (is_pre, is_inc, lvalue) *)
+  | Ecall of expr * expr list
+  | Eindex of expr * expr
+  | Efield of expr * string * bool  (** (object-or-pointer, field, is_arrow) *)
+  | Ederef of expr
+  | Eaddr of expr
+  | Econd of expr * expr * expr
+  | Ecast of ty * expr
+
+type stmt = { sdesc : sdesc; sloc : Srcloc.t }
+
+and sdesc =
+  | Sexpr of expr
+  | Sdecl of decl list
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdowhile of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+      (** init (an expression or declaration statement), cond, step, body *)
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sblock of stmt list
+  | Sskip
+
+and decl = {
+  dname : string;
+  dty : ty;
+  dconst : bool;
+  dinit : initializer_ option;
+  dloc : Srcloc.t;
+}
+
+and initializer_ = Iexpr of expr | Ilist of expr list
+
+type fundef = {
+  fname : string;
+  fret : ty;
+  fparams : (string * ty) list;
+  fbody : stmt option;  (** [None] for a prototype *)
+  floc : Srcloc.t;
+}
+
+type top =
+  | Tglobal of decl list
+  | Tfunc of fundef
+  | Tstructdef of sdef  (** kept for completeness; already registered *)
+
+type program = top list

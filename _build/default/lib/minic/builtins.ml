@@ -1,0 +1,37 @@
+(** Built-in functions known to the front end and implemented natively by the
+    interpreter.  They take register arguments only and touch no user-visible
+    memory, so their MOD/REF summaries are empty — exactly the property the
+    paper's compiler gets from hand-written summaries for library calls. *)
+
+open Ast
+
+let signatures : (string * ty) list =
+  [
+    (* memory *)
+    ("malloc", Tfun (Tptr Tint, [ Tint ]));  (* size in words *)
+    ("free", Tfun (Tvoid, [ Tptr Tint ]));
+    (* output: all output is folded into a running checksum as well, so that
+       every compilation configuration can be verified to agree *)
+    ("print_int", Tfun (Tvoid, [ Tint ]));
+    ("print_float", Tfun (Tvoid, [ Tflt ]));
+    ("print_char", Tfun (Tvoid, [ Tint ]));
+    (* deterministic pseudo-random source (LCG inside the interpreter) *)
+    ("rand", Tfun (Tint, []));
+    ("srand", Tfun (Tvoid, [ Tint ]));
+    (* math *)
+    ("pow", Tfun (Tflt, [ Tflt; Tflt ]));
+    ("sqrt", Tfun (Tflt, [ Tflt ]));
+    ("sin", Tfun (Tflt, [ Tflt ]));
+    ("cos", Tfun (Tflt, [ Tflt ]));
+    ("exp", Tfun (Tflt, [ Tflt ]));
+    ("log", Tfun (Tflt, [ Tflt ]));
+    ("fabs", Tfun (Tflt, [ Tflt ]));
+    ("abs", Tfun (Tint, [ Tint ]));
+  ]
+
+let is_builtin name = List.mem_assoc name signatures
+let signature name = List.assoc_opt name signatures
+
+(** [malloc]'s result points to fresh memory named by its call site; every
+    other builtin returns a non-pointer. *)
+let allocates name = name = "malloc"

@@ -1,0 +1,10 @@
+(** Built-in functions: known to the type checker, implemented natively by
+    the interpreter, all with empty MOD/REF summaries (they take register
+    arguments and touch no user-visible memory). *)
+
+val signatures : (string * Ast.ty) list
+val is_builtin : string -> bool
+val signature : string -> Ast.ty option
+
+(** Does the builtin allocate fresh heap memory ([malloc])? *)
+val allocates : string -> bool

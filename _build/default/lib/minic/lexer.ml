@@ -1,0 +1,249 @@
+(** Hand-written lexer for Mini-C.
+
+    Supports line ([//]) and block ([/* */]) comments, decimal and hex
+    integers, floating literals (with optional exponent), and character
+    literals with the usual escapes. *)
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+}
+
+let create src = { src; pos = 0; line = 1; bol = 0 }
+
+let loc lx = { Srcloc.line = lx.line; col = lx.pos - lx.bol + 1 }
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '/' when peek2 lx = Some '/' ->
+    while peek lx <> None && peek lx <> Some '\n' do
+      advance lx
+    done;
+    skip_ws lx
+  | Some '/' when peek2 lx = Some '*' ->
+    let start = loc lx in
+    advance lx;
+    advance lx;
+    let rec close () =
+      match peek lx with
+      | None -> Srcloc.error start "unterminated block comment"
+      | Some '*' when peek2 lx = Some '/' ->
+        advance lx;
+        advance lx
+      | Some _ ->
+        advance lx;
+        close ()
+    in
+    close ();
+    skip_ws lx
+  | _ -> ()
+
+let lex_number lx =
+  let start = lx.pos in
+  let l = loc lx in
+  if peek lx = Some '0' && (peek2 lx = Some 'x' || peek2 lx = Some 'X') then begin
+    advance lx;
+    advance lx;
+    while (match peek lx with Some c -> is_hex c | None -> false) do
+      advance lx
+    done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    (Token.INT (int_of_string s), l)
+  end
+  else begin
+    while (match peek lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+    let is_float = ref false in
+    (match (peek lx, peek2 lx) with
+    | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance lx;
+      while (match peek lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done
+    | Some '.', (None | Some _) when peek2 lx <> Some '.' ->
+      (* "1." style literal; don't consume "1..." (not valid anyway) *)
+      is_float := true;
+      advance lx
+    | _ -> ());
+    (match peek lx with
+    | Some ('e' | 'E') ->
+      let save = lx.pos in
+      advance lx;
+      (match peek lx with
+      | Some ('+' | '-') -> advance lx
+      | _ -> ());
+      if match peek lx with Some c -> is_digit c | None -> false then begin
+        is_float := true;
+        while (match peek lx with Some c -> is_digit c | None -> false) do
+          advance lx
+        done
+      end
+      else lx.pos <- save
+    | _ -> ());
+    let s = String.sub lx.src start (lx.pos - start) in
+    if !is_float then (Token.FLOAT (float_of_string s), l)
+    else (Token.INT (int_of_string s), l)
+  end
+
+let lex_char lx =
+  let l = loc lx in
+  advance lx;
+  (* opening quote *)
+  let c =
+    match peek lx with
+    | None -> Srcloc.error l "unterminated character literal"
+    | Some '\\' -> (
+      advance lx;
+      match peek lx with
+      | Some 'n' -> advance lx; 10
+      | Some 't' -> advance lx; 9
+      | Some 'r' -> advance lx; 13
+      | Some '0' -> advance lx; 0
+      | Some '\\' -> advance lx; 92
+      | Some '\'' -> advance lx; 39
+      | _ -> Srcloc.error l "bad escape in character literal")
+    | Some c ->
+      advance lx;
+      Char.code c
+  in
+  (match peek lx with
+  | Some '\'' -> advance lx
+  | _ -> Srcloc.error l "unterminated character literal");
+  (Token.CHAR c, l)
+
+let lex_ident lx =
+  let start = lx.pos in
+  let l = loc lx in
+  while (match peek lx with Some c -> is_alnum c | None -> false) do
+    advance lx
+  done;
+  let s = String.sub lx.src start (lx.pos - start) in
+  match List.assoc_opt s Token.keyword_table with
+  | Some kw -> (kw, l)
+  | None -> (Token.IDENT s, l)
+
+(** Produce the next token together with its source location. *)
+let next lx : Token.t * Srcloc.t =
+  skip_ws lx;
+  let l = loc lx in
+  let adv1 tok = advance lx; (tok, l) in
+  let adv2 tok = advance lx; advance lx; (tok, l) in
+  match peek lx with
+  | None -> (Token.EOF, l)
+  | Some c when is_digit c -> lex_number lx
+  | Some c when is_alpha c -> lex_ident lx
+  | Some '\'' -> lex_char lx
+  | Some '(' -> adv1 Token.LPAREN
+  | Some ')' -> adv1 Token.RPAREN
+  | Some '[' -> adv1 Token.LBRACKET
+  | Some ']' -> adv1 Token.RBRACKET
+  | Some '{' -> adv1 Token.LBRACE
+  | Some '}' -> adv1 Token.RBRACE
+  | Some ',' -> adv1 Token.COMMA
+  | Some ';' -> adv1 Token.SEMI
+  | Some '?' -> adv1 Token.QUESTION
+  | Some ':' -> adv1 Token.COLON
+  | Some '~' -> adv1 Token.TILDE
+  | Some '+' -> (
+    match peek2 lx with
+    | Some '+' -> adv2 Token.PLUSPLUS
+    | Some '=' -> adv2 Token.PLUSEQ
+    | _ -> adv1 Token.PLUS)
+  | Some '-' -> (
+    match peek2 lx with
+    | Some '-' -> adv2 Token.MINUSMINUS
+    | Some '=' -> adv2 Token.MINUSEQ
+    | Some '>' -> adv2 Token.ARROW
+    | _ -> adv1 Token.MINUS)
+  | Some '*' -> (
+    match peek2 lx with
+    | Some '=' -> adv2 Token.STAREQ
+    | _ -> adv1 Token.STAR)
+  | Some '/' -> (
+    match peek2 lx with
+    | Some '=' -> adv2 Token.SLASHEQ
+    | _ -> adv1 Token.SLASH)
+  | Some '%' -> (
+    match peek2 lx with
+    | Some '=' -> adv2 Token.PERCENTEQ
+    | _ -> adv1 Token.PERCENT)
+  | Some '<' -> (
+    match peek2 lx with
+    | Some '<' ->
+      advance lx;
+      advance lx;
+      if peek lx = Some '=' then (advance lx; (Token.LSHIFTEQ, l))
+      else (Token.LSHIFT, l)
+    | Some '=' -> adv2 Token.LE
+    | _ -> adv1 Token.LT)
+  | Some '>' -> (
+    match peek2 lx with
+    | Some '>' ->
+      advance lx;
+      advance lx;
+      if peek lx = Some '=' then (advance lx; (Token.RSHIFTEQ, l))
+      else (Token.RSHIFT, l)
+    | Some '=' -> adv2 Token.GE
+    | _ -> adv1 Token.GT)
+  | Some '=' -> (
+    match peek2 lx with
+    | Some '=' -> adv2 Token.EQEQ
+    | _ -> adv1 Token.ASSIGN)
+  | Some '!' -> (
+    match peek2 lx with
+    | Some '=' -> adv2 Token.NEQ
+    | _ -> adv1 Token.BANG)
+  | Some '&' -> (
+    match peek2 lx with
+    | Some '&' -> adv2 Token.AMPAMP
+    | Some '=' -> adv2 Token.AMPEQ
+    | _ -> adv1 Token.AMP)
+  | Some '|' -> (
+    match peek2 lx with
+    | Some '|' -> adv2 Token.PIPEPIPE
+    | Some '=' -> adv2 Token.PIPEEQ
+    | _ -> adv1 Token.PIPE)
+  | Some '^' -> (
+    match peek2 lx with
+    | Some '=' -> adv2 Token.CARETEQ
+    | _ -> adv1 Token.CARET)
+  | Some '.' when (match peek2 lx with Some c -> is_digit c | None -> false)
+    ->
+    lex_number lx
+  | Some '.' -> adv1 Token.DOT
+  | Some c -> Srcloc.error l "unexpected character %C" c
+
+(** Tokenize the whole input eagerly.  The parser works over this array. *)
+let tokenize src =
+  let lx = create src in
+  let rec go acc =
+    let (tok, l) = next lx in
+    if tok = Token.EOF then List.rev ((tok, l) :: acc)
+    else go ((tok, l) :: acc)
+  in
+  Array.of_list (go [])

@@ -1,0 +1,650 @@
+(** Recursive-descent parser for Mini-C.
+
+    The grammar is the usual C expression grammar (precedence climbing) over
+    the statement and declaration forms listed in {!Ast}, including struct
+    definitions with C's declare-before-use discipline.  There is no
+    preprocessor; unions, string literals, and [switch] are out of scope
+    (see DESIGN.md §2). *)
+
+type t = {
+  toks : (Token.t * Srcloc.t) array;
+  mutable pos : int;
+  structs : (string, Ast.sdef) Hashtbl.t;
+      (** struct definitions seen so far; C's declare-before-use rule lets
+          the parser resolve [struct X] to a complete layout on the spot *)
+}
+
+let create toks = { toks; pos = 0; structs = Hashtbl.create 8 }
+
+let peek p = fst p.toks.(p.pos)
+let peek_loc p = snd p.toks.(p.pos)
+let peek2 p =
+  if p.pos + 1 < Array.length p.toks then fst p.toks.(p.pos + 1)
+  else Token.EOF
+
+let peek3 p =
+  if p.pos + 2 < Array.length p.toks then fst p.toks.(p.pos + 2)
+  else Token.EOF
+
+let advance p = if p.pos < Array.length p.toks - 1 then p.pos <- p.pos + 1
+
+let eat p tok =
+  if peek p = tok then (advance p; true) else false
+
+let expect p tok =
+  if not (eat p tok) then
+    Srcloc.error (peek_loc p) "expected '%s' but found '%s'"
+      (Token.to_string tok)
+      (Token.to_string (peek p))
+
+let expect_ident p =
+  match peek p with
+  | Token.IDENT s ->
+    advance p;
+    s
+  | t -> Srcloc.error (peek_loc p) "expected identifier, found '%s'" (Token.to_string t)
+
+let is_type_start = function
+  | Token.KW_INT | Token.KW_FLOAT | Token.KW_VOID | Token.KW_CONST
+  | Token.KW_STRUCT -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Types and declarators                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [const? (int|float|void)] — the type specifier, without declarator. *)
+let parse_type_spec p =
+  let const = eat p Token.KW_CONST in
+  let base =
+    match peek p with
+    | Token.KW_INT -> advance p; Ast.Tint
+    | Token.KW_FLOAT -> advance p; Ast.Tflt
+    | Token.KW_VOID -> advance p; Ast.Tvoid
+    | Token.KW_STRUCT -> (
+      advance p;
+      let loc = peek_loc p in
+      let name = expect_ident p in
+      match Hashtbl.find_opt p.structs name with
+      | Some sd -> Ast.Tstruct sd
+      | None -> Srcloc.error loc "unknown struct '%s'" name)
+    | t ->
+      Srcloc.error (peek_loc p) "expected type specifier, found '%s'"
+        (Token.to_string t)
+  in
+  (* 'int const' postfix placement *)
+  let const = const || eat p Token.KW_CONST in
+  (base, const)
+
+let parse_stars p base =
+  let ty = ref base in
+  while eat p Token.STAR do
+    ty := Ast.Tptr !ty
+  done;
+  !ty
+
+(** Array dimensions after an identifier: [\[3\]\[4\]] applied outside-in. *)
+let parse_dims p base =
+  let rec dims () =
+    if eat p Token.LBRACKET then begin
+      let n =
+        match peek p with
+        | Token.INT n ->
+          advance p;
+          n
+        | t ->
+          Srcloc.error (peek_loc p) "expected array length, found '%s'"
+            (Token.to_string t)
+      in
+      expect p Token.RBRACKET;
+      let inner = dims () in
+      Ast.Tarr (inner, n)
+    end
+    else base
+  in
+  dims ()
+
+(** A declarator: stars, name, dimensions; or the function-pointer form
+    ["( * name[dims...] )(param-types)"].  Returns (name, type, loc). *)
+let rec parse_declarator p base =
+  let ty = parse_stars p base in
+  parse_declarator_tail p ty
+
+(** The declarator after any leading stars have been consumed. *)
+and parse_declarator_tail p ty =
+  let loc = peek_loc p in
+  if peek p = Token.LPAREN && peek2 p = Token.STAR then begin
+    advance p;
+    (* LPAREN *)
+    expect p Token.STAR;
+    let name = expect_ident p in
+    (* dims inside the group apply around the pointer-to-function *)
+    let hole_dims = collect_dims p in
+    expect p Token.RPAREN;
+    expect p Token.LPAREN;
+    let ptys =
+      if peek p = Token.RPAREN then []
+      else if peek p = Token.KW_VOID && peek2 p = Token.RPAREN then begin
+        advance p;
+        []
+      end
+      else begin
+        let rec more acc =
+          let (b, _) = parse_type_spec p in
+          let t = parse_stars p b in
+          (* optional parameter name in the abstract declarator *)
+          (match peek p with Token.IDENT _ -> advance p | _ -> ());
+          if eat p Token.COMMA then more (t :: acc) else List.rev (t :: acc)
+        in
+        more []
+      end
+    in
+    expect p Token.RPAREN;
+    let fnty = Ast.Tfun (ty, ptys) in
+    let inner = Ast.Tptr fnty in
+    let ty = List.fold_right (fun n t -> Ast.Tarr (t, n)) hole_dims inner in
+    (name, ty, loc)
+  end
+  else begin
+    let name = expect_ident p in
+    let ty = parse_dims p ty in
+    (name, ty, loc)
+  end
+
+(** Raw dimension list [\[3\]\[4\]] -> [[3;4]]. *)
+and collect_dims p =
+  let rec go acc =
+    if eat p Token.LBRACKET then begin
+      let n =
+        match peek p with
+        | Token.INT n ->
+          advance p;
+          n
+        | t ->
+          Srcloc.error (peek_loc p) "expected array length, found '%s'"
+            (Token.to_string t)
+      in
+      expect p Token.RBRACKET;
+      go (n :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk loc desc = { Ast.desc; eloc = loc }
+
+let assign_op = function
+  | Token.ASSIGN -> Some None
+  | Token.PLUSEQ -> Some (Some Ast.Badd)
+  | Token.MINUSEQ -> Some (Some Ast.Bsub)
+  | Token.STAREQ -> Some (Some Ast.Bmul)
+  | Token.SLASHEQ -> Some (Some Ast.Bdiv)
+  | Token.PERCENTEQ -> Some (Some Ast.Brem)
+  | Token.AMPEQ -> Some (Some Ast.Bband)
+  | Token.PIPEEQ -> Some (Some Ast.Bbor)
+  | Token.CARETEQ -> Some (Some Ast.Bbxor)
+  | Token.LSHIFTEQ -> Some (Some Ast.Bshl)
+  | Token.RSHIFTEQ -> Some (Some Ast.Bshr)
+  | _ -> None
+
+let rec parse_expr p = parse_assign p
+
+and parse_assign p =
+  let loc = peek_loc p in
+  let lhs = parse_cond p in
+  match assign_op (peek p) with
+  | Some op ->
+    advance p;
+    let rhs = parse_assign p in
+    mk loc (Ast.Eassign (op, lhs, rhs))
+  | None -> lhs
+
+and parse_cond p =
+  let loc = peek_loc p in
+  let c = parse_binary p 0 in
+  if eat p Token.QUESTION then begin
+    let t = parse_expr p in
+    expect p Token.COLON;
+    let e = parse_cond p in
+    mk loc (Ast.Econd (c, t, e))
+  end
+  else c
+
+(* Binary operators by precedence level, loosest first. *)
+and binop_levels =
+  [|
+    [ (Token.PIPEPIPE, Ast.Blor) ];
+    [ (Token.AMPAMP, Ast.Bland) ];
+    [ (Token.PIPE, Ast.Bbor) ];
+    [ (Token.CARET, Ast.Bbxor) ];
+    [ (Token.AMP, Ast.Bband) ];
+    [ (Token.EQEQ, Ast.Beq); (Token.NEQ, Ast.Bne) ];
+    [ (Token.LT, Ast.Blt); (Token.LE, Ast.Ble); (Token.GT, Ast.Bgt);
+      (Token.GE, Ast.Bge) ];
+    [ (Token.LSHIFT, Ast.Bshl); (Token.RSHIFT, Ast.Bshr) ];
+    [ (Token.PLUS, Ast.Badd); (Token.MINUS, Ast.Bsub) ];
+    [ (Token.STAR, Ast.Bmul); (Token.SLASH, Ast.Bdiv);
+      (Token.PERCENT, Ast.Brem) ];
+  |]
+
+and parse_binary p level =
+  if level >= Array.length binop_levels then parse_unary p
+  else begin
+    let loc = peek_loc p in
+    let lhs = ref (parse_binary p (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match List.assoc_opt (peek p) binop_levels.(level) with
+      | Some op ->
+        advance p;
+        let rhs = parse_binary p (level + 1) in
+        lhs := mk loc (Ast.Ebinop (op, !lhs, rhs))
+      | None -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary p =
+  let loc = peek_loc p in
+  match peek p with
+  | Token.MINUS ->
+    advance p;
+    mk loc (Ast.Eunop (Ast.Uneg, parse_unary p))
+  | Token.BANG ->
+    advance p;
+    mk loc (Ast.Eunop (Ast.Unot, parse_unary p))
+  | Token.TILDE ->
+    advance p;
+    mk loc (Ast.Eunop (Ast.Ubnot, parse_unary p))
+  | Token.STAR ->
+    advance p;
+    mk loc (Ast.Ederef (parse_unary p))
+  | Token.AMP ->
+    advance p;
+    mk loc (Ast.Eaddr (parse_unary p))
+  | Token.PLUSPLUS ->
+    advance p;
+    mk loc (Ast.Eincdec (true, true, parse_unary p))
+  | Token.MINUSMINUS ->
+    advance p;
+    mk loc (Ast.Eincdec (true, false, parse_unary p))
+  | Token.PLUS ->
+    advance p;
+    parse_unary p
+  | Token.LPAREN when is_type_start (peek2 p) ->
+    (* cast *)
+    advance p;
+    let (base, _const) = parse_type_spec p in
+    let ty = parse_stars p base in
+    expect p Token.RPAREN;
+    mk loc (Ast.Ecast (ty, parse_unary p))
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let loc = peek_loc p in
+  let e = ref (parse_primary p) in
+  let continue = ref true in
+  while !continue do
+    match peek p with
+    | Token.LPAREN ->
+      advance p;
+      let args =
+        if peek p = Token.RPAREN then []
+        else begin
+          let rec more acc =
+            let a = parse_assign p in
+            if eat p Token.COMMA then more (a :: acc) else List.rev (a :: acc)
+          in
+          more []
+        end
+      in
+      expect p Token.RPAREN;
+      e := mk loc (Ast.Ecall (!e, args))
+    | Token.LBRACKET ->
+      advance p;
+      let idx = parse_expr p in
+      expect p Token.RBRACKET;
+      e := mk loc (Ast.Eindex (!e, idx))
+    | Token.DOT ->
+      advance p;
+      let f = expect_ident p in
+      e := mk loc (Ast.Efield (!e, f, false))
+    | Token.ARROW ->
+      advance p;
+      let f = expect_ident p in
+      e := mk loc (Ast.Efield (!e, f, true))
+    | Token.PLUSPLUS ->
+      advance p;
+      e := mk loc (Ast.Eincdec (false, true, !e))
+    | Token.MINUSMINUS ->
+      advance p;
+      e := mk loc (Ast.Eincdec (false, false, !e))
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary p =
+  let loc = peek_loc p in
+  match peek p with
+  | Token.INT n ->
+    advance p;
+    mk loc (Ast.Eint n)
+  | Token.FLOAT f ->
+    advance p;
+    mk loc (Ast.Eflt f)
+  | Token.CHAR c ->
+    advance p;
+    mk loc (Ast.Eint c)
+  | Token.IDENT s ->
+    advance p;
+    mk loc (Ast.Evar s)
+  | Token.LPAREN ->
+    advance p;
+    let e = parse_expr p in
+    expect p Token.RPAREN;
+    e
+  | t ->
+    Srcloc.error loc "expected expression, found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mks loc sdesc = { Ast.sdesc; sloc = loc }
+
+let rec parse_stmt p =
+  let loc = peek_loc p in
+  match peek p with
+  | Token.SEMI ->
+    advance p;
+    mks loc Ast.Sskip
+  | Token.LBRACE ->
+    advance p;
+    let stmts = ref [] in
+    while peek p <> Token.RBRACE && peek p <> Token.EOF do
+      stmts := parse_stmt p :: !stmts
+    done;
+    expect p Token.RBRACE;
+    mks loc (Ast.Sblock (List.rev !stmts))
+  | Token.KW_IF ->
+    advance p;
+    expect p Token.LPAREN;
+    let c = parse_expr p in
+    expect p Token.RPAREN;
+    let then_ = parse_stmt p in
+    let else_ = if eat p Token.KW_ELSE then Some (parse_stmt p) else None in
+    mks loc (Ast.Sif (c, then_, else_))
+  | Token.KW_WHILE ->
+    advance p;
+    expect p Token.LPAREN;
+    let c = parse_expr p in
+    expect p Token.RPAREN;
+    mks loc (Ast.Swhile (c, parse_stmt p))
+  | Token.KW_DO ->
+    advance p;
+    let body = parse_stmt p in
+    expect p Token.KW_WHILE;
+    expect p Token.LPAREN;
+    let c = parse_expr p in
+    expect p Token.RPAREN;
+    expect p Token.SEMI;
+    mks loc (Ast.Sdowhile (body, c))
+  | Token.KW_FOR ->
+    advance p;
+    expect p Token.LPAREN;
+    let init =
+      if peek p = Token.SEMI then (advance p; None)
+      else if is_type_start (peek p) then begin
+        let d = parse_decl_stmt p in
+        Some d
+      end
+      else begin
+        let e = parse_expr p in
+        expect p Token.SEMI;
+        Some (mks loc (Ast.Sexpr e))
+      end
+    in
+    let cond =
+      if peek p = Token.SEMI then None else Some (parse_expr p)
+    in
+    expect p Token.SEMI;
+    let step =
+      if peek p = Token.RPAREN then None else Some (parse_expr p)
+    in
+    expect p Token.RPAREN;
+    mks loc (Ast.Sfor (init, cond, step, parse_stmt p))
+  | Token.KW_BREAK ->
+    advance p;
+    expect p Token.SEMI;
+    mks loc Ast.Sbreak
+  | Token.KW_CONTINUE ->
+    advance p;
+    expect p Token.SEMI;
+    mks loc Ast.Scontinue
+  | Token.KW_RETURN ->
+    advance p;
+    let e = if peek p = Token.SEMI then None else Some (parse_expr p) in
+    expect p Token.SEMI;
+    mks loc (Ast.Sreturn e)
+  | t when is_type_start t -> parse_decl_stmt p
+  | _ ->
+    let e = parse_expr p in
+    expect p Token.SEMI;
+    mks loc (Ast.Sexpr e)
+
+(** [const? type declarator (= init)? (, declarator (= init)?)* ;] *)
+and parse_decl_stmt p =
+  let loc = peek_loc p in
+  let decls = parse_decls p in
+  mks loc (Ast.Sdecl decls)
+
+and parse_decls p =
+  let (base, const) = parse_type_spec p in
+  let rec one acc =
+    let (name, ty, dloc) = parse_declarator p base in
+    let init =
+      if eat p Token.ASSIGN then Some (parse_init p) else None
+    in
+    let d = { Ast.dname = name; dty = ty; dconst = const; dinit = init; dloc } in
+    if eat p Token.COMMA then one (d :: acc) else List.rev (d :: acc)
+  in
+  let ds = one [] in
+  expect p Token.SEMI;
+  ds
+
+and parse_init p =
+  if eat p Token.LBRACE then begin
+    let rec more acc =
+      if peek p = Token.RBRACE then List.rev acc
+      else begin
+        let e = parse_assign p in
+        if eat p Token.COMMA then more (e :: acc) else List.rev (e :: acc)
+      end
+    in
+    let es = more [] in
+    expect p Token.RBRACE;
+    Ast.Ilist es
+  end
+  else Ast.Iexpr (parse_assign p)
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [struct Name { type field; ... };] — registers the layout (offsets in
+    declaration order) and returns the definition. *)
+let parse_structdef p =
+  expect p Token.KW_STRUCT;
+  let loc = peek_loc p in
+  let name = expect_ident p in
+  if Hashtbl.mem p.structs name then
+    Srcloc.error loc "redefinition of struct '%s'" name;
+  (* register an incomplete placeholder so fields may hold [struct X *] *)
+  let sd = { Ast.sname = name; sfields = []; ssize = 0 } in
+  Hashtbl.replace p.structs name sd;
+  expect p Token.LBRACE;
+  let fields = ref [] in
+  let offset = ref 0 in
+  (* a field type is complete when its size does not depend on an
+     unfinished definition (pointers to incomplete structs are fine) *)
+  let rec complete = function
+    | Ast.Tstruct d -> d.Ast.ssize > 0
+    | Ast.Tarr (t, _) -> complete t
+    | _ -> true
+  in
+  while peek p <> Token.RBRACE do
+    let (fbase, _) = parse_type_spec p in
+    (match fbase with
+    | Ast.Tvoid -> Srcloc.error (peek_loc p) "void struct field"
+    | _ -> ());
+    let rec one () =
+      let (fname, fty, floc) = parse_declarator p fbase in
+      (match fty with
+      | Ast.Tfun _ -> Srcloc.error floc "function struct field"
+      | _ -> ());
+      if not (complete fty) then
+        Srcloc.error floc "field '%s' has incomplete type" fname;
+      if List.exists (fun (n, _, _) -> n = fname) !fields then
+        Srcloc.error floc "duplicate field '%s'" fname;
+      fields := (fname, fty, !offset) :: !fields;
+      offset := !offset + Ast.sizeof fty;
+      if eat p Token.COMMA then one ()
+    in
+    one ();
+    expect p Token.SEMI
+  done;
+  expect p Token.RBRACE;
+  expect p Token.SEMI;
+  if !offset = 0 then Srcloc.error loc "empty struct '%s'" name;
+  sd.Ast.sfields <- List.rev !fields;
+  sd.Ast.ssize <- !offset;
+  Ast.Tstructdef sd
+
+let parse_top p =
+  if
+    peek p = Token.KW_STRUCT
+    && (match peek2 p with Token.IDENT _ -> true | _ -> false)
+    && peek3 p = Token.LBRACE
+  then parse_structdef p
+  else begin
+  let floc = peek_loc p in
+  let (base, const) = parse_type_spec p in
+  let ty = parse_stars p base in
+  if peek p = Token.LPAREN && peek2 p = Token.STAR then begin
+    (* global function-pointer declaration(s), e.g. "int ( *hook )(int);" *)
+    let (name, dty, dloc) = parse_declarator_tail p ty in
+    let init = if eat p Token.ASSIGN then Some (parse_init p) else None in
+    let first = { Ast.dname = name; dty; dconst = const; dinit = init; dloc } in
+    let rec more acc =
+      if eat p Token.COMMA then begin
+        let (n, t, l) = parse_declarator p base in
+        let i = if eat p Token.ASSIGN then Some (parse_init p) else None in
+        more ({ Ast.dname = n; dty = t; dconst = const; dinit = i; dloc = l } :: acc)
+      end
+      else List.rev acc
+    in
+    let rest = more [] in
+    expect p Token.SEMI;
+    Ast.Tglobal (first :: rest)
+  end
+  else begin
+  let name = expect_ident p in
+  if peek p = Token.LPAREN then begin
+    (* function definition or prototype *)
+    advance p;
+    let params =
+      if peek p = Token.RPAREN then []
+      else if peek p = Token.KW_VOID && peek2 p = Token.RPAREN then begin
+        advance p;
+        []
+      end
+      else begin
+        let parse_param () =
+          let (pbase, _) = parse_type_spec p in
+          let decay = function Ast.Tarr (t, _) -> Ast.Tptr t | t -> t in
+          if peek p = Token.LPAREN && peek2 p = Token.STAR then begin
+            let (pname, pty, _) = parse_declarator p pbase in
+            (pname, decay pty)
+          end
+          else begin
+            let pty = parse_stars p pbase in
+            if peek p = Token.LPAREN && peek2 p = Token.STAR then begin
+              (* fn-pointer param after leading stars — rare; delegate by
+                 re-entering the declarator on the star-free remainder *)
+              let (pname, pty', _) = parse_declarator p pty in
+              (pname, pty')
+            end
+            else begin
+              let pname = expect_ident p in
+              (* array parameters decay to pointers:
+                 f(int a[]), f(int a[3][4]) *)
+              let pty =
+                if peek p = Token.LBRACKET then begin
+                  expect p Token.LBRACKET;
+                  (match peek p with
+                  | Token.INT _ -> advance p
+                  | _ -> ());
+                  expect p Token.RBRACKET;
+                  let inner = parse_dims p pty in
+                  Ast.Tptr inner
+                end
+                else pty
+              in
+              (pname, pty)
+            end
+          end
+        in
+        let rec more acc =
+          let prm = parse_param () in
+          if eat p Token.COMMA then more (prm :: acc)
+          else List.rev (prm :: acc)
+        in
+        more []
+      end
+    in
+    expect p Token.RPAREN;
+    let body =
+      if eat p Token.SEMI then None
+      else begin
+        if peek p <> Token.LBRACE then
+          Srcloc.error (peek_loc p) "expected function body";
+        Some (parse_stmt p)
+      end
+    in
+    Ast.Tfunc { fname = name; fret = ty; fparams = params; fbody = body; floc }
+  end
+  else begin
+    (* global declaration; we already consumed the first declarator's stars
+       and name, so finish it by hand, then continue with the comma list *)
+    let ty = parse_dims p ty in
+    let init = if eat p Token.ASSIGN then Some (parse_init p) else None in
+    let first =
+      { Ast.dname = name; dty = ty; dconst = const; dinit = init; dloc = floc }
+    in
+    let rec more acc =
+      if eat p Token.COMMA then begin
+        let (n, t, l) = parse_declarator p base in
+        let i = if eat p Token.ASSIGN then Some (parse_init p) else None in
+        more ({ Ast.dname = n; dty = t; dconst = const; dinit = i; dloc = l } :: acc)
+      end
+      else List.rev acc
+    in
+    let rest = more [] in
+    expect p Token.SEMI;
+    Ast.Tglobal (first :: rest)
+  end
+  end
+  end
+
+(** Parse a complete translation unit. *)
+let parse_program src =
+  let p = create (Lexer.tokenize src) in
+  let tops = ref [] in
+  while peek p <> Token.EOF do
+    tops := parse_top p :: !tops
+  done;
+  List.rev !tops

@@ -1,0 +1,6 @@
+(** Hand-written recursive-descent parser for Mini-C (see DESIGN.md §2 for
+    the accepted subset).  Struct definitions follow C's declare-before-use
+    rule and are resolved to complete layouts during parsing.
+    @raise Srcloc.Error on syntax errors. *)
+
+val parse_program : string -> Ast.program

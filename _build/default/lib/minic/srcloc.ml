@@ -1,0 +1,13 @@
+(** Source positions and front-end error reporting. *)
+
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let pp ppf { line; col } = Fmt.pf ppf "%d:%d" line col
+
+exception Error of t * string
+(** Raised by the lexer, parser, and type checker on malformed input. *)
+
+let error loc fmt = Fmt.kstr (fun msg -> raise (Error (loc, msg))) fmt
+
+let to_string (loc, msg) = Fmt.str "%a: %s" pp loc msg

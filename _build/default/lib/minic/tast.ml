@@ -1,0 +1,120 @@
+(** Typed abstract syntax, as produced by {!Typecheck}.
+
+    Differences from {!Ast}:
+    - every name is resolved to a {!var} carrying its storage kind and an
+      address-taken mark;
+    - implicit conversions are explicit ({!conv});
+    - pointer arithmetic is explicit and pre-scaled ([Tptradd]);
+    - array indexing is normalized to pointer arithmetic, but the original
+      base object remains recoverable for tag-set precision;
+    - short-circuit operators are distinct nodes. *)
+
+type kind =
+  | Kglobal
+  | Klocal of string  (** declared in the named function *)
+  | Kparam of string * int  (** parameter [index] of the named function *)
+
+type var = {
+  vid : int;  (** unique across the program *)
+  vname : string;
+  vty : Ast.ty;
+  vkind : kind;
+  vconst : bool;
+  mutable vaddr_taken : bool;
+      (** set when [&v] occurs anywhere; array and function-pointer-table
+          variables are memory objects regardless *)
+}
+
+let var_is_array v = match v.vty with Ast.Tarr _ -> true | _ -> false
+
+(** Aggregates (arrays and structs) are memory objects regardless of
+    whether their address is written explicitly. *)
+let var_is_aggregate v =
+  match v.vty with Ast.Tarr _ | Ast.Tstruct _ -> true | _ -> false
+
+(** Does this variable necessarily live in memory (so it needs a tag)? *)
+let var_in_memory v =
+  match v.vkind with
+  | Kglobal -> true
+  | Klocal _ | Kparam _ -> v.vaddr_taken || var_is_aggregate v
+
+type conv =
+  | CI2F  (** int -> float *)
+  | CF2I  (** float -> int, truncating *)
+  | CBits  (** pointer/integer reinterpretation; a no-op at runtime *)
+
+type expr = { edesc : edesc; ety : Ast.ty }
+
+and edesc =
+  | Tint_lit of int
+  | Tflt_lit of float
+  | Tload of lval  (** an lvalue read *)
+  | Taddr of lval  (** & *)
+  | Tfunref of string  (** function name used as a value *)
+  | Tunop of Ast.unop * expr
+  | Tbinop of Ast.binop * expr * expr
+      (** both operands share the (non-pointer) type dictated by [ety] /
+          comparison operand types *)
+  | Tptradd of expr * expr * int
+      (** pointer + index, scale in words: [p + i*scale] *)
+  | Tptrdiff of expr * expr * int  (** (p - q) / scale *)
+  | Tand of expr * expr  (** short-circuit && *)
+  | Tor of expr * expr  (** short-circuit || *)
+  | Tcond of expr * expr * expr
+  | Tconv of conv * expr
+  | Tassign of Ast.binop option * lval * expr
+      (** compound ops keep the lvalue so it is evaluated exactly once *)
+  | Tincdec of bool * bool * lval  (** (is_pre, is_inc, lvalue) *)
+  | Tcall of callee * expr list
+
+and callee = Cdirect of string | Cindirect of expr
+
+and lval =
+  | Lvar of var
+  | Lmem of expr * Ast.ty * var option
+      (** memory at [address expr]; payload: pointee type and, when the
+          address provably derives from a specific array/scalar variable,
+          that variable (for precise tag sets) *)
+
+let lval_ty = function
+  | Lvar v -> v.vty
+  | Lmem (_, t, _) -> t
+
+type stmt =
+  | Sexpr of expr
+  | Svardef of var * expr option
+      (** local declaration; arrays get no initializer here (the element
+          initializers are expanded into assignments by the checker) *)
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdowhile of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sblock of stmt list
+  | Sskip
+
+(** Constant words for global initializers (the front end does not depend on
+    the IR library, so it has its own constant type). *)
+type cval = Wint of int | Wflt of float
+
+type ginit = Gwords of cval list | Gzero
+
+type fundef = {
+  fname : string;
+  fret : Ast.ty;
+  fparams : var list;
+  fbody : stmt;
+  frecursive : bool;
+      (** conservatively true when the function may (transitively) call
+          itself, including through function pointers *)
+  flocals : var list;  (** all locals declared anywhere in the body *)
+}
+
+type program = {
+  pglobals : (var * ginit) list;
+  pfuncs : fundef list;
+  pfunc_sigs : (string * Ast.ty) list;
+      (** every defined function's [Tfun] signature, for indirect calls *)
+}

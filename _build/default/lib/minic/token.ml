@@ -1,0 +1,68 @@
+(** Tokens of Mini-C, the C subset accepted by the front end. *)
+
+type t =
+  (* literals and names *)
+  | INT of int
+  | FLOAT of float
+  | CHAR of int  (** character literal, already an integer *)
+  | IDENT of string
+  (* keywords *)
+  | KW_INT
+  | KW_FLOAT
+  | KW_VOID
+  | KW_CONST
+  | KW_STRUCT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_DO
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  (* punctuation / operators *)
+  | LPAREN | RPAREN | LBRACKET | RBRACKET | LBRACE | RBRACE
+  | COMMA | SEMI | QUESTION | COLON | DOT | ARROW
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LSHIFT | RSHIFT
+  | LT | LE | GT | GE | EQEQ | NEQ
+  | AMP | PIPE | CARET | TILDE | BANG
+  | AMPAMP | PIPEPIPE
+  | ASSIGN
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | PERCENTEQ
+  | AMPEQ | PIPEEQ | CARETEQ | LSHIFTEQ | RSHIFTEQ
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let keyword_table =
+  [
+    ("int", KW_INT); ("float", KW_FLOAT); ("double", KW_FLOAT);
+    ("void", KW_VOID); ("const", KW_CONST); ("struct", KW_STRUCT);
+    ("if", KW_IF);
+    ("else", KW_ELSE); ("while", KW_WHILE); ("for", KW_FOR); ("do", KW_DO);
+    ("break", KW_BREAK); ("continue", KW_CONTINUE); ("return", KW_RETURN);
+  ]
+
+let to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | CHAR c -> Printf.sprintf "'%c'" (Char.chr (c land 0xff))
+  | IDENT s -> s
+  | KW_INT -> "int" | KW_FLOAT -> "float" | KW_VOID -> "void"
+  | KW_CONST -> "const" | KW_STRUCT -> "struct"
+  | KW_IF -> "if" | KW_ELSE -> "else"
+  | KW_WHILE -> "while" | KW_FOR -> "for" | KW_DO -> "do"
+  | KW_BREAK -> "break" | KW_CONTINUE -> "continue" | KW_RETURN -> "return"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACKET -> "[" | RBRACKET -> "]"
+  | LBRACE -> "{" | RBRACE -> "}" | COMMA -> "," | SEMI -> ";"
+  | QUESTION -> "?" | COLON -> ":" | DOT -> "." | ARROW -> "->"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | LSHIFT -> "<<" | RSHIFT -> ">>"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQEQ -> "==" | NEQ -> "!="
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | AMPAMP -> "&&" | PIPEPIPE -> "||" | ASSIGN -> "="
+  | PLUSEQ -> "+=" | MINUSEQ -> "-=" | STAREQ -> "*=" | SLASHEQ -> "/="
+  | PERCENTEQ -> "%=" | AMPEQ -> "&=" | PIPEEQ -> "|=" | CARETEQ -> "^="
+  | LSHIFTEQ -> "<<=" | RSHIFTEQ -> ">>="
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "<eof>"

@@ -1,0 +1,770 @@
+(** Type checking and name resolution: {!Ast.program} -> {!Tast.program}.
+
+    Besides ordinary checking this pass
+    - marks address-taken variables ([&v] anywhere in the program);
+    - normalizes array indexing to pre-scaled pointer arithmetic while
+      keeping the base object for tag-set precision;
+    - makes all implicit conversions explicit;
+    - expands local array initializers into element assignments;
+    - detects possibly-recursive functions (including recursion through
+      function pointers), which the IR generator needs when deciding whether
+      a local's tag may stand for several activations. *)
+
+open Tast
+
+type env = {
+  scopes : (string, var) Hashtbl.t list ref;  (** innermost first *)
+  globals : (string, var) Hashtbl.t;
+  funcs : (string, Ast.ty) Hashtbl.t;  (** name -> Tfun signature *)
+  mutable cur_fn : string;
+  mutable cur_ret : Ast.ty;
+  mutable loop_depth : int;
+  mutable locals_acc : var list;  (** locals of the current function *)
+  vids : Rp_support.Idgen.t;
+}
+
+let err = Srcloc.error
+
+(* ------------------------------------------------------------------ *)
+(* Environment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let push_scope env = env.scopes := Hashtbl.create 8 :: !(env.scopes)
+let pop_scope env =
+  match !(env.scopes) with
+  | _ :: rest -> env.scopes := rest
+  | [] -> assert false
+
+let lookup env name =
+  let rec go = function
+    | [] -> Hashtbl.find_opt env.globals name
+    | s :: rest -> (
+      match Hashtbl.find_opt s name with Some v -> Some v | None -> go rest)
+  in
+  go !(env.scopes)
+
+let define_local env loc (v : var) =
+  match !(env.scopes) with
+  | s :: _ ->
+    if Hashtbl.mem s v.vname then
+      err loc "redeclaration of '%s'" v.vname;
+    Hashtbl.replace s v.vname v;
+    env.locals_acc <- v :: env.locals_acc
+  | [] -> assert false
+
+let fresh_var env ~name ~ty ~kind ~const =
+  {
+    vid = Rp_support.Idgen.fresh env.vids;
+    vname = name;
+    vty = ty;
+    vkind = kind;
+    vconst = const;
+    vaddr_taken = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Ast.Tint, Ast.Tint | Ast.Tflt, Ast.Tflt | Ast.Tvoid, Ast.Tvoid -> true
+  | Ast.Tptr a, Ast.Tptr b -> ty_equal a b
+  | Ast.Tarr (a, n), Ast.Tarr (b, m) -> n = m && ty_equal a b
+  | Ast.Tfun (r1, a1), Ast.Tfun (r2, a2) ->
+    ty_equal r1 r2
+    && List.length a1 = List.length a2
+    && List.for_all2 ty_equal a1 a2
+  | Ast.Tstruct a, Ast.Tstruct b ->
+    (* nominal equality; never compare recursive layouts structurally *)
+    a.Ast.sname = b.Ast.sname
+  | _ -> false
+
+let is_ptr = function Ast.Tptr _ -> true | _ -> false
+let is_numeric = function Ast.Tint | Ast.Tflt -> true | _ -> false
+
+let mk ety edesc = { edesc; ety }
+
+(** Decay an lvalue into an rvalue expression: arrays become pointers to
+    their first element, everything else becomes a load. *)
+let decay_lval lv =
+  match lval_ty lv with
+  | Ast.Tarr (elem, _) -> mk (Ast.Tptr elem) (Taddr lv)
+  | Ast.Tfun _ -> assert false
+  | t -> mk t (Tload lv)
+
+(** Best-effort identification of the memory object an address expression
+    points into.  Drives the front end's tag-set precision: a direct array
+    reference gets the singleton tag set, a pointer-variable-based access
+    gets the conservative universe. *)
+let rec base_var (e : expr) =
+  match e.edesc with
+  | Taddr (Lvar v) -> Some v
+  | Taddr (Lmem (a, _, _)) -> base_var a
+  | Tptradd (a, _, _) -> base_var a
+  | Tconv (CBits, a) -> base_var a
+  | _ -> None
+
+(** Convert [e] to type [want], inserting explicit conversions.  [loc] is
+    used for error reporting. *)
+let coerce loc (e : expr) want =
+  let have = e.ety in
+  if ty_equal have want then e
+  else
+    match (have, want) with
+    | Ast.Tint, Ast.Tflt -> mk want (Tconv (CI2F, e))
+    | Ast.Tflt, Ast.Tint -> mk want (Tconv (CF2I, e))
+    | Ast.Tptr _, Ast.Tptr _ -> mk want (Tconv (CBits, e))
+    | Ast.Tint, Ast.Tptr _ -> mk want (Tconv (CBits, e))
+    | Ast.Tptr _, Ast.Tint -> mk want (Tconv (CBits, e))
+    | _ ->
+      err loc "cannot convert %a to %a" Ast.pp_ty have Ast.pp_ty want
+
+(** Promote two numeric operands to their common type. *)
+let promote loc a b =
+  match (a.ety, b.ety) with
+  | Ast.Tint, Ast.Tint -> (a, b, Ast.Tint)
+  | Ast.Tflt, Ast.Tflt -> (a, b, Ast.Tflt)
+  | Ast.Tint, Ast.Tflt -> (mk Ast.Tflt (Tconv (CI2F, a)), b, Ast.Tflt)
+  | Ast.Tflt, Ast.Tint -> (a, mk Ast.Tflt (Tconv (CI2F, b)), Ast.Tflt)
+  | ta, tb ->
+    err loc "invalid operand types %a and %a" Ast.pp_ty ta Ast.pp_ty tb
+
+(** An expression used as a branch condition: normalize to int-valued. *)
+let boolify loc (e : expr) =
+  match e.ety with
+  | Ast.Tint -> e
+  | Ast.Tflt -> mk Ast.Tint (Tbinop (Ast.Bne, e, mk Ast.Tflt (Tflt_lit 0.)))
+  | Ast.Tptr _ -> mk Ast.Tint (Tbinop (Ast.Bne, e, mk e.ety (Tint_lit 0)))
+  | t -> err loc "%a cannot be used as a condition" Ast.pp_ty t
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_expr env (e : Ast.expr) : expr =
+  let loc = e.eloc in
+  match e.desc with
+  | Ast.Eint n -> mk Ast.Tint (Tint_lit n)
+  | Ast.Eflt f -> mk Ast.Tflt (Tflt_lit f)
+  | Ast.Evar name -> (
+    match lookup env name with
+    | Some v -> decay_lval (Lvar v)
+    | None -> (
+      match Hashtbl.find_opt env.funcs name with
+      | Some sig_ -> mk (Ast.Tptr sig_) (Tfunref name)
+      | None -> (
+        match Builtins.signature name with
+        | Some sig_ -> mk (Ast.Tptr sig_) (Tfunref name)
+        | None -> err loc "undeclared identifier '%s'" name)))
+  | Ast.Eunop (op, a) -> (
+    let a = check_expr env a in
+    match op with
+    | Ast.Uneg ->
+      if not (is_numeric a.ety) then err loc "unary - needs a numeric operand";
+      mk a.ety (Tunop (Ast.Uneg, a))
+    | Ast.Unot ->
+      let a = boolify loc a in
+      mk Ast.Tint (Tunop (Ast.Unot, a))
+    | Ast.Ubnot ->
+      if a.ety <> Ast.Tint then err loc "~ needs an int operand";
+      mk Ast.Tint (Tunop (Ast.Ubnot, a)))
+  | Ast.Ebinop (op, a, b) -> check_binop env loc op a b
+  | Ast.Eassign (op, lhs, rhs) ->
+    let lv = check_lval env lhs in
+    let lty = lval_ty lv in
+    (match lty with
+    | Ast.Tarr _ -> err loc "cannot assign to an array"
+    | Ast.Tstruct _ -> err loc "whole-struct assignment is not supported"
+    | Ast.Tvoid | Ast.Tfun _ -> err loc "invalid assignment target"
+    | _ -> ());
+    let rhs = check_expr env rhs in
+    (match op with
+    | None ->
+      let rhs = coerce loc rhs lty in
+      mk lty (Tassign (None, lv, rhs))
+    | Some bop -> (
+      match lty with
+      | Ast.Tptr pointee when bop = Ast.Badd || bop = Ast.Bsub ->
+        (* p += i / p -= i: keep the index, scaled at IR generation *)
+        let rhs = coerce loc rhs Ast.Tint in
+        if rhs.ety <> Ast.Tint then err loc "pointer step must be int";
+        mk lty (Tassign (Some bop, lv, rhs))
+        |> fun e ->
+        ignore pointee;
+        e
+      | Ast.Tint | Ast.Tflt ->
+        let rhs = coerce loc rhs lty in
+        (match bop with
+        | Ast.Brem | Ast.Bshl | Ast.Bshr | Ast.Bband | Ast.Bbor | Ast.Bbxor
+          when lty <> Ast.Tint ->
+          err loc "integer operator on float target"
+        | _ -> ());
+        mk lty (Tassign (Some bop, lv, rhs))
+      | _ -> err loc "invalid compound assignment"))
+  | Ast.Eincdec (pre, inc, lhs) ->
+    let lv = check_lval env lhs in
+    (match lval_ty lv with
+    | Ast.Tint | Ast.Tflt | Ast.Tptr _ -> ()
+    | _ -> err loc "invalid ++/-- target");
+    mk (lval_ty lv) (Tincdec (pre, inc, lv))
+  | Ast.Ecall (f, args) -> check_call env loc f args
+  | Ast.Eindex (base, idx) -> decay_lval (check_index env loc base idx)
+  | Ast.Efield (obj, fname, arrow) ->
+    decay_lval (check_field env loc obj fname arrow)
+  | Ast.Ederef a -> decay_lval (check_deref env loc a)
+  | Ast.Eaddr a -> (
+    match a.desc with
+    | Ast.Evar name
+      when lookup env name = None
+           && (Hashtbl.mem env.funcs name || Builtins.is_builtin name) ->
+      (* &f on a function name *)
+      check_expr env a
+    | _ ->
+      let lv = check_lval env a in
+      (match lv with
+      | Lvar v -> v.vaddr_taken <- true
+      | Lmem _ -> ());
+      mk (Ast.Tptr (lval_ty lv)) (Taddr lv))
+  | Ast.Econd (c, t, e2) ->
+    let c = boolify loc (check_expr env c) in
+    let t = check_expr env t in
+    let e2 = check_expr env e2 in
+    let (t, e2, ty) =
+      if ty_equal t.ety e2.ety then (t, e2, t.ety)
+      else if is_numeric t.ety && is_numeric e2.ety then promote loc t e2
+      else if is_ptr t.ety && e2.ety = Ast.Tint then
+        (t, coerce loc e2 t.ety, t.ety)
+      else if is_ptr e2.ety && t.ety = Ast.Tint then
+        (coerce loc t e2.ety, e2, e2.ety)
+      else err loc "incompatible branches of ?:"
+    in
+    mk ty (Tcond (c, t, e2))
+  | Ast.Ecast (ty, a) -> (
+    let a = check_expr env a in
+    match (a.ety, ty) with
+    | t1, t2 when ty_equal t1 t2 -> a
+    | Ast.Tint, Ast.Tflt -> mk ty (Tconv (CI2F, a))
+    | Ast.Tflt, Ast.Tint -> mk ty (Tconv (CF2I, a))
+    | (Ast.Tint | Ast.Tptr _), Ast.Tptr _ -> mk ty (Tconv (CBits, a))
+    | Ast.Tptr _, Ast.Tint -> mk ty (Tconv (CBits, a))
+    | _ -> err loc "invalid cast from %a to %a" Ast.pp_ty a.ety Ast.pp_ty ty)
+
+and check_binop env loc op a b =
+  let a = check_expr env a in
+  let b = check_expr env b in
+  match op with
+  | Ast.Bland ->
+    mk Ast.Tint (Tand (boolify loc a, boolify loc b))
+  | Ast.Blor -> mk Ast.Tint (Tor (boolify loc a, boolify loc b))
+  | Ast.Badd -> (
+    match (a.ety, b.ety) with
+    | Ast.Tptr t, Ast.Tint -> mk a.ety (Tptradd (a, b, Ast.sizeof t))
+    | Ast.Tint, Ast.Tptr t -> mk b.ety (Tptradd (b, a, Ast.sizeof t))
+    | _ ->
+      let (a, b, ty) = promote loc a b in
+      mk ty (Tbinop (Ast.Badd, a, b)))
+  | Ast.Bsub -> (
+    match (a.ety, b.ety) with
+    | Ast.Tptr t, Ast.Tint ->
+      let negb = mk Ast.Tint (Tunop (Ast.Uneg, b)) in
+      mk a.ety (Tptradd (a, negb, Ast.sizeof t))
+    | Ast.Tptr t1, Ast.Tptr t2 when ty_equal t1 t2 ->
+      mk Ast.Tint (Tptrdiff (a, b, Ast.sizeof t1))
+    | _ ->
+      let (a, b, ty) = promote loc a b in
+      mk ty (Tbinop (Ast.Bsub, a, b)))
+  | Ast.Bmul | Ast.Bdiv ->
+    let (a, b, ty) = promote loc a b in
+    mk ty (Tbinop (op, a, b))
+  | Ast.Brem | Ast.Bshl | Ast.Bshr | Ast.Bband | Ast.Bbor | Ast.Bbxor ->
+    if a.ety <> Ast.Tint || b.ety <> Ast.Tint then
+      err loc "integer operator applied to non-int operands";
+    mk Ast.Tint (Tbinop (op, a, b))
+  | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge | Ast.Beq | Ast.Bne -> (
+    match (a.ety, b.ety) with
+    | Ast.Tptr _, Ast.Tptr _ -> mk Ast.Tint (Tbinop (op, a, b))
+    | Ast.Tptr _, Ast.Tint -> mk Ast.Tint (Tbinop (op, a, coerce loc b a.ety))
+    | Ast.Tint, Ast.Tptr _ -> mk Ast.Tint (Tbinop (op, coerce loc a b.ety, b))
+    | _ ->
+      let (a, b, _) = promote loc a b in
+      mk Ast.Tint (Tbinop (op, a, b)))
+
+and check_index env loc base idx =
+  let base = check_expr env base in
+  let idx = coerce loc (check_expr env idx) Ast.Tint in
+  match base.ety with
+  | Ast.Tptr elem when elem <> Ast.Tvoid ->
+    let addr = mk base.ety (Tptradd (base, idx, Ast.sizeof elem)) in
+    Lmem (addr, elem, base_var addr)
+  | t -> err loc "cannot index a value of type %a" Ast.pp_ty t
+
+and check_deref env loc a =
+  let a = check_expr env a in
+  match a.ety with
+  | Ast.Tptr (Ast.Tfun _) ->
+    err loc "cannot dereference a function pointer outside a call"
+  | Ast.Tptr t -> Lmem (a, t, base_var a)
+  | t -> err loc "cannot dereference a value of type %a" Ast.pp_ty t
+
+and check_field env loc obj fname arrow : lval =
+  let base =
+    if arrow then begin
+      let e = check_expr env obj in
+      match e.ety with
+      | Ast.Tptr (Ast.Tstruct _) -> e
+      | t -> err loc "'->' applied to a value of type %a" Ast.pp_ty t
+    end
+    else begin
+      let lv = check_lval env obj in
+      match lval_ty lv with
+      | Ast.Tstruct sd -> (
+        match lv with
+        | Lvar _ -> mk (Ast.Tptr (Ast.Tstruct sd)) (Taddr lv)
+        | Lmem (addr, _, _) ->
+          (* the address already points at the struct *)
+          { addr with ety = Ast.Tptr (Ast.Tstruct sd) })
+      | t -> err loc "'.' applied to a value of type %a" Ast.pp_ty t
+    end
+  in
+  let sd =
+    match base.ety with
+    | Ast.Tptr (Ast.Tstruct sd) -> sd
+    | _ -> assert false
+  in
+  match Ast.field sd fname with
+  | None -> err loc "struct %s has no field '%s'" sd.Ast.sname fname
+  | Some (_, fty, off) ->
+    let addr =
+      mk base.ety (Tptradd (base, mk Ast.Tint (Tint_lit off), 1))
+    in
+    Lmem (addr, fty, base_var addr)
+
+and check_lval env (e : Ast.expr) : lval =
+  let loc = e.eloc in
+  match e.desc with
+  | Ast.Evar name -> (
+    match lookup env name with
+    | Some v -> Lvar v
+    | None -> err loc "undeclared identifier '%s'" name)
+  | Ast.Eindex (base, idx) -> check_index env loc base idx
+  | Ast.Efield (obj, fname, arrow) -> check_field env loc obj fname arrow
+  | Ast.Ederef a -> check_deref env loc a
+  | _ -> err loc "expression is not an lvalue"
+
+and check_call env loc (f : Ast.expr) args =
+  let check_args sig_args sig_ret mkcall =
+    if List.length args <> List.length sig_args then
+      err loc "wrong number of arguments (expected %d, got %d)"
+        (List.length sig_args) (List.length args);
+    let targs =
+      List.map2
+        (fun a want ->
+          let a = check_expr env a in
+          match (a.ety, want) with
+          | Ast.Tptr _, Ast.Tptr _ -> coerce loc a want
+          | _ -> coerce loc a want)
+        args sig_args
+    in
+    mk sig_ret (mkcall targs)
+  in
+  match f.desc with
+  | Ast.Evar name when lookup env name = None -> (
+    (* direct call to a function or builtin *)
+    match Hashtbl.find_opt env.funcs name with
+    | Some (Ast.Tfun (ret, sig_args)) ->
+      check_args sig_args ret (fun ta -> Tcall (Cdirect name, ta))
+    | Some _ -> assert false
+    | None -> (
+      match Builtins.signature name with
+      | Some (Ast.Tfun (ret, sig_args)) ->
+        check_args sig_args ret (fun ta -> Tcall (Cdirect name, ta))
+      | Some _ -> assert false
+      | None -> err loc "call to undeclared function '%s'" name))
+  | Ast.Ederef inner -> check_call env loc inner args
+  | _ -> (
+    (* call through a function-pointer expression *)
+    let fe = check_expr env f in
+    match fe.ety with
+    | Ast.Tptr (Ast.Tfun (ret, sig_args)) ->
+      check_args sig_args ret (fun ta -> Tcall (Cindirect fe, ta))
+    | t -> err loc "called object has type %a, not a function" Ast.pp_ty t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_stmt env (s : Ast.stmt) : stmt =
+  let loc = s.sloc in
+  match s.sdesc with
+  | Ast.Sskip -> Sskip
+  | Ast.Sexpr e -> Sexpr (check_expr env e)
+  | Ast.Sblock stmts ->
+    push_scope env;
+    let out = List.map (check_stmt env) stmts in
+    pop_scope env;
+    Sblock out
+  | Ast.Sdecl ds -> Sblock (List.concat_map (check_local_decl env) ds)
+  | Ast.Sif (c, t, e) ->
+    let c = boolify loc (check_expr env c) in
+    Sif (c, check_stmt env t, Option.map (check_stmt env) e)
+  | Ast.Swhile (c, body) ->
+    let c = boolify loc (check_expr env c) in
+    env.loop_depth <- env.loop_depth + 1;
+    let body = check_stmt env body in
+    env.loop_depth <- env.loop_depth - 1;
+    Swhile (c, body)
+  | Ast.Sdowhile (body, c) ->
+    env.loop_depth <- env.loop_depth + 1;
+    let body = check_stmt env body in
+    env.loop_depth <- env.loop_depth - 1;
+    let c = boolify loc (check_expr env c) in
+    Sdowhile (body, c)
+  | Ast.Sfor (init, c, step, body) ->
+    push_scope env;
+    let init = Option.map (check_stmt env) init in
+    let c = Option.map (fun e -> boolify loc (check_expr env e)) c in
+    let step = Option.map (check_expr env) step in
+    env.loop_depth <- env.loop_depth + 1;
+    let body = check_stmt env body in
+    env.loop_depth <- env.loop_depth - 1;
+    pop_scope env;
+    Sfor (init, c, step, body)
+  | Ast.Sbreak ->
+    if env.loop_depth = 0 then err loc "break outside a loop";
+    Sbreak
+  | Ast.Scontinue ->
+    if env.loop_depth = 0 then err loc "continue outside a loop";
+    Scontinue
+  | Ast.Sreturn e -> (
+    match (e, env.cur_ret) with
+    | None, Ast.Tvoid -> Sreturn None
+    | None, _ -> err loc "non-void function must return a value"
+    | Some _, Ast.Tvoid -> err loc "void function cannot return a value"
+    | Some e, ret ->
+      let e = coerce loc (check_expr env e) ret in
+      Sreturn (Some e))
+
+and check_local_decl env (d : Ast.decl) : stmt list =
+  let loc = d.dloc in
+  (match d.dty with
+  | Ast.Tvoid -> err loc "variable '%s' has type void" d.dname
+  | _ -> ());
+  let v =
+    fresh_var env ~name:d.dname ~ty:d.dty ~kind:(Klocal env.cur_fn)
+      ~const:d.dconst
+  in
+  define_local env loc v;
+  match (d.dty, d.dinit) with
+  | _, None -> [ Svardef (v, None) ]
+  | Ast.Tarr (elem, n), Some (Ast.Ilist es) ->
+    if List.length es > n then err loc "too many initializers for '%s'" d.dname;
+    let assigns =
+      List.mapi
+        (fun i e ->
+          let e = coerce loc (check_expr env e) elem in
+          let base = decay_lval (Lvar v) in
+          let addr =
+            mk base.ety (Tptradd (base, mk Ast.Tint (Tint_lit i), Ast.sizeof elem))
+          in
+          Sexpr (mk elem (Tassign (None, Lmem (addr, elem, Some v), e))))
+        es
+    in
+    Svardef (v, None) :: assigns
+  | Ast.Tarr _, Some (Ast.Iexpr _) ->
+    err loc "array initializer must be a brace list"
+  | _, Some (Ast.Ilist _) ->
+    err loc "brace initializer on a scalar"
+  | ty, Some (Ast.Iexpr e) ->
+    let e = coerce loc (check_expr env e) ty in
+    [ Svardef (v, Some e) ]
+
+(* ------------------------------------------------------------------ *)
+(* Globals                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Constant-expression evaluator for global initializers. *)
+let rec eval_const (e : Ast.expr) : cval =
+  let loc = e.eloc in
+  match e.desc with
+  | Ast.Eint n -> Wint n
+  | Ast.Eflt f -> Wflt f
+  | Ast.Eunop (Ast.Uneg, a) -> (
+    match eval_const a with
+    | Wint n -> Wint (-n)
+    | Wflt f -> Wflt (-.f))
+  | Ast.Ebinop (op, a, b) -> (
+    let a = eval_const a and b = eval_const b in
+    match (op, a, b) with
+    | Ast.Badd, Wint x, Wint y -> Wint (x + y)
+    | Ast.Bsub, Wint x, Wint y -> Wint (x - y)
+    | Ast.Bmul, Wint x, Wint y -> Wint (x * y)
+    | Ast.Bdiv, Wint x, Wint y when y <> 0 -> Wint (x / y)
+    | Ast.Badd, Wflt x, Wflt y -> Wflt (x +. y)
+    | Ast.Bsub, Wflt x, Wflt y -> Wflt (x -. y)
+    | Ast.Bmul, Wflt x, Wflt y -> Wflt (x *. y)
+    | Ast.Bdiv, Wflt x, Wflt y -> Wflt (x /. y)
+    | _ -> err loc "unsupported constant expression")
+  | Ast.Ecast (Ast.Tint, a) -> (
+    match eval_const a with Wint n -> Wint n | Wflt f -> Wint (int_of_float f))
+  | Ast.Ecast (Ast.Tflt, a) -> (
+    match eval_const a with Wint n -> Wflt (float_of_int n) | Wflt f -> Wflt f)
+  | _ -> err loc "global initializer must be a constant expression"
+
+let const_to_ty loc (c : cval) (ty : Ast.ty) : cval =
+  match (c, ty) with
+  | Wint _, Ast.Tint | Wflt _, Ast.Tflt -> c
+  | Wint n, Ast.Tflt -> Wflt (float_of_int n)
+  | Wflt f, Ast.Tint -> Wint (int_of_float f)
+  | Wint 0, Ast.Tptr _ -> Wint 0
+  | _ -> err loc "initializer has the wrong type"
+
+let check_global env (d : Ast.decl) : var * ginit =
+  let loc = d.dloc in
+  (match d.dty with
+  | Ast.Tvoid -> err loc "variable '%s' has type void" d.dname
+  | _ -> ());
+  if Hashtbl.mem env.globals d.dname then
+    err loc "redeclaration of global '%s'" d.dname;
+  if Hashtbl.mem env.funcs d.dname || Builtins.is_builtin d.dname then
+    err loc "'%s' is already a function" d.dname;
+  let v =
+    fresh_var env ~name:d.dname ~ty:d.dty ~kind:Kglobal ~const:d.dconst
+  in
+  Hashtbl.replace env.globals d.dname v;
+  (match (d.dty, d.dinit) with
+  | Ast.Tstruct _, Some _ | Ast.Tarr (Ast.Tstruct _, _), Some _ ->
+    err loc "struct globals are zero-initialized only"
+  | _ -> ());
+  let init =
+    match (d.dty, d.dinit) with
+    | _, None -> Gzero
+    | Ast.Tarr (elem, n), Some (Ast.Ilist es) ->
+      if List.length es > n then
+        err loc "too many initializers for '%s'" d.dname;
+      let words =
+        List.map (fun e -> const_to_ty loc (eval_const e) elem) es
+      in
+      let pad = n - List.length words in
+      let zero = match elem with Ast.Tflt -> Wflt 0. | _ -> Wint 0 in
+      Gwords (words @ List.init pad (fun _ -> zero))
+    | Ast.Tarr _, Some (Ast.Iexpr _) ->
+      err loc "array initializer must be a brace list"
+    | _, Some (Ast.Ilist _) -> err loc "brace initializer on a scalar"
+    | ty, Some (Ast.Iexpr e) ->
+      Gwords [ const_to_ty loc (eval_const e) ty ]
+  in
+  (v, init)
+
+(* ------------------------------------------------------------------ *)
+(* Recursion detection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Call-graph edges computed conservatively over the typed AST: direct
+    calls, plus — for any function containing an indirect call — edges to
+    every function whose address is taken anywhere in the program. *)
+let compute_recursive (funcs : (string * stmt) list) : (string, bool) Hashtbl.t
+    =
+  let addr_taken = Hashtbl.create 16 in
+  let direct = Hashtbl.create 16 in
+  let has_indirect = Hashtbl.create 16 in
+  let rec walk_expr fn (e : expr) =
+    match e.edesc with
+    | Tint_lit _ | Tflt_lit _ -> ()
+    | Tfunref g -> Hashtbl.replace addr_taken g ()
+    | Tload lv | Taddr lv -> walk_lval fn lv
+    | Tunop (_, a) | Tconv (_, a) -> walk_expr fn a
+    | Tbinop (_, a, b)
+    | Tptradd (a, b, _)
+    | Tptrdiff (a, b, _)
+    | Tand (a, b)
+    | Tor (a, b) ->
+      walk_expr fn a;
+      walk_expr fn b
+    | Tcond (a, b, c) ->
+      walk_expr fn a;
+      walk_expr fn b;
+      walk_expr fn c
+    | Tassign (_, lv, e) ->
+      walk_lval fn lv;
+      walk_expr fn e
+    | Tincdec (_, _, lv) -> walk_lval fn lv
+    | Tcall (Cdirect g, args) ->
+      Hashtbl.replace direct (fn, g) ();
+      List.iter (walk_expr fn) args
+    | Tcall (Cindirect f, args) ->
+      Hashtbl.replace has_indirect fn ();
+      walk_expr fn f;
+      List.iter (walk_expr fn) args
+  and walk_lval fn = function
+    | Lvar _ -> ()
+    | Lmem (a, _, _) -> walk_expr fn a
+  in
+  let rec walk_stmt fn = function
+    | Sexpr e -> walk_expr fn e
+    | Svardef (_, e) -> Option.iter (walk_expr fn) e
+    | Sif (c, t, e) ->
+      walk_expr fn c;
+      walk_stmt fn t;
+      Option.iter (walk_stmt fn) e
+    | Swhile (c, b) ->
+      walk_expr fn c;
+      walk_stmt fn b
+    | Sdowhile (b, c) ->
+      walk_stmt fn b;
+      walk_expr fn c
+    | Sfor (i, c, s, b) ->
+      Option.iter (walk_stmt fn) i;
+      Option.iter (walk_expr fn) c;
+      Option.iter (walk_expr fn) s;
+      walk_stmt fn b
+    | Sreturn e -> Option.iter (walk_expr fn) e
+    | Sblock ss -> List.iter (walk_stmt fn) ss
+    | Sbreak | Scontinue | Sskip -> ()
+  in
+  List.iter (fun (fn, body) -> walk_stmt fn body) funcs;
+  let names = List.map fst funcs in
+  (* successor function *)
+  let succs fn =
+    let ds =
+      List.filter_map
+        (fun g -> if Hashtbl.mem direct (fn, g) then Some g else None)
+        names
+    in
+    if Hashtbl.mem has_indirect fn then
+      ds @ List.filter (fun g -> Hashtbl.mem addr_taken g) names
+    else ds
+  in
+  (* reachability: does fn reach itself? (tiny graphs; DFS per function) *)
+  let result = Hashtbl.create 16 in
+  List.iter
+    (fun fn ->
+      let seen = Hashtbl.create 16 in
+      let found = ref false in
+      let rec dfs g =
+        if not !found then
+          List.iter
+            (fun s ->
+              if s = fn then found := true
+              else if not (Hashtbl.mem seen s) then begin
+                Hashtbl.replace seen s ();
+                dfs s
+              end)
+            (succs g)
+      in
+      dfs fn;
+      Hashtbl.replace result fn !found)
+    names;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_program (prog : Ast.program) : program =
+  let env =
+    {
+      scopes = ref [];
+      globals = Hashtbl.create 32;
+      funcs = Hashtbl.create 32;
+      cur_fn = "";
+      cur_ret = Ast.Tvoid;
+      loop_depth = 0;
+      locals_acc = [];
+      vids = Rp_support.Idgen.create ();
+    }
+  in
+  (* pass 1: collect function signatures *)
+  List.iter
+    (function
+      | Ast.Tfunc f ->
+        let sig_ = Ast.Tfun (f.fret, List.map snd f.fparams) in
+        if Builtins.is_builtin f.fname then
+          err f.floc "cannot redefine builtin '%s'" f.fname;
+        (match Hashtbl.find_opt env.funcs f.fname with
+        | Some old when not (ty_equal old sig_) ->
+          err f.floc "conflicting declarations for '%s'" f.fname
+        | _ -> ());
+        Hashtbl.replace env.funcs f.fname sig_
+      | Ast.Tglobal _ | Ast.Tstructdef _ -> ())
+    prog;
+  (* pass 2: globals in order, then function bodies *)
+  let globals = ref [] in
+  List.iter
+    (function
+      | Ast.Tglobal ds ->
+        List.iter (fun d -> globals := check_global env d :: !globals) ds
+      | Ast.Tfunc _ | Ast.Tstructdef _ -> ())
+    prog;
+  let checked = ref [] in
+  List.iter
+    (function
+      | Ast.Tglobal _ | Ast.Tstructdef _ -> ()
+      | Ast.Tfunc f when f.fbody = None -> ()
+      | Ast.Tfunc f ->
+        (match f.fret with
+        | Ast.Tstruct _ ->
+          err f.floc "struct return values must go through pointers"
+        | _ -> ());
+        let body = Option.get f.fbody in
+        env.cur_fn <- f.fname;
+        env.cur_ret <- f.fret;
+        env.locals_acc <- [];
+        push_scope env;
+        let params =
+          List.mapi
+            (fun i (name, ty) ->
+              (match ty with
+              | Ast.Tarr _ -> err f.floc "array parameter did not decay"
+              | Ast.Tstruct _ ->
+                err f.floc "struct parameters must be passed by pointer"
+              | Ast.Tvoid -> err f.floc "void parameter"
+              | _ -> ());
+              let v =
+                fresh_var env ~name ~ty ~kind:(Kparam (f.fname, i))
+                  ~const:false
+              in
+              (match !(env.scopes) with
+              | s :: _ ->
+                if Hashtbl.mem s name then
+                  err f.floc "duplicate parameter '%s'" name;
+                Hashtbl.replace s name v
+              | [] -> assert false);
+              v)
+            f.fparams
+        in
+        let tbody = check_stmt env body in
+        pop_scope env;
+        checked :=
+          (f.fname, f.fret, params, tbody, List.rev env.locals_acc)
+          :: !checked)
+    prog;
+  let checked = List.rev !checked in
+  let rec_tbl =
+    compute_recursive (List.map (fun (n, _, _, b, _) -> (n, b)) checked)
+  in
+  let funcs =
+    List.map
+      (fun (fname, fret, fparams, fbody, flocals) ->
+        {
+          fname;
+          fret;
+          fparams;
+          fbody;
+          frecursive =
+            (try Hashtbl.find rec_tbl fname with Not_found -> false);
+          flocals;
+        })
+      checked
+  in
+  if not (List.exists (fun f -> f.fname = "main") funcs) then
+    failwith "program has no main function";
+  {
+    pglobals = List.rev !globals;
+    pfuncs = funcs;
+    pfunc_sigs =
+      List.map (fun f -> (f.fname, Ast.Tfun (f.fret, List.map (fun v -> v.vty) f.fparams))) funcs;
+  }
+
+(** Convenience: parse + check in one step. *)
+let check_source src = check_program (Parser.parse_program src)

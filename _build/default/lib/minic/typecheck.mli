@@ -1,0 +1,12 @@
+(** Type checking and name resolution: {!Ast.program} -> {!Tast.program}.
+
+    Marks address-taken variables, makes conversions explicit, pre-scales
+    pointer arithmetic, resolves struct field offsets, expands local array
+    initializers, and conservatively detects possibly-recursive functions
+    (including recursion through function pointers).
+    @raise Srcloc.Error on ill-typed programs. *)
+
+val check_program : Ast.program -> Tast.program
+
+(** Parse + check in one step. *)
+val check_source : string -> Tast.program

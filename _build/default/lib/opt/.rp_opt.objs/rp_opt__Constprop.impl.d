@@ -1,0 +1,1 @@
+lib/opt/constprop.ml: Block Func Hashtbl Instr List Option Program Rp_ir

@@ -1,0 +1,1 @@
+lib/opt/constprop.mli: Func Instr Program Rp_ir

@@ -1,0 +1,1 @@
+lib/opt/copyprop.ml: Block Func Hashtbl Instr List Option Program Rp_ir

@@ -1,0 +1,1 @@
+lib/opt/copyprop.mli: Func Program Rp_ir

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Block Func Instr List Program Rp_ir Rp_support

@@ -1,0 +1,1 @@
+lib/opt/dce.mli: Func Instr Program Rp_ir

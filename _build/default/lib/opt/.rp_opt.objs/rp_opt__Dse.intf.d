@@ -1,0 +1,1 @@
+lib/opt/dse.mli: Func Program Rp_ir

@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Block Func Hashtbl Instr List Option Program Rp_cfg Rp_ir Rp_support

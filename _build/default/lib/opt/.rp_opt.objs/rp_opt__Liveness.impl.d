@@ -1,0 +1,1 @@
+lib/opt/liveness.ml: Array Block Func Hashtbl Instr List Option Rp_ir Rp_support

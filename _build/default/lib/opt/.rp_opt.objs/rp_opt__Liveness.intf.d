@@ -1,0 +1,1 @@
+lib/opt/liveness.mli: Block Func Instr Rp_ir Rp_support

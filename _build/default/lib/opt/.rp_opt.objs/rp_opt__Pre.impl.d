@@ -1,0 +1,1 @@
+lib/opt/pre.ml: Block Func Hashtbl Instr List Program Rp_ir Rp_support Tag Tagset

@@ -1,0 +1,1 @@
+lib/opt/pre.mli: Func Program Rp_ir

@@ -1,0 +1,1 @@
+lib/opt/valnum.ml: Block Func Hashtbl Instr List Option Program Rp_ir Tag Tagset

@@ -1,0 +1,1 @@
+lib/opt/valnum.mli: Block Func Program Rp_ir

@@ -1,0 +1,161 @@
+(** Constant propagation and folding.
+
+    Two cooperating mechanisms:
+    - {e global}: a register with exactly one definition in its function,
+      where that definition is an iLoad, is a known constant everywhere
+      (dominance of the def over its uses is the front end's invariant for
+      well-defined programs; a use that could precede the def reads an
+      undefined value, which only UB programs observe);
+    - {e local}: a forward sweep through each block tracking register
+      constancy, folding unary/binary operators, copies, and conditional
+      branches on known conditions (branch folding feeds {!Rp_cfg.Clean},
+      which then prunes the dead arm).
+
+    Division and remainder by a known zero are left in place to preserve the
+    runtime trap. *)
+
+open Rp_ir
+
+let fold_unop (op : Instr.unop) (c : Instr.const) : Instr.const option =
+  match (op, c) with
+  | Instr.Neg, Instr.Cint n -> Some (Instr.Cint (-n))
+  | Instr.Fneg, Instr.Cflt f -> Some (Instr.Cflt (-.f))
+  | Instr.Lnot, Instr.Cint n -> Some (Instr.Cint (if n = 0 then 1 else 0))
+  | Instr.Bnot, Instr.Cint n -> Some (Instr.Cint (lnot n))
+  | Instr.I2f, Instr.Cint n -> Some (Instr.Cflt (float_of_int n))
+  | Instr.F2i, Instr.Cflt f -> Some (Instr.Cint (int_of_float f))
+  | _ -> None
+
+let fold_binop (op : Instr.binop) a b : Instr.const option =
+  let module I = Instr in
+  let bool v = Some (I.Cint (if v then 1 else 0)) in
+  match (op, a, b) with
+  | I.Add, I.Cint x, I.Cint y -> Some (I.Cint (x + y))
+  | I.Sub, I.Cint x, I.Cint y -> Some (I.Cint (x - y))
+  | I.Mul, I.Cint x, I.Cint y -> Some (I.Cint (x * y))
+  | I.Div, I.Cint x, I.Cint y when y <> 0 -> Some (I.Cint (x / y))
+  | I.Rem, I.Cint x, I.Cint y when y <> 0 -> Some (I.Cint (x mod y))
+  | I.Shl, I.Cint x, I.Cint y -> Some (I.Cint (x lsl y))
+  | I.Shr, I.Cint x, I.Cint y -> Some (I.Cint (x asr y))
+  | I.Band, I.Cint x, I.Cint y -> Some (I.Cint (x land y))
+  | I.Bor, I.Cint x, I.Cint y -> Some (I.Cint (x lor y))
+  | I.Bxor, I.Cint x, I.Cint y -> Some (I.Cint (x lxor y))
+  | I.Lt, I.Cint x, I.Cint y -> bool (x < y)
+  | I.Le, I.Cint x, I.Cint y -> bool (x <= y)
+  | I.Gt, I.Cint x, I.Cint y -> bool (x > y)
+  | I.Ge, I.Cint x, I.Cint y -> bool (x >= y)
+  | I.Eq, I.Cint x, I.Cint y -> bool (x = y)
+  | I.Ne, I.Cint x, I.Cint y -> bool (x <> y)
+  | I.Fadd, I.Cflt x, I.Cflt y -> Some (I.Cflt (x +. y))
+  | I.Fsub, I.Cflt x, I.Cflt y -> Some (I.Cflt (x -. y))
+  | I.Fmul, I.Cflt x, I.Cflt y -> Some (I.Cflt (x *. y))
+  | I.Fdiv, I.Cflt x, I.Cflt y -> Some (I.Cflt (x /. y))
+  | I.Flt, I.Cflt x, I.Cflt y -> bool (x < y)
+  | I.Fle, I.Cflt x, I.Cflt y -> bool (x <= y)
+  | I.Fgt, I.Cflt x, I.Cflt y -> bool (x > y)
+  | I.Fge, I.Cflt x, I.Cflt y -> bool (x >= y)
+  | I.Feq, I.Cflt x, I.Cflt y -> bool (x = y)
+  | I.Fne, I.Cflt x, I.Cflt y -> bool (x <> y)
+  | _ -> None
+
+(** Algebraic identities that simplify to a copy of one operand. *)
+let identity (op : Instr.binop) a_const b_const a b : Instr.reg option =
+  let module I = Instr in
+  match (op, a_const, b_const) with
+  | I.Add, Some (I.Cint 0), _ -> Some b
+  | I.Add, _, Some (I.Cint 0) -> Some a
+  | I.Sub, _, Some (I.Cint 0) -> Some a
+  | I.Mul, Some (I.Cint 1), _ -> Some b
+  | I.Mul, _, Some (I.Cint 1) -> Some a
+  | (I.Shl | I.Shr), _, Some (I.Cint 0) -> Some a
+  | I.Bor, _, Some (I.Cint 0) -> Some a
+  | I.Bor, Some (I.Cint 0), _ -> Some b
+  | _ -> None
+
+let run_func (f : Func.t) : int =
+  let folded = ref 0 in
+  (* global: single-def iLoad registers *)
+  let def_count = Hashtbl.create 64 in
+  let def_const = Hashtbl.create 64 in
+  List.iter
+    (fun r -> Hashtbl.replace def_count r 2 (* params: unknown *))
+    f.Func.params;
+  Func.iter_instrs
+    (fun _ i ->
+      List.iter
+        (fun d ->
+          Hashtbl.replace def_count d
+            (1 + Option.value ~default:0 (Hashtbl.find_opt def_count d));
+          match i with
+          | Instr.Loadi (_, c) -> Hashtbl.replace def_const d c
+          | _ -> Hashtbl.remove def_const d)
+        (Instr.defs i))
+    f;
+  let global_const r =
+    if Hashtbl.find_opt def_count r = Some 1 then Hashtbl.find_opt def_const r
+    else None
+  in
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      (* local environment: register -> constant *)
+      let env : (Instr.reg, Instr.const) Hashtbl.t = Hashtbl.create 16 in
+      let const_of r =
+        match Hashtbl.find_opt env r with
+        | Some c -> Some c
+        | None -> global_const r
+      in
+      let kill d = Hashtbl.remove env d in
+      b.Block.instrs <-
+        List.map
+          (fun i ->
+            let i' =
+              match i with
+              | Instr.Unop (op, d, s) -> (
+                match Option.bind (const_of s) (fold_unop op) with
+                | Some c ->
+                  incr folded;
+                  Instr.Loadi (d, c)
+                | None -> i)
+              | Instr.Binop (op, d, s1, s2) -> (
+                let c1 = const_of s1 and c2 = const_of s2 in
+                match (c1, c2) with
+                | Some a, Some b -> (
+                  match fold_binop op a b with
+                  | Some c ->
+                    incr folded;
+                    Instr.Loadi (d, c)
+                  | None -> i)
+                | _ -> (
+                  match identity op c1 c2 s1 s2 with
+                  | Some src ->
+                    incr folded;
+                    Instr.Copy (d, src)
+                  | None -> i))
+              | Instr.Copy (d, s) -> (
+                match const_of s with
+                | Some c ->
+                  incr folded;
+                  Instr.Loadi (d, c)
+                | None -> i)
+              | i -> i
+            in
+            (* update the environment from the (possibly rewritten) instr *)
+            (match i' with
+            | Instr.Loadi (d, c) -> Hashtbl.replace env d c
+            | _ -> List.iter kill (Instr.defs i'));
+            i')
+          b.Block.instrs;
+      (* branch folding *)
+      match b.Block.term with
+      | Instr.Cbr (r, yes, no) -> (
+        match const_of r with
+        | Some (Instr.Cint n) ->
+          incr folded;
+          b.Block.term <- Instr.Jump (if n <> 0 then yes else no)
+        | _ -> ())
+      | _ -> ())
+    f;
+  !folded
+
+let run_program (p : Program.t) : int =
+  List.fold_left (fun n f -> n + run_func f) 0 (Program.funcs p)

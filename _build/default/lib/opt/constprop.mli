@@ -1,0 +1,11 @@
+(** Constant propagation and folding: single-definition iLoad registers are
+    constants everywhere; a per-block sweep folds operators, copies, and
+    conditional branches on known conditions.  Division/remainder by a
+    known zero is preserved (the trap is behaviour).  Returns fold counts. *)
+
+open Rp_ir
+
+val fold_unop : Instr.unop -> Instr.const -> Instr.const option
+val fold_binop : Instr.binop -> Instr.const -> Instr.const -> Instr.const option
+val run_func : Func.t -> int
+val run_program : Program.t -> int

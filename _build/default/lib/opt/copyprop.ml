@@ -1,0 +1,62 @@
+(** Global copy propagation over single-definition registers.
+
+    When register [d]'s only definition in the function is [Copy (d, s)] and
+    [s] itself has at most one definition, every use of [d] can read [s]
+    directly (in a well-defined execution the copy ran — and therefore [s]'s
+    definition ran — before any use of [d]).  Chains of copies are resolved
+    transitively.  The dead copies are left for {!Dce}.
+
+    This is what keeps loop-invariant code motion honest: LICM parks hoisted
+    copies of constants in the landing pad, and without this pass each one
+    occupies its own register for the whole loop, manufacturing register
+    pressure that the paper's compiler would not have had. *)
+
+open Rp_ir
+
+let run_func (f : Func.t) : int =
+  let def_count : (Instr.reg, int) Hashtbl.t = Hashtbl.create 64 in
+  let copy_src : (Instr.reg, Instr.reg) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace def_count r 1) f.Func.params;
+  Func.iter_instrs
+    (fun _ i ->
+      List.iter
+        (fun d ->
+          Hashtbl.replace def_count d
+            (1 + Option.value ~default:0 (Hashtbl.find_opt def_count d));
+          match i with
+          | Instr.Copy (_, s) when s <> d -> Hashtbl.replace copy_src d s
+          | _ -> Hashtbl.remove copy_src d)
+        (Instr.defs i))
+    f;
+  let single r = Option.value ~default:0 (Hashtbl.find_opt def_count r) <= 1 in
+  (* resolve copy chains, guarding against cycles *)
+  let memo : (Instr.reg, Instr.reg) Hashtbl.t = Hashtbl.create 64 in
+  let rec resolve seen r =
+    match Hashtbl.find_opt memo r with
+    | Some x -> x
+    | None ->
+      let out =
+        if List.mem r seen then r
+        else
+          match Hashtbl.find_opt copy_src r with
+          | Some s when single r && single s -> resolve (r :: seen) s
+          | _ -> r
+      in
+      Hashtbl.replace memo r out;
+      out
+  in
+  let rewrites = ref 0 in
+  let subst r =
+    let r' = resolve [] r in
+    if r' <> r then incr rewrites;
+    r'
+  in
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      b.Block.instrs <- List.map (Instr.map_uses subst) b.Block.instrs;
+      b.Block.term <- Instr.term_map_uses subst b.Block.term)
+    f;
+  !rewrites
+
+let run_program (p : Program.t) : int =
+  List.fold_left (fun n f -> n + run_func f) 0 (Program.funcs p)

@@ -1,0 +1,9 @@
+(** Global copy propagation over single-definition registers: when [d]'s
+    only definition is [Copy (d, s)] and [s] has at most one definition,
+    uses of [d] read [s] directly (chains resolve transitively); dead
+    copies are left for {!Dce}.  Returns substitution counts. *)
+
+open Rp_ir
+
+val run_func : Func.t -> int
+val run_program : Program.t -> int

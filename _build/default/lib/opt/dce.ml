@@ -1,0 +1,65 @@
+(** Dead-code elimination.
+
+    Deletes side-effect-free instructions whose results are never used,
+    iterating so that whole dead chains (address computations left behind by
+    register promotion, unused loads, stale copies) disappear.  Loads count
+    as removable: they have no observable side effect in our memory model.
+    Stores, calls, and terminators are never removed. *)
+
+open Rp_ir
+module IS = Rp_support.Smaps.Int_set
+
+(** Removable when dead: pure computations plus loads. *)
+let removable = function
+  | Instr.Loadi _ | Instr.Loada _ | Instr.Loadfp _ | Instr.Unop _
+  | Instr.Binop _ | Instr.Copy _ | Instr.Loadc _ | Instr.Loads _
+  | Instr.Loadg _ -> true
+  | Instr.Stores _ | Instr.Storeg _ | Instr.Call _ | Instr.Phi _ -> false
+
+let run_func (f : Func.t) : int =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* union of all registers read anywhere *)
+    let used = ref IS.empty in
+    Func.iter_blocks
+      (fun (b : Block.t) ->
+        List.iter
+          (fun i ->
+            List.iter (fun u -> used := IS.add u !used) (Instr.uses i);
+            match i with
+            | Instr.Phi (_, srcs) ->
+              List.iter (fun (_, r) -> used := IS.add r !used) srcs
+            | _ -> ())
+          b.Block.instrs;
+        List.iter (fun u -> used := IS.add u !used) (Instr.term_uses b.Block.term))
+      f;
+    Func.iter_blocks
+      (fun (b : Block.t) ->
+        let keep =
+          List.filter
+            (fun i ->
+              let dead =
+                removable i
+                && (match Instr.defs i with
+                   | [ d ] -> not (IS.mem d !used)
+                   | _ -> false)
+                || match i with
+                   | Instr.Copy (d, s) -> d = s (* no-op copy *)
+                   | _ -> false
+              in
+              if dead then begin
+                incr removed;
+                changed := true
+              end;
+              not dead)
+            b.Block.instrs
+        in
+        b.Block.instrs <- keep)
+      f
+  done;
+  !removed
+
+let run_program (p : Program.t) : int =
+  List.fold_left (fun n f -> n + run_func f) 0 (Program.funcs p)

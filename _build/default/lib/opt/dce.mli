@@ -1,0 +1,9 @@
+(** Dead-code elimination: deletes side-effect-free instructions (loads
+    included) whose results are never used, iterating over dead chains.
+    Stores and calls are never removed.  Returns removal counts. *)
+
+open Rp_ir
+
+val removable : Instr.t -> bool
+val run_func : Func.t -> int
+val run_program : Program.t -> int

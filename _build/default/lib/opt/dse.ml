@@ -1,0 +1,110 @@
+(** Global dead-store elimination over memory tags (optional extension).
+
+    The paper's §3.4 notes that its PRE "must treat stores more
+    conservatively.  Extending the promoter could improve the behavior for
+    these stores."  This pass is that extension in dataflow form: a
+    backward analysis computes, at each point, the set of tags whose
+    current memory value is {e dead} — certain to be overwritten by an
+    explicit scalar store before any possible read — and deletes scalar
+    stores into dead tags.
+
+    Facts (a {!Tagset.t}, ⊤-capable):
+    - at a [Ret] of [main], every tag is dead (nothing observes memory
+      after the program ends — all output flows through [print_*]);
+    - at a [Ret] of any function, that function's own frame tags are dead
+      (the activation's storage disappears; a direct sStore always targets
+      the current activation);
+    - [sStore t] makes [t] dead {e above} it; [sLoad]/[cLoad t] makes [t]
+      live; a pointer load makes its whole tag set live; a call makes its
+      REF set live.  May-writes (pointer stores, call MODs) change nothing:
+      they are not certain to overwrite.
+
+    Off by default in the driver: the paper's compiler had no DSE, and
+    leaving it on would silently improve both columns of every table.  The
+    benchmark harness carries an ablation for it instead. *)
+
+open Rp_ir
+
+(** One backward pass: returns the number of stores removed. *)
+let run_func_once (p : Program.t) (f : Func.t) : int =
+  let is_main = f.Func.name = p.Program.main in
+  (* deadness is a MUST property: its top element has to be a concrete
+     all-tags set, because {!Tagset.diff} treats ⊤ conservatively in the
+     may-direction (⊤ - x = ⊤), which would be unsound here *)
+  let top = Tagset.of_list (Tag.Table.all p.Program.tags) in
+  let frame_tags = Tagset.of_list f.Func.local_tags in
+  let exit_dead = if is_main then top else frame_tags in
+  (* backward dataflow: IN[b] = transfer(OUT[b]); OUT[b] = ∩ succ IN *)
+  let in_ : (Instr.label, Tagset.t) Hashtbl.t = Hashtbl.create 32 in
+  Func.iter_blocks (fun b -> Hashtbl.replace in_ b.Block.label top) f;
+  let transfer_instr dead (i : Instr.t) =
+    match i with
+    | Instr.Stores (t, _) -> Tagset.add t dead
+    | Instr.Loads (_, t) | Instr.Loadc (_, t) ->
+      Tagset.diff dead (Tagset.singleton t)
+    | Instr.Loadg (_, _, ts) -> Tagset.diff dead ts
+    | Instr.Call c -> Tagset.diff dead c.Instr.refs
+    | Instr.Storeg _ -> dead (* may-write: neither kills nor creates *)
+    | _ -> dead
+  in
+  let out_of b =
+    match (Func.block f b).Block.term with
+    | Instr.Ret _ -> exit_dead
+    | t ->
+      List.fold_left
+        (fun acc s ->
+          Tagset.inter acc
+            (Option.value ~default:top (Hashtbl.find_opt in_ s)))
+        top (Instr.term_succs t)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun lbl ->
+        let b = Func.block f lbl in
+        let dead = ref (out_of lbl) in
+        List.iter (fun i -> dead := transfer_instr !dead i) (List.rev b.Block.instrs);
+        if not (Tagset.equal !dead (Hashtbl.find in_ lbl)) then begin
+          Hashtbl.replace in_ lbl !dead;
+          changed := true
+        end)
+      (List.rev (Func.rpo f))
+  done;
+  (* removal: walk each block backward with exact facts *)
+  let removed = ref 0 in
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      let dead = ref (out_of b.Block.label) in
+      let kept =
+        List.fold_left
+          (fun acc i ->
+            match i with
+            | Instr.Stores (t, _) when Tagset.mem t !dead ->
+              incr removed;
+              acc
+            | i ->
+              dead := transfer_instr !dead i;
+              i :: acc)
+          []
+          (List.rev b.Block.instrs)
+      in
+      b.Block.instrs <- kept)
+    f;
+  !removed
+
+(** Iterate to a fixed point (removing a store can expose another). *)
+let run_func (p : Program.t) (f : Func.t) : int =
+  let total = ref 0 in
+  let rec go guard =
+    if guard = 0 then ()
+    else
+      let n = run_func_once p f in
+      total := !total + n;
+      if n > 0 then go (guard - 1)
+  in
+  go 16;
+  !total
+
+let run_program (p : Program.t) : int =
+  List.fold_left (fun n f -> n + run_func p f) 0 (Program.funcs p)

@@ -1,0 +1,10 @@
+(** Global dead-store elimination over memory tags (optional §3.4
+    extension; see DESIGN.md §6b): backward must-deadness dataflow — a
+    scalar store whose tag is certainly overwritten before any possible
+    read is deleted.  Frame tags die at their function's returns;
+    everything dies at [main]'s exit.  Returns removal counts. *)
+
+open Rp_ir
+
+val run_func : Program.t -> Func.t -> int
+val run_program : Program.t -> int

@@ -1,0 +1,112 @@
+(** Loop-invariant code motion.
+
+    Hoists into the loop's landing pad:
+    - pure computations whose operands are invariant in the loop (division
+      and remainder excluded — hoisting must not introduce a trap);
+    - const loads (cLoad): "loop invariant code motion can remove a load of
+      a constant value out of a loop" (§5).
+
+    Ordinary scalar and pointer-based loads are {e not} hoisted, even when
+    their tags are provably un-stored in the loop.  This matches the
+    division of labour in the paper's compiler: moving loads of mutable
+    memory out of loops is exactly what register promotion (and §3.3
+    pointer promotion) does, and the paper's Figure-7 results — e.g. go's
+    15.6% of loads removed {e by promotion} — only exist because LICM
+    leaves those loads in place.
+
+    Loops are processed innermost-first and each loop is iterated to a local
+    fixed point, so chains of invariant computations migrate as far out as
+    their operands allow.  Hoisting requires the destination register to
+    have a single definition in the whole function (the front end's
+    temporaries satisfy this); stores are never moved, matching the paper's
+    conservatism.
+
+    This pass is what the §3.3 pointer promotion "relies on ... to identify
+    the loop-invariant base registers and place the computation of these
+    registers outside a loop". *)
+
+open Rp_ir
+module Loops = Rp_cfg.Loops
+module SS = Rp_support.Smaps.String_set
+
+let run_func (f : Func.t) : int =
+  Rp_cfg.Normalize.run f;
+  let hoisted = ref 0 in
+  let dom = Rp_cfg.Dominators.compute f in
+  let forest = Loops.analyze f dom in
+  let loops =
+    (* innermost (deepest) first *)
+    List.sort (fun a b -> compare b.Loops.depth a.Loops.depth) forest.Loops.loops
+  in
+  List.iter
+    (fun (l : Loops.loop) ->
+      match Loops.preheader f l with
+      | None -> ()
+      | Some pad ->
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          (* recompute def locations (hoisting moves defs out of the loop) *)
+          let defs_in_loop = Hashtbl.create 32 in
+          let def_count_fn = Hashtbl.create 64 in
+          List.iter (fun r -> Hashtbl.replace def_count_fn r 1) f.Func.params;
+          Func.iter_blocks
+            (fun (b : Block.t) ->
+              List.iter
+                (fun i ->
+                  List.iter
+                    (fun d ->
+                      Hashtbl.replace def_count_fn d
+                        (1
+                        + Option.value ~default:0
+                            (Hashtbl.find_opt def_count_fn d));
+                      if SS.mem b.Block.label l.Loops.blocks then
+                        Hashtbl.replace defs_in_loop d
+                          (1
+                          + Option.value ~default:0
+                              (Hashtbl.find_opt defs_in_loop d)))
+                    (Instr.defs i))
+                b.Block.instrs)
+            f;
+          let invariant_reg r = not (Hashtbl.mem defs_in_loop r) in
+          let single_def_everywhere d =
+            Hashtbl.find_opt def_count_fn d = Some 1
+          in
+          let hoistable (i : Instr.t) =
+            let dst_ok =
+              match Instr.defs i with
+              | [ d ] -> single_def_everywhere d
+              | _ -> false
+            in
+            dst_ok
+            && List.for_all invariant_reg (Instr.uses i)
+            &&
+            match i with
+            | Instr.Binop ((Instr.Div | Instr.Rem), _, _, _) -> false
+            | Instr.Loadi _ | Instr.Loada _ | Instr.Loadfp _ | Instr.Unop _
+            | Instr.Binop _ | Instr.Copy _ -> true
+            | Instr.Loadc _ -> true
+            | _ -> false
+          in
+          SS.iter
+            (fun lbl ->
+              let b = Func.block f lbl in
+              let (stay, go) =
+                List.partition (fun i -> not (hoistable i)) b.Block.instrs
+              in
+              if go <> [] then begin
+                b.Block.instrs <- stay;
+                List.iter
+                  (fun i ->
+                    Block.append (Func.block f pad) i;
+                    incr hoisted)
+                  go;
+                changed := true
+              end)
+            l.Loops.blocks
+        done)
+    loops;
+  !hoisted
+
+let run_program (p : Program.t) : int =
+  List.fold_left (fun n f -> n + run_func f) 0 (Program.funcs p)

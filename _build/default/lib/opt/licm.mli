@@ -1,0 +1,10 @@
+(** Loop-invariant code motion: hoists pure computations (no div/rem) and
+    cLoads into landing pads, innermost loops first.  Loads of mutable
+    memory are deliberately left in place — moving those is register
+    promotion's job (see the implementation commentary and DESIGN.md §6.8).
+    Returns hoist counts. *)
+
+open Rp_ir
+
+val run_func : Func.t -> int
+val run_program : Program.t -> int

@@ -1,0 +1,110 @@
+(** Block-level register liveness (backward iterative dataflow).
+
+    Used by dead-code elimination and, instruction-grained via
+    {!live_before}, by the register allocator's interference construction. *)
+
+open Rp_ir
+module IS = Rp_support.Smaps.Int_set
+
+type t = {
+  live_in : (Instr.label, IS.t) Hashtbl.t;
+  live_out : (Instr.label, IS.t) Hashtbl.t;
+}
+
+(** Per-block [use] (read before any write) and [def] (written) sets.  Phi
+    reads are attributed to the predecessor edge, so a phi's arguments count
+    as live-out of the predecessors, not live-in here; the allocator runs
+    after SSA destruction so phis are absent on its inputs anyway. *)
+let block_use_def (f : Func.t) (b : Block.t) =
+  ignore f;
+  let use = ref IS.empty in
+  let def = ref IS.empty in
+  let read r = if not (IS.mem r !def) then use := IS.add r !use in
+  List.iter
+    (fun i ->
+      if not (Instr.is_phi i) then begin
+        List.iter read (Instr.uses i);
+        List.iter (fun d -> def := IS.add d !def) (Instr.defs i)
+      end
+      else List.iter (fun d -> def := IS.add d !def) (Instr.defs i))
+    b.Block.instrs;
+  List.iter read (Instr.term_uses b.Block.term);
+  (!use, !def)
+
+let compute (f : Func.t) : t =
+  let live_in = Hashtbl.create 32 in
+  let live_out = Hashtbl.create 32 in
+  let use_def = Hashtbl.create 32 in
+  Func.iter_blocks
+    (fun b ->
+      Hashtbl.replace use_def b.Block.label (block_use_def f b);
+      Hashtbl.replace live_in b.Block.label IS.empty;
+      Hashtbl.replace live_out b.Block.label IS.empty)
+    f;
+  (* phi-edge uses: argument r from pred p is live-out of p *)
+  let phi_out = Hashtbl.create 16 in
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Instr.Phi (_, srcs) ->
+            List.iter
+              (fun (p, r) ->
+                Hashtbl.replace phi_out p
+                  (IS.add r
+                     (Option.value ~default:IS.empty (Hashtbl.find_opt phi_out p))))
+              srcs
+          | _ -> ())
+        b.Block.instrs)
+    f;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* reverse layout order is a decent schedule for backward problems *)
+    List.iter
+      (fun lbl ->
+        let b = Func.block f lbl in
+        let out =
+          List.fold_left
+            (fun acc s -> IS.union acc (Hashtbl.find live_in s))
+            (Option.value ~default:IS.empty (Hashtbl.find_opt phi_out lbl))
+            (Func.succs f b)
+        in
+        let (use, def) = Hashtbl.find use_def lbl in
+        let inn = IS.union use (IS.diff out def) in
+        if not (IS.equal out (Hashtbl.find live_out lbl)) then begin
+          Hashtbl.replace live_out lbl out;
+          changed := true
+        end;
+        if not (IS.equal inn (Hashtbl.find live_in lbl)) then begin
+          Hashtbl.replace live_in lbl inn;
+          changed := true
+        end)
+      (List.rev f.Func.order)
+  done;
+  { live_in; live_out }
+
+let live_out t lbl =
+  Option.value ~default:IS.empty (Hashtbl.find_opt t.live_out lbl)
+
+let live_in t lbl =
+  Option.value ~default:IS.empty (Hashtbl.find_opt t.live_in lbl)
+
+(** Walk a block backward producing, for each instruction index, the set of
+    registers live {e after} that instruction.  Returns an array indexed by
+    instruction position. *)
+let live_after_each (f : Func.t) (t : t) (b : Block.t) : IS.t array =
+  ignore f;
+  let n = List.length b.Block.instrs in
+  let arr = Array.make (max n 1) IS.empty in
+  let live = ref (live_out t b.Block.label) in
+  live := IS.union !live (IS.of_list (Instr.term_uses b.Block.term));
+  let instrs = Array.of_list b.Block.instrs in
+  for k = n - 1 downto 0 do
+    arr.(k) <- !live;
+    let i = instrs.(k) in
+    live := IS.diff !live (IS.of_list (Instr.defs i));
+    live := IS.union !live (IS.of_list (Instr.uses i))
+  done;
+  arr

@@ -1,0 +1,15 @@
+(** Block-level register liveness (backward iterative dataflow), with an
+    instruction-grained view for interference construction. *)
+
+open Rp_ir
+module IS = Rp_support.Smaps.Int_set
+
+type t
+
+val compute : Func.t -> t
+val live_in : t -> Instr.label -> IS.t
+val live_out : t -> Instr.label -> IS.t
+
+(** For each instruction index of the block, the registers live after it
+    (terminator uses included after the last instruction). *)
+val live_after_each : Func.t -> t -> Block.t -> IS.t array

@@ -1,0 +1,10 @@
+(** Availability-based redundant-load elimination (the PRE slot of the
+    paper's optimizer): a dataflow over "register r holds memory tag t"
+    facts, meet = intersection, kills on stores/calls/redefinition; an
+    incoming-available load becomes a copy.  Stores never move.  Returns
+    removal counts. *)
+
+open Rp_ir
+
+val run_func : Func.t -> int
+val run_program : Program.t -> int

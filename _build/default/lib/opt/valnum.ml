@@ -1,0 +1,205 @@
+(** Local value numbering with tag-aware load/store forwarding.
+
+    Within each block:
+    - pure expressions with operands carrying known value numbers are
+      replaced by copies of the first register that computed them
+      (commutative operators are canonicalized);
+    - a scalar load observes the per-tag memory version, so a reload with no
+      intervening store to that tag (or call that may modify it) becomes a
+      copy — and a load directly after a store to the same tag forwards the
+      stored register;
+    - a store of a value that the tag's memory already holds is removed
+      (redundant-store elimination);
+    - general pointer loads participate under a coarse whole-memory epoch.
+
+    This is the "value numbering" entry of the paper's optimization suite
+    (§5), extended with the tag information that the IL carries. *)
+
+open Rp_ir
+
+type key =
+  | Kconst of Instr.const
+  | Kaddr of int  (** tag id *)
+  | Kfunref of string
+  | Kunop of Instr.unop * int
+  | Kbinop of Instr.binop * int * int
+  | Kload of int * int  (** tag id, memory version of that tag *)
+  | Kloadc of int  (** const load: never invalidated *)
+  | Kloadg of int * int  (** address vn, global memory epoch *)
+
+let commutative = function
+  | Instr.Add | Instr.Mul | Instr.Band | Instr.Bor | Instr.Bxor | Instr.Eq
+  | Instr.Ne | Instr.Fadd | Instr.Fmul | Instr.Feq | Instr.Fne -> true
+  | _ -> false
+
+let run_block (b : Block.t) : int =
+  let rewrites = ref 0 in
+  let next_vn = ref 0 in
+  let fresh_vn () = incr next_vn; !next_vn in
+  (* register -> current value number *)
+  let reg_vn : (Instr.reg, int) Hashtbl.t = Hashtbl.create 32 in
+  (* expression key -> (vn, representative register) *)
+  let table : (key, int * Instr.reg) Hashtbl.t = Hashtbl.create 32 in
+  (* vn -> register currently holding it (for copy insertion) *)
+  let holder : (int, Instr.reg) Hashtbl.t = Hashtbl.create 32 in
+  let vn_of r =
+    match Hashtbl.find_opt reg_vn r with
+    | Some v -> v
+    | None ->
+      let v = fresh_vn () in
+      Hashtbl.replace reg_vn r v;
+      Hashtbl.replace holder v r;
+      v
+  in
+  let set_reg r vn =
+    Hashtbl.replace reg_vn r vn;
+    if not (Hashtbl.mem holder vn) then Hashtbl.replace holder vn r
+  in
+  let holder_of vn r_default =
+    match Hashtbl.find_opt holder vn with
+    | Some r when Hashtbl.find_opt reg_vn r = Some vn -> Some r
+    | _ ->
+      ignore r_default;
+      None
+  in
+  (* per-tag memory versions, a universal-invalidation counter folded into
+     every version (so a ⊤-set store/call invalidates all tags without
+     enumerating them), and a whole-memory epoch for pointer loads *)
+  let tag_ver : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let univ_count = ref 0 in
+  let epoch = ref 0 in
+  let ver t =
+    Option.value ~default:0 (Hashtbl.find_opt tag_ver t) + !univ_count
+  in
+  let bump t =
+    Hashtbl.replace tag_ver t
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tag_ver t));
+    incr epoch
+  in
+  (* what value number does memory at tag t hold? *)
+  let mem_vn : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let invalidate_tags ts =
+    if Tagset.is_univ ts then begin
+      incr univ_count;
+      incr epoch;
+      Hashtbl.reset mem_vn
+    end
+    else
+      Tagset.iter
+        (fun (t : Tag.t) ->
+          bump t.Tag.id;
+          Hashtbl.remove mem_vn t.Tag.id)
+        ts
+  in
+  let lookup key d =
+    match Hashtbl.find_opt table key with
+    | Some (vn, _) -> (
+      match holder_of vn d with
+      | Some r when r <> d ->
+        incr rewrites;
+        set_reg d vn;
+        Some (Instr.Copy (d, r))
+      | Some _ | None ->
+        set_reg d vn;
+        None)
+    | None ->
+      let vn = fresh_vn () in
+      Hashtbl.replace table key (vn, d);
+      Hashtbl.replace reg_vn d vn;
+      Hashtbl.replace holder vn d;
+      None
+  in
+  let kill_def d =
+    (* d gets a new value; other registers keep theirs *)
+    Hashtbl.remove reg_vn d
+  in
+  let out = ref [] in
+  List.iter
+    (fun i ->
+      let emit x = out := x :: !out in
+      match i with
+      | Instr.Loadi (d, c) -> (
+        kill_def d;
+        match lookup (Kconst c) d with Some x -> emit x | None -> emit i)
+      | Instr.Loada (d, t) -> (
+        kill_def d;
+        match lookup (Kaddr t.Tag.id) d with Some x -> emit x | None -> emit i)
+      | Instr.Loadfp (d, n) -> (
+        kill_def d;
+        match lookup (Kfunref n) d with Some x -> emit x | None -> emit i)
+      | Instr.Unop (op, d, s) -> (
+        let vs = vn_of s in
+        kill_def d;
+        match lookup (Kunop (op, vs)) d with Some x -> emit x | None -> emit i)
+      | Instr.Binop (op, d, s1, s2) -> (
+        let v1 = vn_of s1 and v2 = vn_of s2 in
+        let (v1, v2) =
+          if commutative op && v2 < v1 then (v2, v1) else (v1, v2)
+        in
+        kill_def d;
+        match lookup (Kbinop (op, v1, v2)) d with
+        | Some x -> emit x
+        | None -> emit i)
+      | Instr.Copy (d, s) ->
+        let vs = vn_of s in
+        kill_def d;
+        set_reg d vs;
+        emit i
+      | Instr.Loadc (d, t) -> (
+        kill_def d;
+        match lookup (Kloadc t.Tag.id) d with Some x -> emit x | None -> emit i)
+      | Instr.Loads (d, t) -> (
+        (* store-to-load forwarding first *)
+        match Hashtbl.find_opt mem_vn t.Tag.id with
+        | Some vn when Hashtbl.mem holder vn && holder_of vn d <> None ->
+          let r = Option.get (holder_of vn d) in
+          kill_def d;
+          set_reg d vn;
+          if r <> d then begin
+            incr rewrites;
+            emit (Instr.Copy (d, r))
+          end
+          else emit i
+        | _ -> (
+          kill_def d;
+          match lookup (Kload (t.Tag.id, ver t.Tag.id)) d with
+          | Some x -> emit x
+          | None ->
+            Hashtbl.replace mem_vn t.Tag.id (vn_of d);
+            emit i))
+      | Instr.Stores (t, s) ->
+        let vs = vn_of s in
+        if Hashtbl.find_opt mem_vn t.Tag.id = Some vs then begin
+          (* memory already holds this value: redundant store *)
+          incr rewrites
+        end
+        else begin
+          bump t.Tag.id;
+          Hashtbl.replace mem_vn t.Tag.id vs;
+          emit i
+        end
+      | Instr.Loadg (d, a, ts) -> (
+        let va = vn_of a in
+        kill_def d;
+        match lookup (Kloadg (va, !epoch)) d with
+        | Some x -> emit x
+        | None -> emit (Instr.Loadg (d, a, ts)))
+      | Instr.Storeg (_, _, ts) ->
+        invalidate_tags ts;
+        emit i
+      | Instr.Call c ->
+        invalidate_tags c.Instr.mods;
+        (* a call also produces a fresh value in its result *)
+        Option.iter kill_def c.Instr.ret;
+        Option.iter (fun d -> ignore (vn_of d : int)) c.Instr.ret;
+        emit i
+      | Instr.Phi _ -> emit i)
+    b.Block.instrs;
+  b.Block.instrs <- List.rev !out;
+  !rewrites
+
+let run_func (f : Func.t) : int =
+  Func.fold_blocks (fun n b -> n + run_block b) 0 f
+
+let run_program (p : Program.t) : int =
+  List.fold_left (fun n f -> n + run_func f) 0 (Program.funcs p)

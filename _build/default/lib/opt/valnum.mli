@@ -1,0 +1,10 @@
+(** Local value numbering with tag-aware load/store forwarding: redundant
+    pure computations and reloads become copies, a load after a store to
+    the same tag forwards the stored register, and a store of the value
+    memory already holds is deleted.  Returns rewrite counts. *)
+
+open Rp_ir
+
+val run_block : Block.t -> int
+val run_func : Func.t -> int
+val run_program : Program.t -> int

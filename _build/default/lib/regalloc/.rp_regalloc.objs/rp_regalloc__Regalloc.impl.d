@@ -1,0 +1,1 @@
+lib/regalloc/regalloc.ml: Array Block Float Func Hashtbl Instr List Option Printf Program Rp_cfg Rp_ir Rp_opt Rp_support Tag

@@ -1,0 +1,1 @@
+lib/ssa/ssa.ml: Block Fmt Func Hashtbl Instr List Option Queue Rp_cfg Rp_ir Rp_support

@@ -1,0 +1,1 @@
+lib/ssa/ssa.mli: Func Hashtbl Instr Rp_cfg Rp_ir Rp_support

@@ -1,0 +1,339 @@
+(** SSA construction and destruction (Cytron et al.).
+
+    The points-to analyzer follows the paper's recipe — "Each function is
+    converted into SSA form.  For each SSA name, the analyzer determines the
+    set of tags to which it may point" — so SSA here is a first-class
+    substrate: dominance frontiers, semi-pruned phi placement, renaming, and
+    copy-insertion destruction with critical-edge splitting.
+
+    Construction returns a map from every SSA name back to the register it
+    renames, which is what lets the analyzer transfer per-SSA-name facts
+    back onto the original function's instructions. *)
+
+open Rp_ir
+module SS = Rp_support.Smaps.String_set
+module IS = Rp_support.Smaps.Int_set
+
+(* ------------------------------------------------------------------ *)
+(* Dominance frontiers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-block dominance frontier, computed by the Cooper–Harvey–Kennedy
+    "runner" method: for each join point, walk up from each predecessor to
+    the join's idom. *)
+let dominance_frontiers (f : Func.t) (dom : Rp_cfg.Dominators.t) :
+    (Instr.label, SS.t) Hashtbl.t =
+  let df = Hashtbl.create 64 in
+  let add l x =
+    Hashtbl.replace df l (SS.add x (Option.value ~default:SS.empty (Hashtbl.find_opt df l)))
+  in
+  let preds = Func.preds f in
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      let l = b.Block.label in
+      if Rp_cfg.Dominators.is_reachable dom l then begin
+        let ps =
+          List.filter (Rp_cfg.Dominators.is_reachable dom) (Hashtbl.find preds l)
+        in
+        if List.length ps >= 2 then
+          List.iter
+            (fun p ->
+              let stop = Rp_cfg.Dominators.idom dom l in
+              let rec runner r =
+                if Some r <> stop then begin
+                  add r l;
+                  match Rp_cfg.Dominators.idom dom r with
+                  | Some up -> runner up
+                  | None -> ()
+                end
+              in
+              runner p)
+            ps
+      end)
+    f;
+  df
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type info = {
+  origin : (Instr.reg, Instr.reg) Hashtbl.t;
+      (** SSA name -> the original register it renames *)
+}
+
+(** Convert [f] to SSA in place.  Unreachable blocks are removed first
+    (renaming is undefined on them). *)
+let construct (f : Func.t) : info =
+  Rp_cfg.Clean.remove_unreachable f |> ignore;
+  let dom = Rp_cfg.Dominators.compute f in
+  let df = dominance_frontiers f dom in
+  (* collect definition sites and "global" names (live across blocks) *)
+  let def_blocks : (Instr.reg, SS.t) Hashtbl.t = Hashtbl.create 64 in
+  let add_def r l =
+    Hashtbl.replace def_blocks r
+      (SS.add l (Option.value ~default:SS.empty (Hashtbl.find_opt def_blocks r)))
+  in
+  List.iter (fun r -> add_def r f.Func.entry) f.Func.params;
+  let globals = ref IS.empty in
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      let killed = Hashtbl.create 16 in
+      let use r = if not (Hashtbl.mem killed r) then globals := IS.add r !globals in
+      List.iter
+        (fun i ->
+          List.iter use (Instr.uses i);
+          List.iter
+            (fun d ->
+              add_def d b.Block.label;
+              Hashtbl.replace killed d ())
+            (Instr.defs i))
+        b.Block.instrs;
+      List.iter use (Instr.term_uses b.Block.term))
+    f;
+  (* phi insertion (semi-pruned: only for globals) *)
+  let phi_for : (Instr.label * Instr.reg, unit) Hashtbl.t = Hashtbl.create 64 in
+  IS.iter
+    (fun r ->
+      let work = Queue.create () in
+      SS.iter (fun l -> Queue.push l work)
+        (Option.value ~default:SS.empty (Hashtbl.find_opt def_blocks r));
+      let placed = Hashtbl.create 8 in
+      while not (Queue.is_empty work) do
+        let l = Queue.pop work in
+        SS.iter
+          (fun y ->
+            if not (Hashtbl.mem placed y) then begin
+              Hashtbl.replace placed y ();
+              Hashtbl.replace phi_for (y, r) ();
+              Queue.push y work
+            end)
+          (Option.value ~default:SS.empty (Hashtbl.find_opt df l))
+      done)
+    !globals;
+  (* materialize phis, with placeholder sources to be filled by renaming *)
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      let preds = Func.preds f in
+      let ps = Hashtbl.find preds b.Block.label in
+      let mine =
+        IS.filter (fun r -> Hashtbl.mem phi_for (b.Block.label, r)) !globals
+      in
+      let phis =
+        IS.elements mine
+        |> List.map (fun r -> Instr.Phi (r, List.map (fun p -> (p, r)) ps))
+      in
+      b.Block.instrs <- phis @ b.Block.instrs)
+    f;
+  (* renaming *)
+  let info = { origin = Hashtbl.create 64 } in
+  List.iter (fun r -> Hashtbl.replace info.origin r r) f.Func.params;
+  let stacks : (Instr.reg, Instr.reg list ref) Hashtbl.t = Hashtbl.create 64 in
+  let stack r =
+    match Hashtbl.find_opt stacks r with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.replace stacks r s;
+      s
+  in
+  let top r =
+    match !(stack r) with
+    | v :: _ -> v
+    | [] ->
+      (* use of a never-defined register (use-before-def paths): keep the
+         original name; it denotes an undefined value *)
+      r
+  in
+  let fresh_version r =
+    let v = Func.fresh_reg f in
+    Hashtbl.replace info.origin v r;
+    let s = stack r in
+    s := v :: !s;
+    v
+  in
+  (* parameters are their own first version *)
+  List.iter
+    (fun r ->
+      let s = stack r in
+      s := r :: !s)
+    f.Func.params;
+  let rec rename (l : Instr.label) =
+    let b = Func.block f l in
+    let pushed = ref [] in
+    let instrs' =
+      List.map
+        (fun i ->
+          match i with
+          | Instr.Phi (d, srcs) ->
+            let d' = fresh_version d in
+            pushed := d :: !pushed;
+            Instr.Phi (d', srcs)
+          | i ->
+            let i = Instr.map_uses top i in
+            Instr.map_defs
+              (fun d ->
+                let d' = fresh_version d in
+                pushed := d :: !pushed;
+                d')
+              i)
+        b.Block.instrs
+    in
+    b.Block.instrs <- instrs';
+    b.Block.term <- Instr.term_map_uses top b.Block.term;
+    (* fill phi arguments in successors; each pred is visited exactly once,
+       so the argument slot for this edge still holds its placeholder (the
+       original register) *)
+    List.iter
+      (fun s ->
+        let sb = Func.block f s in
+        sb.Block.instrs <-
+          List.map
+            (fun i ->
+              match i with
+              | Instr.Phi (d, srcs) ->
+                Instr.Phi
+                  ( d,
+                    List.map
+                      (fun (p, r) -> if p = l then (p, top r) else (p, r))
+                      srcs )
+              | i -> i)
+            sb.Block.instrs)
+      (Func.succs f b);
+    (* recurse over dominator-tree children *)
+    List.iter rename (Rp_cfg.Dominators.dom_children dom l);
+    (* pop *)
+    List.iter
+      (fun r ->
+        let s = stack r in
+        match !s with _ :: rest -> s := rest | [] -> ())
+      !pushed
+  in
+  rename f.Func.entry;
+  info
+
+(* ------------------------------------------------------------------ *)
+(* Destruction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Split critical edges (predecessor with several successors into a block
+    with several predecessors) so phi-replacement copies have a home. *)
+let split_critical_edges (f : Func.t) =
+  let preds = Func.preds f in
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      let succs = Func.succs f b in
+      if List.length succs > 1 then
+        List.iter
+          (fun s ->
+            if List.length (Hashtbl.find preds s) > 1 then begin
+              let mid = Func.new_block ~hint:"crit" f in
+              mid.Block.term <- Instr.Jump s;
+              b.Block.term <-
+                Instr.term_map_labels
+                  (fun l -> if l = s then mid.Block.label else l)
+                  b.Block.term;
+              (* update phi predecessor labels in s *)
+              let sb = Func.block f s in
+              sb.Block.instrs <-
+                List.map
+                  (fun i ->
+                    match i with
+                    | Instr.Phi (d, srcs) ->
+                      Instr.Phi
+                        ( d,
+                          List.map
+                            (fun (p, r) ->
+                              if p = b.Block.label then (mid.Block.label, r)
+                              else (p, r))
+                            srcs )
+                    | i -> i)
+                  sb.Block.instrs
+            end)
+          succs)
+    f
+
+(** Replace phis with copies in predecessors (conventional SSA assumed, as
+    produced by {!construct}). *)
+let destruct (f : Func.t) : unit =
+  split_critical_edges f;
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      let phis, rest = List.partition Instr.is_phi b.Block.instrs in
+      List.iter
+        (fun i ->
+          match i with
+          | Instr.Phi (d, srcs) ->
+            List.iter
+              (fun (p, r) ->
+                let pb = Func.block f p in
+                if r <> d then pb.Block.instrs <- pb.Block.instrs @ [ Instr.Copy (d, r) ])
+              srcs
+          | _ -> assert false)
+        phis;
+      b.Block.instrs <- rest)
+    f
+
+(** Is [f] in valid SSA form?  Returns violations for the test-suite. *)
+let check (f : Func.t) : string list =
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  let def_count = Hashtbl.create 64 in
+  let bump r =
+    Hashtbl.replace def_count r (1 + Option.value ~default:0 (Hashtbl.find_opt def_count r))
+  in
+  List.iter bump f.Func.params;
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      List.iter (fun i -> List.iter bump (Instr.defs i)) b.Block.instrs)
+    f;
+  Hashtbl.iter
+    (fun r n -> if n > 1 then err "register r%d defined %d times" r n)
+    def_count;
+  (* each use dominated by its def *)
+  let dom = Rp_cfg.Dominators.compute f in
+  let def_block = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace def_block r f.Func.entry) f.Func.params;
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      List.iter
+        (fun i ->
+          List.iter (fun d -> Hashtbl.replace def_block d b.Block.label) (Instr.defs i))
+        b.Block.instrs)
+    f;
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      let seen = Hashtbl.create 16 in
+      if b.Block.label = f.Func.entry then
+        List.iter (fun p -> Hashtbl.replace seen p ()) f.Func.params;
+      List.iter
+        (fun i ->
+          (match i with
+          | Instr.Phi (_, srcs) ->
+            List.iter
+              (fun (p, r) ->
+                match Hashtbl.find_opt def_block r with
+                | Some dl ->
+                  if not (Rp_cfg.Dominators.dominates dom dl p) then
+                    err "phi arg r%d (from %s) not dominated by its def" r p
+                | None -> ())
+              srcs
+          | _ ->
+            List.iter
+              (fun u ->
+                match Hashtbl.find_opt def_block u with
+                | Some dl ->
+                  if dl = b.Block.label then begin
+                    if not (Hashtbl.mem seen u) then
+                      err "use of r%d before its def in %s" u b.Block.label
+                  end
+                  else if not (Rp_cfg.Dominators.strictly_dominates dom dl b.Block.label)
+                  then
+                    err "use of r%d in %s not dominated by def in %s" u
+                      b.Block.label dl
+                | None -> ())
+              (Instr.uses i));
+          List.iter (fun d -> Hashtbl.replace seen d ()) (Instr.defs i))
+        b.Block.instrs)
+    f;
+  List.rev !errs

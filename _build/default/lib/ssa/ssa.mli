@@ -1,0 +1,33 @@
+(** SSA construction and destruction (Cytron et al.), used by the points-to
+    analyzer ("Each function is converted into SSA form") and available as a
+    general substrate. *)
+
+open Rp_ir
+module SS = Rp_support.Smaps.String_set
+
+(** Per-block dominance frontiers (Cooper–Harvey–Kennedy runner method). *)
+val dominance_frontiers :
+  Func.t -> Rp_cfg.Dominators.t -> (Instr.label, SS.t) Hashtbl.t
+
+type info = {
+  origin : (Instr.reg, Instr.reg) Hashtbl.t;
+      (** SSA name -> the original register it renames; parameters map to
+          themselves *)
+}
+
+(** Convert a function to SSA in place (semi-pruned phi placement,
+    dominator-tree renaming).  Unreachable blocks are removed first.
+    Per-block instruction order is preserved modulo the prepended phis —
+    the lockstep property the points-to refinement relies on. *)
+val construct : Func.t -> info
+
+(** Split critical edges (pred with several succs into a block with several
+    preds), updating phi predecessor labels. *)
+val split_critical_edges : Func.t -> unit
+
+(** Replace phis with predecessor copies (critical edges are split first). *)
+val destruct : Func.t -> unit
+
+(** SSA well-formedness violations (single defs, defs dominate uses);
+    empty when valid. *)
+val check : Func.t -> string list

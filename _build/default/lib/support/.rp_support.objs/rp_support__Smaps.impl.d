@@ -1,0 +1,1 @@
+lib/support/smaps.ml: Fmt Int Map Set String

@@ -1,0 +1,21 @@
+(** Monotonic fresh-id generators.
+
+    Every namespace in the compiler (tags, call sites, heap sites, ...) draws
+    its identifiers from an independent generator so that ids are dense,
+    deterministic, and usable as array indices. *)
+
+type t = { mutable next : int }
+
+let create ?(start = 0) () = { next = start }
+
+(** [fresh g] returns the next unused id. *)
+let fresh g =
+  let id = g.next in
+  g.next <- id + 1;
+  id
+
+(** [peek g] returns the id that the next call to [fresh] will produce. *)
+let peek g = g.next
+
+(** [count g] is the number of ids handed out so far (assuming [start=0]). *)
+let count g = g.next

@@ -1,0 +1,13 @@
+(** Shared instantiations of the standard containers, so every library agrees
+    on the same concrete module (and so tests can build values directly). *)
+
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+module String_set = Set.Make (String)
+module String_map = Map.Make (String)
+
+let pp_int_set ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (Int_set.elements s)
+
+let pp_string_set ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma string) (String_set.elements s)

@@ -1,0 +1,36 @@
+(** Classic union-find over dense integer elements with path compression and
+    union by rank.  Used by the register allocator's coalescing phase and by
+    the points-to analysis tests. *)
+
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find uf x =
+  let p = uf.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find uf p in
+    uf.parent.(x) <- root;
+    root
+  end
+
+(** [union uf a b] merges the classes of [a] and [b]; returns the new root. *)
+let union uf a b =
+  let ra = find uf a and rb = find uf b in
+  if ra = rb then ra
+  else if uf.rank.(ra) < uf.rank.(rb) then begin
+    uf.parent.(ra) <- rb;
+    rb
+  end
+  else if uf.rank.(ra) > uf.rank.(rb) then begin
+    uf.parent.(rb) <- ra;
+    ra
+  end
+  else begin
+    uf.parent.(rb) <- ra;
+    uf.rank.(ra) <- uf.rank.(ra) + 1;
+    ra
+  end
+
+let same uf a b = find uf a = find uf b

@@ -1,0 +1,41 @@
+(** A FIFO worklist that never holds the same element twice.
+
+    The standard driver for the iterative dataflow solvers (points-to,
+    constant propagation, liveness) in this compiler. *)
+
+type 'a t = { queue : 'a Queue.t; present : ('a, unit) Hashtbl.t }
+
+let create () = { queue = Queue.create (); present = Hashtbl.create 64 }
+
+(** [push wl x] enqueues [x] unless it is already pending. *)
+let push wl x =
+  if not (Hashtbl.mem wl.present x) then begin
+    Hashtbl.replace wl.present x ();
+    Queue.push x wl.queue
+  end
+
+let pop wl =
+  match Queue.pop wl.queue with
+  | x ->
+    Hashtbl.remove wl.present x;
+    Some x
+  | exception Queue.Empty -> None
+
+let is_empty wl = Queue.is_empty wl.queue
+
+let of_list xs =
+  let wl = create () in
+  List.iter (push wl) xs;
+  wl
+
+(** [run wl f] pops elements and applies [f] until the list drains.  [f] may
+    push further work. *)
+let run wl f =
+  let rec go () =
+    match pop wl with
+    | None -> ()
+    | Some x ->
+      f x;
+      go ()
+  in
+  go ()

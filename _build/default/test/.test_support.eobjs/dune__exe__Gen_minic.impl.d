@@ -1,0 +1,1 @@
+test/gen_minic.ml: Gen List Printf QCheck String

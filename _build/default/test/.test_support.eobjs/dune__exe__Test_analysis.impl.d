@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Func Instr List Program Rp_analysis Rp_driver Rp_ir Rp_suite Rp_support String Tag Tagset Util

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Block Func Hashtbl Instr List Option Printf Program QCheck QCheck_alcotest Rp_cfg Rp_ir Rp_support String Test Util

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Block Bool Config Fmt Func Instr List Printf Program Rp_driver Rp_exec Rp_ir Rp_suite String Tag Tagset Util

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Fmt Lexer List Parser Rp_minic Srcloc String Tast Token Typecheck Util

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Config List Printf Rp_driver Rp_suite Util

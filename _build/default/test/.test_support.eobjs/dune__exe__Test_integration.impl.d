@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Config Filename Fun List Pipeline Printf Rp_driver Rp_exec Rp_suite String Sys Util

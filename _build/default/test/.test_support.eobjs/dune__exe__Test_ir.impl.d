@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Block Fmt Func Gen Instr List QCheck QCheck_alcotest Rp_ir Rp_suite Tag Tagset Test Util Validate

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Block Fmt Func Instr List Program Rp_driver Rp_exec Rp_ir Rp_opt Rp_suite Rp_support Tag Tagset Util

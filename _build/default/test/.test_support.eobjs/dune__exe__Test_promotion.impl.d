@@ -1,0 +1,1 @@
+test/test_promotion.ml: Alcotest Block Config Func Hashtbl Instr List Pipeline Printf Program Rp_cfg Rp_core Rp_driver Rp_ir Rp_suite Tag Tagset Util

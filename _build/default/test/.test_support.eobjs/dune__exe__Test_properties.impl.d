@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Config Gen_minic List Pipeline QCheck QCheck_alcotest Rp_driver Rp_exec Rp_ir Test

@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Config Func Instr List Pipeline Printf Program Rp_driver Rp_ir Rp_regalloc Rp_suite Tag Util

@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Block Config Func Gen_minic Instr List Program QCheck QCheck_alcotest Rp_driver Rp_exec Rp_ir Rp_suite Serial Tag Test Util Validate

@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Block Func Hashtbl Instr List Option Program Rp_cfg Rp_exec Rp_ir Rp_ssa Rp_support Util Validate

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Idgen List QCheck QCheck_alcotest Rp_support Test Union_find Util Worklist

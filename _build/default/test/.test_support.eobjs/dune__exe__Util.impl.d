@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Config List Pipeline Rp_driver Rp_exec Rp_irgen Rp_minic

@@ -1,0 +1,173 @@
+(** Shared random Mini-C program generator (safe, terminating, checksum-
+    printing) used by the differential and serialization property tests. *)
+
+open QCheck
+
+let prelude =
+  {|
+int g0; int g1; int g2;
+float gf;
+int ga[8];
+int *pg;
+
+struct Pair { int a; int b; };
+struct Pair gone;
+struct Pair gpairs[4];
+struct Pair *pp;
+
+int f_pure(int a, int b) { return a * 3 + b; }
+
+int f_touch(int a) { g1 = g1 + a; return g1 % 100; }
+
+int f_deep(int n) {
+  if (n <= 0) return 1;
+  return f_deep(n - 1) + n;
+}
+
+int f_arr(int *p, int i) { return p[i & 7]; }
+
+int f_pair(struct Pair *p) { return p->a * 2 + p->b; }
+|}
+
+let gen_expr depth_idx =
+  let rec expr fuel st =
+    if fuel <= 0 then atom st
+    else
+      match Gen.int_bound 9 st with
+      | 0 | 1 ->
+        Printf.sprintf "(%s + %s)" (expr (fuel - 1) st) (expr (fuel - 1) st)
+      | 2 -> Printf.sprintf "(%s - %s)" (expr (fuel - 1) st) (expr (fuel - 1) st)
+      | 3 -> Printf.sprintf "(%s * %s)" (atom st) (atom st)
+      | 4 ->
+        Printf.sprintf "(%s %% %d)" (expr (fuel - 1) st) (1 + Gen.int_bound 9 st)
+      | 5 ->
+        Printf.sprintf "(%s / %d)" (expr (fuel - 1) st) (1 + Gen.int_bound 9 st)
+      | 6 ->
+        let op = List.nth [ "<"; "<="; "=="; "!=" ] (Gen.int_bound 3 st) in
+        Printf.sprintf "(%s %s %s)" (atom st) op (atom st)
+      | 7 -> Printf.sprintf "(%s & %d)" (expr (fuel - 1) st) (Gen.int_bound 255 st)
+      | _ -> atom st
+  and atom st =
+    match Gen.int_bound 15 st with
+    | 0 | 1 -> string_of_int (Gen.int_bound 20 st)
+    | 2 -> Printf.sprintf "x%d" (Gen.int_bound 3 st)
+    | 3 | 4 -> Printf.sprintf "g%d" (Gen.int_bound 2 st)
+    | 5 -> Printf.sprintf "ga[%s & 7]" (atom st)
+    | 6 -> "(*pg)"
+    | 7 -> Printf.sprintf "f_pure(%s, %s)" (atom st) (atom st)
+    | 8 -> Printf.sprintf "f_touch(%s)" (atom st)
+    | 9 -> Printf.sprintf "f_deep(%d)" (Gen.int_bound 6 st)
+    | 10 -> Printf.sprintf "f_arr(ga, %s)" (atom st)
+    | 11 -> Printf.sprintf "gone.%s" (if Gen.bool st then "a" else "b")
+    | 12 ->
+      Printf.sprintf "gpairs[%s & 3].%s" (atom st)
+        (if Gen.bool st then "a" else "b")
+    | 13 -> Printf.sprintf "pp->%s" (if Gen.bool st then "a" else "b")
+    | 14 -> "f_pair(pp)"
+    | _ ->
+      if depth_idx > 0 then Printf.sprintf "i%d" (Gen.int_bound (depth_idx - 1) st)
+      else string_of_int (Gen.int_bound 9 st)
+  in
+  expr
+
+let gen_stmts =
+  let buf_indent n = String.make (2 * n) ' ' in
+  let rec stmts fuel depth_idx indent st =
+    if fuel <= 0 then []
+    else
+      let n = 1 + Gen.int_bound 3 st in
+      List.concat
+        (List.init n (fun _ -> stmt (fuel - 1) depth_idx indent st))
+  and stmt fuel depth_idx indent st =
+    let pad = buf_indent indent in
+    let e fuel' = gen_expr depth_idx fuel' st in
+    match Gen.int_bound 13 st with
+    | 0 | 1 ->
+      [ Printf.sprintf "%sg%d = %s;" pad (Gen.int_bound 2 st) (e 2) ]
+    | 2 -> [ Printf.sprintf "%sx%d = %s;" pad (Gen.int_bound 3 st) (e 2) ]
+    | 3 -> [ Printf.sprintf "%sga[%s & 7] = %s;" pad (e 1) (e 2) ]
+    | 4 -> [ Printf.sprintf "%s*pg = %s;" pad (e 2) ]
+    | 5 ->
+      let tgt =
+        match Gen.int_bound 2 st with
+        | 0 -> "&g0"
+        | 1 -> "&g1"
+        | _ -> Printf.sprintf "&ga[%d]" (Gen.int_bound 7 st)
+      in
+      [ Printf.sprintf "%spg = %s;" pad tgt ]
+    | 6 ->
+      let cond = e 2 in
+      let then_ = stmts (fuel - 1) depth_idx (indent + 1) st in
+      let else_ = stmts (fuel - 1) depth_idx (indent + 1) st in
+      [ Printf.sprintf "%sif (%s) {" pad cond ]
+      @ then_
+      @ [ pad ^ "} else {" ]
+      @ else_
+      @ [ pad ^ "}" ]
+    | 7 | 8 when depth_idx < 3 ->
+      let bound = 2 + Gen.int_bound 6 st in
+      let body = stmts (fuel - 1) (depth_idx + 1) (indent + 1) st in
+      [ Printf.sprintf "%sfor (i%d = 0; i%d < %d; i%d++) {" pad depth_idx
+          depth_idx bound depth_idx ]
+      @ body
+      @ [ pad ^ "}" ]
+    | 9 when depth_idx < 3 ->
+      let bound = 1 + Gen.int_bound 5 st in
+      let body = stmts (fuel - 1) (depth_idx + 1) (indent + 1) st in
+      [ Printf.sprintf "%si%d = 0;" pad depth_idx;
+        Printf.sprintf "%swhile (i%d < %d) {" pad depth_idx bound ]
+      @ body
+      @ [ Printf.sprintf "%s  i%d = i%d + 1;" pad depth_idx depth_idx;
+          pad ^ "}" ]
+    | 10 -> [ Printf.sprintf "%sg%d += %s;" pad (Gen.int_bound 2 st) (e 1) ]
+    | 11 ->
+      (* struct traffic: field stores, pointer retargeting *)
+      (match Gen.int_bound 3 st with
+      | 0 ->
+        [ Printf.sprintf "%sgone.%s = %s;" pad
+            (if Gen.bool st then "a" else "b")
+            (e 2) ]
+      | 1 ->
+        [ Printf.sprintf "%sgpairs[%s & 3].%s = %s;" pad (e 1)
+            (if Gen.bool st then "a" else "b")
+            (e 2) ]
+      | 2 ->
+        [ Printf.sprintf "%spp = %s;" pad
+            (if Gen.bool st then "&gone"
+             else Printf.sprintf "&gpairs[%d]" (Gen.int_bound 3 st)) ]
+      | _ ->
+        [ Printf.sprintf "%spp->%s = %s;" pad
+            (if Gen.bool st then "a" else "b")
+            (e 2) ])
+    | 12 -> [ Printf.sprintf "%sgf = gf * 0.5 + %s;" pad (e 1) ]
+    | _ -> [ Printf.sprintf "%sx%d = f_touch(x%d);" pad (Gen.int_bound 3 st)
+               (Gen.int_bound 3 st) ]
+  in
+  stmts
+
+let gen_program : string Gen.t =
+ fun st ->
+  let body = gen_stmts 4 0 1 st in
+  let lines =
+    [ prelude; "int main() {";
+      "  int x0 = 1; int x1 = 2; int x2 = 3; int x3 = 4;";
+      "  int i0; int i1; int i2;";
+      "  pg = &g0;";
+      "  pp = &gone;" ]
+    @ body
+    @ [
+        "  print_int(g0); print_int(g1); print_int(g2);";
+        "  print_float(gf);";
+        "  print_int(gone.a * 3 + gone.b);";
+        "  { int i; int s = 0; for (i = 0; i < 4; i++) s += gpairs[i].a - \
+         gpairs[i].b; print_int(s); }";
+        "  print_int(x0 + x1 + x2 + x3);";
+        "  { int i; int s = 0; for (i = 0; i < 8; i++) s += ga[i]; \
+         print_int(s); }";
+        "  return 0;";
+        "}";
+      ]
+  in
+  String.concat "\n" lines
+
+let arb_program = make ~print:(fun s -> s) gen_program

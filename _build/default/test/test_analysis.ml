@@ -1,0 +1,424 @@
+(** Interprocedural analysis tests: call graph + SCC condensation, MOD/REF
+    summaries and tag-set limiting, and the points-to analysis with its
+    refinement of pointer operations and indirect calls. *)
+
+open Rp_ir
+module CG = Rp_analysis.Callgraph
+module MR = Rp_analysis.Modref
+module PT = Rp_analysis.Pointsto
+module SS = Rp_support.Smaps.String_set
+
+let tag_names ts =
+  match ts with
+  | Tagset.Univ -> [ "*" ]
+  | _ -> List.map (fun (t : Tag.t) -> t.Tag.name) (Tagset.elements ts)
+    |> List.sort compare
+
+let callgraph_tests =
+  [
+    Util.tc "direct edges and reachability" (fun () ->
+        let p =
+          Util.front
+            "int h() { return 1; } int g() { return h(); } int f() { return \
+             g(); } int main() { return f(); }"
+        in
+        let cg = CG.build p ~targets_of:(CG.conservative_targets p) in
+        Util.check Alcotest.bool "main reaches h" true (CG.reaches cg "main" "h");
+        Util.check Alcotest.bool "h reaches main" false (CG.reaches cg "h" "main");
+        Util.check Alcotest.bool "reflexive" true (CG.reaches cg "g" "g"));
+    Util.tc "SCCs in reverse topological order" (fun () ->
+        let p =
+          Util.front
+            "int b(int n); int a(int n) { if (n) return b(n-1); return 0; } \
+             int b(int n) { return a(n); } int main() { return a(5); }"
+        in
+        let cg = CG.build p ~targets_of:(CG.conservative_targets p) in
+        (* the {a,b} component must come before {main} *)
+        let pos name =
+          let rec go i = function
+            | [] -> -1
+            | scc :: rest -> if List.mem name scc then i else go (i + 1) rest
+          in
+          go 0 cg.CG.sccs
+        in
+        Util.check Alcotest.bool "a and b share an SCC" true (pos "a" = pos "b");
+        Util.check Alcotest.bool "callee SCC first" true (pos "a" < pos "main"));
+    Util.tc "addressed functions collected" (fun () ->
+        let p =
+          Util.front
+            "int f(int x) { return x; } int (*fp)(int); int main() { fp = \
+             f; return fp(3); }"
+        in
+        let addr = CG.addressed_functions p in
+        Util.check Alcotest.bool "f addressed" true (SS.mem "f" addr);
+        Util.check Alcotest.bool "main not addressed" false (SS.mem "main" addr));
+    Util.tc "indirect calls resolve conservatively to addressed functions"
+      (fun () ->
+        let p =
+          Util.front
+            "int f(int x) { return x; } int g(int x) { return x + 1; } int \
+             (*fp)(int); int main() { fp = f; fp = g; return fp(3); }"
+        in
+        let cg = CG.build p ~targets_of:(CG.conservative_targets p) in
+        let callees = CG.callees_of cg "main" in
+        Util.check Alcotest.bool "f possible" true (SS.mem "f" callees);
+        Util.check Alcotest.bool "g possible" true (SS.mem "g" callees));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let modref_tests =
+  [
+    Util.tc "leaf function summaries" (fun () ->
+        let p =
+          Util.front
+            "int g1; int g2; void w() { g1 = 1; } int r() { return g2; } \
+             int main() { w(); return r(); }"
+        in
+        let mr = MR.run p in
+        Util.check Alcotest.(list string) "MOD w" [ "g1" ]
+          (tag_names (MR.summary mr "w").MR.mods);
+        Util.check Alcotest.(list string) "REF w" []
+          (tag_names (MR.summary mr "w").MR.refs);
+        Util.check Alcotest.(list string) "REF r" [ "g2" ]
+          (tag_names (MR.summary mr "r").MR.refs));
+    Util.tc "summaries propagate through callers" (fun () ->
+        let p =
+          Util.front
+            "int g1; void w() { g1 = 1; } void mid() { w(); } int main() { \
+             mid(); return g1; }"
+        in
+        let mr = MR.run p in
+        Util.check Alcotest.(list string) "MOD mid includes callee" [ "g1" ]
+          (tag_names (MR.summary mr "mid").MR.mods));
+    Util.tc "recursive cycle members share a summary" (fun () ->
+        let p =
+          Util.front
+            "int g1; int g2; int b(int n); int a(int n) { g1 = n; if (n) \
+             return b(n-1); return 0; } int b(int n) { g2 = n; return a(n); \
+             } int main() { return a(3); }"
+        in
+        let mr = MR.run p in
+        Util.check Alcotest.(list string) "MOD a" [ "g1"; "g2" ]
+          (tag_names (MR.summary mr "a").MR.mods);
+        Util.check Alcotest.(list string) "MOD b" [ "g1"; "g2" ]
+          (tag_names (MR.summary mr "b").MR.mods));
+    Util.tc "pointer ops limited to address-taken tags" (fun () ->
+        let p =
+          Util.front
+            "int x; int y; int main() { int *p = &x; *p = 1; y = 2; return \
+             x + y; }"
+        in
+        ignore (MR.run p : MR.t);
+        (* find the store through p; its tag set must contain x (addressed)
+           but not y (never addressed) *)
+        let f = Program.func p "main" in
+        let found = ref false in
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Storeg (_, _, ts) ->
+              found := true;
+              Util.check Alcotest.bool "x possible" true
+                (List.mem "x" (tag_names ts));
+              Util.check Alcotest.bool "y excluded" false
+                (List.mem "y" (tag_names ts))
+            | _ -> ())
+          f;
+        Util.check Alcotest.bool "store found" true !found);
+    Util.tc "locals visible only in descendants of their creator" (fun () ->
+        let p =
+          Util.front
+            "void callee(int *p) { *p = 7; } int unrelated(int *q) { return \
+             *q; } int main() { int loc = 0; callee(&loc); int z = 1; return \
+             unrelated(&z) + loc; }"
+        in
+        ignore (MR.run p : MR.t);
+        (* both callee and unrelated are called from main, so both see
+           main's addressed locals; but main.loc must never appear in a
+           function main does not reach... construct: nobody_calls *)
+        let p2 =
+          Util.front
+            "int g; void never_called(int *p) { *p = 1; } int main() { int \
+             loc = 0; int *q = &loc; *q = 3; g = loc; return g; }"
+        in
+        ignore (MR.run p2 : MR.t);
+        let f = Program.func p2 "never_called" in
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Storeg (_, _, ts) ->
+              Util.check Alcotest.bool "main.loc invisible" false
+                (List.mem "main.loc" (tag_names ts))
+            | _ -> ())
+          f);
+    Util.tc "builtin calls keep empty summaries" (fun () ->
+        let p = Util.front "int main() { print_int(rand()); return 0; }" in
+        ignore (MR.run p : MR.t);
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Call c ->
+              Util.check Alcotest.bool "empty mods" true
+                (Tagset.is_empty c.Instr.mods)
+            | _ -> ())
+          (Program.func p "main"));
+    Util.tc "heap tags are in the address-taken universe" (fun () ->
+        let p =
+          Util.front
+            "int main() { int *p = malloc(4); p[0] = 1; return p[0]; }"
+        in
+        ignore (MR.run p : MR.t);
+        let f = Program.func p "main" in
+        let saw_heap = ref false in
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Storeg (_, _, ts) ->
+              if List.exists (fun n -> String.length n >= 4 && String.sub n 0 4 = "heap")
+                   (tag_names ts)
+              then saw_heap := true
+            | _ -> ())
+          f;
+        Util.check Alcotest.bool "heap tag possible" true !saw_heap);
+    Util.tc "re-running MOD/REF is stable" (fun () ->
+        let p =
+          Util.front
+            "int g; void w() { g = 1; } int main() { w(); return g; }"
+        in
+        let m1 = MR.run p in
+        let m2 = MR.run p in
+        Util.check Alcotest.(list string) "same MOD"
+          (tag_names (MR.summary m1 "w").MR.mods)
+          (tag_names (MR.summary m2 "w").MR.mods));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let pointsto_tests =
+  [
+    Util.tc "points-to narrows a pointer store to its array" (fun () ->
+        let p =
+          Util.front
+            "int x; int buf[8]; void fill(int *out) { int i; for (i = 0; i \
+             < 8; i++) out[i] = i; } int main() { int *px = &x; *px = 5; \
+             fill(buf); return x + buf[3]; }"
+        in
+        ignore (PT.run p : PT.t);
+        let f = Program.func p "fill" in
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Storeg (_, _, ts) ->
+              Util.check Alcotest.(list string) "exactly buf" [ "buf" ]
+                (tag_names ts)
+            | _ -> ())
+          f);
+    Util.tc "distinct heap sites stay distinct" (fun () ->
+        let p =
+          Util.front
+            "int main() { int *a = malloc(4); int *b = malloc(4); a[0] = 1; \
+             b[0] = 2; return a[0] + b[0]; }"
+        in
+        ignore (PT.run p : PT.t);
+        let f = Program.func p "main" in
+        let sets = ref [] in
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Storeg (_, _, ts) -> sets := tag_names ts :: !sets
+            | _ -> ())
+          f;
+        (* each store sees exactly one heap site, and they differ *)
+        (match List.sort_uniq compare !sets with
+        | [ [ h1 ]; [ h2 ] ] when h1 <> h2 -> ()
+        | other ->
+          Alcotest.failf "expected two singleton heap sets, got %s"
+            (String.concat " | " (List.map (String.concat ",") other))));
+    Util.tc "indirect call targets narrowed to assigned functions" (fun () ->
+        let p =
+          Util.front
+            "int f(int x) { return x; } int g(int x) { return x + 1; } int \
+             h(int x) { return x + 2; } int (*fp)(int); int main() { fp = \
+             f; int r = fp(1); fp = g; r = r + fp(2); int (*unused)(int) = \
+             h; return r; }"
+        in
+        ignore (PT.run p : PT.t);
+        let f = Program.func p "main" in
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Call ({ target = Instr.Indirect _; _ } as c) ->
+              Util.check Alcotest.bool "f or g possible" true
+                (List.mem "f" c.Instr.targets || List.mem "g" c.Instr.targets);
+              Util.check Alcotest.bool "h excluded" false
+                (List.mem "h" c.Instr.targets)
+            | _ -> ())
+          f);
+    Util.tc "pointers stored in globals flow through memory" (fun () ->
+        let p =
+          Util.front
+            "int x; int y; int *gp; void set() { gp = &x; } int main() { \
+             set(); *gp = 4; return x + y; }"
+        in
+        ignore (PT.run p : PT.t);
+        let f = Program.func p "main" in
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Storeg (_, _, ts) ->
+              Util.check Alcotest.(list string) "through gp: only x" [ "x" ]
+                (tag_names ts)
+            | _ -> ())
+          f);
+    Util.tc "refinement never widens the front end's sets" (fun () ->
+        let p =
+          Util.front
+            "int a[4]; int main() { int i; for (i = 0; i < 4; i++) a[i] = \
+             i; return a[2]; }"
+        in
+        ignore (PT.run p : PT.t);
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Storeg (_, _, ts) | Instr.Loadg (_, _, ts) ->
+              Util.check Alcotest.(list string) "still exactly a" [ "a" ]
+                (tag_names ts)
+            | _ -> ())
+          (Program.func p "main"));
+    Util.tc "pointer arithmetic stays within the object" (fun () ->
+        let p =
+          Util.front
+            "int buf[8]; int other[8]; int main() { int *p = buf; p = p + \
+             3; *p = 9; return buf[3] + other[0]; }"
+        in
+        ignore (PT.run p : PT.t);
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Storeg (_, _, ts) ->
+              Util.check Alcotest.(list string) "only buf" [ "buf" ]
+                (tag_names ts)
+            | _ -> ())
+          (Program.func p "main"));
+    Util.tc "recursion collapses activations (weak updates only)" (fun () ->
+        (* the address of a recursive function's local escapes; analysis
+           must keep the program working through the single shared tag *)
+        let src =
+          "int depth(int n, int *up) { int here = n; if (n == 0) return \
+           *up; return depth(n - 1, &here); } int main() { int top = 9; \
+           return depth(3, &top); }"
+        in
+        let out = Util.differential src in
+        Util.check Alcotest.string "value" "" out);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+module ST = Rp_analysis.Steensgaard
+
+let steens_cfg =
+  { Rp_driver.Config.default with
+    Rp_driver.Config.analysis = Rp_driver.Config.Asteens }
+
+let steensgaard_tests =
+  [
+    Util.tc "narrows a single-target pointer" (fun () ->
+        let p =
+          Util.front
+            "int x; int y; int main() { int *px = &x; *px = 5; y = 2; \
+             return x + y; }"
+        in
+        ignore (ST.run p : ST.t);
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Storeg (_, _, ts) ->
+              Util.check Alcotest.(list string) "exactly x" [ "x" ]
+                (tag_names ts)
+            | _ -> ())
+          (Program.func p "main"));
+    Util.tc "conflates a two-target pointer (unification!)" (fun () ->
+        let p =
+          Util.front
+            "int x; int y; int main() { int *p; if (rand() % 2) p = &x; \
+             else p = &y; *p = 1; return x + y; }"
+        in
+        ignore (ST.run p : ST.t);
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Storeg (_, _, ts) ->
+              Util.check Alcotest.(list string) "both x and y" [ "x"; "y" ]
+                (tag_names ts)
+            | _ -> ())
+          (Program.func p "main"));
+    Util.tc "keeps independent pointers separate" (fun () ->
+        let p =
+          Util.front
+            "int a[4]; int b[4]; void fill(int *q, int v) { q[0] = v; } int \
+             main() { fill(a, 1); int *pb = b; pb[0] = 2; return a[0] + \
+             b[0]; }"
+        in
+        ignore (ST.run p : ST.t);
+        (* pb only ever saw b *)
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Storeg (_, _, ts) ->
+              Util.check Alcotest.(list string) "only b" [ "b" ] (tag_names ts)
+            | _ -> ())
+          (Program.func p "main"));
+    Util.tc "function pointers resolve through the cell" (fun () ->
+        let p =
+          Util.front
+            "int f(int x) { return x; } int g(int x) { return x + 1; } int \
+             h(int x) { return x + 2; } int (*fp)(int); int (*other)(int); \
+             int main() { fp = f; fp = g; other = h; return fp(1); }"
+        in
+        ignore (ST.run p : ST.t);
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Call ({ target = Instr.Indirect _; _ } as c) ->
+              Util.check Alcotest.bool "f and g in" true
+                (List.mem "f" c.Instr.targets && List.mem "g" c.Instr.targets);
+              Util.check Alcotest.bool "h excluded" false
+                (List.mem "h" c.Instr.targets)
+            | _ -> ())
+          (Program.func p "main"));
+    Util.tc "all benchmarks run correctly under steens" (fun () ->
+        List.iter
+          (fun name ->
+            let src = (Rp_suite.Programs.find name).Rp_suite.Programs.source in
+            Util.check Alcotest.string (name ^ " output") (Util.output src)
+              (Util.output ~config:steens_cfg src))
+          [ "fft"; "bc"; "gzip(dec)"; "dhrystone"; "allroots" ]);
+    Util.tc "precision order: steens between modref and pointer on bc"
+      (fun () ->
+        let src = (Rp_suite.Programs.find "bc").Rp_suite.Programs.source in
+        let stores cfg =
+          let (_, _, s) = Util.counts ~config:cfg src in
+          s
+        in
+        let s_modref = stores Rp_driver.Config.default in
+        let s_steens = stores steens_cfg in
+        let s_pointer =
+          stores
+            { Rp_driver.Config.default with
+              Rp_driver.Config.analysis = Rp_driver.Config.Apointer }
+        in
+        Util.check Alcotest.bool "steens <= modref stores" true
+          (s_steens <= s_modref);
+        Util.check Alcotest.bool "pointer <= steens stores" true
+          (s_pointer <= s_steens));
+  ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ("callgraph", callgraph_tests);
+      ("modref", modref_tests);
+      ("pointsto", pointsto_tests);
+      ("steensgaard", steensgaard_tests);
+    ]

@@ -1,0 +1,339 @@
+(** CFG algorithm tests: Lengauer–Tarjan dominators (cross-checked against
+    the independent iterative solver on random graphs), natural loops and
+    the nesting forest, normalization invariants, and the Clean pass. *)
+
+open Rp_ir
+module D = Rp_cfg.Dominators
+module L = Rp_cfg.Loops
+
+(* Build a function from (label, successor list) pairs; reg 0 holds an
+   arbitrary branch condition. *)
+let mk_cfg ?(entry = "b0") (edges : (string * string list) list) : Func.t =
+  let f = Func.create ~name:"g" ~nparams:0 in
+  f.Func.nreg <- 1;
+  f.Func.entry <- entry;
+  List.iter
+    (fun (l, succs) ->
+      let term =
+        match succs with
+        | [] -> Instr.Ret None
+        | [ s ] -> Instr.Jump s
+        | [ a; b ] -> Instr.Cbr (0, a, b)
+        | _ -> invalid_arg "mk_cfg: at most 2 successors"
+      in
+      Func.add_block f (Block.create ~term l))
+    edges;
+  (* define reg 0 at entry so validation passes *)
+  (Func.block f entry).Block.instrs <- [ Instr.Loadi (0, Instr.Cint 0) ];
+  f
+
+let idom_alist (d : D.t) (f : Func.t) =
+  List.filter_map (fun l -> Option.map (fun p -> (l, p)) (D.idom d l)) f.Func.order
+  |> List.sort compare
+
+let dominator_tests =
+  [
+    Util.tc "diamond" (fun () ->
+        let f =
+          mk_cfg
+            [ ("b0", [ "l"; "r" ]); ("l", [ "j" ]); ("r", [ "j" ]); ("j", []) ]
+        in
+        let d = D.compute f in
+        Util.check
+          Alcotest.(list (pair string string))
+          "idoms"
+          [ ("j", "b0"); ("l", "b0"); ("r", "b0") ]
+          (idom_alist d f);
+        Util.check Alcotest.bool "b0 dominates j" true (D.dominates d "b0" "j");
+        Util.check Alcotest.bool "l does not dominate j" false
+          (D.dominates d "l" "j"));
+    Util.tc "simple loop" (fun () ->
+        let f =
+          mk_cfg
+            [ ("b0", [ "h" ]); ("h", [ "body"; "exit" ]); ("body", [ "h" ]);
+              ("exit", []) ]
+        in
+        let d = D.compute f in
+        Util.check Alcotest.(option string) "idom body" (Some "h")
+          (D.idom d "body");
+        Util.check Alcotest.(option string) "idom exit" (Some "h")
+          (D.idom d "exit"));
+    Util.tc "irreducible graph (two entries to a cycle)" (fun () ->
+        let f =
+          mk_cfg
+            [ ("b0", [ "a"; "b" ]); ("a", [ "b" ]); ("b", [ "a" ]) ]
+        in
+        let d = D.compute f in
+        (* neither a nor b dominates the other *)
+        Util.check Alcotest.(option string) "idom a" (Some "b0") (D.idom d "a");
+        Util.check Alcotest.(option string) "idom b" (Some "b0") (D.idom d "b"));
+    Util.tc "unreachable blocks ignored" (fun () ->
+        let f = mk_cfg [ ("b0", []); ("dead", [ "b0" ]) ] in
+        let d = D.compute f in
+        Util.check Alcotest.bool "dead unreachable" false (D.is_reachable d "dead"));
+    Util.tc "strict domination is irreflexive" (fun () ->
+        let f = mk_cfg [ ("b0", [ "x" ]); ("x", []) ] in
+        let d = D.compute f in
+        Util.check Alcotest.bool "not strict self" false
+          (D.strictly_dominates d "x" "x");
+        Util.check Alcotest.bool "reflexive dominates" true (D.dominates d "x" "x"));
+    Util.tc "dom tree depths" (fun () ->
+        let f =
+          mk_cfg [ ("b0", [ "m" ]); ("m", [ "n" ]); ("n", []) ]
+        in
+        let d = D.compute f in
+        Util.check Alcotest.int "entry depth" 0 (D.depth d "b0");
+        Util.check Alcotest.int "n depth" 2 (D.depth d "n"));
+  ]
+
+(* random CFG property: LT and the iterative solver agree *)
+let random_cfg_gen =
+  let open QCheck.Gen in
+  sized_size (int_range 2 14) (fun n ->
+      let labels = List.init n (fun i -> Printf.sprintf "b%d" i) in
+      let* succs =
+        flatten_l
+          (List.map
+             (fun _ ->
+               let* kind = int_bound 9 in
+               if kind = 0 then return []
+               else
+                 let* a = int_bound (n - 1) in
+                 if kind <= 5 then return [ List.nth labels a ]
+                 else
+                   let* b = int_bound (n - 1) in
+                   return [ List.nth labels a; List.nth labels b ])
+             labels)
+      in
+      return (List.combine labels succs))
+
+let dominator_props =
+  let open QCheck in
+  let arb =
+    make
+      ~print:(fun edges ->
+        String.concat "; "
+          (List.map (fun (l, ss) -> l ^ "->" ^ String.concat "," ss) edges))
+      random_cfg_gen
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"LT equals iterative dominators on random CFGs"
+         ~count:300 arb (fun edges ->
+           let f = mk_cfg edges in
+           let lt = D.compute f in
+           let it = D.compute_iterative f in
+           idom_alist lt f = idom_alist it f));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"idom strictly dominates its node" ~count:200 arb
+         (fun edges ->
+           let f = mk_cfg edges in
+           let d = D.compute f in
+           List.for_all
+             (fun l ->
+               match D.idom d l with
+               | None -> true
+               | Some p -> D.strictly_dominates d p l)
+             f.Func.order));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"loop headers dominate their blocks" ~count:200 arb
+         (fun edges ->
+           let f = mk_cfg edges in
+           let d = D.compute f in
+           let forest = L.analyze f d in
+           List.for_all
+             (fun (l : L.loop) ->
+               Rp_support.Smaps.String_set.for_all
+                 (fun b -> D.dominates d l.L.header b)
+                 l.L.blocks)
+             forest.L.loops));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"normalize yields landing pads and dedicated exits"
+         ~count:200 arb (fun edges ->
+           let f = mk_cfg edges in
+           Rp_cfg.Normalize.run f;
+           let d = D.compute f in
+           let forest = L.analyze f d in
+           List.for_all
+             (fun (l : L.loop) ->
+               L.preheader f l <> None && L.exits_dedicated f l)
+             forest.L.loops));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"clean preserves entry reachability structure"
+         ~count:200 arb (fun edges ->
+           let f = mk_cfg edges in
+           (* whether the program can reach a Ret terminator *)
+           let reaches_ret f =
+             let seen = Hashtbl.create 16 in
+             let rec go l =
+               if Hashtbl.mem seen l then false
+               else begin
+                 Hashtbl.replace seen l ();
+                 match (Func.block f l).Block.term with
+                 | Instr.Ret _ -> true
+                 | t -> List.exists go (Instr.term_succs t)
+               end
+             in
+             go f.Func.entry
+           in
+           let before = reaches_ret f in
+           Rp_cfg.Clean.run f;
+           reaches_ret f = before));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let loop_tests =
+  [
+    Util.tc "triple nest structure" (fun () ->
+        let f =
+          mk_cfg
+            [ ("b0", [ "h1" ]);
+              ("h1", [ "h2"; "x1" ]);
+              ("h2", [ "h3"; "x2" ]);
+              ("h3", [ "h3b" ]);
+              ("h3b", [ "h3"; "x3" ]);
+              ("x3", [ "h2" ]);
+              ("x2", [ "h1" ]);
+              ("x1", []) ]
+        in
+        let d = D.compute f in
+        let forest = L.analyze f d in
+        Util.check Alcotest.int "three loops" 3 (List.length forest.L.loops);
+        let by h = Hashtbl.find forest.L.by_header h in
+        Util.check Alcotest.int "outer depth" 1 (by "h1").L.depth;
+        Util.check Alcotest.int "middle depth" 2 (by "h2").L.depth;
+        Util.check Alcotest.int "inner depth" 3 (by "h3").L.depth;
+        Util.check Alcotest.bool "inner parent is middle" true
+          ((by "h3").L.parent == Some (by "h2") ||
+           match (by "h3").L.parent with
+           | Some p -> p.L.header = "h2"
+           | None -> false));
+    Util.tc "loops sharing a header merge" (fun () ->
+        let f =
+          mk_cfg
+            [ ("b0", [ "h" ]); ("h", [ "a"; "b" ]); ("a", [ "h" ]);
+              ("b", [ "h" ]) ]
+        in
+        let d = D.compute f in
+        let forest = L.analyze f d in
+        Util.check Alcotest.int "one loop" 1 (List.length forest.L.loops);
+        let l = List.hd forest.L.loops in
+        Util.check Alcotest.int "three blocks (h, a, b)" 3
+          (Rp_support.Smaps.String_set.cardinal l.L.blocks));
+    Util.tc "loops_of returns innermost first" (fun () ->
+        let f =
+          mk_cfg
+            [ ("b0", [ "h1" ]); ("h1", [ "h2" ]); ("h2", [ "h2b" ]);
+              ("h2b", [ "h2"; "l1" ]); ("l1", [ "h1"; "out" ]); ("out", []) ]
+        in
+        let d = D.compute f in
+        let forest = L.analyze f d in
+        match L.loops_of forest "h2b" with
+        | [ inner; outer ] ->
+          Util.check Alcotest.string "inner" "h2" inner.L.header;
+          Util.check Alcotest.string "outer" "h1" outer.L.header
+        | ls -> Alcotest.failf "expected 2 loops, got %d" (List.length ls));
+  ]
+
+let normalize_tests =
+  [
+    Util.tc "inserts a preheader when the header has two outside preds"
+      (fun () ->
+        let f =
+          mk_cfg
+            [ ("b0", [ "p1"; "p2" ]); ("p1", [ "h" ]); ("p2", [ "h" ]);
+              ("h", [ "h"; "out" ]); ("out", []) ]
+        in
+        Rp_cfg.Normalize.run f;
+        let d = D.compute f in
+        let forest = L.analyze f d in
+        let l = Hashtbl.find forest.L.by_header "h" in
+        Util.check Alcotest.bool "has preheader" true (L.preheader f l <> None));
+    Util.tc "splits non-dedicated exits" (fun () ->
+        (* 'out' is reachable both from inside the loop and from b0 *)
+        let f =
+          mk_cfg
+            [ ("b0", [ "h"; "out" ]); ("h", [ "h"; "out" ]); ("out", []) ]
+        in
+        Rp_cfg.Normalize.run f;
+        let d = D.compute f in
+        let forest = L.analyze f d in
+        let l = Hashtbl.find forest.L.by_header "h" in
+        Util.check Alcotest.bool "exits dedicated" true (L.exits_dedicated f l));
+    Util.tc "entry-header loop gets a pad and a new entry" (fun () ->
+        let f = mk_cfg ~entry:"h" [ ("h", [ "h"; "out" ]); ("out", []) ] in
+        Rp_cfg.Normalize.run f;
+        Util.check Alcotest.bool "entry moved" true (f.Func.entry <> "h"));
+    Util.tc "idempotent on front-end output" (fun () ->
+        let p =
+          Util.front
+            "int g; int main() { int i; for (i = 0; i < 3; i++) g += i; \
+             return g; }"
+        in
+        let f = Program.func p "main" in
+        Rp_cfg.Normalize.run f;
+        let order1 = f.Func.order in
+        Rp_cfg.Normalize.run f;
+        Util.check Alcotest.(list string) "no new blocks" order1 f.Func.order);
+  ]
+
+let clean_tests =
+  [
+    Util.tc "unreachable blocks removed" (fun () ->
+        let f = mk_cfg [ ("b0", []); ("dead1", [ "dead2" ]); ("dead2", []) ] in
+        Rp_cfg.Clean.run f;
+        Util.check Alcotest.(list string) "only entry" [ "b0" ] f.Func.order);
+    Util.tc "empty blocks bypassed" (fun () ->
+        let f =
+          mk_cfg [ ("b0", [ "mid" ]); ("mid", [ "fin" ]); ("fin", []) ]
+        in
+        Rp_cfg.Clean.run f;
+        (* the whole chain collapses into the entry block *)
+        Util.check Alcotest.(list string) "collapsed" [ "b0" ] f.Func.order);
+    Util.tc "cbr with equal targets folds" (fun () ->
+        let f = mk_cfg [ ("b0", [ "x"; "x" ]); ("x", []) ] in
+        (* mk_cfg turns [x;x] into a Cbr with both arms x *)
+        (Func.block f "b0").Block.term <- Instr.Cbr (0, "x", "x");
+        Rp_cfg.Clean.run f;
+        Util.check Alcotest.(list string) "merged" [ "b0" ] f.Func.order);
+    Util.tc "does not merge into a block with other predecessors" (fun () ->
+        let f =
+          mk_cfg
+            [ ("b0", [ "a"; "b" ]); ("a", [ "j" ]); ("b", [ "j" ]); ("j", []) ]
+        in
+        (* put an instruction in each block so nothing is empty *)
+        List.iter
+          (fun l ->
+            (Func.block f l).Block.instrs <-
+              [ Instr.Loadi (0, Instr.Cint 1) ])
+          [ "a"; "b"; "j" ];
+        Rp_cfg.Clean.run f;
+        Util.check Alcotest.bool "join survives" true (Func.mem_block f "j"));
+    Util.tc "empty landing pads disappear after promotion found nothing"
+      (fun () ->
+        let p =
+          Util.compile
+            "int main() { int s = 0; int i; for (i = 0; i < 4; i++) s += i; \
+             return s; }"
+        in
+        (* all loop scaffolding that carries no code is gone *)
+        let f = Program.func p "main" in
+        Func.iter_blocks
+          (fun b ->
+            if b.Block.instrs = [] then
+              match b.Block.term with
+              | Instr.Jump _ ->
+                Alcotest.failf "leftover empty block %s" b.Block.label
+              | _ -> ())
+          f);
+  ]
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ("dominators", dominator_tests @ dominator_props);
+      ("loops", loop_tests);
+      ("normalize", normalize_tests);
+      ("clean", clean_tests);
+    ]

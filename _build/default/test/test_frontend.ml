@@ -1,0 +1,335 @@
+(** Lexer, parser, and type-checker tests. *)
+
+open Rp_minic
+
+let lex src =
+  Array.to_list (Lexer.tokenize src) |> List.map fst
+  |> List.filter (fun t -> t <> Token.EOF)
+
+let token = Alcotest.testable (Fmt.of_to_string Token.to_string) ( = )
+
+let lexer_tests =
+  [
+    Util.tc "integers, identifiers, operators" (fun () ->
+        Util.check
+          Alcotest.(list token)
+          "tokens"
+          [ Token.IDENT "x"; Token.ASSIGN; Token.INT 42; Token.PLUS;
+            Token.INT 7; Token.SEMI ]
+          (lex "x = 42 + 7;"));
+    Util.tc "hex literals" (fun () ->
+        Util.check Alcotest.(list token) "hex" [ Token.INT 255 ] (lex "0xff"));
+    Util.tc "float literals with exponent" (fun () ->
+        match lex "1.5 2. 3e2 4.5e-1" with
+        | [ Token.FLOAT a; Token.FLOAT b; Token.FLOAT c; Token.FLOAT d ] ->
+          Util.check (Alcotest.float 1e-9) "a" 1.5 a;
+          Util.check (Alcotest.float 1e-9) "b" 2.0 b;
+          Util.check (Alcotest.float 1e-9) "c" 300.0 c;
+          Util.check (Alcotest.float 1e-9) "d" 0.45 d
+        | ts ->
+          Alcotest.failf "unexpected tokens: %s"
+            (String.concat " " (List.map Token.to_string ts)));
+    Util.tc "leading-dot float" (fun () ->
+        match lex ".25" with
+        | [ Token.FLOAT f ] -> Util.check (Alcotest.float 1e-9) "f" 0.25 f
+        | _ -> Alcotest.fail "expected one float");
+    Util.tc "char literals and escapes" (fun () ->
+        Util.check
+          Alcotest.(list token)
+          "chars"
+          [ Token.CHAR 97; Token.CHAR 10; Token.CHAR 0 ]
+          (lex "'a' '\\n' '\\0'"));
+    Util.tc "line and block comments are skipped" (fun () ->
+        Util.check
+          Alcotest.(list token)
+          "tokens" [ Token.INT 1; Token.INT 2 ]
+          (lex "1 // c\n/* multi\nline */ 2"));
+    Util.tc "compound operators lex greedily" (fun () ->
+        Util.check
+          Alcotest.(list token)
+          "ops"
+          [ Token.LSHIFTEQ; Token.RSHIFT; Token.GE; Token.AMPAMP;
+            Token.PLUSPLUS; Token.MINUSEQ; Token.NEQ ]
+          (lex "<<= >> >= && ++ -= !="));
+    Util.tc "integer vs float disambiguation: 1..2 not consumed" (fun () ->
+        (* not valid C anyway, but the lexer must not loop or crash *)
+        match lex "1.5" with
+        | [ Token.FLOAT _ ] -> ()
+        | _ -> Alcotest.fail "bad");
+    Util.tc "unterminated comment raises" (fun () ->
+        match lex "/* oops" with
+        | exception Srcloc.Error _ -> ()
+        | _ -> Alcotest.fail "expected lexer error");
+    Util.tc "unexpected char raises" (fun () ->
+        match lex "$" with
+        | exception Srcloc.Error _ -> ()
+        | _ -> Alcotest.fail "expected lexer error");
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let parse src = Parser.parse_program src
+
+let parser_tests =
+  [
+    Util.tc "precedence: 1 + 2 * 3 parses as 1 + (2*3)" (fun () ->
+        match parse "int main() { return 1 + 2 * 3; }" with
+        | [ Ast.Tfunc { fbody = Some { sdesc = Ast.Sblock [ s ]; _ }; _ } ] -> (
+          match s.Ast.sdesc with
+          | Ast.Sreturn
+              (Some { desc = Ast.Ebinop (Ast.Badd, { desc = Ast.Eint 1; _ },
+                                         { desc = Ast.Ebinop (Ast.Bmul, _, _); _ }); _ })
+            -> ()
+          | _ -> Alcotest.fail "wrong tree")
+        | _ -> Alcotest.fail "wrong program");
+    Util.tc "assignment is right associative" (fun () ->
+        match parse "int main() { int a; int b; a = b = 1; return a; }" with
+        | _ -> ());
+    Util.tc "array declarator dimensions" (fun () ->
+        match parse "int a[3][4];" with
+        | [ Ast.Tglobal [ d ] ] ->
+          Util.check Alcotest.string "type" "int[3][4]"
+            (Fmt.str "%a" Ast.pp_ty d.Ast.dty)
+        | _ -> Alcotest.fail "wrong program");
+    Util.tc "pointer declarators" (fun () ->
+        match parse "int **pp;" with
+        | [ Ast.Tglobal [ d ] ] ->
+          Util.check Alcotest.string "type" "int**"
+            (Fmt.str "%a" Ast.pp_ty d.Ast.dty)
+        | _ -> Alcotest.fail "wrong program");
+    Util.tc "function-pointer declarator" (fun () ->
+        match parse "int (*f)(int, float);" with
+        | [ Ast.Tglobal [ d ] ] ->
+          Util.check Alcotest.string "type" "int(int, float)*"
+            (Fmt.str "%a" Ast.pp_ty d.Ast.dty)
+        | _ -> Alcotest.fail "wrong program");
+    Util.tc "array of function pointers" (fun () ->
+        match parse "int (*tab[4])(int);" with
+        | [ Ast.Tglobal [ d ] ] -> (
+          match d.Ast.dty with
+          | Ast.Tarr (Ast.Tptr (Ast.Tfun (Ast.Tint, [ Ast.Tint ])), 4) -> ()
+          | t -> Alcotest.failf "wrong type %s" (Fmt.str "%a" Ast.pp_ty t))
+        | _ -> Alcotest.fail "wrong program");
+    Util.tc "array parameters decay" (fun () ->
+        match parse "int f(int a[], int b[3][4]) { return 0; }" with
+        | [ Ast.Tfunc fd ] -> (
+          match List.map snd fd.Ast.fparams with
+          | [ Ast.Tptr Ast.Tint; Ast.Tptr (Ast.Tarr (Ast.Tint, 4)) ] -> ()
+          | _ -> Alcotest.fail "params did not decay")
+        | _ -> Alcotest.fail "wrong program");
+    Util.tc "dangling else binds to nearest if" (fun () ->
+        match
+          parse
+            "int main() { if (1) if (0) return 1; else return 2; return 3; }"
+        with
+        | [ Ast.Tfunc { fbody = Some { sdesc = Ast.Sblock [ s; _ ]; _ }; _ } ]
+          -> (
+          match s.Ast.sdesc with
+          | Ast.Sif (_, { sdesc = Ast.Sif (_, _, Some _); _ }, None) -> ()
+          | _ -> Alcotest.fail "else bound to the wrong if")
+        | _ -> Alcotest.fail "wrong program");
+    Util.tc "for with declaration init" (fun () ->
+        ignore (parse "int main() { for (int i = 0; i < 3; i++) {} return 0; }"));
+    Util.tc "do-while" (fun () ->
+        ignore
+          (parse "int main() { int i = 0; do { i++; } while (i < 3); return i; }"));
+    Util.tc "ternary" (fun () ->
+        ignore (parse "int main() { return 1 ? 2 : 3; }"));
+    Util.tc "casts" (fun () ->
+        ignore
+          (parse
+             "int main() { float f = (float)3; int i = (int)f; int *p = \
+              (int*)0; return i; }"));
+    Util.tc "comma-separated declarators" (fun () ->
+        match parse "int a, b = 2, c[3];" with
+        | [ Ast.Tglobal ds ] ->
+          Util.check Alcotest.int "three declarators" 3 (List.length ds)
+        | _ -> Alcotest.fail "wrong program");
+    Util.tc "prototypes accepted" (fun () ->
+        ignore (parse "int f(int x); int main() { return 0; }"));
+    Util.expect_frontend_error "missing semicolon" "int main() { return 0 }";
+    Util.expect_frontend_error "unbalanced paren" "int main() { return (1; }";
+    Util.expect_frontend_error "bad toplevel" "return 0;";
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let tcheck src = Typecheck.check_source src
+
+let typecheck_tests =
+  [
+    Util.tc "address-taken marking" (fun () ->
+        let p =
+          tcheck
+            "int main() { int x; int y; int *p = &x; *p = 1; y = 2; return \
+             x + y; }"
+        in
+        let main = List.find (fun f -> f.Tast.fname = "main") p.Tast.pfuncs in
+        let var name =
+          List.find (fun v -> v.Tast.vname = name) main.Tast.flocals
+        in
+        Util.check Alcotest.bool "x addressed" true (var "x").Tast.vaddr_taken;
+        Util.check Alcotest.bool "y not addressed" false
+          (var "y").Tast.vaddr_taken);
+    Util.tc "arrays live in memory without explicit &" (fun () ->
+        let p = tcheck "int main() { int a[4]; a[0] = 1; return a[0]; }" in
+        let main = List.find (fun f -> f.Tast.fname = "main") p.Tast.pfuncs in
+        let a = List.find (fun v -> v.Tast.vname = "a") main.Tast.flocals in
+        Util.check Alcotest.bool "in memory" true (Tast.var_in_memory a));
+    Util.tc "direct recursion detected" (fun () ->
+        let p =
+          tcheck "int f(int n) { if (n) return f(n-1); return 0; } int main() { return f(3); }"
+        in
+        let f = List.find (fun f -> f.Tast.fname = "f") p.Tast.pfuncs in
+        Util.check Alcotest.bool "recursive" true f.Tast.frecursive);
+    Util.tc "mutual recursion detected" (fun () ->
+        let p =
+          tcheck
+            "int g(int n); int f(int n) { return g(n); } int g(int n) { if \
+             (n) return f(n-1); return 0; } int main() { return f(2); }"
+        in
+        let f = List.find (fun f -> f.Tast.fname = "f") p.Tast.pfuncs in
+        let g = List.find (fun f -> f.Tast.fname = "g") p.Tast.pfuncs in
+        Util.check Alcotest.bool "f rec" true f.Tast.frecursive;
+        Util.check Alcotest.bool "g rec" true g.Tast.frecursive);
+    Util.tc "recursion through function pointers is conservative" (fun () ->
+        let p =
+          tcheck
+            "int h(int n); int (*fp)(int); int h(int n) { return fp(n); } \
+             int main() { fp = h; return h(1); }"
+        in
+        let h = List.find (fun f -> f.Tast.fname = "h") p.Tast.pfuncs in
+        Util.check Alcotest.bool "h possibly recursive" true h.Tast.frecursive);
+    Util.tc "non-recursive stays non-recursive" (fun () ->
+        let p = tcheck "int f(int n) { return n; } int main() { return f(1); }" in
+        let f = List.find (fun f -> f.Tast.fname = "f") p.Tast.pfuncs in
+        Util.check Alcotest.bool "not recursive" false f.Tast.frecursive);
+    Util.tc "global initializers fold constants" (fun () ->
+        let p = tcheck "int x = 2 * 3 + 1; int main() { return x; }" in
+        match List.assoc_opt "x"
+                (List.map (fun (v, i) -> (v.Tast.vname, i)) p.Tast.pglobals)
+        with
+        | Some (Tast.Gwords [ Tast.Wint 7 ]) -> ()
+        | _ -> Alcotest.fail "expected folded initializer 7");
+    Util.tc "array initializer pads with zeros" (fun () ->
+        let p = tcheck "int a[4] = {1, 2}; int main() { return a[3]; }" in
+        match List.assoc_opt "a"
+                (List.map (fun (v, i) -> (v.Tast.vname, i)) p.Tast.pglobals)
+        with
+        | Some (Tast.Gwords [ Tast.Wint 1; Tast.Wint 2; Tast.Wint 0; Tast.Wint 0 ]) -> ()
+        | _ -> Alcotest.fail "expected padded initializer");
+    Util.tc "int literal initializer for float global converts" (fun () ->
+        let p = tcheck "float f = 3; int main() { return (int)f; }" in
+        match List.assoc_opt "f"
+                (List.map (fun (v, i) -> (v.Tast.vname, i)) p.Tast.pglobals)
+        with
+        | Some (Tast.Gwords [ Tast.Wflt 3.0 ]) -> ()
+        | _ -> Alcotest.fail "expected converted initializer");
+    Util.expect_frontend_error "undeclared variable" "int main() { return z; }";
+    Util.expect_frontend_error "void variable" "void v; int main() { return 0; }";
+    Util.expect_frontend_error "break outside loop" "int main() { break; return 0; }";
+    Util.expect_frontend_error "continue outside loop"
+      "int main() { continue; return 0; }";
+    Util.expect_frontend_error "assign to array"
+      "int main() { int a[3]; int b[3]; a = b; return 0; }";
+    Util.expect_frontend_error "call with wrong arity"
+      "int f(int x) { return x; } int main() { return f(1, 2); }";
+    Util.expect_frontend_error "return value from void"
+      "void f() { return 3; } int main() { return 0; }";
+    Util.expect_frontend_error "missing return value"
+      "int f() { return; } int main() { return 0; }";
+    Util.expect_frontend_error "no main" "int f() { return 0; }";
+    Util.expect_frontend_error "duplicate global" "int x; int x; int main() { return 0; }";
+    Util.expect_frontend_error "redefining a builtin"
+      "int rand() { return 4; } int main() { return 0; }";
+    Util.expect_frontend_error "float bitwise operator"
+      "int main() { float f = 1.0; return (int)(f & 2.0); }";
+    Util.expect_frontend_error "indexing a non-pointer"
+      "int main() { int x = 1; return x[0]; }";
+    Util.expect_frontend_error "dereferencing an int"
+      "int main() { int x = 1; return *x; }";
+    Util.expect_frontend_error "address of rvalue" "int main() { return *&3; }";
+    Util.expect_frontend_error "too many initializers"
+      "int a[2] = {1,2,3}; int main() { return 0; }";
+    Util.expect_frontend_error "conflicting prototype"
+      "int f(int x); float f(float x) { return x; } int main() { return 0; }";
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let struct_tests =
+  [
+    Util.tc "struct layout: offsets in declaration order" (fun () ->
+        match
+          parse
+            "struct P { int x; float f; int arr[3]; struct P *next; }; \
+             struct P g; int main() { return 0; }"
+        with
+        | Ast.Tstructdef sd :: _ ->
+          Util.check Alcotest.int "size" 6 sd.Ast.ssize;
+          let off n =
+            match Ast.field sd n with
+            | Some (_, _, o) -> o
+            | None -> Alcotest.failf "missing field %s" n
+          in
+          Util.check Alcotest.int "x" 0 (off "x");
+          Util.check Alcotest.int "f" 1 (off "f");
+          Util.check Alcotest.int "arr" 2 (off "arr");
+          Util.check Alcotest.int "next" 5 (off "next")
+        | _ -> Alcotest.fail "expected a struct definition");
+    Util.tc "nested structs compose sizes" (fun () ->
+        match
+          parse
+            "struct In { int a; int b; }; struct Out { struct In i; int c; \
+             }; struct Out o; int main() { return 0; }"
+        with
+        | _ :: Ast.Tstructdef sd :: _ ->
+          Util.check Alcotest.int "size" 3 sd.Ast.ssize
+        | _ -> Alcotest.fail "expected definitions");
+    Util.tc "self-referential pointers allowed" (fun () ->
+        ignore
+          (tcheck
+             "struct Node { int v; struct Node *next; }; struct Node a; \
+              struct Node b; int main() { a.v = 1; a.next = &b; b.v = 2; \
+              b.next = 0; return a.next->v; }"));
+    Util.tc "dot and arrow resolve fields" (fun () ->
+        ignore
+          (tcheck
+             "struct P { int x; int y; }; struct P g; int main() { struct P \
+              *p = &g; g.x = 3; p->y = 4; return g.x + p->y + (&g)->x; }"));
+    Util.expect_frontend_error "unknown struct"
+      "struct Nope v; int main() { return 0; }";
+    Util.expect_frontend_error "unknown field"
+      "struct P { int x; }; struct P g; int main() { return g.z; }";
+    Util.expect_frontend_error "dot on a pointer"
+      "struct P { int x; }; struct P g; int main() { struct P *p = &g; \
+       return p.x; }";
+    Util.expect_frontend_error "arrow on a non-pointer"
+      "struct P { int x; }; struct P g; int main() { return g->x; }";
+    Util.expect_frontend_error "whole-struct assignment"
+      "struct P { int x; }; struct P a; struct P b; int main() { a = b; \
+       return 0; }";
+    Util.expect_frontend_error "struct parameter by value"
+      "struct P { int x; }; int f(struct P p) { return p.x; } int main() { \
+       return 0; }";
+    Util.expect_frontend_error "struct return by value"
+      "struct P { int x; }; struct P f() { struct P p; return p; } int \
+       main() { return 0; }";
+    Util.expect_frontend_error "struct redefinition"
+      "struct P { int x; }; struct P { int y; }; int main() { return 0; }";
+    Util.expect_frontend_error "duplicate field"
+      "struct P { int x; int x; }; int main() { return 0; }";
+    Util.expect_frontend_error "empty struct"
+      "struct P { }; int main() { return 0; }";
+    Util.expect_frontend_error "struct global initializer"
+      "struct P { int x; }; struct P g = {1}; int main() { return 0; }";
+  ]
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ("lexer", lexer_tests);
+      ("parser", parser_tests);
+      ("typecheck", typecheck_tests);
+      ("structs", struct_tests);
+    ]

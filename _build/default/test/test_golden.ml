@@ -1,0 +1,54 @@
+(** Golden dynamic-count regression tests.
+
+    The interpreter's counts are exact and deterministic (no wall-clock, no
+    address randomness), so the reproduction's headline numbers can be
+    pinned.  If an intentional pipeline change shifts these, re-baseline
+    with the generator in the comment below and update EXPERIMENTS.md to
+    match — the point of this suite is that such shifts never happen
+    silently.
+
+    Regenerate with:
+    {v
+      for each (program, config): Pipeline.compile_and_run and print
+      (ops, loads, stores)  — see test/test_golden.ml history
+    v} *)
+
+open Rp_driver
+
+(* (program, configuration, (ops, loads, stores)) under the default k=24
+   modref pipeline *)
+let golden =
+  [
+    ("mlink", "without", (1161850, 245764, 205008));
+    ("mlink", "with", (967926, 81956, 41124));
+    ("go", "without", (1002419, 210791, 613));
+    ("go", "with", (811099, 65948, 613));
+    ("dhrystone", "without", (162036, 12003, 26003));
+    ("dhrystone", "with", (162036, 12003, 26003));
+    ("bison", "without", (631869, 52002, 51923));
+    ("bison", "with", (632670, 52401, 52324));
+    ("water", "without", (1108704, 278428, 268864));
+    ("water", "with", (1409454, 341578, 170764));
+    ("allroots", "without", (618, 84, 4));
+    ("allroots", "with", (618, 84, 4));
+  ]
+
+let cfg_of = function
+  | "without" -> { Config.default with Config.promote = false }
+  | "with" -> Config.default
+  | s -> invalid_arg s
+
+let tests =
+  List.map
+    (fun (name, cn, (ops, loads, stores)) ->
+      Util.tc_slow (Printf.sprintf "%s/%s counts pinned" name cn) (fun () ->
+          let src = (Rp_suite.Programs.find name).Rp_suite.Programs.source in
+          let (got_ops, got_loads, got_stores) =
+            Util.counts ~config:(cfg_of cn) src
+          in
+          Util.check Alcotest.int "ops" ops got_ops;
+          Util.check Alcotest.int "loads" loads got_loads;
+          Util.check Alcotest.int "stores" stores got_stores))
+    golden
+
+let () = Alcotest.run "golden" [ ("counts", tests) ]

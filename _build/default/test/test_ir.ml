@@ -1,0 +1,224 @@
+(** IR-level tests: tag-set algebra (with qcheck laws), the Table-1 memory
+    operation classification, instruction def/use bookkeeping, and the
+    structural validator. *)
+
+open Rp_ir
+
+let table = Tag.Table.create ()
+
+let mktag ?(storage = Tag.Global) ?(is_scalar = true) ?(is_const = false)
+    ?(recursive = false) name =
+  Tag.Table.fresh table ~name ~storage ~is_scalar ~is_const
+    ~declared_in_recursive:recursive ()
+
+let ta = mktag "A"
+let tb = mktag "B"
+let tc_ = mktag "C"
+let tarr = mktag ~is_scalar:false "arr"
+let theap = mktag ~storage:(Tag.Heap 0) ~is_scalar:false "heap0"
+let tlocal = mktag ~storage:(Tag.Local "f") "f.x"
+let trec = mktag ~storage:(Tag.Local "g") ~recursive:true "g.x"
+
+let ts = Alcotest.testable Tagset.pp Tagset.equal
+
+let tagset_tests =
+  [
+    Util.tc "empty and univ" (fun () ->
+        Util.check Alcotest.bool "empty is empty" true (Tagset.is_empty Tagset.empty);
+        Util.check Alcotest.bool "univ not empty" false (Tagset.is_empty Tagset.univ);
+        Util.check Alcotest.bool "univ is univ" true (Tagset.is_univ Tagset.univ));
+    Util.tc "mem on univ is always true" (fun () ->
+        Util.check Alcotest.bool "mem" true (Tagset.mem ta Tagset.univ));
+    Util.tc "union with univ absorbs" (fun () ->
+        Util.check ts "absorb" Tagset.univ
+          (Tagset.union (Tagset.singleton ta) Tagset.univ));
+    Util.tc "inter with univ is identity" (fun () ->
+        let s = Tagset.of_list [ ta; tb ] in
+        Util.check ts "identity" s (Tagset.inter s Tagset.univ));
+    Util.tc "diff with univ is empty (sound)" (fun () ->
+        Util.check ts "empty" Tagset.empty
+          (Tagset.diff (Tagset.of_list [ ta; tb ]) Tagset.univ));
+    Util.tc "diff of concrete sets" (fun () ->
+        Util.check ts "diff" (Tagset.singleton ta)
+          (Tagset.diff (Tagset.of_list [ ta; tb ]) (Tagset.of_list [ tb; tc_ ])));
+    Util.tc "as_singleton" (fun () ->
+        Util.check Alcotest.bool "single" true
+          (Tagset.as_singleton (Tagset.singleton ta) = Some ta);
+        Util.check Alcotest.bool "pair" true
+          (Tagset.as_singleton (Tagset.of_list [ ta; tb ]) = None);
+        Util.check Alcotest.bool "univ" true (Tagset.as_singleton Tagset.univ = None));
+    Util.tc "fold on univ raises" (fun () ->
+        match Tagset.fold (fun acc _ -> acc) 0 Tagset.univ with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Util.tc "disjointness" (fun () ->
+        Util.check Alcotest.bool "disjoint" true
+          (Tagset.disjoint (Tagset.singleton ta) (Tagset.singleton tb));
+        Util.check Alcotest.bool "overlap" false
+          (Tagset.disjoint (Tagset.of_list [ ta; tb ]) (Tagset.singleton tb));
+        Util.check Alcotest.bool "univ vs nonempty" false
+          (Tagset.disjoint Tagset.univ (Tagset.singleton tb));
+        Util.check Alcotest.bool "univ vs empty" true
+          (Tagset.disjoint Tagset.univ Tagset.empty));
+  ]
+
+let tagset_props =
+  let open QCheck in
+  let pool = [| ta; tb; tc_; tarr; theap; tlocal; trec |] in
+  let gen_set =
+    Gen.map
+      (fun ids -> Tagset.of_list (List.map (fun i -> pool.(i mod 7)) ids))
+      (Gen.list_size (Gen.int_bound 6) (Gen.int_bound 6))
+  in
+  let gen = Gen.oneof [ gen_set; Gen.return Tagset.univ ] in
+  let arb = make ~print:(Fmt.str "%a" Tagset.pp) gen in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"union commutative" ~count:300 (pair arb arb)
+         (fun (a, b) -> Tagset.equal (Tagset.union a b) (Tagset.union b a)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"inter commutative" ~count:300 (pair arb arb)
+         (fun (a, b) -> Tagset.equal (Tagset.inter a b) (Tagset.inter b a)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"union associative" ~count:300 (triple arb arb arb)
+         (fun (a, b, c) ->
+           Tagset.equal
+             (Tagset.union a (Tagset.union b c))
+             (Tagset.union (Tagset.union a b) c)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"diff subset of minuend" ~count:300 (pair arb arb)
+         (fun (a, b) -> Tagset.subset (Tagset.diff a b) a));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"diff disjoint from concrete subtrahend" ~count:300
+         (pair arb arb) (fun (a, b) ->
+           Tagset.is_univ b || Tagset.is_univ a
+           || Tagset.disjoint (Tagset.diff a b) b));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"inter subset of both" ~count:300 (pair arb arb)
+         (fun (a, b) ->
+           let i = Tagset.inter a b in
+           Tagset.subset i a && Tagset.subset i b));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let promotability_tests =
+  [
+    Util.tc "global scalar promotable both ways" (fun () ->
+        Util.check Alcotest.bool "direct" true (Tag.promotable_direct ta);
+        Util.check Alcotest.bool "pointer" true (Tag.promotable_via_pointer ta));
+    Util.tc "array promotable neither way" (fun () ->
+        Util.check Alcotest.bool "direct" false (Tag.promotable_direct tarr);
+        Util.check Alcotest.bool "pointer" false (Tag.promotable_via_pointer tarr));
+    Util.tc "heap site never a single location" (fun () ->
+        Util.check Alcotest.bool "direct" false (Tag.promotable_direct theap);
+        Util.check Alcotest.bool "pointer" false (Tag.promotable_via_pointer theap));
+    Util.tc "local scalar: direct yes, via pointer no" (fun () ->
+        Util.check Alcotest.bool "direct" true (Tag.promotable_direct tlocal);
+        Util.check Alcotest.bool "pointer" false
+          (Tag.promotable_via_pointer tlocal));
+    Util.tc "recursive-function local: one tag, many activations" (fun () ->
+        Util.check Alcotest.bool "direct" true (Tag.promotable_direct trec);
+        Util.check Alcotest.bool "pointer" false (Tag.promotable_via_pointer trec));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let classify_tests =
+  let open Instr in
+  [
+    Util.tc "Table 1: load classification" (fun () ->
+        Util.check Alcotest.bool "iLoad not a load" false
+          (is_load (Loadi (0, Cint 1)));
+        Util.check Alcotest.bool "addr not a load" false (is_load (Loada (0, ta)));
+        Util.check Alcotest.bool "cLoad is a load" true (is_load (Loadc (0, ta)));
+        Util.check Alcotest.bool "sLoad is a load" true (is_load (Loads (0, ta)));
+        Util.check Alcotest.bool "Load is a load" true
+          (is_load (Loadg (0, 1, Tagset.univ))));
+    Util.tc "Table 1: store classification" (fun () ->
+        Util.check Alcotest.bool "sStore" true (is_store (Stores (ta, 0)));
+        Util.check Alcotest.bool "Store" true
+          (is_store (Storeg (0, 1, Tagset.univ)));
+        Util.check Alcotest.bool "copy is not a store" false (is_store (Copy (0, 1))));
+    Util.tc "defs and uses" (fun () ->
+        Util.check Alcotest.(list int) "binop defs" [ 2 ]
+          (defs (Binop (Add, 2, 0, 1)));
+        Util.check Alcotest.(list int) "binop uses" [ 0; 1 ]
+          (uses (Binop (Add, 2, 0, 1)));
+        Util.check Alcotest.(list int) "storeg uses" [ 3; 4 ]
+          (uses (Storeg (3, 4, Tagset.univ)));
+        Util.check Alcotest.(list int) "storeg defs" []
+          (defs (Storeg (3, 4, Tagset.univ))));
+    Util.tc "call defs/uses include target register" (fun () ->
+        let c =
+          Call
+            { target = Indirect 9; args = [ 1; 2 ]; ret = Some 3;
+              mods = Tagset.empty; refs = Tagset.empty; targets = []; site = 0 }
+        in
+        Util.check Alcotest.(list int) "defs" [ 3 ] (defs c);
+        Util.check Alcotest.(list int) "uses" [ 1; 2; 9 ] (uses c));
+    Util.tc "map_regs renames everything" (fun () ->
+        let i = Binop (Add, 2, 0, 1) in
+        match map_regs (fun r -> r + 10) i with
+        | Binop (Add, 12, 10, 11) -> ()
+        | _ -> Alcotest.fail "bad rename");
+    Util.tc "map_uses leaves defs alone" (fun () ->
+        match map_uses (fun r -> r + 10) (Binop (Add, 2, 0, 1)) with
+        | Binop (Add, 2, 10, 11) -> ()
+        | _ -> Alcotest.fail "bad rename");
+    Util.tc "map_defs leaves uses alone" (fun () ->
+        match map_defs (fun r -> r + 10) (Binop (Add, 2, 0, 1)) with
+        | Binop (Add, 12, 0, 1) -> ()
+        | _ -> Alcotest.fail "bad rename");
+    Util.tc "term_succs deduplicates" (fun () ->
+        Util.check Alcotest.(list string) "cbr same targets" [ "x" ]
+          (term_succs (Cbr (0, "x", "x")));
+        Util.check Alcotest.(list string) "ret" [] (term_succs (Ret None)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let validate_tests =
+  [
+    Util.tc "well-formed program passes" (fun () ->
+        let p = Util.front "int main() { return 0; }" in
+        Util.check Alcotest.(list string) "no errors" [] (Validate.check_program p));
+    Util.tc "missing successor detected" (fun () ->
+        let f = Func.create ~name:"f" ~nparams:0 in
+        Func.add_block f (Block.create ~term:(Instr.Jump "nowhere") "entry");
+        Util.check Alcotest.bool "error reported" true
+          (Validate.check_func f <> []));
+    Util.tc "out-of-range register detected" (fun () ->
+        let f = Func.create ~name:"f" ~nparams:0 in
+        Func.add_block f
+          (Block.create ~instrs:[ Instr.Copy (99, 98) ] ~term:(Instr.Ret None)
+             "entry");
+        Util.check Alcotest.bool "error reported" true
+          (Validate.check_func f <> []));
+    Util.tc "phi after non-phi detected" (fun () ->
+        let f = Func.create ~name:"f" ~nparams:0 in
+        f.Func.nreg <- 5;
+        Func.add_block f
+          (Block.create
+             ~instrs:[ Instr.Copy (0, 1); Instr.Phi (2, []) ]
+             ~term:(Instr.Ret None) "entry");
+        Util.check Alcotest.bool "error reported" true
+          (Validate.check_func f <> []));
+    Util.tc "every benchmark program validates at every stage" (fun () ->
+        List.iter
+          (fun (pr : Rp_suite.Programs.program) ->
+            let p = Util.front pr.Rp_suite.Programs.source in
+            Validate.assert_ok p;
+            let p2 = Util.compile pr.Rp_suite.Programs.source in
+            Validate.assert_ok p2)
+          Rp_suite.Programs.all);
+  ]
+
+let () =
+  Alcotest.run "ir"
+    [
+      ("tagset", tagset_tests @ tagset_props);
+      ("promotability", promotability_tests);
+      ("instr", classify_tests);
+      ("validate", validate_tests);
+    ]

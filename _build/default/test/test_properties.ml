@@ -1,0 +1,125 @@
+(** Property-based whole-compiler testing.
+
+    A generator produces random — but safe and terminating — Mini-C
+    programs over a fixed set of globals, arrays, pointers, and helper
+    functions.  Each program is compiled under the full configuration grid
+    (no optimization, each analysis, promotion on/off, pointer promotion,
+    tight register files) and executed; all configurations must produce the
+    same output.  The interpreter's dynamic tag-set checking runs
+    throughout, so this also fuzzes the soundness of MOD/REF and points-to
+    analysis on every run. *)
+
+open QCheck
+open Rp_driver
+
+(* ------------------------------------------------------------------ *)
+(* Random program generator                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Expressions are generated as strings over a known-safe vocabulary:
+   - integer locals x0..x3 (always initialized), loop indices in scope
+   - globals g0..g2, array ga[8] with masked indices
+   - *pg (a pointer that aims at g0, g1, or ga[k])
+   - calls to helpers f_pure / f_touch (touches g1) / f_deep (recursion
+     with bounded depth)                                                  *)
+
+let arb_program = Gen_minic.arb_program
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let grid =
+  [
+    ("O0",
+     { Config.default with
+       Config.analysis = Config.Anone; promote = false; optimize = false;
+       regalloc = false });
+    ("modref+promo", Config.default);
+    ("pointer+promo", { Config.default with Config.analysis = Config.Apointer });
+    ("pointer+ptrpromo+always",
+     { Config.default with
+       Config.analysis = Config.Apointer; ptr_promote = true;
+       always_store = true });
+    ("k6", { Config.default with Config.k = 6 });
+  ]
+
+let run_all src =
+  List.map
+    (fun (n, cfg) ->
+      let (_, _, r) = Pipeline.compile_and_run ~config:cfg ~fuel:3_000_000 src in
+      (n, r.Rp_exec.Interp.output))
+    grid
+
+let differential_prop =
+  Test.make ~name:"random programs agree under every configuration" ~count:100
+    arb_program (fun src ->
+      match run_all src with
+      | [] -> true
+      | (_, first) :: rest ->
+        List.iter
+          (fun (n, out) ->
+            if out <> first then
+              Test.fail_reportf
+                "configuration %s diverged.@.expected:@.%s@.got:@.%s@.program:@.%s"
+                n first out src)
+          rest;
+        true)
+
+let validation_prop =
+  Test.make ~name:"random programs validate at every pipeline stage" ~count:40
+    arb_program (fun src ->
+      List.for_all
+        (fun (_, cfg) ->
+          let (p, _) = Pipeline.compile ~config:cfg src in
+          Rp_ir.Validate.check_program p = [])
+        grid)
+
+let k_respected_prop =
+  Test.make ~name:"random programs color within k registers" ~count:40
+    arb_program (fun src ->
+      let k = 6 in
+      let (p, _) =
+        Pipeline.compile ~config:{ Config.default with Config.k } src
+      in
+      let ok = ref true in
+      Rp_ir.Program.iter_funcs
+        (fun f ->
+          Rp_ir.Func.iter_instrs
+            (fun _ i ->
+              List.iter
+                (fun r -> if r >= k then ok := false)
+                (Rp_ir.Instr.defs i @ Rp_ir.Instr.uses i))
+            f)
+        p;
+      !ok)
+
+let promotion_safety_prop =
+  (* with always_store and promotion, every configuration still agrees even
+     on programs full of aliasing through pg *)
+  Test.make ~name:"promotion with always_store is semantics-preserving"
+    ~count:40 arb_program (fun src ->
+      let a =
+        Pipeline.compile_and_run
+          ~config:{ Config.default with Config.promote = false }
+          ~fuel:3_000_000 src
+      in
+      let b =
+        Pipeline.compile_and_run
+          ~config:{ Config.default with Config.always_store = true }
+          ~fuel:3_000_000 src
+      in
+      let (_, _, ra) = a and (_, _, rb) = b in
+      ra.Rp_exec.Interp.output = rb.Rp_exec.Interp.output)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("differential",
+       [
+         QCheck_alcotest.to_alcotest ~long:true differential_prop;
+         QCheck_alcotest.to_alcotest validation_prop;
+         QCheck_alcotest.to_alcotest k_respected_prop;
+         QCheck_alcotest.to_alcotest promotion_safety_prop;
+       ]);
+    ]

@@ -1,0 +1,215 @@
+(** Register allocator tests: colorings respect k, copies coalesce,
+    semantics survive allocation at many register counts, spills appear as
+    tagged memory traffic, and constants rematerialize instead of spilling. *)
+
+open Rp_ir
+open Rp_driver
+module RA = Rp_regalloc.Regalloc
+
+let max_reg (f : Func.t) =
+  let m = ref (-1) in
+  Func.iter_instrs
+    (fun _ i ->
+      List.iter (fun r -> m := max !m r) (Instr.defs i);
+      List.iter (fun r -> m := max !m r) (Instr.uses i))
+    f;
+  List.iter (fun r -> m := max !m r) f.Func.params;
+  !m
+
+let sources =
+  [
+    ("expr", "int main() { int a = 1; int b = 2; int c = a * 3 + b * 5; \
+              print_int(c + a - b); return 0; }");
+    ("loop", "int g; int main() { int i; for (i = 0; i < 50; i++) g += i * \
+              i; print_int(g); return 0; }");
+    ("callheavy",
+     "int f(int a, int b, int c) { return a * b + c; } int main() { int s \
+      = 0; int i; for (i = 0; i < 20; i++) s += f(i, i + 1, s); \
+      print_int(s); return 0; }");
+    ("floats",
+     "float acc; int main() { int i; for (i = 0; i < 30; i++) { acc = acc \
+      * 0.5 + 1.0; } print_float(acc); return 0; }");
+    ("wide",
+     "int main() { int a=1; int b=2; int c=3; int d=4; int e=5; int f=6; \
+      int g=7; int h=8; int i=9; int j=10; int k=11; int l=12; \
+      print_int(a+b*c+d*e+f*g+h*i+j*k+l*(a+b)*(c+d)*(e+f)*(g+h)*(i+j)); \
+      return 0; }");
+  ]
+
+let respect_k_tests =
+  List.concat_map
+    (fun (name, src) ->
+      List.map
+        (fun k ->
+          Util.tc (Printf.sprintf "%s fits in k=%d" name k) (fun () ->
+              let cfg = { Config.default with Config.k } in
+              let p = Util.compile ~config:cfg src in
+              Program.iter_funcs
+                (fun f ->
+                  Util.check Alcotest.bool
+                    (Printf.sprintf "%s max reg < %d" f.Func.name k)
+                    true
+                    (max_reg f < k))
+                p))
+        [ 4; 6; 8; 16; 32 ])
+    sources
+
+let semantics_tests =
+  List.map
+    (fun (name, src) ->
+      Util.tc ("allocation preserves semantics: " ^ name) (fun () ->
+          ignore
+            (Util.differential
+               ~configs:
+                 [
+                   ("noalloc",
+                    { Config.default with Config.regalloc = false });
+                   ("k4", { Config.default with Config.k = 4 });
+                   ("k5", { Config.default with Config.k = 5 });
+                   ("k7", { Config.default with Config.k = 7 });
+                   ("k24", Config.default);
+                 ]
+               src)))
+    sources
+
+let spill_tests =
+  [
+    Util.tc "high pressure forces spills that appear as memory traffic"
+      (fun () ->
+        let src =
+          "int main() { int a=1; int b=2; int c=3; int d=4; int e=5; int \
+           f=6; int g=7; int h=8; int s = 0; int i; for (i = 0; i < 100; \
+           i++) { s += a*b + c*d + e*f + g*h + a*c + b*d + e*g + f*h; a = \
+           s % 9 + 1; b = s % 7 + 1; c = s % 5 + 1; d = s % 3 + 1; e = a + \
+           b; f = c + d; g = e + f; h = g + a; } print_int(s); return 0; }"
+        in
+        let tight = { Config.default with Config.k = 5 } in
+        let roomy = { Config.default with Config.k = 32 } in
+        let (_, l_tight, s_tight) = Util.counts ~config:tight src in
+        let (_, l_roomy, s_roomy) = Util.counts ~config:roomy src in
+        Util.check Alcotest.bool "tight k costs memory traffic" true
+          (l_tight + s_tight > l_roomy + s_roomy);
+        Util.check Alcotest.string "same output"
+          (Util.output ~config:tight src)
+          (Util.output ~config:roomy src));
+    Util.tc "spill slots are tagged to their function" (fun () ->
+        let src =
+          "int main() { int a=1; int b=2; int c=3; int d=4; int e=5; \
+           print_int((a+b)*(c+d)*(e+a)*(b+c)*(d+e)*(a+c)*(b+d)); return 0; }"
+        in
+        let p = Util.compile ~config:{ Config.default with Config.k = 4 } src in
+        let spill_tags =
+          List.filter
+            (fun (t : Tag.t) ->
+              match t.Tag.storage with Tag.Spill _ -> true | _ -> false)
+            (Tag.Table.all p.Program.tags)
+        in
+        (* with k=4 this expression tree needs some spills or remats; if
+           slots exist they must be scalars owned by main *)
+        List.iter
+          (fun (t : Tag.t) ->
+            Util.check Alcotest.bool "scalar slot" true t.Tag.is_scalar;
+            match t.Tag.storage with
+            | Tag.Spill fn -> Util.check Alcotest.string "owner" "main" fn
+            | _ -> assert false)
+          spill_tags);
+    Util.tc "constants rematerialize rather than spill" (fun () ->
+        (* a loop with many live loop-invariant constants: they must not
+           produce spill loads *)
+        let src =
+          "int g; int main() { int i; for (i = 0; i < 100; i++) { g = g + \
+           11 * 13 + i * 17 + i * 19 + i * 23 + i * 29 + i * 31 + i * 37; \
+           } print_int(g); return 0; }"
+        in
+        let cfg = { Config.default with Config.k = 6 } in
+        let (_, _, r) = Pipeline.compile_and_run ~config:cfg src in
+        ignore r;
+        ignore (Util.differential src));
+    Util.tc "water-style pressure: promotion triggers over-spilling"
+      (fun () ->
+        let src = (Rp_suite.Programs.find "water").Rp_suite.Programs.source in
+        let without =
+          { Config.default with Config.promote = false; k = 16 }
+        in
+        let with_ = { Config.default with Config.k = 16 } in
+        let (ops_without, _, _) = Util.counts ~config:without src in
+        let (ops_with, _, _) = Util.counts ~config:with_ src in
+        Util.check Alcotest.bool "promotion loses under pressure" true
+          (ops_with > ops_without));
+  ]
+
+let coalesce_tests =
+  [
+    Util.tc "copies disappear in simple code" (fun () ->
+        let p =
+          Util.compile "int main() { int a = 3; int b = a; int c = b; \
+                        print_int(c); return 0; }"
+        in
+        let f = Program.func p "main" in
+        let copies = ref 0 in
+        Func.iter_instrs
+          (fun _ i -> match i with Instr.Copy _ -> incr copies | _ -> ())
+          f;
+        Util.check Alcotest.int "no copies left" 0 !copies);
+    Util.tc "promotion-inserted copies coalesce away" (fun () ->
+        (* the paper: "The copies are subject to coalescing by the register
+           allocator.  It is quite effective at eliminating copies like
+           these." *)
+        let src =
+          "int g; int main() { int i; for (i = 0; i < 100; i++) g += i; \
+           print_int(g); return 0; }"
+        in
+        let p = Util.compile src in
+        let f = Program.func p "main" in
+        let copies = ref 0 in
+        Func.iter_instrs
+          (fun _ i -> match i with Instr.Copy _ -> incr copies | _ -> ())
+          f;
+        Util.check Alcotest.bool "at most one copy remains" true (!copies <= 1));
+    Util.tc "params keep distinct registers" (fun () ->
+        let src =
+          "int sub(int a, int b) { return a - b; } int main() { \
+           print_int(sub(9, 4)); return 0; }"
+        in
+        let p = Util.compile src in
+        let f = Program.func p "sub" in
+        match f.Func.params with
+        | [ a; b ] -> Util.check Alcotest.bool "distinct" true (a <> b)
+        | _ -> Alcotest.fail "two params expected");
+  ]
+
+let recursion_tests =
+  [
+    Util.tc "recursion works after allocation (private register files)"
+      (fun () ->
+        let src =
+          "int fib(int n) { if (n < 2) return n; return fib(n-1) + \
+           fib(n-2); } int main() { print_int(fib(15)); return 0; }"
+        in
+        Util.check Alcotest.string "fib 15" "610\n"
+          (Util.output ~config:{ Config.default with Config.k = 5 } src));
+    Util.tc "deep expression in a recursive function at k=4" (fun () ->
+        let src =
+          "int f(int n) { if (n == 0) return 1; return (f(n-1) * 3 + n * 7) \
+           % 1000; } int main() { print_int(f(30)); return 0; }"
+        in
+        ignore
+          (Util.differential
+             ~configs:
+               [
+                 ("k4", { Config.default with Config.k = 4 });
+                 ("k24", Config.default);
+                 ("noalloc", { Config.default with Config.regalloc = false });
+               ]
+             src));
+  ]
+
+let () =
+  Alcotest.run "regalloc"
+    [
+      ("respect_k", respect_k_tests);
+      ("semantics", semantics_tests);
+      ("spills", spill_tests);
+      ("coalescing", coalesce_tests);
+      ("recursion", recursion_tests);
+    ]

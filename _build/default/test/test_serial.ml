@@ -1,0 +1,132 @@
+(** Round-trip tests for the textual IL serialization. *)
+
+open Rp_ir
+open Rp_driver
+
+let roundtrip_ok name (p : Program.t) =
+  let text = Serial.write p in
+  let p2 =
+    try Serial.read text
+    with Serial.Parse_error (ln, msg) ->
+      Alcotest.failf "%s: parse error at line %d: %s\n%s" name ln msg text
+  in
+  (* structural identity through a second print *)
+  Util.check Alcotest.string (name ^ " write∘read∘write fixpoint") text
+    (Serial.write p2);
+  Validate.assert_ok p2;
+  (* semantic identity *)
+  let r1 = Rp_exec.Interp.run p in
+  let r2 = Rp_exec.Interp.run p2 in
+  Util.check Alcotest.string (name ^ " output") r1.Rp_exec.Interp.output
+    r2.Rp_exec.Interp.output;
+  Util.check Alcotest.int (name ^ " ops")
+    r1.Rp_exec.Interp.total.Rp_exec.Interp.ops
+    r2.Rp_exec.Interp.total.Rp_exec.Interp.ops
+
+let stage_tests =
+  List.concat_map
+    (fun (pr : Rp_suite.Programs.program) ->
+      [
+        Util.tc_slow ("front-end IL round trips: " ^ pr.Rp_suite.Programs.name)
+          (fun () -> roundtrip_ok pr.Rp_suite.Programs.name
+              (Util.front pr.Rp_suite.Programs.source));
+        Util.tc_slow ("final IL round trips: " ^ pr.Rp_suite.Programs.name)
+          (fun () ->
+            roundtrip_ok pr.Rp_suite.Programs.name
+              (Util.compile pr.Rp_suite.Programs.source));
+      ])
+    [ Rp_suite.Programs.find "mlink"; Rp_suite.Programs.find "fft";
+      Rp_suite.Programs.find "bc"; Rp_suite.Programs.find "dhrystone";
+      Rp_suite.Programs.find "allroots" ]
+
+let feature_tests =
+  [
+    Util.tc "floats round trip bit-exactly" (fun () ->
+        roundtrip_ok "floats"
+          (Util.front
+             "float f = 0.1; int main() { print_float(f * 3.0 + 1e-3); \
+              return 0; }"));
+    Util.tc "heap sites and indirect calls round trip" (fun () ->
+        roundtrip_ok "heap+fnptr"
+          (Util.compile
+             "int add1(int x) { return x + 1; } int (*fp)(int); int main() \
+              { int *h = malloc(2); h[0] = 4; fp = add1; print_int(fp(h[0])); \
+              free(h); return 0; }"));
+    Util.tc "structs and spills round trip" (fun () ->
+        roundtrip_ok "structs+spills"
+          (Util.compile
+             ~config:{ Config.default with Config.k = 5 }
+             "struct P { int x; int y; }; struct P g; int main() { int a=1; \
+              int b=2; int c=3; int d=4; g.x = (a+b)*(c+d)*(a+c)*(b+d); g.y \
+              = g.x % 97; print_int(g.x + g.y); return 0; }"));
+    Util.tc "tag names with spaces survive quoting" (fun () ->
+        let p = Program.create () in
+        let t =
+          Tag.Table.fresh p.Program.tags ~name:"odd name here"
+            ~storage:Tag.Global ()
+        in
+        Program.add_global p t (Program.Init_zero (Instr.Cint 0));
+        let f = Func.create ~name:"main" ~nparams:0 in
+        f.Func.nreg <- 1;
+        Func.add_block f
+          (Block.create
+             ~instrs:[ Instr.Loadi (0, Instr.Cint 0) ]
+             ~term:(Instr.Ret (Some 0)) "entry");
+        Program.add_func p f;
+        roundtrip_ok "quoted" p);
+    Util.tc "parse errors carry line numbers" (fun () ->
+        match Serial.read "tag t0 garbage" with
+        | exception Serial.Parse_error (1, _) -> ()
+        | exception Serial.Parse_error (ln, _) ->
+          Alcotest.failf "wrong line %d" ln
+        | _ -> Alcotest.fail "expected a parse error");
+    Util.tc "hand-written IL executes" (fun () ->
+        let text =
+          {|; regpromo-il 1
+tag t0 "g" global scalar size=1
+global t0 zero int
+main main
+func main params= nreg=3 entry=entry
+block entry
+  r0 = iload 21
+  sstore t0 r0
+  r1 = sload t0
+  r2 = bin add r1 r1
+  r2 = call print_int(r2) mods=[] refs=[] targets=[print_int] site=0
+  ret
+endfunc
+|}
+        in
+        let p = Serial.read text in
+        let r = Rp_exec.Interp.run p in
+        Util.check Alcotest.string "output" "42\n" r.Rp_exec.Interp.output);
+  ]
+
+let property_tests =
+  let open QCheck in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"random programs round trip at every stage" ~count:40
+         Gen_minic.arb_program (fun src ->
+           List.for_all
+             (fun p ->
+               let text = Serial.write p in
+               let p2 = Serial.read text in
+               Serial.write p2 = text
+               && Validate.check_program p2 = []
+               &&
+               let r1 = Rp_exec.Interp.run ~fuel:3_000_000 p in
+               let r2 = Rp_exec.Interp.run ~fuel:3_000_000 p2 in
+               r1.Rp_exec.Interp.output = r2.Rp_exec.Interp.output
+               && r1.Rp_exec.Interp.total.Rp_exec.Interp.ops
+                  = r2.Rp_exec.Interp.total.Rp_exec.Interp.ops)
+             [ Util.front src; Util.compile src ]));
+  ]
+
+let () =
+  Alcotest.run "serial"
+    [
+      ("roundtrip", stage_tests);
+      ("features", feature_tests);
+      ("properties", property_tests);
+    ]

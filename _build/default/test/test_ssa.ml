@@ -1,0 +1,191 @@
+(** SSA construction/destruction tests: structural validity after
+    construction, semantic preservation through a construct→destruct round
+    trip, and dominance-frontier sanity. *)
+
+open Rp_ir
+module SS = Rp_support.Smaps.String_set
+
+let sources =
+  [
+    ("straightline", "int main() { int x = 1; x = x + 2; return x; }");
+    ("diamond",
+     "int main() { int x = 0; if (rand() % 2) x = 1; else x = 2; return x; }");
+    ("loop",
+     "int main() { int s = 0; int i; for (i = 0; i < 10; i++) s += i; \
+      return s; }");
+    ("nested",
+     "int g; int main() { int i; int j; for (i = 0; i < 5; i++) { for (j = \
+      0; j < 5; j++) { g += i * j; } } return g; }");
+    ("calls",
+     "int f(int x) { if (x < 2) return x; return f(x-1) + f(x-2); } int \
+      main() { return f(10); }");
+    ("shortcircuit",
+     "int main() { int a = 3; int b = 0; if (a > 1 && b == 0 || a == 9) \
+      return 1; return 0; }");
+    ("breaks",
+     "int main() { int s = 0; int i; for (i = 0; i < 100; i++) { if (i > 7) \
+      break; if (i % 2) continue; s += i; } return s; }");
+    ("usebeforedef",
+     "int main() { int x; int i; for (i = 0; i < 3; i++) { if (i > 0) { } \
+      else { x = 5; } } return x; }");
+  ]
+
+let construct_tests =
+  List.map
+    (fun (name, src) ->
+      Util.tc ("valid SSA: " ^ name) (fun () ->
+          let p = Util.front src in
+          Program.iter_funcs
+            (fun f ->
+              ignore (Rp_ssa.Ssa.construct f : Rp_ssa.Ssa.info);
+              Util.check
+                Alcotest.(list string)
+                (f.Func.name ^ " SSA check")
+                [] (Rp_ssa.Ssa.check f))
+            p))
+    sources
+
+let roundtrip_tests =
+  List.map
+    (fun (name, src) ->
+      Util.tc ("round trip preserves semantics: " ^ name) (fun () ->
+          let p1 = Util.front src in
+          let r1 = Rp_exec.Interp.run p1 in
+          let p2 = Util.front src in
+          Program.iter_funcs
+            (fun f ->
+              ignore (Rp_ssa.Ssa.construct f : Rp_ssa.Ssa.info);
+              Rp_ssa.Ssa.destruct f)
+            p2;
+          Validate.assert_ok p2;
+          let r2 = Rp_exec.Interp.run p2 in
+          Util.check Alcotest.string "output" r1.Rp_exec.Interp.output
+            r2.Rp_exec.Interp.output;
+          Util.check Alcotest.int "checksum" r1.Rp_exec.Interp.checksum
+            r2.Rp_exec.Interp.checksum))
+    sources
+
+let origin_tests =
+  [
+    Util.tc "origin maps every new name to its source register" (fun () ->
+        let p = Util.front (List.assoc "loop" sources) in
+        let f = Program.func p "main" in
+        let before = f.Func.nreg in
+        let info = Rp_ssa.Ssa.construct f in
+        Func.iter_instrs
+          (fun _ i ->
+            List.iter
+              (fun d ->
+                match Hashtbl.find_opt info.Rp_ssa.Ssa.origin d with
+                | Some o ->
+                  if o >= before then
+                    Alcotest.failf "origin r%d of r%d is not a source reg" o d
+                | None -> Alcotest.failf "r%d has no origin" d)
+              (Instr.defs i))
+          f);
+    Util.tc "instruction order per block is preserved modulo phis" (fun () ->
+        let src = List.assoc "nested" sources in
+        let p1 = Util.front src in
+        let p2 = Util.front src in
+        let f2 = Program.func p2 "main" in
+        ignore (Rp_ssa.Ssa.construct f2 : Rp_ssa.Ssa.info);
+        let f1 = Program.func p1 "main" in
+        (* SSA construction may drop unreachable blocks; compare shared *)
+        Func.iter_blocks
+          (fun (b1 : Block.t) ->
+            match Func.block_opt f2 b1.Block.label with
+            | None -> ()
+            | Some b2 ->
+              let shape i =
+                match (i : Instr.t) with
+                | Instr.Loadi _ -> "loadi" | Instr.Loada _ -> "addr"
+                | Instr.Loadfp _ -> "fnptr" | Instr.Unop _ -> "unop"
+                | Instr.Binop _ -> "binop" | Instr.Copy _ -> "cp"
+                | Instr.Loadc _ -> "cload" | Instr.Loads _ -> "sload"
+                | Instr.Stores _ -> "sstore" | Instr.Loadg _ -> "load"
+                | Instr.Storeg _ -> "store" | Instr.Call _ -> "call"
+                | Instr.Phi _ -> "phi"
+              in
+              let s1 = List.map shape b1.Block.instrs in
+              let s2 =
+                List.map shape
+                  (List.filter (fun i -> not (Instr.is_phi i)) b2.Block.instrs)
+              in
+              Util.check Alcotest.(list string) ("shapes " ^ b1.Block.label) s1 s2)
+          f1);
+  ]
+
+let frontier_tests =
+  [
+    Util.tc "diamond join is in both arms' frontiers" (fun () ->
+        (* b0 -> l,r ; l,r -> j *)
+        let f = Func.create ~name:"g" ~nparams:0 in
+        f.Func.nreg <- 1;
+        f.Func.entry <- "b0";
+        List.iter (Func.add_block f)
+          [
+            Block.create ~instrs:[ Instr.Loadi (0, Instr.Cint 0) ]
+              ~term:(Instr.Cbr (0, "l", "r")) "b0";
+            Block.create ~term:(Instr.Jump "j") "l";
+            Block.create ~term:(Instr.Jump "j") "r";
+            Block.create ~term:(Instr.Ret None) "j";
+          ];
+        let dom = Rp_cfg.Dominators.compute f in
+        let df = Rp_ssa.Ssa.dominance_frontiers f dom in
+        let get l = Option.value ~default:SS.empty (Hashtbl.find_opt df l) in
+        Util.check Alcotest.bool "j in DF(l)" true (SS.mem "j" (get "l"));
+        Util.check Alcotest.bool "j in DF(r)" true (SS.mem "j" (get "r"));
+        Util.check Alcotest.bool "DF(b0) empty" true (SS.is_empty (get "b0")));
+    Util.tc "loop header is in the latch's frontier (and its own)" (fun () ->
+        let f = Func.create ~name:"g" ~nparams:0 in
+        f.Func.nreg <- 1;
+        f.Func.entry <- "b0";
+        List.iter (Func.add_block f)
+          [
+            Block.create ~instrs:[ Instr.Loadi (0, Instr.Cint 0) ]
+              ~term:(Instr.Jump "h") "b0";
+            Block.create ~term:(Instr.Cbr (0, "body", "out")) "h";
+            Block.create ~term:(Instr.Jump "h") "body";
+            Block.create ~term:(Instr.Ret None) "out";
+          ];
+        let dom = Rp_cfg.Dominators.compute f in
+        let df = Rp_ssa.Ssa.dominance_frontiers f dom in
+        let get l = Option.value ~default:SS.empty (Hashtbl.find_opt df l) in
+        Util.check Alcotest.bool "h in DF(body)" true (SS.mem "h" (get "body"));
+        Util.check Alcotest.bool "h in DF(h)" true (SS.mem "h" (get "h")));
+  ]
+
+let phi_tests =
+  [
+    Util.tc "diamond assignment produces a phi at the join" (fun () ->
+        let p =
+          Util.front
+            "int main() { int x = 0; if (rand() % 2) x = 1; else x = 2; \
+             return x; }"
+        in
+        let f = Program.func p "main" in
+        ignore (Rp_ssa.Ssa.construct f : Rp_ssa.Ssa.info);
+        let phis = ref 0 in
+        Func.iter_instrs
+          (fun _ i -> if Instr.is_phi i then incr phis)
+          f;
+        Util.check Alcotest.bool "at least one phi" true (!phis >= 1));
+    Util.tc "straight-line code needs no phis" (fun () ->
+        let p = Util.front "int main() { int x = 1; x = x + 1; return x; }" in
+        let f = Program.func p "main" in
+        ignore (Rp_ssa.Ssa.construct f : Rp_ssa.Ssa.info);
+        Func.iter_instrs
+          (fun _ i ->
+            if Instr.is_phi i then Alcotest.fail "unexpected phi")
+          f);
+  ]
+
+let () =
+  Alcotest.run "ssa"
+    [
+      ("construct", construct_tests);
+      ("roundtrip", roundtrip_tests);
+      ("origin", origin_tests);
+      ("frontiers", frontier_tests);
+      ("phis", phi_tests);
+    ]

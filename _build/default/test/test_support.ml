@@ -1,0 +1,123 @@
+(** Unit and property tests for the support library. *)
+
+open Rp_support
+
+let idgen_tests =
+  [
+    Util.tc "fresh is monotonic" (fun () ->
+        let g = Idgen.create () in
+        Util.check Alcotest.int "first" 0 (Idgen.fresh g);
+        Util.check Alcotest.int "second" 1 (Idgen.fresh g);
+        Util.check Alcotest.int "third" 2 (Idgen.fresh g));
+    Util.tc "start offset respected" (fun () ->
+        let g = Idgen.create ~start:10 () in
+        Util.check Alcotest.int "first" 10 (Idgen.fresh g);
+        Util.check Alcotest.int "peek" 11 (Idgen.peek g));
+    Util.tc "count tracks allocations" (fun () ->
+        let g = Idgen.create () in
+        ignore (Idgen.fresh g);
+        ignore (Idgen.fresh g);
+        Util.check Alcotest.int "count" 2 (Idgen.count g));
+  ]
+
+let uf_tests =
+  [
+    Util.tc "singletons are their own roots" (fun () ->
+        let uf = Union_find.create 8 in
+        for i = 0 to 7 do
+          Util.check Alcotest.int "root" i (Union_find.find uf i)
+        done);
+    Util.tc "union merges classes" (fun () ->
+        let uf = Union_find.create 8 in
+        ignore (Union_find.union uf 0 1);
+        ignore (Union_find.union uf 2 3);
+        Util.check Alcotest.bool "0~1" true (Union_find.same uf 0 1);
+        Util.check Alcotest.bool "2~3" true (Union_find.same uf 2 3);
+        Util.check Alcotest.bool "0!~2" false (Union_find.same uf 0 2);
+        ignore (Union_find.union uf 1 3);
+        Util.check Alcotest.bool "0~3 after chain union" true
+          (Union_find.same uf 0 3));
+    Util.tc "union is idempotent" (fun () ->
+        let uf = Union_find.create 4 in
+        let r1 = Union_find.union uf 0 1 in
+        let r2 = Union_find.union uf 0 1 in
+        Util.check Alcotest.int "same root" r1 r2);
+  ]
+
+let uf_props =
+  let open QCheck in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"union-find: find is a class representative"
+         ~count:200
+         (list (pair (int_bound 31) (int_bound 31)))
+         (fun pairs ->
+           let uf = Union_find.create 32 in
+           List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+           (* representative is consistent: same a b <=> find a = find b *)
+           List.for_all
+             (fun (a, b) ->
+               Union_find.same uf a b
+               = (Union_find.find uf a = Union_find.find uf b))
+             pairs));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"union-find: unions are transitive" ~count:200
+         (list (pair (int_bound 15) (int_bound 15)))
+         (fun pairs ->
+           let uf = Union_find.create 16 in
+           List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+           (* brute-force reference partition *)
+           let parent = Array.init 16 (fun i -> i) in
+           let rec find i = if parent.(i) = i then i else find parent.(i) in
+           List.iter
+             (fun (a, b) ->
+               let ra = find a and rb = find b in
+               if ra <> rb then parent.(ra) <- rb)
+             pairs;
+           List.for_all
+             (fun (a, b) ->
+               Union_find.same uf a b = (find a = find b))
+             (List.concat_map
+                (fun a -> List.map (fun b -> (a, b)) [ 0; 5; 10; 15 ])
+                [ 0; 3; 7; 12 ])));
+  ]
+
+let worklist_tests =
+  [
+    Util.tc "fifo order" (fun () ->
+        let wl = Worklist.create () in
+        Worklist.push wl 1;
+        Worklist.push wl 2;
+        Worklist.push wl 3;
+        Util.check Alcotest.(option int) "pop1" (Some 1) (Worklist.pop wl);
+        Util.check Alcotest.(option int) "pop2" (Some 2) (Worklist.pop wl));
+    Util.tc "no duplicates while pending" (fun () ->
+        let wl = Worklist.create () in
+        Worklist.push wl 7;
+        Worklist.push wl 7;
+        ignore (Worklist.pop wl);
+        Util.check Alcotest.(option int) "only one" None (Worklist.pop wl));
+    Util.tc "re-push after pop allowed" (fun () ->
+        let wl = Worklist.create () in
+        Worklist.push wl 7;
+        ignore (Worklist.pop wl);
+        Worklist.push wl 7;
+        Util.check Alcotest.(option int) "requeued" (Some 7) (Worklist.pop wl));
+    Util.tc "run drains including new work" (fun () ->
+        let wl = Worklist.of_list [ 0 ] in
+        let seen = ref [] in
+        Worklist.run wl (fun x ->
+            seen := x :: !seen;
+            if x < 3 then Worklist.push wl (x + 1));
+        Util.check
+          Alcotest.(list int)
+          "visited chain" [ 0; 1; 2; 3 ] (List.rev !seen));
+  ]
+
+let () =
+  Alcotest.run "support"
+    [
+      ("idgen", idgen_tests);
+      ("union_find", uf_tests @ uf_props);
+      ("worklist", worklist_tests);
+    ]
