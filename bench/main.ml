@@ -6,6 +6,8 @@
                                              §3.3, register pressure)
       dune exec bench/main.exe -- --timings   -- Bechamel wall-clock benches,
                                                  one Test.make per table
+      dune exec bench/main.exe -- --json      -- write BENCH_counts.json and
+                                                 BENCH_timings.json
     v}
 
     Counts are exact and deterministic (the interpreter counts executed IL
@@ -306,6 +308,95 @@ let ablations () =
     [ "fft"; "bc"; "clean"; "go" ]
 
 (* ------------------------------------------------------------------ *)
+(* --json: machine-readable exports                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Rp_support.Json
+
+(** Write [BENCH_counts.json] (program × paper-grid config × dynamic counts)
+    and [BENCH_timings.json] (program × config × per-pass wall-clock and
+    analysis fixpoint iterations).  Counts are deterministic and serve as a
+    committable baseline; timings are machine-dependent and meant for
+    relative comparison between runs on one machine. *)
+let json_export () =
+  let rows =
+    List.map
+      (fun (p : Rp_suite.Programs.program) ->
+        let per_config =
+          List.map
+            (fun (cname, cfg) ->
+              let (_, st, r) =
+                Pipeline.compile_and_run ~config:cfg p.Rp_suite.Programs.source
+              in
+              let t = counts r in
+              (cname, st,
+               { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
+                 checksum = r.I.checksum }))
+            Config.paper_grid
+        in
+        (p.Rp_suite.Programs.name, per_config))
+      Rp_suite.Programs.all
+  in
+  let counts_doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "rpcc-bench-counts/1");
+        ( "programs",
+          Json.Obj
+            (List.map
+               (fun (pname, per_config) ->
+                 ( pname,
+                   Json.Obj
+                     (List.map
+                        (fun (cname, _, c) ->
+                          ( cname,
+                            Json.Obj
+                              [
+                                ("ops", Json.Int c.ops);
+                                ("loads", Json.Int c.loads);
+                                ("stores", Json.Int c.stores);
+                                ("checksum", Json.Int c.checksum);
+                              ] ))
+                        per_config) ))
+               rows) );
+      ]
+  in
+  let timings_doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "rpcc-bench-timings/1");
+        ( "programs",
+          Json.Obj
+            (List.map
+               (fun (pname, per_config) ->
+                 ( pname,
+                   Json.Obj
+                     (List.map
+                        (fun (cname, st, _) ->
+                          (cname,
+                           Pipeline.stats_json
+                             (List.assoc cname Config.paper_grid) st))
+                        per_config) ))
+               rows) );
+        ( "total_compile_ms",
+          Json.Float
+            (1000.
+            *. List.fold_left
+                 (fun acc (_, per_config) ->
+                   List.fold_left
+                     (fun acc (_, st, _) -> acc +. Pipeline.total_time st)
+                     acc per_config)
+                 0. rows) );
+      ]
+  in
+  Json.to_file "BENCH_counts.json" counts_doc;
+  Json.to_file "BENCH_timings.json" timings_doc;
+  Fmt.pr "wrote BENCH_counts.json (%d programs x %d configs)@."
+    (List.length rows)
+    (List.length Config.paper_grid);
+  Fmt.pr "wrote BENCH_timings.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches (one Test.make per table)                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -377,6 +468,9 @@ let timings () =
 let () =
   let args = Array.to_list Sys.argv in
   let want_timings = List.mem "--timings" args in
+  let want_json = List.mem "--json" args in
+  if want_json then json_export ()
+  else begin
   let only_timings = want_timings && not (List.mem "--tables" args) in
   if not only_timings then begin
     Fmt.pr
@@ -394,3 +488,4 @@ let () =
     Fmt.pr "@.All configurations produced identical checksums per program.@."
   end;
   if want_timings then timings ()
+  end

@@ -114,26 +114,65 @@ let handle_errors f =
 (* Commands                                                            *)
 (* ------------------------------------------------------------------ *)
 
+module Json = Rp_support.Json
+
+(** The [--stats-json] document: schema marker, the pipeline's stats
+    (counters, fixpoint iterations, per-pass timings), and the dynamic
+    execution result. *)
+let run_json config (st : Pipeline.stage_stats) (r : Rp_exec.Interp.result) =
+  match Pipeline.stats_json config st with
+  | Json.Obj fields ->
+    Json.Obj
+      (("schema", Json.Str "rpcc-stats/1")
+       :: fields
+      @ [
+          ( "result",
+            Json.Obj
+              [
+                ("ops", Json.Int r.Rp_exec.Interp.total.Rp_exec.Interp.ops);
+                ("loads", Json.Int r.Rp_exec.Interp.total.Rp_exec.Interp.loads);
+                ( "stores",
+                  Json.Int r.Rp_exec.Interp.total.Rp_exec.Interp.stores );
+                ("checksum", Json.Int r.Rp_exec.Interp.checksum);
+              ] );
+        ])
+  | j -> j
+
 let run_cmd =
-  let run config file quiet =
+  let run config file quiet stats_json =
     handle_errors @@ fun () ->
     let (_, st, r) = Pipeline.compile_and_run ~config (read_file file) in
-    if not quiet then print_string r.Rp_exec.Interp.output;
-    Fmt.pr "; config: %a@." Config.pp config;
-    Fmt.pr "; ops=%d loads=%d stores=%d checksum=%d@."
-      r.Rp_exec.Interp.total.Rp_exec.Interp.ops
-      r.Rp_exec.Interp.total.Rp_exec.Interp.loads
-      r.Rp_exec.Interp.total.Rp_exec.Interp.stores r.Rp_exec.Interp.checksum;
-    Fmt.pr "; promoted=%d ptr_promoted=%d hoisted=%d spilled=%d@."
-      st.Pipeline.promoted st.Pipeline.ptr_promoted st.Pipeline.hoisted
-      st.Pipeline.spilled
+    if stats_json then
+      (* pure JSON on stdout; program output is suppressed so the document
+         stays machine-parseable *)
+      print_string (Json.to_string (run_json config st r))
+    else begin
+      if not quiet then print_string r.Rp_exec.Interp.output;
+      Fmt.pr "; config: %a@." Config.pp config;
+      Fmt.pr "; ops=%d loads=%d stores=%d checksum=%d@."
+        r.Rp_exec.Interp.total.Rp_exec.Interp.ops
+        r.Rp_exec.Interp.total.Rp_exec.Interp.loads
+        r.Rp_exec.Interp.total.Rp_exec.Interp.stores r.Rp_exec.Interp.checksum;
+      Fmt.pr "; promoted=%d ptr_promoted=%d hoisted=%d spilled=%d@."
+        st.Pipeline.promoted st.Pipeline.ptr_promoted st.Pipeline.hoisted
+        st.Pipeline.spilled
+    end
   in
   let quiet_t =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress program output.")
   in
+  let stats_json_t =
+    Arg.(
+      value & flag
+      & info [ "stats-json" ]
+          ~doc:
+            "Emit compile statistics (counters, analysis fixpoint \
+             iterations, per-pass wall-clock timings) and dynamic counts as \
+             a single JSON document instead of the human-readable report.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute, reporting dynamic counts.")
-    Term.(const run $ config_t $ file_t $ quiet_t)
+    Term.(const run $ config_t $ file_t $ quiet_t $ stats_json_t)
 
 let dump_cmd =
   let dump config file stage format =

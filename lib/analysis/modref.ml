@@ -31,6 +31,9 @@ type t = {
   graph : Callgraph.t;
   summaries : (string, summary) Hashtbl.t;
   address_taken : Tagset.t;  (** global/heap address-taken tags *)
+  iters : int;
+      (** function summaries (re)computed by the sparse worklist before
+          the fixpoint (observability; see Pipeline.stage_stats) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -113,45 +116,62 @@ let local_contribution (f : Func.t) =
     f;
   { mods = !mods; refs = !refs }
 
+(** Sparse worklist propagation of [S(f) = local(f) ∪ ⋃ S(callees f)].
+    Seeded in reverse topological SCC order (callees first), so an acyclic
+    region settles in a single visit per function; only members of cyclic
+    SCCs are revisited, and only when a callee's summary actually grew.
+    The least fixpoint equals the SCC-union formulation: within an SCC all
+    members reach each other, so they converge to the same set.  Returns
+    the summaries and the number of summary evaluations performed. *)
 let compute_summaries (p : Program.t) (graph : Callgraph.t) =
   let summaries : (string, summary) Hashtbl.t = Hashtbl.create 16 in
-  let summary_of name =
-    match Hashtbl.find_opt summaries name with
-    | Some s -> s
-    | None -> { mods = Tagset.empty; refs = Tagset.empty }
-    (* builtins and not-yet-processed SCC members (handled by the union
-       over the whole SCC) *)
-  in
-  List.iter
-    (fun scc ->
-      let members = SS.of_list scc in
-      let acc = ref { mods = Tagset.empty; refs = Tagset.empty } in
-      List.iter
-        (fun fname ->
-          match Program.func_opt p fname with
-          | None -> ()
-          | Some f ->
-            let local = local_contribution f in
-            acc :=
-              {
-                mods = Tagset.union !acc.mods local.mods;
-                refs = Tagset.union !acc.refs local.refs;
-              };
-            SS.iter
-              (fun callee ->
-                if not (SS.mem callee members) then begin
-                  let s = summary_of callee in
-                  acc :=
-                    {
-                      mods = Tagset.union !acc.mods s.mods;
-                      refs = Tagset.union !acc.refs s.refs;
-                    }
-                end)
-              (Callgraph.callees_of graph fname))
-        scc;
-      List.iter (fun fname -> Hashtbl.replace summaries fname !acc) scc)
-    graph.Callgraph.sccs;
-  summaries
+  let locals : (string, summary) Hashtbl.t = Hashtbl.create 16 in
+  let callers : (string, SS.t) Hashtbl.t = Hashtbl.create 16 in
+  Program.iter_funcs
+    (fun f ->
+      Hashtbl.replace locals f.Func.name (local_contribution f);
+      SS.iter
+        (fun callee ->
+          Hashtbl.replace callers callee
+            (SS.add f.Func.name
+               (Option.value ~default:SS.empty
+                  (Hashtbl.find_opt callers callee))))
+        (Callgraph.callees_of graph f.Func.name))
+    p;
+  let wl : string Rp_support.Worklist.t = Rp_support.Worklist.create () in
+  List.iter (List.iter (Rp_support.Worklist.push wl)) graph.Callgraph.sccs;
+  let iters = ref 0 in
+  Rp_support.Worklist.run wl (fun fname ->
+      match Hashtbl.find_opt locals fname with
+      | None -> () (* builtin *)
+      | Some local ->
+        incr iters;
+        let acc =
+          SS.fold
+            (fun callee acc ->
+              match Hashtbl.find_opt summaries callee with
+              | Some s ->
+                {
+                  mods = Tagset.union acc.mods s.mods;
+                  refs = Tagset.union acc.refs s.refs;
+                }
+              | None -> acc)
+            (Callgraph.callees_of graph fname)
+            local
+        in
+        let grew =
+          match Hashtbl.find_opt summaries fname with
+          | Some cur ->
+            not (Tagset.equal cur.mods acc.mods && Tagset.equal cur.refs acc.refs)
+          | None -> true
+        in
+        if grew then begin
+          Hashtbl.replace summaries fname acc;
+          Option.iter
+            (SS.iter (Rp_support.Worklist.push wl))
+            (Hashtbl.find_opt callers fname)
+        end);
+  (summaries, !iters)
 
 (* ------------------------------------------------------------------ *)
 (* Pass 3: annotate call sites                                         *)
@@ -211,9 +231,9 @@ let run ?(targets_of : (Instr.call -> string list) option) (p : Program.t) : t
   let graph = Callgraph.build p ~targets_of in
   let (globals, locals) = address_taken_tags p in
   limit_pointer_ops p graph globals locals;
-  let summaries = compute_summaries p graph in
+  let (summaries, iters) = compute_summaries p graph in
   annotate_calls p graph summaries ~targets_of;
-  { graph; summaries; address_taken = globals }
+  { graph; summaries; address_taken = globals; iters }
 
 let summary t name =
   Option.value

@@ -14,6 +14,7 @@ type t = {
   graph : Callgraph.t;
   summaries : (string, summary) Hashtbl.t;
   address_taken : Tagset.t;  (** addressed globals and heap-site tags *)
+  iters : int;  (** summary evaluations performed by the sparse worklist *)
 }
 
 (** Address-taken tags: the globally visible set (globals + heap sites) and

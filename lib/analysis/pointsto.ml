@@ -40,6 +40,9 @@ type t = {
   pts : (string * Instr.reg, LS.t) Hashtbl.t;  (** per SSA name *)
   mem : (int, LS.t) Hashtbl.t;  (** tag id -> contents' points-to set *)
   rets : (string, LS.t) Hashtbl.t;  (** per function: returned locations *)
+  mutable iters : int;
+      (** function-transfer executions performed by the sparse worklist
+          before the fixpoint (observability; see Pipeline.stage_stats) *)
 }
 
 let pts_get st key = Option.value ~default:LS.empty (Hashtbl.find_opt st.pts key)
@@ -56,6 +59,8 @@ let funs_of ls =
 (* Fixpoint                                                            *)
 (* ------------------------------------------------------------------ *)
 
+module SS = Rp_support.Smaps.String_set
+
 let analyze (p : Program.t) : t =
   let st =
     {
@@ -63,6 +68,7 @@ let analyze (p : Program.t) : t =
       pts = Hashtbl.create 256;
       mem = Hashtbl.create 64;
       rets = Hashtbl.create 16;
+      iters = 0;
     }
   in
   Program.iter_funcs
@@ -71,14 +77,47 @@ let analyze (p : Program.t) : t =
       ignore (Rp_ssa.Ssa.construct clone : Rp_ssa.Ssa.info);
       Hashtbl.replace st.ssa f.Func.name clone)
     p;
-  let changed = ref true in
-  let join_pts key ls =
+  (* Sparse iteration: instead of re-scanning the whole program until
+     nothing changes, keep a worklist of functions and a reader map from
+     each abstract cell to the functions whose transfer consumes it.  A
+     join that grows a cell re-enqueues exactly its readers. *)
+  let tag_loaders : (int, SS.t) Hashtbl.t = Hashtbl.create 64 in
+  (* functions whose Loadg may read any memory cell (its address's
+     points-to set grows over time, so the static reader map must be
+     conservative) *)
+  let g_loaders = ref SS.empty in
+  let direct_callers : (string, SS.t) Hashtbl.t = Hashtbl.create 16 in
+  let indirect_callers = ref SS.empty in
+  Hashtbl.iter
+    (fun fname (clone : Func.t) ->
+      Func.iter_instrs
+        (fun _ i ->
+          match i with
+          | Instr.Loads (_, t) | Instr.Loadc (_, t) ->
+            Hashtbl.replace tag_loaders t.Tag.id
+              (SS.add fname
+                 (Option.value ~default:SS.empty
+                    (Hashtbl.find_opt tag_loaders t.Tag.id)))
+          | Instr.Loadg _ -> g_loaders := SS.add fname !g_loaders
+          | Instr.Call { Instr.target = Instr.Direct n; _ } ->
+            Hashtbl.replace direct_callers n
+              (SS.add fname
+                 (Option.value ~default:SS.empty
+                    (Hashtbl.find_opt direct_callers n)))
+          | Instr.Call { Instr.target = Instr.Indirect _; _ } ->
+            indirect_callers := SS.add fname !indirect_callers
+          | _ -> ())
+        clone)
+    st.ssa;
+  let wl : string Rp_support.Worklist.t = Rp_support.Worklist.create () in
+  let enqueue fname = Rp_support.Worklist.push wl fname in
+  let join_pts ((owner, _) as key) ls =
     if not (LS.is_empty ls) then begin
       let cur = pts_get st key in
       let nxt = LS.union cur ls in
       if not (LS.equal cur nxt) then begin
         Hashtbl.replace st.pts key nxt;
-        changed := true
+        enqueue owner
       end
     end
   in
@@ -88,7 +127,9 @@ let analyze (p : Program.t) : t =
       let nxt = LS.union cur ls in
       if not (LS.equal cur nxt) then begin
         Hashtbl.replace st.mem tag.Tag.id nxt;
-        changed := true
+        Option.iter (SS.iter enqueue)
+          (Hashtbl.find_opt tag_loaders tag.Tag.id);
+        SS.iter enqueue !g_loaders
       end
     end
   in
@@ -98,7 +139,8 @@ let analyze (p : Program.t) : t =
       let nxt = LS.union cur ls in
       if not (LS.equal cur nxt) then begin
         Hashtbl.replace st.rets fname nxt;
-        changed := true
+        Option.iter (SS.iter enqueue) (Hashtbl.find_opt direct_callers fname);
+        SS.iter enqueue !indirect_callers
       end
     end
   in
@@ -160,22 +202,23 @@ let analyze (p : Program.t) : t =
           (fun n -> bind_call n c argv_pts ret)
           (funs_of (get r)))
   in
-  let guard = ref 0 in
-  while !changed do
-    changed := false;
-    incr guard;
-    if !guard > 1000 then failwith "Pointsto.analyze: fixpoint did not converge";
-    Hashtbl.iter
-      (fun fname (clone : Func.t) ->
+  (* seed in program order (deterministic), then drain *)
+  Program.iter_funcs (fun f -> enqueue f.Func.name) p;
+  let budget = 1000 * (Hashtbl.length st.ssa + 1) in
+  Rp_support.Worklist.run wl (fun fname ->
+      st.iters <- st.iters + 1;
+      if st.iters > budget then
+        failwith "Pointsto.analyze: fixpoint did not converge";
+      match Hashtbl.find_opt st.ssa fname with
+      | None -> ()
+      | Some clone ->
         Func.iter_blocks
           (fun (b : Block.t) ->
             List.iter (transfer fname) b.Block.instrs;
             match b.Block.term with
             | Instr.Ret (Some r) -> join_ret fname (pts_get st (fname, r))
             | _ -> ())
-          clone)
-      st.ssa
-  done;
+          clone);
   st
 
 (* ------------------------------------------------------------------ *)

@@ -14,6 +14,8 @@ type t = {
   pts : (string * Instr.reg, LS.t) Hashtbl.t;  (** per SSA name *)
   mem : (int, LS.t) Hashtbl.t;  (** tag id -> contents *)
   rets : (string, LS.t) Hashtbl.t;  (** per function: returned locations *)
+  mutable iters : int;
+      (** function-transfer executions performed by the sparse worklist *)
 }
 
 val pts_get : t -> string * Instr.reg -> LS.t

@@ -31,6 +31,7 @@ type t = {
   reg_node : (string * Instr.reg, node) Hashtbl.t;
   fresh : Rp_support.Idgen.t;
   mutable changed : bool;  (** any union performed this pass *)
+  mutable rounds : int;  (** whole-program constraint passes until stable *)
 }
 
 let create () =
@@ -43,6 +44,7 @@ let create () =
     reg_node = Hashtbl.create 256;
     fresh = Rp_support.Idgen.create ();
     changed = false;
+    rounds = 0;
   }
 
 let new_node st =
@@ -183,12 +185,11 @@ let transfer st (p : Program.t) fname (i : Instr.t) =
 
 let solve (p : Program.t) : t =
   let st = create () in
-  let guard = ref 0 in
   st.changed <- true;
   while st.changed do
     st.changed <- false;
-    incr guard;
-    if !guard > 100 then failwith "Steensgaard.solve: did not converge";
+    st.rounds <- st.rounds + 1;
+    if st.rounds > 100 then failwith "Steensgaard.solve: did not converge";
     Program.iter_funcs
       (fun f ->
         Func.iter_blocks
@@ -249,6 +250,8 @@ let refine_program (p : Program.t) (st : t) : unit =
 
 (** The full pipeline for the [steens] configuration: baseline MOD/REF,
     unification analysis, refinement, MOD/REF again. *)
+let iterations st = st.rounds
+
 let run (p : Program.t) : t =
   ignore (Modref.run p : Modref.t);
   let st = solve p in

@@ -10,6 +10,9 @@ type t
 (** Solve the unification constraints. *)
 val solve : Program.t -> t
 
+(** Whole-program constraint passes performed until stabilization. *)
+val iterations : t -> int
+
 (** Tags / functions in the pointee cell of a register. *)
 val tags_pointed_to : t -> Program.t -> string -> Instr.reg -> Tag.t list
 

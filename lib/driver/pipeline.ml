@@ -2,7 +2,12 @@
     interprocedural analysis → register promotion (early) → value numbering,
     partial redundancy elimination, constant propagation, loop invariant
     code motion, dead code elimination → register allocation → block
-    cleaning. *)
+    cleaning.
+
+    Every stage is wrapped in a wall-clock timer and the interprocedural
+    analyses report their fixpoint iteration counts, so a single compile
+    yields a machine-readable per-pass profile (see [rpcc --stats-json] and
+    the bench harness's [BENCH_timings.json]). *)
 
 open Rp_ir
 
@@ -18,6 +23,12 @@ type stage_stats = {
   mutable dse_removed : int;
   mutable spilled : int;
   mutable coalesced : int;
+  mutable analysis_iters : int;
+      (** fixpoint iterations spent in interprocedural analysis: MOD/REF
+          summary evaluations plus points-to function transfers plus
+          Steensgaard constraint rounds, summed over every (re-)run *)
+  mutable timings : (string * float) list;
+      (** per-pass wall-clock seconds, in execution order *)
 }
 
 let zero_stage_stats () =
@@ -33,77 +44,101 @@ let zero_stage_stats () =
     dse_removed = 0;
     spilled = 0;
     coalesced = 0;
+    analysis_iters = 0;
+    timings = [];
   }
 
-(** Run the middle- and back-end on an already-lowered program. *)
-let optimize ?(config = Config.default) (p : Program.t) : stage_stats =
-  let s = zero_stage_stats () in
-  Rp_cfg.Clean.run_program p;
+(** Run [f], appending its wall-clock time to [s.timings] under [name].
+    Repeated passes (clean, copyprop, valnum) appear once per execution. *)
+let timed (s : stage_stats) name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  s.timings <- (name, Unix.gettimeofday () -. t0) :: s.timings;
+  r
+
+(** Run the middle- and back-end on an already-lowered program.
+    [stats] lets {!compile} pre-record front-end timing in the same
+    record. *)
+let optimize ?(config = Config.default) ?stats (p : Program.t) : stage_stats =
+  let s = match stats with Some s -> s | None -> zero_stage_stats () in
+  timed s "clean" (fun () -> Rp_cfg.Clean.run_program p);
   (* interprocedural analysis *)
-  (match config.Config.analysis with
-  | Config.Anone -> ()
-  | Config.Amodref -> ignore (Rp_analysis.Modref.run p : Rp_analysis.Modref.t)
-  | Config.Asteens ->
-    ignore (Rp_analysis.Steensgaard.run p : Rp_analysis.Steensgaard.t)
-  | Config.Apointer ->
-    ignore (Rp_analysis.Pointsto.run p : Rp_analysis.Pointsto.t));
+  timed s "analysis" (fun () ->
+      match config.Config.analysis with
+      | Config.Anone -> ()
+      | Config.Amodref ->
+        let m = Rp_analysis.Modref.run p in
+        s.analysis_iters <- s.analysis_iters + m.Rp_analysis.Modref.iters
+      | Config.Asteens ->
+        let st = Rp_analysis.Steensgaard.run p in
+        s.analysis_iters <-
+          s.analysis_iters + Rp_analysis.Steensgaard.iterations st
+      | Config.Apointer ->
+        let st = Rp_analysis.Pointsto.run p in
+        s.analysis_iters <- s.analysis_iters + st.Rp_analysis.Pointsto.iters);
   (* register promotion, "in the early phases of optimization" *)
-  if config.Config.promote then begin
-    let pressure_budget =
-      if config.Config.throttle then Some config.Config.k else None
-    in
-    let st =
-      Rp_core.Promotion.promote_program ~always_store:config.Config.always_store
-        ?pressure_budget p
-    in
-    s.promoted <- st.Rp_core.Promotion.promoted_tags;
-    s.throttled <- st.Rp_core.Promotion.throttled_tags
-  end;
+  if config.Config.promote then
+    timed s "promotion" (fun () ->
+        let pressure_budget =
+          if config.Config.throttle then Some config.Config.k else None
+        in
+        let st =
+          Rp_core.Promotion.promote_program
+            ~always_store:config.Config.always_store ?pressure_budget p
+        in
+        s.promoted <- st.Rp_core.Promotion.promoted_tags;
+        s.throttled <- st.Rp_core.Promotion.throttled_tags);
   if config.Config.optimize then begin
-    s.vn_rewrites <- Rp_opt.Valnum.run_program p;
-    s.folded <- Rp_opt.Constprop.run_program p;
-    ignore (Rp_opt.Copyprop.run_program p : int);
-    Rp_cfg.Clean.run_program p;
-    s.hoisted <- Rp_opt.Licm.run_program p;
-    ignore (Rp_opt.Copyprop.run_program p : int);
+    timed s "valnum" (fun () ->
+        s.vn_rewrites <- Rp_opt.Valnum.run_program p);
+    timed s "constprop" (fun () -> s.folded <- Rp_opt.Constprop.run_program p);
+    timed s "copyprop" (fun () ->
+        ignore (Rp_opt.Copyprop.run_program p : int));
+    timed s "clean" (fun () -> Rp_cfg.Clean.run_program p);
+    timed s "licm" (fun () -> s.hoisted <- Rp_opt.Licm.run_program p);
+    timed s "copyprop" (fun () ->
+        ignore (Rp_opt.Copyprop.run_program p : int));
     (* §3.3 depends on LICM having hoisted base addresses *)
-    if config.Config.ptr_promote then begin
-      let st =
-        Rp_core.Pointer_promotion.promote_program
-          ~always_store:config.Config.always_store p
-      in
-      s.ptr_promoted <- st.Rp_core.Pointer_promotion.promoted_refs
-    end;
-    s.pre_removed <- Rp_opt.Pre.run_program p;
-    s.vn_rewrites <- s.vn_rewrites + Rp_opt.Valnum.run_program p;
+    if config.Config.ptr_promote then
+      timed s "ptr_promotion" (fun () ->
+          let st =
+            Rp_core.Pointer_promotion.promote_program
+              ~always_store:config.Config.always_store p
+          in
+          s.ptr_promoted <- st.Rp_core.Pointer_promotion.promoted_refs);
+    timed s "pre" (fun () -> s.pre_removed <- Rp_opt.Pre.run_program p);
+    timed s "valnum" (fun () ->
+        s.vn_rewrites <- s.vn_rewrites + Rp_opt.Valnum.run_program p);
     if config.Config.dse then
-      s.dse_removed <- Rp_opt.Dse.run_program p;
-    s.dce_removed <- Rp_opt.Dce.run_program p;
-    Rp_cfg.Clean.run_program p
+      timed s "dse" (fun () -> s.dse_removed <- Rp_opt.Dse.run_program p);
+    timed s "dce" (fun () -> s.dce_removed <- Rp_opt.Dce.run_program p);
+    timed s "clean" (fun () -> Rp_cfg.Clean.run_program p)
   end
-  else if config.Config.ptr_promote then begin
-    let st =
-      Rp_core.Pointer_promotion.promote_program
-        ~always_store:config.Config.always_store p
-    in
-    s.ptr_promoted <- st.Rp_core.Pointer_promotion.promoted_refs
-  end;
-  if config.Config.regalloc then begin
-    let st = Rp_regalloc.Regalloc.alloc_program ~k:config.Config.k p in
-    s.spilled <- st.Rp_regalloc.Regalloc.spilled_regs;
-    s.coalesced <- st.Rp_regalloc.Regalloc.coalesced;
-    (* allocation can leave self-jump-free empty blocks and dead code *)
-    ignore (Rp_opt.Dce.run_program p : int);
-    Rp_cfg.Clean.run_program p
-  end;
-  Validate.assert_ok p;
+  else if config.Config.ptr_promote then
+    timed s "ptr_promotion" (fun () ->
+        let st =
+          Rp_core.Pointer_promotion.promote_program
+            ~always_store:config.Config.always_store p
+        in
+        s.ptr_promoted <- st.Rp_core.Pointer_promotion.promoted_refs);
+  if config.Config.regalloc then
+    timed s "regalloc" (fun () ->
+        let st = Rp_regalloc.Regalloc.alloc_program ~k:config.Config.k p in
+        s.spilled <- st.Rp_regalloc.Regalloc.spilled_regs;
+        s.coalesced <- st.Rp_regalloc.Regalloc.coalesced;
+        (* allocation can leave self-jump-free empty blocks and dead code *)
+        ignore (Rp_opt.Dce.run_program p : int);
+        Rp_cfg.Clean.run_program p);
+  timed s "validate" (fun () -> Validate.assert_ok p);
+  s.timings <- List.rev s.timings;
   s
 
 (** Compile Mini-C source text under [config]. *)
 let compile ?(config = Config.default) (src : string) : Program.t * stage_stats
     =
-  let p = Rp_irgen.Irgen.compile_source src in
-  let s = optimize ~config p in
+  let s = zero_stage_stats () in
+  let p = timed s "frontend" (fun () -> Rp_irgen.Irgen.compile_source src) in
+  let s = optimize ~config ~stats:s p in
   (p, s)
 
 (** Compile and execute; returns the program, pipeline stats, and the
@@ -113,3 +148,50 @@ let compile_and_run ?(config = Config.default) ?fuel ?check_tags (src : string)
   let (p, s) = compile ~config src in
   let r = Rp_exec.Interp.run ?fuel ?check_tags p in
   (p, s, r)
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering of a compile's statistics                            *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Rp_support.Json
+
+(** Total seconds across all recorded passes. *)
+let total_time (s : stage_stats) =
+  List.fold_left (fun acc (_, t) -> acc +. t) 0. s.timings
+
+(** The stats record as JSON: rewrite counters, fixpoint iterations, and
+    per-pass timings in milliseconds (execution order preserved;
+    re-executed passes are summed). *)
+let stats_json (config : Config.t) (s : stage_stats) : Json.t =
+  let merged =
+    List.fold_left
+      (fun acc (name, t) ->
+        if List.mem_assoc name acc then
+          List.map (fun (n, v) -> if n = name then (n, v +. t) else (n, v)) acc
+        else acc @ [ (name, t) ])
+      [] s.timings
+  in
+  Json.Obj
+    [
+      ("config", Json.Str (Fmt.str "%a" Config.pp config));
+      ( "counters",
+        Json.Obj
+          [
+            ("promoted", Json.Int s.promoted);
+            ("throttled", Json.Int s.throttled);
+            ("ptr_promoted", Json.Int s.ptr_promoted);
+            ("hoisted", Json.Int s.hoisted);
+            ("vn_rewrites", Json.Int s.vn_rewrites);
+            ("pre_removed", Json.Int s.pre_removed);
+            ("folded", Json.Int s.folded);
+            ("dce_removed", Json.Int s.dce_removed);
+            ("dse_removed", Json.Int s.dse_removed);
+            ("spilled", Json.Int s.spilled);
+            ("coalesced", Json.Int s.coalesced);
+          ] );
+      ("analysis_iters", Json.Int s.analysis_iters);
+      ( "timings_ms",
+        Json.Obj (List.map (fun (n, t) -> (n, Json.Float (1000. *. t))) merged)
+      );
+      ("total_ms", Json.Float (1000. *. total_time s));
+    ]

@@ -1,5 +1,6 @@
 (** The compilation pipeline in the paper's §5 order: analysis → register
-    promotion (early) → scalar optimizer → register allocation → cleaning. *)
+    promotion (early) → scalar optimizer → register allocation → cleaning.
+    Each stage is timed; the analyses report fixpoint iteration counts. *)
 
 open Rp_ir
 
@@ -15,12 +16,19 @@ type stage_stats = {
   mutable dse_removed : int;
   mutable spilled : int;
   mutable coalesced : int;
+  mutable analysis_iters : int;
+      (** fixpoint iterations spent in interprocedural analysis *)
+  mutable timings : (string * float) list;
+      (** per-pass wall-clock seconds, in execution order; repeated passes
+          (clean, copyprop, valnum) appear once per execution *)
 }
 
 val zero_stage_stats : unit -> stage_stats
 
-(** Run the middle- and back-end on lowered IL; validates the result. *)
-val optimize : ?config:Config.t -> Program.t -> stage_stats
+(** Run the middle- and back-end on lowered IL; validates the result.
+    [stats], when given, is extended in place (used by {!compile} to record
+    front-end timing in the same record). *)
+val optimize : ?config:Config.t -> ?stats:stage_stats -> Program.t -> stage_stats
 
 (** Compile Mini-C source text. *)
 val compile : ?config:Config.t -> string -> Program.t * stage_stats
@@ -32,3 +40,10 @@ val compile_and_run :
   ?check_tags:bool ->
   string ->
   Program.t * stage_stats * Rp_exec.Interp.result
+
+(** Sum of all recorded pass times, in seconds. *)
+val total_time : stage_stats -> float
+
+(** Counters, fixpoint iterations, and per-pass timings (milliseconds,
+    repeated passes summed) as a JSON object. *)
+val stats_json : Config.t -> stage_stats -> Rp_support.Json.t

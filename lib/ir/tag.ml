@@ -71,10 +71,11 @@ let pp_full ppf t =
 module Table = struct
   type tag = t
 
-  type t = { mutable tags : tag list; mutable n : int }
-  (* [tags] is kept in reverse creation order; [all] reverses on demand. *)
+  type t = { mutable tags : tag array; mutable n : int }
+  (* growable array indexed by id: registration and [get] are O(1), so the
+     table doubles as the dense id→tag decode for bitset iteration *)
 
-  let create () = { tags = []; n = 0 }
+  let create () = { tags = [||]; n = 0 }
 
   let fresh table ~name ~storage ?(size = 1) ?(is_scalar = true)
       ?(is_const = false) ?(declared_in_recursive = false) () =
@@ -82,16 +83,21 @@ module Table = struct
       { id = table.n; name; storage; size; is_scalar; is_const;
         declared_in_recursive }
     in
-    table.tags <- tag :: table.tags;
+    if table.n = Array.length table.tags then begin
+      let grown = Array.make (max 8 (2 * table.n)) tag in
+      Array.blit table.tags 0 grown 0 table.n;
+      table.tags <- grown
+    end;
+    table.tags.(table.n) <- tag;
     table.n <- table.n + 1;
     tag
 
   let count table = table.n
-  let all table = List.rev table.tags
+  let all table = Array.to_list (Array.sub table.tags 0 table.n)
 
   let get table id =
     if id < 0 || id >= table.n then invalid_arg "Tag.Table.get"
-    else List.nth table.tags (table.n - 1 - id)
+    else table.tags.(id)
 
   (** Mark an existing local tag as belonging to a recursive function.  Tags
       are immutable, so this returns a fresh record with the same id; callers

@@ -4,85 +4,282 @@
     conservatively and assume that an operation may reference any memory
     location" — represented here as [Univ].  MOD/REF analysis replaces every
     [Univ] with a concrete set, so the optimizer and the promoter only ever
-    iterate concrete sets. *)
+    iterate concrete sets.
 
-module S = Set.Make (Tag)
+    Representation.  Tag ids are dense (one registry per program), so a
+    concrete set is a {e bitset}: an immutable [Bytes.t] bitvector indexed
+    by tag id, paired with the member records sorted by id (the bitvector
+    answers [mem]/[subset]/[disjoint] with word-parallel operations; the
+    array gives [fold]/[iter]/[elements] their tags back without a global
+    id→tag registry, which would break when several programs coexist).
+    Every value is immutable; operations share physical structure whenever
+    the result equals an operand. *)
 
-type t = Univ | Set of S.t
+type set = {
+  bits : Bytes.t;
+      (** bit [id] set iff a tag with that id is a member; length is a
+          multiple of 8 so the vector can be scanned 64 bits at a time *)
+  tags : Tag.t array;  (** members, sorted by [Tag.id], no duplicates *)
+}
 
-let empty = Set S.empty
+type t = Univ | Set of set
+
+(* ------------------------------------------------------------------ *)
+(* Bitvector primitives                                                *)
+(* ------------------------------------------------------------------ *)
+
+let word_bytes = 8
+
+(* number of bytes (a multiple of 8) needed to index bit [max_id] *)
+let bytes_for max_id = (((max_id / 8) / word_bytes) + 1) * word_bytes
+
+let bit_set bits id =
+  let byte = id lsr 3 in
+  byte < Bytes.length bits
+  && Char.code (Bytes.unsafe_get bits byte) land (1 lsl (id land 7)) <> 0
+
+let set_bit bits id =
+  let byte = id lsr 3 in
+  Bytes.unsafe_set bits byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get bits byte) lor (1 lsl (id land 7))))
+
+let get_word bits i =
+  (* word [i] of the vector, 0 past the end: lets binary word scans walk
+     the longer operand without bounds gymnastics *)
+  if i * word_bytes >= Bytes.length bits then 0L
+  else Bytes.get_int64_le bits (i * word_bytes)
+
+let words bits = Bytes.length bits / word_bytes
+
+(* build the bitvector for a sorted member array *)
+let bits_of_tags (tags : Tag.t array) =
+  let n = Array.length tags in
+  if n = 0 then Bytes.empty
+  else begin
+    let bits = Bytes.make (bytes_for tags.(n - 1).Tag.id) '\000' in
+    Array.iter (fun (t : Tag.t) -> set_bit bits t.Tag.id) tags;
+    bits
+  end
+
+let mk tags = Set { bits = bits_of_tags tags; tags }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let empty = Set { bits = Bytes.empty; tags = [||] }
 let univ = Univ
-let singleton t = Set (S.singleton t)
-let of_list ts = Set (S.of_list ts)
+let singleton t = mk [| t |]
+
+(** Sort by id, keeping the {e first} record of any duplicated id — the
+    retention rule of folding [Set.add] over the list. *)
+let of_list ts =
+  match ts with
+  | [] -> empty
+  | ts ->
+    let arr = Array.of_list ts in
+    let n = Array.length arr in
+    (* stable sort so first-occurrence wins the dedup below *)
+    let sorted = Array.copy arr in
+    Array.stable_sort Tag.compare sorted;
+    let out = Array.make n sorted.(0) in
+    let k = ref 0 in
+    Array.iter
+      (fun (t : Tag.t) ->
+        if !k = 0 || out.(!k - 1).Tag.id <> t.Tag.id then begin
+          out.(!k) <- t;
+          incr k
+        end)
+      sorted;
+    mk (if !k = n then out else Array.sub out 0 !k)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
 
 let is_univ = function Univ -> true | Set _ -> false
-let is_empty = function Univ -> false | Set s -> S.is_empty s
+let is_empty = function Univ -> false | Set s -> Array.length s.tags = 0
 
-let mem tag = function Univ -> true | Set s -> S.mem tag s
+let mem tag = function
+  | Univ -> true
+  | Set s -> bit_set s.bits tag.Tag.id
 
-let add tag = function Univ -> Univ | Set s -> Set (S.add tag s)
+let add tag set =
+  match set with
+  | Univ -> Univ
+  | Set s ->
+    if bit_set s.bits tag.Tag.id then set
+    else begin
+      let n = Array.length s.tags in
+      let out = Array.make (n + 1) tag in
+      (* insertion position by id *)
+      let pos = ref 0 in
+      while !pos < n && s.tags.(!pos).Tag.id < tag.Tag.id do incr pos done;
+      Array.blit s.tags 0 out 0 !pos;
+      Array.blit s.tags !pos out (!pos + 1) (n - !pos);
+      out.(!pos) <- tag;
+      let bits =
+        let need = bytes_for tag.Tag.id in
+        let bits = Bytes.make (max need (Bytes.length s.bits)) '\000' in
+        Bytes.blit s.bits 0 bits 0 (Bytes.length s.bits);
+        set_bit bits tag.Tag.id;
+        bits
+      in
+      Set { bits; tags = out }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Binary operations                                                   *)
+(* ------------------------------------------------------------------ *)
 
 let union a b =
   match (a, b) with
   | Univ, _ | _, Univ -> Univ
-  | Set a, Set b -> Set (S.union a b)
+  | Set x, Set y ->
+    if x == y || Array.length y.tags = 0 then a
+    else if Array.length x.tags = 0 then b
+    else begin
+      (* merge the sorted member arrays, preferring [a]'s record on ties *)
+      let nx = Array.length x.tags and ny = Array.length y.tags in
+      let out = Array.make (nx + ny) x.tags.(0) in
+      let i = ref 0 and j = ref 0 and k = ref 0 in
+      while !i < nx && !j < ny do
+        let tx = x.tags.(!i) and ty = y.tags.(!j) in
+        if tx.Tag.id < ty.Tag.id then (out.(!k) <- tx; incr i)
+        else if tx.Tag.id > ty.Tag.id then (out.(!k) <- ty; incr j)
+        else (out.(!k) <- tx; incr i; incr j);
+        incr k
+      done;
+      while !i < nx do out.(!k) <- x.tags.(!i); incr i; incr k done;
+      while !j < ny do out.(!k) <- y.tags.(!j); incr j; incr k done;
+      if !k = nx then a  (* y ⊆ x: share *)
+      else if !k = ny then b  (* x ⊆ y: share *)
+      else begin
+        let tags = Array.sub out 0 !k in
+        let bits = Bytes.make (max (Bytes.length x.bits) (Bytes.length y.bits)) '\000' in
+        for w = 0 to words bits - 1 do
+          Bytes.set_int64_le bits (w * word_bytes)
+            (Int64.logor (get_word x.bits w) (get_word y.bits w))
+        done;
+        Set { bits; tags }
+      end
+    end
+
+(** Members of [x] whose bit in [y] satisfies [keep]; shares [whole] when
+    nothing is dropped.  Implements both [inter] ([keep] = member) and
+    [diff] ([keep] = non-member). *)
+let filter_against whole (x : set) (y : set) ~keep =
+  let n = Array.length x.tags in
+  let out = Array.make (max n 1) x.tags.(0) in
+  let k = ref 0 in
+  Array.iter
+    (fun (t : Tag.t) ->
+      if keep (bit_set y.bits t.Tag.id) then begin
+        out.(!k) <- t;
+        incr k
+      end)
+    x.tags;
+  if !k = n then whole else mk (Array.sub out 0 !k)
 
 let inter a b =
   match (a, b) with
   | Univ, x | x, Univ -> x
-  | Set a, Set b -> Set (S.inter a b)
+  | Set x, Set y ->
+    if Array.length x.tags = 0 then a
+    else if Array.length y.tags = 0 then b
+    else filter_against a x y ~keep:(fun present -> present)
 
 (** [diff a b]: when [b] is [Univ] the result is empty; when [a] is [Univ]
     the (sound, conservative) result is [Univ]. *)
 let diff a b =
   match (a, b) with
-  | _, Univ -> Set S.empty
+  | _, Univ -> empty
   | Univ, _ -> Univ
-  | Set a, Set b -> Set (S.diff a b)
+  | Set x, Set y ->
+    if Array.length x.tags = 0 || Array.length y.tags = 0 then a
+    else filter_against a x y ~keep:(fun present -> not present)
 
 let subset a b =
   match (a, b) with
   | _, Univ -> true
   | Univ, Set _ -> false
-  | Set a, Set b -> S.subset a b
+  | Set x, Set y ->
+    let ok = ref true in
+    let w = ref 0 in
+    let nw = words x.bits in
+    while !ok && !w < nw do
+      if Int64.logand (get_word x.bits !w) (Int64.lognot (get_word y.bits !w)) <> 0L
+      then ok := false;
+      incr w
+    done;
+    !ok
 
 let equal a b =
   match (a, b) with
   | Univ, Univ -> true
-  | Set a, Set b -> S.equal a b
+  | Set x, Set y ->
+    x == y
+    || (Array.length x.tags = Array.length y.tags
+       && Array.for_all2 (fun (s : Tag.t) (t : Tag.t) -> s.Tag.id = t.Tag.id)
+            x.tags y.tags)
   | _ -> false
 
+let disjoint a b =
+  match (a, b) with
+  | Univ, x | x, Univ -> is_empty x
+  | Set x, Set y ->
+    let clash = ref false in
+    let w = ref 0 in
+    let nw = min (words x.bits) (words y.bits) in
+    while (not !clash) && !w < nw do
+      if Int64.logand (get_word x.bits !w) (get_word y.bits !w) <> 0L then
+        clash := true;
+      incr w
+    done;
+    not !clash
+
+(* ------------------------------------------------------------------ *)
+(* Iteration                                                           *)
+(* ------------------------------------------------------------------ *)
+
 (** Cardinality; [None] for the universe. *)
-let cardinal = function Univ -> None | Set s -> Some (S.cardinal s)
+let cardinal = function Univ -> None | Set s -> Some (Array.length s.tags)
 
 (** The unique element of a singleton set, if any. *)
 let as_singleton = function
   | Univ -> None
-  | Set s -> if S.cardinal s = 1 then Some (S.choose s) else None
+  | Set s -> if Array.length s.tags = 1 then Some s.tags.(0) else None
 
-(** Fold over a concrete set.  Raises [Invalid_argument] on [Univ]: passes
-    that iterate tag sets must run after analysis has concretized them. *)
+(** Fold over a concrete set in increasing id order.  Raises
+    [Invalid_argument] on [Univ]: passes that iterate tag sets must run
+    after analysis has concretized them. *)
 let fold f acc = function
   | Univ -> invalid_arg "Tagset.fold: universe"
-  | Set s -> S.fold (fun tag acc -> f acc tag) s acc
+  | Set s -> Array.fold_left f acc s.tags
 
 let iter f = function
   | Univ -> invalid_arg "Tagset.iter: universe"
-  | Set s -> S.iter f s
+  | Set s -> Array.iter f s.tags
 
 let elements = function
   | Univ -> invalid_arg "Tagset.elements: universe"
-  | Set s -> S.elements s
+  | Set s -> Array.to_list s.tags
 
-let exists f = function Univ -> true | Set s -> S.exists f s
-let for_all f = function Univ -> false | Set s -> S.for_all f s
-let filter f = function Univ -> Univ | Set s -> Set (S.filter f s)
+let exists f = function Univ -> true | Set s -> Array.exists f s.tags
+let for_all f = function Univ -> false | Set s -> Array.for_all f s.tags
 
-(** [disjoint a b] — never true when either side is the universe and the
-    other is non-empty. *)
-let disjoint a b = is_empty (inter a b)
+let filter f set =
+  match set with
+  | Univ -> Univ
+  | Set s ->
+    let kept = Array.of_list (List.filter f (Array.to_list s.tags)) in
+    if Array.length kept = Array.length s.tags then set else mk kept
+
+(* ------------------------------------------------------------------ *)
 
 let pp ppf = function
   | Univ -> Fmt.string ppf "[*]"
   | Set s ->
-    Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") Tag.pp) (S.elements s)
+    Fmt.pf ppf "[%a]"
+      Fmt.(list ~sep:(any " ") Tag.pp)
+      (Array.to_list s.tags)

@@ -2,9 +2,17 @@
 
     [Univ] ("⊤") represents the front end's conservative "may touch any
     memory location"; interprocedural analysis replaces every ⊤ with a
-    concrete set before the optimizer or the promoter iterate one. *)
+    concrete set before the optimizer or the promoter iterate one.
 
-type t = Univ | Set of Set.Make(Tag).t
+    Concrete sets are dense bitsets over the program's tag ids (an
+    immutable [Bytes.t] bitvector plus the member records sorted by id), so
+    [mem], [subset], [disjoint] and the binary operations run word-parallel
+    over the id space instead of walking a balanced tree. *)
+
+type set
+(** A concrete (non-⊤) set; abstract — use the operations below. *)
+
+type t = Univ | Set of set
 
 val empty : t
 val univ : t
@@ -33,7 +41,8 @@ val cardinal : t -> int option
 
 val as_singleton : t -> Tag.t option
 
-(** Iteration over concrete sets; raises [Invalid_argument] on [Univ]. *)
+(** Iteration over concrete sets, in increasing tag-id order; raises
+    [Invalid_argument] on [Univ]. *)
 val fold : ('a -> Tag.t -> 'a) -> 'a -> t -> 'a
 
 val iter : (Tag.t -> unit) -> t -> unit

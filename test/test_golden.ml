@@ -51,4 +51,106 @@ let tests =
           Util.check Alcotest.int "stores" stores got_stores))
     golden
 
-let () = Alcotest.run "golden" [ ("counts", tests) ]
+(* ------------------------------------------------------------------ *)
+(* The --stats-json document schema, pinned                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability JSON is consumed by CI and by out-of-tree tooling, so
+   its key structure is part of the golden surface: adding keys is fine
+   only if this snapshot is consciously re-baselined. *)
+
+module Json = Rp_support.Json
+
+let stats_json_tests =
+  let demo =
+    "int total; int main() { int i; for (i = 0; i < 100; i++) total += i; \
+     print_int(total); return 0; }"
+  in
+  let run_stats_json () =
+    let tmp_src = Filename.temp_file "rpcc_golden" ".c" in
+    let tmp_out = Filename.temp_file "rpcc_golden" ".json" in
+    let oc = open_out tmp_src in
+    output_string oc demo;
+    close_out oc;
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.remove tmp_src;
+        Sys.remove tmp_out)
+      (fun () ->
+        let cmd =
+          Printf.sprintf "../bin/rpcc.exe run --stats-json %s > %s 2>&1"
+            (Filename.quote tmp_src) (Filename.quote tmp_out)
+        in
+        let status = Sys.command cmd in
+        Alcotest.(check int) "exit 0" 0 status;
+        Json.of_file tmp_out)
+  in
+  [
+    Util.tc "rpcc run --stats-json: document schema pinned" (fun () ->
+        let j = run_stats_json () in
+        Util.check
+          Alcotest.(list string)
+          "top-level keys"
+          [
+            "schema"; "config"; "counters"; "analysis_iters"; "timings_ms";
+            "total_ms"; "result";
+          ]
+          (Json.keys j);
+        Util.check
+          Alcotest.(option string)
+          "schema marker" (Some "rpcc-stats/1")
+          (match Json.member "schema" j with
+          | Some (Json.Str s) -> Some s
+          | _ -> None);
+        Util.check
+          Alcotest.(list string)
+          "counter keys"
+          [
+            "promoted"; "throttled"; "ptr_promoted"; "hoisted"; "vn_rewrites";
+            "pre_removed"; "folded"; "dce_removed"; "dse_removed"; "spilled";
+            "coalesced";
+          ]
+          (match Json.member "counters" j with
+          | Some c -> Json.keys c
+          | None -> []);
+        Util.check
+          Alcotest.(list string)
+          "result keys"
+          [ "ops"; "loads"; "stores"; "checksum" ]
+          (match Json.member "result" j with
+          | Some r -> Json.keys r
+          | None -> []));
+    Util.tc "rpcc run --stats-json: values are sane and deterministic"
+      (fun () ->
+        let j = run_stats_json () in
+        let int_of path obj =
+          match Json.member path obj with
+          | Some (Json.Int i) -> i
+          | _ -> Alcotest.fail (path ^ " missing or not an int")
+        in
+        let result =
+          match Json.member "result" j with
+          | Some r -> r
+          | None -> Alcotest.fail "no result"
+        in
+        (* the demo loop: deterministic dynamic counts under the default
+           config (same program as the integration CLI test) *)
+        Util.check Alcotest.bool "ops positive" true (int_of "ops" result > 0);
+        Util.check Alcotest.bool "analysis ran" true
+          (int_of "analysis_iters" j >= 1);
+        (* every pipeline stage of the default config appears in timings *)
+        let timing_keys =
+          match Json.member "timings_ms" j with
+          | Some t -> Json.keys t
+          | None -> []
+        in
+        List.iter
+          (fun k ->
+            Util.check Alcotest.bool (k ^ " timed") true
+              (List.mem k timing_keys))
+          [ "frontend"; "analysis"; "promotion"; "regalloc"; "validate" ]);
+  ]
+
+let () =
+  Alcotest.run "golden"
+    [ ("counts", tests); ("stats-json", stats_json_tests) ]

@@ -112,6 +112,65 @@ let promotion_safety_prop =
       let (_, _, ra) = a and (_, _, rb) = b in
       ra.Rp_exec.Interp.output = rb.Rp_exec.Interp.output)
 
+(* ------------------------------------------------------------------ *)
+(* The benchmark suite under the paper's 4-configuration grid           *)
+(* ------------------------------------------------------------------ *)
+
+(* The bitset tag-set engine and the sparse-worklist analyses must be
+   observationally identical to the tree-set/dense baseline: every suite
+   program gets the same checksum and dynamic counts under every grid
+   configuration, and a few headline triples are pinned outright (same
+   values as test_golden.ml — "modref/with" is exactly [Config.default]). *)
+
+let suite_cell name cname =
+  let src = (Rp_suite.Programs.find name).Rp_suite.Programs.source in
+  let cfg = List.assoc cname Config.paper_grid in
+  let (_, _, r) = Pipeline.compile_and_run ~config:cfg src in
+  let t = r.Rp_exec.Interp.total in
+  ( r.Rp_exec.Interp.checksum,
+    (t.Rp_exec.Interp.ops, t.Rp_exec.Interp.loads, t.Rp_exec.Interp.stores) )
+
+let grid_checksum_tests =
+  List.map
+    (fun (p : Rp_suite.Programs.program) ->
+      let name = p.Rp_suite.Programs.name in
+      Util.tc_slow (name ^ ": identical checksums across the paper grid")
+        (fun () ->
+          match
+            List.map (fun (cn, _) -> (cn, fst (suite_cell name cn)))
+              Config.paper_grid
+          with
+          | [] -> ()
+          | (_, base) :: rest ->
+            List.iter
+              (fun (cn, sum) ->
+                Util.check Alcotest.int
+                  (Printf.sprintf "%s checksum agrees with modref/without" cn)
+                  base sum)
+              rest))
+    Rp_suite.Programs.all
+
+let pinned_grid_triples =
+  (* promotion's headline effect, pinned per analysis (values shared with
+     test_golden.ml for the modref column) *)
+  [
+    ("mlink", "modref/without", (1161850, 245764, 205008));
+    ("mlink", "modref/with", (967926, 81956, 41124));
+    ("go", "modref/with", (811099, 65948, 613));
+    ("water", "modref/with", (1409454, 341578, 170764));
+    ("allroots", "pointer/with", (618, 84, 4));
+  ]
+
+let grid_pin_tests =
+  List.map
+    (fun (name, cn, triple) ->
+      Util.tc_slow (Printf.sprintf "%s %s triple pinned" name cn) (fun () ->
+          let (_, got) = suite_cell name cn in
+          let show (o, l, s) = Printf.sprintf "(%d,%d,%d)" o l s in
+          Util.check Alcotest.string "ops/loads/stores" (show triple)
+            (show got)))
+    pinned_grid_triples
+
 let () =
   Alcotest.run "properties"
     [
@@ -122,4 +181,5 @@ let () =
          QCheck_alcotest.to_alcotest k_respected_prop;
          QCheck_alcotest.to_alcotest promotion_safety_prop;
        ]);
+      ("suite-grid", grid_checksum_tests @ grid_pin_tests);
     ]

@@ -1,0 +1,273 @@
+(** Model-based differential tests for the bitset-backed {!Rp_ir.Tagset}.
+
+    A reference model interprets the same operations over [Set.Make] with an
+    explicit top element; random expression trees over a fixed tag universe
+    are evaluated against both implementations and compared through every
+    observation the interface offers ([mem], [cardinal], [elements] order,
+    [subset]/[equal]/[disjoint], fold order).  This is the safety net for
+    the tree-set → bitset representation change. *)
+
+open Rp_ir
+open QCheck
+
+(* A fixed tag universe, as a program's tag table would build it.  Mixed
+   storages and sizes so the records carried through set operations are not
+   all alike. *)
+let universe_size = 40
+
+let universe : Tag.t array =
+  let table = Tag.Table.create () in
+  Array.init universe_size (fun i ->
+      let name = Printf.sprintf "t%d" i in
+      match i mod 4 with
+      | 0 -> Tag.Table.fresh table ~name ~storage:Tag.Global ()
+      | 1 -> Tag.Table.fresh table ~name ~storage:(Tag.Local "f") ()
+      | 2 ->
+        Tag.Table.fresh table ~name ~storage:(Tag.Heap i) ~is_scalar:false
+          ~size:8 ()
+      | _ -> Tag.Table.fresh table ~name ~storage:(Tag.Spill "g") ())
+
+let tag i = universe.(i mod universe_size)
+
+(* ------------------------------------------------------------------ *)
+(* The reference model: Set.Make over tag ids, plus an explicit top    *)
+(* ------------------------------------------------------------------ *)
+
+module TS = Set.Make (struct
+  type t = Tag.t
+
+  let compare = Tag.compare
+end)
+
+type model = Top | M of TS.t
+
+let m_add t = function Top -> Top | M s -> M (TS.add t s)
+
+let m_union a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | M x, M y -> M (TS.union x y)
+
+let m_inter a b =
+  match (a, b) with
+  | Top, m | m, Top -> m
+  | M x, M y -> M (TS.inter x y)
+
+(* the documented may-direction corners: diff _ Top = empty, diff Top _ = Top *)
+let m_diff a b =
+  match (a, b) with
+  | _, Top -> M TS.empty
+  | Top, _ -> Top
+  | M x, M y -> M (TS.diff x y)
+
+let m_filter f = function Top -> Top | M s -> M (TS.filter f s)
+
+(* ------------------------------------------------------------------ *)
+(* Random set expressions, evaluated against both implementations      *)
+(* ------------------------------------------------------------------ *)
+
+type expr =
+  | Empty
+  | Universe
+  | Single of int
+  | Of_list of int list
+  | Add of int * expr
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Diff of expr * expr
+  | Filter of expr  (** keep even ids *)
+
+let rec eval_impl = function
+  | Empty -> Tagset.empty
+  | Universe -> Tagset.univ
+  | Single i -> Tagset.singleton (tag i)
+  | Of_list is -> Tagset.of_list (List.map tag is)
+  | Add (i, e) -> Tagset.add (tag i) (eval_impl e)
+  | Union (a, b) -> Tagset.union (eval_impl a) (eval_impl b)
+  | Inter (a, b) -> Tagset.inter (eval_impl a) (eval_impl b)
+  | Diff (a, b) -> Tagset.diff (eval_impl a) (eval_impl b)
+  | Filter e -> Tagset.filter (fun t -> t.Tag.id mod 2 = 0) (eval_impl e)
+
+let rec eval_model = function
+  | Empty -> M TS.empty
+  | Universe -> Top
+  | Single i -> M (TS.singleton (tag i))
+  | Of_list is -> M (TS.of_list (List.map tag is))
+  | Add (i, e) -> m_add (tag i) (eval_model e)
+  | Union (a, b) -> m_union (eval_model a) (eval_model b)
+  | Inter (a, b) -> m_inter (eval_model a) (eval_model b)
+  | Diff (a, b) -> m_diff (eval_model a) (eval_model b)
+  | Filter e -> m_filter (fun t -> t.Tag.id mod 2 = 0) (eval_model e)
+
+let expr_gen : expr Gen.t =
+  let open Gen in
+  let idx = int_bound (universe_size - 1) in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            return Empty;
+            return Universe;
+            map (fun i -> Single i) idx;
+            map (fun is -> Of_list is) (list_size (int_bound 10) idx);
+          ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            map2 (fun i e -> Add (i, e)) idx (self (n - 1));
+            map2 (fun a b -> Union (a, b)) sub sub;
+            map2 (fun a b -> Inter (a, b)) sub sub;
+            map2 (fun a b -> Diff (a, b)) sub sub;
+            map (fun e -> Filter e) (self (n - 1));
+            map (fun is -> Of_list is) (list_size (int_bound 10) idx);
+          ])
+
+let rec expr_print = function
+  | Empty -> "empty"
+  | Universe -> "univ"
+  | Single i -> Printf.sprintf "single %d" i
+  | Of_list is ->
+    Printf.sprintf "of_list [%s]" (String.concat ";" (List.map string_of_int is))
+  | Add (i, e) -> Printf.sprintf "add %d (%s)" i (expr_print e)
+  | Union (a, b) -> Printf.sprintf "union (%s) (%s)" (expr_print a) (expr_print b)
+  | Inter (a, b) -> Printf.sprintf "inter (%s) (%s)" (expr_print a) (expr_print b)
+  | Diff (a, b) -> Printf.sprintf "diff (%s) (%s)" (expr_print a) (expr_print b)
+  | Filter e -> Printf.sprintf "filter (%s)" (expr_print e)
+
+let expr_arb = make ~print:expr_print expr_gen
+
+(* Compare one implementation value against the model through every
+   observation of the interface. *)
+let agrees (v : Tagset.t) (m : model) : bool =
+  match (v, m) with
+  | Tagset.Univ, Top ->
+    Tagset.is_univ v && (not (Tagset.is_empty v))
+    && Tagset.cardinal v = None
+    && Array.for_all (fun t -> Tagset.mem t v) universe
+    && Tagset.exists (fun _ -> false) v
+    && (not (Tagset.for_all (fun _ -> true) v))
+  | Tagset.Set _, M s ->
+    let expect = TS.elements s in
+    (* elements in increasing id order, identical membership *)
+    List.map (fun (t : Tag.t) -> t.Tag.id) (Tagset.elements v)
+    = List.map (fun (t : Tag.t) -> t.Tag.id) expect
+    && Tagset.cardinal v = Some (TS.cardinal s)
+    && Tagset.is_empty v = TS.is_empty s
+    && (not (Tagset.is_univ v))
+    && Array.for_all (fun t -> Tagset.mem t v = TS.mem t s) universe
+    && Tagset.fold (fun acc t -> t.Tag.id :: acc) [] v
+       = List.rev_map (fun (t : Tag.t) -> t.Tag.id) expect
+    && (match (Tagset.as_singleton v, expect) with
+       | Some t, [ e ] -> Tag.equal t e
+       | None, ([] | _ :: _ :: _) -> true
+       | _ -> false)
+  | _ -> false (* top-ness must agree *)
+
+let differential =
+  Test.make ~name:"tagset: random expressions match the Set.Make model"
+    ~count:1000 expr_arb (fun e -> agrees (eval_impl e) (eval_model e))
+
+let relations =
+  Test.make
+    ~name:"tagset: subset/equal/disjoint match the model on expression pairs"
+    ~count:500 (pair expr_arb expr_arb) (fun (ea, eb) ->
+      let a = eval_impl ea and b = eval_impl eb in
+      let ma = eval_model ea and mb = eval_model eb in
+      let m_subset =
+        match (ma, mb) with
+        | _, Top -> true
+        | Top, M _ -> false
+        | M x, M y -> TS.subset x y
+      in
+      let m_equal =
+        match (ma, mb) with
+        | Top, Top -> true
+        | M x, M y -> TS.equal x y
+        | _ -> false
+      in
+      let m_disjoint =
+        match (ma, mb) with
+        | Top, M x | M x, Top -> TS.is_empty x
+        | Top, Top -> false
+        | M x, M y -> TS.disjoint x y
+      in
+      Tagset.subset a b = m_subset
+      && Tagset.equal a b = m_equal
+      && Tagset.disjoint a b = m_disjoint)
+
+(* The documented corners, pinned explicitly so a future rewrite cannot
+   weaken them without failing a named test. *)
+let corner_tests =
+  let s = Tagset.of_list [ tag 1; tag 5; tag 9 ] in
+  [
+    Util.tc "diff x Univ = empty" (fun () ->
+        Util.check Alcotest.bool "empty" true
+          (Tagset.is_empty (Tagset.diff s Tagset.univ)));
+    Util.tc "diff Univ x = Univ" (fun () ->
+        Util.check Alcotest.bool "univ" true
+          (Tagset.is_univ (Tagset.diff Tagset.univ s)));
+    Util.tc "union with Univ is Univ" (fun () ->
+        Util.check Alcotest.bool "left" true
+          (Tagset.is_univ (Tagset.union Tagset.univ s));
+        Util.check Alcotest.bool "right" true
+          (Tagset.is_univ (Tagset.union s Tagset.univ)));
+    Util.tc "inter with Univ is identity" (fun () ->
+        Util.check Alcotest.bool "left" true
+          (Tagset.equal s (Tagset.inter Tagset.univ s));
+        Util.check Alcotest.bool "right" true
+          (Tagset.equal s (Tagset.inter s Tagset.univ)));
+    Util.tc "fold/iter/elements raise on Univ" (fun () ->
+        let raises f =
+          match f () with
+          | exception Invalid_argument _ -> true
+          | _ -> false
+        in
+        Util.check Alcotest.bool "fold" true
+          (raises (fun () -> Tagset.fold (fun acc _ -> acc) 0 Tagset.univ));
+        Util.check Alcotest.bool "iter" true
+          (raises (fun () -> Tagset.iter ignore Tagset.univ));
+        Util.check Alcotest.bool "elements" true
+          (raises (fun () -> Tagset.elements Tagset.univ)));
+    Util.tc "of_list dedups by id, first record wins" (fun () ->
+        let dup = Tag.Table.as_recursive (tag 3) in
+        (* same id as [tag 3], different record: first occurrence is kept *)
+        let v = Tagset.of_list [ tag 3; dup; tag 7 ] in
+        Util.check Alcotest.(option int) "cardinal" (Some 2) (Tagset.cardinal v);
+        match Tagset.elements v with
+        | [ a; _ ] ->
+          Util.check Alcotest.bool "first record kept" false
+            a.Tag.declared_in_recursive
+        | _ -> Alcotest.fail "expected two elements");
+    Util.tc "sets over sparse large ids work" (fun () ->
+        (* ids beyond one 64-bit word exercise the multi-word paths *)
+        let table = Tag.Table.create () in
+        let tags =
+          Array.to_list
+            (Array.init 200 (fun i ->
+                 Tag.Table.fresh table
+                   ~name:(Printf.sprintf "w%d" i)
+                   ~storage:Tag.Global ()))
+        in
+        let pick f = Tagset.of_list (List.filteri (fun i _ -> f i) tags) in
+        let evens = pick (fun i -> i mod 2 = 0) in
+        let mult3 = pick (fun i -> i mod 3 = 0) in
+        let both = Tagset.inter evens mult3 in
+        Util.check
+          Alcotest.(option int)
+          "|evens ∩ mult3| = |mult6|" (Some 34) (Tagset.cardinal both);
+        Util.check Alcotest.bool "subset" true (Tagset.subset both evens);
+        Util.check Alcotest.bool "disjoint odds/evens" true
+          (Tagset.disjoint evens (pick (fun i -> i mod 2 = 1))));
+  ]
+
+let () =
+  Alcotest.run "tagset"
+    [
+      ("corners", corner_tests);
+      ( "model",
+        [
+          QCheck_alcotest.to_alcotest differential;
+          QCheck_alcotest.to_alcotest relations;
+        ] );
+    ]
