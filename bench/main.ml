@@ -10,6 +10,10 @@
                                                  BENCH_timings.json
     v}
 
+    Adding [--verify-passes] to any mode reruns the whole experiment under
+    translation validation and aborts on the first degraded pass or
+    non-converged analysis — the full-suite soundness gate used by CI.
+
     Counts are exact and deterministic (the interpreter counts executed IL
     operations); wall-clock numbers are only for the compiler itself. *)
 
@@ -20,8 +24,31 @@ let counts (r : I.result) = r.I.total
 
 type cell = { ops : int; loads : int; stores : int; checksum : int }
 
+(* --verify-passes: run every compile of the experiment under translation
+   validation; any degraded pass or non-converged analysis aborts the
+   bench.  Off by default so baseline counts are produced by the exact
+   configurations under study. *)
+let verify = ref false
+
+let apply_verify (cfg : Config.t) =
+  if !verify then { cfg with Config.verify_passes = true } else cfg
+
+let assert_healthy pname (st : Pipeline.stage_stats) =
+  if !verify then begin
+    if not st.Pipeline.converged then
+      Fmt.failwith "analysis did not converge for %s" pname;
+    match st.Pipeline.degraded with
+    | [] -> ()
+    | (pass, reason) :: _ ->
+      Fmt.failwith "pass %s degraded compiling %s: %s" pass pname reason
+  end
+
 let run_config (p : Rp_suite.Programs.program) (cfg : Config.t) : cell =
-  let (_, _, r) = Pipeline.compile_and_run ~config:cfg p.Rp_suite.Programs.source in
+  let (_, st, r) =
+    Pipeline.compile_and_run ~config:(apply_verify cfg)
+      p.Rp_suite.Programs.source
+  in
+  assert_healthy p.Rp_suite.Programs.name st;
   let t = counts r in
   { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
     checksum = r.I.checksum }
@@ -122,9 +149,11 @@ let mlink_function () =
   let p = Rp_suite.Programs.find "mlink" in
   List.iter
     (fun (name, cfg) ->
-      let (_, _, r) =
-        Pipeline.compile_and_run ~config:cfg p.Rp_suite.Programs.source
+      let (_, st, r) =
+        Pipeline.compile_and_run ~config:(apply_verify cfg)
+          p.Rp_suite.Programs.source
       in
+      assert_healthy "mlink" st;
       List.iter
         (fun (fn, (c : I.counts)) ->
           if fn = "likelihood_pass" then
@@ -326,8 +355,10 @@ let json_export () =
           List.map
             (fun (cname, cfg) ->
               let (_, st, r) =
-                Pipeline.compile_and_run ~config:cfg p.Rp_suite.Programs.source
+                Pipeline.compile_and_run ~config:(apply_verify cfg)
+                  p.Rp_suite.Programs.source
               in
+              assert_healthy p.Rp_suite.Programs.name st;
               let t = counts r in
               (cname, st,
                { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
@@ -469,6 +500,7 @@ let () =
   let args = Array.to_list Sys.argv in
   let want_timings = List.mem "--timings" args in
   let want_json = List.mem "--json" args in
+  verify := List.mem "--verify-passes" args;
   if want_json then json_export ()
   else begin
   let only_timings = want_timings && not (List.mem "--tables" args) in

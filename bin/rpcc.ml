@@ -4,7 +4,11 @@
       rpcc run file.c        compile + execute, print output and counts
       rpcc dump file.c       compile, print the final IL
       rpcc table file.c      the paper's 4-configuration comparison
-    v} *)
+      rpcc fuzz              fault-injection campaign on the pipeline
+    v}
+
+    Exit codes: 0 success, 1 compile-time error, 2 runtime error in the
+    interpreted program, 3 resource limit exhausted (fuel / call depth). *)
 
 open Cmdliner
 open Rp_driver
@@ -85,27 +89,101 @@ let k_t =
     value & opt int 24
     & info [ "k"; "registers" ] ~docv:"N" ~doc:"Physical register count.")
 
+let verify_passes_t =
+  Arg.(
+    value & flag
+    & info [ "verify-passes" ]
+        ~doc:
+          "Translation validation: check the IL after every optimization \
+           pass and roll back (recording the pass as degraded in the stats) \
+           any pass that produces ill-formed IL, instead of failing the \
+           compile.")
+
+let oracle_t =
+  Arg.(
+    value & flag
+    & info [ "oracle" ]
+        ~doc:
+          "Stronger translation validation (implies --verify-passes): \
+           additionally execute the IL before and after every pass with \
+           bounded fuel and roll back any pass that changes the program's \
+           output or checksum, or unsoundly regresses its dynamic operation \
+           count.")
+
+let analysis_budget_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "analysis-budget" ] ~docv:"N"
+        ~doc:
+          "Cap the interprocedural analyses' fixpoint iterations.  An \
+           exhausted budget degrades the compile to the conservative no-\
+           analysis answer (reported as converged=false in the stats); it \
+           never aborts it.")
+
 let file_t =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
 
 let config_t =
   let mk analysis promote ptr_promote always_store throttle dse optimize
-      regalloc k =
+      regalloc k verify_passes oracle analysis_budget =
     { Config.analysis; promote; ptr_promote; always_store; throttle; dse;
-      optimize; regalloc; k }
+      optimize; regalloc; k; verify_passes; oracle; analysis_budget }
   in
   Term.(
     const mk $ analysis_t $ promote_t $ ptr_promote_t $ always_store_t
-    $ throttle_t $ dse_t $ opt_t $ regalloc_t $ k_t)
+    $ throttle_t $ dse_t $ opt_t $ regalloc_t $ k_t $ verify_passes_t
+    $ oracle_t $ analysis_budget_t)
+
+(* Execution resource limits, shared by run and run-il. *)
+let fuel_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Abort execution after N dynamic operations (exit code 3). \
+           Default: 400M.")
+
+let max_depth_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-depth" ] ~docv:"N"
+        ~doc:
+          "Abort execution when the call stack exceeds N frames (exit code \
+           3).  Default: 100k.")
+
+let exits =
+  Cmd.Exit.info 0 ~doc:"on success."
+  :: Cmd.Exit.info 1 ~doc:"on compile-time or IL-validation errors."
+  :: Cmd.Exit.info 2 ~doc:"on a runtime error in the interpreted program."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "on a resource limit: execution fuel exhausted or call stack \
+          overflow (see $(b,--fuel) and $(b,--max-depth))."
+  :: Cmd.Exit.defaults
 
 let handle_errors f =
   try f () with
   | Rp_minic.Srcloc.Error (loc, msg) ->
     Fmt.epr "error: %s@." (Rp_minic.Srcloc.to_string (loc, msg));
     exit 1
+  | Rp_ir.Serial.Parse_error (ln, msg) ->
+    Fmt.epr "error: IL line %d: %s@." ln msg;
+    exit 1
+  | Rp_ir.Validate.Invalid (ctx, msg) ->
+    Fmt.epr "error: invalid IL after %s:@.%s@." ctx msg;
+    exit 1
+  | Rp_exec.Interp.Resource_limit msg ->
+    Fmt.epr "resource limit: %s@." msg;
+    exit 3
   | Rp_exec.Value.Runtime_error msg ->
     Fmt.epr "runtime error: %s@." msg;
     exit 2
+  | Stack_overflow ->
+    Fmt.epr "error: compiler stack overflow@.";
+    exit 1
   | Failure msg ->
     Fmt.epr "error: %s@." msg;
     exit 1
@@ -117,13 +195,14 @@ let handle_errors f =
 module Json = Rp_support.Json
 
 (** The [--stats-json] document: schema marker, the pipeline's stats
-    (counters, fixpoint iterations, per-pass timings), and the dynamic
-    execution result. *)
+    (counters, fixpoint iterations, degradation/validation state, per-pass
+    timings), and the dynamic execution result.  Schema history:
+    rpcc-stats/1 lacked the converged/degraded/validated_passes keys. *)
 let run_json config (st : Pipeline.stage_stats) (r : Rp_exec.Interp.result) =
   match Pipeline.stats_json config st with
   | Json.Obj fields ->
     Json.Obj
-      (("schema", Json.Str "rpcc-stats/1")
+      (("schema", Json.Str "rpcc-stats/2")
        :: fields
       @ [
           ( "result",
@@ -139,9 +218,11 @@ let run_json config (st : Pipeline.stage_stats) (r : Rp_exec.Interp.result) =
   | j -> j
 
 let run_cmd =
-  let run config file quiet stats_json =
+  let run config file quiet stats_json fuel max_depth =
     handle_errors @@ fun () ->
-    let (_, st, r) = Pipeline.compile_and_run ~config (read_file file) in
+    let (_, st, r) =
+      Pipeline.compile_and_run ~config ?fuel ?max_depth (read_file file)
+    in
     if stats_json then
       (* pure JSON on stdout; program output is suppressed so the document
          stays machine-parseable *)
@@ -171,8 +252,11 @@ let run_cmd =
              a single JSON document instead of the human-readable report.")
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Compile and execute, reporting dynamic counts.")
-    Term.(const run $ config_t $ file_t $ quiet_t $ stats_json_t)
+    (Cmd.info "run" ~exits
+       ~doc:"Compile and execute, reporting dynamic counts.")
+    Term.(
+      const run $ config_t $ file_t $ quiet_t $ stats_json_t $ fuel_t
+      $ max_depth_t)
 
 let dump_cmd =
   let dump config file stage format =
@@ -208,7 +292,7 @@ let dump_cmd =
     Term.(const dump $ config_t $ file_t $ stage_t $ format_t)
 
 let run_il_cmd =
-  let run file quiet =
+  let run file quiet fuel max_depth =
     handle_errors @@ fun () ->
     let p =
       try Rp_ir.Serial.read (read_file file)
@@ -216,8 +300,8 @@ let run_il_cmd =
         Fmt.epr "error: %s:%d: %s@." file ln msg;
         exit 1
     in
-    Rp_ir.Validate.assert_ok p;
-    let r = Rp_exec.Interp.run p in
+    Rp_ir.Validate.assert_ok ~ctx:"parse" p;
+    let r = Rp_exec.Interp.run ?fuel ?max_depth p in
     if not quiet then print_string r.Rp_exec.Interp.output;
     Fmt.pr "; ops=%d loads=%d stores=%d checksum=%d@."
       r.Rp_exec.Interp.total.Rp_exec.Interp.ops
@@ -231,9 +315,9 @@ let run_il_cmd =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress program output.")
   in
   Cmd.v
-    (Cmd.info "run-il"
+    (Cmd.info "run-il" ~exits
        ~doc:"Execute a serialized IL file (as produced by dump --format il).")
-    Term.(const run $ file_il_t $ quiet_t)
+    Term.(const run $ file_il_t $ quiet_t $ fuel_t $ max_depth_t)
 
 let table_cmd =
   let table file k =
@@ -270,16 +354,45 @@ let table_cmd =
     row "loads" (fun r -> (total r).Rp_exec.Interp.loads)
   in
   Cmd.v
-    (Cmd.info "table"
+    (Cmd.info "table" ~exits
        ~doc:"Run the paper's four-configuration comparison on one file.")
     Term.(const table $ file_t $ k_t)
 
+let fuzz_cmd =
+  let fuzz seed seeds =
+    handle_errors @@ fun () ->
+    let report = Rp_fuzz.Faultgen.run ~seed ~seeds () in
+    Fmt.pr "%a" Rp_fuzz.Faultgen.pp_report report;
+    let escapes = Rp_fuzz.Faultgen.total_escapes report in
+    Fmt.pr "; %d trials, %d escapes@." report.Rp_fuzz.Faultgen.trials escapes;
+    if escapes > 0 then exit 1
+  in
+  let seed_t =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Base RNG seed for the campaign.")
+  in
+  let seeds_t =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of fault-injection trials.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~exits
+       ~doc:
+         "Run a fault-injection campaign against the pipeline's isolation \
+          and translation-validation machinery: corrupt the IL (dropped \
+          stores, shrunk tag sets, dangling branch targets, out-of-range \
+          registers) or raise inside a pass, and assert every fault is \
+          contained.  Exits 1 if any fault escapes undetected.")
+    Term.(const fuzz $ seed_t $ seeds_t)
+
 let main =
   Cmd.group
-    (Cmd.info "rpcc" ~version:"1.0.0"
+    (Cmd.info "rpcc" ~version:"1.0.0" ~exits
        ~doc:
          "Register promotion in C programs (Cooper & Lu, PLDI 1997) — \
           reference reimplementation.")
-    [ run_cmd; dump_cmd; run_il_cmd; table_cmd ]
+    [ run_cmd; dump_cmd; run_il_cmd; table_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -34,6 +34,10 @@ type t = {
   iters : int;
       (** function summaries (re)computed by the sparse worklist before
           the fixpoint (observability; see Pipeline.stage_stats) *)
+  converged : bool;
+      (** false when the summary fixpoint blew its budget: call sites were
+          left unannotated (their previous — conservative — MOD/REF sets
+          survive) rather than annotated from partial summaries *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -123,10 +127,16 @@ let local_contribution (f : Func.t) =
     The least fixpoint equals the SCC-union formulation: within an SCC all
     members reach each other, so they converge to the same set.  Returns
     the summaries and the number of summary evaluations performed. *)
-let compute_summaries (p : Program.t) (graph : Callgraph.t) =
+let compute_summaries ?budget (p : Program.t) (graph : Callgraph.t) =
   let summaries : (string, summary) Hashtbl.t = Hashtbl.create 16 in
   let locals : (string, summary) Hashtbl.t = Hashtbl.create 16 in
   let callers : (string, SS.t) Hashtbl.t = Hashtbl.create 16 in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> 1000 * (List.length (Program.funcs p) + 1)
+  in
+  let converged = ref true in
   Program.iter_funcs
     (fun f ->
       Hashtbl.replace locals f.Func.name (local_contribution f);
@@ -142,6 +152,8 @@ let compute_summaries (p : Program.t) (graph : Callgraph.t) =
   List.iter (List.iter (Rp_support.Worklist.push wl)) graph.Callgraph.sccs;
   let iters = ref 0 in
   Rp_support.Worklist.run wl (fun fname ->
+      if !iters >= budget then converged := false
+      else
       match Hashtbl.find_opt locals fname with
       | None -> () (* builtin *)
       | Some local ->
@@ -171,7 +183,7 @@ let compute_summaries (p : Program.t) (graph : Callgraph.t) =
             (SS.iter (Rp_support.Worklist.push wl))
             (Hashtbl.find_opt callers fname)
         end);
-  (summaries, !iters)
+  (summaries, !iters, !converged)
 
 (* ------------------------------------------------------------------ *)
 (* Pass 3: annotate call sites                                         *)
@@ -221,8 +233,8 @@ let annotate_calls (p : Program.t) (graph : Callgraph.t) summaries
     annotations in place.  [targets_of] resolves indirect calls; use
     {!Callgraph.conservative_targets} for the baseline or
     {!Callgraph.recorded_targets} after points-to analysis. *)
-let run ?(targets_of : (Instr.call -> string list) option) (p : Program.t) : t
-    =
+let run ?(targets_of : (Instr.call -> string list) option) ?budget
+    (p : Program.t) : t =
   let targets_of =
     match targets_of with
     | Some f -> f
@@ -231,9 +243,12 @@ let run ?(targets_of : (Instr.call -> string list) option) (p : Program.t) : t
   let graph = Callgraph.build p ~targets_of in
   let (globals, locals) = address_taken_tags p in
   limit_pointer_ops p graph globals locals;
-  let (summaries, iters) = compute_summaries p graph in
-  annotate_calls p graph summaries ~targets_of;
-  { graph; summaries; address_taken = globals; iters }
+  let (summaries, iters, converged) = compute_summaries ?budget p graph in
+  (* partial summaries under-approximate MOD/REF; annotating calls with
+     them would be unsound, so on a blown budget the existing (⊤ or
+     previously computed) call annotations are kept as-is *)
+  if converged then annotate_calls p graph summaries ~targets_of;
+  { graph; summaries; address_taken = globals; iters; converged }
 
 let summary t name =
   Option.value

@@ -15,6 +15,9 @@ type t = {
   summaries : (string, summary) Hashtbl.t;
   address_taken : Tagset.t;  (** addressed globals and heap-site tags *)
   iters : int;  (** summary evaluations performed by the sparse worklist *)
+  converged : bool;
+      (** false when the summary fixpoint blew its budget; call sites then
+          keep their previous (conservative) annotations *)
 }
 
 (** Address-taken tags: the globally visible set (globals + heap sites) and
@@ -33,8 +36,12 @@ val local_contribution : Func.t -> summary
 
 (** Run the analysis, mutating tag sets and call annotations.
     @param targets_of indirect-call resolution; defaults to
-      {!Callgraph.conservative_targets} ("any addressed function"). *)
-val run : ?targets_of:(Instr.call -> string list) -> Program.t -> t
+      {!Callgraph.conservative_targets} ("any addressed function").
+    @param budget cap on summary evaluations (default: 1000 × functions);
+      when exhausted the result has [converged = false] instead of raising,
+      and call sites keep their previous annotations. *)
+val run :
+  ?targets_of:(Instr.call -> string list) -> ?budget:int -> Program.t -> t
 
 (** A function's summary ([empty] for builtins/unknowns). *)
 val summary : t -> string -> summary

@@ -43,6 +43,11 @@ type t = {
   mutable iters : int;
       (** function-transfer executions performed by the sparse worklist
           before the fixpoint (observability; see Pipeline.stage_stats) *)
+  mutable converged : bool;
+      (** false when the fixpoint budget ran out: the solution is partial
+          (an under-approximation), so {!run} refuses to refine the program
+          with it and the caller must fall back to the conservative ⊤
+          answer instead of crashing *)
 }
 
 let pts_get st key = Option.value ~default:LS.empty (Hashtbl.find_opt st.pts key)
@@ -61,7 +66,7 @@ let funs_of ls =
 
 module SS = Rp_support.Smaps.String_set
 
-let analyze (p : Program.t) : t =
+let analyze ?budget (p : Program.t) : t =
   let st =
     {
       ssa = Hashtbl.create 16;
@@ -69,6 +74,7 @@ let analyze (p : Program.t) : t =
       mem = Hashtbl.create 64;
       rets = Hashtbl.create 16;
       iters = 0;
+      converged = true;
     }
   in
   Program.iter_funcs
@@ -204,21 +210,30 @@ let analyze (p : Program.t) : t =
   in
   (* seed in program order (deterministic), then drain *)
   Program.iter_funcs (fun f -> enqueue f.Func.name) p;
-  let budget = 1000 * (Hashtbl.length st.ssa + 1) in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> 1000 * (Hashtbl.length st.ssa + 1)
+  in
+  (* A blown budget must not kill the compile: mark the solution as partial
+     and drain the remaining worklist without processing ("the analysis may
+     be conservative, the transformation may not" — a non-converging
+     analysis degrades to the ⊤ answer upstream, it never raises). *)
   Rp_support.Worklist.run wl (fun fname ->
-      st.iters <- st.iters + 1;
-      if st.iters > budget then
-        failwith "Pointsto.analyze: fixpoint did not converge";
-      match Hashtbl.find_opt st.ssa fname with
-      | None -> ()
-      | Some clone ->
-        Func.iter_blocks
-          (fun (b : Block.t) ->
-            List.iter (transfer fname) b.Block.instrs;
-            match b.Block.term with
-            | Instr.Ret (Some r) -> join_ret fname (pts_get st (fname, r))
-            | _ -> ())
-          clone);
+      if st.iters >= budget then st.converged <- false
+      else begin
+        st.iters <- st.iters + 1;
+        match Hashtbl.find_opt st.ssa fname with
+        | None -> ()
+        | Some clone ->
+          Func.iter_blocks
+            (fun (b : Block.t) ->
+              List.iter (transfer fname) b.Block.instrs;
+              match b.Block.term with
+              | Instr.Ret (Some r) -> join_ret fname (pts_get st (fname, r))
+              | _ -> ())
+            clone
+      end);
   st
 
 (* ------------------------------------------------------------------ *)
@@ -275,10 +290,21 @@ let refine_program (p : Program.t) (st : t) : unit =
     p
 
 (** The full §4 pipeline for the pointer-analysis configuration: baseline
-    MOD/REF, points-to, refinement, MOD/REF again on the sharper sets. *)
-let run (p : Program.t) : t =
-  ignore (Modref.run p : Modref.t);
-  let st = analyze p in
-  refine_program p st;
-  ignore (Modref.run ~targets_of:(Callgraph.recorded_targets p) p : Modref.t);
+    MOD/REF, points-to, refinement, MOD/REF again on the sharper sets.
+
+    When any fixpoint blows its [budget] the partial solution is discarded
+    — refinement would narrow tag sets from an under-approximation, which
+    is unsound — and [converged] is false; the driver rolls the IR back so
+    the compile degrades to the ⊤ ("promotion finds nothing") answer. *)
+let run ?budget (p : Program.t) : t =
+  let m1 = Modref.run ?budget p in
+  let st = analyze ?budget p in
+  st.converged <- st.converged && m1.Modref.converged;
+  if st.converged then begin
+    refine_program p st;
+    let m2 =
+      Modref.run ?budget ~targets_of:(Callgraph.recorded_targets p) p
+    in
+    st.converged <- m2.Modref.converged
+  end;
   st

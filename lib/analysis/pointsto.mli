@@ -16,6 +16,9 @@ type t = {
   rets : (string, LS.t) Hashtbl.t;  (** per function: returned locations *)
   mutable iters : int;
       (** function-transfer executions performed by the sparse worklist *)
+  mutable converged : bool;
+      (** false when the fixpoint budget ran out; the partial solution is
+          never used to refine the program *)
 }
 
 val pts_get : t -> string * Instr.reg -> LS.t
@@ -23,13 +26,17 @@ val mem_get : t -> Tag.t -> LS.t
 val tags_of : LS.t -> Tag.t list
 val funs_of : LS.t -> string list
 
-(** Solve the points-to constraints to a fixed point. *)
-val analyze : Program.t -> t
+(** Solve the points-to constraints to a fixed point.  [budget] caps the
+    number of function-transfer executions (default: 1000 × functions);
+    when exhausted, the result has [converged = false] instead of raising. *)
+val analyze : ?budget:int -> Program.t -> t
 
 (** Narrow the original program's pointer-operation tag sets (never
     widening) and fill indirect-call target lists from the solution. *)
 val refine_program : Program.t -> t -> unit
 
 (** The full §4 pipeline: baseline MOD/REF → points-to → refinement →
-    MOD/REF again over the sharper sets. *)
-val run : Program.t -> t
+    MOD/REF again over the sharper sets.  On budget exhaustion the program
+    is {e not} refined (narrowing from a partial solution is unsound) and
+    [converged] is false. *)
+val run : ?budget:int -> Program.t -> t

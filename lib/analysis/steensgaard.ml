@@ -32,6 +32,9 @@ type t = {
   fresh : Rp_support.Idgen.t;
   mutable changed : bool;  (** any union performed this pass *)
   mutable rounds : int;  (** whole-program constraint passes until stable *)
+  mutable converged : bool;
+      (** false when the constraint passes blew their budget; the partial
+          solution is never used to refine the program *)
 }
 
 let create () =
@@ -45,6 +48,7 @@ let create () =
     fresh = Rp_support.Idgen.create ();
     changed = false;
     rounds = 0;
+    converged = true;
   }
 
 let new_node st =
@@ -183,13 +187,17 @@ let transfer st (p : Program.t) fname (i : Instr.t) =
       List.iter bind (funs_in_cell st (succ_of st (reg r))))
   | Instr.Loadi _ | Instr.Unop _ -> ()
 
-let solve (p : Program.t) : t =
+let solve ?(budget = 100) (p : Program.t) : t =
   let st = create () in
   st.changed <- true;
-  while st.changed do
+  (* unification only ever merges classes, so non-convergence within the
+     budget means a pathological program, not an infinite loop — degrade to
+     a partial (unusable-for-refinement) solution instead of raising *)
+  while st.changed && st.converged do
     st.changed <- false;
     st.rounds <- st.rounds + 1;
-    if st.rounds > 100 then failwith "Steensgaard.solve: did not converge";
+    if st.rounds > budget then st.converged <- false
+    else
     Program.iter_funcs
       (fun f ->
         Func.iter_blocks
@@ -249,12 +257,23 @@ let refine_program (p : Program.t) (st : t) : unit =
     p
 
 (** The full pipeline for the [steens] configuration: baseline MOD/REF,
-    unification analysis, refinement, MOD/REF again. *)
+    unification analysis, refinement, MOD/REF again.  On budget exhaustion
+    the program is not refined (a partial unification solution misses
+    merges, so extracting points-to sets from it is unsound) and
+    [converged] is false. *)
 let iterations st = st.rounds
 
-let run (p : Program.t) : t =
-  ignore (Modref.run p : Modref.t);
-  let st = solve p in
-  refine_program p st;
-  ignore (Modref.run ~targets_of:(Callgraph.recorded_targets p) p : Modref.t);
+let converged st = st.converged
+
+let run ?budget (p : Program.t) : t =
+  let m1 = Modref.run ?budget p in
+  let st = solve ?budget p in
+  st.converged <- st.converged && m1.Modref.converged;
+  if st.converged then begin
+    refine_program p st;
+    let m2 =
+      Modref.run ?budget ~targets_of:(Callgraph.recorded_targets p) p
+    in
+    st.converged <- m2.Modref.converged
+  end;
   st

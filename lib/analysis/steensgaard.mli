@@ -7,11 +7,17 @@ open Rp_ir
 
 type t
 
-(** Solve the unification constraints. *)
-val solve : Program.t -> t
+(** Solve the unification constraints.  [budget] caps the whole-program
+    constraint passes (default 100); when exhausted the result is partial
+    and {!converged} is false instead of raising. *)
+val solve : ?budget:int -> Program.t -> t
 
 (** Whole-program constraint passes performed until stabilization. *)
 val iterations : t -> int
+
+(** False when a fixpoint budget was exhausted; a non-converged solution is
+    never used to refine the program. *)
+val converged : t -> bool
 
 (** Tags / functions in the pointee cell of a register. *)
 val tags_pointed_to : t -> Program.t -> string -> Instr.reg -> Tag.t list
@@ -22,5 +28,7 @@ val funs_pointed_to : t -> string -> Instr.reg -> string list
     indirect-call targets from the solution. *)
 val refine_program : Program.t -> t -> unit
 
-(** Baseline MOD/REF → unification analysis → refinement → MOD/REF. *)
-val run : Program.t -> t
+(** Baseline MOD/REF → unification analysis → refinement → MOD/REF.  On
+    budget exhaustion the program is not refined and {!converged} is
+    false. *)
+val run : ?budget:int -> Program.t -> t

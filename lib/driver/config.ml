@@ -26,6 +26,21 @@ type t = {
   optimize : bool;  (** value numbering, const prop, LICM, PRE, DCE, clean *)
   regalloc : bool;
   k : int;  (** physical register count *)
+  verify_passes : bool;
+      (** translation validation: run structural IL validation after every
+          guarded pass and roll the pass back (recording it as degraded)
+          when its output is ill-formed *)
+  oracle : bool;
+      (** the stronger oracle mode (implies [verify_passes]): additionally
+          execute the pre- and post-pass IR with bounded fuel and compare
+          output, checksum, and dynamic counts, naming the offending pass
+          on any mismatch *)
+  analysis_budget : int option;
+      (** override for the interprocedural analyses' fixpoint budgets
+          (MOD/REF summary evaluations, points-to transfers, Steensgaard
+          rounds); [None] uses each analysis's size-scaled default.  A
+          blown budget degrades the compile to the ⊤ answer, it never
+          aborts it. *)
 }
 
 let default =
@@ -39,6 +54,9 @@ let default =
     optimize = true;
     regalloc = true;
     k = 24;
+    verify_passes = false;
+    oracle = false;
+    analysis_budget = None;
   }
 
 (** The four configurations of Figures 5–7. *)
@@ -57,10 +75,11 @@ let analysis_name = function
   | Apointer -> "pointer"
 
 let pp ppf c =
-  Fmt.pf ppf "%s%s%s%s%s%s k=%d" (analysis_name c.analysis)
+  Fmt.pf ppf "%s%s%s%s%s%s%s k=%d" (analysis_name c.analysis)
     (if c.promote then "+promote" else "")
     (if c.ptr_promote then "+ptrpromote" else "")
     (if c.throttle then "+throttle" else "")
     (if c.dse then "+dse" else "")
     (if c.optimize then "+opt" else "")
+    (if c.oracle then "+oracle" else if c.verify_passes then "+verify" else "")
     c.k

@@ -7,7 +7,16 @@
     Every stage is wrapped in a wall-clock timer and the interprocedural
     analyses report their fixpoint iteration counts, so a single compile
     yields a machine-readable per-pass profile (see [rpcc --stats-json] and
-    the bench harness's [BENCH_timings.json]). *)
+    the bench harness's [BENCH_timings.json]).
+
+    {b Hardening.}  The paper's premise is that the analysis may be
+    conservative but the transformation may not be wrong — and a production
+    compiler extends that to its own bugs: a pass that throws, blows the
+    stack, corrupts the IL, or (in oracle mode) miscompiles is {e rolled
+    back}, recorded in [stage_stats.degraded], and the rest of the pipeline
+    continues on the pre-pass IR.  Likewise an interprocedural analysis
+    whose fixpoint blows its budget degrades to the conservative ⊤ answer
+    ("promotion finds nothing") instead of killing the compile. *)
 
 open Rp_ir
 
@@ -29,6 +38,16 @@ type stage_stats = {
           Steensgaard constraint rounds, summed over every (re-)run *)
   mutable timings : (string * float) list;
       (** per-pass wall-clock seconds, in execution order *)
+  mutable degraded : (string * string) list;
+      (** passes that failed and were rolled back, as (pass, reason), in
+          execution order; empty on a healthy compile *)
+  mutable converged : bool;
+      (** false when an interprocedural analysis exhausted its fixpoint
+          budget and the compile fell back to the conservative ⊤ answer *)
+  mutable validated_passes : int;
+      (** passes whose output passed translation validation (structural
+          check, plus the execution oracle in oracle mode); 0 unless
+          [Config.verify_passes] or [Config.oracle] is set *)
 }
 
 let zero_stage_stats () =
@@ -46,6 +65,9 @@ let zero_stage_stats () =
     coalesced = 0;
     analysis_iters = 0;
     timings = [];
+    degraded = [];
+    converged = true;
+    validated_passes = 0;
   }
 
 (** Run [f], appending its wall-clock time to [s.timings] under [name].
@@ -56,29 +78,144 @@ let timed (s : stage_stats) name f =
   s.timings <- (name, Unix.gettimeofday () -. t0) :: s.timings;
   r
 
+exception Degraded of string
+(** Raised {e inside} a guarded pass body to request a rollback with a
+    human-readable reason (used by the analysis stage when a fixpoint
+    budget is exhausted).  Never escapes {!optimize}. *)
+
+(** Fault-injection hook for the test-suite and [rpcc fuzz]: called with
+    the pass name at the start of every guarded pass body, {e inside} the
+    isolation boundary, so a hook that raises exercises exactly the
+    rollback path a buggy pass would.  Default: no-op. *)
+let fault_hook : (string -> unit) ref = ref (fun _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Translation-validation oracle                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Fuel bound for oracle executions: enough for every suite program (the
+    largest runs ~1.5M operations) while keeping a diverging mutant from
+    hanging the compile. *)
+let oracle_fuel = 50_000_000
+
+(** Passes that must never increase the dynamic operation count: pure
+    removers and local rewriters.  LICM, PRE, promotion, and regalloc are
+    excluded — hoisting/spilling can legitimately add operations on
+    zero-trip loops or spilled paths. *)
+let count_reducing =
+  [ "clean"; "constprop"; "copyprop"; "dce"; "dse"; "valnum" ]
+
+type oracle_outcome =
+  | Oresult of string * int * int  (** output, checksum, dynamic ops *)
+  | Otrap of string
+  | Oinconclusive  (** hit the fuel bound: cannot judge *)
+
+(** Execute serialized IL on an independent round-tripped copy (so lazily
+    created heap tags never leak into the live program's tag table). *)
+let oracle_run (il : string) : oracle_outcome =
+  match Rp_exec.Interp.run ~fuel:oracle_fuel (Serial.read il) with
+  | r ->
+    Oresult
+      (r.Rp_exec.Interp.output, r.Rp_exec.Interp.checksum,
+       r.Rp_exec.Interp.total.Rp_exec.Interp.ops)
+  | exception Rp_exec.Interp.Resource_limit _ -> Oinconclusive
+  | exception Rp_exec.Value.Runtime_error m -> Otrap m
+
+(** Compare the behaviour of the pre-pass IR ([pre_il]) against the
+    current (post-pass) program: output and checksum must agree exactly,
+    traps must be identical, and count-reducing passes must not regress
+    the dynamic operation count. *)
+let oracle_check name pre_il (p : Program.t) : (unit, string) result =
+  match (oracle_run pre_il, oracle_run (Serial.write p)) with
+  | Oinconclusive, _ | _, Oinconclusive -> Ok ()
+  | Otrap m1, Otrap m2 ->
+    if m1 = m2 then Ok ()
+    else Error (Printf.sprintf "trap changed (%S -> %S)" m1 m2)
+  | Otrap m, Oresult _ ->
+    Error (Printf.sprintf "pre-pass IR trapped (%s) but post-pass IR ran" m)
+  | Oresult _, Otrap m ->
+    Error ("post-pass IR trapped: " ^ m)
+  | Oresult (o1, c1, ops1), Oresult (o2, c2, ops2) ->
+    if o1 <> o2 then Error "output changed"
+    else if c1 <> c2 then Error "checksum changed"
+    else if List.mem name count_reducing && ops2 > ops1 then
+      Error
+        (Printf.sprintf "dynamic operation count regressed (%d -> %d)" ops1
+           ops2)
+    else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* The pipeline                                                        *)
+(* ------------------------------------------------------------------ *)
+
 (** Run the middle- and back-end on an already-lowered program.
     [stats] lets {!compile} pre-record front-end timing in the same
-    record. *)
+    record.
+
+    Every pass runs isolated: the IR is snapshotted first, and a pass that
+    raises (or, under [Config.verify_passes]/[Config.oracle], produces IL
+    that fails validation or the execution oracle) is rolled back and
+    recorded in [degraded] while the remaining pipeline continues. *)
 let optimize ?(config = Config.default) ?stats (p : Program.t) : stage_stats =
   let s = match stats with Some s -> s | None -> zero_stage_stats () in
-  timed s "clean" (fun () -> Rp_cfg.Clean.run_program p);
-  (* interprocedural analysis *)
-  timed s "analysis" (fun () ->
+  let verify = config.Config.verify_passes || config.Config.oracle in
+  let guarded name f =
+    let snap = Program.snapshot p in
+    let pre_il = if config.Config.oracle then Some (Serial.write p) else None in
+    let degrade reason =
+      Program.restore p snap;
+      s.degraded <- s.degraded @ [ (name, reason) ]
+    in
+    match timed s name (fun () -> !fault_hook name; f ()) with
+    | () ->
+      if verify then begin
+        match Validate.check_program p with
+        | [] -> (
+          match pre_il with
+          | None -> s.validated_passes <- s.validated_passes + 1
+          | Some il -> (
+            match oracle_check name il p with
+            | Ok () -> s.validated_passes <- s.validated_passes + 1
+            | Error reason -> degrade ("oracle: " ^ reason)))
+        | errs -> degrade ("validation: " ^ String.concat "; " errs)
+      end
+    | exception Degraded reason -> degrade reason
+    | exception Stack_overflow -> degrade "Stack_overflow"
+    | exception Out_of_memory -> raise Out_of_memory
+    | exception e -> degrade (Printexc.to_string e)
+  in
+  guarded "clean" (fun () -> Rp_cfg.Clean.run_program p);
+  (* interprocedural analysis; a blown fixpoint budget degrades this stage
+     to the Anone semantics (roll back to the front end's ⊤ sets) *)
+  guarded "analysis" (fun () ->
+      let budget = config.Config.analysis_budget in
       match config.Config.analysis with
       | Config.Anone -> ()
       | Config.Amodref ->
-        let m = Rp_analysis.Modref.run p in
-        s.analysis_iters <- s.analysis_iters + m.Rp_analysis.Modref.iters
+        let m = Rp_analysis.Modref.run ?budget p in
+        s.analysis_iters <- s.analysis_iters + m.Rp_analysis.Modref.iters;
+        if not m.Rp_analysis.Modref.converged then begin
+          s.converged <- false;
+          raise (Degraded "MOD/REF fixpoint budget exhausted")
+        end
       | Config.Asteens ->
-        let st = Rp_analysis.Steensgaard.run p in
+        let st = Rp_analysis.Steensgaard.run ?budget p in
         s.analysis_iters <-
-          s.analysis_iters + Rp_analysis.Steensgaard.iterations st
+          s.analysis_iters + Rp_analysis.Steensgaard.iterations st;
+        if not (Rp_analysis.Steensgaard.converged st) then begin
+          s.converged <- false;
+          raise (Degraded "Steensgaard fixpoint budget exhausted")
+        end
       | Config.Apointer ->
-        let st = Rp_analysis.Pointsto.run p in
-        s.analysis_iters <- s.analysis_iters + st.Rp_analysis.Pointsto.iters);
+        let st = Rp_analysis.Pointsto.run ?budget p in
+        s.analysis_iters <- s.analysis_iters + st.Rp_analysis.Pointsto.iters;
+        if not st.Rp_analysis.Pointsto.converged then begin
+          s.converged <- false;
+          raise (Degraded "points-to fixpoint budget exhausted")
+        end);
   (* register promotion, "in the early phases of optimization" *)
   if config.Config.promote then
-    timed s "promotion" (fun () ->
+    guarded "promotion" (fun () ->
         let pressure_budget =
           if config.Config.throttle then Some config.Config.k else None
         in
@@ -89,47 +226,50 @@ let optimize ?(config = Config.default) ?stats (p : Program.t) : stage_stats =
         s.promoted <- st.Rp_core.Promotion.promoted_tags;
         s.throttled <- st.Rp_core.Promotion.throttled_tags);
   if config.Config.optimize then begin
-    timed s "valnum" (fun () ->
+    guarded "valnum" (fun () ->
         s.vn_rewrites <- Rp_opt.Valnum.run_program p);
-    timed s "constprop" (fun () -> s.folded <- Rp_opt.Constprop.run_program p);
-    timed s "copyprop" (fun () ->
+    guarded "constprop" (fun () -> s.folded <- Rp_opt.Constprop.run_program p);
+    guarded "copyprop" (fun () ->
         ignore (Rp_opt.Copyprop.run_program p : int));
-    timed s "clean" (fun () -> Rp_cfg.Clean.run_program p);
-    timed s "licm" (fun () -> s.hoisted <- Rp_opt.Licm.run_program p);
-    timed s "copyprop" (fun () ->
+    guarded "clean" (fun () -> Rp_cfg.Clean.run_program p);
+    guarded "licm" (fun () -> s.hoisted <- Rp_opt.Licm.run_program p);
+    guarded "copyprop" (fun () ->
         ignore (Rp_opt.Copyprop.run_program p : int));
     (* §3.3 depends on LICM having hoisted base addresses *)
     if config.Config.ptr_promote then
-      timed s "ptr_promotion" (fun () ->
+      guarded "ptr_promotion" (fun () ->
           let st =
             Rp_core.Pointer_promotion.promote_program
               ~always_store:config.Config.always_store p
           in
           s.ptr_promoted <- st.Rp_core.Pointer_promotion.promoted_refs);
-    timed s "pre" (fun () -> s.pre_removed <- Rp_opt.Pre.run_program p);
-    timed s "valnum" (fun () ->
+    guarded "pre" (fun () -> s.pre_removed <- Rp_opt.Pre.run_program p);
+    guarded "valnum" (fun () ->
         s.vn_rewrites <- s.vn_rewrites + Rp_opt.Valnum.run_program p);
     if config.Config.dse then
-      timed s "dse" (fun () -> s.dse_removed <- Rp_opt.Dse.run_program p);
-    timed s "dce" (fun () -> s.dce_removed <- Rp_opt.Dce.run_program p);
-    timed s "clean" (fun () -> Rp_cfg.Clean.run_program p)
+      guarded "dse" (fun () -> s.dse_removed <- Rp_opt.Dse.run_program p);
+    guarded "dce" (fun () -> s.dce_removed <- Rp_opt.Dce.run_program p);
+    guarded "clean" (fun () -> Rp_cfg.Clean.run_program p)
   end
   else if config.Config.ptr_promote then
-    timed s "ptr_promotion" (fun () ->
+    guarded "ptr_promotion" (fun () ->
         let st =
           Rp_core.Pointer_promotion.promote_program
             ~always_store:config.Config.always_store p
         in
         s.ptr_promoted <- st.Rp_core.Pointer_promotion.promoted_refs);
   if config.Config.regalloc then
-    timed s "regalloc" (fun () ->
+    guarded "regalloc" (fun () ->
         let st = Rp_regalloc.Regalloc.alloc_program ~k:config.Config.k p in
         s.spilled <- st.Rp_regalloc.Regalloc.spilled_regs;
         s.coalesced <- st.Rp_regalloc.Regalloc.coalesced;
         (* allocation can leave self-jump-free empty blocks and dead code *)
         ignore (Rp_opt.Dce.run_program p : int);
         Rp_cfg.Clean.run_program p);
-  timed s "validate" (fun () -> Validate.assert_ok p);
+  (* the final check stays a hard failure: rollback restores known-good IL
+     after every degraded pass, so reaching this with ill-formed IL means
+     the isolation layer itself is broken *)
+  timed s "validate" (fun () -> Validate.assert_ok ~ctx:"final" p);
   s.timings <- List.rev s.timings;
   s
 
@@ -143,10 +283,10 @@ let compile ?(config = Config.default) (src : string) : Program.t * stage_stats
 
 (** Compile and execute; returns the program, pipeline stats, and the
     interpreter result (output, checksum, dynamic counts). *)
-let compile_and_run ?(config = Config.default) ?fuel ?check_tags (src : string)
-    : Program.t * stage_stats * Rp_exec.Interp.result =
+let compile_and_run ?(config = Config.default) ?fuel ?check_tags ?max_depth
+    (src : string) : Program.t * stage_stats * Rp_exec.Interp.result =
   let (p, s) = compile ~config src in
-  let r = Rp_exec.Interp.run ?fuel ?check_tags p in
+  let r = Rp_exec.Interp.run ?fuel ?check_tags ?max_depth p in
   (p, s, r)
 
 (* ------------------------------------------------------------------ *)
@@ -159,17 +299,24 @@ module Json = Rp_support.Json
 let total_time (s : stage_stats) =
   List.fold_left (fun acc (_, t) -> acc +. t) 0. s.timings
 
-(** The stats record as JSON: rewrite counters, fixpoint iterations, and
-    per-pass timings in milliseconds (execution order preserved;
-    re-executed passes are summed). *)
+(** The stats record as JSON: rewrite counters, fixpoint iterations,
+    degradation/validation state, and per-pass timings in milliseconds
+    (execution order preserved; re-executed passes are summed). *)
 let stats_json (config : Config.t) (s : stage_stats) : Json.t =
   let merged =
-    List.fold_left
-      (fun acc (name, t) ->
-        if List.mem_assoc name acc then
-          List.map (fun (n, v) -> if n = name then (n, v +. t) else (n, v)) acc
-        else acc @ [ (name, t) ])
-      [] s.timings
+    (* single pass: a Hashtbl accumulates per-name sums while [order]
+       remembers first-seen position *)
+    let sums : (string, float) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (name, t) ->
+        match Hashtbl.find_opt sums name with
+        | Some cur -> Hashtbl.replace sums name (cur +. t)
+        | None ->
+          Hashtbl.add sums name t;
+          order := name :: !order)
+      s.timings;
+    List.rev_map (fun n -> (n, Hashtbl.find sums n)) !order
   in
   Json.Obj
     [
@@ -190,6 +337,14 @@ let stats_json (config : Config.t) (s : stage_stats) : Json.t =
             ("coalesced", Json.Int s.coalesced);
           ] );
       ("analysis_iters", Json.Int s.analysis_iters);
+      ("converged", Json.Bool s.converged);
+      ( "degraded",
+        Json.List
+          (List.map
+             (fun (pass, reason) ->
+               Json.Obj [ ("pass", Json.Str pass); ("reason", Json.Str reason) ])
+             s.degraded) );
+      ("validated_passes", Json.Int s.validated_passes);
       ( "timings_ms",
         Json.Obj (List.map (fun (n, t) -> (n, Json.Float (1000. *. t))) merged)
       );

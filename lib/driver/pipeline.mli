@@ -1,6 +1,10 @@
 (** The compilation pipeline in the paper's §5 order: analysis → register
     promotion (early) → scalar optimizer → register allocation → cleaning.
-    Each stage is timed; the analyses report fixpoint iteration counts. *)
+    Each stage is timed; the analyses report fixpoint iteration counts.
+
+    Every pass runs isolated behind a snapshot/rollback guard: a pass that
+    raises (or fails translation validation when enabled) is rolled back
+    and recorded in [degraded] while the rest of the pipeline continues. *)
 
 open Rp_ir
 
@@ -21,9 +25,28 @@ type stage_stats = {
   mutable timings : (string * float) list;
       (** per-pass wall-clock seconds, in execution order; repeated passes
           (clean, copyprop, valnum) appear once per execution *)
+  mutable degraded : (string * string) list;
+      (** passes rolled back by the isolation guard, as (pass, reason), in
+          execution order; empty on a healthy compile *)
+  mutable converged : bool;
+      (** false when an interprocedural analysis exhausted its fixpoint
+          budget and the compile degraded to the conservative ⊤ answer *)
+  mutable validated_passes : int;
+      (** passes whose output passed translation validation; 0 unless
+          [Config.verify_passes] or [Config.oracle] is on *)
 }
 
 val zero_stage_stats : unit -> stage_stats
+
+exception Degraded of string
+(** Raised inside a guarded pass body to request rollback with a reason
+    (used by the analysis stage on budget exhaustion).  Never escapes
+    {!optimize}. *)
+
+(** Fault-injection hook for tests and [rpcc fuzz]: called with the pass
+    name at the start of every guarded pass body, inside the isolation
+    boundary.  Default: no-op. *)
+val fault_hook : (string -> unit) ref
 
 (** Run the middle- and back-end on lowered IL; validates the result.
     [stats], when given, is extended in place (used by {!compile} to record
@@ -38,12 +61,14 @@ val compile_and_run :
   ?config:Config.t ->
   ?fuel:int ->
   ?check_tags:bool ->
+  ?max_depth:int ->
   string ->
   Program.t * stage_stats * Rp_exec.Interp.result
 
 (** Sum of all recorded pass times, in seconds. *)
 val total_time : stage_stats -> float
 
-(** Counters, fixpoint iterations, and per-pass timings (milliseconds,
-    repeated passes summed) as a JSON object. *)
+(** Counters, fixpoint iterations, degradation/validation state, and
+    per-pass timings (milliseconds, repeated passes summed) as a JSON
+    object. *)
 val stats_json : Config.t -> stage_stats -> Rp_support.Json.t

@@ -41,6 +41,15 @@ type result = {
 
 exception Error = Value.Runtime_error
 
+exception Resource_limit of string
+(** Fuel exhaustion or call-stack overflow: the program exceeded an
+    interpreter resource limit rather than performing an erroneous
+    operation.  Kept distinct from {!Error} so drivers can report it with
+    its own exit code and translation-validation oracles can treat a
+    bounded run as inconclusive instead of a miscompile. *)
+
+let resource_limit fmt = Fmt.kstr (fun s -> raise (Resource_limit s)) fmt
+
 type state = {
   prog : Program.t;
   mem : Memory.t;
@@ -145,7 +154,8 @@ let check_tagset st (tags : Tagset.t) base op =
 
 let rec exec_func st (fname : string) (args : Value.t list) : Value.t =
   st.depth <- st.depth + 1;
-  if st.depth > st.max_depth then Value.error "call stack overflow";
+  if st.depth > st.max_depth then
+    resource_limit "call stack overflow (max depth %d)" st.max_depth;
   let f = Program.func st.prog fname in
   if List.length args <> List.length f.Func.params then
     Value.error "arity mismatch calling %s" fname;
@@ -162,7 +172,8 @@ let rec exec_func st (fname : string) (args : Value.t list) : Value.t =
   let tick () =
     st.total.ops <- st.total.ops + 1;
     fc.ops <- fc.ops + 1;
-    if st.total.ops > st.fuel then Value.error "fuel exhausted"
+    if st.total.ops > st.fuel then
+      resource_limit "fuel exhausted (%d operations)" st.fuel
   in
   let count_load () =
     st.total.loads <- st.total.loads + 1;

@@ -31,7 +31,12 @@ type result = {
 
 exception Error of string
 (** Alias of {!Value.Runtime_error}: traps (bounds, use-after-free,
-    undefined values, division by zero, tag-set violations, fuel). *)
+    undefined values, division by zero, tag-set violations). *)
+
+exception Resource_limit of string
+(** Fuel exhaustion or call-stack overflow — the program exceeded an
+    interpreter resource limit rather than trapping.  Reported by [rpcc]
+    with its own exit code (3). *)
 
 (** Run the program.
     @param fuel maximum executed operations (default 4×10⁸)

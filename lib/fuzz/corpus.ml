@@ -1,0 +1,144 @@
+(** Seed programs for the fault-injection harness.
+
+    Deliberately tiny (hundreds to a few thousand dynamic operations): in
+    oracle mode every guarded pass executes the program twice, so a fuzz
+    campaign compiles each seed dozens of times.  Each program still
+    exercises the IL features the fault classes target: scalar stores in
+    loops (promotion material), pointer loads/stores with tag sets,
+    direct and indirect control flow, calls, and heap allocation. *)
+
+type seed = { name : string; source : string }
+
+(* global counters mutated in a call-carrying loop: sStore/sLoad traffic,
+   promotable tags, and an address-taken global *)
+let counters =
+  {|
+int total;
+int evens;
+int calls;
+
+void bump(int *slot, int v) {
+  *slot = *slot + v;
+  calls = calls + 1;
+}
+
+int main() {
+  int i;
+  total = 0;
+  evens = 0;
+  calls = 0;
+  for (i = 0; i < 40; i++) {
+    total = total + i;
+    if (i % 2 == 0) {
+      evens = evens + 1;
+      bump(&total, 1);
+    }
+  }
+  print_int(total);
+  print_int(evens);
+  print_int(calls);
+  return 0;
+}
+|}
+
+(* array traffic through pointer parameters: Loadg/Storeg with real tag
+   sets, the shape pointer-based promotion (and Shrink_tagset) cares about *)
+let vecsum =
+  {|
+int data[32];
+int acc;
+
+void fill(int *a, int n) {
+  int i;
+  for (i = 0; i < n; i++) a[i] = i * 3 + 1;
+}
+
+int total(int *a, int n) {
+  int i;
+  int s = 0;
+  for (i = 0; i < n; i++) s = s + a[i];
+  return s;
+}
+
+int main() {
+  fill(data, 32);
+  acc = total(data, 32);
+  acc = acc + total(data, 16);
+  print_int(acc);
+  return 0;
+}
+|}
+
+(* heap cells plus a conditional call chain: heap-site tags, MOD/REF
+   summaries that differ per callee, and branchy control flow *)
+let cells =
+  {|
+int steps;
+
+int step(int *cell, int mode) {
+  if (mode == 0) *cell = *cell + 7;
+  else *cell = *cell * 2;
+  steps = steps + 1;
+  return *cell;
+}
+
+int main() {
+  int *a = malloc(1);
+  int *b = malloc(1);
+  int i;
+  int last = 0;
+  *a = 1;
+  *b = 100;
+  steps = 0;
+  for (i = 0; i < 12; i++) {
+    last = step(a, i % 2);
+    last = last + step(b, (i + 1) % 2);
+  }
+  print_int(*a);
+  print_int(*b);
+  print_int(last);
+  print_int(steps);
+  free(a);
+  free(b);
+  return 0;
+}
+|}
+
+(* nested loops with an invariant pointer expression: LICM + PRE material,
+   deeper block structure for the control-flow fault classes *)
+let stencil =
+  {|
+int grid[64];
+int edge;
+
+void relax(int *g, int n, int rounds) {
+  int r;
+  int i;
+  for (r = 0; r < rounds; r++) {
+    for (i = 1; i < n - 1; i++) {
+      g[i] = (g[i - 1] + g[i + 1]) / 2;
+    }
+    edge = edge + g[0] + g[n - 1];
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) grid[i] = i % 9;
+  edge = 0;
+  relax(grid, 64, 6);
+  int sum = 0;
+  for (i = 0; i < 64; i++) sum = sum + grid[i];
+  print_int(sum);
+  print_int(edge);
+  return 0;
+}
+|}
+
+let all : seed list =
+  [
+    { name = "counters"; source = counters };
+    { name = "vecsum"; source = vecsum };
+    { name = "cells"; source = cells };
+    { name = "stencil"; source = stencil };
+  ]

@@ -1,0 +1,357 @@
+(** Fault-injection harness for the hardened pipeline.
+
+    Each trial compiles a known-good {!Corpus} program while injecting one
+    fault {e inside} a guarded pass, through {!Rp_driver.Pipeline.fault_hook}
+    — exactly where a buggy transformation would corrupt the IL.  The fault
+    is either a structural or semantic IL mutation (emulating a miscompiling
+    pass) or a raised exception (emulating a crashing pass).  The harness
+    then asserts that the isolation/validation machinery reacts correctly:
+
+    - structural faults (dangling branch targets, out-of-range registers)
+      must be rolled back — flagged by the post-pass validator or by the
+      pass itself crashing on the broken IL;
+    - semantic faults (dropped stores, shrunk tag sets) must be rolled back
+      by the execution oracle — or be provably benign, i.e. the finished
+      program still behaves bit-identically to a clean compile;
+    - injected pass exceptions must never escape [optimize], must appear in
+      [degraded], and must leave the compile bit-identical to the same
+      configuration with that pass disabled.
+
+    Any other outcome is an {e escape}: the mutation survived to the final
+    program and changed its behaviour undetected.  One escape fails the
+    campaign (exit code 1 under [rpcc fuzz]). *)
+
+open Rp_ir
+module Pipeline = Rp_driver.Pipeline
+module Config = Rp_driver.Config
+module Interp = Rp_exec.Interp
+module R = Random.State
+
+type fault_class =
+  | Drop_store  (** delete one sStore/Store instruction *)
+  | Shrink_tagset  (** empty the tag set of one pointer operation *)
+  | Dangling_target  (** retarget one terminator at a missing block *)
+  | Bad_register  (** insert an instruction using out-of-range registers *)
+  | Pass_exception  (** raise from inside a pass body *)
+
+let all_classes =
+  [ Drop_store; Shrink_tagset; Dangling_target; Bad_register; Pass_exception ]
+
+let class_name = function
+  | Drop_store -> "drop_store"
+  | Shrink_tagset -> "shrink_tagset"
+  | Dangling_target -> "dangling_target"
+  | Bad_register -> "bad_register"
+  | Pass_exception -> "pass_exception"
+
+type class_stats = {
+  mutable injected : int;  (** trials where the fault actually landed *)
+  mutable skipped : int;  (** no mutation site at the chosen pass point *)
+  mutable caught_validation : int;
+  mutable caught_oracle : int;
+  mutable caught_exception : int;  (** rolled back via a raised exception *)
+  mutable benign : int;  (** survived but provably behaviour-preserving *)
+  mutable escaped : int;
+}
+
+let zero_stats () =
+  {
+    injected = 0;
+    skipped = 0;
+    caught_validation = 0;
+    caught_oracle = 0;
+    caught_exception = 0;
+    benign = 0;
+    escaped = 0;
+  }
+
+type report = {
+  classes : (fault_class * class_stats) list;
+  mutable trials : int;
+  mutable escapes : string list;  (** descriptions, newest first *)
+}
+
+let stats_for r c = List.assq c r.classes
+
+(* ------------------------------------------------------------------ *)
+(* IL mutations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** All (func, block, index) positions whose instruction satisfies [pred]. *)
+let instr_sites (p : Program.t) pred =
+  let acc = ref [] in
+  Program.iter_funcs
+    (fun f ->
+      Func.iter_blocks
+        (fun (b : Block.t) ->
+          List.iteri
+            (fun i ins -> if pred ins then acc := (f, b, i) :: !acc)
+            b.Block.instrs)
+        f)
+    p;
+  !acc
+
+let all_blocks (p : Program.t) =
+  let acc = ref [] in
+  Program.iter_funcs
+    (fun f -> Func.iter_blocks (fun (b : Block.t) -> acc := (f, b) :: !acc) f)
+    p;
+  !acc
+
+let pick rng = function
+  | [] -> None
+  | l -> Some (List.nth l (R.int rng (List.length l)))
+
+let replace_at b idx i' =
+  b.Block.instrs <- List.mapi (fun j i -> if j = idx then i' else i) b.Block.instrs
+
+(** Apply [cls] to [p] at a random site.  Returns a description of what was
+    mutated, or [None] when the program (at this pipeline point) offers no
+    site for the class. *)
+let mutate rng (cls : fault_class) (p : Program.t) : string option =
+  match cls with
+  | Drop_store -> (
+    match pick rng (instr_sites p Instr.is_store) with
+    | None -> None
+    | Some (f, b, idx) ->
+      b.Block.instrs <- List.filteri (fun j _ -> j <> idx) b.Block.instrs;
+      Some (Printf.sprintf "dropped store %d in %s/%s" idx f.Func.name b.Block.label))
+  | Shrink_tagset -> (
+    let site =
+      pick rng
+        (instr_sites p (function
+          | Instr.Loadg _ | Instr.Storeg _ -> true
+          | _ -> false))
+    in
+    match site with
+    | None -> None
+    | Some (f, b, idx) ->
+      let i' =
+        match List.nth b.Block.instrs idx with
+        | Instr.Loadg (d, a, _) -> Instr.Loadg (d, a, Tagset.empty)
+        | Instr.Storeg (a, s, _) -> Instr.Storeg (a, s, Tagset.empty)
+        | i -> i
+      in
+      replace_at b idx i';
+      Some
+        (Printf.sprintf "emptied tag set of op %d in %s/%s" idx f.Func.name
+           b.Block.label))
+  | Dangling_target -> (
+    match pick rng (all_blocks p) with
+    | None -> None
+    | Some (f, b) ->
+      let nowhere = "__fuzz_nowhere__" in
+      (b.Block.term <-
+         (match b.Block.term with
+         | Instr.Cbr (r, _, l2) -> Instr.Cbr (r, nowhere, l2)
+         | Instr.Jump _ | Instr.Ret _ -> Instr.Jump nowhere));
+      Some (Printf.sprintf "retargeted %s/%s at a missing block" f.Func.name b.Block.label))
+  | Bad_register -> (
+    match pick rng (all_blocks p) with
+    | None -> None
+    | Some (f, b) ->
+      let bad = f.Func.nreg + 7 in
+      let idx =
+        match b.Block.instrs with
+        | [] -> 0
+        | l -> R.int rng (List.length l + 1)
+      in
+      b.Block.instrs <-
+        List.filteri (fun j _ -> j < idx) b.Block.instrs
+        @ [ Instr.Copy (bad, bad + 2) ]
+        @ List.filteri (fun j _ -> j >= idx) b.Block.instrs;
+      Some
+        (Printf.sprintf "inserted copy of r%d (nreg=%d) in %s/%s" bad
+           f.Func.nreg f.Func.name b.Block.label))
+  | Pass_exception -> None (* handled by [exception_trial], not as an IL edit *)
+
+(* ------------------------------------------------------------------ *)
+(* Trials                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** The campaign configuration: every optional pass on, full translation
+    validation (structural + oracle) so every detector is armed. *)
+let fuzz_config =
+  {
+    Config.default with
+    Config.dse = true;
+    ptr_promote = true;
+    verify_passes = true;
+    oracle = true;
+  }
+
+(** Guarded passes at which IL mutations are injected.  Early and mid
+    pipeline points, where stores and pointer operations still exist. *)
+let mutation_passes =
+  [ "clean"; "analysis"; "promotion"; "valnum"; "constprop"; "licm"; "pre" ]
+
+(** Passes with an exact pass-disabled twin in {!Config.t} — the equivalence
+    the exception trials assert. *)
+let exception_passes =
+  [
+    ("analysis", { fuzz_config with Config.analysis = Config.Anone });
+    ("promotion", { fuzz_config with Config.promote = false });
+    ("dse", { fuzz_config with Config.dse = false });
+    ("ptr_promotion", { fuzz_config with Config.ptr_promote = false });
+  ]
+
+let results_equal (a : Interp.result) (b : Interp.result) =
+  a.Interp.output = b.Interp.output
+  && a.Interp.checksum = b.Interp.checksum
+  && a.Interp.total.Interp.ops = b.Interp.total.Interp.ops
+  && a.Interp.total.Interp.loads = b.Interp.total.Interp.loads
+  && a.Interp.total.Interp.stores = b.Interp.total.Interp.stores
+
+let with_hook hook f =
+  Pipeline.fault_hook := hook;
+  Fun.protect ~finally:(fun () -> Pipeline.fault_hook := fun _ -> ()) f
+
+(** Reasons recorded by the guard start with "validation:" / "oracle:" for
+    the two validators; anything else is a caught exception. *)
+let classify_reason reason =
+  if String.length reason >= 11 && String.sub reason 0 11 = "validation:" then
+    `Validation
+  else if String.length reason >= 7 && String.sub reason 0 7 = "oracle:" then
+    `Oracle
+  else `Exception
+
+(** One IL-mutation trial: compile [seed] under full validation, mutating
+    the IL at [target] via the fault hook; classify the pipeline's
+    reaction. *)
+let mutation_trial rng (st : class_stats) (report : report) cls target
+    (seed : Corpus.seed) (baseline : Interp.result) =
+  let p = Rp_irgen.Irgen.compile_source seed.Corpus.source in
+  let applied = ref None in
+  let run () =
+    with_hook
+      (fun name ->
+        if name = target && !applied = None then applied := mutate rng cls p)
+      (fun () -> Pipeline.optimize ~config:fuzz_config p)
+  in
+  match run () with
+  | exception e ->
+    st.injected <- st.injected + 1;
+    report.escapes <-
+      Printf.sprintf "%s@%s on %s: exception escaped optimize: %s"
+        (class_name cls) target seed.Corpus.name (Printexc.to_string e)
+      :: report.escapes;
+    st.escaped <- st.escaped + 1
+  | stats -> (
+    match !applied with
+    | None -> st.skipped <- st.skipped + 1
+    | Some desc -> (
+      st.injected <- st.injected + 1;
+      match List.assoc_opt target stats.Pipeline.degraded with
+      | Some reason -> (
+        match classify_reason reason with
+        | `Validation -> st.caught_validation <- st.caught_validation + 1
+        | `Oracle -> st.caught_oracle <- st.caught_oracle + 1
+        | `Exception -> st.caught_exception <- st.caught_exception + 1)
+      | None ->
+        (* not rolled back: only acceptable if the finished program is
+           still observably identical to a clean compile *)
+        let r = Interp.run p in
+        let same =
+          match r with
+          | exception Rp_exec.Value.Runtime_error _ -> false
+          | r ->
+            r.Interp.output = baseline.Interp.output
+            && r.Interp.checksum = baseline.Interp.checksum
+        in
+        if same then st.benign <- st.benign + 1
+        else begin
+          report.escapes <-
+            Printf.sprintf "%s@%s on %s: %s survived undetected"
+              (class_name cls) target seed.Corpus.name desc
+            :: report.escapes;
+          st.escaped <- st.escaped + 1
+        end))
+
+(** One pass-exception trial: a pass that raises must be contained,
+    recorded, and behave exactly like the pass-disabled configuration. *)
+let exception_trial rng (st : class_stats) (report : report)
+    (seed : Corpus.seed) =
+  match pick rng exception_passes with
+  | None -> ()
+  | Some (target, disabled_config) -> (
+    st.injected <- st.injected + 1;
+    let fail () =
+      Printf.ksprintf (fun m ->
+          report.escapes <-
+            Printf.sprintf "pass_exception@%s on %s: %s" target
+              seed.Corpus.name m
+            :: report.escapes;
+          st.escaped <- st.escaped + 1)
+    in
+    let compile () =
+      with_hook
+        (fun name -> if name = target then failwith "injected pass fault")
+        (fun () ->
+          Pipeline.compile_and_run ~config:fuzz_config seed.Corpus.source)
+    in
+    match compile () with
+    | exception e ->
+      fail () "exception escaped the compile: %s" (Printexc.to_string e)
+    | (_, stats, r) -> (
+      match List.assoc_opt target stats.Pipeline.degraded with
+      | None -> fail () "fault not recorded in degraded"
+      | Some _ ->
+        let (_, _, r0) =
+          Pipeline.compile_and_run ~config:disabled_config seed.Corpus.source
+        in
+        if results_equal r r0 then
+          st.caught_exception <- st.caught_exception + 1
+        else fail () "result differs from the pass-disabled configuration"))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 42) ?(seeds = 50) () : report =
+  let rng = R.make [| seed |] in
+  let report =
+    {
+      classes = List.map (fun c -> (c, zero_stats ())) all_classes;
+      trials = 0;
+      escapes = [];
+    }
+  in
+  (* one clean compile+run per corpus program, shared by every trial *)
+  let baselines =
+    List.map
+      (fun (s : Corpus.seed) ->
+        let (_, _, r) =
+          Pipeline.compile_and_run
+            ~config:{ fuzz_config with Config.verify_passes = false; oracle = false }
+            s.Corpus.source
+        in
+        (s, r))
+      Corpus.all
+  in
+  for i = 0 to seeds - 1 do
+    report.trials <- report.trials + 1;
+    let (prog, baseline) = List.nth baselines (i mod List.length baselines) in
+    let cls = List.nth all_classes (R.int rng (List.length all_classes)) in
+    let st = stats_for report cls in
+    match cls with
+    | Pass_exception -> exception_trial rng st report prog
+    | _ -> (
+      match pick rng mutation_passes with
+      | None -> ()
+      | Some target -> mutation_trial rng st report cls target prog baseline)
+  done;
+  report
+
+let total_escapes r =
+  List.fold_left (fun acc (_, s) -> acc + s.escaped) 0 r.classes
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "%-16s %8s %7s %10s %6s %9s %6s %7s@." "class" "injected"
+    "skipped" "validation" "oracle" "exception" "benign" "escaped";
+  List.iter
+    (fun (c, s) ->
+      Fmt.pf ppf "%-16s %8d %7d %10d %6d %9d %6d %7d@." (class_name c)
+        s.injected s.skipped s.caught_validation s.caught_oracle
+        s.caught_exception s.benign s.escaped)
+    r.classes;
+  List.iter (fun e -> Fmt.pf ppf "ESCAPE: %s@." e) (List.rev r.escapes)

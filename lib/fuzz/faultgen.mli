@@ -1,0 +1,48 @@
+(** Fault-injection harness for the hardened pipeline (see [rpcc fuzz]).
+
+    Injects IL corruption and exceptions inside guarded passes via
+    {!Rp_driver.Pipeline.fault_hook} and asserts the isolation, validation,
+    and oracle machinery contains every fault: rolled back and recorded, or
+    provably behaviour-preserving.  Anything else is an escape. *)
+
+type fault_class =
+  | Drop_store  (** delete one sStore/Store instruction *)
+  | Shrink_tagset  (** empty the tag set of one pointer operation *)
+  | Dangling_target  (** retarget one terminator at a missing block *)
+  | Bad_register  (** insert an instruction using out-of-range registers *)
+  | Pass_exception  (** raise from inside a pass body *)
+
+val all_classes : fault_class list
+val class_name : fault_class -> string
+
+type class_stats = {
+  mutable injected : int;
+  mutable skipped : int;  (** no mutation site at the chosen pass point *)
+  mutable caught_validation : int;
+  mutable caught_oracle : int;
+  mutable caught_exception : int;
+  mutable benign : int;  (** survived but provably behaviour-preserving *)
+  mutable escaped : int;
+}
+
+type report = {
+  classes : (fault_class * class_stats) list;
+  mutable trials : int;
+  mutable escapes : string list;
+}
+
+(** Apply a fault class to a program at a random site (used directly by the
+    unit tests); [None] when the program offers no site for the class. *)
+val mutate :
+  Random.State.t -> fault_class -> Rp_ir.Program.t -> string option
+
+(** The campaign configuration: every optional pass on, structural and
+    oracle validation armed. *)
+val fuzz_config : Rp_driver.Config.t
+
+(** Run a campaign of [seeds] trials (default 50) from RNG [seed]
+    (default 42) over the built-in {!Corpus}. *)
+val run : ?seed:int -> ?seeds:int -> unit -> report
+
+val total_escapes : report -> int
+val pp_report : Format.formatter -> report -> unit

@@ -69,6 +69,50 @@ let global_tags p = List.map fst p.globals
 let size p =
   List.fold_left (fun n f -> n + Func.instr_count f) 0 (funcs p)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore (pass isolation)                                 *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_tag_count : int;
+  snap_sites : int;
+  snap_globals : (Tag.t * init) list;
+  snap_func_order : string list;
+  snap_funcs : (string * Func.t) list;  (** deep copies, in order *)
+  snap_main : string;
+  snap_heap : (int * Tag.t) list;
+}
+
+(** Capture the program's current state.  Function bodies are deep-copied
+    ({!Func.copy}); instructions are immutable and shared, so the snapshot
+    stays intact while passes rewrite block instruction lists in place.
+    Cost is O(blocks), not O(instructions). *)
+let snapshot (p : t) : snapshot =
+  {
+    snap_tag_count = Tag.Table.count p.tags;
+    snap_sites = Rp_support.Idgen.peek p.sites;
+    snap_globals = p.globals;
+    snap_func_order = p.func_order;
+    snap_funcs = List.map (fun (f : Func.t) -> (f.Func.name, Func.copy f)) (funcs p);
+    snap_main = p.main;
+    snap_heap = Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.heap_site_tags [];
+  }
+
+(** Roll [p] back to [s], in place (callers hold the [t] reference, so the
+    record itself must survive).  Tags and call-site ids allocated after
+    the snapshot are forgotten; a snapshot must be restored at most once
+    (its function copies are installed directly, not re-copied). *)
+let restore (p : t) (s : snapshot) : unit =
+  Tag.Table.truncate p.tags s.snap_tag_count;
+  Rp_support.Idgen.reset p.sites s.snap_sites;
+  p.globals <- s.snap_globals;
+  p.func_order <- s.snap_func_order;
+  p.main <- s.snap_main;
+  Hashtbl.reset p.funcs;
+  List.iter (fun (n, f) -> Hashtbl.replace p.funcs n f) s.snap_funcs;
+  Hashtbl.reset p.heap_site_tags;
+  List.iter (fun (k, v) -> Hashtbl.replace p.heap_site_tags k v) s.snap_heap
+
 let pp ppf p =
   let pp_global ppf (t, init) =
     match init with

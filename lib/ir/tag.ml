@@ -95,6 +95,14 @@ module Table = struct
   let count table = table.n
   let all table = Array.to_list (Array.sub table.tags 0 table.n)
 
+  (** Forget every tag with id ≥ [n], so the next [fresh] reuses id [n].
+      Only for rolling a program back to a snapshot taken when the table
+      held [n] tags (see {!Program.restore}); the caller must guarantee no
+      live IR references the dropped tags. *)
+  let truncate table n =
+    if n < 0 || n > table.n then invalid_arg "Tag.Table.truncate";
+    table.n <- n
+
   let get table id =
     if id < 0 || id >= table.n then invalid_arg "Tag.Table.get"
     else table.tags.(id)

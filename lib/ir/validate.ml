@@ -66,8 +66,15 @@ let check_program (p : Program.t) =
   in
   errs
 
-(** Raise [Failure] with a readable report if the program is ill-formed. *)
-let assert_ok p =
+exception Invalid of string * string
+(** [(context, report)] — the context names the pipeline stage (or input
+    source) whose output failed validation, so drivers can report which
+    pass broke the IL instead of a bare failure. *)
+
+(** Raise {!Invalid} with a readable report if the program is ill-formed.
+    [ctx] names the producer of the IL being checked. *)
+let assert_ok ?(ctx = "program") p =
   match check_program p with
   | [] -> ()
-  | errs -> failwith (String.concat "\n" ("IL validation failed:" :: errs))
+  | errs ->
+    raise (Invalid (ctx, String.concat "\n" ("IL validation failed:" :: errs)))

@@ -17,5 +17,10 @@ let fresh g =
 (** [peek g] returns the id that the next call to [fresh] will produce. *)
 let peek g = g.next
 
+(** [reset g n] rewinds the generator so the next [fresh] returns [n].
+    Only for restoring a previously [peek]ed state (pass rollback); never
+    rewind past ids that are still live elsewhere. *)
+let reset g n = g.next <- n
+
 (** [count g] is the number of ids handed out so far (assuming [start=0]). *)
 let count g = g.next

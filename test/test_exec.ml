@@ -184,17 +184,24 @@ let error_tests =
       "int main() { int z = 0; return 3 / z; }";
     Util.expect_runtime_error ~config:raw "remainder by zero"
       "int main() { int z = 0; return 3 % z; }";
-    Util.expect_runtime_error ~config:raw "stack overflow detected"
-      "int f(int n) { return f(n + 1); } int main() { return f(0); }";
+    Util.tc "stack overflow detected" (fun () ->
+        match
+          Util.run ~config:raw
+            "int f(int n) { return f(n + 1); } int main() { return f(0); }"
+        with
+        | exception I.Resource_limit msg ->
+          Util.check Alcotest.bool "mentions overflow" true
+            (String.length msg >= 4)
+        | _ -> Alcotest.fail "expected a stack-overflow resource limit");
     Util.tc "fuel exhaustion reported" (fun () ->
         match
           Util.run ~config:raw ~fuel:1000
             "int main() { while (1) { } return 0; }"
         with
-        | exception V.Runtime_error msg ->
+        | exception I.Resource_limit msg ->
           Util.check Alcotest.bool "mentions fuel" true
             (String.length msg >= 4)
-        | _ -> Alcotest.fail "expected fuel exhaustion");
+        | _ -> Alcotest.fail "expected a fuel resource limit");
     Util.expect_runtime_error ~config:raw "pointer comparison across objects"
       "int a[2]; int b[2]; int main() { int *p = a; int *q = b; return p < \
        q; }";

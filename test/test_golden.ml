@@ -92,13 +92,13 @@ let stats_json_tests =
           Alcotest.(list string)
           "top-level keys"
           [
-            "schema"; "config"; "counters"; "analysis_iters"; "timings_ms";
-            "total_ms"; "result";
+            "schema"; "config"; "counters"; "analysis_iters"; "converged";
+            "degraded"; "validated_passes"; "timings_ms"; "total_ms"; "result";
           ]
           (Json.keys j);
         Util.check
           Alcotest.(option string)
-          "schema marker" (Some "rpcc-stats/1")
+          "schema marker" (Some "rpcc-stats/2")
           (match Json.member "schema" j with
           | Some (Json.Str s) -> Some s
           | _ -> None);
@@ -138,6 +138,11 @@ let stats_json_tests =
         Util.check Alcotest.bool "ops positive" true (int_of "ops" result > 0);
         Util.check Alcotest.bool "analysis ran" true
           (int_of "analysis_iters" j >= 1);
+        (* a healthy compile: converged, nothing degraded *)
+        Util.check Alcotest.bool "converged" true
+          (Json.member "converged" j = Some (Json.Bool true));
+        Util.check Alcotest.bool "no degraded passes" true
+          (Json.member "degraded" j = Some (Json.List []));
         (* every pipeline stage of the default config appears in timings *)
         let timing_keys =
           match Json.member "timings_ms" j with
