@@ -43,20 +43,44 @@ let assert_healthy pname (st : Pipeline.stage_stats) =
       Fmt.failwith "pass %s degraded compiling %s: %s" pass pname reason
   end
 
-let run_config (p : Rp_suite.Programs.program) (cfg : Config.t) : cell =
-  let (_, st, r) =
-    Pipeline.compile_and_run ~config:(apply_verify cfg)
-      p.Rp_suite.Programs.source
-  in
-  assert_healthy p.Rp_suite.Programs.name st;
-  let t = counts r in
-  { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
-    checksum = r.I.checksum }
+exception Quarantined of string
+(** A benchmark program that exhausts interpreter resource limits, traps,
+    or overflows the OCaml stack is quarantined — its table section reports
+    the reason and BENCH_counts.json records it as degraded — instead of
+    aborting the whole bench run.  [assert_healthy]'s [Failure] is
+    deliberately not caught: a degraded pass under [--verify-passes] is the
+    CI soundness gate and must stay fatal. *)
+
+type cell_result = Cok of cell | Cquarantined of string
+
+(** Compile and run, converting resource/runtime blowups to {!Quarantined}
+    (with the program named) while letting verification failures abort. *)
+let run_raw pname (cfg : Config.t) source =
+  match Pipeline.compile_and_run ~config:(apply_verify cfg) source with
+  | exception I.Resource_limit m ->
+    raise (Quarantined (Printf.sprintf "%s: resource limit: %s" pname m))
+  | exception Rp_exec.Value.Runtime_error m ->
+    raise (Quarantined (Printf.sprintf "%s: runtime error: %s" pname m))
+  | exception Stack_overflow ->
+    raise (Quarantined (pname ^ ": interpreter stack overflow"))
+  | (prog, st, r) ->
+    assert_healthy pname st;
+    (prog, st, r)
+
+let run_config (p : Rp_suite.Programs.program) (cfg : Config.t) : cell_result =
+  match run_raw p.Rp_suite.Programs.name cfg p.Rp_suite.Programs.source with
+  | exception Quarantined m -> Cquarantined m
+  | (_, _, r) ->
+    let t = counts r in
+    Cok
+      { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
+        checksum = r.I.checksum }
 
 (* memoize runs: the same (program, config) pair feeds several tables *)
-let cache : (string * string, cell) Hashtbl.t = Hashtbl.create 64
+let cache : (string * string, cell_result) Hashtbl.t = Hashtbl.create 64
 
-let cell (p : Rp_suite.Programs.program) (cname : string) (cfg : Config.t) : cell =
+let cell_result (p : Rp_suite.Programs.program) (cname : string)
+    (cfg : Config.t) : cell_result =
   let key = (p.Rp_suite.Programs.name, cname) in
   match Hashtbl.find_opt cache key with
   | Some c -> c
@@ -64,6 +88,13 @@ let cell (p : Rp_suite.Programs.program) (cname : string) (cfg : Config.t) : cel
     let c = run_config p cfg in
     Hashtbl.replace cache key c;
     c
+
+let cell (p : Rp_suite.Programs.program) (cname : string) (cfg : Config.t) :
+    cell =
+  match cell_result p cname cfg with
+  | Cok c -> c
+  | Cquarantined m ->
+    raise (Quarantined (Printf.sprintf "%s under %s" m cname))
 
 let pct without with_ =
   if without = 0 then 0.
@@ -149,11 +180,7 @@ let mlink_function () =
   let p = Rp_suite.Programs.find "mlink" in
   List.iter
     (fun (name, cfg) ->
-      let (_, st, r) =
-        Pipeline.compile_and_run ~config:(apply_verify cfg)
-          p.Rp_suite.Programs.source
-      in
-      assert_healthy "mlink" st;
+      let (_, _, r) = run_raw "mlink" cfg p.Rp_suite.Programs.source in
       List.iter
         (fun (fn, (c : I.counts)) ->
           if fn = "likelihood_pass" then
@@ -354,15 +381,18 @@ let json_export () =
         let per_config =
           List.map
             (fun (cname, cfg) ->
-              let (_, st, r) =
-                Pipeline.compile_and_run ~config:(apply_verify cfg)
+              match
+                run_raw p.Rp_suite.Programs.name cfg
                   p.Rp_suite.Programs.source
-              in
-              assert_healthy p.Rp_suite.Programs.name st;
-              let t = counts r in
-              (cname, st,
-               { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
-                 checksum = r.I.checksum }))
+              with
+              | exception Quarantined m -> (cname, None, Cquarantined m)
+              | (_, st, r) ->
+                let t = counts r in
+                ( cname,
+                  Some st,
+                  Cok
+                    { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
+                      checksum = r.I.checksum } ))
             Config.paper_grid
         in
         (p.Rp_suite.Programs.name, per_config))
@@ -381,13 +411,17 @@ let json_export () =
                      (List.map
                         (fun (cname, _, c) ->
                           ( cname,
-                            Json.Obj
-                              [
-                                ("ops", Json.Int c.ops);
-                                ("loads", Json.Int c.loads);
-                                ("stores", Json.Int c.stores);
-                                ("checksum", Json.Int c.checksum);
-                              ] ))
+                            match c with
+                            | Cok c ->
+                              Json.Obj
+                                [
+                                  ("ops", Json.Int c.ops);
+                                  ("loads", Json.Int c.loads);
+                                  ("stores", Json.Int c.stores);
+                                  ("checksum", Json.Int c.checksum);
+                                ]
+                            | Cquarantined reason ->
+                              Json.Obj [ ("degraded", Json.Str reason) ] ))
                         per_config) ))
                rows) );
       ]
@@ -403,10 +437,19 @@ let json_export () =
                  ( pname,
                    Json.Obj
                      (List.map
-                        (fun (cname, st, _) ->
-                          (cname,
-                           Pipeline.stats_json
-                             (List.assoc cname Config.paper_grid) st))
+                        (fun (cname, st, c) ->
+                          ( cname,
+                            match st with
+                            | Some st ->
+                              Pipeline.stats_json
+                                (List.assoc cname Config.paper_grid) st
+                            | None ->
+                              let reason =
+                                match c with
+                                | Cquarantined r -> r
+                                | Cok _ -> "quarantined"
+                              in
+                              Json.Obj [ ("degraded", Json.Str reason) ] ))
                         per_config) ))
                rows) );
         ( "total_compile_ms",
@@ -415,7 +458,10 @@ let json_export () =
             *. List.fold_left
                  (fun acc (_, per_config) ->
                    List.fold_left
-                     (fun acc (_, st, _) -> acc +. Pipeline.total_time st)
+                     (fun acc (_, st, _) ->
+                       match st with
+                       | Some st -> acc +. Pipeline.total_time st
+                       | None -> acc)
                      acc per_config)
                  0. rows) );
       ]
@@ -511,12 +557,17 @@ let () =
     Fmt.pr
       "Memory-operation hierarchy (Table 1): iLoad, cLoad, sLoad/sStore, \
        Load/Store@.";
+    (* each table section survives a quarantined program: the reason is
+       printed in place and the remaining sections still run *)
+    let section f =
+      try f () with Quarantined m -> Fmt.pr "  quarantined: %s@." m
+    in
     figure4 ();
-    metric_tables ();
-    mlink_function ();
-    section33 ();
-    pressure ();
-    ablations ();
+    section metric_tables;
+    section mlink_function;
+    section section33;
+    section pressure;
+    section ablations;
     Fmt.pr "@.All configurations produced identical checksums per program.@."
   end;
   if want_timings then timings ()

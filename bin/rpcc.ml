@@ -5,6 +5,8 @@
       rpcc dump file.c       compile, print the final IL
       rpcc table file.c      the paper's 4-configuration comparison
       rpcc fuzz              fault-injection campaign on the pipeline
+      rpcc gen-fuzz          generative differential testing vs an O0 reference
+      rpcc reduce file.c     delta-debug an oracle failure to a minimal repro
     v}
 
     Exit codes: 0 success, 1 compile-time error, 2 runtime error in the
@@ -358,24 +360,29 @@ let table_cmd =
        ~doc:"Run the paper's four-configuration comparison on one file.")
     Term.(const table $ file_t $ k_t)
 
+(* The fuzz tools share one seed flag so every campaign — fault injection
+   and generative — is replayed the same way. *)
+let seed_t =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "RNG seed for the campaign.  Printed in every failure report; \
+           rerunning with the same seed reproduces the identical trial \
+           sequence.")
+
+let trials_t ~doc =
+  Arg.(value & opt int 50 & info [ "trials"; "seeds" ] ~docv:"N" ~doc)
+
 let fuzz_cmd =
   let fuzz seed seeds =
     handle_errors @@ fun () ->
     let report = Rp_fuzz.Faultgen.run ~seed ~seeds () in
     Fmt.pr "%a" Rp_fuzz.Faultgen.pp_report report;
     let escapes = Rp_fuzz.Faultgen.total_escapes report in
-    Fmt.pr "; %d trials, %d escapes@." report.Rp_fuzz.Faultgen.trials escapes;
+    Fmt.pr "; seed=%d, %d trials, %d escapes@." seed
+      report.Rp_fuzz.Faultgen.trials escapes;
     if escapes > 0 then exit 1
-  in
-  let seed_t =
-    Arg.(
-      value & opt int 42
-      & info [ "seed" ] ~docv:"N" ~doc:"Base RNG seed for the campaign.")
-  in
-  let seeds_t =
-    Arg.(
-      value & opt int 50
-      & info [ "seeds" ] ~docv:"N" ~doc:"Number of fault-injection trials.")
   in
   Cmd.v
     (Cmd.info "fuzz" ~exits
@@ -385,7 +392,283 @@ let fuzz_cmd =
           stores, shrunk tag sets, dangling branch targets, out-of-range \
           registers) or raise inside a pass, and assert every fault is \
           contained.  Exits 1 if any fault escapes undetected.")
-    Term.(const fuzz $ seed_t $ seeds_t)
+    Term.(
+      const fuzz $ seed_t
+      $ trials_t ~doc:"Number of fault-injection trials.")
+
+(* ------------------------------------------------------------------ *)
+(* Generative differential testing                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mode_t =
+  let plain =
+    Arg.(
+      value & flag
+      & info [ "plain" ]
+          ~doc:
+            "Disable the hardened pipeline during grid compiles: pure \
+             end-to-end comparison against the O0 reference.")
+  in
+  let oracle =
+    Arg.(
+      value & flag
+      & info [ "oracle-passes" ]
+          ~doc:
+            "Arm the full per-pass execution oracle during grid compiles \
+             (catches unsound dynamic-count regressions and names the \
+             offending pass; every guarded pass runs the program twice).")
+  in
+  let combine plain oracle =
+    if oracle then Rp_fuzz.Difforacle.OraclePasses
+    else if plain then Rp_fuzz.Difforacle.Plain
+    else Rp_fuzz.Difforacle.Verify
+  in
+  Term.(const combine $ plain $ oracle)
+
+let inject_t =
+  let classes =
+    List.map
+      (fun c -> (Rp_fuzz.Faultgen.class_name c, c))
+      Rp_fuzz.Faultgen.all_classes
+  in
+  Arg.(
+    value
+    & opt (some (enum classes)) None
+    & info [ "inject" ] ~docv:"CLASS"
+        ~doc:
+          "Plant a fault of this class (e.g. drop_store) inside the first \
+           guarded pass of every grid compile — never the reference.  For \
+           demonstrating and testing the oracle end to end.")
+
+let oracle_fuel_t =
+  Arg.(
+    value
+    & opt int Rp_fuzz.Difforacle.default_fuel
+    & info [ "fuel" ] ~docv:"N" ~doc:"Reference-run fuel for the oracle.")
+
+let budget_t =
+  Arg.(
+    value & opt float 30.
+    & info [ "budget" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget for reduction; timeouts are quarantined.")
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(** Shrink [src] against the signature of [target] and write the result
+    next to [path]; shared by [gen-fuzz --reduce] and [rpcc reduce]. *)
+let reduce_failure ~mode ~fuel ~inject ~budget ~path ~out
+    (target : Rp_fuzz.Difforacle.failure) src =
+  let module D = Rp_fuzz.Difforacle in
+  let module Reduce = Rp_fuzz.Reduce in
+  let deadline = Unix.gettimeofday () +. budget in
+  let predicate s =
+    match D.check ~mode ~fuel ~deadline ?inject s with
+    | D.Diverged fs
+      when List.exists
+             (fun (f : D.failure) ->
+               f.D.config = target.D.config && f.D.cls = target.D.cls)
+             fs ->
+      Reduce.Fail
+    | D.Inconclusive _ -> Reduce.Quarantine
+    | _ -> Reduce.Pass
+  in
+  let r = Reduce.run ~budget ~predicate src in
+  let out =
+    match out with
+    | Some o -> o
+    | None ->
+      (if Filename.check_suffix path ".c" then Filename.chop_suffix path ".c"
+       else path)
+      ^ ".min.c"
+  in
+  write_file out r.Reduce.reduced;
+  Fmt.pr
+    "reduced %d -> %d lines (%d candidates, %d accepted, %d quarantined%s) \
+     -> %s@."
+    r.Reduce.original_lines r.Reduce.reduced_lines r.Reduce.candidates
+    r.Reduce.accepted r.Reduce.quarantined
+    (if r.Reduce.deadline_hit then ", budget hit" else "")
+    out;
+  r
+
+let gen_fuzz_cmd =
+  let gen_fuzz seed trials mode inject fuel do_reduce budget out_dir =
+    handle_errors @@ fun () ->
+    let module D = Rp_fuzz.Difforacle in
+    (try Sys.mkdir out_dir 0o755 with Sys_error _ -> ());
+    let inject = Option.map (fun c -> (c, seed)) inject in
+    let agreed = ref 0 and inconclusive = ref 0 and rejected = ref 0 in
+    let diverged = ref [] in
+    for trial = 0 to trials - 1 do
+      let src = Rp_fuzz.Gen.program_of_seed ~seed ~trial in
+      match D.check ~mode ~fuel ?inject src with
+      | D.Agree _ -> incr agreed
+      | D.Inconclusive m ->
+        incr inconclusive;
+        Fmt.epr "trial %d (seed %d): inconclusive: %s@." trial seed m
+      | D.Rejected m ->
+        (* the generator only emits valid programs; a rejection is a
+           generator bug and fails the campaign *)
+        incr rejected;
+        Fmt.epr "trial %d (seed %d): generator emitted a rejected program: \
+                 %s@."
+          trial seed m
+      | D.Diverged fs ->
+        let path =
+          Filename.concat out_dir
+            (Printf.sprintf "fuzz-s%d-t%d.c" seed trial)
+        in
+        write_file path src;
+        diverged := (path, src, fs) :: !diverged;
+        Fmt.pr "trial %d (seed %d): %a@.  saved to %s@." trial seed
+          D.pp_outcome (D.Diverged fs) path;
+        List.iter
+          (fun (f : D.failure) ->
+            Fmt.pr "  replay: rpcc reduce %s --config %s --class %s%s%s \
+                    --seed %d@."
+              path f.D.config (D.class_name f.D.cls)
+              (match mode with
+              | D.Plain -> " --plain"
+              | D.Verify -> ""
+              | D.OraclePasses -> " --oracle-passes")
+              (match inject with
+              | Some (c, _) ->
+                " --inject " ^ Rp_fuzz.Faultgen.class_name c
+              | None -> "")
+              seed)
+          fs
+    done;
+    Fmt.pr
+      "gen-fuzz: seed=%d trials=%d agreed=%d diverged=%d inconclusive=%d \
+       rejected=%d@."
+      seed trials !agreed
+      (List.length !diverged)
+      !inconclusive !rejected;
+    if do_reduce then
+      List.iter
+        (fun (path, src, fs) ->
+          let target = List.hd fs in
+          Fmt.pr "reducing %s for %a@." path D.pp_failure target;
+          ignore
+            (reduce_failure ~mode ~fuel ~inject ~budget ~path ~out:None
+               target src))
+        (List.rev !diverged);
+    if !diverged <> [] || !rejected > 0 then exit 1
+  in
+  let reduce_t =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:"Automatically shrink every divergence to a FILE.min.c.")
+  in
+  let out_dir_t =
+    Arg.(
+      value & opt string "."
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Directory for saved reproducers (created if missing).")
+  in
+  Cmd.v
+    (Cmd.info "gen-fuzz" ~exits
+       ~doc:
+         "Generative differential testing: generate random, safe, \
+          terminating Mini-C programs biased toward promotion-relevant \
+          shapes, compile each under the four paper configurations plus \
+          an O0 reference, and flag any divergence in output, checksum, \
+          traps, fuel, or pipeline health.  Failing programs are saved \
+          with their generator seed for exact replay.  Exits 1 on any \
+          divergence.")
+    Term.(
+      const gen_fuzz $ seed_t
+      $ trials_t ~doc:"Number of generated programs to test."
+      $ mode_t $ inject_t $ oracle_fuel_t $ reduce_t $ budget_t $ out_dir_t)
+
+let reduce_cmd =
+  let reduce file config_name cls_name mode inject iseed fuel budget out =
+    handle_errors @@ fun () ->
+    let module D = Rp_fuzz.Difforacle in
+    let src = read_file file in
+    let inject = Option.map (fun c -> (c, iseed)) inject in
+    let cls =
+      Option.map
+        (fun n ->
+          match D.class_of_string n with
+          | Some c -> c
+          | None -> Fmt.failwith "unknown failure class '%s'" n)
+        cls_name
+    in
+    match D.check ~mode ~fuel ?inject src with
+    | D.Agree _ ->
+      Fmt.pr "no divergence: nothing to reduce@."
+    | D.Rejected m ->
+      Fmt.epr "error: the oracle rejected %s: %s@." file m;
+      exit 1
+    | D.Inconclusive m ->
+      Fmt.epr "inconclusive: %s@." m;
+      exit 3
+    | D.Diverged fs -> (
+      let matches (f : D.failure) =
+        (match config_name with Some c -> f.D.config = c | None -> true)
+        && match cls with Some k -> f.D.cls = k | None -> true
+      in
+      match List.find_opt matches fs with
+      | None ->
+        Fmt.epr "no failure matches the requested signature; observed:@.";
+        List.iter (fun f -> Fmt.epr "  %a@." D.pp_failure f) fs;
+        exit 1
+      | Some target ->
+        Fmt.pr "reducing for %a@." D.pp_failure target;
+        let r =
+          reduce_failure ~mode ~fuel ~inject ~budget ~path:file ~out target
+            src
+        in
+        Fmt.pr "%s@." r.Rp_fuzz.Reduce.reduced)
+  in
+  let config_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ] ~docv:"NAME"
+          ~doc:
+            "Reduce against the failure observed under this configuration \
+             (modref/without, modref/with, pointer/without, pointer/with); \
+             default: the first reported failure.")
+  in
+  let class_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "class" ] ~docv:"KIND"
+          ~doc:
+            "Restrict to this failure class (crash, degraded, counts, \
+             output, checksum, trap, fuel).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the reduced program (default FILE.min.c).")
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some non_dir_file) None
+      & info [] ~docv:"FILE" ~doc:"The failing Mini-C program.")
+  in
+  Cmd.v
+    (Cmd.info "reduce" ~exits
+       ~doc:
+         "Delta-debug a program that fails the cross-configuration oracle \
+          down to a minimal reproducer: structured deletion, loop \
+          unwrapping, ddmin chunk removal, and expression simplification, \
+          re-checking the oracle after every step under a wall-clock \
+          budget (timeouts are quarantined, not trusted).")
+    Term.(
+      const reduce $ file_arg $ config_t $ class_t $ mode_t $ inject_t
+      $ seed_t $ oracle_fuel_t $ budget_t $ out_t)
 
 let main =
   Cmd.group
@@ -393,6 +676,7 @@ let main =
        ~doc:
          "Register promotion in C programs (Cooper & Lu, PLDI 1997) — \
           reference reimplementation.")
-    [ run_cmd; dump_cmd; run_il_cmd; table_cmd; fuzz_cmd ]
+    [ run_cmd; dump_cmd; run_il_cmd; table_cmd; fuzz_cmd; gen_fuzz_cmd;
+      reduce_cmd ]
 
 let () = exit (Cmd.eval main)

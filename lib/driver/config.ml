@@ -68,6 +68,23 @@ let paper_grid =
     ("pointer/with", { default with analysis = Apointer; promote = true });
   ]
 
+(** The unoptimized reference configuration: front-end semantics with ⊤
+    tag sets, no promotion, no optimizer, no allocator.  Used as the
+    behavioural baseline by the differential fuzz oracle. *)
+let o0 =
+  {
+    default with
+    analysis = Anone;
+    promote = false;
+    ptr_promote = false;
+    optimize = false;
+    regalloc = false;
+  }
+
+(** The configurations the fuzz tools accept by name: the paper grid plus
+    the [O0] reference. *)
+let named_grid = ("O0", o0) :: paper_grid
+
 let analysis_name = function
   | Anone -> "none"
   | Amodref -> "modref"

@@ -63,6 +63,9 @@ type state = {
   check_tags : bool;
   max_depth : int;
   mutable depth : int;
+  should_stop : unit -> bool;
+      (** polled every 4096 operations; [true] aborts the run with
+          {!Resource_limit} (wall-clock budgets for fuzz reducers) *)
 }
 
 let fnv_byte cs b = (cs lxor b) * 16777619 land 0x3FFFFFFFFFFFFFF
@@ -173,7 +176,9 @@ let rec exec_func st (fname : string) (args : Value.t list) : Value.t =
     st.total.ops <- st.total.ops + 1;
     fc.ops <- fc.ops + 1;
     if st.total.ops > st.fuel then
-      resource_limit "fuel exhausted (%d operations)" st.fuel
+      resource_limit "fuel exhausted (%d operations)" st.fuel;
+    if st.total.ops land 4095 = 0 && st.should_stop () then
+      resource_limit "external stop after %d operations" st.total.ops
   in
   let count_load () =
     st.total.loads <- st.total.loads + 1;
@@ -255,7 +260,8 @@ let rec exec_func st (fname : string) (args : Value.t list) : Value.t =
 
 (** Run [main] and return outputs plus dynamic counts. *)
 let run ?(fuel = 400_000_000) ?(check_tags = true) ?(max_depth = 100_000)
-    ?(seed = 12345) (prog : Program.t) : result =
+    ?(seed = 12345) ?(should_stop = fun () -> false) (prog : Program.t) :
+    result =
   let st =
     {
       prog;
@@ -270,6 +276,7 @@ let run ?(fuel = 400_000_000) ?(check_tags = true) ?(max_depth = 100_000)
       check_tags;
       max_depth;
       depth = 0;
+      should_stop;
     }
   in
   (* allocate and initialize globals *)

@@ -42,11 +42,15 @@ exception Resource_limit of string
     @param fuel maximum executed operations (default 4×10⁸)
     @param check_tags dynamic tag-set verification (default on)
     @param max_depth call-stack limit (default 100000)
-    @param seed PRNG seed for the [rand] builtin (default 12345) *)
+    @param seed PRNG seed for the [rand] builtin (default 12345)
+    @param should_stop polled every 4096 operations; returning [true]
+    aborts the run with {!Resource_limit} — wall-clock budgets for the
+    fuzz reducer (default: never) *)
 val run :
   ?fuel:int ->
   ?check_tags:bool ->
   ?max_depth:int ->
   ?seed:int ->
+  ?should_stop:(unit -> bool) ->
   Program.t ->
   result

@@ -1,0 +1,13 @@
+(** Seed programs for the fault-injection harness ([rpcc fuzz]).
+
+    Deliberately tiny (hundreds to a few thousand dynamic operations): in
+    oracle mode every guarded pass executes the program twice, so a fuzz
+    campaign compiles each seed dozens of times.  Each program still
+    exercises the IL features the fault classes target: scalar stores in
+    loops, pointer loads/stores with tag sets, direct and indirect control
+    flow, calls, and heap allocation. *)
+
+type seed = { name : string; source : string }
+
+val all : seed list
+(** The built-in corpus, in campaign order. *)

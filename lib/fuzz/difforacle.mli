@@ -1,0 +1,74 @@
+(** Cross-configuration differential oracle (see [rpcc gen-fuzz]).
+
+    Compiles one Mini-C program under the [O0] reference configuration and
+    the paper's four-configuration grid, runs all five, and reports any
+    divergence: output or checksum mismatch, asymmetric trap, a grid run
+    needing disproportionate fuel, a compile-time crash, or a pass rolled
+    back by the hardened pipeline (in {!Verify}/{!OraclePasses} modes),
+    including unsound dynamic-count regressions.  Because the generator
+    ({!Gen}) only emits defined, terminating programs, every divergence is
+    a compiler bug. *)
+
+(** How much of the hardened pipeline each grid compile arms:
+    {!Plain} nothing (end-to-end comparison only), {!Verify} per-pass
+    structural validation (cheap, the default), {!OraclePasses} the full
+    per-pass execution oracle — strongest, but every guarded pass runs the
+    program twice. *)
+type mode = Plain | Verify | OraclePasses
+
+val mode_name : mode -> string
+
+(** Divergence classes, with their CLI names ({!class_name}):
+    ["crash"] compile raised, ["degraded"] a pass was rolled back,
+    ["counts"] a count-reducing pass regressed dynamic counts (oracle
+    mode), ["output"]/["checksum"] behavioural mismatch vs the reference,
+    ["trap"] asymmetric or different trap, ["fuel"] the configuration
+    needed more than 4× the reference's operations. *)
+type cls =
+  | Crash
+  | Degraded_pass
+  | Count_regression
+  | Output_mismatch
+  | Checksum_mismatch
+  | Trap_mismatch
+  | Fuel_imbalance
+
+val class_name : cls -> string
+val class_of_string : string -> cls option
+
+type failure = { config : string; cls : cls; detail : string }
+
+type outcome =
+  | Agree of { configs : int; ref_ops : int }
+      (** all grid configurations matched the reference *)
+  | Rejected of string
+      (** the front end rejected the source — configuration-independent,
+          so no differential signal (a generator bug if the source came
+          from {!Gen}) *)
+  | Inconclusive of string
+      (** the reference run exhausted fuel or the wall-clock deadline
+          passed — treated as quarantine by the reducer, never as failure *)
+  | Diverged of failure list  (** at least one real divergence *)
+
+val default_fuel : int
+(** Reference-run fuel (2×10⁶); grid runs get [max (4×ref_ops + 10k) 100k]. *)
+
+val check :
+  ?mode:mode ->
+  ?fuel:int ->
+  ?deadline:float ->
+  ?inject:Faultgen.fault_class * int ->
+  string ->
+  outcome
+(** Run the oracle on Mini-C source text.
+    @param mode pipeline arming for grid compiles (default {!Verify})
+    @param fuel reference-run fuel (default {!default_fuel})
+    @param deadline absolute [Unix.gettimeofday] instant after which
+    remaining work is skipped and, absent real failures, the outcome is
+    [Inconclusive] — already-found divergences are still reported
+    @param inject plant [Faultgen.mutate fc] (seeded by the int, mixed
+    with the configuration index) inside the first guarded pass of every
+    grid compile; the reference is never mutated *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -66,6 +66,7 @@ let zero_stats () =
   }
 
 type report = {
+  seed : int;  (** the campaign's RNG seed, for replay *)
   classes : (fault_class * class_stats) list;
   mutable trials : int;
   mutable escapes : string list;  (** descriptions, newest first *)
@@ -311,6 +312,7 @@ let run ?(seed = 42) ?(seeds = 50) () : report =
   let rng = R.make [| seed |] in
   let report =
     {
+      seed;
       classes = List.map (fun c -> (c, zero_stats ())) all_classes;
       trials = 0;
       escapes = [];
@@ -346,6 +348,9 @@ let total_escapes r =
   List.fold_left (fun acc (_, s) -> acc + s.escaped) 0 r.classes
 
 let pp_report ppf (r : report) =
+  Fmt.pf ppf "campaign: seed=%d trials=%d (replay: rpcc fuzz --seed %d \
+              --trials %d)@."
+    r.seed r.trials r.seed r.trials;
   Fmt.pf ppf "%-16s %8s %7s %10s %6s %9s %6s %7s@." "class" "injected"
     "skipped" "validation" "oracle" "exception" "benign" "escaped";
   List.iter
@@ -354,4 +359,6 @@ let pp_report ppf (r : report) =
         s.injected s.skipped s.caught_validation s.caught_oracle
         s.caught_exception s.benign s.escaped)
     r.classes;
-  List.iter (fun e -> Fmt.pf ppf "ESCAPE: %s@." e) (List.rev r.escapes)
+  List.iter
+    (fun e -> Fmt.pf ppf "ESCAPE [seed=%d]: %s@." r.seed e)
+    (List.rev r.escapes)

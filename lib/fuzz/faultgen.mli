@@ -26,6 +26,7 @@ type class_stats = {
 }
 
 type report = {
+  seed : int;  (** the campaign's RNG seed, printed in every report *)
   classes : (fault_class * class_stats) list;
   mutable trials : int;
   mutable escapes : string list;

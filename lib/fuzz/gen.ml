@@ -1,0 +1,312 @@
+(** Seeded random Mini-C program generator for differential testing.
+
+    Produces programs biased toward the shapes register promotion (and the
+    interprocedural analyses feeding it) must get right: global scalars
+    mutated in loops, address-taken locals, pointers retargeted at
+    run time between globals / locals / heap cells, stores through
+    may-alias pointers, helper calls that write through pointer parameters
+    (so MOD/REF summaries and points-to sets carry real information), and
+    bounded recursion with global side effects.
+
+    Every generated program is {e safe and terminating by construction}:
+
+    - all loops are [for] loops with constant bounds (2–6) whose index
+      variable is never assigned in the body (the statement grammar cannot
+      name index variables as assignment targets);
+    - recursion decrements a structural counter with a constant start;
+    - every array index is masked with [& 7] against arrays of size 8;
+    - scalar pointers only ever aim at live scalars, array pointers only
+      at 8-element arrays, and the single heap block is freed once, after
+      the last access;
+    - division and modulus use non-zero constant divisors;
+    - every variable is initialized before the generated body runs.
+
+    Programs end with a fixed print epilogue covering every global, local,
+    and array, so any miscompiled store is observable.  Generation is
+    deterministic: the same [(seed, trial)] pair always yields the same
+    source text, which is what makes every red fuzz run replayable. *)
+
+module R = Random.State
+
+let pick rng l = List.nth l (R.int rng (List.length l))
+
+(** The vocabulary visible at a generation site.  [idxs] (loop indices and
+    read-only parameters) are deliberately absent from [scalars], so the
+    grammar cannot generate an assignment that would break loop
+    termination. *)
+type ctx = {
+  rng : R.t;
+  scalars : string list;  (** assignable int lvalues *)
+  arrays : string list;  (** 8-element int arrays (or pointers to them) *)
+  ptrs : string list;  (** scalar pointers, dereferenced as [*p] *)
+  idxs : string list;  (** read-only ints: loop indices, parameters *)
+  retargets : (string * string list) list;
+      (** pointer name → the targets it may be re-aimed at here *)
+  pure_calls : string list;  (** [int f(int, int)] helpers *)
+  rec_calls : string list;  (** bounded-recursion [int f(int)] helpers *)
+  mut_calls : (string * string list * string list) list;
+      (** void helper → (array-argument, scalar-pointer-argument) choices *)
+  depth : int;  (** current loop-nesting depth (max 3) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr ctx fuel =
+  let rng = ctx.rng in
+  if fuel <= 0 then atom ctx
+  else
+    match R.int rng 10 with
+    | 0 | 1 ->
+      Printf.sprintf "(%s + %s)" (expr ctx (fuel - 1)) (expr ctx (fuel - 1))
+    | 2 -> Printf.sprintf "(%s - %s)" (expr ctx (fuel - 1)) (atom ctx)
+    | 3 -> Printf.sprintf "(%s * %s)" (atom ctx) (atom ctx)
+    | 4 ->
+      Printf.sprintf "(%s %% %d)" (expr ctx (fuel - 1)) (1 + R.int rng 9)
+    | 5 -> Printf.sprintf "(%s / %d)" (expr ctx (fuel - 1)) (1 + R.int rng 9)
+    | 6 ->
+      let op = pick rng [ "<"; "<="; "=="; "!="; ">" ] in
+      Printf.sprintf "(%s %s %s)" (atom ctx) op (atom ctx)
+    | 7 -> Printf.sprintf "(%s & %d)" (expr ctx (fuel - 1)) (R.int rng 256)
+    | 8 -> Printf.sprintf "(%s >> %d)" (atom ctx) (R.int rng 3)
+    | _ -> atom ctx
+
+and atom ctx =
+  let rng = ctx.rng in
+  match R.int rng 16 with
+  | 0 | 1 | 2 -> string_of_int (R.int rng 21)
+  | 3 | 4 | 5 when ctx.scalars <> [] -> pick rng ctx.scalars
+  | 6 | 7 when ctx.arrays <> [] ->
+    Printf.sprintf "%s[%s & 7]" (pick rng ctx.arrays) (index ctx)
+  | 8 | 9 when ctx.ptrs <> [] -> Printf.sprintf "(*%s)" (pick rng ctx.ptrs)
+  | 10 | 11 when ctx.idxs <> [] -> pick rng ctx.idxs
+  | 12 when ctx.pure_calls <> [] ->
+    Printf.sprintf "%s(%s, %s)" (pick rng ctx.pure_calls) (atom ctx) (atom ctx)
+  | 13 when ctx.rec_calls <> [] ->
+    Printf.sprintf "%s(%d)" (pick rng ctx.rec_calls) (R.int rng 7)
+  | _ -> string_of_int (R.int rng 9)
+
+(** Array subscripts: small, so index expressions do not balloon. *)
+and index ctx =
+  let rng = ctx.rng in
+  match R.int rng 4 with
+  | 0 when ctx.idxs <> [] -> pick rng ctx.idxs
+  | 1 when ctx.scalars <> [] -> pick rng ctx.scalars
+  | _ -> string_of_int (R.int rng 8)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmts ctx fuel indent =
+  let n = 1 + R.int ctx.rng 3 in
+  List.concat (List.init n (fun _ -> stmt ctx fuel indent))
+
+and stmt ctx fuel indent =
+  let rng = ctx.rng in
+  let pad = String.make (2 * indent) ' ' in
+  match R.int rng 15 with
+  | 0 | 1 when ctx.scalars <> [] ->
+    [ Printf.sprintf "%s%s = %s;" pad (pick rng ctx.scalars) (expr ctx 2) ]
+  | 2 when ctx.scalars <> [] ->
+    [ Printf.sprintf "%s%s += %s;" pad (pick rng ctx.scalars) (expr ctx 1) ]
+  | 3 | 4 when ctx.arrays <> [] ->
+    [ Printf.sprintf "%s%s[%s & 7] = %s;" pad (pick rng ctx.arrays)
+        (index ctx) (expr ctx 2) ]
+  | 5 when ctx.ptrs <> [] ->
+    [ Printf.sprintf "%s*%s = %s;" pad (pick rng ctx.ptrs) (expr ctx 2) ]
+  | 6 when ctx.retargets <> [] ->
+    let (p, targets) = pick rng ctx.retargets in
+    [ Printf.sprintf "%s%s = %s;" pad p (pick rng targets) ]
+  | 7 | 8 when ctx.depth < 3 && fuel > 0 ->
+    (* constant-bound loop; the new index is readable but not assignable *)
+    let iv = Printf.sprintf "i%d" ctx.depth in
+    let bound = 2 + R.int rng 5 in
+    let ctx' = { ctx with depth = ctx.depth + 1; idxs = iv :: ctx.idxs } in
+    [ Printf.sprintf "%sfor (%s = 0; %s < %d; %s++) {" pad iv iv bound iv ]
+    @ loop_body ctx' (fuel - 1) (indent + 1)
+    @ [ pad ^ "}" ]
+  | 9 when fuel > 0 ->
+    let cond = expr ctx 2 in
+    let then_ = stmts ctx (fuel - 1) (indent + 1) in
+    if R.bool rng then
+      [ Printf.sprintf "%sif (%s) {" pad cond ]
+      @ then_
+      @ [ pad ^ "} else {" ]
+      @ stmts ctx (fuel - 1) (indent + 1)
+      @ [ pad ^ "}" ]
+    else
+      [ Printf.sprintf "%sif (%s) {" pad cond ] @ then_ @ [ pad ^ "}" ]
+  | 10 | 11 when ctx.mut_calls <> [] ->
+    let (h, aargs, sargs) = pick rng ctx.mut_calls in
+    [ Printf.sprintf "%s%s(%s, %s, %s);" pad h (pick rng aargs)
+        (pick rng sargs) (expr ctx 1) ]
+  | 12 -> [ Printf.sprintf "%sgf = gf * 0.5 + %s;" pad (atom ctx) ]
+  | _ when ctx.scalars <> [] ->
+    [ Printf.sprintf "%s%s = %s;" pad (pick rng ctx.scalars) (expr ctx 1) ]
+  | _ -> []
+
+(** Loop bodies lean on the promotion-relevant shapes: accumulation into
+    global scalars, stores through the may-alias pointers, and array
+    traffic through a base pointer that stays invariant across the loop. *)
+and loop_body ctx fuel indent =
+  let rng = ctx.rng in
+  let pad = String.make (2 * indent) ' ' in
+  let biased =
+    match R.int rng 4 with
+    | 0 when ctx.scalars <> [] ->
+      [ Printf.sprintf "%s%s += %s;" pad (pick rng ctx.scalars) (atom ctx) ]
+    | 1 when ctx.ptrs <> [] ->
+      let p = pick rng ctx.ptrs in
+      [ Printf.sprintf "%s*%s = (*%s) + %s;" pad p p (atom ctx) ]
+    | 2 when ctx.arrays <> [] ->
+      let a = pick rng ctx.arrays in
+      [ Printf.sprintf "%s%s[%s & 7] = %s[%s & 7] + %s;" pad a (index ctx) a
+          (index ctx) (atom ctx) ]
+    | _ -> []
+  in
+  biased @ stmts ctx fuel indent
+
+(* ------------------------------------------------------------------ *)
+(* Helper functions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let globals =
+  [
+    "int g0; int g1; int g2; int g3;";
+    "int ga[8];";
+    "int gb[8];";
+    "int *ps;";
+    "int *pa;";
+    "float gf;";
+  ]
+
+let gen_pure rng k =
+  let body =
+    pick rng
+      [ "(a * 3 + b)"; "((a - b) * 2 + 7)"; "((a & 15) + (b % 5))";
+        "((a + b) >> 1)" ]
+  in
+  [ Printf.sprintf "int p%d(int a, int b) { return %s; }" k body ]
+
+let gen_rec rng k =
+  let g = R.int rng 4 in
+  [
+    Printf.sprintf "int r%d(int n) {" k;
+    Printf.sprintf "  if (n <= 0) return %d;" (R.int rng 10);
+    Printf.sprintf "  g%d = g%d + n;" g g;
+    Printf.sprintf "  return r%d(n - 1) + (n & %d);" k (1 + R.int rng 7);
+    "}";
+  ]
+
+(** A mutator helper: writes through both pointer parameters, so call
+    sites decide what actually aliases what. *)
+let gen_mut rng k ~pure_calls ~rec_calls ~prev_muts =
+  let ctx =
+    {
+      rng;
+      scalars = [ "g0"; "g1"; "g2"; "g3"; "t0" ];
+      arrays = [ "a"; "ga"; "gb" ];
+      ptrs = [ "s" ];
+      idxs = [ "n" ];
+      retargets =
+        [ ("ps", [ "&g0"; "&g1"; "&g2"; "&g3" ]); ("pa", [ "ga"; "gb" ]) ];
+      pure_calls;
+      rec_calls;
+      mut_calls =
+        List.map
+          (fun h -> (h, [ "a"; "ga"; "gb" ], [ "s"; "&g0"; "&g2" ]))
+          prev_muts;
+      depth = 1 (* helpers nest at most two loops deep *);
+    }
+  in
+  [ Printf.sprintf "void h%d(int *a, int *s, int n) {" k;
+    "  int i1; int i2;";
+    "  int t0;";
+    "  t0 = (n & 7);";
+    Printf.sprintf "  a[t0] = a[t0] + (*s);" ]
+  @ stmts ctx 2 1
+  @ [ "}" ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let program rng =
+  let n_pure = R.int rng 2 in
+  let n_rec = R.int rng 2 in
+  let n_mut = 1 + R.int rng 2 in
+  let pure_calls = List.init n_pure (Printf.sprintf "p%d") in
+  let rec_calls = List.init n_rec (Printf.sprintf "r%d") in
+  let mut_names = List.init n_mut (Printf.sprintf "h%d") in
+  let helpers =
+    List.concat (List.init n_pure (gen_pure rng))
+    @ List.concat (List.init n_rec (gen_rec rng))
+    @ List.concat
+        (List.init n_mut (fun k ->
+             gen_mut rng k ~pure_calls ~rec_calls
+               ~prev_muts:(List.filteri (fun j _ -> j < k) mut_names)))
+  in
+  let ctx =
+    {
+      rng;
+      scalars = [ "x0"; "x1"; "x2"; "x3"; "loc0"; "loc1"; "g0"; "g1"; "g2"; "g3" ];
+      arrays = [ "ga"; "gb"; "hp"; "pa" ];
+      ptrs = [ "ps"; "lp" ];
+      idxs = [];
+      retargets =
+        [
+          ("ps", [ "&g0"; "&g1"; "&g2"; "&g3"; "lp" ]);
+          ("lp", [ "&loc0"; "&loc1" ]);
+          ("pa", [ "ga"; "gb"; "hp" ]);
+        ];
+      pure_calls;
+      rec_calls;
+      mut_calls =
+        List.map
+          (fun h ->
+            ( h,
+              [ "ga"; "gb"; "hp"; "pa" ],
+              [ "&g0"; "&g1"; "&g2"; "&g3"; "lp"; "ps" ] ))
+          mut_names;
+      depth = 0;
+    }
+  in
+  let body = stmts ctx 3 1 in
+  let lines =
+    globals @ helpers
+    @ [
+        "int main() {";
+        "  int x0; int x1; int x2; int x3;";
+        "  int loc0; int loc1;";
+        "  int *lp;";
+        "  int *hp;";
+        "  int i0; int i1; int i2;";
+        "  x0 = 1; x1 = 2; x2 = 3; x3 = 5;";
+        "  loc0 = 7; loc1 = 11;";
+        "  lp = &loc0;";
+        "  hp = malloc(8);";
+        "  ps = &g0;";
+        "  pa = ga;";
+        "  for (i0 = 0; i0 < 8; i0++) { ga[i0] = i0 * 3 + 1; gb[i0] = 17 - i0; \
+         hp[i0] = i0 * i0; }";
+      ]
+    @ body
+    @ [
+        "  print_int(g0); print_int(g1); print_int(g2); print_int(g3);";
+        "  print_int(x0 + x1 + x2 + x3);";
+        "  print_int(loc0); print_int(loc1);";
+        "  print_int(*ps);";
+        "  print_float(gf);";
+        "  { int s; s = 0; for (i0 = 0; i0 < 8; i0++) s = s + ga[i0] + gb[i0] \
+         + hp[i0]; print_int(s); }";
+        "  free(hp);";
+        "  return 0;";
+        "}";
+      ]
+  in
+  String.concat "\n" lines
+
+let program_of_seed ~seed ~trial =
+  program (R.make [| 0x52504743; seed; trial |])

@@ -1,0 +1,24 @@
+(** Seeded random Mini-C program generator for differential testing.
+
+    Generates closed, deterministic Mini-C programs biased toward the
+    shapes register promotion must handle: global scalars mutated in
+    loops, address-taken locals, run-time pointer retargeting across
+    globals / locals / heap, stores through may-alias pointer parameters,
+    and bounded recursion with global side effects.
+
+    Generated programs are safe and terminating by construction (constant
+    loop bounds with unassignable index variables, masked array indices,
+    structural recursion, non-zero constant divisors, no uninitialized
+    reads), so any behavioural difference between two compilation
+    configurations is a compiler bug, never undefined behaviour.  They end
+    with a fixed epilogue printing all observable state, making dropped or
+    misdirected stores visible in the output. *)
+
+val program : Random.State.t -> string
+(** Generate one program, consuming randomness from the given state. *)
+
+val program_of_seed : seed:int -> trial:int -> string
+(** [program_of_seed ~seed ~trial] is the deterministic source for trial
+    number [trial] of a campaign with seed [seed]: the same pair always
+    yields byte-identical source, which is what makes failure reports
+    replayable. *)

@@ -1,0 +1,264 @@
+(** Delta-debugging reducer for differential-oracle failures.
+
+    Line-oriented ddmin over Mini-C source: the caller supplies a
+    predicate saying whether a candidate still reproduces the original
+    failure, and the reducer greedily shrinks while the predicate keeps
+    answering {!Fail}.  Four transformation families, iterated to a
+    fixpoint under a wall-clock budget:
+
+    - {b structured deletion} — remove a whole brace-balanced region
+      (function, loop, or conditional), largest first;
+    - {b unwrapping} — delete just the header and closer of a region,
+      splicing its body into the parent (inlining a loop to one arm);
+    - {b chunk deletion} — classic ddmin over shrinking runs of lines,
+      filtered to brace-neutral chunks;
+    - {b expression simplification} — replace a parenthesized binary
+      expression with one of its operands.
+
+    Candidates that would not even parse simply earn a {!Pass} verdict
+    from the oracle-backed predicate and are discarded — the reducer
+    never needs its own notion of validity.  Predicates answering
+    {!Quarantine} (fuel or deadline exhaustion) are counted separately
+    and treated as non-reproducing, so a shrink step that turns the
+    program into a slow one is rejected rather than trusted. *)
+
+type verdict = Fail | Pass | Quarantine
+
+type result = {
+  reduced : string;
+  original_lines : int;
+  reduced_lines : int;
+  candidates : int;
+  accepted : int;
+  quarantined : int;
+  deadline_hit : bool;
+}
+
+let count_lines s =
+  List.length
+    (List.filter
+       (fun l -> String.trim l <> "")
+       (String.split_on_char '\n' s))
+
+(* ------------------------------------------------------------------ *)
+(* Line structure                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let net_braces line =
+  String.fold_left
+    (fun n c -> if c = '{' then n + 1 else if c = '}' then n - 1 else n)
+    0 line
+
+(** All (i, j) with line [i] opening a brace region that closes at [j]. *)
+let balanced_ranges lines =
+  let n = Array.length lines in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    if net_braces lines.(i) > 0 then begin
+      let d = ref 0 and j = ref i and found = ref false in
+      while (not !found) && !j < n do
+        d := !d + net_braces lines.(!j);
+        if !d = 0 then found := true else incr j
+      done;
+      if !found then acc := (i, !j) :: !acc
+    end
+  done;
+  (* biggest regions first: one accepted deletion removes the most *)
+  List.sort (fun (a, b) (c, d) -> compare (d - c) (b - a)) !acc
+
+let delete_range lines i j =
+  List.filteri (fun k _ -> k < i || k > j) lines
+
+let delete_two lines i j =
+  List.filteri (fun k _ -> k <> i && k <> j) lines
+
+(* ------------------------------------------------------------------ *)
+(* Expression simplification                                           *)
+(* ------------------------------------------------------------------ *)
+
+let binops =
+  [ " + "; " - "; " * "; " / "; " % "; " & "; " >> "; " << "; " < "; " <= ";
+    " == "; " != "; " > " ]
+
+(** Split [s] (the inside of a paren group) at its first top-level binary
+    operator, if any. *)
+let split_binary s =
+  let n = String.length s in
+  let at_op i op =
+    let k = String.length op in
+    i + k <= n && String.sub s i k = op
+  in
+  let rec go i depth =
+    if i >= n then None
+    else
+      match s.[i] with
+      | '(' | '[' -> go (i + 1) (depth + 1)
+      | ')' | ']' -> go (i + 1) (depth - 1)
+      | _ when depth = 0 -> (
+        match List.find_opt (at_op i) binops with
+        | Some op ->
+          Some (String.sub s 0 i, String.sub s (i + String.length op)
+                  (n - i - String.length op))
+        | None -> go (i + 1) depth)
+      | _ -> go (i + 1) depth
+  in
+  go 0 0
+
+(** Up to [limit] candidate rewrites of [line], each replacing one
+    parenthesized binary expression with one of its operands. *)
+let simplify_line ?(limit = 6) line =
+  let n = String.length line in
+  let out = ref [] and count = ref 0 in
+  let i = ref 0 in
+  while !i < n && !count < limit do
+    if line.[!i] = '(' then begin
+      (* find the matching close paren *)
+      let d = ref 0 and j = ref !i and stop = ref (-1) in
+      while !stop < 0 && !j < n do
+        (match line.[!j] with
+        | '(' -> incr d
+        | ')' ->
+          decr d;
+          if !d = 0 then stop := !j
+        | _ -> ());
+        incr j
+      done;
+      if !stop > !i then begin
+        let inner = String.sub line (!i + 1) (!stop - !i - 1) in
+        match split_binary inner with
+        | Some (a, b) ->
+          let rewrite part =
+            String.sub line 0 !i ^ String.trim part
+            ^ String.sub line (!stop + 1) (n - !stop - 1)
+          in
+          out := rewrite a :: rewrite b :: !out;
+          count := !count + 2
+        | None -> ()
+      end
+    end;
+    incr i
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* The reduction loop                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(budget = 30.) ~predicate (src : string) : result =
+  let t0 = Unix.gettimeofday () in
+  let deadline_hit = ref false in
+  let over () =
+    let o = Unix.gettimeofday () -. t0 > budget in
+    if o then deadline_hit := true;
+    o
+  in
+  let candidates = ref 0 and accepted = ref 0 and quarantined = ref 0 in
+  (* [Some lines'] when the candidate still reproduces the failure *)
+  let try_candidate lines' =
+    if over () then None
+    else begin
+      incr candidates;
+      match predicate (String.concat "\n" lines') with
+      | Fail ->
+        incr accepted;
+        Some lines'
+      | Pass -> None
+      | Quarantine ->
+        incr quarantined;
+        None
+    end
+  in
+  let rec first_success = function
+    | [] -> None
+    | mk :: rest -> (
+      if over () then None
+      else
+        match try_candidate (mk ()) with
+        | Some _ as r -> r
+        | None -> first_success rest)
+  in
+  (* Run one transformation family to its own fixpoint: regenerate
+     candidates from the current lines after every accepted shrink. *)
+  let to_fixpoint gen lines =
+    let cur = ref lines and progress = ref true in
+    while !progress && not (over ()) do
+      progress := false;
+      match first_success (gen !cur) with
+      | Some lines' ->
+        cur := lines';
+        progress := true
+      | None -> ()
+    done;
+    !cur
+  in
+  let structured lines =
+    let arr = Array.of_list lines in
+    List.concat_map
+      (fun (i, j) ->
+        [ (fun () -> delete_range lines i j);
+          (fun () -> delete_two lines i j) ])
+      (balanced_ranges arr)
+  in
+  let chunks lines =
+    let arr = Array.of_list lines in
+    let n = Array.length arr in
+    let cands = ref [] in
+    List.iter
+      (fun size ->
+        let i = ref 0 in
+        while !i + size <= n do
+          let j = !i + size - 1 in
+          let net = ref 0 in
+          for k = !i to j do
+            net := !net + net_braces arr.(k)
+          done;
+          let i0 = !i in
+          if !net = 0 then
+            cands := (fun () -> delete_range lines i0 j) :: !cands;
+          i := !i + max 1 (size / 2)
+        done)
+      [ 16; 8; 4; 2; 1 ];
+    List.rev !cands
+  in
+  let simplify lines =
+    let arr = Array.of_list lines in
+    let cands = ref [] in
+    Array.iteri
+      (fun i line ->
+        List.iter
+          (fun line' ->
+            cands :=
+              (fun () ->
+                List.mapi (fun k l -> if k = i then line' else l) lines)
+              :: !cands)
+          (simplify_line line))
+      arr;
+    List.rev !cands
+  in
+  let original_lines = count_lines src in
+  let start = String.split_on_char '\n' src in
+  let cur = ref start and progress = ref true in
+  while !progress && not (over ()) do
+    let before = List.length !cur in
+    cur := to_fixpoint structured !cur;
+    cur := to_fixpoint chunks !cur;
+    cur := to_fixpoint simplify !cur;
+    progress := List.length !cur < before
+  done;
+  (* drop whitespace-only lines if the result still reproduces *)
+  let stripped = List.filter (fun l -> String.trim l <> "") !cur in
+  if List.length stripped < List.length !cur then begin
+    match try_candidate stripped with
+    | Some lines' -> cur := lines'
+    | None -> ()
+  end;
+  let reduced = String.concat "\n" !cur in
+  {
+    reduced;
+    original_lines;
+    reduced_lines = count_lines reduced;
+    candidates = !candidates;
+    accepted = !accepted;
+    quarantined = !quarantined;
+    deadline_hit = !deadline_hit;
+  }

@@ -1,0 +1,36 @@
+(** Delta-debugging reducer for differential-oracle failures
+    (see [rpcc reduce]).
+
+    Shrinks Mini-C source while a caller-supplied predicate keeps
+    reproducing the original failure, using structured (brace-balanced)
+    deletion, region unwrapping, ddmin chunk deletion, and expression
+    simplification, iterated to a fixpoint under a wall-clock budget.
+    Syntactically broken candidates need no special handling: the
+    oracle-backed predicate answers {!Pass} (the front end rejects them
+    identically under every configuration) and they are discarded. *)
+
+(** Verdict of one candidate: {!Fail} still reproduces the failure (the
+    shrink is kept), {!Pass} does not reproduce, {!Quarantine} could not
+    be decided within resource limits (fuel or deadline) — counted, and
+    treated as non-reproducing. *)
+type verdict = Fail | Pass | Quarantine
+
+type result = {
+  reduced : string;  (** smallest reproducer found *)
+  original_lines : int;  (** non-blank lines before reduction *)
+  reduced_lines : int;  (** non-blank lines after reduction *)
+  candidates : int;  (** predicate evaluations *)
+  accepted : int;  (** candidates that kept reproducing *)
+  quarantined : int;  (** candidates hitting resource limits *)
+  deadline_hit : bool;  (** the wall-clock budget expired mid-search *)
+}
+
+val run : ?budget:float -> predicate:(string -> verdict) -> string -> result
+(** [run ~predicate src] shrinks [src].  The caller must already know
+    [src] reproduces (i.e. [predicate src = Fail]); the reducer only
+    evaluates candidates.  @param budget wall-clock seconds (default 30);
+    on expiry the best reproducer so far is returned with
+    [deadline_hit = true]. *)
+
+val count_lines : string -> int
+(** Non-blank line count (the metric in {!result}). *)

@@ -121,6 +121,29 @@ let property_tests =
                && r1.Rp_exec.Interp.total.Rp_exec.Interp.ops
                   = r2.Rp_exec.Interp.total.Rp_exec.Interp.ops)
              [ Util.front src; Util.compile src ]));
+    (* same property over the differential-testing generator (Rp_fuzz.Gen),
+       whose programs lean on the promotion-relevant shapes: address-taken
+       locals, retargeted pointers, may-alias helper calls, recursion *)
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"gen-fuzz programs round trip at every stage" ~count:25
+         (make ~print:Fun.id
+            (Gen.map
+               (fun seed -> Rp_fuzz.Gen.program_of_seed ~seed ~trial:0)
+               (Gen.int_bound 1_000_000)))
+         (fun src ->
+           List.for_all
+             (fun p ->
+               let text = Serial.write p in
+               let p2 = Serial.read text in
+               Serial.write p2 = text
+               && Validate.check_program p2 = []
+               &&
+               let r1 = Rp_exec.Interp.run ~fuel:3_000_000 p in
+               let r2 = Rp_exec.Interp.run ~fuel:3_000_000 p2 in
+               r1.Rp_exec.Interp.output = r2.Rp_exec.Interp.output
+               && r1.Rp_exec.Interp.total.Rp_exec.Interp.ops
+                  = r2.Rp_exec.Interp.total.Rp_exec.Interp.ops)
+             [ Util.front src; Util.compile src ]));
   ]
 
 let () =
