@@ -89,6 +89,34 @@ let cell_result (p : Rp_suite.Programs.program) (cname : string)
     Hashtbl.replace cache key c;
     c
 
+(* -j/--jobs: number of worker domains for the compile×run grid.  Cells
+   are computed in parallel but collected and rendered in a fixed order,
+   so every table and both JSON documents are byte-identical at any -j. *)
+let jobs = ref 1
+
+(** Fill the memo cache for [cells] using [!jobs] worker domains.  Workers
+    only compute ({!run_config} never prints); results land in the cache
+    in input order.  A cell whose computation raised (only possible under
+    [--verify-passes], where a degraded pass is fatal) is left uncached:
+    the table section that needs it recomputes serially and fails at the
+    same point, with the same exception, as a sequential run. *)
+let prewarm (cells : (Rp_suite.Programs.program * string * Config.t) list) =
+  let cells =
+    List.filter
+      (fun ((p : Rp_suite.Programs.program), cname, _) ->
+        not (Hashtbl.mem cache (p.Rp_suite.Programs.name, cname)))
+      cells
+  in
+  let inputs = Array.of_list cells in
+  Rp_support.Pool.run ~jobs:!jobs
+    (fun (p, _, cfg) -> run_config p cfg)
+    inputs
+  |> Array.iteri (fun i r ->
+         let ((p : Rp_suite.Programs.program), cname, _) = inputs.(i) in
+         match r with
+         | Ok c -> Hashtbl.replace cache (p.Rp_suite.Programs.name, cname) c
+         | Error _ -> ())
+
 let cell (p : Rp_suite.Programs.program) (cname : string) (cfg : Config.t) :
     cell =
   match cell_result p cname cfg with
@@ -364,6 +392,94 @@ let ablations () =
     [ "fft"; "bc"; "clean"; "go" ]
 
 (* ------------------------------------------------------------------ *)
+(* The cell inventory                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Every (program, cell-name, config) the table sections will request,
+    in request order — the parallel prewarm's work list.  Kept next to
+    the sections above; a cell missing here is still correct, just
+    computed serially on first use. *)
+let table_cells () : (Rp_suite.Programs.program * string * Config.t) list =
+  let cells = ref [] in
+  let add p cname cfg = cells := (p, cname, cfg) :: !cells in
+  (* Figures 5-7: the paper grid, every program *)
+  List.iter
+    (fun (p : Rp_suite.Programs.program) ->
+      List.iter (fun (cname, cfg) -> add p cname cfg) Config.paper_grid)
+    Rp_suite.Programs.all;
+  (* §3.3 *)
+  let scalar_cfg = { Config.default with Config.analysis = Config.Apointer } in
+  let both_cfg = { scalar_cfg with Config.ptr_promote = true } in
+  List.iter
+    (fun p ->
+      add p "s33/scalar" scalar_cfg;
+      add p "s33/both" both_cfg)
+    Rp_suite.Programs.all;
+  (* §5 register pressure *)
+  let water = Rp_suite.Programs.find "water" in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun promote ->
+          add water
+            (Printf.sprintf "water/k%d/%b" k promote)
+            { Config.default with Config.analysis = Config.Amodref; promote; k })
+        [ false; true ])
+    [ 12; 16; 24; 32 ];
+  (* ablations 1-6 *)
+  List.iter
+    (fun name ->
+      let p = Rp_suite.Programs.find name in
+      add p "abl1/none+promotion"
+        { Config.default with Config.analysis = Config.Anone };
+      add p "abl1/modref+promotion" Config.default)
+    [ "clean"; "bc"; "mlink" ];
+  List.iter
+    (fun name ->
+      let p = Rp_suite.Programs.find name in
+      add p "abl2/store-if-stored" Config.default;
+      add p "abl2/always-store"
+        { Config.default with Config.always_store = true })
+    [ "go"; "bison"; "gzip(dec)" ];
+  List.iter
+    (fun name ->
+      let p = Rp_suite.Programs.find name in
+      add p "abl3/neither"
+        { Config.default with Config.promote = false; optimize = false };
+      add p "abl3/optimizer-only" { Config.default with Config.promote = false };
+      add p "abl3/promotion-only" { Config.default with Config.optimize = false };
+      add p "abl3/both" Config.default)
+    [ "mlink"; "clean" ];
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (cname, cfg) ->
+          add water (Printf.sprintf "abl4/%s/k%d" cname k) { cfg with Config.k })
+        [
+          ("without", { Config.default with Config.promote = false });
+          ("naive", Config.default);
+          ("throttled", { Config.default with Config.throttle = true });
+        ])
+    [ 12; 16; 24; 32 ];
+  List.iter
+    (fun name ->
+      let p = Rp_suite.Programs.find name in
+      add p "abl5/paper" Config.default;
+      add p "abl5/paper+dse" { Config.default with Config.dse = true })
+    [ "mlink"; "indent"; "gzip(enc)" ];
+  List.iter
+    (fun name ->
+      let p = Rp_suite.Programs.find name in
+      List.iter
+        (fun analysis ->
+          add p
+            (Printf.sprintf "abl6/%s" (Config.analysis_name analysis))
+            { Config.default with Config.analysis })
+        [ Config.Anone; Config.Asteens; Config.Amodref; Config.Apointer ])
+    [ "fft"; "bc"; "clean"; "go" ];
+  List.rev !cells
+
+(* ------------------------------------------------------------------ *)
 (* --json: machine-readable exports                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -371,31 +487,50 @@ module Json = Rp_support.Json
 
 (** Write [BENCH_counts.json] (program × paper-grid config × dynamic counts)
     and [BENCH_timings.json] (program × config × per-pass wall-clock and
-    analysis fixpoint iterations).  Counts are deterministic and serve as a
-    committable baseline; timings are machine-dependent and meant for
-    relative comparison between runs on one machine. *)
+    analysis fixpoint iterations, schema v2: plus per-cell wall/run time,
+    the job count, and the grid's wall-clock).  Counts are deterministic —
+    byte-identical at every [-j] — and serve as a committable baseline;
+    timings are machine-dependent and meant for relative comparison
+    between runs on one machine.
+
+    Cells run on [!jobs] worker domains; a cell is one compile+run of one
+    (program, config) pair, and results are regrouped into (program ×
+    config) rows in grid order, so document structure never depends on
+    scheduling.  Under [--verify-passes] a degraded pass is fatal: the
+    first failing cell in grid order aborts, as in a sequential run. *)
 let json_export () =
-  let rows =
-    List.map
+  let grid_t0 = Rp_support.Clock.now () in
+  let flat =
+    List.concat_map
       (fun (p : Rp_suite.Programs.program) ->
-        let per_config =
-          List.map
-            (fun (cname, cfg) ->
-              match
-                run_raw p.Rp_suite.Programs.name cfg
-                  p.Rp_suite.Programs.source
-              with
-              | exception Quarantined m -> (cname, None, Cquarantined m)
-              | (_, st, r) ->
-                let t = counts r in
-                ( cname,
-                  Some st,
-                  Cok
-                    { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
-                      checksum = r.I.checksum } ))
-            Config.paper_grid
-        in
-        (p.Rp_suite.Programs.name, per_config))
+        List.map (fun (cname, cfg) -> (p, cname, cfg)) Config.paper_grid)
+      Rp_suite.Programs.all
+  in
+  let cells =
+    Rp_support.Pool.run_exn ~jobs:!jobs
+      (fun ((p : Rp_suite.Programs.program), cname, cfg) ->
+        let t0 = Rp_support.Clock.now () in
+        match run_raw p.Rp_suite.Programs.name cfg p.Rp_suite.Programs.source
+        with
+        | exception Quarantined m -> (cname, None, Cquarantined m, 0.)
+        | (_, st, r) ->
+          let wall = Rp_support.Clock.elapsed t0 in
+          let t = counts r in
+          ( cname,
+            Some st,
+            Cok
+              { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
+                checksum = r.I.checksum },
+            wall ))
+      (Array.of_list flat)
+  in
+  let grid_wall = Rp_support.Clock.elapsed grid_t0 in
+  let nconfigs = List.length Config.paper_grid in
+  let rows =
+    List.mapi
+      (fun i (p : Rp_suite.Programs.program) ->
+        ( p.Rp_suite.Programs.name,
+          List.init nconfigs (fun j -> cells.((i * nconfigs) + j)) ))
       Rp_suite.Programs.all
   in
   let counts_doc =
@@ -409,7 +544,7 @@ let json_export () =
                  ( pname,
                    Json.Obj
                      (List.map
-                        (fun (cname, _, c) ->
+                        (fun (cname, _, c, _) ->
                           ( cname,
                             match c with
                             | Cok c ->
@@ -429,7 +564,8 @@ let json_export () =
   let timings_doc =
     Json.Obj
       [
-        ("schema", Json.Str "rpcc-bench-timings/1");
+        ("schema", Json.Str "rpcc-bench-timings/2");
+        ("jobs", Json.Int !jobs);
         ( "programs",
           Json.Obj
             (List.map
@@ -437,12 +573,25 @@ let json_export () =
                  ( pname,
                    Json.Obj
                      (List.map
-                        (fun (cname, st, c) ->
+                        (fun (cname, st, c, wall) ->
                           ( cname,
                             match st with
                             | Some st ->
-                              Pipeline.stats_json
-                                (List.assoc cname Config.paper_grid) st
+                              let compile_s = Pipeline.total_time st in
+                              (* the cell is one compile followed by one
+                                 interpreter run; wall minus compile is
+                                 the run's share *)
+                              Json.Obj
+                                [
+                                  ("wall_ms", Json.Float (1000. *. wall));
+                                  ( "run_ms",
+                                    Json.Float
+                                      (1000. *. max 0. (wall -. compile_s)) );
+                                  ( "compile",
+                                    Pipeline.stats_json
+                                      (List.assoc cname Config.paper_grid) st
+                                  );
+                                ]
                             | None ->
                               let reason =
                                 match c with
@@ -458,12 +607,13 @@ let json_export () =
             *. List.fold_left
                  (fun acc (_, per_config) ->
                    List.fold_left
-                     (fun acc (_, st, _) ->
+                     (fun acc (_, st, _, _) ->
                        match st with
                        | Some st -> acc +. Pipeline.total_time st
                        | None -> acc)
                      acc per_config)
                  0. rows) );
+        ("grid_wall_ms", Json.Float (1000. *. grid_wall));
       ]
   in
   Json.to_file "BENCH_counts.json" counts_doc;
@@ -542,11 +692,26 @@ let timings () =
 
 (* ------------------------------------------------------------------ *)
 
+(** Parse [-j N] / [--jobs N] / [--jobs=N]; 0 means the machine's
+    recommended domain count. *)
+let rec parse_jobs = function
+  | [] -> 1
+  | ("-j" | "--jobs") :: v :: _ -> int_of_string v
+  | a :: rest ->
+    (match String.index_opt a '=' with
+    | Some i when String.sub a 0 i = "--jobs" ->
+      int_of_string (String.sub a (i + 1) (String.length a - i - 1))
+    | _ -> parse_jobs rest)
+
 let () =
   let args = Array.to_list Sys.argv in
   let want_timings = List.mem "--timings" args in
   let want_json = List.mem "--json" args in
   verify := List.mem "--verify-passes" args;
+  (jobs :=
+     match parse_jobs (List.tl args) with
+     | 0 -> Rp_support.Pool.recommended_jobs ()
+     | j -> max 1 j);
   if want_json then json_export ()
   else begin
   let only_timings = want_timings && not (List.mem "--tables" args) in
@@ -562,6 +727,9 @@ let () =
     let section f =
       try f () with Quarantined m -> Fmt.pr "  quarantined: %s@." m
     in
+    (* compute the full grid in parallel before any table renders; the
+       sections below then read the memo cache in their fixed order *)
+    if !jobs > 1 then prewarm (table_cells ());
     figure4 ();
     section metric_tables;
     section mlink_function;

@@ -374,10 +374,24 @@ let seed_t =
 let trials_t ~doc =
   Arg.(value & opt int 50 & info [ "trials"; "seeds" ] ~docv:"N" ~doc)
 
+(* Both fuzz campaigns parallelize over trials with deterministic
+   collection, so -j changes wall-clock time and nothing else. *)
+let jobs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run trials on $(docv) worker domains.  Reports, saved \
+           reproducers, and exit codes are identical at every $(docv); \
+           use 0 for the machine's recommended domain count.")
+
+let resolve_jobs j =
+  if j <= 0 then Rp_support.Pool.recommended_jobs () else j
+
 let fuzz_cmd =
-  let fuzz seed seeds =
+  let fuzz seed seeds jobs =
     handle_errors @@ fun () ->
-    let report = Rp_fuzz.Faultgen.run ~seed ~seeds () in
+    let report = Rp_fuzz.Faultgen.run ~seed ~seeds ~jobs:(resolve_jobs jobs) () in
     Fmt.pr "%a" Rp_fuzz.Faultgen.pp_report report;
     let escapes = Rp_fuzz.Faultgen.total_escapes report in
     Fmt.pr "; seed=%d, %d trials, %d escapes@." seed
@@ -394,7 +408,8 @@ let fuzz_cmd =
           contained.  Exits 1 if any fault escapes undetected.")
     Term.(
       const fuzz $ seed_t
-      $ trials_t ~doc:"Number of fault-injection trials.")
+      $ trials_t ~doc:"Number of fault-injection trials."
+      $ jobs_t)
 
 (* ------------------------------------------------------------------ *)
 (* Generative differential testing                                     *)
@@ -463,7 +478,7 @@ let reduce_failure ~mode ~fuel ~inject ~budget ~path ~out
     (target : Rp_fuzz.Difforacle.failure) src =
   let module D = Rp_fuzz.Difforacle in
   let module Reduce = Rp_fuzz.Reduce in
-  let deadline = Unix.gettimeofday () +. budget in
+  let deadline = Rp_support.Clock.now () +. budget in
   let predicate s =
     match D.check ~mode ~fuel ~deadline ?inject s with
     | D.Diverged fs
@@ -495,16 +510,26 @@ let reduce_failure ~mode ~fuel ~inject ~budget ~path ~out
   r
 
 let gen_fuzz_cmd =
-  let gen_fuzz seed trials mode inject fuel do_reduce budget out_dir =
+  let gen_fuzz seed trials mode inject fuel do_reduce budget out_dir jobs =
     handle_errors @@ fun () ->
     let module D = Rp_fuzz.Difforacle in
     (try Sys.mkdir out_dir 0o755 with Sys_error _ -> ());
     let inject = Option.map (fun c -> (c, seed)) inject in
     let agreed = ref 0 and inconclusive = ref 0 and rejected = ref 0 in
     let diverged = ref [] in
-    for trial = 0 to trials - 1 do
-      let src = Rp_fuzz.Gen.program_of_seed ~seed ~trial in
-      match D.check ~mode ~fuel ?inject src with
+    (* Trials are independent: each generates its program from (seed,
+       trial) and checks it against the oracle.  Workers only compute;
+       all printing and reproducer-saving happens below, in trial order,
+       so output is byte-identical at every --jobs level. *)
+    let outcomes =
+      Rp_support.Pool.run_exn ~jobs:(resolve_jobs jobs)
+        (fun trial ->
+          let src = Rp_fuzz.Gen.program_of_seed ~seed ~trial in
+          (src, D.check ~mode ~fuel ?inject src))
+        (Array.init trials (fun i -> i))
+    in
+    Array.iteri (fun trial (src, outcome) ->
+      match outcome with
       | D.Agree _ -> incr agreed
       | D.Inconclusive m ->
         incr inconclusive;
@@ -539,8 +564,8 @@ let gen_fuzz_cmd =
                 " --inject " ^ Rp_fuzz.Faultgen.class_name c
               | None -> "")
               seed)
-          fs
-    done;
+          fs)
+      outcomes;
     Fmt.pr
       "gen-fuzz: seed=%d trials=%d agreed=%d diverged=%d inconclusive=%d \
        rejected=%d@."
@@ -583,7 +608,8 @@ let gen_fuzz_cmd =
     Term.(
       const gen_fuzz $ seed_t
       $ trials_t ~doc:"Number of generated programs to test."
-      $ mode_t $ inject_t $ oracle_fuel_t $ reduce_t $ budget_t $ out_dir_t)
+      $ mode_t $ inject_t $ oracle_fuel_t $ reduce_t $ budget_t $ out_dir_t
+      $ jobs_t)
 
 let reduce_cmd =
   let reduce file config_name cls_name mode inject iseed fuel budget out =

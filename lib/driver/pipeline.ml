@@ -73,9 +73,9 @@ let zero_stage_stats () =
 (** Run [f], appending its wall-clock time to [s.timings] under [name].
     Repeated passes (clean, copyprop, valnum) appear once per execution. *)
 let timed (s : stage_stats) name f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rp_support.Clock.now () in
   let r = f () in
-  s.timings <- (name, Unix.gettimeofday () -. t0) :: s.timings;
+  s.timings <- (name, Rp_support.Clock.elapsed t0) :: s.timings;
   r
 
 exception Degraded of string
@@ -86,8 +86,19 @@ exception Degraded of string
 (** Fault-injection hook for the test-suite and [rpcc fuzz]: called with
     the pass name at the start of every guarded pass body, {e inside} the
     isolation boundary, so a hook that raises exercises exactly the
-    rollback path a buggy pass would.  Default: no-op. *)
-let fault_hook : (string -> unit) ref = ref (fun _ -> ())
+    rollback path a buggy pass would.  Domain-local, so parallel fuzz
+    workers ({!Rp_support.Pool}) inject faults into their own compiles
+    only.  Default: no-op. *)
+let fault_hook : (string -> unit) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (fun _ -> ()))
+
+(** Run [f] with [hook] installed as this domain's fault hook, restoring
+    the previous hook afterwards (even on exceptions). *)
+let with_fault_hook (hook : string -> unit) (f : unit -> 'a) : 'a =
+  let cell = Domain.DLS.get fault_hook in
+  let saved = !cell in
+  cell := hook;
+  Fun.protect ~finally:(fun () -> cell := saved) f
 
 (* ------------------------------------------------------------------ *)
 (* Translation-validation oracle                                       *)
@@ -166,7 +177,17 @@ let optimize ?(config = Config.default) ?stats (p : Program.t) : stage_stats =
       Program.restore p snap;
       s.degraded <- s.degraded @ [ (name, reason) ]
     in
-    match timed s name (fun () -> !fault_hook name; f ()) with
+    let hook = Domain.DLS.get fault_hook in
+    match
+      timed s name (fun () ->
+          !hook name;
+          f ();
+          (* the pass body mutates function bodies in place without going
+             through [Program]'s mutators; stamp the change so the
+             interpreter's precompile cache ({!Rp_exec.Precomp}) can't
+             serve stale code.  Rollback paths stamp via [restore]. *)
+          Program.touch p)
+    with
     | () ->
       if verify then begin
         match Validate.check_program p with

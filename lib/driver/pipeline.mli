@@ -45,8 +45,13 @@ exception Degraded of string
 
 (** Fault-injection hook for tests and [rpcc fuzz]: called with the pass
     name at the start of every guarded pass body, inside the isolation
-    boundary.  Default: no-op. *)
-val fault_hook : (string -> unit) ref
+    boundary.  Domain-local: parallel fuzz workers inject faults into
+    their own compiles only.  Default: no-op. *)
+val fault_hook : (string -> unit) ref Domain.DLS.key
+
+(** [with_fault_hook hook f] runs [f] with [hook] installed as this
+    domain's fault hook, restoring the previous hook afterwards. *)
+val with_fault_hook : (string -> unit) -> (unit -> 'a) -> 'a
 
 (** Run the middle- and back-end on lowered IL; validates the result.
     [stats], when given, is extended in place (used by {!compile} to record

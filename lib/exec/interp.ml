@@ -14,9 +14,17 @@
     dynamically checked against its static tag set: the tag naming the
     object actually touched must belong to the operation's tag set.  This
     turns every program run into a soundness test for the MOD/REF and
-    points-to analyses. *)
+    points-to analyses.
+
+    The execution core runs on {!Precomp}'s dense form — blocks as a
+    label-indexed array, instructions as arrays, calls resolved to callee
+    slots with precomputed arities — compiled once per program version and
+    cached, so the hot loop performs no hashtable probes and no list
+    traversals.  Counts, output, and trap behaviour are bit-identical to
+    the original list-walking interpreter. *)
 
 open Rp_ir
+module P = Precomp
 
 type counts = {
   mutable ops : int;
@@ -52,13 +60,14 @@ let resource_limit fmt = Fmt.kstr (fun s -> raise (Resource_limit s)) fmt
 
 type state = {
   prog : Program.t;
+  dprog : P.dprog;
   mem : Memory.t;
-  globals : (int, int) Hashtbl.t;  (** tag id -> base *)
+  gbase : int array;  (** tag id -> base for globals; -1 = no storage *)
   mutable rng : int;
   out : Buffer.t;
   mutable checksum : int;
   total : counts;
-  per_func : (string, counts) Hashtbl.t;
+  fcounts : counts array;  (** per-function counts, indexed by [didx] *)
   fuel : int;
   check_tags : bool;
   max_depth : int;
@@ -125,26 +134,17 @@ let call_builtin st name (args : Value.t list) site : Value.t =
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let func_counts st fname =
-  match Hashtbl.find_opt st.per_func fname with
-  | Some c -> c
-  | None ->
-    let c = zero_counts () in
-    Hashtbl.replace st.per_func fname c;
-    c
-
-(** Resolve the base of a tag in the current frame. *)
-let tag_base st frame (t : Tag.t) =
-  match t.Tag.storage with
-  | Tag.Global -> (
-    match Hashtbl.find_opt st.globals t.Tag.id with
-    | Some b -> b
-    | None -> Value.error "no storage for global tag '%s'" t.Tag.name)
-  | Tag.Local _ | Tag.Spill _ -> (
-    match Hashtbl.find_opt frame t.Tag.id with
-    | Some b -> b
-    | None -> Value.error "no frame storage for tag '%s'" t.Tag.name)
-  | Tag.Heap _ -> Value.error "direct access to heap tag '%s'" t.Tag.name
+(** Resolve the base of a scalar memory operand in the current frame. *)
+let tag_base st (frame : int array) (tr : P.tagref) =
+  match tr with
+  | P.Rframe i -> Array.unsafe_get frame i
+  | P.Rglobal t ->
+    let id = t.Tag.id in
+    let b = if id < Array.length st.gbase then st.gbase.(id) else -1 in
+    if b >= 0 then b
+    else Value.error "no storage for global tag '%s'" t.Tag.name
+  | P.Rnoframe t -> Value.error "no frame storage for tag '%s'" t.Tag.name
+  | P.Rheap t -> Value.error "direct access to heap tag '%s'" t.Tag.name
 
 let check_tagset st (tags : Tagset.t) base op =
   if st.check_tags && not (Tagset.is_univ tags) then begin
@@ -155,123 +155,145 @@ let check_tagset st (tags : Tagset.t) base op =
         actual.Tag.name Tagset.pp tags
   end
 
-let rec exec_func st (fname : string) (args : Value.t list) : Value.t =
+let[@inline] tick st (fc : counts) =
+  let t = st.total in
+  t.ops <- t.ops + 1;
+  fc.ops <- fc.ops + 1;
+  if t.ops > st.fuel then
+    resource_limit "fuel exhausted (%d operations)" st.fuel;
+  if t.ops land 4095 = 0 && st.should_stop () then
+    resource_limit "external stop after %d operations" t.ops
+
+let[@inline] count_load st (fc : counts) =
+  st.total.loads <- st.total.loads + 1;
+  fc.loads <- fc.loads + 1
+
+let[@inline] count_store st (fc : counts) =
+  st.total.stores <- st.total.stores + 1;
+  fc.stores <- fc.stores + 1
+
+(** Enter [g] with arguments taken from the caller's registers through the
+    call's precompiled [int array] ([main] enters with two empty arrays).
+    Order of effects matches the list interpreter exactly: depth check,
+    then arity check, then frame allocation, then the block loop. *)
+let rec exec_dfunc st (g : P.dfunc) (caller_regs : Value.t array)
+    (dargs : int array) : Value.t =
   st.depth <- st.depth + 1;
   if st.depth > st.max_depth then
     resource_limit "call stack overflow (max depth %d)" st.max_depth;
-  let f = Program.func st.prog fname in
-  if List.length args <> List.length f.Func.params then
-    Value.error "arity mismatch calling %s" fname;
-  let regs = Array.make (max f.Func.nreg 1) Value.Vundef in
-  List.iter2 (fun p v -> regs.(p) <- v) f.Func.params args;
-  (* frame: one fresh object per local tag *)
-  let frame = Hashtbl.create 8 in
-  List.iter
-    (fun (t : Tag.t) ->
-      Hashtbl.replace frame t.Tag.id
-        (Memory.alloc st.mem ~tag:t ~size:t.Tag.size))
-    f.Func.local_tags;
-  let fc = func_counts st fname in
-  let tick () =
-    st.total.ops <- st.total.ops + 1;
-    fc.ops <- fc.ops + 1;
-    if st.total.ops > st.fuel then
-      resource_limit "fuel exhausted (%d operations)" st.fuel;
-    if st.total.ops land 4095 = 0 && st.should_stop () then
-      resource_limit "external stop after %d operations" st.total.ops
-  in
-  let count_load () =
-    st.total.loads <- st.total.loads + 1;
-    fc.loads <- fc.loads + 1
-  in
-  let count_store () =
-    st.total.stores <- st.total.stores + 1;
-    fc.stores <- fc.stores + 1
-  in
-  let exec_instr (i : Instr.t) : unit =
-    tick ();
-    match i with
-    | Instr.Loadi (d, c) -> regs.(d) <- Value.of_const c
-    | Instr.Loada (d, t) -> regs.(d) <- Value.Vptr (tag_base st frame t, 0)
-    | Instr.Loadfp (d, n) -> regs.(d) <- Value.Vfun n
-    | Instr.Unop (op, d, s) -> regs.(d) <- Value.unop op regs.(s)
-    | Instr.Binop (op, d, s1, s2) ->
-      regs.(d) <- Value.binop op regs.(s1) regs.(s2)
-    | Instr.Copy (d, s) -> regs.(d) <- regs.(s)
-    | Instr.Loadc (d, t) | Instr.Loads (d, t) ->
-      count_load ();
-      regs.(d) <- Memory.load st.mem (tag_base st frame t) 0
-    | Instr.Stores (t, s) ->
-      count_store ();
-      Memory.store st.mem (tag_base st frame t) 0 regs.(s)
-    | Instr.Loadg (d, a, tags) -> (
-      count_load ();
-      match regs.(a) with
-      | Value.Vptr (b, o) ->
-        check_tagset st tags b "Load";
-        regs.(d) <- Memory.load st.mem b o
-      | v -> Value.error "Load through non-pointer %a" Value.pp v)
-    | Instr.Storeg (a, s, tags) -> (
-      count_store ();
-      match regs.(a) with
-      | Value.Vptr (b, o) ->
-        check_tagset st tags b "Store";
-        Memory.store st.mem b o regs.(s)
-      | v -> Value.error "Store through non-pointer %a" Value.pp v)
-    | Instr.Call c -> (
-      let argv = List.map (fun r -> regs.(r)) c.Instr.args in
-      let callee =
-        match c.Instr.target with
-        | Instr.Direct n -> n
-        | Instr.Indirect r -> (
-          match regs.(r) with
-          | Value.Vfun n -> n
-          | v -> Value.error "indirect call through %a" Value.pp v)
-      in
-      let rv =
-        if Program.func_opt st.prog callee <> None then
-          exec_func st callee argv
-        else if Rp_minic.Builtins.is_builtin callee then
-          call_builtin st callee argv c.Instr.site
-        else Value.error "call to unknown function '%s'" callee
-      in
-      match c.Instr.ret with
-      | Some d -> regs.(d) <- rv
-      | None -> ())
-    | Instr.Phi _ -> Value.error "phi instruction reached the interpreter"
-  in
-  let rec run_block (l : Instr.label) : Value.t =
-    let b = Func.block f l in
-    List.iter exec_instr b.Block.instrs;
-    tick ();
-    (* terminator *)
-    match b.Block.term with
-    | Instr.Jump l -> run_block l
-    | Instr.Cbr (r, a, bb) ->
-      if Value.truthy regs.(r) then run_block a else run_block bb
-    | Instr.Ret None -> Value.Vundef
-    | Instr.Ret (Some r) -> regs.(r)
-  in
-  let ret = run_block f.Func.entry in
+  if Array.length dargs <> g.P.darity then
+    Value.error "arity mismatch calling %s" g.P.dname;
+  let regs = Array.make g.P.dnreg Value.Vundef in
+  let params = g.P.dparams in
+  for i = 0 to g.P.darity - 1 do
+    regs.(params.(i)) <- caller_regs.(dargs.(i))
+  done;
+  (* frame: one fresh object per local tag, in declaration order *)
+  let nlocals = Array.length g.P.dlocals in
+  let frame = Array.make nlocals 0 in
+  for i = 0 to nlocals - 1 do
+    let t = g.P.dlocals.(i) in
+    frame.(i) <- Memory.alloc st.mem ~tag:t ~size:t.Tag.size
+  done;
+  let fc = st.fcounts.(g.P.didx) in
+  let ret = run_block st g regs frame fc g.P.dentry in
   (* pop the frame: locals die here, catching dangling pointers *)
-  Hashtbl.iter (fun _ b -> Memory.release st.mem b) frame;
+  for i = 0 to nlocals - 1 do
+    Memory.release st.mem frame.(i)
+  done;
   st.depth <- st.depth - 1;
   ret
+
+and run_block st (g : P.dfunc) regs frame fc (bi : int) : Value.t =
+  if bi < 0 then
+    (* faithful to [Func.block] on a missing label *)
+    invalid_arg ("Func.block: no block " ^ g.P.dbad.(-1 - bi));
+  let b = g.P.dblocks.(bi) in
+  let ins = b.P.dinstrs in
+  for k = 0 to Array.length ins - 1 do
+    exec_instr st regs frame fc (Array.unsafe_get ins k)
+  done;
+  tick st fc;
+  (* terminator *)
+  match b.P.dterm with
+  | P.Djump l -> run_block st g regs frame fc l
+  | P.Dcbr (r, a, bb) ->
+    run_block st g regs frame fc (if Value.truthy regs.(r) then a else bb)
+  | P.Dret r -> if r < 0 then Value.Vundef else regs.(r)
+
+and exec_instr st (regs : Value.t array) frame fc (i : P.dinstr) : unit =
+  tick st fc;
+  match i with
+  | P.Dloadi (d, v) -> regs.(d) <- v
+  | P.Dloada (d, tr) -> regs.(d) <- Value.Vptr (tag_base st frame tr, 0)
+  | P.Dloadfp (d, n) -> regs.(d) <- Value.Vfun n
+  | P.Dunop (op, d, s) -> regs.(d) <- Value.unop op regs.(s)
+  | P.Dbinop (op, d, s1, s2) ->
+    regs.(d) <- Value.binop op regs.(s1) regs.(s2)
+  | P.Dcopy (d, s) -> regs.(d) <- regs.(s)
+  | P.Dload_tag (d, tr) ->
+    count_load st fc;
+    regs.(d) <- Memory.load st.mem (tag_base st frame tr) 0
+  | P.Dstore_tag (tr, s) ->
+    count_store st fc;
+    Memory.store st.mem (tag_base st frame tr) 0 regs.(s)
+  | P.Dloadg (d, a, tags) -> (
+    count_load st fc;
+    match regs.(a) with
+    | Value.Vptr (b, o) ->
+      check_tagset st tags b "Load";
+      regs.(d) <- Memory.load st.mem b o
+    | v -> Value.error "Load through non-pointer %a" Value.pp v)
+  | P.Dstoreg (a, s, tags) -> (
+    count_store st fc;
+    match regs.(a) with
+    | Value.Vptr (b, o) ->
+      check_tagset st tags b "Store";
+      Memory.store st.mem b o regs.(s)
+    | v -> Value.error "Store through non-pointer %a" Value.pp v)
+  | P.Dcall c -> exec_call st regs c
+  | P.Dtrap msg -> raise (Value.Runtime_error msg)
+
+and exec_call st (regs : Value.t array) (c : P.dcall) : unit =
+  let rv =
+    match c.P.ctarget with
+    | P.Dslot g -> exec_dfunc st g regs c.P.cargs
+    | P.Dbuiltin name -> call_builtin st name (argv st regs c) c.P.csite
+    | P.Dunknown name -> Value.error "call to unknown function '%s'" name
+    | P.Dindirect r -> (
+      match regs.(r) with
+      | Value.Vfun n -> (
+        match Hashtbl.find_opt st.dprog.P.by_name n with
+        | Some g -> exec_dfunc st g regs c.P.cargs
+        | None ->
+          if Rp_minic.Builtins.is_builtin n then
+            call_builtin st n (argv st regs c) c.P.csite
+          else Value.error "call to unknown function '%s'" n)
+      | v -> Value.error "indirect call through %a" Value.pp v)
+  in
+  if c.P.cret >= 0 then regs.(c.P.cret) <- rv
+
+(** Argument values for a builtin call (builtins take lists; program
+    functions copy registers directly and never build this). *)
+and argv _st (regs : Value.t array) (c : P.dcall) : Value.t list =
+  Array.to_list (Array.map (fun r -> regs.(r)) c.P.cargs)
 
 (** Run [main] and return outputs plus dynamic counts. *)
 let run ?(fuel = 400_000_000) ?(check_tags = true) ?(max_depth = 100_000)
     ?(seed = 12345) ?(should_stop = fun () -> false) (prog : Program.t) :
     result =
+  let dprog = P.get prog in
   let st =
     {
       prog;
+      dprog;
       mem = Memory.create ();
-      globals = Hashtbl.create 64;
+      gbase = Array.make (Tag.Table.count prog.Program.tags) (-1);
       rng = seed land 0x3FFFFFFF;
       out = Buffer.create 256;
       checksum = 0x1505;
       total = zero_counts ();
-      per_func = Hashtbl.create 16;
+      fcounts = Array.map (fun _ -> zero_counts ()) dprog.P.dfuncs;
       fuel;
       check_tags;
       max_depth;
@@ -283,7 +305,7 @@ let run ?(fuel = 400_000_000) ?(check_tags = true) ?(max_depth = 100_000)
   List.iter
     (fun ((t : Tag.t), init) ->
       let b = Memory.alloc st.mem ~tag:t ~size:t.Tag.size in
-      Hashtbl.replace st.globals t.Tag.id b;
+      if t.Tag.id < Array.length st.gbase then st.gbase.(t.Tag.id) <- b;
       (match init with
       | Program.Init_zero zero ->
         let o = Value.of_const zero in
@@ -292,10 +314,19 @@ let run ?(fuel = 400_000_000) ?(check_tags = true) ?(max_depth = 100_000)
         done
       | Program.Init_words ws -> Memory.init_words st.mem b ws))
     st.prog.Program.globals;
-  let ret = exec_func st st.prog.Program.main [] in
+  let main_df =
+    match dprog.P.dmain with
+    | Some g -> g
+    | None -> invalid_arg ("Program.func: no function " ^ dprog.P.dmain_name)
+  in
+  let ret = exec_dfunc st main_df [||] [||] in
   let per_func =
-    Hashtbl.fold (fun n c acc -> (n, c) :: acc) st.per_func []
-    |> List.sort compare
+    Array.to_list dprog.P.dfuncs
+    |> List.filter_map (fun (g : P.dfunc) ->
+           let c = st.fcounts.(g.P.didx) in
+           (* a function that was entered ticked at least once *)
+           if c.ops = 0 then None else Some (g.P.dname, c))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   {
     ret;

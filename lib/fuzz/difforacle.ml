@@ -73,9 +73,7 @@ let default_fuel = 2_000_000
 (* Plumbing                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let with_hook hook f =
-  Pipeline.fault_hook := hook;
-  Fun.protect ~finally:(fun () -> Pipeline.fault_hook := fun _ -> ()) f
+let with_hook hook f = Pipeline.with_fault_hook hook f
 
 let mode_config mode (cfg : Config.t) =
   match mode with
@@ -120,10 +118,10 @@ let run_program ~fuel ?should_stop p =
 let check ?(mode = Verify) ?(fuel = default_fuel) ?deadline ?inject
     (src : string) : outcome =
   let should_stop =
-    Option.map (fun d () -> Unix.gettimeofday () > d) deadline
+    Option.map (fun d () -> Rp_support.Clock.now () > d) deadline
   in
   let past_deadline () =
-    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+    match deadline with Some d -> Rp_support.Clock.now () > d | None -> false
   in
   (* Reference: O0 front-end semantics.  A program the front end rejects
      is rejected identically under every configuration, so it carries no

@@ -203,9 +203,18 @@ let results_equal (a : Interp.result) (b : Interp.result) =
   && a.Interp.total.Interp.loads = b.Interp.total.Interp.loads
   && a.Interp.total.Interp.stores = b.Interp.total.Interp.stores
 
-let with_hook hook f =
-  Pipeline.fault_hook := hook;
-  Fun.protect ~finally:(fun () -> Pipeline.fault_hook := fun _ -> ()) f
+let with_hook hook f = Pipeline.with_fault_hook hook f
+
+(** What one trial observed.  Trials are pure with respect to the report —
+    they run (possibly on a worker domain) and return an outcome, which the
+    campaign folds into the report in trial-index order, so the report and
+    its escape list are identical at any [jobs] level. *)
+type outcome =
+  | Caught of [ `Validation | `Oracle | `Exception ]
+  | Benign
+  | Skipped
+  | Escaped of string
+  | No_site  (** the trial found nothing to do (no target pass) *)
 
 (** Reasons recorded by the guard start with "validation:" / "oracle:" for
     the two validators; anything else is a caught exception. *)
@@ -219,8 +228,8 @@ let classify_reason reason =
 (** One IL-mutation trial: compile [seed] under full validation, mutating
     the IL at [target] via the fault hook; classify the pipeline's
     reaction. *)
-let mutation_trial rng (st : class_stats) (report : report) cls target
-    (seed : Corpus.seed) (baseline : Interp.result) =
+let mutation_trial rng cls target (seed : Corpus.seed)
+    (baseline : Interp.result) : outcome =
   let p = Rp_irgen.Irgen.compile_source seed.Corpus.source in
   let applied = ref None in
   let run () =
@@ -231,58 +240,44 @@ let mutation_trial rng (st : class_stats) (report : report) cls target
   in
   match run () with
   | exception e ->
-    st.injected <- st.injected + 1;
-    report.escapes <-
-      Printf.sprintf "%s@%s on %s: exception escaped optimize: %s"
-        (class_name cls) target seed.Corpus.name (Printexc.to_string e)
-      :: report.escapes;
-    st.escaped <- st.escaped + 1
+    Escaped
+      (Printf.sprintf "%s@%s on %s: exception escaped optimize: %s"
+         (class_name cls) target seed.Corpus.name (Printexc.to_string e))
   | stats -> (
     match !applied with
-    | None -> st.skipped <- st.skipped + 1
+    | None -> Skipped
     | Some desc -> (
-      st.injected <- st.injected + 1;
       match List.assoc_opt target stats.Pipeline.degraded with
-      | Some reason -> (
-        match classify_reason reason with
-        | `Validation -> st.caught_validation <- st.caught_validation + 1
-        | `Oracle -> st.caught_oracle <- st.caught_oracle + 1
-        | `Exception -> st.caught_exception <- st.caught_exception + 1)
+      | Some reason -> Caught (classify_reason reason)
       | None ->
         (* not rolled back: only acceptable if the finished program is
            still observably identical to a clean compile *)
-        let r = Interp.run p in
         let same =
-          match r with
+          match Interp.run p with
           | exception Rp_exec.Value.Runtime_error _ -> false
           | r ->
             r.Interp.output = baseline.Interp.output
             && r.Interp.checksum = baseline.Interp.checksum
         in
-        if same then st.benign <- st.benign + 1
-        else begin
-          report.escapes <-
-            Printf.sprintf "%s@%s on %s: %s survived undetected"
-              (class_name cls) target seed.Corpus.name desc
-            :: report.escapes;
-          st.escaped <- st.escaped + 1
-        end))
+        if same then Benign
+        else
+          Escaped
+            (Printf.sprintf "%s@%s on %s: %s survived undetected"
+               (class_name cls) target seed.Corpus.name desc)))
 
 (** One pass-exception trial: a pass that raises must be contained,
     recorded, and behave exactly like the pass-disabled configuration. *)
-let exception_trial rng (st : class_stats) (report : report)
-    (seed : Corpus.seed) =
+let exception_trial rng (seed : Corpus.seed) : outcome =
   match pick rng exception_passes with
-  | None -> ()
+  | None -> No_site
   | Some (target, disabled_config) -> (
-    st.injected <- st.injected + 1;
-    let fail () =
-      Printf.ksprintf (fun m ->
-          report.escapes <-
-            Printf.sprintf "pass_exception@%s on %s: %s" target
-              seed.Corpus.name m
-            :: report.escapes;
-          st.escaped <- st.escaped + 1)
+    let fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          Escaped
+            (Printf.sprintf "pass_exception@%s on %s: %s" target
+               seed.Corpus.name m))
+        fmt
     in
     let compile () =
       with_hook
@@ -292,24 +287,62 @@ let exception_trial rng (st : class_stats) (report : report)
     in
     match compile () with
     | exception e ->
-      fail () "exception escaped the compile: %s" (Printexc.to_string e)
+      fail "exception escaped the compile: %s" (Printexc.to_string e)
     | (_, stats, r) -> (
       match List.assoc_opt target stats.Pipeline.degraded with
-      | None -> fail () "fault not recorded in degraded"
+      | None -> fail "fault not recorded in degraded"
       | Some _ ->
         let (_, _, r0) =
           Pipeline.compile_and_run ~config:disabled_config seed.Corpus.source
         in
-        if results_equal r r0 then
-          st.caught_exception <- st.caught_exception + 1
-        else fail () "result differs from the pass-disabled configuration"))
+        if results_equal r r0 then Caught `Exception
+        else fail "result differs from the pass-disabled configuration"))
 
 (* ------------------------------------------------------------------ *)
 (* Campaign                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(seed = 42) ?(seeds = 50) () : report =
-  let rng = R.make [| seed |] in
+(** Trial [i] of campaign [seed], self-contained: draws every random
+    choice from its own [R.make [| seed; i |]] stream, so a trial's
+    behaviour depends only on [(seed, i)] — never on which domain ran it
+    or what other trials did.  That is what makes [--jobs] replay-stable
+    and lets [--seed S --trials N] reproduce any campaign exactly. *)
+let run_trial ~seed baselines i : fault_class * outcome =
+  let rng = R.make [| seed; i |] in
+  let (prog, baseline) = List.nth baselines (i mod List.length baselines) in
+  let cls = List.nth all_classes (R.int rng (List.length all_classes)) in
+  let outcome =
+    match cls with
+    | Pass_exception -> exception_trial rng prog
+    | _ -> (
+      match pick rng mutation_passes with
+      | None -> No_site
+      | Some target -> mutation_trial rng cls target prog baseline)
+  in
+  (cls, outcome)
+
+(** Fold one trial's outcome into the report (main domain only). *)
+let record report (cls, outcome) =
+  report.trials <- report.trials + 1;
+  let st = stats_for report cls in
+  match outcome with
+  | No_site -> ()
+  | Skipped -> st.skipped <- st.skipped + 1
+  | Caught k ->
+    st.injected <- st.injected + 1;
+    (match k with
+    | `Validation -> st.caught_validation <- st.caught_validation + 1
+    | `Oracle -> st.caught_oracle <- st.caught_oracle + 1
+    | `Exception -> st.caught_exception <- st.caught_exception + 1)
+  | Benign ->
+    st.injected <- st.injected + 1;
+    st.benign <- st.benign + 1
+  | Escaped desc ->
+    st.injected <- st.injected + 1;
+    st.escaped <- st.escaped + 1;
+    report.escapes <- desc :: report.escapes
+
+let run ?(seed = 42) ?(seeds = 50) ?(jobs = 1) () : report =
   let report =
     {
       seed;
@@ -330,18 +363,10 @@ let run ?(seed = 42) ?(seeds = 50) () : report =
         (s, r))
       Corpus.all
   in
-  for i = 0 to seeds - 1 do
-    report.trials <- report.trials + 1;
-    let (prog, baseline) = List.nth baselines (i mod List.length baselines) in
-    let cls = List.nth all_classes (R.int rng (List.length all_classes)) in
-    let st = stats_for report cls in
-    match cls with
-    | Pass_exception -> exception_trial rng st report prog
-    | _ -> (
-      match pick rng mutation_passes with
-      | None -> ()
-      | Some target -> mutation_trial rng st report cls target prog baseline)
-  done;
+  Rp_support.Pool.run_exn ~jobs
+    (run_trial ~seed baselines)
+    (Array.init seeds (fun i -> i))
+  |> Array.iter (record report);
   report
 
 let total_escapes r =

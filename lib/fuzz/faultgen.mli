@@ -42,8 +42,12 @@ val mutate :
 val fuzz_config : Rp_driver.Config.t
 
 (** Run a campaign of [seeds] trials (default 50) from RNG [seed]
-    (default 42) over the built-in {!Corpus}. *)
-val run : ?seed:int -> ?seeds:int -> unit -> report
+    (default 42) over the built-in {!Corpus}.  Trials run on [jobs]
+    worker domains (default 1); every random choice of trial [i] is drawn
+    from its own [(seed, i)]-keyed stream and outcomes are folded into
+    the report in trial order, so the report is identical at any [jobs]
+    level. *)
+val run : ?seed:int -> ?seeds:int -> ?jobs:int -> unit -> report
 
 val total_escapes : report -> int
 val pp_report : Format.formatter -> report -> unit

@@ -145,10 +145,10 @@ let simplify_line ?(limit = 6) line =
 (* ------------------------------------------------------------------ *)
 
 let run ?(budget = 30.) ~predicate (src : string) : result =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rp_support.Clock.now () in
   let deadline_hit = ref false in
   let over () =
-    let o = Unix.gettimeofday () -. t0 > budget in
+    let o = Rp_support.Clock.elapsed t0 > budget in
     if o then deadline_hit := true;
     o
   in

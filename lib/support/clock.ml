@@ -1,0 +1,34 @@
+(** Monotonic wall-clock time for budgets and pass timings.
+
+    [Unix.gettimeofday] follows the system clock, which can step backwards
+    (NTP corrections, manual resets); a deadline or a pass timer built
+    directly on it can misfire or report negative durations.  The proper
+    fix is [clock_gettime(CLOCK_MONOTONIC)], but neither the OCaml stdlib
+    nor this repo's vendored dependency set exposes it ([mtime] is not
+    available in the build image), so this module {e monotonizes} the wall
+    clock instead: every reading is clamped to be >= the largest reading
+    ever returned, process-wide, via an atomic max.
+
+    Two properties callers rely on:
+    - [now] never decreases, even across domains, so elapsed-time
+      differences and deadline comparisons are always well-ordered;
+    - the returned value stays on the [gettimeofday] epoch (seconds since
+      1970-01-01), so deadlines computed as [Clock.now () +. budget] can
+      be compared against readings taken anywhere else in the process. *)
+
+(* A float payload in an [Atomic.t] is a boxed immutable value; the CAS
+   loop below is the standard lock-free atomic-max. *)
+let last = Atomic.make 0.
+
+let rec clamp t =
+  let cur = Atomic.get last in
+  if t <= cur then cur
+  else if Atomic.compare_and_set last cur t then t
+  else clamp t
+
+(** Current time in seconds, monotonic non-decreasing process-wide. *)
+let now () = clamp (Unix.gettimeofday ())
+
+(** Seconds elapsed since [t0] (a previous {!now} reading); never
+    negative. *)
+let elapsed t0 = now () -. t0

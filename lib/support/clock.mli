@@ -1,0 +1,11 @@
+(** Monotonic wall-clock time: [Unix.gettimeofday] clamped process-wide so
+    readings never decrease (system clock steps cannot fire budgets early
+    or make timers negative).  Values stay on the Unix epoch, so deadlines
+    built as [now () +. budget] compare correctly against any later
+    reading. *)
+
+val now : unit -> float
+(** Current time in seconds since the Unix epoch, never decreasing. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is seconds since the {!now} reading [t0]; >= 0. *)

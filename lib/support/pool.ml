@@ -1,0 +1,65 @@
+(** A fixed-size Domain worker pool for embarrassingly parallel jobs.
+
+    [run ~jobs f inputs] applies [f] to every element of [inputs] on up to
+    [jobs] domains (the calling domain always participates, so [jobs = 4]
+    spawns three) and returns one outcome per input, {e in input order}.
+    Work is handed out through a single atomic counter, so scheduling is
+    dynamic, but collection is by index: the result array — including the
+    order of captured exceptions — is bit-identical for every [jobs] value.
+    That property is what lets the bench grid, the fuzz campaigns, and the
+    determinism tests assert byte-identical reports at [-j1] and [-j4].
+
+    Per-job failures are {e captured}, not propagated: a job that raises
+    yields [Error exn] in its slot and the remaining jobs still run.
+    Callers that want fail-fast semantics re-raise the first [Error] in
+    index order, which reproduces exactly what a sequential loop would
+    have reported first.
+
+    Jobs must not print (interleaved output would break the determinism
+    guarantee) and must not share mutable state; domain-local state
+    ([Domain.DLS], as used by the pipeline's fault hook and the
+    interpreter's precompile cache) is safe because one domain runs one
+    job at a time. *)
+
+type 'a outcome = ('a, exn) result
+
+(** The number of domains the runtime considers profitable on this host;
+    the natural default for a [--jobs] flag. *)
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let run ~jobs (f : 'a -> 'b) (inputs : 'a array) : 'b outcome array =
+  let n = Array.length inputs in
+  let results : 'b outcome array = Array.make n (Error Exit) in
+  let work i =
+    results.(i) <- (try Ok (f inputs.(i)) with e -> Error e)
+  in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then
+    for i = 0 to n - 1 do
+      work i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          work i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned
+  end;
+  results
+
+(** [run_exn] is [run] with fail-fast collection: the first failed job in
+    {e index} order is re-raised (matching what a sequential loop over
+    [inputs] would have raised first); otherwise the plain result array is
+    returned. *)
+let run_exn ~jobs f inputs =
+  let outcomes = run ~jobs f inputs in
+  Array.map (function Ok v -> v | Error e -> raise e) outcomes

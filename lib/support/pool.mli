@@ -1,0 +1,21 @@
+(** Fixed-size Domain worker pool with deterministic, index-ordered
+    collection.  See {!run}. *)
+
+type 'a outcome = ('a, exn) result
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the natural default for a
+    [--jobs] flag. *)
+
+val run : jobs:int -> ('a -> 'b) -> 'a array -> 'b outcome array
+(** [run ~jobs f inputs] maps [f] over [inputs] on up to [jobs] domains
+    (clamped to [1 .. Array.length inputs]; the calling domain is one of
+    them) and returns outcomes in input order.  A job that raises yields
+    [Error exn] in its slot; the other jobs still run.  The result array
+    is identical for every [jobs] value.  Jobs must not print or share
+    mutable non-atomic state. *)
+
+val run_exn : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [run] plus fail-fast collection: re-raises the first captured
+    exception in index order — the same exception a sequential loop would
+    have raised first. *)

@@ -38,9 +38,7 @@ let results_equal name (a : I.result) (b : I.result) =
   Util.check Alcotest.int (name ^ ": stores") a.I.total.I.stores
     b.I.total.I.stores
 
-let with_hook hook f =
-  Pipeline.fault_hook := hook;
-  Fun.protect ~finally:(fun () -> Pipeline.fault_hook := fun _ -> ()) f
+let with_hook hook f = Pipeline.with_fault_hook hook f
 
 let contains s sub =
   let n = String.length sub in

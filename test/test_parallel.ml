@@ -1,0 +1,244 @@
+(** The parallel execution layer: {!Rp_support.Pool}'s ordering and
+    exception contract, the interpreter's precompile cache (hit on an
+    unchanged program, invalidated by every guarded pass), and the
+    determinism guarantee that [-j]/[--jobs] changes wall-clock time and
+    nothing else — for the fault-injection campaign, the generative
+    campaign, and the bench grid's committed JSON baseline. *)
+
+module Pool = Rp_support.Pool
+module Precomp = Rp_exec.Precomp
+module Interp = Rp_exec.Interp
+module Pipeline = Rp_driver.Pipeline
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_ordering () =
+  let inputs = Array.init 100 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      let out = Pool.run ~jobs (fun i -> i * i) inputs in
+      Array.iteri
+        (fun i r ->
+          Util.check Alcotest.int
+            (Printf.sprintf "jobs=%d slot %d" jobs i)
+            (i * i)
+            (match r with Ok v -> v | Error _ -> -1))
+        out)
+    [ 1; 2; 4; 7 ]
+
+let test_pool_exception_capture () =
+  let out =
+    Pool.run ~jobs:3
+      (fun i -> if i = 5 then failwith "boom5" else i)
+      (Array.init 10 (fun i -> i))
+  in
+  Array.iteri
+    (fun i r ->
+      match (i, r) with
+      | 5, Error (Failure m) -> Util.check Alcotest.string "payload" "boom5" m
+      | 5, _ -> Alcotest.fail "slot 5 should be Error (Failure _)"
+      | _, Ok v -> Util.check Alcotest.int "passthrough" i v
+      | _, Error _ -> Alcotest.failf "slot %d should be Ok" i)
+    out
+
+let test_pool_run_exn_first_error () =
+  (* two failing slots: run_exn must re-raise the one a sequential loop
+     would have hit first, regardless of which domain finished first *)
+  match
+    Pool.run_exn ~jobs:4
+      (fun i -> if i = 3 || i = 7 then failwith (Printf.sprintf "boom%d" i))
+      (Array.init 10 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m -> Util.check Alcotest.string "first in order" "boom3" m
+
+let test_pool_degenerate_shapes () =
+  (* more jobs than work, zero jobs (clamped to 1), empty input *)
+  let out = Pool.run ~jobs:64 string_of_int (Array.init 3 (fun i -> i)) in
+  Util.check
+    Alcotest.(list string)
+    "jobs > n" [ "0"; "1"; "2" ]
+    (Array.to_list out |> List.map Result.get_ok);
+  let out = Pool.run ~jobs:0 string_of_int (Array.init 2 (fun i -> i)) in
+  Util.check
+    Alcotest.(list string)
+    "jobs = 0" [ "0"; "1" ]
+    (Array.to_list out |> List.map Result.get_ok);
+  Util.check Alcotest.int "empty input" 0
+    (Array.length (Pool.run ~jobs:4 (fun i -> i) [||]))
+
+(* ------------------------------------------------------------------ *)
+(* The precompile cache                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cache_src =
+  {|
+int g;
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 50; i = i + 1) {
+    g = g + i;
+    s = s + g;
+  }
+  print_int(s);
+  return 0;
+}
+|}
+
+let same_result name (a : Interp.result) (b : Interp.result) =
+  Util.check Alcotest.string (name ^ ": output") a.Interp.output b.Interp.output;
+  Util.check Alcotest.int (name ^ ": checksum") a.Interp.checksum
+    b.Interp.checksum;
+  Util.check Alcotest.int (name ^ ": ops") a.Interp.total.Interp.ops
+    b.Interp.total.Interp.ops
+
+let test_cache_hit_on_unchanged_program () =
+  let p = Util.front cache_src in
+  let (_, m0) = Precomp.cache_stats () in
+  let r1 = Interp.run p in
+  let (h1, m1) = Precomp.cache_stats () in
+  Util.check Alcotest.int "first run compiles" (m0 + 1) m1;
+  let r2 = Interp.run p in
+  let (h2, m2) = Precomp.cache_stats () in
+  Util.check Alcotest.int "second run hits" (h1 + 1) h2;
+  Util.check Alcotest.int "second run does not recompile" m1 m2;
+  same_result "cached rerun" r1 r2
+
+let test_cache_invalidated_by_passes () =
+  let p = Util.front cache_src in
+  let r0 = Interp.run p in
+  (* every guarded pass bumps the program's version: an execution after
+     optimize must recompile, not replay the front end's code *)
+  let (_, m0) = Precomp.cache_stats () in
+  ignore (Pipeline.optimize p : Pipeline.stage_stats);
+  let r1 = Interp.run p in
+  let (_, m1) = Precomp.cache_stats () in
+  Util.check Alcotest.int "post-optimize run recompiles" (m0 + 1) m1;
+  (* the recompiled execution matches a from-scratch compile of the same
+     source under the same pipeline *)
+  let p' = Util.front cache_src in
+  ignore (Pipeline.optimize p' : Pipeline.stage_stats);
+  let r1' = Interp.run p' in
+  same_result "fresh compile agrees" r1 r1';
+  Util.check Alcotest.string "optimize preserved behaviour" r0.Interp.output
+    r1.Interp.output;
+  (* a single guarded pass (no full pipeline) also invalidates *)
+  let v = p'.Rp_ir.Program.version in
+  ignore
+    (Pipeline.optimize
+       ~config:
+         {
+           Rp_driver.Config.default with
+           Rp_driver.Config.analysis = Rp_driver.Config.Anone;
+           promote = false;
+           optimize = false;
+           regalloc = false;
+         }
+       p'
+      : Pipeline.stage_stats);
+  Util.check Alcotest.bool "version stamped by guarded pass" true
+    (p'.Rp_ir.Program.version > v)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign determinism across -j                                      *)
+(* ------------------------------------------------------------------ *)
+
+let report_to_string r = Fmt.str "%a" Rp_fuzz.Faultgen.pp_report r
+
+let test_fuzz_campaign_jobs_invariant () =
+  let r1 = Rp_fuzz.Faultgen.run ~seed:11 ~seeds:30 ~jobs:1 () in
+  let r4 = Rp_fuzz.Faultgen.run ~seed:11 ~seeds:30 ~jobs:4 () in
+  Util.check Alcotest.string "identical reports at -j1 and -j4"
+    (report_to_string r1) (report_to_string r4)
+
+(* The CLI end of the same guarantee: byte-identical stdout.  [rpcc.exe]
+   is a declared test dep, so the relative path resolves inside the
+   sandbox. *)
+
+let shell_out cmd =
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> Buffer.contents buf
+  | _ -> Alcotest.failf "command failed: %s" cmd
+
+let in_temp_dir name f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-%s-%d" name (Unix.getpid ()))
+  in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  f dir
+
+let test_gen_fuzz_cli_jobs_invariant () =
+  let rpcc = Filename.concat (Sys.getcwd ()) "../bin/rpcc.exe" in
+  in_temp_dir "genfuzz" @@ fun dir ->
+  let run jobs sub =
+    shell_out
+      (Printf.sprintf "%s gen-fuzz --trials 50 --seed 42 --jobs %d --out-dir %s 2>&1"
+         (Filename.quote rpcc) jobs
+         (Filename.quote (Filename.concat dir sub)))
+  in
+  let o1 = run 1 "j1" and o4 = run 4 "j4" in
+  Util.check Alcotest.string "identical gen-fuzz stdout at -j1 and -j4" o1 o4
+
+let test_bench_counts_jobs_invariant () =
+  let bench = Filename.concat (Sys.getcwd ()) "../bench/main.exe" in
+  in_temp_dir "bench" @@ fun dir ->
+  let counts jobs =
+    let sub = Filename.concat dir (Printf.sprintf "j%d" jobs) in
+    (try Sys.mkdir sub 0o755 with Sys_error _ -> ());
+    ignore
+      (shell_out
+         (Printf.sprintf "cd %s && %s --json --jobs %d 2>&1"
+            (Filename.quote sub) (Filename.quote bench) jobs)
+        : string);
+    let ic = open_in_bin (Filename.concat sub "BENCH_counts.json") in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let c1 = counts 1 and c4 = counts 4 in
+  Util.check Alcotest.bool "BENCH_counts.json byte-identical at -j1 and -j4"
+    true (String.equal c1 c4)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Util.tc "results are index-ordered at any jobs" test_pool_ordering;
+          Util.tc "a raising job yields Error in its slot"
+            test_pool_exception_capture;
+          Util.tc "run_exn re-raises the first error in index order"
+            test_pool_run_exn_first_error;
+          Util.tc "degenerate shapes (jobs>n, jobs=0, empty)"
+            test_pool_degenerate_shapes;
+        ] );
+      ( "precomp-cache",
+        [
+          Util.tc "unchanged program hits the cache"
+            test_cache_hit_on_unchanged_program;
+          Util.tc "guarded passes invalidate the cache"
+            test_cache_invalidated_by_passes;
+        ] );
+      ( "determinism",
+        [
+          Util.tc "fault-injection report identical across jobs"
+            test_fuzz_campaign_jobs_invariant;
+          Util.tc_slow "gen-fuzz CLI stdout identical across jobs"
+            test_gen_fuzz_cli_jobs_invariant;
+          Util.tc_slow "bench counts baseline identical across jobs"
+            test_bench_counts_jobs_invariant;
+        ] );
+    ]
