@@ -54,9 +54,15 @@ exception Quarantined of string
 type cell_result = Cok of cell | Cquarantined of string
 
 (** Compile and run, converting resource/runtime blowups to {!Quarantined}
-    (with the program named) while letting verification failures abort. *)
-let run_raw pname (cfg : Config.t) source =
-  match Pipeline.compile_and_run ~config:(apply_verify cfg) source with
+    (with the program named) while letting verification failures abort.
+    [should_stop] (supervised --json grid only) aborts the interpreter
+    cooperatively; the resulting resource-limit message still mentions
+    "external stop", which the supervised job uses to tell a deadline from
+    a deterministic fuel exhaustion. *)
+let run_raw ?should_stop pname (cfg : Config.t) source =
+  match
+    Pipeline.compile_and_run ?should_stop ~config:(apply_verify cfg) source
+  with
   | exception I.Resource_limit m ->
     raise (Quarantined (Printf.sprintf "%s: resource limit: %s" pname m))
   | exception Rp_exec.Value.Runtime_error m ->
@@ -93,6 +99,20 @@ let cell_result (p : Rp_suite.Programs.program) (cname : string)
    are computed in parallel but collected and rendered in a fixed order,
    so every table and both JSON documents are byte-identical at any -j. *)
 let jobs = ref 1
+
+(* Supervision knobs for the --json grid (see json_export):
+   --job-timeout gives every cell a wall-clock deadline, --retries bounds
+   re-attempts before a cell is quarantined, --journal/--resume make the
+   grid crash-resumable, --breaker-threshold trips a per-program circuit
+   breaker after that many consecutive failures, and --plant-hang wedges
+   one named cell on purpose (the supervision layer's own test fixture). *)
+let job_timeout : float option ref = ref None
+let job_retries = ref 1
+let journal_path : string option ref = ref None
+let resume_path : string option ref = ref None
+let breaker_threshold = ref 3
+let plant_hang : string option ref = ref None (* "program:config" *)
+let interrupted = Atomic.make false
 
 (** Fill the memo cache for [cells] using [!jobs] worker domains.  Workers
     only compute ({!run_config} never prints); results land in the cache
@@ -485,20 +505,61 @@ let table_cells () : (Rp_suite.Programs.program * string * Config.t) list =
 
 module Json = Rp_support.Json
 
-(** Write [BENCH_counts.json] (program × paper-grid config × dynamic counts)
-    and [BENCH_timings.json] (program × config × per-pass wall-clock and
-    analysis fixpoint iterations, schema v2: plus per-cell wall/run time,
-    the job count, and the grid's wall-clock).  Counts are deterministic —
-    byte-identical at every [-j] — and serve as a committable baseline;
-    timings are machine-dependent and meant for relative comparison
-    between runs on one machine.
+let cell_json = function
+  | Cok c ->
+    Json.Obj
+      [
+        ("ops", Json.Int c.ops);
+        ("loads", Json.Int c.loads);
+        ("stores", Json.Int c.stores);
+        ("checksum", Json.Int c.checksum);
+      ]
+  | Cquarantined reason -> Json.Obj [ ("degraded", Json.Str reason) ]
 
-    Cells run on [!jobs] worker domains; a cell is one compile+run of one
-    (program, config) pair, and results are regrouped into (program ×
-    config) rows in grid order, so document structure never depends on
-    scheduling.  Under [--verify-passes] a degraded pass is fatal: the
-    first failing cell in grid order aborts, as in a sequential run. *)
+let cell_of_json = function
+  | Json.Obj
+      [
+        ("ops", Json.Int ops);
+        ("loads", Json.Int loads);
+        ("stores", Json.Int stores);
+        ("checksum", Json.Int checksum);
+      ] ->
+    Some (Cok { ops; loads; stores; checksum })
+  | Json.Obj [ ("degraded", Json.Str reason) ] -> Some (Cquarantined reason)
+  | _ -> None
+
+let has_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(** Write [BENCH_counts.json] (program × paper-grid config × dynamic counts,
+    schema v2: plus the run's resilience counters) and [BENCH_timings.json]
+    (program × config × per-pass wall-clock and analysis fixpoint
+    iterations, schema v2: plus per-cell wall/run time, the job count, and
+    the grid's wall-clock).  Counts are deterministic — byte-identical at
+    every [-j] — and serve as a committable baseline; timings are
+    machine-dependent and meant for relative comparison between runs on one
+    machine.
+
+    Cells run under {!Rp_support.Pool.run_supervised} on [!jobs] worker
+    domains; a cell is one compile+run of one (program, config) pair, and
+    results are regrouped into (program × config) rows in grid order, so
+    document structure never depends on scheduling.  With [--job-timeout]
+    each cell gets a wall-clock deadline (enforced cooperatively through
+    the interpreter's [should_stop] polling and by the pool's wedge
+    detector); a cell that exhausts its [--retries] budget lands as a
+    degraded cell instead of aborting the grid.  A per-program circuit
+    breaker ([--breaker-threshold] consecutive failures) short-circuits
+    the remaining cells of a systematically bad program.  [--journal]
+    appends one fsynced record per finished cell; [--resume] reloads such
+    a journal and recomputes only the missing cells.  SIGINT flushes the
+    journal and exits 130.  Under [--verify-passes] a degraded pass is
+    still fatal: the first failing cell in grid order aborts, as in a
+    sequential run. *)
 let json_export () =
+  let module R = Rp_support.Resilience in
+  let resil = R.create () in
   let grid_t0 = Rp_support.Clock.now () in
   let flat =
     List.concat_map
@@ -506,25 +567,155 @@ let json_export () =
         List.map (fun (cname, cfg) -> (p, cname, cfg)) Config.paper_grid)
       Rp_suite.Programs.all
   in
-  let cells =
-    Rp_support.Pool.run_exn ~jobs:!jobs
-      (fun ((p : Rp_suite.Programs.program), cname, cfg) ->
-        let t0 = Rp_support.Clock.now () in
-        match run_raw p.Rp_suite.Programs.name cfg p.Rp_suite.Programs.source
-        with
-        | exception Quarantined m -> (cname, None, Cquarantined m, 0.)
-        | (_, st, r) ->
-          let wall = Rp_support.Clock.elapsed t0 in
-          let t = counts r in
-          ( cname,
-            Some st,
-            Cok
-              { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
-                checksum = r.I.checksum },
-            wall ))
-      (Array.of_list flat)
+  (* --resume: cells already finished by a previous (possibly killed) run *)
+  let resumed : (string * string, cell_result) Hashtbl.t = Hashtbl.create 64 in
+  Option.iter
+    (fun path ->
+      List.iter
+        (function
+          | Json.Obj
+              [
+                ("program", Json.Str p); ("config", Json.Str c); ("cell", cj);
+              ]
+            when not (Hashtbl.mem resumed (p, c)) ->
+            Option.iter
+              (fun cell ->
+                Hashtbl.replace resumed (p, c) cell;
+                R.tick resil R.Resumed)
+              (cell_of_json cj)
+          | _ -> ())
+        (Rp_support.Journal.load path))
+    !resume_path;
+  let fresh =
+    Array.of_list
+      (List.filter
+         (fun ((p : Rp_suite.Programs.program), cname, _) ->
+           not (Hashtbl.mem resumed (p.Rp_suite.Programs.name, cname)))
+         flat)
   in
+  let jwriter = Option.map Rp_support.Journal.create !journal_path in
+  let breaker =
+    Rp_support.Retry.Breaker.create ~threshold:!breaker_threshold ()
+  in
+  let planted pname cname =
+    match !plant_hang with
+    | Some s -> s = pname ^ ":" ^ cname
+    | None -> false
+  in
+  (* One supervised job = one cell.  The last tuple slot carries a fatal
+     --verify-passes failure out of the pool: it must abort the whole
+     bench (the CI soundness gate), not degrade to a quarantined cell, so
+     it is not allowed to escape as an exception the pool would retry. *)
+  let job ~should_stop ((p : Rp_suite.Programs.program), cname, cfg) =
+    let pname = p.Rp_suite.Programs.name in
+    if planted pname cname then begin
+      (* test fixture for the supervision layer: a cell that never
+         terminates on its own but polls its deadline cooperatively *)
+      while not (should_stop ()) do
+        ignore (Sys.opaque_identity 0)
+      done;
+      raise Exit
+    end;
+    let t0 = Rp_support.Clock.now () in
+    match
+      Rp_support.Retry.Breaker.call breaker ~key:pname (fun () ->
+          run_raw ~should_stop pname cfg p.Rp_suite.Programs.source)
+    with
+    | Ok (_, st, r) ->
+      let wall = Rp_support.Clock.elapsed t0 in
+      let t = counts r in
+      ( cname,
+        Some st,
+        Cok
+          { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
+            checksum = r.I.checksum },
+        wall,
+        None )
+    | Error (Rp_support.Retry.Breaker.Open_circuit key) ->
+      ( cname,
+        None,
+        Cquarantined
+          (Printf.sprintf "%s under %s: circuit open for %s" pname cname key),
+        0.,
+        None )
+    | Error (Quarantined m) when has_substring m "external stop" ->
+      (* the interpreter was stopped by the pool's deadline, not by its
+         own fuel: re-raise so the pool classifies the attempt as timed
+         out and applies the retry policy *)
+      raise (Quarantined m)
+    | Error (Quarantined m) -> (cname, None, Cquarantined m, 0., None)
+    | Error (Failure m) -> (cname, None, Cquarantined m, 0., Some m)
+    | Error e -> raise e
+  in
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Rp_support.Journal.close jwriter)
+      (fun () ->
+        let on_result k o =
+          match (o, jwriter) with
+          | Ok (cname, _, c, _, None), Some w ->
+            let ((p : Rp_suite.Programs.program), _, _) = fresh.(k) in
+            Rp_support.Journal.record w
+              (Json.Obj
+                 [
+                   ("program", Json.Str p.Rp_suite.Programs.name);
+                   ("config", Json.Str cname);
+                   ("cell", cell_json c);
+                 ])
+          | _ -> ()
+        in
+        Rp_support.Pool.run_supervised ~jobs:!jobs ?timeout:!job_timeout
+          ~retries:!job_retries
+          ~cancel:(fun () -> Atomic.get interrupted)
+          ~resilience:resil ~on_result job fresh)
+  in
+  if Atomic.get interrupted then begin
+    let finished =
+      Hashtbl.length resumed
+      + Array.fold_left
+          (fun n o -> match o with Ok _ -> n + 1 | Error _ -> n)
+          0 results
+    in
+    let hint =
+      match !journal_path with
+      | Some p -> Printf.sprintf "; resume with --resume %s" p
+      | None -> " (no --journal, completed work is lost)"
+    in
+    Fmt.epr "interrupted after %d/%d finished cells%s@." finished
+      (List.length flat) hint;
+    exit 130
+  end;
+  (* --verify-passes: the first fatal cell in grid order aborts, with the
+     same exception a sequential run would have raised *)
+  Array.iter
+    (function Ok (_, _, _, _, Some m) -> failwith m | _ -> ())
+    results;
+  R.set resil R.Breaker_trip (Rp_support.Retry.Breaker.trips breaker);
   let grid_wall = Rp_support.Clock.elapsed grid_t0 in
+  let fi = ref 0 in
+  let cells =
+    Array.of_list
+      (List.map
+         (fun ((p : Rp_suite.Programs.program), cname, _) ->
+           match
+             Hashtbl.find_opt resumed (p.Rp_suite.Programs.name, cname)
+           with
+           | Some c -> (cname, None, c, 0., true)
+           | None ->
+             let k = !fi in
+             incr fi;
+             (match results.(k) with
+             | Ok (cname, st, c, wall, _) -> (cname, st, c, wall, false)
+             | Error f ->
+               ( cname,
+                 None,
+                 Cquarantined
+                   (Fmt.str "%s under %s: %a" p.Rp_suite.Programs.name cname
+                      Rp_support.Pool.pp_job_failure f),
+                 0.,
+                 false )))
+         flat)
+  in
   let nconfigs = List.length Config.paper_grid in
   let rows =
     List.mapi
@@ -536,7 +727,7 @@ let json_export () =
   let counts_doc =
     Json.Obj
       [
-        ("schema", Json.Str "rpcc-bench-counts/1");
+        ("schema", Json.Str "rpcc-bench-counts/2");
         ( "programs",
           Json.Obj
             (List.map
@@ -544,21 +735,10 @@ let json_export () =
                  ( pname,
                    Json.Obj
                      (List.map
-                        (fun (cname, _, c, _) ->
-                          ( cname,
-                            match c with
-                            | Cok c ->
-                              Json.Obj
-                                [
-                                  ("ops", Json.Int c.ops);
-                                  ("loads", Json.Int c.loads);
-                                  ("stores", Json.Int c.stores);
-                                  ("checksum", Json.Int c.checksum);
-                                ]
-                            | Cquarantined reason ->
-                              Json.Obj [ ("degraded", Json.Str reason) ] ))
+                        (fun (cname, _, c, _, _) -> (cname, cell_json c))
                         per_config) ))
                rows) );
+        ("resilience", R.to_json resil);
       ]
   in
   let timings_doc =
@@ -573,7 +753,7 @@ let json_export () =
                  ( pname,
                    Json.Obj
                      (List.map
-                        (fun (cname, st, c, wall) ->
+                        (fun (cname, st, c, wall, was_resumed) ->
                           ( cname,
                             match st with
                             | Some st ->
@@ -592,6 +772,9 @@ let json_export () =
                                       (List.assoc cname Config.paper_grid) st
                                   );
                                 ]
+                            | None when was_resumed ->
+                              (* timing was spent in the journaled run *)
+                              Json.Obj [ ("resumed", Json.Bool true) ]
                             | None ->
                               let reason =
                                 match c with
@@ -607,7 +790,7 @@ let json_export () =
             *. List.fold_left
                  (fun acc (_, per_config) ->
                    List.fold_left
-                     (fun acc (_, st, _, _) ->
+                     (fun acc (_, st, _, _, _) ->
                        match st with
                        | Some st -> acc +. Pipeline.total_time st
                        | None -> acc)
@@ -618,6 +801,7 @@ let json_export () =
   in
   Json.to_file "BENCH_counts.json" counts_doc;
   Json.to_file "BENCH_timings.json" timings_doc;
+  if R.any resil then Fmt.epr "resilience: %a@." R.pp resil;
   Fmt.pr "wrote BENCH_counts.json (%d programs x %d configs)@."
     (List.length rows)
     (List.length Config.paper_grid);
@@ -703,16 +887,52 @@ let rec parse_jobs = function
       int_of_string (String.sub a (i + 1) (String.length a - i - 1))
     | _ -> parse_jobs rest)
 
+(** Parse [--name V] / [--name=V]. *)
+let opt_value name args =
+  let prefix = name ^ "=" in
+  let rec go = function
+    | [] -> None
+    | a :: v :: _ when a = name -> Some v
+    | a :: rest ->
+      if String.starts_with ~prefix a then
+        Some
+          (String.sub a (String.length prefix)
+             (String.length a - String.length prefix))
+      else go rest
+  in
+  go args
+
 let () =
   let args = Array.to_list Sys.argv in
+  let rest = List.tl args in
   let want_timings = List.mem "--timings" args in
   let want_json = List.mem "--json" args in
   verify := List.mem "--verify-passes" args;
   (jobs :=
-     match parse_jobs (List.tl args) with
+     match parse_jobs rest with
      | 0 -> Rp_support.Pool.recommended_jobs ()
      | j -> max 1 j);
-  if want_json then json_export ()
+  job_timeout := Option.map float_of_string (opt_value "--job-timeout" rest);
+  Option.iter
+    (fun v -> job_retries := max 0 (int_of_string v))
+    (opt_value "--retries" rest);
+  Option.iter
+    (fun v -> breaker_threshold := max 1 (int_of_string v))
+    (opt_value "--breaker-threshold" rest);
+  journal_path := opt_value "--journal" rest;
+  resume_path := opt_value "--resume" rest;
+  plant_hang := opt_value "--plant-hang" rest;
+  if want_json then begin
+    if !plant_hang <> None && !job_timeout = None then begin
+      Fmt.epr "--plant-hang requires --job-timeout@.";
+      exit 2
+    end;
+    (try
+       Sys.set_signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> Atomic.set interrupted true))
+     with Invalid_argument _ | Sys_error _ -> ());
+    json_export ()
+  end
   else begin
   let only_timings = want_timings && not (List.mem "--tables" args) in
   if not only_timings then begin

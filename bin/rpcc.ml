@@ -9,8 +9,12 @@
       rpcc reduce file.c     delta-debug an oracle failure to a minimal repro
     v}
 
-    Exit codes: 0 success, 1 compile-time error, 2 runtime error in the
-    interpreted program, 3 resource limit exhausted (fuel / call depth). *)
+    Exit codes (uniform across every subcommand): 0 success, 1 a finding —
+    a runtime trap in the interpreted program, a differential divergence,
+    or a fault-injection escape; 2 a usage or internal error — bad input,
+    front-end rejection, invalid IL, compiler crash; 3 a resource limit —
+    fuel, call depth, or wall-clock deadline exhausted; 130 interrupted
+    (SIGINT), after flushing any campaign journal. *)
 
 open Cmdliner
 open Rp_driver
@@ -158,37 +162,46 @@ let max_depth_t =
 
 let exits =
   Cmd.Exit.info 0 ~doc:"on success."
-  :: Cmd.Exit.info 1 ~doc:"on compile-time or IL-validation errors."
-  :: Cmd.Exit.info 2 ~doc:"on a runtime error in the interpreted program."
+  :: Cmd.Exit.info 1
+       ~doc:
+         "on a finding: a runtime trap in the interpreted program, a \
+          differential divergence, or a fault-injection escape."
+  :: Cmd.Exit.info 2
+       ~doc:
+         "on a usage or internal error: front-end rejection, invalid IL, \
+          or a compiler crash."
   :: Cmd.Exit.info 3
        ~doc:
-         "on a resource limit: execution fuel exhausted or call stack \
-          overflow (see $(b,--fuel) and $(b,--max-depth))."
+         "on a resource limit: execution fuel, call stack, or wall-clock \
+          deadline exhausted (see $(b,--fuel), $(b,--max-depth), \
+          $(b,--timeout))."
+  :: Cmd.Exit.info 130
+       ~doc:"when interrupted (SIGINT), after flushing any campaign journal."
   :: Cmd.Exit.defaults
 
 let handle_errors f =
   try f () with
   | Rp_minic.Srcloc.Error (loc, msg) ->
     Fmt.epr "error: %s@." (Rp_minic.Srcloc.to_string (loc, msg));
-    exit 1
+    exit 2
   | Rp_ir.Serial.Parse_error (ln, msg) ->
     Fmt.epr "error: IL line %d: %s@." ln msg;
-    exit 1
+    exit 2
   | Rp_ir.Validate.Invalid (ctx, msg) ->
     Fmt.epr "error: invalid IL after %s:@.%s@." ctx msg;
-    exit 1
+    exit 2
   | Rp_exec.Interp.Resource_limit msg ->
     Fmt.epr "resource limit: %s@." msg;
     exit 3
   | Rp_exec.Value.Runtime_error msg ->
     Fmt.epr "runtime error: %s@." msg;
-    exit 2
+    exit 1
   | Stack_overflow ->
     Fmt.epr "error: compiler stack overflow@.";
-    exit 1
+    exit 2
   | Failure msg ->
     Fmt.epr "error: %s@." msg;
-    exit 1
+    exit 2
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -198,15 +211,19 @@ module Json = Rp_support.Json
 
 (** The [--stats-json] document: schema marker, the pipeline's stats
     (counters, fixpoint iterations, degradation/validation state, per-pass
-    timings), and the dynamic execution result.  Schema history:
-    rpcc-stats/1 lacked the converged/degraded/validated_passes keys. *)
-let run_json config (st : Pipeline.stage_stats) (r : Rp_exec.Interp.result) =
+    timings), the supervision layer's resilience counters, and the dynamic
+    execution result.  Schema history: rpcc-stats/1 lacked the
+    converged/degraded/validated_passes keys; rpcc-stats/2 lacked
+    resilience. *)
+let run_json config (st : Pipeline.stage_stats) resil
+    (r : Rp_exec.Interp.result) =
   match Pipeline.stats_json config st with
   | Json.Obj fields ->
     Json.Obj
-      (("schema", Json.Str "rpcc-stats/2")
+      (("schema", Json.Str "rpcc-stats/3")
        :: fields
       @ [
+          ("resilience", Rp_support.Resilience.to_json resil);
           ( "result",
             Json.Obj
               [
@@ -220,15 +237,37 @@ let run_json config (st : Pipeline.stage_stats) (r : Rp_exec.Interp.result) =
   | j -> j
 
 let run_cmd =
-  let run config file quiet stats_json fuel max_depth =
+  let run config file quiet stats_json fuel max_depth timeout retries =
     handle_errors @@ fun () ->
+    let src = read_file file in
+    let resil = Rp_support.Resilience.create () in
+    let attempt () =
+      try Pipeline.compile_and_run ~config ?fuel ?max_depth ?deadline:timeout src
+      with Rp_exec.Interp.Resource_limit m as e ->
+        if timeout <> None && String.starts_with ~prefix:"external stop" m then
+          Rp_support.Resilience.tick resil Rp_support.Resilience.Timeout;
+        raise e
+    in
     let (_, st, r) =
-      Pipeline.compile_and_run ~config ?fuel ?max_depth (read_file file)
+      if retries <= 0 then attempt ()
+      else begin
+        let policy =
+          { Rp_support.Retry.default_policy with max_attempts = retries + 1 }
+        in
+        match
+          Rp_support.Retry.with_backoff ~policy ~seed:0
+            ~on_retry:(fun ~attempt:_ ~delay:_ _ ->
+              Rp_support.Resilience.tick resil Rp_support.Resilience.Retry)
+            attempt
+        with
+        | Ok v -> v
+        | Error e -> raise e
+      end
     in
     if stats_json then
       (* pure JSON on stdout; program output is suppressed so the document
          stays machine-parseable *)
-      print_string (Json.to_string (run_json config st r))
+      print_string (Json.to_string (run_json config st resil r))
     else begin
       if not quiet then print_string r.Rp_exec.Interp.output;
       Fmt.pr "; config: %a@." Config.pp config;
@@ -238,7 +277,9 @@ let run_cmd =
         r.Rp_exec.Interp.total.Rp_exec.Interp.stores r.Rp_exec.Interp.checksum;
       Fmt.pr "; promoted=%d ptr_promoted=%d hoisted=%d spilled=%d@."
         st.Pipeline.promoted st.Pipeline.ptr_promoted st.Pipeline.hoisted
-        st.Pipeline.spilled
+        st.Pipeline.spilled;
+      if Rp_support.Resilience.any resil then
+        Fmt.pr "; resilience: %a@." Rp_support.Resilience.pp resil
     end
   in
   let quiet_t =
@@ -250,15 +291,35 @@ let run_cmd =
       & info [ "stats-json" ]
           ~doc:
             "Emit compile statistics (counters, analysis fixpoint \
-             iterations, per-pass wall-clock timings) and dynamic counts as \
-             a single JSON document instead of the human-readable report.")
+             iterations, per-pass wall-clock timings), resilience \
+             counters, and dynamic counts as a single JSON document \
+             instead of the human-readable report.")
+  in
+  let timeout_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock deadline for execution; exceeding it aborts with \
+             exit code 3 (like fuel exhaustion) and is counted in the \
+             stats' resilience object.")
+  in
+  let retries_t =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Re-attempt a failing compile+run up to N extra times with \
+             exponential backoff before reporting the last error.  \
+             Retries are counted in the stats' resilience object.")
   in
   Cmd.v
     (Cmd.info "run" ~exits
        ~doc:"Compile and execute, reporting dynamic counts.")
     Term.(
       const run $ config_t $ file_t $ quiet_t $ stats_json_t $ fuel_t
-      $ max_depth_t)
+      $ max_depth_t $ timeout_t $ retries_t)
 
 let dump_cmd =
   let dump config file stage format =
@@ -300,7 +361,7 @@ let run_il_cmd =
       try Rp_ir.Serial.read (read_file file)
       with Rp_ir.Serial.Parse_error (ln, msg) ->
         Fmt.epr "error: %s:%d: %s@." file ln msg;
-        exit 1
+        exit 2
     in
     Rp_ir.Validate.assert_ok ~ctx:"parse" p;
     let r = Rp_exec.Interp.run ?fuel ?max_depth p in
@@ -388,10 +449,90 @@ let jobs_t =
 let resolve_jobs j =
   if j <= 0 then Rp_support.Pool.recommended_jobs () else j
 
+(* Supervision flags shared by the campaign commands (fuzz, gen-fuzz). *)
+let job_timeout_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "job-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-trial wall-clock deadline.  A trial over the deadline is \
+           aborted (cooperatively when it is interpreting; by abandoning \
+           and replacing its worker domain when it is wedged), retried \
+           per $(b,--retries), then quarantined.  Quarantined trials are \
+           reported on stderr and counted as inconclusive.")
+
+let retries_campaign_t =
+  Arg.(
+    value & opt int 1
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts for a trial that times out or crashes before it \
+           is quarantined (default 1).")
+
+let journal_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append one fsynced line-JSON record per finished trial to \
+           $(docv), so an interrupted or killed campaign can be resumed \
+           with $(b,--resume) without losing completed work.")
+
+let resume_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Replay the finished trials recorded in a previous campaign's \
+           journal instead of re-running them, then run only the \
+           remainder.  The final report is byte-identical to an \
+           uninterrupted run.  Combine with $(b,--journal) $(docv) to \
+           keep extending the same journal.")
+
+(* SIGINT turns into cooperative cancellation: workers stop taking
+   trials, in-flight journal records are already fsynced, and the
+   command exits 130 with a resume hint. *)
+let interrupted = Atomic.make false
+
+let with_sigint f =
+  let previous =
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Atomic.set interrupted true))
+  in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint previous) f
+
+let resume_hint journal =
+  match journal with
+  | Some p -> Printf.sprintf "; resume with --resume %s" p
+  | None -> " (no --journal, completed work is lost)"
+
 let fuzz_cmd =
-  let fuzz seed seeds jobs =
+  let fuzz seed seeds jobs job_timeout retries journal resume =
     handle_errors @@ fun () ->
-    let report = Rp_fuzz.Faultgen.run ~seed ~seeds ~jobs:(resolve_jobs jobs) () in
+    with_sigint @@ fun () ->
+    let resil = Rp_support.Resilience.create () in
+    let quarantined = ref [] in
+    let report =
+      Rp_fuzz.Faultgen.run ~seed ~seeds ~jobs:(resolve_jobs jobs)
+        ?timeout:job_timeout ~retries ?journal ?resume ~resilience:resil
+        ~cancel:(fun () -> Atomic.get interrupted)
+        ~on_failure:(fun i f -> quarantined := (i, f) :: !quarantined)
+        ()
+    in
+    if Atomic.get interrupted then begin
+      Fmt.epr "interrupted after %d finished trials%s@."
+        report.Rp_fuzz.Faultgen.trials (resume_hint journal);
+      exit 130
+    end;
+    List.iter
+      (fun (i, f) ->
+        Fmt.epr "trial %d: %a@." i Rp_support.Pool.pp_job_failure f)
+      (List.rev !quarantined);
+    if Rp_support.Resilience.any resil then
+      Fmt.epr "; resilience: %a@." Rp_support.Resilience.pp resil;
     Fmt.pr "%a" Rp_fuzz.Faultgen.pp_report report;
     let escapes = Rp_fuzz.Faultgen.total_escapes report in
     Fmt.pr "; seed=%d, %d trials, %d escapes@." seed
@@ -409,7 +550,7 @@ let fuzz_cmd =
     Term.(
       const fuzz $ seed_t
       $ trials_t ~doc:"Number of fault-injection trials."
-      $ jobs_t)
+      $ jobs_t $ job_timeout_t $ retries_campaign_t $ journal_t $ resume_t)
 
 (* ------------------------------------------------------------------ *)
 (* Generative differential testing                                     *)
@@ -510,38 +651,124 @@ let reduce_failure ~mode ~fuel ~inject ~budget ~path ~out
   r
 
 let gen_fuzz_cmd =
-  let gen_fuzz seed trials mode inject fuel do_reduce budget out_dir jobs =
+  let gen_fuzz seed trials mode inject fuel do_reduce budget out_dir jobs
+      job_timeout retries journal resume =
     handle_errors @@ fun () ->
+    with_sigint @@ fun () ->
     let module D = Rp_fuzz.Difforacle in
     (try Sys.mkdir out_dir 0o755 with Sys_error _ -> ());
     let inject = Option.map (fun c -> (c, seed)) inject in
+    let resil = Rp_support.Resilience.create () in
+    (* Resume: replay finished trials from a prior (interrupted)
+       campaign's journal.  A record stores only (trial, outcome) —
+       sources are regenerated from (seed, trial) on demand, so the
+       journal stays small and replay is exact. *)
+    let replayed : (int, D.outcome) Hashtbl.t = Hashtbl.create 64 in
+    Option.iter
+      (fun path ->
+        List.iter
+          (fun j ->
+            match j with
+            | Json.Obj fields -> (
+              match
+                ( List.assoc_opt "trial" fields,
+                  List.assoc_opt "outcome" fields )
+              with
+              | Some (Json.Int i), Some oj when i >= 0 && i < trials -> (
+                match D.outcome_of_json oj with
+                | Some o ->
+                  if not (Hashtbl.mem replayed i) then
+                    Rp_support.Resilience.tick resil
+                      Rp_support.Resilience.Resumed;
+                  Hashtbl.replace replayed i o
+                | None -> ())
+              | _ -> ())
+            | _ -> ())
+          (Rp_support.Journal.load path))
+      resume;
+    let fresh =
+      Array.of_list
+        (List.filter
+           (fun i -> not (Hashtbl.mem replayed i))
+           (List.init trials Fun.id))
+    in
+    (* Trials are independent: each generates its program from (seed,
+       trial) and checks it against the oracle.  Workers only compute
+       (and journal, which has its own lock); all printing and
+       reproducer-saving happens below, in trial order, so stdout is
+       byte-identical at every --jobs level and across resumes. *)
+    let jwriter = Option.map Rp_support.Journal.create journal in
+    let on_result k (o : _ Rp_support.Pool.supervised) =
+      match (o, jwriter) with
+      | Ok outcome, Some w ->
+        Rp_support.Journal.record w
+          (Json.Obj
+             [
+               ("trial", Json.Int fresh.(k));
+               ("outcome", D.outcome_json outcome);
+             ])
+      | _ -> ()
+    in
+    let outcomes =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Rp_support.Journal.close jwriter)
+        (fun () ->
+          Rp_support.Pool.run_supervised ~jobs:(resolve_jobs jobs)
+            ?timeout:job_timeout ~retries
+            ~cancel:(fun () -> Atomic.get interrupted)
+            ~resilience:resil ~on_result
+            (fun ~should_stop trial ->
+              let src = Rp_fuzz.Gen.program_of_seed ~seed ~trial in
+              D.check ~mode ~fuel ~should_stop ?inject src)
+            fresh)
+    in
+    if Atomic.get interrupted then begin
+      let finished =
+        Array.fold_left
+          (fun acc o -> match o with Ok _ -> acc + 1 | Error _ -> acc)
+          (Hashtbl.length replayed) outcomes
+      in
+      Fmt.epr "interrupted after %d/%d finished trials%s@." finished trials
+        (resume_hint journal);
+      exit 130
+    end;
+    let fresh_tbl : (int, D.outcome Rp_support.Pool.supervised) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    Array.iteri (fun k o -> Hashtbl.replace fresh_tbl fresh.(k) o) outcomes;
     let agreed = ref 0 and inconclusive = ref 0 and rejected = ref 0 in
     let diverged = ref [] in
-    (* Trials are independent: each generates its program from (seed,
-       trial) and checks it against the oracle.  Workers only compute;
-       all printing and reproducer-saving happens below, in trial order,
-       so output is byte-identical at every --jobs level. *)
-    let outcomes =
-      Rp_support.Pool.run_exn ~jobs:(resolve_jobs jobs)
-        (fun trial ->
-          let src = Rp_fuzz.Gen.program_of_seed ~seed ~trial in
-          (src, D.check ~mode ~fuel ?inject src))
-        (Array.init trials (fun i -> i))
-    in
-    Array.iteri (fun trial (src, outcome) ->
+    for trial = 0 to trials - 1 do
+      let outcome =
+        match Hashtbl.find_opt replayed trial with
+        | Some o -> Some o
+        | None -> (
+          match Hashtbl.find_opt fresh_tbl trial with
+          | Some (Ok o) -> Some o
+          | Some (Error f) ->
+            (* quarantined by the supervisor: wall-clock dependent, so it
+               lives on stderr and counts as inconclusive *)
+            incr inconclusive;
+            Fmt.epr "trial %d (seed %d): quarantined: %a@." trial seed
+              Rp_support.Pool.pp_job_failure f;
+            None
+          | None -> None)
+      in
       match outcome with
-      | D.Agree _ -> incr agreed
-      | D.Inconclusive m ->
+      | None -> ()
+      | Some (D.Agree _) -> incr agreed
+      | Some (D.Inconclusive m) ->
         incr inconclusive;
         Fmt.epr "trial %d (seed %d): inconclusive: %s@." trial seed m
-      | D.Rejected m ->
+      | Some (D.Rejected m) ->
         (* the generator only emits valid programs; a rejection is a
            generator bug and fails the campaign *)
         incr rejected;
         Fmt.epr "trial %d (seed %d): generator emitted a rejected program: \
                  %s@."
           trial seed m
-      | D.Diverged fs ->
+      | Some (D.Diverged fs) ->
+        let src = Rp_fuzz.Gen.program_of_seed ~seed ~trial in
         let path =
           Filename.concat out_dir
             (Printf.sprintf "fuzz-s%d-t%d.c" seed trial)
@@ -564,8 +791,10 @@ let gen_fuzz_cmd =
                 " --inject " ^ Rp_fuzz.Faultgen.class_name c
               | None -> "")
               seed)
-          fs)
-      outcomes;
+          fs
+    done;
+    if Rp_support.Resilience.any resil then
+      Fmt.epr "; resilience: %a@." Rp_support.Resilience.pp resil;
     Fmt.pr
       "gen-fuzz: seed=%d trials=%d agreed=%d diverged=%d inconclusive=%d \
        rejected=%d@."
@@ -609,7 +838,7 @@ let gen_fuzz_cmd =
       const gen_fuzz $ seed_t
       $ trials_t ~doc:"Number of generated programs to test."
       $ mode_t $ inject_t $ oracle_fuel_t $ reduce_t $ budget_t $ out_dir_t
-      $ jobs_t)
+      $ jobs_t $ job_timeout_t $ retries_campaign_t $ journal_t $ resume_t)
 
 let reduce_cmd =
   let reduce file config_name cls_name mode inject iseed fuel budget out =
@@ -630,7 +859,7 @@ let reduce_cmd =
       Fmt.pr "no divergence: nothing to reduce@."
     | D.Rejected m ->
       Fmt.epr "error: the oracle rejected %s: %s@." file m;
-      exit 1
+      exit 2
     | D.Inconclusive m ->
       Fmt.epr "inconclusive: %s@." m;
       exit 3
@@ -643,7 +872,7 @@ let reduce_cmd =
       | None ->
         Fmt.epr "no failure matches the requested signature; observed:@.";
         List.iter (fun f -> Fmt.epr "  %a@." D.pp_failure f) fs;
-        exit 1
+        exit 2
       | Some target ->
         Fmt.pr "reducing for %a@." D.pp_failure target;
         let r =

@@ -1,0 +1,67 @@
+(** Compilation configurations.
+
+    The paper's experiment compiles each program four ways — {MOD/REF,
+    points-to} × {promotion off, promotion on} — with the rest of the
+    optimizer always enabled.  [Anone] is an extra ablation: with every
+    tag set left at ⊤, promotion finds nothing (quantifying the paper's
+    premise that promotion requires interprocedural analysis). *)
+
+type analysis =
+  | Anone  (** keep the front end's ⊤ sets (ablation) *)
+  | Amodref  (** interprocedural MOD/REF only *)
+  | Asteens  (** MOD/REF + Steensgaard unification points-to *)
+  | Apointer  (** MOD/REF + Ruf-style inclusion points-to *)
+
+type t = {
+  analysis : analysis;
+  promote : bool;  (** §3.1 scalar register promotion *)
+  ptr_promote : bool;  (** §3.3 pointer-based promotion *)
+  always_store : bool;  (** paper-literal unconditional exit stores *)
+  throttle : bool;
+      (** the §7 proposal: cap promotions by estimated register pressure
+          (budget = [k]), keeping the least-referenced values in memory *)
+  dse : bool;
+      (** §3.4-inspired extension: global dead-store elimination over tags;
+          off by default because the paper's compiler has no equivalent *)
+  optimize : bool;  (** value numbering, const prop, LICM, PRE, DCE, clean *)
+  regalloc : bool;
+  k : int;  (** physical register count *)
+  verify_passes : bool;
+      (** translation validation: run structural IL validation after every
+          guarded pass and roll the pass back (recording it as degraded)
+          when its output is ill-formed *)
+  oracle : bool;
+      (** the stronger oracle mode (implies [verify_passes]): additionally
+          execute the pre- and post-pass IR with bounded fuel and compare
+          output, checksum, and dynamic counts, naming the offending pass
+          on any mismatch *)
+  analysis_budget : int option;
+      (** override for the interprocedural analyses' fixpoint budgets
+          (MOD/REF summary evaluations, points-to transfers, Steensgaard
+          rounds); [None] uses each analysis's size-scaled default.  A
+          blown budget degrades the compile to the ⊤ answer, it never
+          aborts it. *)
+}
+
+val default : t
+(** MOD/REF analysis, scalar promotion, full optimizer and allocator,
+    [k = 24]; no validation. *)
+
+val paper_grid : (string * t) list
+(** The four configurations of Figures 5–7: [modref/without],
+    [modref/with], [pointer/without], [pointer/with]. *)
+
+val o0 : t
+(** The unoptimized reference configuration: front-end semantics with ⊤
+    tag sets, no promotion, no optimizer, no allocator.  Used as the
+    behavioural baseline by the differential fuzz oracle. *)
+
+val named_grid : (string * t) list
+(** The configurations the fuzz tools accept by name: [("O0", o0)]
+    followed by {!paper_grid}. *)
+
+val analysis_name : analysis -> string
+(** ["none"], ["modref"], ["steens"], or ["pointer"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line, e.g. [modref+promote+opt k=24]. *)

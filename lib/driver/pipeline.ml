@@ -305,9 +305,12 @@ let compile ?(config = Config.default) (src : string) : Program.t * stage_stats
 (** Compile and execute; returns the program, pipeline stats, and the
     interpreter result (output, checksum, dynamic counts). *)
 let compile_and_run ?(config = Config.default) ?fuel ?check_tags ?max_depth
-    (src : string) : Program.t * stage_stats * Rp_exec.Interp.result =
+    ?should_stop ?deadline (src : string) :
+    Program.t * stage_stats * Rp_exec.Interp.result =
   let (p, s) = compile ~config src in
-  let r = Rp_exec.Interp.run ?fuel ?check_tags ?max_depth p in
+  let r =
+    Rp_exec.Interp.run ?fuel ?check_tags ?max_depth ?should_stop ?deadline p
+  in
   (p, s, r)
 
 (* ------------------------------------------------------------------ *)

@@ -61,12 +61,16 @@ val optimize : ?config:Config.t -> ?stats:stage_stats -> Program.t -> stage_stat
 (** Compile Mini-C source text. *)
 val compile : ?config:Config.t -> string -> Program.t * stage_stats
 
-(** Compile and execute. *)
+(** Compile and execute.  [should_stop] and [deadline] are forwarded to
+    {!Rp_exec.Interp.run}: the supervised execution layer uses them to
+    impose per-job wall-clock budgets on the run phase. *)
 val compile_and_run :
   ?config:Config.t ->
   ?fuel:int ->
   ?check_tags:bool ->
   ?max_depth:int ->
+  ?should_stop:(unit -> bool) ->
+  ?deadline:float ->
   string ->
   Program.t * stage_stats * Rp_exec.Interp.result
 

@@ -280,8 +280,15 @@ and argv _st (regs : Value.t array) (c : P.dcall) : Value.t list =
 
 (** Run [main] and return outputs plus dynamic counts. *)
 let run ?(fuel = 400_000_000) ?(check_tags = true) ?(max_depth = 100_000)
-    ?(seed = 12345) ?(should_stop = fun () -> false) (prog : Program.t) :
-    result =
+    ?(seed = 12345) ?(should_stop = fun () -> false) ?deadline
+    (prog : Program.t) : result =
+  let should_stop =
+    match deadline with
+    | None -> should_stop
+    | Some budget ->
+      let t0 = Rp_support.Clock.now () in
+      fun () -> should_stop () || Rp_support.Clock.now () -. t0 > budget
+  in
   let dprog = P.get prog in
   let st =
     {

@@ -45,12 +45,18 @@ exception Resource_limit of string
     @param seed PRNG seed for the [rand] builtin (default 12345)
     @param should_stop polled every 4096 operations; returning [true]
     aborts the run with {!Resource_limit} — wall-clock budgets for the
-    fuzz reducer (default: never) *)
+    fuzz reducer (default: never)
+    @param deadline wall-clock budget in seconds for this run; folded
+    into the [should_stop] poll, so exceeding it aborts with
+    {!Resource_limit} just like an external stop (default: none).  This
+    is how the supervised pool's per-job deadlines reach the
+    interpreter. *)
 val run :
   ?fuel:int ->
   ?check_tags:bool ->
   ?max_depth:int ->
   ?seed:int ->
   ?should_stop:(unit -> bool) ->
+  ?deadline:float ->
   Program.t ->
   result

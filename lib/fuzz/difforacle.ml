@@ -115,14 +115,13 @@ let run_program ~fuel ?should_stop p =
 (* The oracle                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let check ?(mode = Verify) ?(fuel = default_fuel) ?deadline ?inject
-    (src : string) : outcome =
-  let should_stop =
-    Option.map (fun d () -> Rp_support.Clock.now () > d) deadline
-  in
+let check ?(mode = Verify) ?(fuel = default_fuel) ?deadline
+    ?(should_stop = fun () -> false) ?inject (src : string) : outcome =
   let past_deadline () =
-    match deadline with Some d -> Rp_support.Clock.now () > d | None -> false
+    should_stop ()
+    || match deadline with Some d -> Rp_support.Clock.now () > d | None -> false
   in
+  let should_stop = Some past_deadline in
   (* Reference: O0 front-end semantics.  A program the front end rejects
      is rejected identically under every configuration, so it carries no
      differential signal; same for a reference run that exhausts fuel. *)
@@ -206,6 +205,80 @@ let check ?(mode = Verify) ?(fuel = default_fuel) ?deadline ?inject
         if past_deadline () then Inconclusive "wall-clock budget exhausted"
         else Agree { configs = List.length Config.paper_grid; ref_ops }
       | fs -> Diverged fs)
+
+(* ------------------------------------------------------------------ *)
+(* Journal serialization                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Rp_support.Json
+
+(** Outcomes round-trip through line-JSON so a campaign journal can
+    replay them on [--resume] without re-running the trial. *)
+let outcome_json : outcome -> Json.t = function
+  | Agree { configs; ref_ops } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "agree");
+        ("configs", Json.Int configs);
+        ("ref_ops", Json.Int ref_ops);
+      ]
+  | Rejected m -> Json.Obj [ ("kind", Json.Str "rejected"); ("msg", Json.Str m) ]
+  | Inconclusive m ->
+    Json.Obj [ ("kind", Json.Str "inconclusive"); ("msg", Json.Str m) ]
+  | Diverged fs ->
+    Json.Obj
+      [
+        ("kind", Json.Str "diverged");
+        ( "failures",
+          Json.List
+            (List.map
+               (fun f ->
+                 Json.Obj
+                   [
+                     ("config", Json.Str f.config);
+                     ("cls", Json.Str (class_name f.cls));
+                     ("detail", Json.Str f.detail);
+                   ])
+               fs) );
+      ]
+
+let outcome_of_json (j : Json.t) : outcome option =
+  let str k fields =
+    match List.assoc_opt k fields with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let int k fields =
+    match List.assoc_opt k fields with Some (Json.Int i) -> Some i | _ -> None
+  in
+  match j with
+  | Json.Obj fields -> (
+    match str "kind" fields with
+    | Some "agree" -> (
+      match (int "configs" fields, int "ref_ops" fields) with
+      | Some configs, Some ref_ops -> Some (Agree { configs; ref_ops })
+      | _ -> None)
+    | Some "rejected" -> Option.map (fun m -> Rejected m) (str "msg" fields)
+    | Some "inconclusive" ->
+      Option.map (fun m -> Inconclusive m) (str "msg" fields)
+    | Some "diverged" -> (
+      match List.assoc_opt "failures" fields with
+      | Some (Json.List fs) ->
+        let parse_failure = function
+          | Json.Obj f -> (
+            match (str "config" f, str "cls" f, str "detail" f) with
+            | Some config, Some cls, Some detail ->
+              Option.map
+                (fun cls -> { config; cls; detail })
+                (class_of_string cls)
+            | _ -> None)
+          | _ -> None
+        in
+        let parsed = List.map parse_failure fs in
+        if List.for_all Option.is_some parsed then
+          Some (Diverged (List.filter_map Fun.id parsed))
+        else None
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

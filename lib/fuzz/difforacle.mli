@@ -57,6 +57,7 @@ val check :
   ?mode:mode ->
   ?fuel:int ->
   ?deadline:float ->
+  ?should_stop:(unit -> bool) ->
   ?inject:Faultgen.fault_class * int ->
   string ->
   outcome
@@ -66,9 +67,20 @@ val check :
     @param deadline absolute [Unix.gettimeofday] instant after which
     remaining work is skipped and, absent real failures, the outcome is
     [Inconclusive] — already-found divergences are still reported
+    @param should_stop external cancellation, polled alongside [deadline]
+    (both during interpretation and between grid compiles); turning
+    [true] has the same effect as the deadline passing.  This is the
+    supervised pool's per-job deadline hook.
     @param inject plant [Faultgen.mutate fc] (seeded by the int, mixed
     with the configuration index) inside the first guarded pass of every
     grid compile; the reference is never mutated *)
+
+val outcome_json : outcome -> Rp_support.Json.t
+(** Serialize an outcome for a campaign journal record. *)
+
+val outcome_of_json : Rp_support.Json.t -> outcome option
+(** Inverse of {!outcome_json}; [None] on malformed input.  Used by
+    [--resume] to replay finished trials without re-running them. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 val pp_outcome : Format.formatter -> outcome -> unit

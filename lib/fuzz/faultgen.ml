@@ -44,6 +44,14 @@ let class_name = function
   | Bad_register -> "bad_register"
   | Pass_exception -> "pass_exception"
 
+let class_of_string = function
+  | "drop_store" -> Some Drop_store
+  | "shrink_tagset" -> Some Shrink_tagset
+  | "dangling_target" -> Some Dangling_target
+  | "bad_register" -> Some Bad_register
+  | "pass_exception" -> Some Pass_exception
+  | _ -> None
+
 type class_stats = {
   mutable injected : int;  (** trials where the fault actually landed *)
   mutable skipped : int;  (** no mutation site at the chosen pass point *)
@@ -228,7 +236,7 @@ let classify_reason reason =
 (** One IL-mutation trial: compile [seed] under full validation, mutating
     the IL at [target] via the fault hook; classify the pipeline's
     reaction. *)
-let mutation_trial rng cls target (seed : Corpus.seed)
+let mutation_trial ?should_stop rng cls target (seed : Corpus.seed)
     (baseline : Interp.result) : outcome =
   let p = Rp_irgen.Irgen.compile_source seed.Corpus.source in
   let applied = ref None in
@@ -253,7 +261,7 @@ let mutation_trial rng cls target (seed : Corpus.seed)
         (* not rolled back: only acceptable if the finished program is
            still observably identical to a clean compile *)
         let same =
-          match Interp.run p with
+          match Interp.run ?should_stop p with
           | exception Rp_exec.Value.Runtime_error _ -> false
           | r ->
             r.Interp.output = baseline.Interp.output
@@ -267,7 +275,7 @@ let mutation_trial rng cls target (seed : Corpus.seed)
 
 (** One pass-exception trial: a pass that raises must be contained,
     recorded, and behave exactly like the pass-disabled configuration. *)
-let exception_trial rng (seed : Corpus.seed) : outcome =
+let exception_trial ?should_stop rng (seed : Corpus.seed) : outcome =
   match pick rng exception_passes with
   | None -> No_site
   | Some (target, disabled_config) -> (
@@ -283,7 +291,8 @@ let exception_trial rng (seed : Corpus.seed) : outcome =
       with_hook
         (fun name -> if name = target then failwith "injected pass fault")
         (fun () ->
-          Pipeline.compile_and_run ~config:fuzz_config seed.Corpus.source)
+          Pipeline.compile_and_run ~config:fuzz_config ?should_stop
+            seed.Corpus.source)
     in
     match compile () with
     | exception e ->
@@ -293,10 +302,61 @@ let exception_trial rng (seed : Corpus.seed) : outcome =
       | None -> fail "fault not recorded in degraded"
       | Some _ ->
         let (_, _, r0) =
-          Pipeline.compile_and_run ~config:disabled_config seed.Corpus.source
+          Pipeline.compile_and_run ~config:disabled_config ?should_stop
+            seed.Corpus.source
         in
         if results_equal r r0 then Caught `Exception
         else fail "result differs from the pass-disabled configuration"))
+
+(* ------------------------------------------------------------------ *)
+(* Journal serialization                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Rp_support.Json
+
+(** One finished trial as a journal record; {!trial_of_json} inverts it.
+    Outcomes round-trip exactly, so a resumed campaign folds a replayed
+    trial identically to having run it. *)
+let trial_json i ((cls, outcome) : fault_class * outcome) : Json.t =
+  let base = [ ("trial", Json.Int i); ("cls", Json.Str (class_name cls)) ] in
+  let rest =
+    match outcome with
+    | Caught `Validation -> [ ("kind", Json.Str "caught_validation") ]
+    | Caught `Oracle -> [ ("kind", Json.Str "caught_oracle") ]
+    | Caught `Exception -> [ ("kind", Json.Str "caught_exception") ]
+    | Benign -> [ ("kind", Json.Str "benign") ]
+    | Skipped -> [ ("kind", Json.Str "skipped") ]
+    | No_site -> [ ("kind", Json.Str "no_site") ]
+    | Escaped desc ->
+      [ ("kind", Json.Str "escaped"); ("desc", Json.Str desc) ]
+  in
+  Json.Obj (base @ rest)
+
+let trial_of_json (j : Json.t) : (int * (fault_class * outcome)) option =
+  match j with
+  | Json.Obj fields -> (
+    let str k =
+      match List.assoc_opt k fields with Some (Json.Str s) -> Some s | _ -> None
+    in
+    match (List.assoc_opt "trial" fields, str "cls", str "kind") with
+    | Some (Json.Int i), Some cls, Some kind -> (
+      match class_of_string cls with
+      | None -> None
+      | Some cls ->
+        let outcome =
+          match kind with
+          | "caught_validation" -> Some (Caught `Validation)
+          | "caught_oracle" -> Some (Caught `Oracle)
+          | "caught_exception" -> Some (Caught `Exception)
+          | "benign" -> Some Benign
+          | "skipped" -> Some Skipped
+          | "no_site" -> Some No_site
+          | "escaped" -> Option.map (fun d -> Escaped d) (str "desc")
+          | _ -> None
+        in
+        Option.map (fun o -> (i, (cls, o))) outcome)
+    | _ -> None)
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Campaign                                                            *)
@@ -307,17 +367,17 @@ let exception_trial rng (seed : Corpus.seed) : outcome =
     behaviour depends only on [(seed, i)] — never on which domain ran it
     or what other trials did.  That is what makes [--jobs] replay-stable
     and lets [--seed S --trials N] reproduce any campaign exactly. *)
-let run_trial ~seed baselines i : fault_class * outcome =
+let run_trial ~seed ?should_stop baselines i : fault_class * outcome =
   let rng = R.make [| seed; i |] in
   let (prog, baseline) = List.nth baselines (i mod List.length baselines) in
   let cls = List.nth all_classes (R.int rng (List.length all_classes)) in
   let outcome =
     match cls with
-    | Pass_exception -> exception_trial rng prog
+    | Pass_exception -> exception_trial ?should_stop rng prog
     | _ -> (
       match pick rng mutation_passes with
       | None -> No_site
-      | Some target -> mutation_trial rng cls target prog baseline)
+      | Some target -> mutation_trial ?should_stop rng cls target prog baseline)
   in
   (cls, outcome)
 
@@ -342,7 +402,8 @@ let record report (cls, outcome) =
     st.escaped <- st.escaped + 1;
     report.escapes <- desc :: report.escapes
 
-let run ?(seed = 42) ?(seeds = 50) ?(jobs = 1) () : report =
+let run ?(seed = 42) ?(seeds = 50) ?(jobs = 1) ?timeout ?retries ?journal
+    ?resume ?resilience ?cancel ?(on_failure = fun _ _ -> ()) () : report =
   let report =
     {
       seed;
@@ -351,6 +412,24 @@ let run ?(seed = 42) ?(seeds = 50) ?(jobs = 1) () : report =
       escapes = [];
     }
   in
+  (* replayed outcomes from a prior (interrupted) campaign's journal: a
+     record is only ever written for a {e finished} trial, so replaying
+     it is byte-equivalent to re-running it *)
+  let replayed : (int, fault_class * outcome) Hashtbl.t = Hashtbl.create 64 in
+  Option.iter
+    (fun path ->
+      List.iter
+        (fun j ->
+          match trial_of_json j with
+          | Some (i, t) when i >= 0 && i < seeds ->
+            Hashtbl.replace replayed i t;
+            (match resilience with
+            | Some r ->
+              Rp_support.Resilience.tick r Rp_support.Resilience.Resumed
+            | None -> ())
+          | _ -> ())
+        (Rp_support.Journal.load path))
+    resume;
   (* one clean compile+run per corpus program, shared by every trial *)
   let baselines =
     List.map
@@ -363,10 +442,42 @@ let run ?(seed = 42) ?(seeds = 50) ?(jobs = 1) () : report =
         (s, r))
       Corpus.all
   in
-  Rp_support.Pool.run_exn ~jobs
-    (run_trial ~seed baselines)
-    (Array.init seeds (fun i -> i))
-  |> Array.iter (record report);
+  let fresh =
+    Array.of_list
+      (List.filter
+         (fun i -> not (Hashtbl.mem replayed i))
+         (List.init seeds Fun.id))
+  in
+  let jwriter = Option.map Rp_support.Journal.create journal in
+  let on_result i (o : _ Rp_support.Pool.supervised) =
+    match (o, jwriter) with
+    | Ok t, Some w -> Rp_support.Journal.record w (trial_json fresh.(i) t)
+    | _ -> ()
+  in
+  let outcomes =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Rp_support.Journal.close jwriter)
+      (fun () ->
+        Rp_support.Pool.run_supervised ~jobs ?timeout ?retries ?cancel
+          ?resilience ~on_result
+          (fun ~should_stop i -> run_trial ~seed ~should_stop baselines i)
+          fresh)
+  in
+  (* fold in trial-index order over the union of replayed and fresh
+     trials, so the report is identical to an uninterrupted campaign's *)
+  let fresh_outcome : (int, (fault_class * outcome, Rp_support.Pool.job_failure) result) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iteri (fun k o -> Hashtbl.replace fresh_outcome fresh.(k) o) outcomes;
+  for i = 0 to seeds - 1 do
+    match Hashtbl.find_opt replayed i with
+    | Some t -> record report t
+    | None -> (
+      match Hashtbl.find_opt fresh_outcome i with
+      | Some (Ok t) -> record report t
+      | Some (Error f) -> on_failure i f
+      | None -> ())
+  done;
   report
 
 let total_escapes r =

@@ -15,6 +15,9 @@ type fault_class =
 val all_classes : fault_class list
 val class_name : fault_class -> string
 
+val class_of_string : string -> fault_class option
+(** Inverse of {!class_name}; [None] for unknown names. *)
+
 type class_stats = {
   mutable injected : int;
   mutable skipped : int;  (** no mutation site at the chosen pass point *)
@@ -41,13 +44,51 @@ val mutate :
     oracle validation armed. *)
 val fuzz_config : Rp_driver.Config.t
 
+(** What one trial observed.  Trials are pure with respect to the
+    report: they run (possibly on a worker domain) and return an outcome,
+    which the campaign folds into the report in trial-index order. *)
+type outcome =
+  | Caught of [ `Validation | `Oracle | `Exception ]
+  | Benign
+  | Skipped
+  | Escaped of string
+  | No_site
+
+val trial_json : int -> fault_class * outcome -> Rp_support.Json.t
+(** Serialize trial [i]'s result as a campaign-journal record. *)
+
+val trial_of_json : Rp_support.Json.t -> (int * (fault_class * outcome)) option
+(** Inverse of {!trial_json}; [None] on malformed input. *)
+
 (** Run a campaign of [seeds] trials (default 50) from RNG [seed]
-    (default 42) over the built-in {!Corpus}.  Trials run on [jobs]
-    worker domains (default 1); every random choice of trial [i] is drawn
-    from its own [(seed, i)]-keyed stream and outcomes are folded into
-    the report in trial order, so the report is identical at any [jobs]
-    level. *)
-val run : ?seed:int -> ?seeds:int -> ?jobs:int -> unit -> report
+    (default 42) over the built-in {!Corpus}.  Trials run supervised on
+    [jobs] worker domains (default 1); every random choice of trial [i]
+    is drawn from its own [(seed, i)]-keyed stream and outcomes are
+    folded into the report in trial order, so the report is identical at
+    any [jobs] level.
+
+    [timeout]/[retries] impose a per-trial wall-clock deadline with
+    bounded retries (see {!Rp_support.Pool.run_supervised}); a trial that
+    exhausts its budget is reported through [on_failure] (with its trial
+    index) instead of the report, and ticks [resilience].  [journal]
+    appends one fsynced line-JSON record per {e finished} trial to that
+    path; [resume] replays the finished trials of a previous journal
+    without re-running them (ticking [Resumed] per replayed trial).
+    [cancel] aborts the campaign cooperatively: unfinished trials are
+    neither journaled nor folded. *)
+val run :
+  ?seed:int ->
+  ?seeds:int ->
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?journal:string ->
+  ?resume:string ->
+  ?resilience:Rp_support.Resilience.t ->
+  ?cancel:(unit -> bool) ->
+  ?on_failure:(int -> Rp_support.Pool.job_failure -> unit) ->
+  unit ->
+  report
 
 val total_escapes : report -> int
 val pp_report : Format.formatter -> report -> unit

@@ -144,11 +144,12 @@ let simplify_line ?(limit = 6) line =
 (* The reduction loop                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(budget = 30.) ~predicate (src : string) : result =
+let run ?(budget = 30.) ?(should_stop = fun () -> false) ~predicate
+    (src : string) : result =
   let t0 = Rp_support.Clock.now () in
   let deadline_hit = ref false in
   let over () =
-    let o = Rp_support.Clock.elapsed t0 > budget in
+    let o = Rp_support.Clock.elapsed t0 > budget || should_stop () in
     if o then deadline_hit := true;
     o
   in

@@ -25,11 +25,19 @@ type result = {
   deadline_hit : bool;  (** the wall-clock budget expired mid-search *)
 }
 
-val run : ?budget:float -> predicate:(string -> verdict) -> string -> result
+val run :
+  ?budget:float ->
+  ?should_stop:(unit -> bool) ->
+  predicate:(string -> verdict) ->
+  string ->
+  result
 (** [run ~predicate src] shrinks [src].  The caller must already know
     [src] reproduces (i.e. [predicate src = Fail]); the reducer only
     evaluates candidates.  @param budget wall-clock seconds (default 30);
     on expiry the best reproducer so far is returned with
+    [deadline_hit = true].  @param should_stop external cancellation
+    polled between candidates; turning [true] behaves exactly like the
+    budget expiring — the best reproducer so far is still returned, with
     [deadline_hit = true]. *)
 
 val count_lines : string -> int

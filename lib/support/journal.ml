@@ -1,0 +1,67 @@
+(** Append-only fsync-on-record line-JSON journal.  See journal.mli. *)
+
+type writer = {
+  path : string;
+  fd : Unix.file_descr;
+  lock : Mutex.t;
+  mutable closed : bool;
+}
+
+let create path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  { path; fd; lock = Mutex.create (); closed = false }
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let record w j =
+  let line = Json.to_string ~indent:false j ^ "\n" in
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      if w.closed then invalid_arg "Journal.record: writer is closed";
+      write_all w.fd line;
+      Unix.fsync w.fd)
+
+let close w =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      if not w.closed then begin
+        w.closed <- true;
+        Unix.close w.fd
+      end)
+
+let path w = w.path
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let lines =
+      List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+    in
+    let n = List.length lines in
+    List.mapi (fun i l -> (i, l)) lines
+    |> List.filter_map (fun (i, l) ->
+           match Json.parse l with
+           | j -> Some j
+           | exception Json.Parse_error _ ->
+             if i = n - 1 then None  (* truncated by a crash mid-write *)
+             else
+               failwith
+                 (Printf.sprintf "Journal.load: %s: corrupt record on line %d"
+                    path (i + 1)))
+  end

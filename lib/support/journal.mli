@@ -1,0 +1,32 @@
+(** Append-only, fsync-on-record, line-JSON campaign journal.
+
+    One record per line, written with [O_APPEND] and [fsync]ed before
+    {!record} returns, so every acknowledged record survives a crash or
+    SIGKILL of the process.  Campaign drivers ([rpcc gen-fuzz], [rpcc
+    fuzz], [bench --json]) write one record per finished unit of work and
+    re-read the file under [--resume] to skip work already done.
+
+    Writers are thread-safe: worker domains may {!record} concurrently
+    (records are serialized under an internal lock, never interleaved).
+    The loader tolerates exactly the corruption a crash can cause — a
+    truncated final line — and rejects anything else. *)
+
+type writer
+
+val create : string -> writer
+(** Open [path] for appending, creating it if missing. *)
+
+val record : writer -> Json.t -> unit
+(** Append one record as a single unindented JSON line and [fsync].
+    Raises [Invalid_argument] if the writer is closed. *)
+
+val close : writer -> unit
+(** Idempotent. *)
+
+val path : writer -> string
+
+val load : string -> Json.t list
+(** Parse every line of [path] in order.  A missing file is an empty
+    journal.  An unparseable {e final} line (the record being written when
+    the process died) is dropped; an unparseable interior line raises
+    [Failure] — the journal is corrupt, not merely truncated. *)

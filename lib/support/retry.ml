@@ -1,0 +1,156 @@
+(** Generic retry with exponential backoff and a per-key circuit breaker.
+    See retry.mli for the contract. *)
+
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default_policy =
+  { max_attempts = 3; base_delay = 0.05; max_delay = 2.0; jitter = 0.25 }
+
+(* splitmix64 finalizer: a well-mixed hash of (seed, attempt) whose low
+   bits drive the jitter draw.  Deterministic across runs and platforms. *)
+let mix seed attempt =
+  let z = ref (Int64.of_int ((seed * 0x9e3779b9) lxor (attempt * 0x85ebca6b))) in
+  z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 30)) 0xbf58476d1ce4e5b9L;
+  z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 27)) 0x94d049bb133111ebL;
+  Int64.logxor !z (Int64.shift_right_logical !z 31)
+
+(** Uniform draw in [0, 1) from the hash of (seed, attempt). *)
+let unit_draw seed attempt =
+  let bits = Int64.to_int (Int64.shift_right_logical (mix seed attempt) 11) in
+  float_of_int bits /. float_of_int (1 lsl 53)
+
+let delay_for p ~seed ~attempt =
+  let exp = Float.of_int (max 0 (attempt - 1)) in
+  let raw = Float.min p.max_delay (p.base_delay *. Float.pow 2. exp) in
+  raw *. (1. +. (p.jitter *. unit_draw seed attempt))
+
+let with_backoff ?(policy = default_policy) ?(seed = 0) ?(sleep = Unix.sleepf)
+    ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ()) f =
+  let rec go attempt =
+    match f () with
+    | v -> Ok v
+    | exception e ->
+      if attempt >= policy.max_attempts then Error e
+      else begin
+        let delay = delay_for policy ~seed ~attempt in
+        on_retry ~attempt:(attempt + 1) ~delay e;
+        if delay > 0. then sleep delay;
+        go (attempt + 1)
+      end
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  type event = {
+    key : string;
+    at : float;
+    transition : [ `Trip | `Probe | `Reset ];
+  }
+
+  type circuit = {
+    mutable st : state;
+    mutable consecutive : int;  (** consecutive failures while closed *)
+    mutable opened_at : float;
+    mutable probing : bool;  (** a half-open probe is in flight *)
+  }
+
+  type t = {
+    threshold : int;
+    cooldown : float;
+    now : unit -> float;
+    lock : Mutex.t;
+    circuits : (string, circuit) Hashtbl.t;
+    mutable evs : event list;  (** newest first *)
+    mutable trip_count : int;
+  }
+
+  exception Open_circuit of string
+
+  let create ?(threshold = 2) ?(cooldown = 30.) ?(now = Clock.now) () =
+    {
+      threshold = max 1 threshold;
+      cooldown;
+      now;
+      lock = Mutex.create ();
+      circuits = Hashtbl.create 8;
+      evs = [];
+      trip_count = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let circuit t key =
+    match Hashtbl.find_opt t.circuits key with
+    | Some c -> c
+    | None ->
+      let c = { st = Closed; consecutive = 0; opened_at = 0.; probing = false } in
+      Hashtbl.add t.circuits key c;
+      c
+
+  let emit t key transition =
+    t.evs <- { key; at = t.now (); transition } :: t.evs;
+    if transition = `Trip then t.trip_count <- t.trip_count + 1
+
+  let state t key =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.circuits key with
+        | None -> Closed
+        | Some c -> c.st)
+
+  (* Decide under the lock whether this call may run (and whether it is
+     the half-open probe); fold the outcome back under the lock. *)
+  let call t ~key f =
+    let admitted =
+      locked t (fun () ->
+          let c = circuit t key in
+          match c.st with
+          | Closed -> `Run
+          | Half_open -> `Reject  (* one probe at a time *)
+          | Open ->
+            if t.now () -. c.opened_at >= t.cooldown && not c.probing then begin
+              c.st <- Half_open;
+              c.probing <- true;
+              emit t key `Probe;
+              `Run
+            end
+            else `Reject)
+    in
+    match admitted with
+    | `Reject -> Error (Open_circuit key)
+    | `Run -> (
+      let outcome = try Ok (f ()) with e -> Error e in
+      locked t (fun () ->
+          let c = circuit t key in
+          let was_probe = c.probing in
+          c.probing <- false;
+          (match outcome with
+          | Ok _ ->
+            if c.st <> Closed then emit t key `Reset;
+            c.st <- Closed;
+            c.consecutive <- 0
+          | Error _ ->
+            c.consecutive <- c.consecutive + 1;
+            if was_probe || c.consecutive >= t.threshold then begin
+              if c.st <> Open then emit t key `Trip;
+              c.st <- Open;
+              c.opened_at <- t.now ();
+              c.consecutive <- 0
+            end));
+      outcome)
+
+  let trips t = locked t (fun () -> t.trip_count)
+  let events t = locked t (fun () -> List.rev t.evs)
+end

@@ -93,15 +93,26 @@ let stats_json_tests =
           "top-level keys"
           [
             "schema"; "config"; "counters"; "analysis_iters"; "converged";
-            "degraded"; "validated_passes"; "timings_ms"; "total_ms"; "result";
+            "degraded"; "validated_passes"; "timings_ms"; "total_ms";
+            "resilience"; "result";
           ]
           (Json.keys j);
         Util.check
           Alcotest.(option string)
-          "schema marker" (Some "rpcc-stats/2")
+          "schema marker" (Some "rpcc-stats/3")
           (match Json.member "schema" j with
           | Some (Json.Str s) -> Some s
           | _ -> None);
+        Util.check
+          Alcotest.(list string)
+          "resilience keys"
+          [
+            "timeouts"; "retries"; "breaker_trips"; "resumed"; "crashed";
+            "quarantined";
+          ]
+          (match Json.member "resilience" j with
+          | Some r -> Json.keys r
+          | None -> []);
         Util.check
           Alcotest.(list string)
           "counter keys"

@@ -297,10 +297,10 @@ let cli_tests =
             Util.check Alcotest.int "exit 0" 0 st;
             Util.check Alcotest.bool "has rows" true
               (List.length (String.split_on_char '\n' out) > 6)));
-    Util.tc "rpcc reports front-end errors with exit 1" (fun () ->
+    Util.tc "rpcc reports front-end errors with exit 2" (fun () ->
         with_src "int main() { return oops; }" (fun file ->
             let (st, _) = rpcc "run" file in
-            Util.check Alcotest.int "exit 1" 1 st));
+            Util.check Alcotest.int "exit 2" 2 st));
     Util.tc "rpcc dump --format il round trips through run-il" (fun () ->
         with_src demo (fun file ->
             let (st, il) = rpcc "dump --format il" file in
@@ -316,10 +316,14 @@ let cli_tests =
                 Util.check Alcotest.int "run-il exit 0" 0 st2;
                 Util.check Alcotest.bool "same program output" true
                   (String.length out >= 5 && String.sub out 0 5 = "4950\n"))));
-    Util.tc "rpcc reports runtime traps with exit 2" (fun () ->
+    Util.tc "rpcc reports runtime traps with exit 1" (fun () ->
         with_src "int a[2]; int main() { return a[9]; }" (fun file ->
             let (st, _) = rpcc "run -q" file in
-            Util.check Alcotest.int "exit 2" 2 st));
+            Util.check Alcotest.int "exit 1" 1 st));
+    Util.tc "rpcc reports fuel exhaustion with exit 3" (fun () ->
+        with_src "int main() { while (1) {} return 0; }" (fun file ->
+            let (st, _) = rpcc "run -q --fuel 10000" file in
+            Util.check Alcotest.int "exit 3" 3 st));
   ]
 
 let () =

@@ -70,6 +70,151 @@ let test_pool_degenerate_shapes () =
     (Array.length (Pool.run ~jobs:4 (fun i -> i) [||]))
 
 (* ------------------------------------------------------------------ *)
+(* Supervised pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Resilience = Rp_support.Resilience
+
+let test_supervised_ok_portion_matches_run () =
+  let inputs = Array.init 40 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      let out =
+        Pool.run_supervised ~jobs (fun ~should_stop:_ i -> i * 3) inputs
+      in
+      Array.iteri
+        (fun i r ->
+          Util.check Alcotest.int
+            (Printf.sprintf "jobs=%d slot %d" jobs i)
+            (i * 3)
+            (match r with Ok v -> v | Error _ -> -1))
+        out)
+    [ 1; 3; 5 ]
+
+let test_supervised_timeout_retries_then_quarantines () =
+  let resil = Resilience.create () in
+  let out =
+    Pool.run_supervised ~jobs:2 ~timeout:0.1 ~retries:1 ~resilience:resil
+      (fun ~should_stop i ->
+        if i = 1 then begin
+          (* cooperative non-terminating job: polls its deadline *)
+          while not (should_stop ()) do
+            ignore (Sys.opaque_identity 0)
+          done;
+          raise Exit
+        end;
+        i)
+      [| 0; 1; 2 |]
+  in
+  (match out.(1) with
+  | Error (Pool.Timed_out { attempts; _ }) ->
+    Util.check Alcotest.int "attempts = retries + 1" 2 attempts
+  | _ -> Alcotest.fail "slot 1 should be Error Timed_out");
+  Util.check Alcotest.bool "other slots fine" true
+    (out.(0) = Ok 0 && out.(2) = Ok 2);
+  Util.check Alcotest.int "two timeouts ticked" 2
+    (Resilience.count resil Resilience.Timeout);
+  Util.check Alcotest.int "one retry ticked" 1
+    (Resilience.count resil Resilience.Retry);
+  Util.check Alcotest.int "one quarantine ticked" 1
+    (Resilience.count resil Resilience.Quarantine)
+
+let test_supervised_crash_retry_then_success () =
+  (* fails on its first attempt only: the retry must succeed and the slot
+     must carry the successful value *)
+  let first = Array.init 8 (fun _ -> Atomic.make true) in
+  let resil = Resilience.create () in
+  let out =
+    Pool.run_supervised ~jobs:3 ~retries:2 ~resilience:resil
+      (fun ~should_stop:_ i ->
+        if i mod 3 = 0 && Atomic.exchange first.(i) false then
+          failwith "transient";
+        i * 7)
+      (Array.init 8 (fun i -> i))
+  in
+  Array.iteri
+    (fun i r ->
+      Util.check Alcotest.int (Printf.sprintf "slot %d" i) (i * 7)
+        (match r with Ok v -> v | Error _ -> -1))
+    out;
+  Util.check Alcotest.int "three transient crashes" 3
+    (Resilience.count resil Resilience.Crash);
+  Util.check Alcotest.int "three retries" 3
+    (Resilience.count resil Resilience.Retry);
+  Util.check Alcotest.int "nothing quarantined" 0
+    (Resilience.count resil Resilience.Quarantine)
+
+let test_supervised_crash_exhausts_retries () =
+  let out =
+    Pool.run_supervised ~jobs:2 ~retries:1
+      (fun ~should_stop:_ i -> if i = 0 then failwith "always" else i)
+      [| 0; 1 |]
+  in
+  (match out.(0) with
+  | Error (Pool.Crashed { reason; attempts }) ->
+    Util.check Alcotest.int "attempts" 2 attempts;
+    Util.check Alcotest.bool "reason carries the exception" true
+      (let re = "always" in
+       let rec find i =
+         i + String.length re <= String.length reason
+         && (String.sub reason i (String.length re) = re || find (i + 1))
+       in
+       find 0)
+  | _ -> Alcotest.fail "slot 0 should be Error Crashed");
+  Util.check Alcotest.bool "slot 1 fine" true (out.(1) = Ok 1)
+
+let test_supervised_cancellation () =
+  let cancelled = Atomic.make false in
+  let done_count = Atomic.make 0 in
+  let out =
+    Pool.run_supervised ~jobs:2
+      ~cancel:(fun () -> Atomic.get cancelled)
+      (fun ~should_stop i ->
+        if i < 2 then begin
+          ignore (Atomic.fetch_and_add done_count 1);
+          i
+        end
+        else begin
+          (* request cancellation, then wait to be told to stop *)
+          Atomic.set cancelled true;
+          while not (should_stop ()) do
+            ignore (Sys.opaque_identity 0)
+          done;
+          raise Exit
+        end)
+      [| 0; 1; 2; 3; 4; 5 |]
+  in
+  let unfinished =
+    Array.to_list out
+    |> List.filter (function
+         | Error (Pool.Crashed { reason = "cancelled"; _ }) -> true
+         | _ -> false)
+  in
+  Util.check Alcotest.bool "some jobs were cancelled" true
+    (List.length unfinished >= 1);
+  Array.iter
+    (function
+      | Ok v -> Util.check Alcotest.bool "finished value sane" true (v < 2)
+      | Error (Pool.Crashed { reason = "cancelled"; _ }) -> ()
+      | Error f ->
+        Alcotest.failf "unexpected failure: %a" Pool.pp_job_failure f)
+    out
+
+let test_supervised_on_result_fires_once_per_resolution () =
+  let fired = Atomic.make 0 in
+  let out =
+    Pool.run_supervised ~jobs:3
+      ~on_result:(fun _ _ -> ignore (Atomic.fetch_and_add fired 1))
+      (fun ~should_stop:_ i -> i)
+      (Array.init 20 (fun i -> i))
+  in
+  Util.check Alcotest.int "all ok" 20
+    (Array.fold_left
+       (fun n r -> match r with Ok _ -> n + 1 | Error _ -> n)
+       0 out);
+  Util.check Alcotest.int "one on_result per job" 20 (Atomic.get fired)
+
+(* ------------------------------------------------------------------ *)
 (* The precompile cache                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -224,6 +369,21 @@ let () =
             test_pool_run_exn_first_error;
           Util.tc "degenerate shapes (jobs>n, jobs=0, empty)"
             test_pool_degenerate_shapes;
+        ] );
+      ( "supervised",
+        [
+          Util.tc "Ok portion matches unsupervised run"
+            test_supervised_ok_portion_matches_run;
+          Util.tc "cooperative timeout retries then quarantines"
+            test_supervised_timeout_retries_then_quarantines;
+          Util.tc "transient crash retried to success"
+            test_supervised_crash_retry_then_success;
+          Util.tc "persistent crash exhausts retries"
+            test_supervised_crash_exhausts_retries;
+          Util.tc "cancellation resolves unfinished jobs without on_result"
+            test_supervised_cancellation;
+          Util.tc "on_result fires once per resolved job"
+            test_supervised_on_result_fires_once_per_resolution;
         ] );
       ( "precomp-cache",
         [

@@ -114,10 +114,201 @@ let worklist_tests =
           "visited chain" [ 0; 1; 2; 3 ] (List.rev !seen));
   ]
 
+let retry_tests =
+  [
+    Util.tc "with_backoff: first success, no retries" (fun () ->
+        let calls = ref 0 in
+        let r =
+          Retry.with_backoff
+            ~sleep:(fun _ -> Alcotest.fail "must not sleep")
+            (fun () ->
+              incr calls;
+              41 + 1)
+        in
+        Util.check Alcotest.int "calls" 1 !calls;
+        Util.check Alcotest.bool "ok" true (r = Ok 42));
+    Util.tc "with_backoff: retries then succeeds, delays grow" (fun () ->
+        let calls = ref 0 and slept = ref [] and retried = ref [] in
+        let r =
+          Retry.with_backoff
+            ~policy:
+              { Retry.max_attempts = 4; base_delay = 0.1; max_delay = 10.;
+                jitter = 0. }
+            ~sleep:(fun d -> slept := d :: !slept)
+            ~on_retry:(fun ~attempt ~delay:_ _ -> retried := attempt :: !retried)
+            (fun () ->
+              incr calls;
+              if !calls < 3 then failwith "flaky";
+              "done")
+        in
+        Util.check Alcotest.bool "ok" true (r = Ok "done");
+        Util.check Alcotest.int "attempts" 3 !calls;
+        Util.check
+          Alcotest.(list (float 1e-9))
+          "exponential delays" [ 0.1; 0.2 ] (List.rev !slept);
+        Util.check Alcotest.(list int) "on_retry attempts" [ 2; 3 ]
+          (List.rev !retried));
+    Util.tc "with_backoff: exhausts attempts, returns last exception"
+      (fun () ->
+        let calls = ref 0 in
+        let r =
+          Retry.with_backoff
+            ~policy:
+              { Retry.max_attempts = 3; base_delay = 0.01; max_delay = 1.;
+                jitter = 0. }
+            ~sleep:(fun _ -> ())
+            (fun () ->
+              incr calls;
+              failwith (Printf.sprintf "boom%d" !calls))
+        in
+        Util.check Alcotest.int "attempts" 3 !calls;
+        match r with
+        | Error (Failure m) -> Util.check Alcotest.string "last" "boom3" m
+        | _ -> Alcotest.fail "expected Error (Failure boom3)");
+    Util.tc "delay_for: deterministic per seed, clamped, jittered" (fun () ->
+        let p = { Retry.default_policy with Retry.jitter = 0.5 } in
+        let d1 = Retry.delay_for p ~seed:7 ~attempt:2 in
+        let d2 = Retry.delay_for p ~seed:7 ~attempt:2 in
+        Util.check (Alcotest.float 0.) "same seed, same delay" d1 d2;
+        let base = Retry.default_policy.Retry.base_delay *. 2. in
+        Util.check Alcotest.bool "within jitter band" true
+          (d1 >= base && d1 <= base *. 1.5 +. 1e-9);
+        (* the ceiling applies before jitter *)
+        let big = Retry.delay_for p ~seed:7 ~attempt:30 in
+        Util.check Alcotest.bool "clamped" true
+          (big <= Retry.default_policy.Retry.max_delay *. 1.5 +. 1e-9));
+  ]
+
+let breaker_tests =
+  let open Retry in
+  [
+    Util.tc "breaker: trips after threshold, rejects while open" (fun () ->
+        let t = ref 0. in
+        let b = Breaker.create ~threshold:2 ~cooldown:10. ~now:(fun () -> !t) () in
+        let fail () = Breaker.call b ~key:"k" (fun () -> failwith "x") in
+        ignore (fail ());
+        Util.check Alcotest.bool "still closed" true
+          (Breaker.state b "k" = Breaker.Closed);
+        ignore (fail ());
+        Util.check Alcotest.bool "open after threshold" true
+          (Breaker.state b "k" = Breaker.Open);
+        (match Breaker.call b ~key:"k" (fun () -> Alcotest.fail "must not run")
+         with
+        | Error (Breaker.Open_circuit k) ->
+          Util.check Alcotest.string "key" "k" k
+        | _ -> Alcotest.fail "expected Open_circuit");
+        Util.check Alcotest.int "one trip" 1 (Breaker.trips b);
+        (* other keys are independent *)
+        Util.check Alcotest.bool "other key runs" true
+          (Breaker.call b ~key:"other" (fun () -> 1) = Ok 1));
+    Util.tc "breaker: half-open probe resets on success" (fun () ->
+        let t = ref 0. in
+        let b = Breaker.create ~threshold:1 ~cooldown:5. ~now:(fun () -> !t) () in
+        ignore (Breaker.call b ~key:"k" (fun () -> failwith "x"));
+        Util.check Alcotest.bool "open" true (Breaker.state b "k" = Breaker.Open);
+        t := 6.;
+        Util.check Alcotest.bool "probe succeeds" true
+          (Breaker.call b ~key:"k" (fun () -> 7) = Ok 7);
+        Util.check Alcotest.bool "closed again" true
+          (Breaker.state b "k" = Breaker.Closed);
+        let kinds = List.map (fun e -> e.Breaker.transition) (Breaker.events b) in
+        Util.check Alcotest.bool "trip/probe/reset recorded" true
+          (kinds = [ `Trip; `Probe; `Reset ]));
+    Util.tc "breaker: failed probe re-trips" (fun () ->
+        let t = ref 0. in
+        let b = Breaker.create ~threshold:1 ~cooldown:5. ~now:(fun () -> !t) () in
+        ignore (Breaker.call b ~key:"k" (fun () -> failwith "x"));
+        t := 6.;
+        ignore (Breaker.call b ~key:"k" (fun () -> failwith "y"));
+        Util.check Alcotest.bool "open again" true
+          (Breaker.state b "k" = Breaker.Open);
+        Util.check Alcotest.int "two trips" 2 (Breaker.trips b));
+  ]
+
+let journal_tests =
+  let tmp () = Filename.temp_file "rp_journal" ".jsonl" in
+  [
+    Util.tc "journal: records round-trip in order" (fun () ->
+        let path = tmp () in
+        Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+        let w = Journal.create path in
+        Journal.record w (Json.Obj [ ("i", Json.Int 1) ]);
+        Journal.record w (Json.Obj [ ("i", Json.Int 2) ]);
+        Journal.close w;
+        Journal.close w;
+        (* idempotent *)
+        Util.check Alcotest.int "two records" 2 (List.length (Journal.load path));
+        Util.check Alcotest.bool "in order" true
+          (Journal.load path
+          = [ Json.Obj [ ("i", Json.Int 1) ]; Json.Obj [ ("i", Json.Int 2) ] ]));
+    Util.tc "journal: missing file is empty; append extends" (fun () ->
+        let path = tmp () in
+        Sys.remove path;
+        Util.check Alcotest.int "missing = empty" 0
+          (List.length (Journal.load path));
+        Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+        let w = Journal.create path in
+        Journal.record w (Json.Int 1);
+        Journal.close w;
+        let w2 = Journal.create path in
+        Journal.record w2 (Json.Int 2);
+        Journal.close w2;
+        Util.check Alcotest.int "appended" 2 (List.length (Journal.load path)));
+    Util.tc "journal: truncated final line dropped, corrupt interior fatal"
+      (fun () ->
+        let path = tmp () in
+        Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+        let oc = open_out path in
+        output_string oc "{\"i\": 1}\n{\"i\": 2";
+        (* no newline: crashed mid-write *)
+        close_out oc;
+        Util.check Alcotest.int "truncated tail dropped" 1
+          (List.length (Journal.load path));
+        let oc = open_out path in
+        output_string oc "{\"i\": 1}\nnot json at all\n{\"i\": 3}\n";
+        close_out oc;
+        match Journal.load path with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "corrupt interior line must raise");
+  ]
+
+let resilience_tests =
+  [
+    Util.tc "resilience: tick/set/any/merge/json" (fun () ->
+        let r = Resilience.create () in
+        Util.check Alcotest.bool "fresh is quiet" false (Resilience.any r);
+        Resilience.tick r Resilience.Timeout;
+        Resilience.tick r Resilience.Timeout;
+        Resilience.tick r Resilience.Retry;
+        Resilience.set r Resilience.Breaker_trip 5;
+        Util.check Alcotest.int "timeouts" 2
+          (Resilience.count r Resilience.Timeout);
+        Util.check Alcotest.bool "any" true (Resilience.any r);
+        let r2 = Resilience.create () in
+        Resilience.tick r2 Resilience.Timeout;
+        Resilience.merge ~into:r r2;
+        Util.check Alcotest.int "merged timeouts" 3
+          (Resilience.count r Resilience.Timeout);
+        Util.check
+          Alcotest.(list string)
+          "json keys"
+          [
+            "timeouts"; "retries"; "breaker_trips"; "resumed"; "crashed";
+            "quarantined";
+          ]
+          (match Resilience.to_json r with
+          | Json.Obj kvs -> List.map fst kvs
+          | _ -> []));
+  ]
+
 let () =
   Alcotest.run "support"
     [
       ("idgen", idgen_tests);
       ("union_find", uf_tests @ uf_props);
       ("worklist", worklist_tests);
+      ("retry", retry_tests);
+      ("breaker", breaker_tests);
+      ("journal", journal_tests);
+      ("resilience", resilience_tests);
     ]
