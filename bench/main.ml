@@ -22,7 +22,17 @@ module I = Rp_exec.Interp
 
 let counts (r : I.result) = r.I.total
 
-type cell = { ops : int; loads : int; stores : int; checksum : int }
+(* [ptr_promoted] is the static §3.3 counter for the cell's compile: how
+   many invariant-base groups pointer promotion rewrote.  Zero everywhere
+   except the [*/ptr] configs, where the suite's pointer-walk programs
+   pin nonzero values as golden. *)
+type cell = {
+  ops : int;
+  loads : int;
+  stores : int;
+  checksum : int;
+  ptr_promoted : int;
+}
 
 (* --verify-passes: run every compile of the experiment under translation
    validation; any degraded pass or non-converged analysis aborts the
@@ -76,11 +86,11 @@ let run_raw ?should_stop pname (cfg : Config.t) source =
 let run_config (p : Rp_suite.Programs.program) (cfg : Config.t) : cell_result =
   match run_raw p.Rp_suite.Programs.name cfg p.Rp_suite.Programs.source with
   | exception Quarantined m -> Cquarantined m
-  | (_, _, r) ->
+  | (_, st, r) ->
     let t = counts r in
     Cok
       { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
-        checksum = r.I.checksum }
+        checksum = r.I.checksum; ptr_promoted = st.Pipeline.ptr_promoted }
 
 (* memoize runs: the same (program, config) pair feeds several tables *)
 let cache : (string * string, cell_result) Hashtbl.t = Hashtbl.create 64
@@ -246,9 +256,10 @@ let mlink_function () =
 let section33 () =
   Fmt.pr "@.== Section 3.3: pointer-based promotion on top of scalar ==@.";
   Fmt.pr
-    "%-10s %14s %14s %14s   (additional removals vs scalar-only; paper: ~0 \
-     everywhere except fft)@."
-    "Program" "ops" "stores" "loads";
+    "%-10s %14s %14s %14s %10s   (additional removals vs scalar-only; paper: \
+     ~0 everywhere except fft — the pointer-walk programs are this \
+     reproduction's additions)@."
+    "Program" "ops" "stores" "loads" "promoted";
   let scalar_cfg = { Config.default with Config.analysis = Config.Apointer } in
   let both_cfg = { scalar_cfg with Config.ptr_promote = true } in
   List.iter
@@ -257,8 +268,9 @@ let section33 () =
       let b = cell p "s33/both" both_cfg in
       if a.checksum <> b.checksum then
         Fmt.failwith "checksum mismatch (3.3) for %s" p.Rp_suite.Programs.name;
-      Fmt.pr "%-10s %14d %14d %14d@." p.Rp_suite.Programs.name (a.ops - b.ops)
-        (a.stores - b.stores) (a.loads - b.loads))
+      Fmt.pr "%-10s %14d %14d %14d %10d@." p.Rp_suite.Programs.name
+        (a.ops - b.ops) (a.stores - b.stores) (a.loads - b.loads)
+        b.ptr_promoted)
     Rp_suite.Programs.all
 
 (* ------------------------------------------------------------------ *)
@@ -513,9 +525,12 @@ let cell_json = function
         ("loads", Json.Int c.loads);
         ("stores", Json.Int c.stores);
         ("checksum", Json.Int c.checksum);
+        ("ptr_promoted", Json.Int c.ptr_promoted);
       ]
   | Cquarantined reason -> Json.Obj [ ("degraded", Json.Str reason) ]
 
+(* schema v3 cells carry ptr_promoted; v2 journal records (written before
+   the field existed) are still resumable, defaulting the counter to 0 *)
 let cell_of_json = function
   | Json.Obj
       [
@@ -523,8 +538,17 @@ let cell_of_json = function
         ("loads", Json.Int loads);
         ("stores", Json.Int stores);
         ("checksum", Json.Int checksum);
+        ("ptr_promoted", Json.Int ptr_promoted);
       ] ->
-    Some (Cok { ops; loads; stores; checksum })
+    Some (Cok { ops; loads; stores; checksum; ptr_promoted })
+  | Json.Obj
+      [
+        ("ops", Json.Int ops);
+        ("loads", Json.Int loads);
+        ("stores", Json.Int stores);
+        ("checksum", Json.Int checksum);
+      ] ->
+    Some (Cok { ops; loads; stores; checksum; ptr_promoted = 0 })
   | Json.Obj [ ("degraded", Json.Str reason) ] -> Some (Cquarantined reason)
   | _ -> None
 
@@ -533,8 +557,9 @@ let has_substring hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   nn = 0 || go 0
 
-(** Write [BENCH_counts.json] (program × paper-grid config × dynamic counts,
-    schema v2: plus the run's resilience counters) and [BENCH_timings.json]
+(** Write [BENCH_counts.json] (program × grid config × dynamic counts,
+    schema v2: plus the run's resilience counters; v3: six-config grid and
+    per-cell [ptr_promoted]) and [BENCH_timings.json]
     (program × config × per-pass wall-clock and analysis fixpoint
     iterations, schema v2: plus per-cell wall/run time, the job count, and
     the grid's wall-clock).  Counts are deterministic — byte-identical at
@@ -628,7 +653,7 @@ let json_export () =
         Some st,
         Cok
           { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
-            checksum = r.I.checksum },
+            checksum = r.I.checksum; ptr_promoted = st.Pipeline.ptr_promoted },
         wall,
         None )
     | Error (Rp_support.Retry.Breaker.Open_circuit key) ->
@@ -727,7 +752,7 @@ let json_export () =
   let counts_doc =
     Json.Obj
       [
-        ("schema", Json.Str "rpcc-bench-counts/2");
+        ("schema", Json.Str "rpcc-bench-counts/3");
         ( "programs",
           Json.Obj
             (List.map
@@ -827,7 +852,7 @@ let timings () =
                  (fun (p : Rp_suite.Programs.program) ->
                    ignore (Rp_irgen.Irgen.compile_source p.Rp_suite.Programs.source))
                  Rp_suite.Programs.all));
-        (* Figures 5-7 all flow through the 4-config pipeline; time one
+        (* Figures 5-7 all flow through the grid pipeline; time one
            representative program per figure *)
         Test.make ~name:"figure5_pipeline_modref"
           (Staged.stage (compile (grid "modref/with") mlink));

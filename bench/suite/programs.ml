@@ -1,5 +1,7 @@
 (** The 14-program benchmark suite of Figure 4, rebuilt as Mini-C
-    miniatures.
+    miniatures, plus a three-program pointer tier (ptrsum, stride,
+    ptrchase) added by this reproduction so §3.3 pointer-based promotion
+    has workloads it can visibly win or must visibly refuse.
 
     Each program is a faithful miniature of the original's {e memory
     behaviour} as the paper describes it — which programs expose promotable
@@ -1050,6 +1052,126 @@ int main() {
 |}
 
 (* ------------------------------------------------------------------ *)
+(* The pointer tier — reproduction additions, not Figure 4 programs.   *)
+(* Three workloads shaped for §3.3: two where a walking pointer leaves *)
+(* an invariant base in the inner loop (promotion fires, load/store    *)
+(* traffic drops) and one linked walk where the base is redefined on   *)
+(* every step (promotion must stay silent).                            *)
+(* ------------------------------------------------------------------ *)
+
+let ptrsum_src =
+  {|
+// ptrsum: the paper's Figure 3 loop rendered with walking pointers.
+// pb advances once per row (outer loop), so inside the column loop its
+// value is fixed: every *pb load/store is to one cell of B, and §3.3
+// promotes it to a register.  pa advances inside the column loop and
+// stays in memory.  Distinguishing *pa from *pb needs points-to facts:
+// with MOD/REF alone the two walks may alias and promotion is blocked.
+int A[32][24];
+int B[32];
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 32; i++) {
+    B[i] = i % 7;
+    for (j = 0; j < 24; j++) A[i][j] = (i * 13 + j * 5) % 101;
+  }
+  int rep;
+  for (rep = 0; rep < 40; rep++) {
+    int *pb = &B[0];
+    for (i = 0; i < 32; i++) {
+      int *pa = &A[i][0];
+      for (j = 0; j < 24; j++) {
+        *pb = *pb + *pa;
+        pa = pa + 1;
+      }
+      pb = pb + 1;
+    }
+  }
+  int sum = 0;
+  for (i = 0; i < 32; i++) sum = (sum + B[i]) % 65536;
+  print_int(sum);
+  print_int(sum * 31 + 7);
+  return 0;
+}
+|}
+
+let stride_src =
+  {|
+// stride: strided gather/scale.  The inner loop gathers src[i + 64*j]
+// through p (which strides, so it stays in memory) into *q, whose base
+// is advanced only by the enclosing loop -- the accumulator cell is
+// promotable.  The first loop is a plain strided scale where the only
+// pointer moves every iteration: nothing for §3.3 there.
+int src[512];
+int dst[64];
+
+int main() {
+  int i;
+  for (i = 0; i < 512; i++) src[i] = (i * 17 + 3) % 251;
+  // strided scale: p is redefined each iteration, no invariant base
+  int *p = &src[0];
+  for (i = 0; i < 128; i++) {
+    *p = (*p * 3 + 1) % 509;
+    p = p + 4;
+  }
+  int rep;
+  for (rep = 0; rep < 60; rep++) {
+    int *q = &dst[0];
+    for (i = 0; i < 64; i++) {
+      *q = 0;
+      int *s = &src[i];
+      int j;
+      for (j = 0; j < 8; j++) {
+        *q = (*q + *s * 3) % 65536;
+        s = s + 64;
+      }
+      q = q + 1;
+    }
+  }
+  int sum = 0;
+  for (i = 0; i < 64; i++) sum = (sum + dst[i]) % 65536;
+  print_int(sum);
+  print_int(sum * 13 + 5);
+  return 0;
+}
+|}
+
+let ptrchase_src =
+  {|
+// ptrchase: pointer-chasing negative case.  p is recomputed from the
+// loaded successor on every step, so it has an in-loop definition and
+// no loop holds it invariant: §3.3 must promote nothing here, in every
+// configuration.
+int nxt[128];
+int val[128];
+
+int main() {
+  int i;
+  for (i = 0; i < 128; i++) {
+    nxt[i] = (i * 7 + 1) % 128;
+    val[i] = (i * 29 + 11) % 97;
+  }
+  int sum = 0;
+  int rep;
+  for (rep = 0; rep < 50; rep++) {
+    int idx = 0;
+    int *p = &val[0];
+    int steps;
+    for (steps = 0; steps < 128; steps++) {
+      sum = (sum + *p) % 65536;
+      idx = nxt[idx];
+      p = &val[idx];
+    }
+  }
+  print_int(sum);
+  print_int(sum * 3 + 1);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
 (* The suite                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1092,6 +1214,15 @@ let all : program list =
     { name = "gzip(dec)"; description = "file compression (decode)";
       source = gzip_dec_src;
       paper_note = "paper: -0.02% ops (slight degradation)" };
+    { name = "ptrsum"; description = "Figure-3 reduction via walking pointers";
+      source = ptrsum_src;
+      paper_note = "addition: §3.3 promotes *pb in the inner loop" };
+    { name = "stride"; description = "strided gather/scale through pointers";
+      source = stride_src;
+      paper_note = "addition: §3.3 promotes the gather accumulator *q" };
+    { name = "ptrchase"; description = "linked walk (pointer chasing)";
+      source = ptrchase_src;
+      paper_note = "addition: §3.3 negative case, base redefined in-loop" };
   ]
 
 let find name = List.find (fun p -> p.name = name) all

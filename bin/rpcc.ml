@@ -214,13 +214,14 @@ module Json = Rp_support.Json
     timings), the supervision layer's resilience counters, and the dynamic
     execution result.  Schema history: rpcc-stats/1 lacked the
     converged/degraded/validated_passes keys; rpcc-stats/2 lacked
-    resilience. *)
+    resilience; rpcc-stats/3 lacked the canonical [config_name] key
+    (its [config] pretty-print does not distinguish [+ptrpromote]). *)
 let run_json config (st : Pipeline.stage_stats) resil
     (r : Rp_exec.Interp.result) =
   match Pipeline.stats_json config st with
   | Json.Obj fields ->
     Json.Obj
-      (("schema", Json.Str "rpcc-stats/3")
+      (("schema", Json.Str "rpcc-stats/4")
        :: fields
       @ [
           ("resilience", Rp_support.Resilience.to_json resil);
@@ -418,7 +419,9 @@ let table_cmd =
   in
   Cmd.v
     (Cmd.info "table" ~exits
-       ~doc:"Run the paper's four-configuration comparison on one file.")
+       ~doc:
+         "Run the paper's configuration-grid comparison (including the \
+          §3.3 pointer-promotion cells) on one file.")
     Term.(const table $ file_t $ k_t)
 
 (* The fuzz tools share one seed flag so every campaign — fault injection
@@ -829,7 +832,7 @@ let gen_fuzz_cmd =
        ~doc:
          "Generative differential testing: generate random, safe, \
           terminating Mini-C programs biased toward promotion-relevant \
-          shapes, compile each under the four paper configurations plus \
+          shapes, compile each under the six grid configurations plus \
           an O0 reference, and flag any divergence in output, checksum, \
           traps, fuel, or pipeline health.  Failing programs are saved \
           with their generator seed for exact replay.  Exits 1 on any \
@@ -888,8 +891,9 @@ let reduce_cmd =
       & info [ "config" ] ~docv:"NAME"
           ~doc:
             "Reduce against the failure observed under this configuration \
-             (modref/without, modref/with, pointer/without, pointer/with); \
-             default: the first reported failure.")
+             (modref/without, modref/with, modref/ptr, pointer/without, \
+             pointer/with, pointer/ptr); default: the first reported \
+             failure.")
   in
   let class_t =
     Arg.(

@@ -19,6 +19,21 @@
 
     Run it {e after} LICM so address computations sit outside loops.
 
+    {b Strided bases.}  The paper's formulation asks for a {e loop-invariant}
+    base register and leans on LICM to expose one.  That misses the
+    pointer-recurrence shapes of real C — [p = p + c] walks advanced by an
+    outer loop, and row bases like [&A\[i\]\[0\]] recomputed per outer
+    iteration — because such a base has several reaching definitions, even
+    though none of them lives in the loop under consideration.  Following
+    the closed-form/recurrence view of pointer iteration (Lepori et al.,
+    {e Iterating Pointers}, 2025), we only require that the base is a
+    recurrence {e of an enclosing loop}: every definition of the base sits
+    outside the candidate loop (so its value cannot change while the loop
+    runs) and at least one definition dominates the landing pad (so the pad
+    load reads a well-defined address).  Aliasing discipline is unchanged:
+    the group's tag set still comes from MOD/REF + points-to facts, and any
+    other in-loop access that may touch those tags blocks the promotion.
+
     Like the paper's promoter, the inserted landing-pad load is speculative
     with respect to a zero-trip loop; it can only differ from the original
     program when the original would have been free to fault (see
@@ -52,13 +67,14 @@ let promote_loop ?(always_store = false) (f : Func.t)
   match Loops.preheader f l with
   | None -> false
   | Some pad ->
-    (* single-definition registers and their defining blocks *)
-    let def_count : (Instr.reg, int) Hashtbl.t = Hashtbl.create 64 in
-    let def_block : (Instr.reg, Instr.label) Hashtbl.t = Hashtbl.create 64 in
+    (* every defining block of every register: the strided-base analysis
+       needs the full definition set, not just single-def registers *)
+    let def_blocks : (Instr.reg, Instr.label list) Hashtbl.t =
+      Hashtbl.create 64
+    in
     let bump r lbl =
-      Hashtbl.replace def_count r
-        (1 + Option.value ~default:0 (Hashtbl.find_opt def_count r));
-      Hashtbl.replace def_block r lbl
+      Hashtbl.replace def_blocks r
+        (lbl :: Option.value ~default:[] (Hashtbl.find_opt def_blocks r))
     in
     List.iter (fun r -> bump r f.Func.entry) f.Func.params;
     Func.iter_blocks
@@ -67,14 +83,19 @@ let promote_loop ?(always_store = false) (f : Func.t)
           (fun i -> List.iter (fun d -> bump d b.Block.label) (Instr.defs i))
           b.Block.instrs)
       f;
+    (* [r] is invariant {e within} [l] when no definition of [r] is inside
+       the loop — this admits affine recurrences ([p = p + c] advanced by an
+       enclosing loop, per-outer-iteration row bases) that the classic
+       single-definition test rejects.  One definition must still dominate
+       the landing pad so the speculative pad load reads a well-defined
+       address (the pad itself qualifies: [Block.append] places the load
+       after any definition already there). *)
     let invariant_base r =
-      Hashtbl.find_opt def_count r = Some 1
-      &&
-      match Hashtbl.find_opt def_block r with
-      | Some dl ->
-        (not (SS.mem dl l.Loops.blocks))
-        && Rp_cfg.Dominators.dominates dom dl pad
-      | None -> false
+      match Hashtbl.find_opt def_blocks r with
+      | None | Some [] -> false
+      | Some dls ->
+        List.for_all (fun dl -> not (SS.mem dl l.Loops.blocks)) dls
+        && List.exists (fun dl -> Rp_cfg.Dominators.dominates dom dl pad) dls
     in
     (* gather pointer-op groups keyed by base register *)
     let groups : (Instr.reg, group) Hashtbl.t = Hashtbl.create 8 in

@@ -48,8 +48,10 @@ val default : t
     [k = 24]; no validation. *)
 
 val paper_grid : (string * t) list
-(** The four configurations of Figures 5–7: [modref/without],
-    [modref/with], [pointer/without], [pointer/with]. *)
+(** The six-cell experiment grid: the paper's four configurations of
+    Figures 5–7 — [modref/without], [modref/with], [pointer/without],
+    [pointer/with] — plus the §3.3 cells [modref/ptr] and [pointer/ptr]
+    (scalar promotion with pointer-based promotion stacked on top). *)
 
 val o0 : t
 (** The unoptimized reference configuration: front-end semantics with ⊤
@@ -62,6 +64,14 @@ val named_grid : (string * t) list
 
 val analysis_name : analysis -> string
 (** ["none"], ["modref"], ["steens"], or ["pointer"]. *)
+
+val name : t -> string
+(** Canonical short name: the {!named_grid} name (["modref/ptr"], ["O0"],
+    …) when the configuration structurally matches a grid entry ignoring
+    the validation wrappers ([verify_passes]/[oracle]), otherwise a
+    compact [analysis+flags k=N] string.  Unlike {!pp}, this keeps
+    [+ptrpromote] cells distinguishable in machine-read records
+    ([--stats-json], campaign journals). *)
 
 val pp : Format.formatter -> t -> unit
 (** One line, e.g. [modref+promote+opt k=24]. *)

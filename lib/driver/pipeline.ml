@@ -345,6 +345,7 @@ let stats_json (config : Config.t) (s : stage_stats) : Json.t =
   Json.Obj
     [
       ("config", Json.Str (Fmt.str "%a" Config.pp config));
+      ("config_name", Json.Str (Config.name config));
       ( "counters",
         Json.Obj
           [

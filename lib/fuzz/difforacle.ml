@@ -1,8 +1,9 @@
 (** Cross-configuration differential oracle (see [rpcc gen-fuzz]).
 
-    One generated (safe, terminating) program; five compiles.  The [O0]
+    One generated (safe, terminating) program; seven compiles.  The [O0]
     reference — front-end semantics, no analysis, no optimizer — fixes the
-    intended behaviour, then each of the paper's four configurations must
+    intended behaviour, then each of the six grid configurations (the
+    paper's four plus the §3.3 [modref/ptr] and [pointer/ptr] cells) must
     reproduce its output and checksum exactly, trap identically if it
     traps, and finish within a fuel budget proportional to the reference
     run.  Any difference is a compiler bug by construction, because the

@@ -5,8 +5,10 @@
     mutated in loops, address-taken locals, pointers retargeted at
     run time between globals / locals / heap cells, stores through
     may-alias pointers, helper calls that write through pointer parameters
-    (so MOD/REF summaries and points-to sets carry real information), and
-    bounded recursion with global side effects.
+    (so MOD/REF summaries and points-to sets carry real information),
+    bounded recursion with global side effects, and — for §3.3 — weighted
+    pointer-iteration shapes: strided array walks through a pointer and
+    nested walks whose row base is invariant in the inner loop.
 
     Every generated program is {e safe and terminating by construction}:
 
@@ -18,6 +20,9 @@
     - scalar pointers only ever aim at live scalars, array pointers only
       at 8-element arrays, and the single heap block is freed once, after
       the last access;
+    - the walking pointer starts at an array base and advances at most
+      once per iteration of a loop bounded by 8, so every dereference
+      lands inside its 8-cell array;
     - division and modulus use non-zero constant divisors;
     - every variable is initialized before the generated body runs.
 
@@ -46,6 +51,9 @@ type ctx = {
   rec_calls : string list;  (** bounded-recursion [int f(int)] helpers *)
   mut_calls : (string * string list * string list) list;
       (** void helper → (array-argument, scalar-pointer-argument) choices *)
+  walkers : (string * string list) list;
+      (** walking pointer → the 8-cell array bases it may traverse;
+          empty outside [main], where no walker variable is in scope *)
   depth : int;  (** current loop-nesting depth (max 3) *)
 }
 
@@ -143,9 +151,68 @@ and stmt ctx fuel indent =
     [ Printf.sprintf "%s%s(%s, %s, %s);" pad h (pick rng aargs)
         (pick rng sargs) (expr ctx 1) ]
   | 12 -> [ Printf.sprintf "%sgf = gf * 0.5 + %s;" pad (atom ctx) ]
+  | 13 | 14 when ctx.walkers <> [] -> ptr_walk ctx indent
   | _ when ctx.scalars <> [] ->
     [ Printf.sprintf "%s%s = %s;" pad (pick rng ctx.scalars) (expr ctx 1) ]
   | _ -> []
+
+(** The weighted §3.3 pointer-iteration shape: either a nested walk whose
+    base pointer is advanced only by the outer loop — so the inner loop
+    sees an invariant base the pointer promoter should lift into a
+    register — or a single-loop strided walk whose base is redefined on
+    every iteration, which the promoter must refuse.  Either way the
+    walk visits at most the 8 cells of its array, so the safety argument
+    above is unchanged.  Interleaved stores through the retargetable
+    may-alias pointers come from the surrounding grammar, giving the
+    oracle promotions that must be blocked as well as ones that fire. *)
+and ptr_walk ctx indent =
+  let rng = ctx.rng in
+  let pad = String.make (2 * indent) ' ' in
+  match ctx.walkers with
+  | [] -> []
+  | walkers ->
+    let (wq, bases) = pick rng walkers in
+    let base = pick rng bases in
+    let invariant = R.bool rng in
+    if invariant && ctx.depth < 2 then begin
+      (* invariant row base: wq is fixed across the inner loop *)
+      let io = Printf.sprintf "i%d" ctx.depth in
+      let ii = Printf.sprintf "i%d" (ctx.depth + 1) in
+      let outer = 2 + R.int rng 7 in
+      let inner = 2 + R.int rng 5 in
+      let ctx' =
+        { ctx with depth = ctx.depth + 2; idxs = ii :: io :: ctx.idxs }
+      in
+      let stride_read =
+        if ctx'.arrays <> [] && ctx'.scalars <> [] then
+          [ Printf.sprintf "%s    %s += %s[(%s * %d + %s) & 7];" pad
+              (pick rng ctx'.scalars) (pick rng ctx'.arrays) ii
+              (1 + R.int rng 3) io ]
+        else []
+      in
+      [ Printf.sprintf "%s%s = %s;" pad wq base;
+        Printf.sprintf "%sfor (%s = 0; %s < %d; %s++) {" pad io io outer io;
+        Printf.sprintf "%s  for (%s = 0; %s < %d; %s++) {" pad ii ii inner ii;
+        Printf.sprintf "%s    *%s = (*%s + %s) %% 8192;" pad wq wq (atom ctx')
+      ]
+      @ stride_read
+      @ [ pad ^ "  }";
+          Printf.sprintf "%s  %s = %s + 1;" pad wq wq;
+          pad ^ "}" ]
+    end
+    else if ctx.depth < 3 then begin
+      (* strided walk: the base moves every iteration, promotion must
+         stay silent *)
+      let iv = Printf.sprintf "i%d" ctx.depth in
+      let bound = 2 + R.int rng 7 in
+      let ctx' = { ctx with depth = ctx.depth + 1; idxs = iv :: ctx.idxs } in
+      [ Printf.sprintf "%s%s = %s;" pad wq base;
+        Printf.sprintf "%sfor (%s = 0; %s < %d; %s++) {" pad iv iv bound iv;
+        Printf.sprintf "%s  *%s = (*%s + %s) %% 8192;" pad wq wq (atom ctx');
+        Printf.sprintf "%s  %s = %s + 1;" pad wq wq;
+        pad ^ "}" ]
+    end
+    else []
 
 (** Loop bodies lean on the promotion-relevant shapes: accumulation into
     global scalars, stores through the may-alias pointers, and array
@@ -154,7 +221,7 @@ and loop_body ctx fuel indent =
   let rng = ctx.rng in
   let pad = String.make (2 * indent) ' ' in
   let biased =
-    match R.int rng 4 with
+    match R.int rng 5 with
     | 0 when ctx.scalars <> [] ->
       [ Printf.sprintf "%s%s += %s;" pad (pick rng ctx.scalars) (atom ctx) ]
     | 1 when ctx.ptrs <> [] ->
@@ -164,6 +231,7 @@ and loop_body ctx fuel indent =
       let a = pick rng ctx.arrays in
       [ Printf.sprintf "%s%s[%s & 7] = %s[%s & 7] + %s;" pad a (index ctx) a
           (index ctx) (atom ctx) ]
+    | 3 when ctx.walkers <> [] -> ptr_walk ctx indent
     | _ -> []
   in
   biased @ stmts ctx fuel indent
@@ -218,6 +286,7 @@ let gen_mut rng k ~pure_calls ~rec_calls ~prev_muts =
         List.map
           (fun h -> (h, [ "a"; "ga"; "gb" ], [ "s"; "&g0"; "&g2" ]))
           prev_muts;
+      walkers = [];
       depth = 1 (* helpers nest at most two loops deep *);
     }
   in
@@ -270,10 +339,14 @@ let program rng =
               [ "ga"; "gb"; "hp"; "pa" ],
               [ "&g0"; "&g1"; "&g2"; "&g3"; "lp"; "ps" ] ))
           mut_names;
+      walkers = [ ("wq", [ "ga"; "gb"; "hp" ]) ];
       depth = 0;
     }
   in
-  let body = stmts ctx 3 1 in
+  (* every program opens with one pointer walk — the §3.3 oracle always
+     has something to disagree about — then the general grammar (which
+     can emit more walks at its own weight) takes over *)
+  let body = ptr_walk ctx 1 @ stmts ctx 3 1 in
   let lines =
     globals @ helpers
     @ [
@@ -282,6 +355,7 @@ let program rng =
         "  int loc0; int loc1;";
         "  int *lp;";
         "  int *hp;";
+        "  int *wq;";
         "  int i0; int i1; int i2;";
         "  x0 = 1; x1 = 2; x2 = 3; x3 = 5;";
         "  loc0 = 7; loc1 = 11;";
@@ -289,6 +363,7 @@ let program rng =
         "  hp = malloc(8);";
         "  ps = &g0;";
         "  pa = ga;";
+        "  wq = ga;";
         "  for (i0 = 0; i0 < 8; i0++) { ga[i0] = i0 * 3 + 1; gb[i0] = 17 - i0; \
          hp[i0] = i0 * i0; }";
       ]

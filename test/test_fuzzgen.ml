@@ -37,7 +37,7 @@ let test_trials_agree () =
     let src = Gen.program_of_seed ~seed:1 ~trial in
     match D.check src with
     | D.Agree { configs; ref_ops } ->
-      Util.check Alcotest.int "all grid configurations checked" 4 configs;
+      Util.check Alcotest.int "all grid configurations checked" 6 configs;
       Util.check Alcotest.bool "reference terminates within fuel" true
         (ref_ops > 0 && ref_ops < D.default_fuel)
     | o -> Alcotest.failf "trial %d: %a" trial D.pp_outcome o

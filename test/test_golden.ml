@@ -31,11 +31,24 @@ let golden =
     ("water", "with", (1409454, 341578, 170764));
     ("allroots", "without", (618, 84, 4));
     ("allroots", "with", (618, 84, 4));
+    (* the pointer tier, under points-to analysis with and without §3.3
+       stacked on scalar promotion: the walks' load/store traffic drops
+       when pointer promotion fires, and ptrchase must not move at all *)
+    ("ptrsum", "ptr/scalar", (298579, 61472, 31520));
+    ("ptrsum", "ptr/both", (239699, 32032, 2080));
+    ("stride", "ptr/scalar", (387152, 61632, 35200));
+    ("stride", "ptr/both", (333392, 34752, 8320));
+    ("ptrchase", "ptr/scalar", (66323, 12800, 256));
+    ("ptrchase", "ptr/both", (66323, 12800, 256));
   ]
 
 let cfg_of = function
   | "without" -> { Config.default with Config.promote = false }
   | "with" -> Config.default
+  | "ptr/scalar" -> { Config.default with Config.analysis = Config.Apointer }
+  | "ptr/both" ->
+    { Config.default with
+      Config.analysis = Config.Apointer; ptr_promote = true }
   | s -> invalid_arg s
 
 let tests =
@@ -92,15 +105,21 @@ let stats_json_tests =
           Alcotest.(list string)
           "top-level keys"
           [
-            "schema"; "config"; "counters"; "analysis_iters"; "converged";
-            "degraded"; "validated_passes"; "timings_ms"; "total_ms";
-            "resilience"; "result";
+            "schema"; "config"; "config_name"; "counters"; "analysis_iters";
+            "converged"; "degraded"; "validated_passes"; "timings_ms";
+            "total_ms"; "resilience"; "result";
           ]
           (Json.keys j);
         Util.check
           Alcotest.(option string)
-          "schema marker" (Some "rpcc-stats/3")
+          "schema marker" (Some "rpcc-stats/4")
           (match Json.member "schema" j with
+          | Some (Json.Str s) -> Some s
+          | _ -> None);
+        Util.check
+          Alcotest.(option string)
+          "canonical config name" (Some "modref/with")
+          (match Json.member "config_name" j with
           | Some (Json.Str s) -> Some s
           | _ -> None);
         Util.check

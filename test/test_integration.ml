@@ -1,5 +1,6 @@
-(** Whole-pipeline integration tests: the 14 benchmark miniatures under the
-    full configuration grid, checking (a) semantic preservation everywhere
+(** Whole-pipeline integration tests: the benchmark miniatures (the 14
+    Figure-4 programs plus the pointer tier) under the full six-cell
+    configuration grid, checking (a) semantic preservation everywhere
     and (b) the paper's qualitative results (who improves, who degrades,
     where the analyses differ). *)
 
@@ -128,18 +129,25 @@ let shape_tests =
             Util.check Alcotest.int (name ^ " stores equal") s_mr s_pt)
           [ "tsp"; "mlink"; "clean"; "sim"; "dhrystone"; "water"; "indent";
             "allroots"; "go"; "bison"; "gzip(enc)"; "gzip(dec)" ]);
-    Util.tc_slow "section 3.3 fires only on fft" (fun () ->
+    Util.tc_slow "section 3.3 fires only on fft and the pointer tier"
+      (fun () ->
         let both =
           { Config.default with
             Config.analysis = Config.Apointer; ptr_promote = true }
         in
+        (* fft is the paper's sole §3.3 success; ptrsum and stride are
+           this reproduction's pointer-walk additions built to win.  On
+           every other program — including ptrchase, the walk whose base
+           is redefined in-loop — pointer promotion must change nothing. *)
+        let winners = [ "fft"; "ptrsum"; "stride" ] in
         List.iter
           (fun (p : Rp_suite.Programs.program) ->
             let (_, l_s, s_s, c1) = metric p pointer_with in
             let (_, l_b, s_b, c2) = metric p both in
             Util.check Alcotest.int (p.Rp_suite.Programs.name ^ " checksum") c1 c2;
-            if p.Rp_suite.Programs.name = "fft" then
-              Util.check Alcotest.bool "fft benefits" true
+            if List.mem p.Rp_suite.Programs.name winners then
+              Util.check Alcotest.bool
+                (p.Rp_suite.Programs.name ^ " benefits") true
                 (l_b < l_s && s_b < s_s)
             else begin
               Util.check Alcotest.int (p.Rp_suite.Programs.name ^ " loads") l_s l_b;

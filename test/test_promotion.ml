@@ -383,6 +383,115 @@ let ptr_promotion_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* §3.3 strided bases: pointer recurrences of an enclosing loop        *)
+(* ------------------------------------------------------------------ *)
+
+(* A [p = p + 1] walk advanced by the outer loop: pb has two static
+   definitions (the init and the bump), so the classic single-definition
+   invariance test rejects it; the strided-base analysis accepts it
+   because both definitions sit outside the inner loop and the init
+   dominates the landing pad. *)
+let walk_src =
+  "int A[16]; int B[16][8]; int main() { int i; int j; for (i = 0; i < \
+   16; i++) { A[i] = i; for (j = 0; j < 8; j++) B[i][j] = i * 5 + j; } \
+   int *pb = &A[0]; for (i = 0; i < 16; i++) { for (j = 0; j < 8; j++) { \
+   *pb = *pb + B[i][j]; } pb = pb + 1; } int s = 0; for (i = 0; i < 16; \
+   i++) s += A[i]; print_int(s); return 0; }"
+
+(* two invariant bases over provably disjoint arrays: both promote *)
+let disjoint_src =
+  "int A[8]; int C[8]; int main() { int *p = &A[0]; int *q = &C[4]; int \
+   i; for (i = 0; i < 100; i++) { *p = *p + 1; *q = *q + 2; } \
+   print_int(A[0] + C[4]); return 0; }"
+
+(* the same loop when q may aim at either array: the may-alias store
+   must block both groups *)
+let may_alias_src =
+  "int A[8]; int C[8]; int main() { int *p = &A[0]; int *q; if (rand() % \
+   2) q = &A[4]; else q = &C[4]; int i; for (i = 0; i < 100; i++) { *p = \
+   *p + 1; *q = *q + 2; } print_int(A[0] + A[4] + C[4]); return 0; }"
+
+let strided_tests =
+  [
+    Util.tc "strided walk: multi-def base promotes in the inner loop"
+      (fun () ->
+        let (_, st, _) = Pipeline.compile_and_run ~config:ptr_cfg walk_src in
+        Util.check Alcotest.bool "walk promoted" true
+          (st.Pipeline.ptr_promoted >= 1);
+        let (_, l_scalar, s_scalar) =
+          Util.counts ~config:scalar_cfg walk_src
+        in
+        let (_, l_ptr, s_ptr) = Util.counts ~config:ptr_cfg walk_src in
+        Util.check Alcotest.bool "loads drop" true (l_ptr < l_scalar);
+        Util.check Alcotest.bool "stores drop" true (s_ptr < s_scalar);
+        Util.check Alcotest.string "same output"
+          (Util.output ~config:scalar_cfg walk_src)
+          (Util.output ~config:ptr_cfg walk_src));
+    Util.tc "disjoint invariant bases both promote" (fun () ->
+        let (_, st, _) =
+          Pipeline.compile_and_run ~config:ptr_cfg disjoint_src
+        in
+        Util.check Alcotest.int "both groups promoted" 2
+          st.Pipeline.ptr_promoted;
+        ignore (Util.differential disjoint_src));
+    Util.tc "may-alias store blocks both groups" (fun () ->
+        let (_, st, _) =
+          Pipeline.compile_and_run ~config:ptr_cfg may_alias_src
+        in
+        Util.check Alcotest.int "nothing promoted" 0
+          st.Pipeline.ptr_promoted;
+        ignore (Util.differential may_alias_src));
+    Util.tc "injected ptr_promotion fault rolls back to the scalar compile"
+      (fun () ->
+        let (_, st, r) =
+          Pipeline.with_fault_hook
+            (fun name -> if name = "ptr_promotion" then failwith "injected")
+            (fun () -> Pipeline.compile_and_run ~config:ptr_cfg walk_src)
+        in
+        (match List.assoc_opt "ptr_promotion" st.Pipeline.degraded with
+        | Some _ -> ()
+        | None -> Alcotest.fail "ptr_promotion not recorded as degraded");
+        Util.check Alcotest.int "no promotions survive the rollback" 0
+          st.Pipeline.ptr_promoted;
+        (* the guarded pass restored the pre-pass IR: behaviour and
+           dynamic counts match the config twin with §3.3 disabled *)
+        let (_, st0, r0) =
+          Pipeline.compile_and_run ~config:scalar_cfg walk_src
+        in
+        Util.check Alcotest.bool "twin compile healthy" true
+          (st0.Pipeline.degraded = []);
+        Util.check Alcotest.string "same output"
+          r0.Rp_exec.Interp.output r.Rp_exec.Interp.output;
+        Util.check Alcotest.int "same checksum" r0.Rp_exec.Interp.checksum
+          r.Rp_exec.Interp.checksum;
+        Util.check Alcotest.int "same loads"
+          r0.Rp_exec.Interp.total.Rp_exec.Interp.loads
+          r.Rp_exec.Interp.total.Rp_exec.Interp.loads;
+        Util.check Alcotest.int "same stores"
+          r0.Rp_exec.Interp.total.Rp_exec.Interp.stores
+          r.Rp_exec.Interp.total.Rp_exec.Interp.stores);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "pointer promotion preserves output/checksum on generated \
+            pointer-shaped programs"
+         ~count:40
+         QCheck.(pair (int_bound 1000) (int_bound 50))
+         (fun (seed, trial) ->
+           let src = Rp_fuzz.Gen.program_of_seed ~seed ~trial in
+           let run cfg =
+             let (_, _, r) =
+               Pipeline.compile_and_run ~config:cfg ~fuel:3_000_000 src
+             in
+             r
+           in
+           let a = run scalar_cfg in
+           let b = run ptr_cfg in
+           a.Rp_exec.Interp.output = b.Rp_exec.Interp.output
+           && a.Rp_exec.Interp.checksum = b.Rp_exec.Interp.checksum));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* §7 pressure throttle                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -457,5 +566,6 @@ let () =
       ("classification", classify_tests);
       ("behaviour", behaviour_tests);
       ("pointer_promotion", ptr_promotion_tests);
+      ("strided", strided_tests);
       ("throttle", throttle_tests);
     ]

@@ -113,7 +113,7 @@ let promotion_safety_prop =
       ra.Rp_exec.Interp.output = rb.Rp_exec.Interp.output)
 
 (* ------------------------------------------------------------------ *)
-(* The benchmark suite under the paper's 4-configuration grid           *)
+(* The benchmark suite under the six-cell configuration grid            *)
 (* ------------------------------------------------------------------ *)
 
 (* The bitset tag-set engine and the sparse-worklist analyses must be
