@@ -8,6 +8,9 @@
                                                  one Test.make per table
       dune exec bench/main.exe -- --json      -- write BENCH_counts.json and
                                                  BENCH_timings.json
+      dune exec bench/main.exe -- --json --via-daemon SOCK
+                                              -- counts grid through a running
+                                                 rpcc serve daemon (cached)
     v}
 
     Adding [--verify-passes] to any mode reruns the whole experiment under
@@ -559,7 +562,8 @@ let has_substring hay needle =
 
 (** Write [BENCH_counts.json] (program × grid config × dynamic counts,
     schema v2: plus the run's resilience counters; v3: six-config grid and
-    per-cell [ptr_promoted]) and [BENCH_timings.json]
+    per-cell [ptr_promoted]; v4: per-program breaker snapshots inside
+    [resilience]) and [BENCH_timings.json]
     (program × config × per-pass wall-clock and analysis fixpoint
     iterations, schema v2: plus per-cell wall/run time, the job count, and
     the grid's wall-clock).  Counts are deterministic — byte-identical at
@@ -752,7 +756,7 @@ let json_export () =
   let counts_doc =
     Json.Obj
       [
-        ("schema", Json.Str "rpcc-bench-counts/3");
+        ("schema", Json.Str "rpcc-bench-counts/4");
         ( "programs",
           Json.Obj
             (List.map
@@ -763,7 +767,12 @@ let json_export () =
                         (fun (cname, _, c, _, _) -> (cname, cell_json c))
                         per_config) ))
                rows) );
-        ("resilience", R.to_json resil);
+        (* v4: per-program breaker snapshots ride along so a grid that
+           tripped circuits says which programs and when *)
+        ( "resilience",
+          R.to_json
+            ~breakers:(Rp_support.Retry.Breaker.snapshots_json breaker)
+            resil );
       ]
   in
   let timings_doc =
@@ -831,6 +840,145 @@ let json_export () =
     (List.length rows)
     (List.length Config.paper_grid);
   Fmt.pr "wrote BENCH_timings.json@."
+
+(* ------------------------------------------------------------------ *)
+(* --json --via-daemon: the counts grid through rpcc serve             *)
+(* ------------------------------------------------------------------ *)
+
+(** Compute the counts grid by submitting one [run] request per
+    (program, config) cell to a running [rpcc serve] daemon instead of
+    compiling locally: requests go in batches of at most 32 per
+    connection (inside the daemon's default queue bound), responses come
+    back in request order, and the document is assembled in the same
+    grid order as {!json_export} — so two via-daemon runs against a
+    healthy daemon produce byte-identical [BENCH_counts.json] files,
+    whether the daemon answered cold or from its cache.  The daemon owns
+    supervision and timing state, so only the counts document is
+    written; the grid's wall-clock is printed (warm runs show the
+    cache). *)
+let json_export_via_daemon socket =
+  let module R = Rp_support.Resilience in
+  let grid_t0 = Rp_support.Clock.now () in
+  let flat =
+    List.concat_map
+      (fun (p : Rp_suite.Programs.program) ->
+        List.map (fun (cname, cfg) -> (p, cname, cfg)) Config.paper_grid)
+      Rp_suite.Programs.all
+  in
+  let req i ((p : Rp_suite.Programs.program), cname, _) =
+    Json.Obj
+      [
+        ("schema", Json.Str Rp_serve.Protocol.schema);
+        ("id", Json.Int i);
+        ("client", Json.Str "bench");
+        ("op", Json.Str "run");
+        ("src", Json.Str p.Rp_suite.Programs.source);
+        ("config", Json.Str cname);
+      ]
+  in
+  let rec chunks n = function
+    | [] -> []
+    | l ->
+      let rec take k = function
+        | x :: rest when k > 0 ->
+          let (head, tail) = take (k - 1) rest in
+          (x :: head, tail)
+        | rest -> ([], rest)
+      in
+      let (head, tail) = take n l in
+      head :: chunks n tail
+  in
+  let requests = List.mapi req flat in
+  let responses =
+    try
+      List.concat_map
+        (fun batch -> Rp_serve.Client.call ~socket batch)
+        (chunks 32 requests)
+    with Unix.Unix_error (e, _, _) ->
+      Fmt.epr "cannot reach daemon at %s: %s@." socket (Unix.error_message e);
+      exit 2
+  in
+  if List.length responses <> List.length flat then begin
+    Fmt.epr "daemon answered %d of %d requests@." (List.length responses)
+      (List.length flat);
+    exit 2
+  end;
+  let cell_of_response ((p : Rp_suite.Programs.program), cname, _) resp =
+    let pname = p.Rp_suite.Programs.name in
+    match Rp_serve.Protocol.response_status resp with
+    | "ok" -> (
+      let int_in doc k =
+        match Json.member k doc with Some (Json.Int i) -> Some i | _ -> None
+      in
+      let ptr_promoted =
+        match Json.member "stats" resp with
+        | Some st -> (
+          match Json.member "counters" st with
+          | Some c -> Option.value (int_in c "ptr_promoted") ~default:0
+          | None -> 0)
+        | None -> 0
+      in
+      match Json.member "result" resp with
+      | Some res -> (
+        match
+          ( int_in res "ops", int_in res "loads", int_in res "stores",
+            int_in res "checksum" )
+        with
+        | Some ops, Some loads, Some stores, Some checksum ->
+          Cok { ops; loads; stores; checksum; ptr_promoted }
+        | _ ->
+          Cquarantined
+            (Printf.sprintf "%s under %s: malformed daemon result" pname
+               cname))
+      | None ->
+        Cquarantined
+          (Printf.sprintf "%s under %s: daemon response has no result" pname
+             cname))
+    | status ->
+      let msg =
+        match Json.member "message" resp with
+        | Some (Json.Str m) -> m
+        | _ -> "no message"
+      in
+      Cquarantined
+        (Printf.sprintf "%s under %s: daemon %s: %s" pname cname status msg)
+  in
+  let cells = List.map2 cell_of_response flat responses in
+  let nconfigs = List.length Config.paper_grid in
+  let cells = Array.of_list cells in
+  let rows =
+    List.mapi
+      (fun i (p : Rp_suite.Programs.program) ->
+        ( p.Rp_suite.Programs.name,
+          List.init nconfigs (fun j ->
+              let (_, cname, _) = List.nth flat ((i * nconfigs) + j) in
+              (cname, cells.((i * nconfigs) + j))) ))
+      Rp_suite.Programs.all
+  in
+  let counts_doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "rpcc-bench-counts/4");
+        ( "programs",
+          Json.Obj
+            (List.map
+               (fun (pname, per_config) ->
+                 ( pname,
+                   Json.Obj
+                     (List.map
+                        (fun (cname, c) -> (cname, cell_json c))
+                        per_config) ))
+               rows) );
+        (* supervision lives in the daemon (see its health document);
+           the client-side counters are structurally present and zero so
+           the document's shape matches a local run *)
+        ("resilience", R.to_json (R.create ()));
+      ]
+  in
+  Json.to_file "BENCH_counts.json" counts_doc;
+  Fmt.pr "wrote BENCH_counts.json (%d programs x %d configs) via %s@."
+    (List.length rows) nconfigs socket;
+  Fmt.pr "grid wall: %.1f ms@." (1000. *. Rp_support.Clock.elapsed grid_t0)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches (one Test.make per table)                   *)
@@ -933,10 +1081,9 @@ let () =
   let want_timings = List.mem "--timings" args in
   let want_json = List.mem "--json" args in
   verify := List.mem "--verify-passes" args;
-  (jobs :=
-     match parse_jobs rest with
-     | 0 -> Rp_support.Pool.recommended_jobs ()
-     | j -> max 1 j);
+  (* uniform with rpcc serve/fuzz/gen-fuzz: 0 = auto, negative = usage
+     error (exit 2), never a silent clamp *)
+  jobs := Rp_support.Cli.jobs ~flag:"-j/--jobs" (parse_jobs rest);
   job_timeout := Option.map float_of_string (opt_value "--job-timeout" rest);
   Option.iter
     (fun v -> job_retries := max 0 (int_of_string v))
@@ -947,16 +1094,31 @@ let () =
   journal_path := opt_value "--journal" rest;
   resume_path := opt_value "--resume" rest;
   plant_hang := opt_value "--plant-hang" rest;
+  let via_daemon = opt_value "--via-daemon" rest in
   if want_json then begin
-    if !plant_hang <> None && !job_timeout = None then begin
-      Fmt.epr "--plant-hang requires --job-timeout@.";
-      exit 2
-    end;
-    (try
-       Sys.set_signal Sys.sigint
-         (Sys.Signal_handle (fun _ -> Atomic.set interrupted true))
-     with Invalid_argument _ | Sys_error _ -> ());
-    json_export ()
+    match via_daemon with
+    | Some socket ->
+      (* supervision, journaling, and verification all live daemon-side *)
+      if
+        !journal_path <> None || !resume_path <> None || !plant_hang <> None
+        || !verify
+      then begin
+        Fmt.epr
+          "--via-daemon cannot be combined with \
+           --journal/--resume/--plant-hang/--verify-passes@.";
+        exit 2
+      end;
+      json_export_via_daemon socket
+    | None ->
+      if !plant_hang <> None && !job_timeout = None then begin
+        Fmt.epr "--plant-hang requires --job-timeout@.";
+        exit 2
+      end;
+      (try
+         Sys.set_signal Sys.sigint
+           (Sys.Signal_handle (fun _ -> Atomic.set interrupted true))
+       with Invalid_argument _ | Sys_error _ -> ());
+      json_export ()
   end
   else begin
   let only_timings = want_timings && not (List.mem "--tables" args) in

@@ -7,6 +7,8 @@
       rpcc fuzz              fault-injection campaign on the pipeline
       rpcc gen-fuzz          generative differential testing vs an O0 reference
       rpcc reduce file.c     delta-debug an oracle failure to a minimal repro
+      rpcc serve             crash-tolerant compile/run daemon (cached)
+      rpcc client OP ...     send one request to a running daemon
     v}
 
     Exit codes (uniform across every subcommand): 0 success, 1 a finding —
@@ -449,8 +451,9 @@ let jobs_t =
            reproducers, and exit codes are identical at every $(docv); \
            use 0 for the machine's recommended domain count.")
 
-let resolve_jobs j =
-  if j <= 0 then Rp_support.Pool.recommended_jobs () else j
+(* Uniform across serve, bench, fuzz, and gen-fuzz: 0 = auto, negative =
+   usage error (exit 2), never a silent clamp. *)
+let resolve_jobs j = Rp_support.Cli.jobs ~flag:"--jobs" j
 
 (* Supervision flags shared by the campaign commands (fuzz, gen-fuzz). *)
 let job_timeout_t =
@@ -929,6 +932,195 @@ let reduce_cmd =
       const reduce $ file_arg $ config_t $ class_t $ mode_t $ inject_t
       $ seed_t $ oracle_fuel_t $ budget_t $ out_t)
 
+(* ------------------------------------------------------------------ *)
+(* The compile/run daemon and its client                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let serve socket state_dir jobs queue_bound job_timeout retries threshold
+      cooldown =
+    handle_errors @@ fun () ->
+    let jobs = Rp_support.Cli.jobs ~flag:"--jobs" jobs in
+    let queue_bound =
+      Rp_support.Cli.positive ~flag:"--queue-bound" queue_bound
+    in
+    let threshold =
+      Rp_support.Cli.positive ~flag:"--breaker-threshold" threshold
+    in
+    Rp_serve.Daemon.serve
+      {
+        Rp_serve.Daemon.socket;
+        state_dir;
+        jobs;
+        queue_bound;
+        job_timeout = (if job_timeout <= 0. then None else Some job_timeout);
+        retries = max 0 retries;
+        breaker_threshold = threshold;
+        breaker_cooldown = cooldown;
+      }
+  in
+  let socket_t =
+    Arg.(
+      value
+      & opt string Rp_serve.Daemon.default_config.Rp_serve.Daemon.socket
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket to listen on (stale files are replaced).")
+  in
+  let state_dir_t =
+    Arg.(
+      value
+      & opt string Rp_serve.Daemon.default_config.Rp_serve.Daemon.state_dir
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable state: the content-addressed cache ($(docv)/cas) and \
+             the request journal ($(docv)/journal.jsonl).  Restarting on \
+             the same directory resumes warm.")
+  in
+  let queue_bound_t =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Admit at most $(docv) jobs per connection batch; the rest \
+             receive 'overloaded' responses instead of queueing \
+             unboundedly.")
+  in
+  let serve_timeout_t =
+    Arg.(
+      value & opt float 30.
+      & info [ "job-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-job wall-clock deadline enforced by the supervised pool \
+             (0 disables it).")
+  in
+  let threshold_t =
+    Arg.(
+      value & opt int 3
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:
+            "Consecutive supervised failures before a client's circuit \
+             opens and its requests are rejected until a cooldown probe.")
+  in
+  let cooldown_t =
+    Arg.(
+      value & opt float 5.
+      & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+          ~doc:"Seconds an open client circuit waits before a probe.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Run the crash-tolerant compile/run daemon: line-JSON batches \
+          over a Unix-domain socket, dispatched to the supervised worker \
+          pool, backed by a content-addressed cache and a request \
+          journal.  SIGKILL-safe (restarts warm on the same --state-dir); \
+          SIGTERM/SIGINT drain gracefully.")
+    Term.(
+      const serve $ socket_t $ state_dir_t $ jobs_t $ queue_bound_t
+      $ serve_timeout_t $ retries_campaign_t $ threshold_t $ cooldown_t)
+
+let client_cmd =
+  let client socket op file config_name client_name seed trials =
+    handle_errors @@ fun () ->
+    let need_file () =
+      match file with
+      | Some f -> read_file f
+      | None -> Fmt.failwith "op '%s' needs a FILE.c argument" op
+    in
+    let base =
+      [
+        ("schema", Json.Str Rp_serve.Protocol.schema);
+        ("id", Json.Int 1);
+        ("client", Json.Str client_name);
+        ("op", Json.Str op);
+      ]
+    in
+    let req =
+      match op with
+      | "run" | "compile" | "stats" ->
+        Json.Obj
+          (base
+          @ [
+              ("src", Json.Str (need_file ()));
+              ("config", Json.Str config_name);
+            ])
+      | "fuzz" ->
+        Json.Obj
+          (base @ [ ("seed", Json.Int seed); ("trials", Json.Int trials) ])
+      | "health" -> Json.Obj base
+      | other -> Fmt.failwith "unknown op '%s'" other
+    in
+    let resps =
+      try Rp_serve.Client.call ~socket [ req ]
+      with Unix.Unix_error (e, _, _) ->
+        Fmt.failwith "cannot reach daemon at %s: %s" socket
+          (Unix.error_message e)
+    in
+    List.iter
+      (fun r -> print_endline (Json.to_string ~indent:false r))
+      resps;
+    match resps with
+    | [ r ] -> (
+      match Rp_serve.Protocol.response_status r with
+      | "ok" -> ()
+      | "error" -> (
+        match Json.member "code" r with
+        | Some (Json.Str "trap") -> exit 1
+        | Some (Json.Str "resource") -> exit 3
+        | _ -> exit 2)
+      | "overloaded" | "rejected" -> exit 3
+      | _ -> exit 2)
+    | _ -> Fmt.failwith "expected exactly one response line"
+  in
+  let socket_t =
+    Arg.(
+      value
+      & opt string Rp_serve.Daemon.default_config.Rp_serve.Daemon.socket
+      & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's socket.")
+  in
+  let op_t =
+    Arg.(
+      required
+      & pos 0 (some (enum
+            [ ("run", "run"); ("compile", "compile"); ("stats", "stats");
+              ("fuzz", "fuzz"); ("health", "health") ])) None
+      & info [] ~docv:"OP"
+          ~doc:"Request: run, compile, stats, fuzz, or health.")
+  in
+  let file_opt_t =
+    Arg.(
+      value & pos 1 (some file) None
+      & info [] ~docv:"FILE.c" ~doc:"Source file (run/compile/stats).")
+  in
+  let config_name_t =
+    Arg.(
+      value & opt string "modref/with"
+      & info [ "config" ] ~docv:"NAME"
+          ~doc:
+            "Grid configuration name (O0, modref/without, modref/with, \
+             modref/ptr, pointer/without, pointer/with, pointer/ptr).")
+  in
+  let client_name_t =
+    Arg.(
+      value & opt string "cli"
+      & info [ "client" ] ~docv:"NAME"
+          ~doc:"Client name: the daemon's circuit-breaker key.")
+  in
+  let trials_client_t =
+    Arg.(
+      value & opt int 1
+      & info [ "trials" ] ~docv:"N" ~doc:"Fuzz trials (op fuzz).")
+  in
+  Cmd.v
+    (Cmd.info "client" ~exits
+       ~doc:
+         "Send one request to a running rpcc serve daemon and print its \
+          response line.  Exit code mirrors the response: 0 ok, 1 trap, \
+          2 usage/internal error, 3 resource/overloaded/rejected.")
+    Term.(
+      const client $ socket_t $ op_t $ file_opt_t $ config_name_t
+      $ client_name_t $ seed_t $ trials_client_t)
+
 let main =
   Cmd.group
     (Cmd.info "rpcc" ~version:"1.0.0" ~exits
@@ -936,6 +1128,6 @@ let main =
          "Register promotion in C programs (Cooper & Lu, PLDI 1997) — \
           reference reimplementation.")
     [ run_cmd; dump_cmd; run_il_cmd; table_cmd; fuzz_cmd; gen_fuzz_cmd;
-      reduce_cmd ]
+      reduce_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval main)

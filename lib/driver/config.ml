@@ -127,6 +127,22 @@ let name (c : t) : string =
       (if c.optimize then "+opt" else "")
       c.k
 
+(** A complete, deterministic rendering of every configuration field, for
+    content-addressed cache keys.  Unlike {!name}/{!pp} (human-oriented,
+    which omit [always_store]/[regalloc]/[analysis_budget] in places),
+    two configurations share a fingerprint iff they are structurally
+    equal — anything less would let the daemon's cache serve one
+    configuration's artifacts for another. *)
+let fingerprint (c : t) : string =
+  Printf.sprintf
+    "analysis=%s promote=%b ptr_promote=%b always_store=%b throttle=%b \
+     dse=%b optimize=%b regalloc=%b k=%d verify=%b oracle=%b budget=%s"
+    (analysis_name c.analysis) c.promote c.ptr_promote c.always_store
+    c.throttle c.dse c.optimize c.regalloc c.k c.verify_passes c.oracle
+    (match c.analysis_budget with
+    | None -> "default"
+    | Some n -> string_of_int n)
+
 let pp ppf c =
   Fmt.pf ppf "%s%s%s%s%s%s%s k=%d" (analysis_name c.analysis)
     (if c.promote then "+promote" else "")

@@ -73,5 +73,12 @@ val name : t -> string
     [+ptrpromote] cells distinguishable in machine-read records
     ([--stats-json], campaign journals). *)
 
+val fingerprint : t -> string
+(** A complete, deterministic rendering of every field: two
+    configurations share a fingerprint iff they are structurally equal.
+    Feeds content-addressed cache keys ({!Pipeline.cache_key}), where
+    the human-oriented {!name}/{!pp} (which drop fields) would alias
+    distinct configurations. *)
+
 val pp : Format.formatter -> t -> unit
 (** One line, e.g. [modref+promote+opt k=24]. *)

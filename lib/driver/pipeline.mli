@@ -81,3 +81,43 @@ val total_time : stage_stats -> float
     per-pass timings (milliseconds, repeated passes summed) as a JSON
     object. *)
 val stats_json : Config.t -> stage_stats -> Rp_support.Json.t
+
+val pass_version : string
+(** Version stamp baked into every content-addressed cache key.  Bump on
+    any behaviour change to a pass, the serializer, the interpreter's
+    observable counts, or the stats schema: stale entries then stop
+    matching instead of being served. *)
+
+val cache_key : config:Config.t -> string -> string
+(** The {!Rp_support.Cas} key for compiling the source under the
+    configuration: {!pass_version} + {!Config.fingerprint} + source
+    bytes. *)
+
+type cached_run = {
+  il : string;  (** serialized post-pipeline program *)
+  stats : Rp_support.Json.t;
+      (** the {!stats_json} document of the populating compile — on a
+          warm hit this includes the {e original} compile's timings, so
+          re-served responses are byte-identical *)
+  output : string;
+  checksum : int;
+  ops : int;
+  loads : int;
+  stores : int;
+  cache_hit : bool;
+}
+
+(** {!compile_and_run} through a content-addressed store: a warm key
+    re-serves the stored post-pipeline program, stats document, and
+    interpreter result without touching the pipeline; a cold key
+    compiles, runs, and populates the store (atomically, after the run
+    completes — an aborted or trapped job caches nothing).  Corrupt
+    entries are quarantined by {!Rp_support.Cas.get} and transparently
+    recomputed. *)
+val compile_and_run_cached :
+  ?config:Config.t ->
+  ?should_stop:(unit -> bool) ->
+  ?deadline:float ->
+  cas:Rp_support.Cas.t ->
+  string ->
+  cached_run

@@ -1,0 +1,46 @@
+(** Client side of the batch exchange.  See client.mli. *)
+
+module Json = Rp_support.Json
+
+let call ~socket (reqs : Json.t list) : Json.t list =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      List.iter
+        (fun r ->
+          output_string oc (Json.to_string ~indent:false r);
+          output_char oc '\n')
+        reqs;
+      flush oc;
+      (* the daemon reads to EOF before answering the batch *)
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let rec go acc =
+        match input_line ic with
+        | line -> (
+          match Json.parse line with
+          | doc -> go (doc :: acc)
+          | exception Json.Parse_error m ->
+            failwith ("unparseable response line: " ^ m))
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let wait_ready ?(attempts = 100) ?(delay = 0.05) ~socket () =
+  let rec go n =
+    if n <= 0 then false
+    else
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        true
+      | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf delay;
+        go (n - 1)
+  in
+  go attempts

@@ -1,0 +1,14 @@
+(** Client side of the {!Protocol} batch exchange. *)
+
+module Json = Rp_support.Json
+
+val call : socket:string -> Json.t list -> Json.t list
+(** Connect to the daemon, send the requests (one compact JSON line
+    each), shut down the write side, and read the response lines to EOF.
+    Responses come back in request order.  Raises [Unix.Unix_error] if
+    the daemon is not listening and [Failure] on an unparseable response
+    line. *)
+
+val wait_ready : ?attempts:int -> ?delay:float -> socket:string -> unit -> bool
+(** Poll-connect until the daemon accepts (true) or [attempts] × [delay]
+    expire (false).  Defaults: 100 attempts, 50 ms apart. *)

@@ -1,0 +1,45 @@
+(** The [rpcc serve] daemon: a crash-tolerant compile/run service.
+
+    Accepts {!Protocol} batches over a Unix-domain socket and dispatches
+    them to the supervised worker pool ({!Rp_support.Pool.run_supervised}
+    — per-job deadlines, bounded retries), backed by a content-addressed
+    store ({!Rp_support.Cas}) keyed on (pass version, configuration
+    fingerprint, source), with a per-client circuit breaker.
+
+    Crash-tolerance contract:
+    - every admitted job is journaled ({e recv}) before execution and
+      again ({e done}) after it resolves, fsync-per-record;
+    - all cache writes are atomic (tmp + rename) and verified on read;
+      corrupt entries are quarantined and recomputed, never served;
+    - a SIGKILL'd daemon restarted on the same [state_dir] comes back
+      {e warm}: it replays the journal tail (corrupt records skipped and
+      counted), reports work that was in flight at the kill, and serves
+      byte-identical responses for re-submitted jobs from the store;
+    - SIGTERM/SIGINT drain gracefully: the in-flight batch finishes and
+      is answered, the socket is closed and unlinked, the journal is
+      closed, and {!serve} returns (the CLI then exits 0);
+    - backpressure: a batch's requests beyond [queue_bound] receive
+      [overloaded] responses instead of queueing unboundedly;
+    - a [health] request reports served/error counters, cache
+      hit/miss/quarantine rates, resilience counters with per-client
+      breaker snapshots, and the journal replay summary. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path; stale files are replaced *)
+  state_dir : string;  (** holds [cas/] and [journal.jsonl] *)
+  jobs : int;  (** worker domains for each batch *)
+  queue_bound : int;  (** max jobs admitted per batch *)
+  job_timeout : float option;  (** per-job wall-clock deadline, seconds *)
+  retries : int;  (** extra attempts per failed job *)
+  breaker_threshold : int;  (** consecutive failures tripping a client *)
+  breaker_cooldown : float;  (** seconds before a half-open probe *)
+}
+
+val default_config : config
+(** [socket = "rpcc.sock"], [state_dir = ".rpcc-serve"], auto [jobs],
+    [queue_bound = 64], 30 s timeout, 1 retry, threshold 3, 5 s
+    cooldown. *)
+
+val serve : config -> unit
+(** Run until SIGTERM/SIGINT, then drain and return.  Prints one
+    [listening] line to stdout once accepting. *)

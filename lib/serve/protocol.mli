@@ -1,0 +1,65 @@
+(** The [rpcc-serve/1] wire protocol.
+
+    Line-oriented JSON over a Unix-domain socket, batch-per-connection:
+    the client writes one request object per line, shuts down its write
+    side, and the daemon replies with one response object per request,
+    {e in request order}, then closes.
+
+    Request: [{"schema": "rpcc-serve/1", "id": <any>, "client": <str>,
+    "op": "run"|"compile"|"stats"|"fuzz"|"health", ...}] with
+    op-specific fields — [src] (+ optional [config], a
+    {!Rp_driver.Config.named_grid} name, default ["modref/with"]) for
+    the compile family, [seed] (+ optional [trials], default 1) for
+    [fuzz].  [id] is echoed verbatim in the response; [client] (default
+    ["anonymous"]) names the circuit-breaker key.
+
+    Response: [{"schema", "id", "client", "status", ...}] where [status]
+    is [ok] (op-specific payload fields follow), [error] (fields [code]
+    ∈ {usage, trap, resource, internal} and [message]), [overloaded]
+    (the batch exceeded the daemon's queue bound; resubmit), or
+    [rejected] (the client's circuit is open; back off).
+
+    Responses are built deterministically — same request, same cached
+    artifacts ⇒ byte-identical response line.  Deliberately {e no}
+    [cached] field: a warm daemon is indistinguishable from a cold one
+    except through [health] and latency. *)
+
+module Json = Rp_support.Json
+
+val schema : string
+(** ["rpcc-serve/1"]. *)
+
+type op =
+  | Run of { src : string; config : string }
+      (** compile + execute; payload [result] + [stats] *)
+  | Compile of { src : string; config : string }
+      (** payload [il] (serialized post-pipeline program) + [stats] *)
+  | Stats of { src : string; config : string }  (** payload [stats] only *)
+  | Fuzz of { seed : int; trials : int }
+      (** differential-oracle trials; payload [fuzz] summary *)
+  | Health  (** daemon self-report; answered without entering the pool *)
+
+type request = {
+  id : Json.t;  (** echoed verbatim; [Null] when absent *)
+  client : string;
+  op : op;
+}
+
+val op_name : op -> string
+
+val parse_request : Json.t -> (request, string) result
+(** Validate one request line.  [Error reason] maps to a [usage] error
+    response. *)
+
+val config_of_name : string -> Rp_driver.Config.t option
+(** Look up a {!Rp_driver.Config.named_grid} name. *)
+
+(** {2 Response constructors} *)
+
+val ok : id:Json.t -> client:string -> (string * Json.t) list -> Json.t
+val error : id:Json.t -> client:string -> code:string -> string -> Json.t
+val overloaded : id:Json.t -> client:string -> Json.t
+val rejected : id:Json.t -> client:string -> string -> Json.t
+
+val response_status : Json.t -> string
+(** The [status] field of a response ([""] when absent). *)

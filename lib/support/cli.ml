@@ -1,0 +1,13 @@
+(** Uniform numeric-argument validation.  See cli.mli. *)
+
+let usage_exit msg =
+  prerr_endline ("usage: " ^ msg);
+  exit 2
+
+let jobs ~flag n =
+  if n < 0 then usage_exit (Printf.sprintf "%s must be >= 0 (0 = auto)" flag)
+  else if n = 0 then Pool.recommended_jobs ()
+  else n
+
+let positive ~flag n =
+  if n < 1 then usage_exit (Printf.sprintf "%s must be >= 1" flag) else n

@@ -1,0 +1,19 @@
+(** Uniform validation for numeric CLI arguments.
+
+    Every parallel surface ([rpcc serve]/[fuzz]/[gen-fuzz], the bench
+    harness) takes a [--jobs] count and the daemon takes a queue bound;
+    before this module each command hand-rolled its own clamping
+    (silently promoting [-3] to [1], or to "auto").  These helpers give
+    them one behaviour: invalid values are rejected with a usage message
+    on stderr and exit code 2 (the repo-wide usage-error code), never
+    silently corrected. *)
+
+val jobs : flag:string -> int -> int
+(** Worker-domain count: [0] means the machine's recommended domain
+    count ({!Pool.recommended_jobs}); positive values pass through; a
+    negative value prints [usage: FLAG must be >= 0 (0 = auto)] and
+    exits 2. *)
+
+val positive : flag:string -> int -> int
+(** A strictly positive argument (queue bounds, thresholds): values
+    [< 1] print [usage: FLAG must be >= 1] and exit 2. *)

@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial).
+
+    The journal's per-record integrity check ({!Journal}) and the
+    content-addressed store's header verification ({!Cas}) need a
+    checksum that detects bit flips and torn writes without any external
+    dependency; this is the standard reflected table-driven
+    implementation, ~20 lines, deterministic across platforms. *)
+
+val string : string -> int
+(** CRC-32 of the whole string, in [0, 2^32). *)
+
+val to_hex : int -> string
+(** Eight lowercase hex digits, zero-padded. *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}; [None] if the string is not 8 hex digits. *)

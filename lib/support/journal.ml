@@ -1,4 +1,5 @@
-(** Append-only fsync-on-record line-JSON journal.  See journal.mli. *)
+(** Append-only fsync-on-record line-JSON journal with per-record CRC.
+    See journal.mli. *)
 
 type writer = {
   path : string;
@@ -19,8 +20,18 @@ let write_all fd s =
   in
   go 0
 
+(* A v2 record line wraps the payload in {"crc32": "...", "r": payload},
+   with the CRC computed over the payload's own compact serialization —
+   exactly the bytes between the wrapper's ["r":] and the closing brace,
+   so the loader can re-derive them from the parse. *)
+let wrap j =
+  let payload = Json.to_string ~indent:false j in
+  Printf.sprintf "{\"crc32\":\"%s\",\"r\":%s}\n"
+    (Crc32.to_hex (Crc32.string payload))
+    payload
+
 let record w j =
-  let line = Json.to_string ~indent:false j ^ "\n" in
+  let line = wrap j in
   Mutex.lock w.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock w.lock)
@@ -41,7 +52,17 @@ let close w =
 
 let path w = w.path
 
-let load path =
+(* Classify one parsed line: a v2 wrapper is unwrapped after its CRC
+   checks out; anything else is a CRC-less v1 record, taken as-is. *)
+let unwrap = function
+  | Json.Obj [ ("crc32", Json.Str h); ("r", payload) ] -> (
+    let bytes = Json.to_string ~indent:false payload in
+    match Crc32.of_hex h with
+    | Some c when c = Crc32.string bytes -> Ok payload
+    | _ -> Error "crc32 mismatch")
+  | j -> Ok j
+
+let load ?(on_skip = fun ~line:_ _ -> ()) path =
   if not (Sys.file_exists path) then []
   else begin
     let ic = open_in_bin path in
@@ -57,11 +78,16 @@ let load path =
     List.mapi (fun i l -> (i, l)) lines
     |> List.filter_map (fun (i, l) ->
            match Json.parse l with
-           | j -> Some j
            | exception Json.Parse_error _ ->
-             if i = n - 1 then None  (* truncated by a crash mid-write *)
-             else
-               failwith
-                 (Printf.sprintf "Journal.load: %s: corrupt record on line %d"
-                    path (i + 1)))
+             (* a torn final line is the normal crash signature and is
+                dropped silently; an unparseable interior line is
+                corruption and is counted *)
+             if i < n - 1 then on_skip ~line:(i + 1) "unparseable record";
+             None
+           | j -> (
+             match unwrap j with
+             | Ok payload -> Some payload
+             | Error reason ->
+               on_skip ~line:(i + 1) reason;
+               None))
   end

@@ -1,15 +1,23 @@
-(** Append-only, fsync-on-record, line-JSON campaign journal.
+(** Append-only, fsync-on-record, CRC-protected line-JSON journal.
 
     One record per line, written with [O_APPEND] and [fsync]ed before
     {!record} returns, so every acknowledged record survives a crash or
     SIGKILL of the process.  Campaign drivers ([rpcc gen-fuzz], [rpcc
-    fuzz], [bench --json]) write one record per finished unit of work and
-    re-read the file under [--resume] to skip work already done.
+    fuzz], [bench --json]) and the [rpcc serve] daemon write one record
+    per unit of work and re-read the file on [--resume] / warm restart to
+    skip work already done.
 
     Writers are thread-safe: worker domains may {!record} concurrently
     (records are serialized under an internal lock, never interleaved).
-    The loader tolerates exactly the corruption a crash can cause — a
-    truncated final line — and rejects anything else. *)
+
+    {b Record format.}  Each line is a v2 wrapper
+    [{"crc32": "xxxxxxxx", "r": <record>}]: the CRC-32 of the record's
+    compact serialization travels with it, so a bit flip or torn write
+    {e anywhere} in the file — not just a truncated final line — is
+    detected on load and the damaged record is skipped (and surfaced via
+    [on_skip]) instead of being parsed as garbage.  CRC-less v1 journals
+    (any line that is not a v2 wrapper) keep loading for [--resume]
+    compatibility. *)
 
 type writer
 
@@ -17,7 +25,7 @@ val create : string -> writer
 (** Open [path] for appending, creating it if missing. *)
 
 val record : writer -> Json.t -> unit
-(** Append one record as a single unindented JSON line and [fsync].
+(** Append one record as a single CRC-wrapped JSON line and [fsync].
     Raises [Invalid_argument] if the writer is closed. *)
 
 val close : writer -> unit
@@ -25,8 +33,12 @@ val close : writer -> unit
 
 val path : writer -> string
 
-val load : string -> Json.t list
-(** Parse every line of [path] in order.  A missing file is an empty
-    journal.  An unparseable {e final} line (the record being written when
-    the process died) is dropped; an unparseable interior line raises
-    [Failure] — the journal is corrupt, not merely truncated. *)
+val load : ?on_skip:(line:int -> string -> unit) -> string -> Json.t list
+(** Parse every line of [path] in order, returning the unwrapped payload
+    records.  A missing file is an empty journal.  An unparseable
+    {e final} line (the record being written when the process died) is
+    dropped silently; a corrupt {e interior} line — unparseable, or a v2
+    record whose CRC does not match — is skipped and reported through
+    [on_skip] (1-based line number and reason), so callers can count a
+    [journal_skipped] telemetry event rather than crash or resume from
+    garbage. *)

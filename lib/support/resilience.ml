@@ -41,16 +41,17 @@ let merge ~into src =
     (fun o -> ignore (Atomic.fetch_and_add (cell into o) (count src o) : int))
     all
 
-let to_json t =
+let to_json ?breakers t =
   Json.Obj
-    [
-      ("timeouts", Json.Int (count t Timeout));
-      ("retries", Json.Int (count t Retry));
-      ("breaker_trips", Json.Int (count t Breaker_trip));
-      ("resumed", Json.Int (count t Resumed));
-      ("crashed", Json.Int (count t Crash));
-      ("quarantined", Json.Int (count t Quarantine));
-    ]
+    ([
+       ("timeouts", Json.Int (count t Timeout));
+       ("retries", Json.Int (count t Retry));
+       ("breaker_trips", Json.Int (count t Breaker_trip));
+       ("resumed", Json.Int (count t Resumed));
+       ("crashed", Json.Int (count t Crash));
+       ("quarantined", Json.Int (count t Quarantine));
+     ]
+    @ match breakers with None -> [] | Some b -> [ ("breakers", b) ])
 
 let pp ppf t =
   Format.fprintf ppf

@@ -28,10 +28,14 @@ val any : t -> bool
 val merge : into:t -> t -> unit
 (** Add every counter of the second record into [into]. *)
 
-val to_json : t -> Json.t
+val to_json : ?breakers:Json.t -> t -> Json.t
 (** [{"timeouts": _, "retries": _, "breaker_trips": _, "resumed": _,
      "crashed": _, "quarantined": _}] — the stats-JSON [resilience]
-    object. *)
+    object.  Surfaces that own a circuit breaker (the bench grid, [rpcc
+    serve] health) pass [?breakers] (normally
+    {!Retry.Breaker.snapshots_json}) to append a [breakers] key with
+    per-key state; surfaces without one ([rpcc run]) omit it and their
+    schema is unchanged. *)
 
 val pp : Format.formatter -> t -> unit
 (** One line: [timeouts=0 retries=0 breaker_trips=0 resumed=0 crashed=0

@@ -63,6 +63,8 @@ module Breaker = struct
     mutable consecutive : int;  (** consecutive failures while closed *)
     mutable opened_at : float;
     mutable probing : bool;  (** a half-open probe is in flight *)
+    mutable last : ([ `Trip | `Probe | `Reset ] * float) option;
+        (** most recent transition and when it happened *)
   }
 
   type t = {
@@ -96,12 +98,17 @@ module Breaker = struct
     match Hashtbl.find_opt t.circuits key with
     | Some c -> c
     | None ->
-      let c = { st = Closed; consecutive = 0; opened_at = 0.; probing = false } in
+      let c =
+        { st = Closed; consecutive = 0; opened_at = 0.; probing = false;
+          last = None }
+      in
       Hashtbl.add t.circuits key c;
       c
 
   let emit t key transition =
-    t.evs <- { key; at = t.now (); transition } :: t.evs;
+    let at = t.now () in
+    t.evs <- { key; at; transition } :: t.evs;
+    (circuit t key).last <- Some (transition, at);
     if transition = `Trip then t.trip_count <- t.trip_count + 1
 
   let state t key =
@@ -153,4 +160,55 @@ module Breaker = struct
 
   let trips t = locked t (fun () -> t.trip_count)
   let events t = locked t (fun () -> List.rev t.evs)
+
+  (* -------------------------------------------------------------- *)
+  (* Observability: per-key snapshots for health/stats surfaces       *)
+  (* -------------------------------------------------------------- *)
+
+  type snapshot = {
+    skey : string;
+    sstate : state;
+    sconsecutive : int;
+    slast : ([ `Trip | `Probe | `Reset ] * float) option;
+  }
+
+  let state_name = function
+    | Closed -> "closed"
+    | Open -> "open"
+    | Half_open -> "half_open"
+
+  let transition_name = function
+    | `Trip -> "trip"
+    | `Probe -> "probe"
+    | `Reset -> "reset"
+
+  let snapshots t =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun key c acc ->
+            { skey = key; sstate = c.st; sconsecutive = c.consecutive;
+              slast = c.last }
+            :: acc)
+          t.circuits []
+        |> List.sort (fun a b -> compare a.skey b.skey))
+
+  let snapshots_json t =
+    Json.Obj
+      (List.map
+         (fun s ->
+           ( s.skey,
+             Json.Obj
+               [
+                 ("state", Json.Str (state_name s.sstate));
+                 ("consecutive_failures", Json.Int s.sconsecutive);
+                 ( "last_transition",
+                   match s.slast with
+                   | None -> Json.Null
+                   | Some (tr, _) -> Json.Str (transition_name tr) );
+                 ( "last_transition_at",
+                   match s.slast with
+                   | None -> Json.Null
+                   | Some (_, at) -> Json.Float at );
+               ] ))
+         (snapshots t))
 end

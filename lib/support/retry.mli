@@ -80,4 +80,25 @@ module Breaker : sig
 
   val events : t -> event list
   (** All transition events, oldest first. *)
+
+  (** One key's observable state, for health/stats surfaces. *)
+  type snapshot = {
+    skey : string;
+    sstate : state;
+    sconsecutive : int;  (** consecutive failures while closed *)
+    slast : ([ `Trip | `Probe | `Reset ] * float) option;
+        (** most recent transition and its {!Clock.now} instant *)
+  }
+
+  val state_name : state -> string
+  (** ["closed"], ["open"], or ["half_open"]. *)
+
+  val snapshots : t -> snapshot list
+  (** Every key the breaker has seen, sorted by key. *)
+
+  val snapshots_json : t -> Json.t
+  (** [{key: {"state": _, "consecutive_failures": _, "last_transition":
+      _, "last_transition_at": _}, ...}] — the [breakers] object embedded
+      in resilience JSON by surfaces that own a breaker ([rpcc serve]
+      health, the bench grid). *)
 end

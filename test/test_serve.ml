@@ -1,0 +1,451 @@
+(** Tests for the [rpcc serve] subsystem: the content-addressed store,
+    the cached pipeline, the wire protocol, and the daemon end-to-end
+    (SIGKILL warm restart, backpressure, graceful drain). *)
+
+module Json = Rp_support.Json
+module Cas = Rp_support.Cas
+module Config = Rp_driver.Config
+module Pipeline = Rp_driver.Pipeline
+module Protocol = Rp_serve.Protocol
+module Client = Rp_serve.Client
+
+let dir_seq = ref 0
+
+(** A fresh scratch directory under the system temp dir. *)
+let fresh_dir name =
+  incr dir_seq;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp-serve-%s-%d-%d" name (Unix.getpid ()) !dir_seq)
+  in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(** Descend an object path; fails the test if any step is missing. *)
+let member_path path j =
+  List.fold_left
+    (fun acc k ->
+      match Json.member k acc with
+      | Some v -> v
+      | None -> Alcotest.fail ("missing field " ^ k))
+    j path
+
+let int_at path j =
+  match member_path path j with
+  | Json.Int n -> n
+  | _ -> Alcotest.fail ("not an int: " ^ String.concat "." path)
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed store                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** The on-disk path of an object, mirroring the store layout. *)
+let object_path root ~key ~kind =
+  Filename.concat
+    (Filename.concat (Filename.concat root "objects") (String.sub key 0 2))
+    (key ^ "." ^ kind)
+
+let cas_tests =
+  [
+    Util.tc "cas: put/get round-trip, hits and misses counted" (fun () ->
+        let cas = Cas.open_ (fresh_dir "cas-rt") in
+        let key = Cas.key [ "some"; "parts" ] in
+        Cas.put cas ~key ~kind:"result" "the payload\nbytes";
+        Util.check Alcotest.bool "verified read" true
+          (Cas.get cas ~key ~kind:"result" = Some "the payload\nbytes");
+        Util.check Alcotest.bool "wrong kind is a miss" true
+          (Cas.get cas ~key ~kind:"stats" = None);
+        let s = Cas.stats cas in
+        Util.check Alcotest.int "hits" 1 s.Cas.hits;
+        Util.check Alcotest.int "misses" 1 s.Cas.misses;
+        Util.check Alcotest.int "puts" 1 s.Cas.puts;
+        Util.check Alcotest.int "quarantined" 0 s.Cas.quarantined;
+        match Cas.stats_json cas with
+        | Json.Obj kvs ->
+          Util.check
+            Alcotest.(list string)
+            "stats json keys"
+            [ "hits"; "misses"; "puts"; "quarantined" ]
+            (List.map fst kvs)
+        | _ -> Alcotest.fail "stats_json must be an object");
+    Util.tc "cas: keys are length-delimited and order-sensitive" (fun () ->
+        Util.check Alcotest.bool "concatenation collision avoided" false
+          (Cas.key [ "ab" ] = Cas.key [ "a"; "b" ]);
+        Util.check Alcotest.bool "order matters" false
+          (Cas.key [ "a"; "b" ] = Cas.key [ "b"; "a" ]);
+        Util.check Alcotest.bool "deterministic" true
+          (Cas.key [ "a"; "b" ] = Cas.key [ "a"; "b" ]));
+    Util.tc "cas: poisoned entry quarantined, never served, recomputable"
+      (fun () ->
+        let root = fresh_dir "cas-poison" in
+        let cas = Cas.open_ root in
+        let key = Cas.key [ "poison"; "me" ] in
+        Cas.put cas ~key ~kind:"result" "precious correct bytes";
+        (* flip one payload byte on disk, leaving the header's CRC stale *)
+        let path = object_path root ~key ~kind:"result" in
+        let raw = read_file path in
+        let b = Bytes.of_string raw in
+        let last = Bytes.length b - 1 in
+        Bytes.set b last (if Bytes.get b last = 'x' then 'y' else 'x');
+        write_file path (Bytes.to_string b);
+        (* a corrupt entry must read as a miss, not a wrong answer *)
+        Util.check Alcotest.bool "corrupt entry is a miss" true
+          (Cas.get cas ~key ~kind:"result" = None);
+        Util.check Alcotest.int "quarantined counted" 1
+          (Cas.stats cas).Cas.quarantined;
+        Util.check Alcotest.bool "moved aside, not deleted" true
+          (Array.length (Sys.readdir (Filename.concat root "quarantine")) > 0);
+        Util.check Alcotest.bool "object gone from store" false
+          (Sys.file_exists path);
+        (* the caller recomputes and re-populates *)
+        Cas.put cas ~key ~kind:"result" "precious correct bytes";
+        Util.check Alcotest.bool "recomputed entry serves" true
+          (Cas.get cas ~key ~kind:"result" = Some "precious correct bytes"));
+    Util.tc "cas: orphan temp files reaped on open" (fun () ->
+        let root = fresh_dir "cas-tmp" in
+        ignore (Cas.open_ root : Cas.t);
+        (* a crash mid-put leaves an unrenamed temp file behind *)
+        write_file (Filename.concat (Filename.concat root "tmp") "orphan")
+          "half-written";
+        let cas2 = Cas.open_ root in
+        Util.check Alcotest.int "tmp dir emptied" 0
+          (Array.length (Sys.readdir (Filename.concat root "tmp")));
+        Util.check Alcotest.bool "store still works" true
+          (let key = Cas.key [ "after"; "reap" ] in
+           Cas.put cas2 ~key ~kind:"result" "v";
+           Cas.get cas2 ~key ~kind:"result" = Some "v"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cached pipeline: warm hits are byte-identical across the grid       *)
+(* ------------------------------------------------------------------ *)
+
+let cache_src =
+  "int g; int main() { int i; int s; s = 0; for (i = 0; i < 100; i++) { s \
+   = s + i; g = s; } print_int(s + g); return 0; }"
+
+let cache_tests =
+  [
+    Util.tc "cache: cold populates, warm hit byte-identical, all configs"
+      (fun () ->
+        let cas = Cas.open_ (fresh_dir "cache-grid") in
+        List.iter
+          (fun (name, config) ->
+            let _, _, plain = Pipeline.compile_and_run ~config cache_src in
+            let cold = Pipeline.compile_and_run_cached ~config ~cas cache_src in
+            let warm = Pipeline.compile_and_run_cached ~config ~cas cache_src in
+            Util.check Alcotest.bool (name ^ ": cold is a miss") false
+              cold.Pipeline.cache_hit;
+            Util.check Alcotest.bool (name ^ ": warm is a hit") true
+              warm.Pipeline.cache_hit;
+            (* cached answers agree with the uncached pipeline *)
+            Util.check Alcotest.string (name ^ ": output") plain.Rp_exec.Interp.output
+              cold.Pipeline.output;
+            Util.check Alcotest.int (name ^ ": checksum")
+              plain.Rp_exec.Interp.checksum cold.Pipeline.checksum;
+            Util.check Alcotest.int (name ^ ": ops")
+              plain.Rp_exec.Interp.total.Rp_exec.Interp.ops cold.Pipeline.ops;
+            Util.check Alcotest.int (name ^ ": loads")
+              plain.Rp_exec.Interp.total.Rp_exec.Interp.loads
+              cold.Pipeline.loads;
+            Util.check Alcotest.int (name ^ ": stores")
+              plain.Rp_exec.Interp.total.Rp_exec.Interp.stores
+              cold.Pipeline.stores;
+            (* warm re-serve is byte-identical to the populating compile *)
+            Util.check Alcotest.string (name ^ ": il bytes") cold.Pipeline.il
+              warm.Pipeline.il;
+            Util.check Alcotest.string (name ^ ": stats bytes")
+              (Json.to_string cold.Pipeline.stats)
+              (Json.to_string warm.Pipeline.stats);
+            Util.check Alcotest.string (name ^ ": output bytes")
+              cold.Pipeline.output warm.Pipeline.output;
+            Util.check Alcotest.bool (name ^ ": counts identical") true
+              (cold.Pipeline.checksum = warm.Pipeline.checksum
+              && cold.Pipeline.ops = warm.Pipeline.ops
+              && cold.Pipeline.loads = warm.Pipeline.loads
+              && cold.Pipeline.stores = warm.Pipeline.stores))
+          Config.named_grid;
+        let s = Cas.stats cas in
+        Util.check Alcotest.bool "every warm pass hit" true
+          (s.Cas.hits > 0 && s.Cas.quarantined = 0));
+    Util.tc "cache: distinct configs never share a key" (fun () ->
+        let keys =
+          List.map
+            (fun (_, config) -> Pipeline.cache_key ~config cache_src)
+            Config.named_grid
+        in
+        Util.check Alcotest.int "all keys distinct"
+          (List.length keys)
+          (List.length (List.sort_uniq compare keys)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let protocol_tests =
+  [
+    Util.tc "protocol: request parse applies defaults" (fun () ->
+        let j =
+          Json.Obj
+            [
+              ("schema", Json.Str Protocol.schema);
+              ("op", Json.Str "run");
+              ("src", Json.Str "int main() { return 0; }");
+            ]
+        in
+        match Protocol.parse_request j with
+        | Ok r ->
+          Util.check Alcotest.string "default client" "anonymous" r.Protocol.client;
+          Util.check Alcotest.bool "absent id is Null" true
+            (r.Protocol.id = Json.Null);
+          (match r.Protocol.op with
+          | Protocol.Run { config; _ } ->
+            Util.check Alcotest.string "default config" "modref/with" config
+          | _ -> Alcotest.fail "expected Run")
+        | Error e -> Alcotest.fail ("parse failed: " ^ e));
+    Util.tc "protocol: schema mismatch and unknown op are usage errors"
+      (fun () ->
+        let bad_schema =
+          Json.Obj [ ("schema", Json.Str "bogus/9"); ("op", Json.Str "run") ]
+        in
+        let bad_op =
+          Json.Obj
+            [ ("schema", Json.Str Protocol.schema); ("op", Json.Str "dance") ]
+        in
+        Util.check Alcotest.bool "schema rejected" true
+          (Result.is_error (Protocol.parse_request bad_schema));
+        Util.check Alcotest.bool "op rejected" true
+          (Result.is_error (Protocol.parse_request bad_op)));
+    Util.tc "protocol: responses carry a fixed field order" (fun () ->
+        let keys j =
+          match j with Json.Obj kvs -> List.map fst kvs | _ -> []
+        in
+        Util.check
+          Alcotest.(list string)
+          "ok"
+          [ "schema"; "id"; "client"; "status"; "x" ]
+          (keys (Protocol.ok ~id:(Json.Int 1) ~client:"c" [ ("x", Json.Int 2) ]));
+        Util.check
+          Alcotest.(list string)
+          "error"
+          [ "schema"; "id"; "client"; "status"; "code"; "message" ]
+          (keys (Protocol.error ~id:(Json.Int 1) ~client:"c" ~code:"trap" "m"));
+        Util.check Alcotest.string "overloaded status" "overloaded"
+          (Protocol.response_status
+             (Protocol.overloaded ~id:(Json.Int 1) ~client:"c"));
+        Util.check Alcotest.string "rejected status" "rejected"
+          (Protocol.response_status
+             (Protocol.rejected ~id:(Json.Int 1) ~client:"c" "circuit open")));
+    Util.tc "protocol: config_of_name covers the grid, rejects junk" (fun () ->
+        List.iter
+          (fun (name, _) ->
+            Util.check Alcotest.bool name true
+              (Protocol.config_of_name name <> None))
+          Config.named_grid;
+        Util.check Alcotest.bool "junk name" true
+          (Protocol.config_of_name "no-such-config" = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end-to-end                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rpcc () = Filename.concat (Sys.getcwd ()) "../bin/rpcc.exe"
+let bench () = Filename.concat (Sys.getcwd ()) "../bench/main.exe"
+
+let spawn_daemon ?(extra = []) ~socket ~state ~log () =
+  let exe = rpcc () in
+  let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list
+         ([ exe; "serve"; "--socket"; socket; "--state-dir"; state;
+            "--jobs"; "2" ]
+         @ extra))
+      Unix.stdin fd fd
+  in
+  Unix.close fd;
+  pid
+
+let req ~id ~op fields =
+  Json.Obj
+    ([
+       ("schema", Json.Str Protocol.schema);
+       ("id", Json.Int id);
+       ("client", Json.Str "test");
+       ("op", Json.Str op);
+     ]
+    @ fields)
+
+let run_req ~id src =
+  req ~id ~op:"run"
+    [ ("src", Json.Str src); ("config", Json.Str "modref/with") ]
+
+let daemon_src =
+  "int main() { int i; int s; s = 0; for (i = 0; i < 100; i++) { s = s + \
+   i; } print_int(s); return 0; }"
+
+let one socket r =
+  match Client.call ~socket [ r ] with
+  | [ resp ] -> resp
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 response, got %d" (List.length rs))
+
+let test_daemon_warm_restart () =
+  let dir = fresh_dir "daemon" in
+  let socket = Filename.concat dir "d.sock" in
+  let state = Filename.concat dir "state" in
+  let log = Filename.concat dir "serve.log" in
+  let pid = spawn_daemon ~socket ~state ~log () in
+  if not (Client.wait_ready ~socket ()) then
+    Alcotest.fail "daemon did not come up";
+  (* cold compile, then a warm re-serve from the cache *)
+  let cold = one socket (run_req ~id:1 daemon_src) in
+  Util.check Alcotest.string "cold status ok" "ok" (Protocol.response_status cold);
+  Util.check Alcotest.string "cold output" "4950\n"
+    (match member_path [ "result"; "output" ] cold with
+    | Json.Str s -> s
+    | _ -> "");
+  let warm = one socket (run_req ~id:1 daemon_src) in
+  Util.check Alcotest.string "warm response byte-identical"
+    (Json.to_string cold) (Json.to_string warm);
+  (* SIGKILL: no drain, no goodbye *)
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  (* restart on the same state dir: replays the journal, serves warm *)
+  let pid2 = spawn_daemon ~socket ~state ~log () in
+  if not (Client.wait_ready ~socket ()) then
+    Alcotest.fail "daemon did not restart";
+  let replayed = one socket (run_req ~id:1 daemon_src) in
+  Util.check Alcotest.string "post-restart response byte-identical"
+    (Json.to_string cold) (Json.to_string replayed);
+  let health = one socket (req ~id:99 ~op:"health" []) in
+  Util.check Alcotest.string "health ok" "ok" (Protocol.response_status health);
+  Util.check Alcotest.bool "restart served from cache" true
+    (int_at [ "health"; "cache"; "hits" ] health > 0);
+  Util.check Alcotest.int "no corruption" 0
+    (int_at [ "health"; "cache"; "quarantined" ] health);
+  Util.check Alcotest.bool "journal replayed on restart" true
+    (int_at [ "health"; "journal"; "replayed" ] health > 0);
+  Util.check Alcotest.int "no journal damage" 0
+    (int_at [ "health"; "journal"; "skipped" ] health);
+  (* SIGTERM: graceful drain, exit 0, socket unlinked *)
+  Unix.kill pid2 Sys.sigterm;
+  (match Unix.waitpid [] pid2 with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> Alcotest.fail "SIGTERM drain must exit 0");
+  Util.check Alcotest.bool "socket unlinked on drain" false
+    (Sys.file_exists socket)
+
+let test_daemon_backpressure () =
+  let dir = fresh_dir "backpressure" in
+  let socket = Filename.concat dir "d.sock" in
+  let state = Filename.concat dir "state" in
+  let log = Filename.concat dir "serve.log" in
+  let pid =
+    spawn_daemon ~extra:[ "--queue-bound"; "1" ] ~socket ~state ~log ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid))
+    (fun () ->
+      if not (Client.wait_ready ~socket ()) then
+        Alcotest.fail "daemon did not come up";
+      let batch =
+        [ run_req ~id:1 daemon_src; run_req ~id:2 daemon_src;
+          run_req ~id:3 daemon_src ]
+      in
+      let statuses =
+        List.map Protocol.response_status (Client.call ~socket batch)
+      in
+      Util.check
+        Alcotest.(list string)
+        "first admitted, rest shed, order kept"
+        [ "ok"; "overloaded"; "overloaded" ]
+        statuses;
+      (* a malformed line still gets an in-order usage error *)
+      let statuses2 =
+        List.map Protocol.response_status
+          (Client.call ~socket
+             [ Json.Obj [ ("schema", Json.Str "bogus/9") ];
+               run_req ~id:4 daemon_src ])
+      in
+      Util.check
+        Alcotest.(list string)
+        "usage error does not consume a queue slot"
+        [ "error"; "ok" ]
+        statuses2)
+
+(* ------------------------------------------------------------------ *)
+(* Uniform --jobs validation across entry points                       *)
+(* ------------------------------------------------------------------ *)
+
+let exit_code cmd =
+  Sys.command (cmd ^ " > /dev/null 2> /dev/null")
+
+let jobs_validation_tests =
+  [
+    Util.tc "cli: negative --jobs exits 2 everywhere" (fun () ->
+        let q = Filename.quote in
+        let dir = fresh_dir "jobsval" in
+        List.iter
+          (fun (label, cmd) ->
+            Util.check Alcotest.int (label ^ " exits 2") 2 (exit_code cmd))
+          [
+            (* cmdliner needs the [=] glue for a negative option value *)
+            ("serve", q (rpcc ()) ^ " serve --jobs=-1");
+            ("fuzz", q (rpcc ()) ^ " fuzz --trials 1 --jobs=-1");
+            ( "gen-fuzz",
+              q (rpcc ()) ^ " gen-fuzz --trials 1 --jobs=-1 --out-dir "
+              ^ q (Filename.concat dir "out") );
+            ( "bench",
+              "cd " ^ q dir ^ " && " ^ q (bench ()) ^ " --json --jobs -1" );
+          ]);
+    Util.tc "cli: the usage message names the flag" (fun () ->
+        let dir = fresh_dir "jobsmsg" in
+        let errf = Filename.concat dir "err.txt" in
+        let st =
+          Sys.command
+            (Filename.quote (rpcc ())
+            ^ " serve --jobs=-1 > /dev/null 2> " ^ Filename.quote errf)
+        in
+        Util.check Alcotest.int "exit 2" 2 st;
+        let msg = read_file errf in
+        Util.check Alcotest.bool "mentions --jobs" true
+          (let needle = "--jobs" in
+           let n = String.length needle in
+           let rec find i =
+             i + n <= String.length msg
+             && (String.sub msg i n = needle || find (i + 1))
+           in
+           find 0));
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("cas", cas_tests);
+      ("cache", cache_tests);
+      ("protocol", protocol_tests);
+      ( "daemon",
+        [
+          Util.tc_slow "serve: SIGKILL warm restart byte-identical, drain"
+            test_daemon_warm_restart;
+          Util.tc_slow "serve: batch beyond queue bound sheds load"
+            test_daemon_backpressure;
+        ] );
+      ("cli", jobs_validation_tests);
+    ]

@@ -223,6 +223,63 @@ let breaker_tests =
         Util.check Alcotest.bool "open again" true
           (Breaker.state b "k" = Breaker.Open);
         Util.check Alcotest.int "two trips" 2 (Breaker.trips b));
+    Util.tc "breaker: snapshots expose per-key state for health surfaces"
+      (fun () ->
+        let t = ref 0. in
+        let b = Breaker.create ~threshold:2 ~cooldown:5. ~now:(fun () -> !t) () in
+        ignore (Breaker.call b ~key:"beta" (fun () -> 1));
+        ignore (Breaker.call b ~key:"alpha" (fun () -> failwith "x"));
+        ignore (Breaker.call b ~key:"alpha" (fun () -> failwith "x"));
+        let snaps = Breaker.snapshots b in
+        Util.check
+          Alcotest.(list string)
+          "sorted by key" [ "alpha"; "beta" ]
+          (List.map (fun s -> s.Breaker.skey) snaps);
+        (match snaps with
+        | [ a; bs ] ->
+          Util.check Alcotest.string "alpha open" "open"
+            (Breaker.state_name a.Breaker.sstate);
+          (match a.Breaker.slast with
+          | Some (`Trip, _) -> ()
+          | _ -> Alcotest.fail "alpha's last transition must be a trip");
+          Util.check Alcotest.string "beta closed" "closed"
+            (Breaker.state_name bs.Breaker.sstate);
+          Util.check Alcotest.int "beta no failures" 0 bs.Breaker.sconsecutive
+        | _ -> Alcotest.fail "expected two snapshots");
+        (match Breaker.snapshots_json b with
+        | Json.Obj kvs ->
+          Util.check
+            Alcotest.(list string)
+            "json keyed per breaker key" [ "alpha"; "beta" ] (List.map fst kvs);
+          (match List.assoc "alpha" kvs with
+          | Json.Obj fields ->
+            Util.check
+              Alcotest.(list string)
+              "snapshot fields"
+              [
+                "state"; "consecutive_failures"; "last_transition";
+                "last_transition_at";
+              ]
+              (List.map fst fields);
+            Util.check Alcotest.bool "state is open" true
+              (List.assoc "state" fields = Json.Str "open")
+          | _ -> Alcotest.fail "per-key snapshot must be an object")
+        | _ -> Alcotest.fail "snapshots_json must be an object");
+        (* the half-open probe window is visible while a probe is in flight *)
+        t := 6.;
+        ignore
+          (Breaker.call b ~key:"alpha" (fun () ->
+               let s =
+                 List.find
+                   (fun s -> s.Breaker.skey = "alpha")
+                   (Breaker.snapshots b)
+               in
+               Util.check Alcotest.string "half-open during probe" "half_open"
+                 (Breaker.state_name s.Breaker.sstate);
+               failwith "probe fails"));
+        Util.check Alcotest.bool "failed probe re-opens" true
+          (Breaker.state b "alpha" = Breaker.Open);
+        Util.check Alcotest.int "re-trip recorded" 2 (Breaker.trips b));
   ]
 
 let journal_tests =
@@ -254,7 +311,7 @@ let journal_tests =
         Journal.record w2 (Json.Int 2);
         Journal.close w2;
         Util.check Alcotest.int "appended" 2 (List.length (Journal.load path)));
-    Util.tc "journal: truncated final line dropped, corrupt interior fatal"
+    Util.tc "journal: truncated final line dropped, corrupt interior skipped"
       (fun () ->
         let path = tmp () in
         Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
@@ -267,9 +324,80 @@ let journal_tests =
         let oc = open_out path in
         output_string oc "{\"i\": 1}\nnot json at all\n{\"i\": 3}\n";
         close_out oc;
-        match Journal.load path with
-        | exception Failure _ -> ()
-        | _ -> Alcotest.fail "corrupt interior line must raise");
+        let skipped = ref [] in
+        let rs =
+          Journal.load path
+            ~on_skip:(fun ~line reason -> skipped := (line, reason) :: !skipped)
+        in
+        Util.check Alcotest.int "good records survive" 2 (List.length rs);
+        Util.check Alcotest.bool "in order" true
+          (rs = [ Json.Obj [ ("i", Json.Int 1) ]; Json.Obj [ ("i", Json.Int 3) ] ]);
+        match !skipped with
+        | [ (2, _) ] -> ()
+        | _ -> Alcotest.fail "corrupt interior line must be skipped once");
+    Util.tc "journal: v2 records carry a CRC; mismatch is skipped" (fun () ->
+        let path = tmp () in
+        Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+        let w = Journal.create path in
+        Journal.record w (Json.Obj [ ("ok", Json.Bool true) ]);
+        Journal.close w;
+        (* the on-disk line is the CRC wrapper, not the bare payload *)
+        let ic = open_in path in
+        let line = input_line ic in
+        close_in ic;
+        (match Json.parse line with
+        | Json.Obj kvs ->
+          Util.check
+            Alcotest.(list string)
+            "wrapper keys" [ "crc32"; "r" ] (List.map fst kvs)
+        | _ -> Alcotest.fail "v2 line must be an object");
+        (* flip the payload without touching the recorded CRC *)
+        let forged =
+          let needle = "true" in
+          let rec find i =
+            if i + String.length needle > String.length line then
+              Alcotest.fail "payload not found in wrapper"
+            else if String.sub line i (String.length needle) = needle then i
+            else find (i + 1)
+          in
+          let i = find 0 in
+          String.sub line 0 i ^ "false"
+          ^ String.sub line
+              (i + String.length needle)
+              (String.length line - i - String.length needle)
+        in
+        let oc = open_out path in
+        output_string oc (forged ^ "\n");
+        output_string oc line;
+        output_string oc "\n";
+        close_out oc;
+        let skips = ref 0 in
+        let rs = Journal.load path ~on_skip:(fun ~line:_ _ -> incr skips) in
+        Util.check Alcotest.int "forged record skipped" 1 !skips;
+        Util.check Alcotest.bool "intact record loads" true
+          (rs = [ Json.Obj [ ("ok", Json.Bool true) ] ]));
+    Util.tc "journal: CRC-less v1 lines still load (resume compat)" (fun () ->
+        let path = tmp () in
+        Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+        let oc = open_out path in
+        output_string oc "{\"seed\": 7, \"status\": \"ok\"}\n{\"seed\": 8}\n";
+        close_out oc;
+        let skips = ref 0 in
+        let rs = Journal.load path ~on_skip:(fun ~line:_ _ -> incr skips) in
+        Util.check Alcotest.int "no skips" 0 !skips;
+        Util.check Alcotest.int "both load" 2 (List.length rs);
+        Util.check Alcotest.bool "payloads untouched" true
+          (List.hd rs
+          = Json.Obj [ ("seed", Json.Int 7); ("status", Json.Str "ok") ]));
+    Util.tc "crc32: known vectors, hex round-trip" (fun () ->
+        Util.check Alcotest.string "crc32(\"123456789\")" "cbf43926"
+          (Crc32.to_hex (Crc32.string "123456789"));
+        Util.check Alcotest.string "crc32(\"\")" "00000000"
+          (Crc32.to_hex (Crc32.string ""));
+        Util.check Alcotest.bool "of_hex inverts" true
+          (Crc32.of_hex "cbf43926" = Some (Crc32.string "123456789"));
+        Util.check Alcotest.bool "of_hex rejects junk" true
+          (Crc32.of_hex "xyzw" = None));
   ]
 
 let resilience_tests =
@@ -299,6 +427,27 @@ let resilience_tests =
           (match Resilience.to_json r with
           | Json.Obj kvs -> List.map fst kvs
           | _ -> []));
+    Util.tc "resilience: optional breakers object rides along" (fun () ->
+        let r = Resilience.create () in
+        let b = Retry.Breaker.create ~threshold:1 ~cooldown:5. () in
+        ignore (Retry.Breaker.call b ~key:"bad" (fun () -> failwith "x"));
+        let j =
+          Resilience.to_json ~breakers:(Retry.Breaker.snapshots_json b) r
+        in
+        match j with
+        | Json.Obj kvs ->
+          Util.check
+            Alcotest.(list string)
+            "core keys then breakers"
+            [
+              "timeouts"; "retries"; "breaker_trips"; "resumed"; "crashed";
+              "quarantined"; "breakers";
+            ]
+            (List.map fst kvs);
+          (match List.assoc "breakers" kvs with
+          | Json.Obj [ ("bad", _) ] -> ()
+          | _ -> Alcotest.fail "breakers must be keyed by breaker key")
+        | _ -> Alcotest.fail "resilience json must be an object");
   ]
 
 let () =
