@@ -11,6 +11,12 @@
       dune exec bench/main.exe -- --json --via-daemon SOCK
                                               -- counts grid through a running
                                                  rpcc serve daemon (cached)
+      dune exec bench/main.exe -- --json --via-fleet N [--plant-crash]
+                                              -- counts grid through a
+                                                 supervised N-shard fleet;
+                                                 --plant-crash SIGKILLs a
+                                                 shard mid-campaign (the
+                                                 counts stay byte-identical)
     v}
 
     Adding [--verify-passes] to any mode reruns the whole experiment under
@@ -563,7 +569,8 @@ let has_substring hay needle =
 (** Write [BENCH_counts.json] (program × grid config × dynamic counts,
     schema v2: plus the run's resilience counters; v3: six-config grid and
     per-cell [ptr_promoted]; v4: per-program breaker snapshots inside
-    [resilience]) and [BENCH_timings.json]
+    [resilience]; v5: the resilience object gains the fleet
+    [failovers]/[respawns] counters) and [BENCH_timings.json]
     (program × config × per-pass wall-clock and analysis fixpoint
     iterations, schema v2: plus per-cell wall/run time, the job count, and
     the grid's wall-clock).  Counts are deterministic — byte-identical at
@@ -756,7 +763,7 @@ let json_export () =
   let counts_doc =
     Json.Obj
       [
-        ("schema", Json.Str "rpcc-bench-counts/4");
+        ("schema", Json.Str "rpcc-bench-counts/5");
         ( "programs",
           Json.Obj
             (List.map
@@ -842,68 +849,49 @@ let json_export () =
   Fmt.pr "wrote BENCH_timings.json@."
 
 (* ------------------------------------------------------------------ *)
-(* --json --via-daemon: the counts grid through rpcc serve             *)
+(* --json --via-daemon / --via-fleet: the counts grid through rpcc     *)
+(* serve, single daemon or sharded fleet                               *)
 (* ------------------------------------------------------------------ *)
 
-(** Compute the counts grid by submitting one [run] request per
-    (program, config) cell to a running [rpcc serve] daemon instead of
-    compiling locally: requests go in batches of at most 32 per
-    connection (inside the daemon's default queue bound), responses come
-    back in request order, and the document is assembled in the same
-    grid order as {!json_export} — so two via-daemon runs against a
-    healthy daemon produce byte-identical [BENCH_counts.json] files,
-    whether the daemon answered cold or from its cache.  The daemon owns
-    supervision and timing state, so only the counts document is
-    written; the grid's wall-clock is printed (warm runs show the
-    cache). *)
-let json_export_via_daemon socket =
-  let module R = Rp_support.Resilience in
-  let grid_t0 = Rp_support.Clock.now () in
-  let flat =
-    List.concat_map
-      (fun (p : Rp_suite.Programs.program) ->
-        List.map (fun (cname, cfg) -> (p, cname, cfg)) Config.paper_grid)
-      Rp_suite.Programs.all
-  in
-  let req i ((p : Rp_suite.Programs.program), cname, _) =
-    Json.Obj
-      [
-        ("schema", Json.Str Rp_serve.Protocol.schema);
-        ("id", Json.Int i);
-        ("client", Json.Str "bench");
-        ("op", Json.Str "run");
-        ("src", Json.Str p.Rp_suite.Programs.source);
-        ("config", Json.Str cname);
-      ]
-  in
-  let rec chunks n = function
-    | [] -> []
-    | l ->
-      let rec take k = function
-        | x :: rest when k > 0 ->
-          let (head, tail) = take (k - 1) rest in
-          (x :: head, tail)
-        | rest -> ([], rest)
-      in
-      let (head, tail) = take n l in
-      head :: chunks n tail
-  in
-  let requests = List.mapi req flat in
-  let responses =
-    try
-      List.concat_map
-        (fun batch -> Rp_serve.Client.call ~socket batch)
-        (chunks 32 requests)
-    with Unix.Unix_error (e, _, _) ->
-      Fmt.epr "cannot reach daemon at %s: %s@." socket (Unix.error_message e);
-      exit 2
-  in
-  if List.length responses <> List.length flat then begin
-    Fmt.epr "daemon answered %d of %d requests@." (List.length responses)
-      (List.length flat);
-    exit 2
-  end;
-  let cell_of_response ((p : Rp_suite.Programs.program), cname, _) resp =
+(** The remote counts grid, shared between the single-daemon and fleet
+    exporters.  Requests go in batches of at most 32 per connection
+    (inside the daemon's default queue bound), responses come back in
+    request order, and the document is assembled in the same grid order
+    as {!json_export} — so via-daemon and via-fleet runs against healthy
+    or crashing backends all produce byte-identical [BENCH_counts.json]
+    files: responses are deterministic given the shared store, and the
+    exporter extracts only the count fields. *)
+
+let remote_flat () =
+  List.concat_map
+    (fun (p : Rp_suite.Programs.program) ->
+      List.map (fun (cname, cfg) -> (p, cname, cfg)) Config.paper_grid)
+    Rp_suite.Programs.all
+
+let remote_req i ((p : Rp_suite.Programs.program), cname, _) =
+  Json.Obj
+    [
+      ("schema", Json.Str Rp_serve.Protocol.schema);
+      ("id", Json.Int i);
+      ("client", Json.Str "bench");
+      ("op", Json.Str "run");
+      ("src", Json.Str p.Rp_suite.Programs.source);
+      ("config", Json.Str cname);
+    ]
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+    let rec take k = function
+      | x :: rest when k > 0 ->
+        let (head, tail) = take (k - 1) rest in
+        (x :: head, tail)
+      | rest -> ([], rest)
+    in
+    let (head, tail) = take n l in
+    head :: chunks n tail
+
+let cell_of_response ((p : Rp_suite.Programs.program), cname, _) resp =
     let pname = p.Rp_suite.Programs.name in
     match Rp_serve.Protocol.response_status resp with
     | "ok" -> (
@@ -942,10 +930,17 @@ let json_export_via_daemon socket =
       in
       Cquarantined
         (Printf.sprintf "%s under %s: daemon %s: %s" pname cname status msg)
-  in
-  let cells = List.map2 cell_of_response flat responses in
+
+(** Assemble and write the counts document from per-cell responses —
+    identical structure and bytes whether the cells came from a local
+    grid run, one daemon, or a (possibly crashing) fleet.  Supervision
+    lives backend-side (daemon health / BENCH_fleet.json); the
+    client-side resilience counters here are structurally present and
+    zero so the document's shape matches a local run. *)
+let write_remote_counts_doc flat responses =
+  let module R = Rp_support.Resilience in
+  let cells = Array.of_list (List.map2 cell_of_response flat responses) in
   let nconfigs = List.length Config.paper_grid in
-  let cells = Array.of_list cells in
   let rows =
     List.mapi
       (fun i (p : Rp_suite.Programs.program) ->
@@ -958,7 +953,7 @@ let json_export_via_daemon socket =
   let counts_doc =
     Json.Obj
       [
-        ("schema", Json.Str "rpcc-bench-counts/4");
+        ("schema", Json.Str "rpcc-bench-counts/5");
         ( "programs",
           Json.Obj
             (List.map
@@ -969,16 +964,128 @@ let json_export_via_daemon socket =
                         (fun (cname, c) -> (cname, cell_json c))
                         per_config) ))
                rows) );
-        (* supervision lives in the daemon (see its health document);
-           the client-side counters are structurally present and zero so
-           the document's shape matches a local run *)
         ("resilience", R.to_json (R.create ()));
       ]
   in
   Json.to_file "BENCH_counts.json" counts_doc;
-  Fmt.pr "wrote BENCH_counts.json (%d programs x %d configs) via %s@."
-    (List.length rows) nconfigs socket;
+  List.length rows
+
+(** One [rpcc serve] daemon: the daemon owns supervision and timing
+    state, so only the counts document is written; the grid's
+    wall-clock is printed (warm runs show the cache). *)
+let json_export_via_daemon socket =
+  let grid_t0 = Rp_support.Clock.now () in
+  let flat = remote_flat () in
+  let requests = List.mapi remote_req flat in
+  let responses =
+    try
+      List.concat_map
+        (fun batch -> Rp_serve.Client.call ~timeout:300. ~socket batch)
+        (chunks 32 requests)
+    with
+    | Unix.Unix_error (e, _, _) ->
+      Fmt.epr "cannot reach daemon at %s: %s@." socket (Unix.error_message e);
+      exit 2
+    | Rp_serve.Client.Timeout m ->
+      Fmt.epr "daemon timeout: %s@." m;
+      exit 3
+  in
+  if List.length responses <> List.length flat then begin
+    Fmt.epr "daemon answered %d of %d requests@." (List.length responses)
+      (List.length flat);
+    exit 2
+  end;
+  let nrows = write_remote_counts_doc flat responses in
+  Fmt.pr "wrote BENCH_counts.json (%d programs x %d configs) via %s@." nrows
+    (List.length Config.paper_grid)
+    socket;
   Fmt.pr "grid wall: %.1f ms@." (1000. *. Rp_support.Clock.elapsed grid_t0)
+
+(** A supervised shard fleet: spawn it, route the grid through the
+    rendezvous router, and write [BENCH_fleet.json] (supervisor + router
+    telemetry and the real failover/respawn counters) alongside the
+    byte-identical counts document.  [plant] SIGKILLs the second
+    batch's first-choice shard right before that batch is sent — the
+    deterministic chaos drill: the router must fail the batch over and
+    the supervisor must respawn the victim, with no effect on the
+    counts document. *)
+let json_export_via_fleet shards ~plant ~state_dir =
+  let module R = Rp_support.Resilience in
+  let module Fleet = Rp_serve.Fleet in
+  let module Router = Rp_serve.Fleet_client in
+  let flat = remote_flat () in
+  let requests = List.mapi remote_req flat in
+  let resil = R.create () in
+  let boot_t0 = Rp_support.Clock.now () in
+  let fleet =
+    Fleet.start
+      { Fleet.default_config with Fleet.shards; state_dir; jobs = !jobs }
+  in
+  Fmt.pr "fleet up: %.1f ms@." (1000. *. Rp_support.Clock.elapsed boot_t0);
+  (* the grid clock starts once the fleet accepts, mirroring the
+     via-daemon path (which times against an already-running daemon) *)
+  let grid_t0 = Rp_support.Clock.now () in
+  Fun.protect
+    ~finally:(fun () -> Fleet.stop fleet)
+    (fun () ->
+      let router =
+        Router.create ~timeout:300. ~resilience:resil
+          ~sockets:(Fleet.sockets fleet) ()
+      in
+      let responses =
+        try
+          List.concat
+            (List.mapi
+               (fun bi batch ->
+                 let plant_hook =
+                   if plant && bi = 1 then
+                     Some (fun s -> Fleet.kill_shard fleet s)
+                   else None
+                 in
+                 Router.route ?plant:plant_hook router batch)
+               (* chunking exists to give the planted crash a
+                  mid-campaign batch boundary; without a drill the grid
+                  goes out as one round so each shard sees one batch *)
+               (if plant then chunks 32 requests else [ requests ]))
+        with Router.All_shards_dead ->
+          Fmt.epr "fleet: all shards dead@.";
+          exit 3
+      in
+      if List.length responses <> List.length flat then begin
+        Fmt.epr "fleet answered %d of %d requests@." (List.length responses)
+          (List.length flat);
+        exit 2
+      end;
+      let nrows = write_remote_counts_doc flat responses in
+      (* let the supervisor finish respawning any planted kill before
+         the telemetry is frozen *)
+      let deadline = Rp_support.Clock.now () +. 15. in
+      while
+        Fleet.respawns fleet < Fleet.planted fleet
+        && Rp_support.Clock.now () < deadline
+      do
+        Unix.sleepf 0.1
+      done;
+      R.merge ~into:resil (Fleet.resilience fleet);
+      let fleet_doc =
+        Json.Obj
+          [
+            ("schema", Json.Str "rpcc-fleet/1");
+            ("shards", Json.Int shards);
+            ("supervisor", Fleet.telemetry_json fleet);
+            ("router", Router.telemetry_json router);
+            ("resilience", R.to_json resil);
+          ]
+      in
+      Json.to_file "BENCH_fleet.json" fleet_doc;
+      Fmt.pr
+        "wrote BENCH_counts.json (%d programs x %d configs) via fleet of %d@."
+        nrows
+        (List.length Config.paper_grid)
+        shards;
+      Fmt.pr "wrote BENCH_fleet.json (failovers %d, respawns %d)@."
+        (Router.failovers router) (Fleet.respawns fleet);
+      Fmt.pr "grid wall: %.1f ms@." (1000. *. Rp_support.Clock.elapsed grid_t0))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches (one Test.make per table)                   *)
@@ -1095,21 +1202,47 @@ let () =
   resume_path := opt_value "--resume" rest;
   plant_hang := opt_value "--plant-hang" rest;
   let via_daemon = opt_value "--via-daemon" rest in
+  let via_fleet = Option.map int_of_string (opt_value "--via-fleet" rest) in
+  let plant_crash = List.mem "--plant-crash" args in
+  let fleet_state =
+    Option.value (opt_value "--fleet-state" rest) ~default:".rpcc-fleet"
+  in
+  let remote_conflicts () =
+    (* supervision, journaling, and verification all live backend-side *)
+    if
+      !journal_path <> None || !resume_path <> None || !plant_hang <> None
+      || !verify
+    then begin
+      Fmt.epr
+        "--via-daemon/--via-fleet cannot be combined with \
+         --journal/--resume/--plant-hang/--verify-passes@.";
+      exit 2
+    end
+  in
   if want_json then begin
-    match via_daemon with
-    | Some socket ->
-      (* supervision, journaling, and verification all live daemon-side *)
-      if
-        !journal_path <> None || !resume_path <> None || !plant_hang <> None
-        || !verify
-      then begin
-        Fmt.epr
-          "--via-daemon cannot be combined with \
-           --journal/--resume/--plant-hang/--verify-passes@.";
+    match (via_daemon, via_fleet) with
+    | Some _, Some _ ->
+      Fmt.epr "--via-daemon and --via-fleet are mutually exclusive@.";
+      exit 2
+    | Some socket, None ->
+      remote_conflicts ();
+      if plant_crash then begin
+        Fmt.epr "--plant-crash requires --via-fleet@.";
         exit 2
       end;
       json_export_via_daemon socket
-    | None ->
+    | None, Some shards ->
+      remote_conflicts ();
+      if shards < 1 then begin
+        Fmt.epr "--via-fleet needs at least one shard@.";
+        exit 2
+      end;
+      json_export_via_fleet shards ~plant:plant_crash ~state_dir:fleet_state
+    | None, None ->
+      if plant_crash then begin
+        Fmt.epr "--plant-crash requires --via-fleet@.";
+        exit 2
+      end;
       if !plant_hang <> None && !job_timeout = None then begin
         Fmt.epr "--plant-hang requires --job-timeout@.";
         exit 2

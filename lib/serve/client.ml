@@ -1,33 +1,93 @@
 (** Client side of the batch exchange.  See client.mli. *)
 
 module Json = Rp_support.Json
+module Clock = Rp_support.Clock
 
-let call ~socket (reqs : Json.t list) : Json.t list =
+exception Timeout of string
+
+let call ?timeout ~socket (reqs : Json.t list) : Json.t list =
+  let deadline = Option.map (fun s -> Clock.now () +. s) timeout in
+  let remaining () = Option.map (fun d -> d -. Clock.now ()) deadline in
+  let timed_out stage =
+    raise
+      (Timeout
+         (Printf.sprintf "no answer from %s within %.1f s (%s)" socket
+            (Option.value timeout ~default:0.)
+            stage))
+  in
+  let check stage =
+    match remaining () with Some r when r <= 0. -> timed_out stage | _ -> ()
+  in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect fd (Unix.ADDR_UNIX socket);
-      let oc = Unix.out_channel_of_descr fd in
-      let ic = Unix.in_channel_of_descr fd in
-      List.iter
-        (fun r ->
-          output_string oc (Json.to_string ~indent:false r);
-          output_char oc '\n')
-        reqs;
-      flush oc;
+      (* SO_RCVTIMEO/SO_SNDTIMEO bound each syscall; the select loop
+         below enforces the overall deadline across syscalls, so a daemon
+         that trickles bytes forever still cannot wedge the client *)
+      Option.iter
+        (fun s ->
+          try
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+            Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+          with Unix.Unix_error _ | Invalid_argument _ -> ())
+        timeout;
+      let payload =
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun r ->
+            Buffer.add_string buf (Json.to_string ~indent:false r);
+            Buffer.add_char buf '\n')
+          reqs;
+        Buffer.contents buf
+      in
+      let b = Bytes.unsafe_of_string payload in
+      let n = Bytes.length b in
+      let rec send off =
+        if off < n then begin
+          check "write";
+          match Unix.write fd b off (n - off) with
+          | written -> send (off + written)
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            timed_out "write"
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> send off
+        end
+      in
+      send 0;
       (* the daemon reads to EOF before answering the batch *)
       Unix.shutdown fd Unix.SHUTDOWN_SEND;
-      let rec go acc =
-        match input_line ic with
-        | line -> (
-          match Json.parse line with
-          | doc -> go (doc :: acc)
-          | exception Json.Parse_error m ->
-            failwith ("unparseable response line: " ^ m))
-        | exception End_of_file -> List.rev acc
+      let acc = Buffer.create 4096 in
+      let chunk = Bytes.create 65536 in
+      let rec recv () =
+        check "read";
+        let tick =
+          match remaining () with None -> 1.0 | Some r -> min r 1.0
+        in
+        match Unix.select [ fd ] [] [] tick with
+        | ([], _, _) -> recv ()
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | got ->
+            Buffer.add_subbytes acc chunk 0 got;
+            recv ()
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            recv ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
       in
-      go [])
+      recv ();
+      Buffer.contents acc
+      |> String.split_on_char '\n'
+      |> List.filter (fun l -> l <> "")
+      |> List.map (fun line ->
+             match Json.parse line with
+             | doc -> doc
+             | exception Json.Parse_error m ->
+               failwith ("unparseable response line: " ^ m)))
 
 let wait_ready ?(attempts = 100) ?(delay = 0.05) ~socket () =
   let rec go n =

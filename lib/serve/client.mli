@@ -2,12 +2,21 @@
 
 module Json = Rp_support.Json
 
-val call : socket:string -> Json.t list -> Json.t list
+exception Timeout of string
+(** Raised by {!call} when [?timeout] expires before the daemon has
+    answered the whole batch: a wedged or dead-but-connected daemon must
+    not block the client forever.  The payload names the socket, the
+    budget, and the stage (write/read) that starved. *)
+
+val call : ?timeout:float -> socket:string -> Json.t list -> Json.t list
 (** Connect to the daemon, send the requests (one compact JSON line
     each), shut down the write side, and read the response lines to EOF.
-    Responses come back in request order.  Raises [Unix.Unix_error] if
-    the daemon is not listening and [Failure] on an unparseable response
-    line. *)
+    Responses come back in request order.  [?timeout] is an overall
+    wall-clock budget for the exchange (enforced with [SO_RCVTIMEO]/
+    [SO_SNDTIMEO] plus a deadline across syscalls); absent means wait
+    forever.  Raises [Unix.Unix_error] if the daemon is not listening,
+    {!Timeout} on an expired budget, and [Failure] on an unparseable
+    response line. *)
 
 val wait_ready : ?attempts:int -> ?delay:float -> socket:string -> unit -> bool
 (** Poll-connect until the daemon accepts (true) or [attempts] × [delay]

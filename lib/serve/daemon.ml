@@ -18,6 +18,8 @@ module Pipeline = Rp_driver.Pipeline
 type config = {
   socket : string;
   state_dir : string;
+  cas_dir : string option;
+  shard_id : int option;
   jobs : int;
   queue_bound : int;
   job_timeout : float option;
@@ -30,6 +32,8 @@ let default_config =
   {
     socket = "rpcc.sock";
     state_dir = ".rpcc-serve";
+    cas_dir = None;
+    shard_id = None;
     jobs = 0;
     queue_bound = 64;
     job_timeout = Some 30.;
@@ -46,6 +50,9 @@ type journal_summary = {
   mutable lost_inflight : int;
       (** [recv] records with no matching [done]: jobs that were running
           when the previous daemon died *)
+  mutable compacted : int;
+      (** records dropped by startup compaction (matched recv/done pairs
+          and corrupt lines) *)
 }
 
 type state = {
@@ -55,6 +62,7 @@ type state = {
   resil : Resilience.t;
   breaker : Breaker.t;
   jsum : journal_summary;
+  started : float;  (** {!Rp_support.Clock.now} at startup, for uptime *)
   mutable served : int;  (** [ok] responses written *)
   mutable errors : int;  (** [error] responses written *)
   mutable overloaded : int;  (** requests bounced by the queue bound *)
@@ -101,28 +109,46 @@ let replay ~journal_path jsum =
         | None -> ())
       | _ -> ())
     records;
-  jsum.lost_inflight <- Hashtbl.fold (fun _ n acc -> acc + n) pending 0
+  jsum.lost_inflight <- Hashtbl.fold (fun _ n acc -> acc + n) pending 0;
+  (records, pending)
+
+(** Startup compaction.  Matched recv/done pairs carry no information a
+    future replay needs (the work already landed in the CAS), so after
+    replay the journal is rewritten to hold only the unmatched [recv]
+    records — the lost-in-flight set — via tmp + rename, the same
+    atomicity discipline as the store.  Keeps the latest n recvs per
+    signature when duplicates are owed.  A crash mid-compaction leaves
+    the old journal intact; rerunning is idempotent. *)
+let compact ~journal_path jsum (records, pending) =
+  let kept =
+    let owed = Hashtbl.copy pending in
+    List.fold_left
+      (fun acc r ->
+        match Json.member "ev" r with
+        | Some (Json.Str "recv") -> (
+          let s = record_sig r in
+          match Hashtbl.find_opt owed s with
+          | Some n when n > 0 ->
+            Hashtbl.replace owed s (n - 1);
+            r :: acc
+          | _ -> acc)
+        | _ -> acc)
+      [] (List.rev records)
+  in
+  jsum.compacted <- jsum.records - List.length kept;
+  if (jsum.compacted > 0 || jsum.skipped > 0) && Sys.file_exists journal_path
+  then begin
+    let tmp = journal_path ^ ".compact.tmp" in
+    (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+    let w = Journal.create tmp in
+    List.iter (Journal.record w) kept;
+    Journal.close w;
+    Unix.rename tmp journal_path
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Job execution                                                       *)
 (* ------------------------------------------------------------------ *)
-
-let fuzz_key ~seed ~trials =
-  Cas.key
-    [ Pipeline.pass_version; "fuzz"; string_of_int seed; string_of_int trials ]
-
-(** The content-addressed key a request's artifacts live under (journaled
-    with each record so replay can match work to cache entries). *)
-let op_key (op : Protocol.op) =
-  match op with
-  | Protocol.Run { src; config }
-  | Protocol.Compile { src; config }
-  | Protocol.Stats { src; config } -> (
-    match Protocol.config_of_name config with
-    | Some c -> Pipeline.cache_key ~config:c src
-    | None -> "")
-  | Protocol.Fuzz { seed; trials } -> fuzz_key ~seed ~trials
-  | Protocol.Health -> ""
 
 (** The interpreter's cooperative-abort marker (see
     {!Rp_exec.Interp.run}): a [Resource_limit] carrying it means the
@@ -177,7 +203,7 @@ let handle_op ~should_stop st (r : Protocol.request) : Json.t =
       compile_family ~src ~config (fun c ->
           [ ("stats", c.Pipeline.stats) ])
     | Protocol.Fuzz { seed; trials } -> (
-      let key = fuzz_key ~seed ~trials in
+      let key = Protocol.fuzz_key ~seed ~trials in
       match Cas.get st.cas ~key ~kind:"fuzz" with
       | Some raw -> Protocol.ok ~id:r.id ~client:r.client
           [ ("fuzz", Json.parse raw) ]
@@ -252,6 +278,15 @@ let health_json st ~id ~client =
         Json.Obj
           [
             ("pid", Json.Int (Unix.getpid ()));
+            ( "shard_id",
+              match st.cfg.shard_id with
+              | Some i -> Json.Int i
+              | None -> Json.Null );
+            ( "uptime_s",
+              Json.Float
+                (Float.round (Rp_support.Clock.elapsed st.started *. 1e3)
+                /. 1e3) );
+            ("pass_version", Json.Str Pipeline.pass_version);
             ("served", Json.Int st.served);
             ("errors", Json.Int st.errors);
             ("overloaded", Json.Int st.overloaded);
@@ -270,6 +305,7 @@ let health_json st ~id ~client =
                   ("skipped", Json.Int st.jsum.skipped);
                   ("replayed", Json.Int st.jsum.replayed);
                   ("lost_inflight", Json.Int st.jsum.lost_inflight);
+                  ("compacted_records", Json.Int st.jsum.compacted);
                 ] );
           ] );
     ]
@@ -296,7 +332,7 @@ let journal_event st ~ev (r : Protocol.request) extra =
           ("id", r.Protocol.id);
           ("client", Json.Str r.Protocol.client);
           ("op", Json.Str (Protocol.op_name r.Protocol.op));
-          ("key", Json.Str (op_key r.Protocol.op));
+          ("key", Json.Str (Protocol.op_key r.Protocol.op));
         ]
        @ extra))
 
@@ -393,15 +429,57 @@ let handle_connection st cfd =
 
 let remove_stale_socket path =
   match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    (* probe before unlinking: a connect that succeeds means a live
+       daemon owns this name — yanking it out from under that daemon
+       would orphan it, so refuse instead *)
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let verdict =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> `Live
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
+      | exception Unix.Unix_error (e, _, _) -> `Unsure e
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    match verdict with
+    | `Stale -> Unix.unlink path
+    | `Gone -> ()
+    | `Live ->
+      failwith
+        (path
+       ^ " is already being served by a live daemon; stop it or pick \
+          another --socket")
+    | `Unsure e ->
+      failwith
+        (Printf.sprintf
+           "%s exists and the liveness probe failed (%s); refusing to \
+            unlink it"
+           path (Unix.error_message e)))
   | _ -> failwith (path ^ " exists and is not a socket")
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
 let serve (cfg : config) =
-  let cas = Cas.open_ (Filename.concat cfg.state_dir "cas") in
+  (* the journal needs state_dir even when the CAS lives elsewhere
+     (fleet shards share one store but keep private journals) *)
+  mkdir_p cfg.state_dir;
+  let cas_dir =
+    Option.value cfg.cas_dir
+      ~default:(Filename.concat cfg.state_dir "cas")
+  in
+  let cas = Cas.open_ cas_dir in
   let journal_path = Filename.concat cfg.state_dir "journal.jsonl" in
-  let jsum = { records = 0; skipped = 0; replayed = 0; lost_inflight = 0 } in
-  replay ~journal_path jsum;
+  let jsum =
+    { records = 0; skipped = 0; replayed = 0; lost_inflight = 0;
+      compacted = 0 }
+  in
+  compact ~journal_path jsum (replay ~journal_path jsum);
   let st =
     {
       cfg;
@@ -412,6 +490,7 @@ let serve (cfg : config) =
         Breaker.create ~threshold:cfg.breaker_threshold
           ~cooldown:cfg.breaker_cooldown ();
       jsum;
+      started = Rp_support.Clock.now ();
       served = 0;
       errors = 0;
       overloaded = 0;

@@ -25,8 +25,16 @@
       breaker snapshots, and the journal replay summary. *)
 
 type config = {
-  socket : string;  (** Unix-domain socket path; stale files are replaced *)
-  state_dir : string;  (** holds [cas/] and [journal.jsonl] *)
+  socket : string;
+      (** Unix-domain socket path.  A stale leftover file is replaced; a
+          socket a {e live} daemon still answers on is refused (usage
+          error) — see {!remove_stale_socket} *)
+  state_dir : string;  (** holds [journal.jsonl] (and [cas/] by default) *)
+  cas_dir : string option;
+      (** store root override; fleet shards point this at one shared
+          store.  [None] ⇒ [state_dir ^ "/cas"] *)
+  shard_id : int option;
+      (** fleet membership tag, echoed in [health]; [None] standalone *)
   jobs : int;  (** worker domains for each batch *)
   queue_bound : int;  (** max jobs admitted per batch *)
   job_timeout : float option;  (** per-job wall-clock deadline, seconds *)
@@ -40,6 +48,19 @@ val default_config : config
     [queue_bound = 64], 30 s timeout, 1 retry, threshold 3, 5 s
     cooldown. *)
 
+val remove_stale_socket : string -> unit
+(** Clear the way for binding [path].  Probe-first: a leftover socket
+    file is connected to before anything is unlinked — [ECONNREFUSED]
+    means no listener survives and the file is removed; a successful
+    connect means a live daemon owns the name and this raises [Failure]
+    ("already being served") instead of orphaning it.  Non-socket files
+    and unsure probes also raise [Failure]; a missing path is fine. *)
+
 val serve : config -> unit
 (** Run until SIGTERM/SIGINT, then drain and return.  Prints one
-    [listening] line to stdout once accepting. *)
+    [listening] line to stdout once accepting.  Startup replays the
+    journal, then {e compacts} it: matched recv/done pairs and corrupt
+    lines are dropped (atomic rewrite), leaving only the lost-in-flight
+    records; the count dropped is reported as
+    [journal.compacted_records] in [health], alongside [uptime_s],
+    [shard_id], and the pipeline [pass_version]. *)

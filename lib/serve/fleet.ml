@@ -1,0 +1,411 @@
+(** The shard-fleet supervisor.  See fleet.mli.
+
+    Concurrency model: shard processes are children of this process; a
+    supervisor domain runs the reap/probe/respawn tick.  All shard-record
+    mutation happens under [t.lock]; health probes (which can block for
+    [probe_timeout]) run outside it. *)
+
+module Json = Rp_support.Json
+module Clock = Rp_support.Clock
+module Retry = Rp_support.Retry
+module Resilience = Rp_support.Resilience
+
+type config = {
+  shards : int;
+  state_dir : string;
+  rpcc : string option;
+  jobs : int;
+  job_timeout : float;
+  probe_interval : float;
+  probe_timeout : float;
+  wedged_threshold : int;
+  plant_crash : float option;
+}
+
+let default_config =
+  {
+    shards = 3;
+    state_dir = ".rpcc-fleet";
+    rpcc = None;
+    jobs = 0;
+    job_timeout = 30.;
+    probe_interval = 2.;
+    probe_timeout = 10.;
+    wedged_threshold = 3;
+    plant_crash = None;
+  }
+
+(* respawn backoff: slow enough that a router retrying right after a
+   crash reliably sees ECONNREFUSED (and fails over) before the
+   replacement binds, fast enough that the fleet heals within a tick or
+   two; the streak is capped so a crash-looping shard settles at the
+   ceiling instead of vanishing *)
+let backoff =
+  {
+    Retry.max_attempts = max_int;
+    base_delay = 0.3;
+    max_delay = 2.0;
+    jitter = 0.25;
+  }
+
+type shard = {
+  id : int;
+  socket : string;
+  shard_state : string;
+  log : string;
+  mutable pid : int;  (** 0 = down *)
+  mutable respawns : int;
+  mutable probes_ok : int;
+  mutable probe_failures : int;  (** total since start *)
+  mutable consec_probe_failures : int;
+  mutable respawn_at : float;  (** 0. = none scheduled *)
+  mutable respawn_streak : int;  (** deaths since the last good probe *)
+}
+
+type t = {
+  cfg : config;
+  rpcc : string;
+  cas_dir : string;
+  members : shard array;
+  resil : Resilience.t;
+  lock : Mutex.t;
+  stop_flag : bool Atomic.t;
+  mutable supervisor : unit Domain.t option;
+  mutable planted : int;
+  mutable pass_version_mismatches : int;
+  mutable next_probe : float;
+  mutable plant_at : float;  (** 0. = no planted crash pending *)
+}
+
+let locked t f = Mutex.protect t.lock f
+
+(* ------------------------------------------------------------------ *)
+(* Locating the rpcc executable                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Shards are separate [rpcc serve] processes, never forks: forking a
+    multi-domain OCaml 5 runtime is undefined.  The chain makes the
+    fleet spawnable from rpcc itself, from the bench/test executables in
+    the same dune build tree, and from anything that sets [$RPCC]. *)
+let locate_rpcc override =
+  let starts_with_rpcc p =
+    let b = Filename.basename p in
+    String.length b >= 4 && String.sub b 0 4 = "rpcc"
+  in
+  match override with
+  | Some p -> p
+  | None -> (
+    match Sys.getenv_opt "RPCC" with
+    | Some p when p <> "" -> p
+    | _ ->
+      let self = Sys.executable_name in
+      if starts_with_rpcc self then self
+      else
+        let sibling =
+          Filename.(
+            concat (concat (dirname self) (concat ".." "bin")) "rpcc.exe")
+        in
+        if Sys.file_exists sibling then sibling else "rpcc")
+
+(* ------------------------------------------------------------------ *)
+(* Spawning and reaping                                                *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_shard t sh =
+  let logfd =
+    Unix.openfile sh.log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let argv =
+    [|
+      t.rpcc; "serve";
+      "--socket"; sh.socket;
+      "--state-dir"; sh.shard_state;
+      "--cas-dir"; t.cas_dir;
+      "--shard-id"; string_of_int sh.id;
+      "--jobs"; string_of_int t.cfg.jobs;
+      "--job-timeout"; string_of_float t.cfg.job_timeout;
+    |]
+  in
+  let pid = Unix.create_process t.rpcc argv Unix.stdin logfd logfd in
+  (try Unix.close logfd with Unix.Unix_error _ -> ());
+  sh.pid <- pid;
+  sh.respawn_at <- 0.
+
+(** One supervision tick: reap dead shards (scheduling their respawn
+    with backoff), start respawns that are due.  Called under the
+    lock. *)
+let reap_and_respawn t now =
+  Array.iter
+    (fun sh ->
+      if sh.pid > 0 then begin
+        match Unix.waitpid [ Unix.WNOHANG ] sh.pid with
+        | (0, _) -> ()
+        | (_, _) | (exception Unix.Unix_error (Unix.ECHILD, _, _)) ->
+          sh.pid <- 0;
+          sh.respawn_streak <- sh.respawn_streak + 1;
+          sh.respawn_at <-
+            now
+            +. Retry.delay_for backoff ~seed:sh.id
+                 ~attempt:(min sh.respawn_streak 4)
+      end
+      else if sh.respawn_at > 0. && now >= sh.respawn_at then begin
+        spawn_shard t sh;
+        sh.respawns <- sh.respawns + 1;
+        Resilience.tick t.resil Resilience.Respawn
+      end)
+    t.members
+
+(* ------------------------------------------------------------------ *)
+(* Health probes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let health_req =
+  Json.Obj
+    [
+      ("schema", Json.Str Protocol.schema);
+      ("id", Json.Str "probe");
+      ("client", Json.Str "fleet");
+      ("op", Json.Str "health");
+    ]
+
+let probe_shard t sh =
+  match
+    Client.call ~timeout:t.cfg.probe_timeout ~socket:sh.socket [ health_req ]
+  with
+  | [ resp ] when Protocol.response_status resp = "ok" ->
+    let pv =
+      match Json.member "health" resp with
+      | Some h -> (
+        match Json.member "pass_version" h with
+        | Some (Json.Str v) -> v
+        | _ -> "")
+      | None -> ""
+    in
+    locked t (fun () ->
+        sh.probes_ok <- sh.probes_ok + 1;
+        sh.consec_probe_failures <- 0;
+        sh.respawn_streak <- 0;
+        (* a shard built from different pipeline sources would fill the
+           shared store with keys nobody else can own consistently;
+           count it loudly rather than kill-looping it *)
+        if pv <> "" && pv <> Rp_driver.Pipeline.pass_version then
+          t.pass_version_mismatches <- t.pass_version_mismatches + 1)
+  | _ | (exception _) ->
+    locked t (fun () ->
+        sh.probe_failures <- sh.probe_failures + 1;
+        sh.consec_probe_failures <- sh.consec_probe_failures + 1;
+        (* a wedged shard (alive but unresponsive) is worse than a dead
+           one: the router keeps timing out on it.  Kill it and let the
+           respawn path bring back a fresh one *)
+        if sh.consec_probe_failures >= t.cfg.wedged_threshold && sh.pid > 0
+        then begin
+          (try Unix.kill sh.pid Sys.sigkill with Unix.Unix_error _ -> ());
+          sh.consec_probe_failures <- 0
+        end)
+
+(* ------------------------------------------------------------------ *)
+(* The supervisor loop                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let deterministic_victim t =
+  (* seeded, not Random: chaos drills must be replayable *)
+  Hashtbl.hash ("plant", t.cfg.shards) mod t.cfg.shards
+
+let kill_shard t i =
+  locked t (fun () ->
+      let sh = t.members.(i) in
+      if sh.pid > 0 then begin
+        (try Unix.kill sh.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        t.planted <- t.planted + 1
+      end)
+
+let tick t =
+  let now = Clock.now () in
+  locked t (fun () -> reap_and_respawn t now);
+  if t.plant_at > 0. && now >= t.plant_at then begin
+    t.plant_at <- 0.;
+    kill_shard t (deterministic_victim t)
+  end;
+  if now >= t.next_probe then begin
+    t.next_probe <- now +. t.cfg.probe_interval;
+    Array.iter
+      (fun sh -> if sh.pid > 0 then probe_shard t sh)
+      t.members
+  end
+
+let supervisor_loop t =
+  while not (Atomic.get t.stop_flag) do
+    tick t;
+    Unix.sleepf 0.1
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let sockets t = Array.to_list (Array.map (fun sh -> sh.socket) t.members)
+
+let start (cfg : config) =
+  if cfg.shards < 1 then invalid_arg "Fleet.start: shards must be >= 1";
+  mkdir_p cfg.state_dir;
+  let name i suffix =
+    Filename.concat cfg.state_dir (Printf.sprintf "shard-%d%s" i suffix)
+  in
+  let t =
+    {
+      cfg;
+      rpcc = locate_rpcc cfg.rpcc;
+      cas_dir = Filename.concat cfg.state_dir "cas";
+      members =
+        Array.init cfg.shards (fun i ->
+            {
+              id = i;
+              socket = name i ".sock";
+              shard_state = name i "";
+              log = name i ".log";
+              pid = 0;
+              respawns = 0;
+              probes_ok = 0;
+              probe_failures = 0;
+              consec_probe_failures = 0;
+              respawn_at = 0.;
+              respawn_streak = 0;
+            });
+      resil = Resilience.create ();
+      lock = Mutex.create ();
+      stop_flag = Atomic.make false;
+      supervisor = None;
+      planted = 0;
+      pass_version_mismatches = 0;
+      next_probe = Clock.now () +. cfg.probe_interval;
+      plant_at =
+        (match cfg.plant_crash with
+        | Some s -> Clock.now () +. s
+        | None -> 0.);
+    }
+  in
+  Array.iter (fun sh -> spawn_shard t sh) t.members;
+  Array.iter
+    (fun sh ->
+      if not (Client.wait_ready ~attempts:200 ~delay:0.05 ~socket:sh.socket ())
+      then
+        failwith
+          (Printf.sprintf "fleet: shard %d failed to start (see %s)" sh.id
+             sh.log))
+    t.members;
+  t.supervisor <- Some (Domain.spawn (fun () -> supervisor_loop t));
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  Option.iter Domain.join t.supervisor;
+  t.supervisor <- None;
+  (* graceful drain first; a shard that ignores SIGTERM is killed *)
+  Array.iter
+    (fun sh ->
+      if sh.pid > 0 then
+        try Unix.kill sh.pid Sys.sigterm with Unix.Unix_error _ -> ())
+    t.members;
+  Array.iter
+    (fun sh ->
+      if sh.pid > 0 then begin
+        let deadline = Clock.now () +. 10. in
+        let rec wait () =
+          match Unix.waitpid [ Unix.WNOHANG ] sh.pid with
+          | (0, _) ->
+            if Clock.now () > deadline then begin
+              (try Unix.kill sh.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] sh.pid)
+            end
+            else begin
+              Unix.sleepf 0.05;
+              wait ()
+            end
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+        in
+        wait ();
+        sh.pid <- 0
+      end)
+    t.members;
+  (* drained shards unlink their own socket; SIGKILL'd ones cannot *)
+  Array.iter
+    (fun sh ->
+      try Unix.unlink sh.socket with Unix.Unix_error _ -> ())
+    t.members
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let respawns t =
+  locked t (fun () ->
+      Array.fold_left (fun acc sh -> acc + sh.respawns) 0 t.members)
+
+let planted t = locked t (fun () -> t.planted)
+let resilience t = t.resil
+
+let telemetry_json t =
+  locked t (fun () ->
+      Json.Obj
+        [
+          ("shards", Json.Int t.cfg.shards);
+          ( "respawns",
+            Json.Int
+              (Array.fold_left (fun acc sh -> acc + sh.respawns) 0 t.members)
+          );
+          ("planted", Json.Int t.planted);
+          ( "probes_ok",
+            Json.Int
+              (Array.fold_left (fun acc sh -> acc + sh.probes_ok) 0 t.members)
+          );
+          ( "probe_failures",
+            Json.Int
+              (Array.fold_left
+                 (fun acc sh -> acc + sh.probe_failures)
+                 0 t.members) );
+          ("pass_version_mismatches", Json.Int t.pass_version_mismatches);
+          ( "per_shard",
+            Json.List
+              (Array.to_list
+                 (Array.map
+                    (fun sh ->
+                      Json.Obj
+                        [
+                          ("shard", Json.Int sh.id);
+                          ("pid", Json.Int sh.pid);
+                          ("socket", Json.Str sh.socket);
+                          ("respawns", Json.Int sh.respawns);
+                          ("probes_ok", Json.Int sh.probes_ok);
+                          ("probe_failures", Json.Int sh.probe_failures);
+                        ])
+                    t.members)) );
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Foreground mode (rpcc fleet)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run (cfg : config) =
+  let t = start cfg in
+  Printf.printf "rpcc-fleet: %d shards up under %s (pid %d)\n%!" cfg.shards
+    cfg.state_dir (Unix.getpid ());
+  Array.iter
+    (fun sh ->
+      Printf.printf "  shard %d: %s (pid %d)\n%!" sh.id sh.socket sh.pid)
+    t.members;
+  let stop_requested = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  while not (Atomic.get stop_requested) do
+    Unix.sleepf 0.2
+  done;
+  stop t;
+  Printf.printf "rpcc-fleet: drained\n%!"

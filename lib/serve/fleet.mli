@@ -1,0 +1,93 @@
+(** A supervised fleet of [rpcc serve] shard processes.
+
+    The fleet is the daemon's horizontal-scaling story: N shard daemons,
+    each with a private socket and journal, all sharing one
+    content-addressed store, with requests routed by rendezvous hash of
+    their cache key ({!Fleet_client}) so each key's artifacts stay on
+    one warm shard.
+
+    Supervision contract:
+    - shards are separate [rpcc serve] {e processes} (spawned via
+      [create_process], never forked: forking a multi-domain OCaml 5
+      runtime is undefined), so a shard crash cannot take the
+      supervisor down;
+    - a dead shard is reaped and respawned with bounded backoff on the
+      same state, restarting warm off the shared store;
+    - live shards are health-probed ({!Protocol.Health}) on an
+      interval; a {e wedged} shard — alive but failing
+      [wedged_threshold] consecutive probes — is SIGKILLed and respawned;
+      probe responses are also checked for pipeline [pass_version]
+      agreement (a mismatched build is counted, not kill-looped);
+    - every respawn ticks the [Respawn] resilience counter; combined
+      with the router's failover ("fewer shards = slower, never wrong,
+      never lost"), a crash costs recomputation at most.
+
+    Chaos drills: [plant_crash = Some s] SIGKILLs a deterministically
+    chosen shard [s] seconds after start; {!kill_shard} does the same on
+    demand (the bench/test harnesses use it to force the failover path
+    at an exact point in a campaign). *)
+
+module Json = Rp_support.Json
+
+type config = {
+  shards : int;  (** shard count, >= 1 *)
+  state_dir : string;
+      (** holds [shard-<i>.sock], [shard-<i>/] (private journal),
+          [shard-<i>.log], and the shared [cas/] *)
+  rpcc : string option;
+      (** rpcc executable override; default: [$RPCC], then self when
+          the executable name starts with "rpcc", then the build-tree
+          sibling [../bin/rpcc.exe], then [rpcc] on PATH *)
+  jobs : int;  (** per-shard worker domains (0 = auto) *)
+  job_timeout : float;  (** per-job deadline forwarded to shards *)
+  probe_interval : float;  (** seconds between health-probe sweeps *)
+  probe_timeout : float;  (** per-probe client deadline *)
+  wedged_threshold : int;
+      (** consecutive probe failures before a shard is declared wedged
+          and SIGKILLed *)
+  plant_crash : float option;
+      (** chaos drill: SIGKILL a deterministic shard this many seconds
+          after start *)
+}
+
+val default_config : config
+(** 3 shards, [state_dir = ".rpcc-fleet"], auto jobs, 30 s job timeout,
+    2 s probe interval, 10 s probe timeout, wedged threshold 3, no
+    planted crash. *)
+
+type t
+
+val start : config -> t
+(** Spawn the shards, wait until every socket accepts, then start the
+    supervisor domain.  Raises [Failure] if a shard never comes up
+    (its log path is named). *)
+
+val stop : t -> unit
+(** Stop supervising, SIGTERM every shard, wait for drain (escalating
+    to SIGKILL after 10 s), and unlink leftover sockets.  Idempotent. *)
+
+val sockets : t -> string list
+(** Shard socket paths, index = shard id; feed to
+    {!Fleet_client.create}. *)
+
+val kill_shard : t -> int -> unit
+(** SIGKILL shard [i] (counted as planted).  The supervisor reaps and
+    respawns it; the router fails its in-flight work over meanwhile. *)
+
+val respawns : t -> int
+(** Total shard respawns since {!start}. *)
+
+val planted : t -> int
+(** Shards deliberately killed ({!kill_shard} / [plant_crash]). *)
+
+val resilience : t -> Rp_support.Resilience.t
+(** The fleet's counters; every respawn ticks [Respawn] here. *)
+
+val telemetry_json : t -> Json.t
+(** [{"shards", "respawns", "planted", "probes_ok", "probe_failures",
+    "pass_version_mismatches", "per_shard": [...]}]. *)
+
+val run : config -> unit
+(** Foreground mode for [rpcc fleet]: start, print the membership,
+    block until SIGTERM/SIGINT, then {!stop} and return (the CLI exits
+    0 with every shard drained and every socket unlinked). *)

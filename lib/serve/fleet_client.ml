@@ -1,0 +1,175 @@
+(** Rendezvous-hash router over a fleet of shards.  See fleet_client.mli. *)
+
+module Json = Rp_support.Json
+module Resilience = Rp_support.Resilience
+
+exception All_shards_dead
+
+(* ------------------------------------------------------------------ *)
+(* Pure rendezvous (highest-random-weight) ranking                     *)
+(* ------------------------------------------------------------------ *)
+
+let score ~shard ~key = Digest.string (string_of_int shard ^ ":" ^ key)
+
+let rank ~shards ~key =
+  List.init shards (fun i -> (score ~shard:i ~key, i))
+  |> List.sort (fun (a, i) (b, j) ->
+         match compare (b : string) a with 0 -> compare i j | c -> c)
+  |> List.map snd
+
+let owner ~shards ~key =
+  match rank ~shards ~key with
+  | [] -> invalid_arg "Fleet_client.owner: shards must be >= 1"
+  | s :: _ -> s
+
+(* ------------------------------------------------------------------ *)
+(* The router                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  sockets : string array;
+  alive : bool array;
+  timeout : float option;
+  resil : Resilience.t option;
+  mutable failovers : int;
+  routed : int array;
+  errors : int array;
+}
+
+let create ?timeout ?resilience ~sockets () =
+  let sockets = Array.of_list sockets in
+  let n = Array.length sockets in
+  if n = 0 then invalid_arg "Fleet_client.create: no sockets";
+  {
+    sockets;
+    alive = Array.make n true;
+    timeout;
+    resil = resilience;
+    failovers = 0;
+    routed = Array.make n 0;
+    errors = Array.make n 0;
+  }
+
+let shards t = Array.length t.sockets
+let failovers t = t.failovers
+
+let request_key doc =
+  match Protocol.parse_request doc with
+  | Ok r -> Protocol.op_key r.Protocol.op
+  | Error _ -> ""
+
+(** Quick reconnect probe for shards marked dead on a previous round: a
+    respawned shard rejoins the ring, pulling its keys back to the warm
+    cache-local owner. *)
+let revive t =
+  Array.iteri
+    (fun i alive ->
+      if not alive then
+        if Client.wait_ready ~attempts:1 ~delay:0. ~socket:t.sockets.(i) ()
+        then t.alive.(i) <- true)
+    t.alive
+
+let live_rank t ~key =
+  rank ~shards:(Array.length t.sockets) ~key
+  |> List.filter (fun i -> t.alive.(i))
+
+let route ?plant t (reqs : Json.t list) : Json.t list =
+  let n = List.length reqs in
+  revive t;
+  let responses = Array.make n Json.Null in
+  let planted = ref false in
+  (* each round groups the outstanding requests by their highest-ranked
+     live shard and sends one batch per shard; a failed batch marks that
+     shard dead and rolls its requests into the next round, so every
+     round either finishes work or shrinks the ring — termination and
+     progress are both structural *)
+  let rec dispatch pending =
+    match pending with
+    | [] -> ()
+    | _ ->
+      let groups : (int, (int * Json.t) list) Hashtbl.t = Hashtbl.create 8 in
+      let order = ref [] in
+      List.iter
+        (fun (i, doc, key) ->
+          match live_rank t ~key with
+          | [] -> raise All_shards_dead
+          | s :: _ ->
+            if not (Hashtbl.mem groups s) then order := s :: !order;
+            Hashtbl.replace groups s
+              ((i, doc)
+              :: Option.value (Hashtbl.find_opt groups s) ~default:[]))
+        pending;
+      (match (plant, List.rev !order) with
+      | Some f, s :: _ when not !planted ->
+        planted := true;
+        f s
+      | _ -> ());
+      let retry = ref [] in
+      (* each shard's sub-batch goes out on its own domain so the shards
+         compute in parallel; effects (responses, liveness, telemetry)
+         are applied serially after the joins, so no locking is needed *)
+      let jobs =
+        List.map
+          (fun s ->
+            let items = List.rev (Hashtbl.find groups s) in
+            let docs = List.map snd items in
+            ( s,
+              items,
+              Domain.spawn (fun () ->
+                  match
+                    Client.call ?timeout:t.timeout ~socket:t.sockets.(s) docs
+                  with
+                  | resps when List.length resps = List.length docs ->
+                    Ok resps
+                  | _ ->
+                    (* short reply: the shard died mid-batch; partial
+                       responses are discarded and the whole sub-batch
+                       re-routed — the CAS makes the re-served answers
+                       byte-identical *)
+                    Error ()
+                  | exception Unix.Unix_error _ -> Error ()
+                  | exception Client.Timeout _ -> Error ()
+                  | exception Failure _ -> Error ()) ))
+          (List.rev !order)
+      in
+      List.iter
+        (fun (s, items, d) ->
+          match Domain.join d with
+          | Ok resps ->
+            List.iter2 (fun (i, _) resp -> responses.(i) <- resp) items resps;
+            t.routed.(s) <- t.routed.(s) + List.length items
+          | Error () ->
+            t.alive.(s) <- false;
+            t.errors.(s) <- t.errors.(s) + 1;
+            t.failovers <- t.failovers + List.length items;
+            Option.iter
+              (fun r ->
+                List.iter
+                  (fun _ -> Resilience.tick r Resilience.Failover)
+                  items)
+              t.resil;
+            retry :=
+              !retry @ List.map (fun (i, d) -> (i, d, request_key d)) items)
+        jobs;
+      dispatch !retry
+  in
+  dispatch (List.mapi (fun i doc -> (i, doc, request_key doc)) reqs);
+  Array.to_list responses
+
+let telemetry_json t =
+  Json.Obj
+    [
+      ("shards", Json.Int (Array.length t.sockets));
+      ("failovers", Json.Int t.failovers);
+      ( "per_shard",
+        Json.List
+          (List.init (Array.length t.sockets) (fun i ->
+               Json.Obj
+                 [
+                   ("shard", Json.Int i);
+                   ("socket", Json.Str t.sockets.(i));
+                   ("alive", Json.Bool t.alive.(i));
+                   ("routed", Json.Int t.routed.(i));
+                   ("errors", Json.Int t.errors.(i));
+                 ])) );
+    ]

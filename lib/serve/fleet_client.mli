@@ -1,0 +1,69 @@
+(** Client-side router for a {!Fleet} of [rpcc serve] shards.
+
+    Each request is routed by rendezvous (highest-random-weight) hashing
+    of its content-addressed key ({!Protocol.op_key}): every (shard, key)
+    pair gets a deterministic score and the live shard with the highest
+    score owns the key.  Rendezvous gives the two properties a cache
+    fleet needs with no coordination state:
+
+    - {b stable assignment} — the same key always lands on the same
+      shard while membership is unchanged, so its cache stays hot;
+    - {b minimal reshuffle} — when a shard leaves, only {e its} keys
+      move (to their second choice); every other key keeps its owner.
+      When it rejoins, exactly those keys come back.
+
+    Failover contract: a batch that cannot be served by its owner
+    (connect refused, timeout, short reply) is re-sent {e whole} to the
+    next-ranked live shard.  Requests are idempotent against the shared
+    content-addressed store, so re-execution is at worst recomputation —
+    fewer shards means slower, never wrong and never lost. *)
+
+module Json = Rp_support.Json
+
+exception All_shards_dead
+(** Raised by {!route} when every shard has been marked dead. *)
+
+val rank : shards:int -> key:string -> int list
+(** Shard ids [0..shards-1] ordered best-first for [key].  Pure and
+    deterministic. *)
+
+val owner : shards:int -> key:string -> int
+(** [List.hd (rank ~shards ~key)]; raises [Invalid_argument] when
+    [shards < 1]. *)
+
+val request_key : Json.t -> string
+(** The routing key of one request line: {!Protocol.op_key} of the
+    parsed request, [""] for health/unparseable lines (routed to a
+    fixed shard rather than spread). *)
+
+type t
+
+val create :
+  ?timeout:float ->
+  ?resilience:Rp_support.Resilience.t ->
+  sockets:string list ->
+  unit ->
+  t
+(** A router over the shard sockets (index = shard id).  [?timeout] is
+    passed to every {!Client.call}; [?resilience] receives a
+    [Failover] tick per re-routed request.  Not thread-safe: one
+    router per driving thread. *)
+
+val shards : t -> int
+
+val route : ?plant:(int -> unit) -> t -> Json.t list -> Json.t list
+(** Send the batch, responses in request order.  Dead shards are
+    re-probed first (rejoin), then requests are grouped by owner and
+    the per-shard sub-batches dispatched in parallel (one domain per
+    shard); failures fail over down each request's rank order.
+    [?plant] is a chaos hook: called once with the first sub-batch's
+    target shard id {e before} anything is sent — killing that shard in
+    the hook forces the failover path deterministically.  Raises
+    {!All_shards_dead} when no shard answers. *)
+
+val failovers : t -> int
+(** Requests re-routed off a dead shard since [create]. *)
+
+val telemetry_json : t -> Json.t
+(** [{"shards", "failovers", "per_shard": [{"shard", "socket", "alive",
+    "routed", "errors"}]}]. *)

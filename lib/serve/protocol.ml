@@ -24,6 +24,20 @@ let default_config = "modref/with"
 
 let config_of_name name = List.assoc_opt name Rp_driver.Config.named_grid
 
+let fuzz_key ~seed ~trials =
+  Rp_support.Cas.key
+    [ Rp_driver.Pipeline.pass_version; "fuzz"; string_of_int seed;
+      string_of_int trials ]
+
+let op_key (op : op) =
+  match op with
+  | Run { src; config } | Compile { src; config } | Stats { src; config } -> (
+    match config_of_name config with
+    | Some c -> Rp_driver.Pipeline.cache_key ~config:c src
+    | None -> "")
+  | Fuzz { seed; trials } -> fuzz_key ~seed ~trials
+  | Health -> ""
+
 let parse_request (doc : Json.t) : (request, string) result =
   let str k = match Json.member k doc with Some (Json.Str s) -> Some s | _ -> None in
   let int k = match Json.member k doc with Some (Json.Int i) -> Some i | _ -> None in

@@ -54,6 +54,16 @@ val parse_request : Json.t -> (request, string) result
 val config_of_name : string -> Rp_driver.Config.t option
 (** Look up a {!Rp_driver.Config.named_grid} name. *)
 
+val fuzz_key : seed:int -> trials:int -> string
+(** The content-addressed key a fuzz batch's summary lives under. *)
+
+val op_key : op -> string
+(** The content-addressed key the op's artifacts live under ([""] for
+    [Health] and unknown configs).  The daemon journals it with each
+    request record so replay can match work to cache entries; the fleet
+    router hashes it so one op always lands on the shard whose cache is
+    warm for it. *)
+
 (** {2 Response constructors} *)
 
 val ok : id:Json.t -> client:string -> (string * Json.t) list -> Json.t

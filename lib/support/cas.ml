@@ -34,10 +34,27 @@ let open_ root =
   mkdir_p (tmp_dir t);
   mkdir_p (quarantine_dir t);
   (* reap temp files orphaned by a crash mid-[put]: they were never
-     renamed into place, so nothing references them *)
+     renamed into place, so nothing references them.  Several processes
+     (fleet shards) may share one store, so a temp file whose embedded
+     writer pid is still alive is an in-flight put, not an orphan — and
+     must survive a sibling's restart. *)
+  let owner_alive f =
+    (* temp names are "<key>.<kind>.<pid>.<uniq>" (see [put]) *)
+    match String.split_on_char '.' f with
+    | [ _; _; pid; _ ] -> (
+      match int_of_string_opt pid with
+      | Some pid when pid <> Unix.getpid () -> (
+        match Unix.kill pid 0 with
+        | () -> true
+        | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+        | exception Unix.Unix_error _ -> false)
+      | _ -> false)
+    | _ -> false
+  in
   Array.iter
     (fun f ->
-      try Sys.remove (Filename.concat (tmp_dir t) f) with Sys_error _ -> ())
+      if not (owner_alive f) then
+        try Sys.remove (Filename.concat (tmp_dir t) f) with Sys_error _ -> ())
     (try Sys.readdir (tmp_dir t) with Sys_error _ -> [||]);
   t
 

@@ -1,6 +1,14 @@
 (** Supervision-layer failure counters.  See resilience.mli. *)
 
-type outcome = Timeout | Retry | Breaker_trip | Resumed | Crash | Quarantine
+type outcome =
+  | Timeout
+  | Retry
+  | Breaker_trip
+  | Resumed
+  | Crash
+  | Quarantine
+  | Failover
+  | Respawn
 
 type t = {
   timeouts : int Atomic.t;
@@ -9,6 +17,8 @@ type t = {
   resumed : int Atomic.t;
   crashed : int Atomic.t;
   quarantined : int Atomic.t;
+  failovers : int Atomic.t;
+  respawns : int Atomic.t;
 }
 
 let create () =
@@ -19,6 +29,8 @@ let create () =
     resumed = Atomic.make 0;
     crashed = Atomic.make 0;
     quarantined = Atomic.make 0;
+    failovers = Atomic.make 0;
+    respawns = Atomic.make 0;
   }
 
 let cell t = function
@@ -28,12 +40,16 @@ let cell t = function
   | Resumed -> t.resumed
   | Crash -> t.crashed
   | Quarantine -> t.quarantined
+  | Failover -> t.failovers
+  | Respawn -> t.respawns
 
 let tick t o = Atomic.incr (cell t o)
 let count t o = Atomic.get (cell t o)
 let set t o v = Atomic.set (cell t o) v
 
-let all = [ Timeout; Retry; Breaker_trip; Resumed; Crash; Quarantine ]
+let all =
+  [ Timeout; Retry; Breaker_trip; Resumed; Crash; Quarantine; Failover;
+    Respawn ]
 let any t = List.exists (fun o -> count t o > 0) all
 
 let merge ~into src =
@@ -50,12 +66,14 @@ let to_json ?breakers t =
        ("resumed", Json.Int (count t Resumed));
        ("crashed", Json.Int (count t Crash));
        ("quarantined", Json.Int (count t Quarantine));
+       ("failovers", Json.Int (count t Failover));
+       ("respawns", Json.Int (count t Respawn));
      ]
     @ match breakers with None -> [] | Some b -> [ ("breakers", b) ])
 
 let pp ppf t =
   Format.fprintf ppf
     "timeouts=%d retries=%d breaker_trips=%d resumed=%d crashed=%d \
-     quarantined=%d"
+     quarantined=%d failovers=%d respawns=%d"
     (count t Timeout) (count t Retry) (count t Breaker_trip) (count t Resumed)
-    (count t Crash) (count t Quarantine)
+    (count t Crash) (count t Quarantine) (count t Failover) (count t Respawn)

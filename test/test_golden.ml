@@ -112,7 +112,7 @@ let stats_json_tests =
           (Json.keys j);
         Util.check
           Alcotest.(option string)
-          "schema marker" (Some "rpcc-stats/4")
+          "schema marker" (Some "rpcc-stats/5")
           (match Json.member "schema" j with
           | Some (Json.Str s) -> Some s
           | _ -> None);
@@ -127,7 +127,7 @@ let stats_json_tests =
           "resilience keys"
           [
             "timeouts"; "retries"; "breaker_trips"; "resumed"; "crashed";
-            "quarantined";
+            "quarantined"; "failovers"; "respawns";
           ]
           (match Json.member "resilience" j with
           | Some r -> Json.keys r

@@ -260,6 +260,101 @@ let protocol_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* The rendezvous router (pure ranking properties)                     *)
+(* ------------------------------------------------------------------ *)
+
+module Router = Rp_serve.Fleet_client
+
+let router_keys = List.init 256 (fun i -> Printf.sprintf "key-%d" i)
+
+let run_req_j id =
+  Json.Obj
+    [
+      ("schema", Json.Str Protocol.schema);
+      ("id", Json.Int id);
+      ("client", Json.Str "t");
+      ("op", Json.Str "run");
+      ("src", Json.Str "int main() { return 0; }");
+      ("config", Json.Str "modref/with");
+    ]
+
+(** The owner among a membership set: the highest-ranked shard that is
+    still present — what the router computes against its alive mask. *)
+let owner_among alive ~shards ~key =
+  match List.filter alive (Router.rank ~shards ~key) with
+  | s :: _ -> s
+  | [] -> Alcotest.fail "no live shard"
+
+let router_tests =
+  [
+    Util.tc "router: assignment is deterministic and total" (fun () ->
+        List.iter
+          (fun key ->
+            let o = Router.owner ~shards:5 ~key in
+            Util.check Alcotest.int key o (Router.owner ~shards:5 ~key);
+            Util.check Alcotest.bool "in range" true (o >= 0 && o < 5);
+            Util.check
+              Alcotest.(list int)
+              (key ^ " rank is a permutation")
+              [ 0; 1; 2; 3; 4 ]
+              (List.sort compare (Router.rank ~shards:5 ~key)))
+          router_keys;
+        (* keys spread: no shard owns everything *)
+        let owned = Array.make 5 0 in
+        List.iter
+          (fun key ->
+            let o = Router.owner ~shards:5 ~key in
+            owned.(o) <- owned.(o) + 1)
+          router_keys;
+        Array.iteri
+          (fun i n ->
+            Util.check Alcotest.bool
+              (Printf.sprintf "shard %d owns some keys" i)
+              true (n > 0))
+          owned);
+    Util.tc "router: a leaving shard moves only its own keys" (fun () ->
+        List.iter
+          (fun dead ->
+            List.iter
+              (fun key ->
+                let before = Router.owner ~shards:5 ~key in
+                let after =
+                  owner_among (fun s -> s <> dead) ~shards:5 ~key
+                in
+                if before <> dead then
+                  (* minimal reshuffle: every other key keeps its owner *)
+                  Util.check Alcotest.int
+                    (Printf.sprintf "%s sticks when %d leaves" key dead)
+                    before after
+                else
+                  (* the dead shard's keys fall to their second choice *)
+                  Util.check Alcotest.int
+                    (key ^ " fails over to rank 2")
+                    (List.nth (Router.rank ~shards:5 ~key) 1)
+                    after)
+              router_keys)
+          [ 0; 2; 4 ]);
+    Util.tc "router: a rejoining shard reclaims exactly its keys" (fun () ->
+        let dead = 3 in
+        List.iter
+          (fun key ->
+            let degraded = owner_among (fun s -> s <> dead) ~shards:5 ~key in
+            let rejoined = Router.owner ~shards:5 ~key in
+            if Router.owner ~shards:5 ~key <> dead then
+              Util.check Alcotest.int (key ^ " unmoved by rejoin") degraded
+                rejoined
+            else
+              Util.check Alcotest.int (key ^ " returns home") dead rejoined)
+          router_keys);
+    Util.tc "router: request_key routes same op to same shard" (fun () ->
+        let k1 = Router.request_key (run_req_j 1) in
+        let k2 = Router.request_key (run_req_j 2) in
+        (* same src+config, different id: the id must not split the key *)
+        Util.check Alcotest.string "id-independent" k1 k2;
+        Util.check Alcotest.bool "non-empty for run ops" true (k1 <> ""));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Daemon end-to-end                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -389,6 +484,188 @@ let test_daemon_backpressure () =
         [ "error"; "ok" ]
         statuses2)
 
+let float_at path j =
+  match member_path path j with
+  | Json.Float f -> f
+  | Json.Int n -> float_of_int n
+  | _ -> Alcotest.fail ("not a number: " ^ String.concat "." path)
+
+(** The probe-first stale-socket policy: a name a live daemon answers on
+    must be refused, a dead leftover must be cleared. *)
+let test_socket_steal_rejected () =
+  let dir = fresh_dir "steal" in
+  let path = Filename.concat dir "live.sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind lfd (Unix.ADDR_UNIX path);
+      Unix.listen lfd 4;
+      (match Rp_serve.Daemon.remove_stale_socket path with
+      | () -> Alcotest.fail "must refuse to unlink a live socket"
+      | exception Failure m ->
+        Util.check Alcotest.bool "names the conflict" true
+          (let needle = "already being served" in
+           let n = String.length needle in
+           let rec find i =
+             i + n <= String.length m
+             && (String.sub m i n = needle || find (i + 1))
+           in
+           find 0));
+      Util.check Alcotest.bool "socket left in place" true
+        (Sys.file_exists path);
+      (* the listener goes away: the same file is now stale and cleared *)
+      Unix.close lfd;
+      Rp_serve.Daemon.remove_stale_socket path;
+      Util.check Alcotest.bool "stale socket unlinked" false
+        (Sys.file_exists path);
+      (* a plain file under the socket name is never silently deleted *)
+      let imposter = Filename.concat dir "imposter" in
+      write_file imposter "not a socket";
+      (match Rp_serve.Daemon.remove_stale_socket imposter with
+      | () -> Alcotest.fail "must refuse a non-socket file"
+      | exception Failure _ -> ());
+      Util.check Alcotest.bool "imposter survives" true
+        (Sys.file_exists imposter))
+
+(** Startup compaction drops matched recv/done pairs; health reports the
+    count plus the new identity fields. *)
+let test_journal_compaction_and_health () =
+  let dir = fresh_dir "compact" in
+  let socket = Filename.concat dir "d.sock" in
+  let state = Filename.concat dir "state" in
+  let log = Filename.concat dir "serve.log" in
+  let src2 =
+    "int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) { s = s + \
+     i; } print_int(s); return 0; }"
+  in
+  let pid = spawn_daemon ~socket ~state ~log () in
+  if not (Client.wait_ready ~socket ()) then
+    Alcotest.fail "daemon did not come up";
+  let statuses =
+    List.map Protocol.response_status
+      (Client.call ~socket [ run_req ~id:1 daemon_src; run_req ~id:2 src2 ])
+  in
+  Util.check Alcotest.(list string) "both served" [ "ok"; "ok" ] statuses;
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> Alcotest.fail "drain must exit 0");
+  (* restart: the journal holds 2 recv + 2 done, all matched — replay
+     reports them, compaction drops all four *)
+  let pid2 = spawn_daemon ~socket ~state ~log () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid2 Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid2))
+    (fun () ->
+      if not (Client.wait_ready ~socket ()) then
+        Alcotest.fail "daemon did not restart";
+      let health = one socket (req ~id:9 ~op:"health" []) in
+      Util.check Alcotest.int "records" 4
+        (int_at [ "health"; "journal"; "records" ] health);
+      Util.check Alcotest.int "replayed" 2
+        (int_at [ "health"; "journal"; "replayed" ] health);
+      Util.check Alcotest.int "nothing lost in flight" 0
+        (int_at [ "health"; "journal"; "lost_inflight" ] health);
+      Util.check Alcotest.int "all four records compacted away" 4
+        (int_at [ "health"; "journal"; "compacted_records" ] health);
+      (* the new identity fields *)
+      Util.check Alcotest.bool "uptime is a non-negative number" true
+        (float_at [ "health"; "uptime_s" ] health >= 0.);
+      Util.check Alcotest.string "pass_version pinned"
+        Pipeline.pass_version
+        (match member_path [ "health"; "pass_version" ] health with
+        | Json.Str s -> s
+        | _ -> "");
+      Util.check Alcotest.bool "standalone daemon has null shard_id" true
+        (member_path [ "health"; "shard_id" ] health = Json.Null))
+
+(* ------------------------------------------------------------------ *)
+(* The fleet: SIGKILL one of three shards mid-campaign                 *)
+(* ------------------------------------------------------------------ *)
+
+module Fleet = Rp_serve.Fleet
+
+let test_fleet_kill_failover () =
+  let dir = fresh_dir "fleet" in
+  let fleet =
+    Fleet.start
+      { Fleet.default_config with
+        Fleet.shards = 3; state_dir = dir; jobs = 1 }
+  in
+  let stopped = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !stopped then Fleet.stop fleet)
+    (fun () ->
+      let socks = Fleet.sockets fleet in
+      Util.check Alcotest.int "three shards" 3 (List.length socks);
+      let srcs =
+        List.init 6 (fun i ->
+            Printf.sprintf
+              "int main() { int i; int s; s = 0; for (i = 0; i < %d; i++) \
+               { s = s + i; } print_int(s); return 0; }"
+              (50 + (10 * i)))
+      in
+      let batch = List.mapi (fun i s -> run_req ~id:i s) srcs in
+      let resil = Rp_support.Resilience.create () in
+      let router =
+        Router.create ~timeout:60. ~resilience:resil ~sockets:socks ()
+      in
+      let pass1 = Router.route router batch in
+      List.iter
+        (fun r ->
+          Util.check Alcotest.string "pass1 ok" "ok"
+            (Protocol.response_status r))
+        pass1;
+      (* SIGKILL the shard that owns the first request's key, then replay
+         the whole batch: the router must fail over and the answers must
+         not change by a byte (shared store, deterministic responses) *)
+      let victim =
+        Router.owner ~shards:3 ~key:(Router.request_key (List.hd batch))
+      in
+      Fleet.kill_shard fleet victim;
+      Unix.sleepf 0.05;
+      let pass2 = Router.route router batch in
+      Util.check Alcotest.string "failover answers byte-identical"
+        (String.concat "\n" (List.map Json.to_string pass1))
+        (String.concat "\n" (List.map Json.to_string pass2));
+      Util.check Alcotest.bool "router recorded the failover" true
+        (Router.failovers router > 0);
+      Util.check Alcotest.bool "resilience Failover ticked" true
+        (Rp_support.Resilience.count resil Rp_support.Resilience.Failover > 0);
+      Util.check Alcotest.int "kill was counted as planted" 1
+        (Fleet.planted fleet);
+      (* supervision brings the victim back *)
+      let deadline = Unix.gettimeofday () +. 15. in
+      while Fleet.respawns fleet < 1 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.1
+      done;
+      Util.check Alcotest.bool "victim respawned" true
+        (Fleet.respawns fleet >= 1);
+      Util.check Alcotest.bool "resilience Respawn ticked" true
+        (Rp_support.Resilience.count (Fleet.resilience fleet)
+           Rp_support.Resilience.Respawn
+        >= 1);
+      (* after the respawn lands, the key goes home again and the fleet
+         serves it warm *)
+      if
+        Client.wait_ready ~attempts:100 ~delay:0.1
+          ~socket:(List.nth socks victim) ()
+      then begin
+        let pass3 = Router.route router batch in
+        Util.check Alcotest.string "rejoined fleet still byte-identical"
+          (String.concat "\n" (List.map Json.to_string pass1))
+          (String.concat "\n" (List.map Json.to_string pass3))
+      end;
+      Fleet.stop fleet;
+      stopped := true;
+      List.iter
+        (fun s ->
+          Util.check Alcotest.bool ("socket unlinked: " ^ s) false
+            (Sys.file_exists s))
+        socks)
+
 (* ------------------------------------------------------------------ *)
 (* Uniform --jobs validation across entry points                       *)
 (* ------------------------------------------------------------------ *)
@@ -440,12 +717,22 @@ let () =
       ("cas", cas_tests);
       ("cache", cache_tests);
       ("protocol", protocol_tests);
+      ("router", router_tests);
       ( "daemon",
         [
           Util.tc_slow "serve: SIGKILL warm restart byte-identical, drain"
             test_daemon_warm_restart;
           Util.tc_slow "serve: batch beyond queue bound sheds load"
             test_daemon_backpressure;
+          Util.tc "serve: live socket refused, stale socket cleared"
+            test_socket_steal_rejected;
+          Util.tc_slow "serve: journal compacted on restart, health identity"
+            test_journal_compaction_and_health;
+        ] );
+      ( "fleet",
+        [
+          Util.tc_slow "fleet: SIGKILL a shard mid-campaign, byte-identical"
+            test_fleet_kill_failover;
         ] );
       ("cli", jobs_validation_tests);
     ]

@@ -422,7 +422,7 @@ let resilience_tests =
           "json keys"
           [
             "timeouts"; "retries"; "breaker_trips"; "resumed"; "crashed";
-            "quarantined";
+            "quarantined"; "failovers"; "respawns";
           ]
           (match Resilience.to_json r with
           | Json.Obj kvs -> List.map fst kvs
@@ -441,7 +441,7 @@ let resilience_tests =
             "core keys then breakers"
             [
               "timeouts"; "retries"; "breaker_trips"; "resumed"; "crashed";
-              "quarantined"; "breakers";
+              "quarantined"; "failovers"; "respawns"; "breakers";
             ]
             (List.map fst kvs);
           (match List.assoc "breakers" kvs with
