@@ -17,6 +17,12 @@
                                                  --plant-crash SIGKILLs a
                                                  shard mid-campaign (the
                                                  counts stay byte-identical)
+      dune exec bench/main.exe -- --json --native [--cc-flags "-O2"]
+                                              -- every cell executed through
+                                                 the compiled-C backend:
+                                                 BENCH_counts.json stays
+                                                 byte-identical, run_ms is
+                                                 the native binary's (10x+)
     v}
 
     Adding [--verify-passes] to any mode reruns the whole experiment under
@@ -132,6 +138,46 @@ let resume_path : string option ref = ref None
 let breaker_threshold = ref 3
 let plant_hang : string option ref = ref None (* "program:config" *)
 let interrupted = Atomic.make false
+
+(* --native: run the --json grid's cells through the compiled-C backend
+   instead of the interpreter.  Counts must come out byte-identical (the
+   emitted code carries the interpreter's counters); run_ms becomes the
+   native binary's wall time.  Compiled binaries are cached in the
+   content-addressed store keyed by program × config × cc identity. *)
+let native_cc : Rp_backend.Native.cc option ref = ref None
+
+(* forced at CLI-parse time, before the worker pool spawns: Lazy.force
+   from two domains at once is a race (CamlinternalLazy.Undefined) *)
+let native_cas =
+  lazy (Rp_support.Cas.open_ (Rp_backend.Native.default_cache_dir ()))
+
+(** The native analogue of {!run_raw}: one pipeline compile, one cached
+    cc compile, one binary execution.  Infrastructure failures
+    ({!Rp_backend.Native.Error}) quarantine the cell — never a wrong
+    count.  Returns the native split (cc_ms, exec_ms, cache_hit) for the
+    timings document. *)
+let run_native pname (cfg : Config.t) source cc =
+  let config = apply_verify cfg in
+  let prog, st = Pipeline.compile ~config source in
+  assert_healthy pname st;
+  let key = Pipeline.cache_key ~config source in
+  let cache = Lazy.force native_cas in
+  match
+    Rp_backend.Native.run_timed ?deadline:!job_timeout ~cache ~key ~cc prog
+  with
+  | exception I.Resource_limit m ->
+    raise (Quarantined (Printf.sprintf "%s: resource limit: %s" pname m))
+  | exception Rp_exec.Value.Runtime_error m ->
+    raise (Quarantined (Printf.sprintf "%s: runtime error: %s" pname m))
+  | exception Rp_backend.Native.Error m ->
+    raise (Quarantined (Printf.sprintf "%s: native backend: %s" pname m))
+  | t ->
+    ( st,
+      t.Rp_backend.Native.result,
+      Some
+        ( t.Rp_backend.Native.cc_ms,
+          t.Rp_backend.Native.exec_ms,
+          t.Rp_backend.Native.cache_hit ) )
 
 (** Fill the memo cache for [cells] using [!jobs] worker domains.  Workers
     only compute ({!run_config} never prints); results land in the cache
@@ -561,6 +607,39 @@ let cell_of_json = function
   | Json.Obj [ ("degraded", Json.Str reason) ] -> Some (Cquarantined reason)
   | _ -> None
 
+(** Host/toolchain provenance for the timings document (schema v3):
+    timings are machine-dependent, so the machine is named in the file —
+    kernel/arch, the C compiler identity (even for interpreted runs, so
+    an interp-vs-native pair taken on one host is self-describing), and
+    the OCaml word size. *)
+let host_json () =
+  let first_line_of cmd =
+    try
+      let ic = Unix.open_process_in cmd in
+      let line = try Some (input_line ic) with End_of_file -> None in
+      (match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> line
+      | _ -> None)
+    with Unix.Unix_error _ | Sys_error _ -> None
+  in
+  let uname =
+    Option.value (first_line_of "uname -srm 2>/dev/null") ~default:"unknown"
+  in
+  let cc_id =
+    match !native_cc with
+    | Some cc -> cc.Rp_backend.Native.identity
+    | None -> (
+      match Rp_backend.Native.find_cc () with
+      | Some cc -> cc.Rp_backend.Native.identity
+      | None -> "unavailable")
+  in
+  Json.Obj
+    [
+      ("uname", Json.Str uname);
+      ("cc", Json.Str cc_id);
+      ("word_size", Json.Int Sys.word_size);
+    ]
+
 let has_substring hay needle =
   let nh = String.length hay and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
@@ -655,13 +734,19 @@ let json_export () =
     let t0 = Rp_support.Clock.now () in
     match
       Rp_support.Retry.Breaker.call breaker ~key:pname (fun () ->
-          run_raw ~should_stop pname cfg p.Rp_suite.Programs.source)
+          match !native_cc with
+          | None ->
+            let _, st, r =
+              run_raw ~should_stop pname cfg p.Rp_suite.Programs.source
+            in
+            (st, r, None)
+          | Some cc -> run_native pname cfg p.Rp_suite.Programs.source cc)
     with
-    | Ok (_, st, r) ->
+    | Ok (st, r, nat) ->
       let wall = Rp_support.Clock.elapsed t0 in
       let t = counts r in
       ( cname,
-        Some st,
+        Some (st, nat),
         Cok
           { ops = t.I.ops; loads = t.I.loads; stores = t.I.stores;
             checksum = r.I.checksum; ptr_promoted = st.Pipeline.ptr_promoted },
@@ -785,8 +870,12 @@ let json_export () =
   let timings_doc =
     Json.Obj
       [
-        ("schema", Json.Str "rpcc-bench-timings/2");
+        ("schema", Json.Str "rpcc-bench-timings/3");
         ("jobs", Json.Int !jobs);
+        ( "mode",
+          Json.Str (match !native_cc with Some _ -> "native" | None -> "interp")
+        );
+        ("host", host_json ());
         ( "programs",
           Json.Obj
             (List.map
@@ -797,22 +886,36 @@ let json_export () =
                         (fun (cname, st, c, wall, was_resumed) ->
                           ( cname,
                             match st with
-                            | Some st ->
+                            | Some (st, nat) ->
                               let compile_s = Pipeline.total_time st in
                               (* the cell is one compile followed by one
-                                 interpreter run; wall minus compile is
-                                 the run's share *)
+                                 run; interpreted, the run's share is wall
+                                 minus compile; native, it is the binary's
+                                 measured wall time *)
                               Json.Obj
-                                [
-                                  ("wall_ms", Json.Float (1000. *. wall));
-                                  ( "run_ms",
-                                    Json.Float
-                                      (1000. *. max 0. (wall -. compile_s)) );
-                                  ( "compile",
-                                    Pipeline.stats_json
-                                      (List.assoc cname Config.paper_grid) st
-                                  );
-                                ]
+                                ([
+                                   ("wall_ms", Json.Float (1000. *. wall));
+                                   ( "run_ms",
+                                     Json.Float
+                                       (match nat with
+                                       | Some (_, exec_ms, _) -> exec_ms
+                                       | None ->
+                                         1000. *. max 0. (wall -. compile_s))
+                                   );
+                                 ]
+                                @ (match nat with
+                                  | Some (cc_ms, _, hit) ->
+                                    [
+                                      ("cc_ms", Json.Float cc_ms);
+                                      ("cc_cache_hit", Json.Bool hit);
+                                    ]
+                                  | None -> [])
+                                @ [
+                                    ( "compile",
+                                      Pipeline.stats_json
+                                        (List.assoc cname Config.paper_grid)
+                                        st );
+                                  ])
                             | None when was_resumed ->
                               (* timing was spent in the journaled run *)
                               Json.Obj [ ("resumed", Json.Bool true) ]
@@ -833,7 +936,7 @@ let json_export () =
                    List.fold_left
                      (fun acc (_, st, _, _, _) ->
                        match st with
-                       | Some st -> acc +. Pipeline.total_time st
+                       | Some (st, _) -> acc +. Pipeline.total_time st
                        | None -> acc)
                      acc per_config)
                  0. rows) );
@@ -1203,6 +1306,33 @@ let () =
   plant_hang := opt_value "--plant-hang" rest;
   let via_daemon = opt_value "--via-daemon" rest in
   let via_fleet = Option.map int_of_string (opt_value "--via-fleet" rest) in
+  let want_native = List.mem "--native" args in
+  if want_native then begin
+    if not want_json then begin
+      Fmt.epr "--native requires --json@.";
+      exit 2
+    end;
+    if via_daemon <> None || via_fleet <> None then begin
+      (* the daemon protocol has no native jobs yet; refusing beats
+         silently interpreting remotely while claiming native timings *)
+      Fmt.epr
+        "--native runs cells in-process and cannot be combined with \
+         --via-daemon/--via-fleet@.";
+      exit 2
+    end;
+    let flags =
+      match opt_value "--cc-flags" rest with
+      | Some s ->
+        List.filter (fun f -> f <> "") (String.split_on_char ' ' s)
+      | None -> [ "-O1" ]
+    in
+    (match Rp_backend.Native.find_cc ~flags () with
+    | Some cc -> native_cc := Some cc
+    | None ->
+      Fmt.epr "--native: no working C compiler found (probed `cc --version`)@.";
+      exit 2);
+    ignore (Lazy.force native_cas : Rp_support.Cas.t)
+  end;
   let plant_crash = List.mem "--plant-crash" args in
   let fleet_state =
     Option.value (opt_value "--fleet-state" rest) ~default:".rpcc-fleet"

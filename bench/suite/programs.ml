@@ -1172,6 +1172,87 @@ int main() {
 |}
 
 (* ------------------------------------------------------------------ *)
+(* triad — STREAM-style bandwidth kernels (native-backend workload)    *)
+(* Added with the compiled-C backend: large enough that run_ms is      *)
+(* memory-bandwidth-shaped rather than dispatch-shaped, with the scale *)
+(* factor and running checksum in promotable global scalars so the     *)
+(* promotion win is wall-clock-visible at hardware speed.              *)
+(* ------------------------------------------------------------------ *)
+
+let triad_src =
+  {|
+// triad: STREAM-like copy/scale/sum/triad sweeps over global arrays.
+// The scale factor q and the running checksum acc live in globals and
+// are re-loaded (and acc re-stored) on every iteration of every hot
+// loop until the promoter carries them in registers; the array traffic
+// itself must stay untouched in every configuration.
+int a[2048];
+int b[2048];
+int c[2048];
+int q;
+int acc;
+
+void init() {
+  int i;
+  for (i = 0; i < 2048; i++) {
+    a[i] = i % 97;
+    b[i] = (i * 7) % 101;
+    c[i] = (i * 13) % 103;
+  }
+}
+
+void copy_k() {
+  int i;
+  for (i = 0; i < 2048; i++) c[i] = a[i];
+}
+
+void scale_k() {
+  int i;
+  for (i = 0; i < 2048; i++) {
+    b[i] = q * c[i];
+    acc = (acc + b[i]) % 1048576;
+  }
+}
+
+void sum_k() {
+  int i;
+  for (i = 0; i < 2048; i++) {
+    c[i] = a[i] + b[i];
+    acc = (acc + c[i]) % 1048576;
+  }
+}
+
+void triad_k() {
+  int i;
+  for (i = 0; i < 2048; i++) {
+    a[i] = (b[i] + q * c[i]) % 1048576;
+    acc = (acc + a[i]) % 1048576;
+  }
+}
+
+int main() {
+  int rep;
+  init();
+  q = 3;
+  acc = 0;
+  for (rep = 0; rep < 128; rep++) {
+    copy_k();
+    scale_k();
+    sum_k();
+    triad_k();
+    q = abs((q + acc) % 7) + 1;
+  }
+  print_int(acc);
+  print_int(q);
+  print_int(a[0]);
+  print_int(a[2047]);
+  print_int(b[1024]);
+  print_int(c[512]);
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
 (* The suite                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1223,6 +1304,11 @@ let all : program list =
     { name = "ptrchase"; description = "linked walk (pointer chasing)";
       source = ptrchase_src;
       paper_note = "addition: §3.3 negative case, base redefined in-loop" };
+    { name = "triad"; description = "STREAM-style bandwidth kernels";
+      source = triad_src;
+      paper_note =
+        "addition: native-backend workload; q/acc promote, array traffic \
+         stays" };
   ]
 
 let find name = List.find (fun p -> p.name = name) all

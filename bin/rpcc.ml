@@ -242,16 +242,55 @@ let run_json config (st : Pipeline.stage_stats) resil
   | j -> j
 
 let run_cmd =
-  let run config file quiet stats_json fuel max_depth timeout retries =
+  let run config file quiet stats_json fuel max_depth timeout retries native
+      cc_flags =
     handle_errors @@ fun () ->
     let src = read_file file in
     let resil = Rp_support.Resilience.create () in
+    (* --native: same compile, but execution through the compiled-C
+       backend — counts and trap behaviour are byte-identical to the
+       interpreter, run time is the binary's.  Infrastructure failure
+       (no cc, compile error, garbled trailer) is exit 2, never a
+       silently different result. *)
+    let native_cc =
+      if not native then None
+      else
+        let flags =
+          List.filter (fun f -> f <> "") (String.split_on_char ' ' cc_flags)
+        in
+        match Rp_backend.Native.find_cc ~flags () with
+        | Some cc -> Some cc
+        | None ->
+          Fmt.epr
+            "error: --native needs a working C compiler (probed `cc \
+             --version`)@.";
+          exit 2
+    in
     let attempt () =
-      try Pipeline.compile_and_run ~config ?fuel ?max_depth ?deadline:timeout src
-      with Rp_exec.Interp.Resource_limit m as e ->
-        if timeout <> None && String.starts_with ~prefix:"external stop" m then
-          Rp_support.Resilience.tick resil Rp_support.Resilience.Timeout;
+      try
+        match native_cc with
+        | None ->
+          Pipeline.compile_and_run ~config ?fuel ?max_depth ?deadline:timeout
+            src
+        | Some cc ->
+          let prog, st = Pipeline.compile ~config src in
+          let key = Pipeline.cache_key ~config src in
+          let cache =
+            Rp_support.Cas.open_ (Rp_backend.Native.default_cache_dir ())
+          in
+          let r =
+            Rp_backend.Native.run ?fuel ?max_depth ?deadline:timeout ~cache
+              ~key ~cc prog
+          in
+          (prog, st, r)
+      with
+      | Rp_exec.Interp.Resource_limit m as e ->
+        if timeout <> None && String.starts_with ~prefix:"external stop" m
+        then Rp_support.Resilience.tick resil Rp_support.Resilience.Timeout;
         raise e
+      | Rp_backend.Native.Error m ->
+        Fmt.epr "error: native backend: %s@." m;
+        exit 2
     in
     let (_, st, r) =
       if retries <= 0 then attempt ()
@@ -319,12 +358,31 @@ let run_cmd =
              exponential backoff before reporting the last error.  \
              Retries are counted in the stats' resilience object.")
   in
+  let native_t =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Execute through the compiled-C backend: emit C from the \
+             post-regalloc IR, compile it with the system C compiler \
+             (binaries are cached), and run at hardware speed.  Output, \
+             checksum, dynamic counts, and trap messages are identical \
+             to the interpreter's.")
+  in
+  let cc_flags_t =
+    Arg.(
+      value & opt string "-O1"
+      & info [ "cc-flags" ] ~docv:"FLAGS"
+          ~doc:
+            "Space-separated flags for the system C compiler under \
+             $(b,--native) (part of the binary cache key).")
+  in
   Cmd.v
     (Cmd.info "run" ~exits
        ~doc:"Compile and execute, reporting dynamic counts.")
     Term.(
       const run $ config_t $ file_t $ quiet_t $ stats_json_t $ fuel_t
-      $ max_depth_t $ timeout_t $ retries_t)
+      $ max_depth_t $ timeout_t $ retries_t $ native_t $ cc_flags_t)
 
 let dump_cmd =
   let dump config file stage format =
@@ -660,11 +718,22 @@ let reduce_failure ~mode ~fuel ~inject ~budget ~path ~out
 
 let gen_fuzz_cmd =
   let gen_fuzz seed trials mode inject fuel do_reduce budget out_dir jobs
-      job_timeout retries journal resume =
+      job_timeout retries journal resume native =
     handle_errors @@ fun () ->
     with_sigint @@ fun () ->
     let module D = Rp_fuzz.Difforacle in
     (try Sys.mkdir out_dir 0o755 with Sys_error _ -> ());
+    let native_cc =
+      if not native then None
+      else
+        match Rp_backend.Native.find_cc () with
+        | Some cc -> Some cc
+        | None ->
+          Fmt.epr
+            "error: --native needs a working C compiler (probed `cc \
+             --version`)@.";
+          exit 2
+    in
     let inject = Option.map (fun c -> (c, seed)) inject in
     let resil = Rp_support.Resilience.create () in
     (* Resume: replay finished trials from a prior (interrupted)
@@ -727,7 +796,7 @@ let gen_fuzz_cmd =
             ~resilience:resil ~on_result
             (fun ~should_stop trial ->
               let src = Rp_fuzz.Gen.program_of_seed ~seed ~trial in
-              D.check ~mode ~fuel ~should_stop ?inject src)
+              D.check ~mode ~fuel ~should_stop ?inject ?native:native_cc src)
             fresh)
     in
     if Atomic.get interrupted then begin
@@ -832,21 +901,34 @@ let gen_fuzz_cmd =
       & info [ "out-dir" ] ~docv:"DIR"
           ~doc:"Directory for saved reproducers (created if missing).")
   in
+  let native_t =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Add an interpreter-vs-native comparison cell to every trial: \
+             the default-configuration program also runs through the \
+             compiled-C backend, and any difference in output, checksum, \
+             counts, or trap message is reported as a divergence in the \
+             $(i,native) configuration.")
+  in
   Cmd.v
     (Cmd.info "gen-fuzz" ~exits
        ~doc:
          "Generative differential testing: generate random, safe, \
           terminating Mini-C programs biased toward promotion-relevant \
           shapes, compile each under the six grid configurations plus \
-          an O0 reference, and flag any divergence in output, checksum, \
-          traps, fuel, or pipeline health.  Failing programs are saved \
-          with their generator seed for exact replay.  Exits 1 on any \
-          divergence.")
+          an O0 reference (plus, with $(b,--native), an \
+          interpreter-vs-native cell), and flag any divergence in \
+          output, checksum, traps, fuel, or pipeline health.  Failing \
+          programs are saved with their generator seed for exact \
+          replay.  Exits 1 on any divergence.")
     Term.(
       const gen_fuzz $ seed_t
       $ trials_t ~doc:"Number of generated programs to test."
       $ mode_t $ inject_t $ oracle_fuel_t $ reduce_t $ budget_t $ out_dir_t
-      $ jobs_t $ job_timeout_t $ retries_campaign_t $ journal_t $ resume_t)
+      $ jobs_t $ job_timeout_t $ retries_campaign_t $ journal_t $ resume_t
+      $ native_t)
 
 let reduce_cmd =
   let reduce file config_name cls_name mode inject iseed fuel budget out =

@@ -1,0 +1,371 @@
+(** The native runner: cc invocation, binary cache, trailer decoding.
+
+    Failure discipline: everything that is not a faithful program outcome
+    raises {!Error}.  In particular the runner re-verifies what it can —
+    the captured stdout length against the trailer's [outlen], and the
+    FNV-1a checksum recomputed over the captured bytes against the
+    trailer's compiled-in checksum — so a binary that died mid-write, a
+    truncated trailer, or a corrupted cache entry quarantines instead of
+    producing a subtly wrong result. *)
+
+open Rp_exec
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type cc = { path : string; flags : string list; identity : string }
+
+let read_first_line cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try Some (input_line ic) with End_of_file -> None in
+    let status = Unix.close_process_in ic in
+    match (status, line) with
+    | Unix.WEXITED 0, Some l when String.trim l <> "" -> Some (String.trim l)
+    | _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let find_cc ?(path = "cc") ?(flags = [ "-O1" ]) () =
+  match
+    read_first_line (Filename.quote path ^ " --version 2>/dev/null")
+  with
+  | Some identity -> Some { path; flags; identity }
+  | None -> None
+
+let default_cache_dir () =
+  Filename.concat (Filename.get_temp_dir_name ()) "rpcc-native-cas"
+
+(* ------------------------------------------------------------------ *)
+(* Trailer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type trailer = {
+  status : [ `Ok | `Trap | `Limit | `Invalid ];
+  msg : string;
+  ret : Value.t;
+  checksum : int;
+  ops : int;
+  loads : int;
+  stores : int;
+  outlen : int;
+  elapsed_ns : int;
+  funcs : (string * Interp.counts) list;
+}
+
+let magic = "rpcc-native/1"
+
+let parse_trailer (s : string) : trailer =
+  let fail fmt = Printf.ksprintf (fun m -> error "native trailer: %s" m) fmt in
+  let int_of x =
+    match int_of_string_opt x with
+    | Some n -> n
+    | None -> fail "bad integer %S" x
+  in
+  let lines = String.split_on_char '\n' s in
+  let status = ref None
+  and msg = ref ""
+  and ret = ref None
+  and checksum = ref None
+  and ops = ref None
+  and loads = ref None
+  and stores = ref None
+  and outlen = ref None
+  and elapsed = ref 0
+  and funcs = ref []
+  and ended = ref false in
+  let rest_after line prefix =
+    String.sub line (String.length prefix)
+      (String.length line - String.length prefix)
+  in
+  let parse_line line =
+    match String.split_on_char ' ' line with
+    | [ "status"; ("ok" | "trap" | "limit" | "invalid") as st ] ->
+      status :=
+        Some
+          (match st with
+          | "ok" -> `Ok
+          | "trap" -> `Trap
+          | "limit" -> `Limit
+          | _ -> `Invalid)
+    | "msg" :: _ -> msg := rest_after line "msg "
+    | [ "ret"; "undef" ] -> ret := Some Value.Vundef
+    | [ "ret"; "int"; n ] -> ret := Some (Value.Vint (int_of n))
+    | [ "ret"; "flt"; h ] ->
+      let bits =
+        try Int64.of_string ("0x" ^ h)
+        with Failure _ -> fail "bad float bits %S" h
+      in
+      ret := Some (Value.Vflt (Int64.float_of_bits bits))
+    | [ "ret"; "ptr"; b; o ] ->
+      ret := Some (Value.Vptr (int_of b, int_of o))
+    | "ret" :: "fun" :: _ -> ret := Some (Value.Vfun (rest_after line "ret fun "))
+    | [ "checksum"; n ] -> checksum := Some (int_of n)
+    | [ "ops"; n ] -> ops := Some (int_of n)
+    | [ "loads"; n ] -> loads := Some (int_of n)
+    | [ "stores"; n ] -> stores := Some (int_of n)
+    | [ "outlen"; n ] -> outlen := Some (int_of n)
+    | [ "elapsed_ns"; n ] -> elapsed := int_of n
+    | "func" :: o :: l :: st :: name_words ->
+      let name = String.concat " " name_words in
+      funcs :=
+        ( name,
+          { Interp.ops = int_of o; loads = int_of l; stores = int_of st } )
+        :: !funcs
+    | _ -> fail "unrecognized line %S" line
+  in
+  (match lines with
+  | m :: rest when m = magic ->
+    let rec go = function
+      | [] -> ()
+      | "end" :: _ -> ended := true
+      | line :: tl ->
+        parse_line line;
+        go tl
+    in
+    go rest
+  | m :: _ -> fail "bad magic %S" m
+  | [] -> fail "empty");
+  if not !ended then fail "missing end marker (truncated)";
+  let req name = function Some v -> v | None -> fail "missing %s" name in
+  let status = req "status" !status in
+  let ret =
+    match (status, !ret) with
+    | `Ok, Some r -> r
+    | `Ok, None -> fail "missing ret"
+    | _, _ -> Value.Vundef
+  in
+  {
+    status;
+    msg = !msg;
+    ret;
+    checksum = req "checksum" !checksum;
+    ops = req "ops" !ops;
+    loads = req "loads" !loads;
+    stores = req "stores" !stores;
+    outlen = req "outlen" !outlen;
+    elapsed_ns = !elapsed;
+    funcs = List.rev !funcs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* O_CLOEXEC matters: another domain's concurrent fork (a cc invocation,
+   a sibling binary) must not inherit a write fd to a file this domain is
+   about to exec, or the exec fails with ETXTBSY. *)
+let write_file path s =
+  let fd =
+    Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o600
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let b = Bytes.unsafe_of_string s in
+      let n = Bytes.length b in
+      let rec go off =
+        if off < n then go (off + Unix.write fd b off (n - off))
+      in
+      go 0)
+
+let cc_compile ~cc csrc =
+  let cfile = Filename.temp_file "rpcc_native" ".c" in
+  let bin = Filename.temp_file "rpcc_native" ".bin" in
+  let errf = Filename.temp_file "rpcc_cc" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove cfile with Sys_error _ -> ());
+      try Sys.remove errf with Sys_error _ -> ())
+    (fun () ->
+      write_file cfile csrc;
+      let cmd =
+        Printf.sprintf "%s %s -o %s %s -lm 2>%s" (Filename.quote cc.path)
+          (String.concat " " (List.map Filename.quote cc.flags))
+          (Filename.quote bin) (Filename.quote cfile) (Filename.quote errf)
+      in
+      let rc = Sys.command cmd in
+      if rc <> 0 then begin
+        let err = try read_file errf with Sys_error _ -> "" in
+        let err =
+          if String.length err > 800 then String.sub err 0 800 ^ "..."
+          else err
+        in
+        (try Sys.remove bin with Sys_error _ -> ());
+        error "cc failed (exit %d): %s" rc (String.trim err)
+      end;
+      Unix.chmod bin 0o700;
+      bin)
+
+let bin_key ?key ~cc csrc =
+  Rp_support.Cas.key
+    [
+      Cgen.version;
+      (match key with Some k -> k | None -> csrc);
+      cc.identity;
+      String.concat " " cc.flags;
+    ]
+
+let compile ?cache ?key ~cc prog =
+  let csrc = Cgen.emit prog in
+  match cache with
+  | None -> (cc_compile ~cc csrc, false)
+  | Some cas -> (
+    let k = bin_key ?key ~cc csrc in
+    match Rp_support.Cas.get cas ~key:k ~kind:"native-bin" with
+    | Some bytes ->
+      let bin = Filename.temp_file "rpcc_native" ".bin" in
+      write_file bin bytes;
+      Unix.chmod bin 0o700;
+      (bin, true)
+    | None ->
+      let bin = cc_compile ~cc csrc in
+      Rp_support.Cas.put cas ~key:k ~kind:"native-bin" (read_file bin);
+      (bin, false))
+
+(* ------------------------------------------------------------------ *)
+(* Execute                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fnv_byte cs b = (cs lxor b) * 16777619 land 0x3FFFFFFFFFFFFFF
+
+let checksum_of_string s =
+  String.fold_left (fun cs c -> fnv_byte cs (Char.code c)) 0x1505 s
+
+(* Returns the result plus the binary's self-timed [main] duration in ms
+   (from the trailer's [elapsed_ns]) — the native analogue of interpreter
+   run time, excluding fork/exec/loader overhead the harness pays. *)
+let exec_bin_elapsed ?(fuel = 400_000_000) ?(check_tags = true)
+    ?(max_depth = 100_000) ?(seed = 12345) ?deadline bin :
+    Interp.result * float =
+  let trailer_path = Filename.temp_file "rpcc_trailer" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      try Sys.remove trailer_path with Sys_error _ -> ())
+    (fun () ->
+      let budget = match deadline with Some d -> d | None -> 0.0 in
+      (* the binary raises its own stack limit (deep recursion runs on
+         the C stack), so no shell wrapper: exec it directly *)
+      let argv =
+        [|
+          bin;
+          trailer_path;
+          string_of_int fuel;
+          string_of_int max_depth;
+          string_of_int seed;
+          (if check_tags then "1" else "0");
+          Printf.sprintf "%.6f" budget;
+        |]
+      in
+      (* cloexec on both ends: a concurrent fork in another domain must
+         not inherit [w_out], or this pipe never sees EOF until that
+         unrelated child exits ([create_process] dup2s [w_out] to the
+         child's stdout, which clears the flag there) *)
+      let r_out, w_out = Unix.pipe ~cloexec:true () in
+      let pid =
+        (* ETXTBSY (EUNKNOWNERR 26 — OCaml's Unix.error has no
+           constructor for it) is the one transient worth absorbing
+           here: a fork racing this exec (another domain spawning cc)
+           can briefly hold an inherited write fd to [bin]; retry
+           briefly rather than quarantine *)
+        let rec spawn attempts =
+          try Unix.create_process bin argv Unix.stdin w_out Unix.stderr
+          with
+          | Unix.Unix_error (Unix.EUNKNOWNERR 26, _, _) when attempts > 0 ->
+            Unix.sleepf 0.01;
+            spawn (attempts - 1)
+        in
+        spawn 100
+      in
+      Unix.close w_out;
+      let out = Buffer.create 4096 in
+      let ic = Unix.in_channel_of_descr r_out in
+      let chunk = Bytes.create 65536 in
+      let rec drain () =
+        let n = input ic chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes out chunk 0 n;
+          drain ()
+        end
+      in
+      (try drain () with End_of_file -> ());
+      close_in_noerr ic;
+      let _, st = Unix.waitpid [] pid in
+      (match st with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED n -> error "native binary exited with status %d" n
+      | Unix.WSIGNALED n -> error "native binary killed by signal %d" n
+      | Unix.WSTOPPED n -> error "native binary stopped by signal %d" n);
+      let output = Buffer.contents out in
+      let t =
+        parse_trailer
+          (try read_file trailer_path
+           with Sys_error e -> error "native trailer unreadable: %s" e)
+      in
+      if t.outlen <> String.length output then
+        error "native output truncated: trailer says %d bytes, captured %d"
+          t.outlen (String.length output);
+      match t.status with
+      | `Trap -> raise (Interp.Error t.msg)
+      | `Limit -> raise (Interp.Resource_limit t.msg)
+      | `Invalid -> raise (Invalid_argument t.msg)
+      | `Ok ->
+        if checksum_of_string output <> t.checksum then
+          error
+            "native checksum mismatch: trailer %d vs %d recomputed over \
+             captured output"
+            t.checksum
+            (checksum_of_string output);
+        let total =
+          { Interp.ops = t.ops; loads = t.loads; stores = t.stores }
+        in
+        let per_func =
+          t.funcs
+          |> List.filter (fun (_, (c : Interp.counts)) -> c.Interp.ops <> 0)
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        ( { Interp.ret = t.ret; output; checksum = t.checksum; total; per_func },
+          float_of_int t.elapsed_ns /. 1e6 ))
+
+let exec_bin ?fuel ?check_tags ?max_depth ?seed ?deadline bin =
+  fst (exec_bin_elapsed ?fuel ?check_tags ?max_depth ?seed ?deadline bin)
+
+type timed = {
+  result : Interp.result;
+  cc_ms : float;
+  exec_ms : float;
+  cache_hit : bool;
+}
+
+let run_timed ?fuel ?check_tags ?max_depth ?seed ?deadline ?cache ?key ~cc
+    prog =
+  let t0 = Rp_support.Clock.now () in
+  let bin, cache_hit = compile ?cache ?key ~cc prog in
+  let t1 = Rp_support.Clock.now () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove bin with Sys_error _ -> ())
+    (fun () ->
+      let result, elapsed_ms =
+        exec_bin_elapsed ?fuel ?check_tags ?max_depth ?seed ?deadline bin
+      in
+      let t2 = Rp_support.Clock.now () in
+      {
+        result;
+        cc_ms = (t1 -. t0) *. 1000.;
+        (* prefer the binary's own clock; a pre-elapsed_ns binary from an
+           older cache entry reports 0, fall back to harness wall time *)
+        exec_ms =
+          (if elapsed_ms > 0. then elapsed_ms else (t2 -. t1) *. 1000.);
+        cache_hit;
+      })
+
+let run ?fuel ?check_tags ?max_depth ?seed ?deadline ?cache ?key ~cc prog =
+  (run_timed ?fuel ?check_tags ?max_depth ?seed ?deadline ?cache ?key ~cc
+     prog)
+    .result

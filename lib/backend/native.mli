@@ -1,0 +1,136 @@
+(** Run programs at hardware speed: shell the {!Cgen} C out to the system
+    compiler, execute the binary, and parse its trailer back into the
+    {!Rp_exec.Interp} result type.
+
+    Contract: for every program and every runtime parameterization, a
+    native run is observably identical to an interpreted run — same
+    output, checksum, total and per-function counters, and the same
+    {!Rp_exec.Interp.Error} / {!Rp_exec.Interp.Resource_limit} /
+    [Invalid_argument] exceptions with the same messages on erroneous or
+    resource-bounded programs.  Anything that prevents the runner from
+    establishing that answer — no C compiler, a compile failure, a binary
+    killed by a signal, a truncated or garbled trailer, a checksum that
+    does not match the captured output — raises {!Error} instead, so
+    infrastructure failure is always a quarantine and never a wrong
+    answer. *)
+
+exception Error of string
+(** Native-backend infrastructure failure (distinct from program traps
+    and resource limits, which re-raise the interpreter's exceptions). *)
+
+type cc = {
+  path : string;  (** compiler executable *)
+  flags : string list;  (** e.g. [["-O1"]] *)
+  identity : string;
+      (** first line of [cc --version]; part of the binary cache key so a
+          toolchain upgrade invalidates cached binaries *)
+}
+
+val find_cc : ?path:string -> ?flags:string list -> unit -> cc option
+(** Probe for a working C compiler ([cc] on PATH by default, [-O1] by
+    default) and capture its identity line.  [None] when the probe
+    fails — callers skip or error out, visibly, rather than guessing. *)
+
+val default_cache_dir : unit -> string
+(** Per-user binary cache root under the system temp directory. *)
+
+(* ---- trailer protocol (exposed for tests) ------------------------ *)
+
+type trailer = {
+  status : [ `Ok | `Trap | `Limit | `Invalid ];
+  msg : string;  (** trap/limit/invalid message; [""] for [`Ok] *)
+  ret : Rp_exec.Value.t;
+  checksum : int;
+  ops : int;
+  loads : int;
+  stores : int;
+  outlen : int;  (** bytes the binary wrote to stdout *)
+  elapsed_ns : int;
+      (** the binary's self-timed [main] duration (monotonic clock, from
+          entry to trailer write); 0 if the line is absent *)
+  funcs : (string * Rp_exec.Interp.counts) list;  (** didx order, all funcs *)
+}
+
+val parse_trailer : string -> trailer
+(** Parse the fixed-format trailer ({b rpcc-native/1}).  Raises {!Error}
+    on anything malformed: wrong magic, unknown status, missing fields,
+    short or garbled records, a missing [end] marker.  Strictness is the
+    point — a partial trailer must quarantine, not round down to a
+    plausible result. *)
+
+(* ---- compile & execute ------------------------------------------- *)
+
+val compile :
+  ?cache:Rp_support.Cas.t ->
+  ?key:string ->
+  cc:cc ->
+  Rp_ir.Program.t ->
+  string * bool
+(** [compile ?cache ?key ~cc prog] emits C, compiles it, and returns
+    [(binary_path, cache_hit)].  The binary lands in a fresh temp file the
+    caller should remove when done.  With [?cache], compiled binaries are
+    stored content-addressed under
+    [Cas.key [Cgen.version; key-or-C-source; cc identity; cc flags]] —
+    pass {!Rp_driver.Pipeline.cache_key} output as [?key] to key on
+    program fingerprint × config fingerprint, or omit [key] to fall back
+    to hashing the emitted C itself.  Raises {!Error} if cc fails. *)
+
+val exec_bin :
+  ?fuel:int ->
+  ?check_tags:bool ->
+  ?max_depth:int ->
+  ?seed:int ->
+  ?deadline:float ->
+  string ->
+  Rp_exec.Interp.result
+(** Execute a compiled binary with the interpreter's runtime parameter
+    defaults (fuel 400M, tag checks on, depth 100k, seed 12345).  The
+    binary raises its own stack rlimit to the hard maximum at startup
+    (deep IR recursion lives on the C stack; the interpreter's frames
+    lived on the OCaml heap), with
+    stdout captured as the program output and the trailer read from a
+    private temp file.  [?deadline] is a wall-clock budget in seconds,
+    enforced cooperatively by the emitted code's 4096-op poll exactly
+    like the interpreter's [should_stop].  Raises [Interp.Error],
+    [Interp.Resource_limit], or [Invalid_argument] as the interpreter
+    would; {!Error} on infrastructure failure. *)
+
+val run :
+  ?fuel:int ->
+  ?check_tags:bool ->
+  ?max_depth:int ->
+  ?seed:int ->
+  ?deadline:float ->
+  ?cache:Rp_support.Cas.t ->
+  ?key:string ->
+  cc:cc ->
+  Rp_ir.Program.t ->
+  Rp_exec.Interp.result
+(** [compile] + [exec_bin] + cleanup, as a drop-in for
+    {!Rp_exec.Interp.run}. *)
+
+type timed = {
+  result : Rp_exec.Interp.result;
+  cc_ms : float;  (** emit + compile (0.0 on a binary-cache hit) *)
+  exec_ms : float;
+      (** the binary's self-timed [main] duration: the native [run_ms],
+          symmetric with the interpreter's (which excludes compile) —
+          fork/exec/loader overhead is harness cost, not program run
+          time.  Falls back to harness-measured wall time if the trailer
+          carries no [elapsed_ns]. *)
+  cache_hit : bool;
+}
+
+val run_timed :
+  ?fuel:int ->
+  ?check_tags:bool ->
+  ?max_depth:int ->
+  ?seed:int ->
+  ?deadline:float ->
+  ?cache:Rp_support.Cas.t ->
+  ?key:string ->
+  cc:cc ->
+  Rp_ir.Program.t ->
+  timed
+(** Like {!run} but splitting compile time from execution time, for the
+    bench harness's [run_ms] accounting. *)

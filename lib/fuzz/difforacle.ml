@@ -117,7 +117,7 @@ let run_program ~fuel ?should_stop p =
 (* ------------------------------------------------------------------ *)
 
 let check ?(mode = Verify) ?(fuel = default_fuel) ?deadline
-    ?(should_stop = fun () -> false) ?inject (src : string) : outcome =
+    ?(should_stop = fun () -> false) ?inject ?native (src : string) : outcome =
   let past_deadline () =
     should_stop ()
     || match deadline with Some d -> Rp_support.Clock.now () > d | None -> false
@@ -201,10 +201,115 @@ let check ?(mode = Verify) ?(fuel = default_fuel) ?deadline
               | Rfuel _, _ -> assert false)
           end)
         Config.paper_grid;
+      (* Interpreter-vs-native cell: one more compile of the same source
+         under [Config.default] — no fault injection, no mode hardening,
+         because both executors run the *identical* post-regalloc program.
+         The compiled backend must reproduce the interpreter bit for bit
+         (output, checksum, dynamic counts, even the trap message), so any
+         difference here is a code-generator bug rather than an optimizer
+         bug.  Infrastructure failures (cc missing, binary killed) raise
+         {!Rp_backend.Native.Error} and are classed [Crash] — visible, but
+         never mistaken for a behavioural divergence. *)
+      (match native with
+      | Some cc when not (past_deadline ()) -> (
+        let p = Rp_irgen.Irgen.compile_source src in
+        match Pipeline.optimize ~config:Config.default p with
+        | exception e -> add "native" Crash (Printexc.to_string e)
+        | (_ : Pipeline.stage_stats) -> (
+          let run_exec f =
+            match f () with
+            | (r : Interp.result) -> Ok r
+            | exception Interp.Resource_limit m -> Error (`Limit m)
+            | exception Rp_exec.Value.Runtime_error m -> Error (`Trap m)
+            | exception Rp_backend.Native.Error m -> Error (`Infra m)
+          in
+          let ir =
+            run_exec (fun () -> Interp.run ~fuel:cfg_fuel ?should_stop p)
+          in
+          let budget =
+            match deadline with
+            | Some d ->
+              let left = d -. Rp_support.Clock.now () in
+              Some (if left > 0.05 then left else 0.05)
+            | None -> None
+          in
+          let nr =
+            run_exec (fun () ->
+                Rp_backend.Native.run ~fuel:cfg_fuel ?deadline:budget ~cc p)
+          in
+          match (ir, nr) with
+          | _, Error (`Infra m) ->
+            add "native" Crash ("native backend: " ^ excerpt m)
+          | Error (`Infra _), _ -> assert false
+          | Ok a, Ok b ->
+            if a.Interp.output <> b.Interp.output then
+              add "native" Output_mismatch
+                (Printf.sprintf "interpreter %S native %S"
+                   (excerpt a.Interp.output) (excerpt b.Interp.output))
+            else if a.Interp.checksum <> b.Interp.checksum then
+              add "native" Checksum_mismatch
+                (Printf.sprintf "interpreter %d native %d" a.Interp.checksum
+                   b.Interp.checksum)
+            else if Stdlib.compare a.Interp.ret b.Interp.ret <> 0 then
+              add "native" Output_mismatch
+                (Format.asprintf "return value: interpreter %a native %a"
+                   Rp_exec.Value.pp a.Interp.ret Rp_exec.Value.pp b.Interp.ret)
+            else if
+              a.Interp.total <> b.Interp.total
+              || a.Interp.per_func <> b.Interp.per_func
+            then
+              add "native" Count_regression
+                (Printf.sprintf
+                   "interpreter ops/loads/stores %d/%d/%d native %d/%d/%d"
+                   a.Interp.total.Interp.ops a.Interp.total.Interp.loads
+                   a.Interp.total.Interp.stores b.Interp.total.Interp.ops
+                   b.Interp.total.Interp.loads b.Interp.total.Interp.stores)
+          | Error (`Trap m1), Error (`Trap m2) when m1 = m2 -> ()
+          | Error (`Limit m1), Error (`Limit m2) when m1 = m2 -> ()
+          (* a limit reached because the wall-clock budget ran out mid-cell
+             carries no differential signal, matching the grid's policy *)
+          | _, Error (`Limit _) when past_deadline () -> ()
+          | Error (`Limit _), _ when past_deadline () -> ()
+          | Error (`Trap m1), Error (`Trap m2) ->
+            add "native" Trap_mismatch
+              (Printf.sprintf "interpreter trap %S native trap %S" (excerpt m1)
+                 (excerpt m2))
+          | Ok _, Error (`Trap m) ->
+            add "native" Trap_mismatch
+              (Printf.sprintf "interpreter completed but native trapped: %s"
+                 (excerpt m))
+          | Error (`Trap m), Ok _ ->
+            add "native" Trap_mismatch
+              (Printf.sprintf "interpreter trapped (%s) but native completed"
+                 (excerpt m))
+          | Error (`Limit m1), Error (`Limit m2) ->
+            add "native" Fuel_imbalance
+              (Printf.sprintf "interpreter limit %S native limit %S"
+                 (excerpt m1) (excerpt m2))
+          | Ok _, Error (`Limit m) ->
+            add "native" Fuel_imbalance
+              (Printf.sprintf "interpreter completed but native hit a limit: \
+                               %s" (excerpt m))
+          | Error (`Limit m), Ok _ ->
+            add "native" Fuel_imbalance
+              (Printf.sprintf "interpreter hit a limit (%s) but native \
+                               completed" (excerpt m))
+          | Error (`Trap m1), Error (`Limit m2) | Error (`Limit m1), Error (`Trap m2) ->
+            add "native" Fuel_imbalance
+              (Printf.sprintf "interpreter %S native %S" (excerpt m1)
+                 (excerpt m2))))
+      | _ -> ());
       match List.rev !failures with
       | [] ->
         if past_deadline () then Inconclusive "wall-clock budget exhausted"
-        else Agree { configs = List.length Config.paper_grid; ref_ops }
+        else
+          Agree
+            {
+              configs =
+                List.length Config.paper_grid
+                + (if Option.is_some native then 1 else 0);
+              ref_ops;
+            }
       | fs -> Diverged fs)
 
 (* ------------------------------------------------------------------ *)

@@ -59,6 +59,7 @@ val check :
   ?deadline:float ->
   ?should_stop:(unit -> bool) ->
   ?inject:Faultgen.fault_class * int ->
+  ?native:Rp_backend.Native.cc ->
   string ->
   outcome
 (** Run the oracle on Mini-C source text.
@@ -73,7 +74,14 @@ val check :
     supervised pool's per-job deadline hook.
     @param inject plant [Faultgen.mutate fc] (seeded by the int, mixed
     with the configuration index) inside the first guarded pass of every
-    grid compile; the reference is never mutated *)
+    grid compile; the reference is never mutated
+    @param native also run one interpreter-vs-native comparison cell
+    (config name ["native"]) with the given C compiler: the same
+    [Config.default]-compiled program executes under both {!Interp.run}
+    and {!Rp_backend.Native.run}, and any difference in output, checksum,
+    return value, dynamic counts (total or per-function) or trap message
+    is a code-generator bug.  Never fault-injected.  Backend
+    infrastructure failures are classed [Crash]. *)
 
 val outcome_json : outcome -> Rp_support.Json.t
 (** Serialize an outcome for a campaign journal record. *)

@@ -31,6 +31,10 @@ let golden =
     ("water", "with", (1409454, 341578, 170764));
     ("allroots", "without", (618, 84, 4));
     ("allroots", "with", (618, 84, 4));
+    (* the native-backend workload: the scalars q/acc promote out of the
+       four kernels, the array traffic itself must stay *)
+    ("triad", "without", (15242289, 3670278, 1841282));
+    ("triad", "with", (13146161, 2360198, 1055234));
     (* the pointer tier, under points-to analysis with and without §3.3
        stacked on scalar promotion: the walks' load/store traffic drops
        when pointer promotion fires, and ptrchase must not move at all *)

@@ -1,0 +1,212 @@
+(** The compiled-C backend: identifier mangling, the strict trailer
+    parser, interpreter-equivalence over generated programs across the
+    paper grid, and the bench harness's --native CLI contract.
+
+    Everything that needs a system C compiler is gated on
+    {!Rp_backend.Native.find_cc} and skips visibly when there is none;
+    the mangling, trailer, and CLI-conflict tests always run. *)
+
+open Rp_driver
+module Native = Rp_backend.Native
+module Cgen = Rp_backend.Cgen
+module I = Rp_exec.Interp
+
+let cc = Native.find_cc ()
+
+(* ------------------------------------------------------------------ *)
+(* C identifier mangling                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mangle_tests =
+  [
+    Util.tc "mangle: plain names pass through under the slot prefix"
+      (fun () ->
+        Util.check Alcotest.string "main" "fn_0_main" (Cgen.mangle 0 "main");
+        Util.check Alcotest.string "snake" "fn_12_do_work"
+          (Cgen.mangle 12 "do_work"));
+    Util.tc "mangle: hostile characters are replaced, uniqueness held by \
+             the index"
+      (fun () ->
+        Util.check Alcotest.string "punctuation" "fn_3_a_b_c"
+          (Cgen.mangle 3 "a-b.c");
+        Util.check Alcotest.string "spaces" "fn_4_x_y" (Cgen.mangle 4 "x y");
+        (* two names that sanitize identically stay distinct C symbols *)
+        Util.check Alcotest.bool "collision-proof" false
+          (Cgen.mangle 5 "a-b" = Cgen.mangle 6 "a.b"));
+    Util.tc "mangle: C keywords and the empty name are harmless" (fun () ->
+        Util.check Alcotest.string "keyword" "fn_1_while"
+          (Cgen.mangle 1 "while");
+        Util.check Alcotest.string "empty" "fn_2_" (Cgen.mangle 2 ""));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trailer parser: strictness is the point                             *)
+(* ------------------------------------------------------------------ *)
+
+let ok_trailer =
+  "rpcc-native/1\n\
+   status ok\n\
+   ret int 42\n\
+   checksum 12345\n\
+   ops 100\n\
+   loads 7\n\
+   stores 3\n\
+   outlen 6\n\
+   func 60 4 2 main\n\
+   func 40 3 1 helper\n\
+   end\n"
+
+let expect_error name s =
+  Util.tc ("trailer: " ^ name ^ " quarantines") (fun () ->
+      match Native.parse_trailer s with
+      | (_ : Native.trailer) ->
+        Alcotest.fail "malformed trailer parsed without error"
+      | exception Native.Error _ -> ())
+
+let trailer_tests =
+  [
+    Util.tc "trailer: a complete document round-trips" (fun () ->
+        let t = Native.parse_trailer ok_trailer in
+        Util.check Alcotest.bool "status ok" true (t.Native.status = `Ok);
+        Util.check Alcotest.bool "ret" true
+          (t.Native.ret = Rp_exec.Value.Vint 42);
+        Util.check Alcotest.int "checksum" 12345 t.Native.checksum;
+        Util.check Alcotest.int "ops" 100 t.Native.ops;
+        Util.check Alcotest.int "loads" 7 t.Native.loads;
+        Util.check Alcotest.int "stores" 3 t.Native.stores;
+        Util.check Alcotest.int "outlen" 6 t.Native.outlen;
+        Util.check Alcotest.int "funcs" 2 (List.length t.Native.funcs);
+        let h = List.assoc "helper" t.Native.funcs in
+        Util.check Alcotest.int "helper ops" 40 h.I.ops);
+    Util.tc "trailer: trap status carries the message, no ret required"
+      (fun () ->
+        let t =
+          Native.parse_trailer
+            "rpcc-native/1\nstatus trap\nmsg division by zero\nchecksum 1\n\
+             ops 5\nloads 0\nstores 0\noutlen 0\nend\n"
+        in
+        Util.check Alcotest.bool "status" true (t.Native.status = `Trap);
+        Util.check Alcotest.string "msg" "division by zero" t.Native.msg);
+    expect_error "bad magic" "rpcc-native/999\nstatus ok\nend\n";
+    expect_error "empty input" "";
+    expect_error "truncated (no end marker)"
+      "rpcc-native/1\nstatus ok\nret int 1\nchecksum 1\nops 1\nloads 0\n\
+       stores 0\noutlen 0\n";
+    expect_error "garbage line"
+      "rpcc-native/1\nstatus ok\nwibble 3\nend\n";
+    expect_error "missing counters"
+      "rpcc-native/1\nstatus ok\nret int 1\nend\n";
+    expect_error "non-numeric field"
+      "rpcc-native/1\nstatus ok\nret int 1\nchecksum x\nops 1\nloads 0\n\
+       stores 0\noutlen 0\nend\n";
+    expect_error "unknown status" "rpcc-native/1\nstatus maybe\nend\n";
+    expect_error "ok without ret"
+      "rpcc-native/1\nstatus ok\nchecksum 1\nops 1\nloads 0\nstores 0\n\
+       outlen 0\nend\n";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter equivalence on generated programs, across the grid      *)
+(* ------------------------------------------------------------------ *)
+
+(* The backend's whole contract in one property: for a generated (safe,
+   terminating) program, every observable of the native run — output,
+   checksum, total and per-function counts — equals the interpreter's,
+   under every paper-grid configuration.  Trials are drawn from the same
+   generator gen-fuzz uses. *)
+let equivalence_prop cc =
+  QCheck.Test.make ~count:3 ~name:"native run == interpreted run (paper grid)"
+    QCheck.(make Gen.(int_bound 10_000))
+    (fun trial ->
+      let src = Rp_fuzz.Gen.program_of_seed ~seed:7 ~trial in
+      List.for_all
+        (fun (cname, config) ->
+          let prog, _ = Pipeline.compile ~config src in
+          let ri = I.run prog in
+          let rn = Native.run ~cc prog in
+          let agree =
+            ri.I.output = rn.I.output
+            && ri.I.checksum = rn.I.checksum
+            && ri.I.total = rn.I.total
+            && ri.I.per_func = rn.I.per_func
+          in
+          if not agree then
+            QCheck.Test.fail_reportf
+              "trial %d under %s: interpreter ops/loads/stores %d/%d/%d \
+               checksum %d; native %d/%d/%d checksum %d"
+              trial cname ri.I.total.I.ops ri.I.total.I.loads
+              ri.I.total.I.stores ri.I.checksum rn.I.total.I.ops
+              rn.I.total.I.loads rn.I.total.I.stores rn.I.checksum;
+          agree)
+        Config.paper_grid)
+
+(* A trapping program must trap natively with the byte-identical
+   message, and a fuel-bounded run must report the same limit. *)
+let error_path_tests cc =
+  [
+    Util.tc_slow "native trap message is byte-identical" (fun () ->
+        let src = "int main() { int x; x = 0; return 1 / x; }" in
+        let prog, _ = Pipeline.compile ~config:Config.default src in
+        let interp_msg =
+          match I.run prog with
+          | _ -> Alcotest.fail "interpreter did not trap"
+          | exception Rp_exec.Value.Runtime_error m -> m
+        in
+        match Native.run ~cc prog with
+        | _ -> Alcotest.fail "native did not trap"
+        | exception Rp_exec.Value.Runtime_error m ->
+          Util.check Alcotest.string "trap message" interp_msg m);
+    Util.tc_slow "native fuel exhaustion matches the interpreter" (fun () ->
+        let src = "int main() { while (1) {} return 0; }" in
+        let prog, _ = Pipeline.compile ~config:Config.default src in
+        let interp_msg =
+          match I.run ~fuel:10_000 prog with
+          | _ -> Alcotest.fail "interpreter did not hit fuel"
+          | exception I.Resource_limit m -> m
+        in
+        match Native.run ~fuel:10_000 ~cc prog with
+        | _ -> Alcotest.fail "native did not hit fuel"
+        | exception I.Resource_limit m ->
+          Util.check Alcotest.string "limit message" interp_msg m);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* bench --native CLI contract                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* needs no C compiler: the conflicts are rejected before cc probing *)
+let bench_cli_tests =
+  let bench_exit args =
+    Sys.command
+      (Printf.sprintf "../bench/main.exe %s >/dev/null 2>&1" args)
+  in
+  [
+    Util.tc "bench: --native without --json is a usage error" (fun () ->
+        Util.check Alcotest.int "exit code" 2 (bench_exit "--native"));
+    Util.tc "bench: --native cannot ride the daemon" (fun () ->
+        Util.check Alcotest.int "exit code" 2
+          (bench_exit "--json --native --via-daemon /tmp/nope.sock"));
+    Util.tc "bench: --native cannot ride the fleet" (fun () ->
+        Util.check Alcotest.int "exit code" 2
+          (bench_exit "--json --native --via-fleet 2"));
+  ]
+
+let () =
+  let native_tests =
+    match cc with
+    | None ->
+      [
+        Util.tc "SKIPPED: no system C compiler (probed `cc --version`)"
+          (fun () -> ());
+      ]
+    | Some cc ->
+      QCheck_alcotest.to_alcotest ~long:true (equivalence_prop cc)
+      :: error_path_tests cc
+  in
+  Alcotest.run "native"
+    [
+      ("mangle", mangle_tests);
+      ("trailer", trailer_tests);
+      ("equivalence", native_tests);
+      ("bench-cli", bench_cli_tests);
+    ]
