@@ -22,7 +22,20 @@
                                                  the compiled-C backend:
                                                  BENCH_counts.json stays
                                                  byte-identical, run_ms is
-                                                 the native binary's (10x+)
+                                                 the native binary's (10x+).
+                                                 Composes with --via-daemon /
+                                                 --via-fleet: jobs carry
+                                                 [mode: native] and each shard
+                                                 answers through its own
+                                                 degradation ladder (native →
+                                                 recompile-once → interp)
+      dune exec bench/main.exe -- --json --native --plant-cc-failure
+                                              -- fault drill: a planted broken
+                                                 compiler fails every native
+                                                 attempt; the campaign must
+                                                 complete on the interpreter
+                                                 rung with exec.degraded_native
+                                                 counting the fallen cells
     v}
 
     Adding [--verify-passes] to any mode reruns the whole experiment under
@@ -143,41 +156,67 @@ let interrupted = Atomic.make false
    instead of the interpreter.  Counts must come out byte-identical (the
    emitted code carries the interpreter's counters); run_ms becomes the
    native binary's wall time.  Compiled binaries are cached in the
-   content-addressed store keyed by program × config × cc identity. *)
+   content-addressed store keyed by program × config × cc identity.
+
+   Every cell goes down the backend's degradation ladder: an
+   infrastructure failure (cc crash, sandbox trip, garbled trailer,
+   corrupt cached binary) recompiles once and then falls back to the
+   interpreter, recording the degradation instead of quarantining — the
+   counts document is byte-identical regardless of which rungs fired. *)
 let native_cc : Rp_backend.Native.cc option ref = ref None
+
+(* --native --via-daemon/--via-fleet: cells carry [mode: native] to the
+   shards, which answer through their own ladders *)
+let remote_native = ref false
+
+(* cells that fell past native all the way to the interpreter; worker
+   domains tick it concurrently *)
+let degraded_native = Atomic.make 0
 
 (* forced at CLI-parse time, before the worker pool spawns: Lazy.force
    from two domains at once is a race (CamlinternalLazy.Undefined) *)
 let native_cas =
   lazy (Rp_support.Cas.open_ (Rp_backend.Native.default_cache_dir ()))
 
-(** The native analogue of {!run_raw}: one pipeline compile, one cached
-    cc compile, one binary execution.  Infrastructure failures
-    ({!Rp_backend.Native.Error}) quarantine the cell — never a wrong
-    count.  Returns the native split (cc_ms, exec_ms, cache_hit) for the
-    timings document. *)
-let run_native pname (cfg : Config.t) source cc =
+(** The native analogue of {!run_raw}: one pipeline compile, then the
+    degradation ladder (native → recompile-once → interpreter).  Program
+    outcomes (traps, resource limits) still quarantine the cell exactly
+    as the interpreter path would — they are faithful answers, identical
+    on every rung.  Returns the native split (cc_ms, exec_ms, cache_hit,
+    mode) for the timings document. *)
+let run_native ?should_stop pname (cfg : Config.t) source cc =
   let config = apply_verify cfg in
   let prog, st = Pipeline.compile ~config source in
   assert_healthy pname st;
   let key = Pipeline.cache_key ~config source in
   let cache = Lazy.force native_cas in
   match
-    Rp_backend.Native.run_timed ?deadline:!job_timeout ~cache ~key ~cc prog
+    Rp_backend.Native.run_laddered ?deadline:!job_timeout ~cache ~key
+      ~interp:(fun () ->
+        let t0 = Rp_support.Clock.now () in
+        let r = I.run ?should_stop ?deadline:!job_timeout prog in
+        (r, (Rp_support.Clock.now () -. t0) *. 1000.))
+      ~cc:(Some cc) prog
   with
   | exception I.Resource_limit m ->
     raise (Quarantined (Printf.sprintf "%s: resource limit: %s" pname m))
   | exception Rp_exec.Value.Runtime_error m ->
     raise (Quarantined (Printf.sprintf "%s: runtime error: %s" pname m))
-  | exception Rp_backend.Native.Error m ->
-    raise (Quarantined (Printf.sprintf "%s: native backend: %s" pname m))
-  | t ->
+  | lad ->
+    let mode =
+      match lad.Rp_backend.Native.l_mode with
+      | `Native -> "native"
+      | `Interp ->
+        Atomic.incr degraded_native;
+        "interp"
+    in
     ( st,
-      t.Rp_backend.Native.result,
+      lad.Rp_backend.Native.l_result,
       Some
-        ( t.Rp_backend.Native.cc_ms,
-          t.Rp_backend.Native.exec_ms,
-          t.Rp_backend.Native.cache_hit ) )
+        ( lad.Rp_backend.Native.l_cc_ms,
+          lad.Rp_backend.Native.l_exec_ms,
+          lad.Rp_backend.Native.l_cache_hit,
+          mode ) )
 
 (** Fill the memo cache for [cells] using [!jobs] worker domains.  Workers
     only compute ({!run_config} never prints); results land in the cache
@@ -629,7 +668,10 @@ let host_json () =
     match !native_cc with
     | Some cc -> cc.Rp_backend.Native.identity
     | None -> (
-      match Rp_backend.Native.find_cc () with
+      (* memoized per process and persisted through the CAS identity
+         cache: an all-warm campaign writes its host record without
+         spawning `cc --version` at all *)
+      match Rp_backend.Native.find_cc ~cache:(Lazy.force native_cas) () with
       | Some cc -> cc.Rp_backend.Native.identity
       | None -> "unavailable")
   in
@@ -740,7 +782,8 @@ let json_export () =
               run_raw ~should_stop pname cfg p.Rp_suite.Programs.source
             in
             (st, r, None)
-          | Some cc -> run_native pname cfg p.Rp_suite.Programs.source cc)
+          | Some cc ->
+            run_native ~should_stop pname cfg p.Rp_suite.Programs.source cc)
     with
     | Ok (st, r, nat) ->
       let wall = Rp_support.Clock.elapsed t0 in
@@ -848,7 +891,7 @@ let json_export () =
   let counts_doc =
     Json.Obj
       [
-        ("schema", Json.Str "rpcc-bench-counts/5");
+        ("schema", Json.Str "rpcc-bench-counts/6");
         ( "programs",
           Json.Obj
             (List.map
@@ -865,12 +908,20 @@ let json_export () =
           R.to_json
             ~breakers:(Rp_support.Retry.Breaker.snapshots_json breaker)
             resil );
+        (* v6: cells that a --native campaign served from the ladder's
+           interpreter rung.  Top-level, not per-cell, so the cells stay
+           byte-identical across modes; 0 on every healthy run of either
+           mode, nonzero only when native execution was requested and
+           genuinely unavailable (e.g. a planted cc failure) *)
+        ( "exec",
+          Json.Obj
+            [ ("degraded_native", Json.Int (Atomic.get degraded_native)) ] );
       ]
   in
   let timings_doc =
     Json.Obj
       [
-        ("schema", Json.Str "rpcc-bench-timings/3");
+        ("schema", Json.Str "rpcc-bench-timings/4");
         ("jobs", Json.Int !jobs);
         ( "mode",
           Json.Str (match !native_cc with Some _ -> "native" | None -> "interp")
@@ -898,16 +949,22 @@ let json_export () =
                                    ( "run_ms",
                                      Json.Float
                                        (match nat with
-                                       | Some (_, exec_ms, _) -> exec_ms
+                                       | Some (_, exec_ms, _, _) -> exec_ms
                                        | None ->
                                          1000. *. max 0. (wall -. compile_s))
                                    );
                                  ]
+                                (* v4: exec_mode names the ladder rung
+                                   that answered a --native cell; the
+                                   mode-dependent telemetry lives here,
+                                   not in the counts document, which must
+                                   stay byte-identical across modes *)
                                 @ (match nat with
-                                  | Some (cc_ms, _, hit) ->
+                                  | Some (cc_ms, _, hit, mode) ->
                                     [
                                       ("cc_ms", Json.Float cc_ms);
                                       ("cc_cache_hit", Json.Bool hit);
+                                      ("exec_mode", Json.Str mode);
                                     ]
                                   | None -> [])
                                 @ [
@@ -973,14 +1030,18 @@ let remote_flat () =
 
 let remote_req i ((p : Rp_suite.Programs.program), cname, _) =
   Json.Obj
-    [
-      ("schema", Json.Str Rp_serve.Protocol.schema);
-      ("id", Json.Int i);
-      ("client", Json.Str "bench");
-      ("op", Json.Str "run");
-      ("src", Json.Str p.Rp_suite.Programs.source);
-      ("config", Json.Str cname);
-    ]
+    ([
+       ("schema", Json.Str Rp_serve.Protocol.schema);
+       ("id", Json.Int i);
+       ("client", Json.Str "bench");
+       ("op", Json.Str "run");
+       ("src", Json.Str p.Rp_suite.Programs.source);
+       ("config", Json.Str cname);
+     ]
+    (* --native: the shard answers through its own degradation ladder
+       and reports the rung in the response's [exec] object; the counts
+       we extract are mode-independent by contract *)
+    @ (if !remote_native then [ ("mode", Json.Str "native") ] else []))
 
 let rec chunks n = function
   | [] -> []
@@ -1053,10 +1114,25 @@ let write_remote_counts_doc flat responses =
               (cname, cells.((i * nconfigs) + j))) ))
       Rp_suite.Programs.all
   in
+  (* cells whose shard answered from the ladder's interpreter rung
+     (exec.degraded in the response); 0 for interp campaigns (no exec
+     object) and for native campaigns where every shard answered
+     natively, so healthy documents cmp clean across modes *)
+  let degraded_native =
+    List.fold_left
+      (fun n resp ->
+        match Json.member "exec" resp with
+        | Some e -> (
+          match Json.member "degraded" e with
+          | Some (Json.Bool true) -> n + 1
+          | _ -> n)
+        | None -> n)
+      0 responses
+  in
   let counts_doc =
     Json.Obj
       [
-        ("schema", Json.Str "rpcc-bench-counts/5");
+        ("schema", Json.Str "rpcc-bench-counts/6");
         ( "programs",
           Json.Obj
             (List.map
@@ -1068,6 +1144,8 @@ let write_remote_counts_doc flat responses =
                         per_config) ))
                rows) );
         ("resilience", R.to_json (R.create ()));
+        ( "exec",
+          Json.Obj [ ("degraded_native", Json.Int degraded_native) ] );
       ]
   in
   Json.to_file "BENCH_counts.json" counts_doc;
@@ -1103,6 +1181,54 @@ let json_export_via_daemon socket =
     (List.length Config.paper_grid)
     socket;
   Fmt.pr "grid wall: %.1f ms@." (1000. *. Rp_support.Clock.elapsed grid_t0)
+
+(** Chaos-drill step two: flip one payload byte of a cached native
+    binary in the fleet's shared store, leaving the stale CRC in place.
+    The next shard to read the entry quarantines it ([Cas.get] verifies
+    the checksum) and the degradation ladder recompiles — the counts
+    document must not notice.  No-op when no native binary is cached
+    yet (interp drills, cold stores). *)
+let corrupt_native_bin cas_root =
+  let objects = Filename.concat cas_root "objects" in
+  let shards = try Sys.readdir objects with Sys_error _ -> [||] in
+  let victim =
+    Array.fold_left
+      (fun acc shard ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let dir = Filename.concat objects shard in
+          let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+          Array.fold_left
+            (fun acc f ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if Filename.check_suffix f ".native-bin" then
+                  Some (Filename.concat dir f)
+                else None)
+            None entries)
+      None shards
+  in
+  match victim with
+  | None -> ()
+  | Some path -> (
+    try
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let len = Unix.lseek fd 0 Unix.SEEK_END in
+          if len > 0 then begin
+            ignore (Unix.lseek fd (len - 1) Unix.SEEK_SET : int);
+            let b = Bytes.create 1 in
+            if Unix.read fd b 0 1 = 1 then begin
+              Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+              ignore (Unix.lseek fd (len - 1) Unix.SEEK_SET : int);
+              ignore (Unix.write fd b 0 1 : int)
+            end
+          end)
+    with Unix.Unix_error _ -> ())
 
 (** A supervised shard fleet: spawn it, route the grid through the
     rendezvous router, and write [BENCH_fleet.json] (supervisor + router
@@ -1142,7 +1268,15 @@ let json_export_via_fleet shards ~plant ~state_dir =
                (fun bi batch ->
                  let plant_hook =
                    if plant && bi = 1 then
-                     Some (fun s -> Fleet.kill_shard fleet s)
+                     Some
+                       (fun s ->
+                         (* two faults at once: a cached artifact goes
+                            bad AND the batch's first-choice shard dies.
+                            The survivors must quarantine + recompile
+                            and the router must fail over, with zero
+                            effect on the counts document *)
+                         corrupt_native_bin (Fleet.cas_dir fleet);
+                         Fleet.kill_shard fleet s)
                    else None
                  in
                  Router.route ?plant:plant_hook router batch)
@@ -1307,17 +1441,14 @@ let () =
   let via_daemon = opt_value "--via-daemon" rest in
   let via_fleet = Option.map int_of_string (opt_value "--via-fleet" rest) in
   let want_native = List.mem "--native" args in
+  let plant_cc_failure = List.mem "--plant-cc-failure" args in
+  if plant_cc_failure && not want_native then begin
+    Fmt.epr "--plant-cc-failure requires --native@.";
+    exit 2
+  end;
   if want_native then begin
     if not want_json then begin
       Fmt.epr "--native requires --json@.";
-      exit 2
-    end;
-    if via_daemon <> None || via_fleet <> None then begin
-      (* the daemon protocol has no native jobs yet; refusing beats
-         silently interpreting remotely while claiming native timings *)
-      Fmt.epr
-        "--native runs cells in-process and cannot be combined with \
-         --via-daemon/--via-fleet@.";
       exit 2
     end;
     let flags =
@@ -1326,12 +1457,42 @@ let () =
         List.filter (fun f -> f <> "") (String.split_on_char ' ' s)
       | None -> [ "-O1" ]
     in
-    (match Rp_backend.Native.find_cc ~flags () with
-    | Some cc -> native_cc := Some cc
-    | None ->
-      Fmt.epr "--native: no working C compiler found (probed `cc --version`)@.";
-      exit 2);
-    ignore (Lazy.force native_cas : Rp_support.Cas.t)
+    if via_daemon <> None || via_fleet <> None then
+      (* rpcc-serve/2 carries the mode per job: each shard compiles and
+         executes through its own degradation ladder, so nothing is
+         probed (or planted) in this process *)
+      if plant_cc_failure then begin
+        Fmt.epr
+          "--plant-cc-failure plants a local compiler and cannot be \
+           combined with --via-daemon/--via-fleet@.";
+        exit 2
+      end
+      else remote_native := true
+    else begin
+      (if plant_cc_failure then
+         (* a compiler that cannot exist: every cell's native attempt
+            (and its recompile retry) fails, forcing the interpreter
+            rung; the fake identity keeps its binary keys clear of any
+            real compiler's warm cache, so the failure cannot be masked
+            by a cached binary *)
+         native_cc :=
+           Some
+             {
+               Rp_backend.Native.path = "/nonexistent/rpcc-planted-cc";
+               flags;
+               identity = "planted-broken-cc";
+             }
+       else
+         match
+           Rp_backend.Native.find_cc ~cache:(Lazy.force native_cas) ~flags ()
+         with
+         | Some cc -> native_cc := Some cc
+         | None ->
+           Fmt.epr
+             "--native: no working C compiler found (probed `cc --version`)@.";
+           exit 2);
+      ignore (Lazy.force native_cas : Rp_support.Cas.t)
+    end
   end;
   let plant_crash = List.mem "--plant-crash" args in
   let fleet_state =

@@ -258,8 +258,13 @@ let run_cmd =
         let flags =
           List.filter (fun f -> f <> "") (String.split_on_char ' ' cc_flags)
         in
-        match Rp_backend.Native.find_cc ~flags () with
-        | Some cc -> Some cc
+        (* probe through the binary cache's identity rung: a warm rerun
+           spawns no `cc --version` subprocess at all *)
+        let cache =
+          Rp_support.Cas.open_ (Rp_backend.Native.default_cache_dir ())
+        in
+        match Rp_backend.Native.find_cc ~cache ~flags () with
+        | Some cc -> Some (cc, cache)
         | None ->
           Fmt.epr
             "error: --native needs a working C compiler (probed `cc \
@@ -272,12 +277,9 @@ let run_cmd =
         | None ->
           Pipeline.compile_and_run ~config ?fuel ?max_depth ?deadline:timeout
             src
-        | Some cc ->
+        | Some (cc, cache) ->
           let prog, st = Pipeline.compile ~config src in
           let key = Pipeline.cache_key ~config src in
-          let cache =
-            Rp_support.Cas.open_ (Rp_backend.Native.default_cache_dir ())
-          in
           let r =
             Rp_backend.Native.run ?fuel ?max_depth ?deadline:timeout ~cache
               ~key ~cc prog
@@ -1209,13 +1211,16 @@ let fleet_cmd =
       $ probe_interval_t $ probe_timeout_t $ wedged_t $ plant_crash_t)
 
 let client_cmd =
-  let client socket timeout op file config_name client_name seed trials =
+  let client socket timeout op file config_name client_name seed trials
+      native =
     handle_errors @@ fun () ->
     let need_file () =
       match file with
       | Some f -> read_file f
       | None -> Fmt.failwith "op '%s' needs a FILE.c argument" op
     in
+    if native && op <> "run" then
+      Fmt.failwith "--native only applies to op 'run'";
     let base =
       [
         ("schema", Json.Str Rp_serve.Protocol.schema);
@@ -1232,7 +1237,8 @@ let client_cmd =
           @ [
               ("src", Json.Str (need_file ()));
               ("config", Json.Str config_name);
-            ])
+            ]
+          @ (if native then [ ("mode", Json.Str "native") ] else []))
       | "fuzz" ->
         Json.Obj
           (base @ [ ("seed", Json.Int seed); ("trials", Json.Int trials) ])
@@ -1314,6 +1320,17 @@ let client_cmd =
       value & opt int 1
       & info [ "trials" ] ~docv:"N" ~doc:"Fuzz trials (op fuzz).")
   in
+  let native_client_t =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Request native (compiled-C) execution for op run.  The \
+             daemon answers through its degradation ladder — native, \
+             recompile-once, interpreter — and reports the rung used in \
+             the response's exec object; the result itself is \
+             mode-independent.")
+  in
   Cmd.v
     (Cmd.info "client" ~exits
        ~doc:
@@ -1322,7 +1339,8 @@ let client_cmd =
           2 usage/internal error, 3 resource/overloaded/rejected/timeout.")
     Term.(
       const client $ socket_t $ client_timeout_t $ op_t $ file_opt_t
-      $ config_name_t $ client_name_t $ seed_t $ trials_client_t)
+      $ config_name_t $ client_name_t $ seed_t $ trials_client_t
+      $ native_client_t)
 
 let main =
   Cmd.group

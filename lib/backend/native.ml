@@ -26,10 +26,75 @@ let read_first_line cmd =
     | _ -> None
   with Unix.Unix_error _ | Sys_error _ -> None
 
-let find_cc ?(path = "cc") ?(flags = [ "-O1" ]) () =
-  match
-    read_first_line (Filename.quote path ^ " --version 2>/dev/null")
-  with
+(* One probe per compiler path per process: the identity line cannot
+   change under us without the executable changing, and the probe is a
+   fork+exec a warm bench campaign would otherwise pay on every
+   invocation.  Negative results memoize too — a missing cc stays
+   missing for the life of the process. *)
+let cc_memo : (string, string option) Hashtbl.t = Hashtbl.create 4
+let cc_memo_lock = Mutex.create ()
+
+let resolve_in_path p =
+  if String.contains p '/' then if Sys.file_exists p then Some p else None
+  else
+    match Sys.getenv_opt "PATH" with
+    | None -> None
+    | Some path ->
+      List.find_map
+        (fun dir ->
+          if dir = "" then None
+          else
+            let cand = Filename.concat dir p in
+            if Sys.file_exists cand then Some cand else None)
+        (String.split_on_char ':' path)
+
+let probe_identity path =
+  read_first_line (Filename.quote path ^ " --version 2>/dev/null")
+
+(* The CAS rung makes the probe survive the process: the identity is
+   cached keyed on the resolved executable's (path, size, mtime), so an
+   all-warm-cache campaign in a fresh process spawns no compiler at all
+   — the identity is needed to form binary cache keys {e before} any
+   binary lookup can hit. *)
+let identity_of ?cache path =
+  Mutex.lock cc_memo_lock;
+  let memo = Hashtbl.find_opt cc_memo path in
+  Mutex.unlock cc_memo_lock;
+  match memo with
+  | Some id -> id
+  | None ->
+    let id =
+      match (cache, resolve_in_path path) with
+      | Some cas, Some resolved -> (
+        match Unix.stat resolved with
+        | exception Unix.Unix_error _ -> probe_identity path
+        | st -> (
+          let k =
+            Rp_support.Cas.key
+              [
+                "cc-identity";
+                resolved;
+                string_of_int st.Unix.st_size;
+                Printf.sprintf "%.6f" st.Unix.st_mtime;
+              ]
+          in
+          match Rp_support.Cas.get cas ~key:k ~kind:"cc-id" with
+          | Some id -> Some id
+          | None -> (
+            match probe_identity path with
+            | Some id ->
+              Rp_support.Cas.put cas ~key:k ~kind:"cc-id" id;
+              Some id
+            | None -> None)))
+      | _ -> probe_identity path
+    in
+    Mutex.lock cc_memo_lock;
+    Hashtbl.replace cc_memo path id;
+    Mutex.unlock cc_memo_lock;
+    id
+
+let find_cc ?cache ?(path = "cc") ?(flags = [ "-O1" ]) () =
+  match identity_of ?cache path with
   | Some identity -> Some { path; flags; identity }
   | None -> None
 
@@ -175,7 +240,40 @@ let write_file path s =
       in
       go 0)
 
-let cc_compile ~cc csrc =
+(* The compiler subprocess is sandboxed: a wedged or runaway cc must
+   degrade this one cell, never take the harness down with it.  OCaml's
+   Unix has no setrlimit, so the rlimits ride a [/bin/sh -c "ulimit ...;
+   exec cc ..."] wrapper — [exec] keeps the limited pid the compiler
+   itself — and the wall-clock deadline is enforced by the harness with
+   a WNOHANG poll + SIGKILL. *)
+type sandbox = {
+  cpu_s : int;
+  mem_mb : int;
+  fsize_mb : int;
+  wall_s : float;
+  spawn_retry : Rp_support.Retry.policy;
+}
+
+let default_sandbox =
+  {
+    cpu_s = 60;
+    mem_mb = 4096;
+    fsize_mb = 512;
+    wall_s = 120.;
+    spawn_retry =
+      {
+        Rp_support.Retry.max_attempts = 5;
+        base_delay = 0.01;
+        max_delay = 0.2;
+        jitter = 0.25;
+      };
+  }
+
+let truncate_err err =
+  let err = String.trim err in
+  if String.length err > 800 then String.sub err 0 800 ^ "..." else err
+
+let cc_compile ?(sandbox = default_sandbox) ~cc csrc =
   let cfile = Filename.temp_file "rpcc_native" ".c" in
   let bin = Filename.temp_file "rpcc_native" ".bin" in
   let errf = Filename.temp_file "rpcc_cc" ".err" in
@@ -186,20 +284,60 @@ let cc_compile ~cc csrc =
     (fun () ->
       write_file cfile csrc;
       let cmd =
-        Printf.sprintf "%s %s -o %s %s -lm 2>%s" (Filename.quote cc.path)
+        Printf.sprintf
+          "ulimit -t %d 2>/dev/null; ulimit -v %d 2>/dev/null; ulimit -f %d \
+           2>/dev/null; exec %s %s -o %s %s -lm 2>%s"
+          sandbox.cpu_s (sandbox.mem_mb * 1024)
+          (sandbox.fsize_mb * 2048)
+          (Filename.quote cc.path)
           (String.concat " " (List.map Filename.quote cc.flags))
           (Filename.quote bin) (Filename.quote cfile) (Filename.quote errf)
       in
-      let rc = Sys.command cmd in
-      if rc <> 0 then begin
-        let err = try read_file errf with Sys_error _ -> "" in
-        let err =
-          if String.length err > 800 then String.sub err 0 800 ^ "..."
-          else err
-        in
+      (* fork can transiently fail under pressure (EAGAIN) or race a
+         sibling's inherited fd (ETXTBSY on the shell, EUNKNOWNERR 26);
+         absorb a bounded burst through the shared backoff machinery
+         rather than quarantining the cell on the first hiccup *)
+      let pid =
+        match
+          Rp_support.Retry.with_backoff ~policy:sandbox.spawn_retry
+            (fun () ->
+              Unix.create_process "/bin/sh"
+                [| "/bin/sh"; "-c"; cmd |]
+                Unix.stdin Unix.stdout Unix.stderr)
+        with
+        | Ok pid -> pid
+        | Error (Unix.Unix_error (e, _, _)) ->
+          error "cc spawn failed: %s" (Unix.error_message e)
+        | Error e -> error "cc spawn failed: %s" (Printexc.to_string e)
+      in
+      let deadline = Rp_support.Clock.now () +. sandbox.wall_s in
+      let rec wait () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+          if Rp_support.Clock.now () > deadline then begin
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid);
+            (try Sys.remove bin with Sys_error _ -> ());
+            error "cc sandbox: wall-clock deadline (%.0fs) exceeded"
+              sandbox.wall_s
+          end
+          else begin
+            Unix.sleepf 0.02;
+            wait ()
+          end
+        | _, st -> st
+      in
+      let st = try wait () with Unix.Unix_error (Unix.EINTR, _, _) -> wait () in
+      (match st with
+      | Unix.WEXITED 0 -> ()
+      | st ->
+        let err = truncate_err (try read_file errf with Sys_error _ -> "") in
         (try Sys.remove bin with Sys_error _ -> ());
-        error "cc failed (exit %d): %s" rc (String.trim err)
-      end;
+        (match st with
+        | Unix.WEXITED n -> error "cc failed (exit %d): %s" n err
+        | Unix.WSIGNALED n ->
+          error "cc killed by signal %d (sandbox rlimit?): %s" n err
+        | Unix.WSTOPPED n -> error "cc stopped by signal %d: %s" n err));
       Unix.chmod bin 0o700;
       bin)
 
@@ -212,10 +350,10 @@ let bin_key ?key ~cc csrc =
       String.concat " " cc.flags;
     ]
 
-let compile ?cache ?key ~cc prog =
+let compile ?sandbox ?cache ?key ~cc prog =
   let csrc = Cgen.emit prog in
   match cache with
-  | None -> (cc_compile ~cc csrc, false)
+  | None -> (cc_compile ?sandbox ~cc csrc, false)
   | Some cas -> (
     let k = bin_key ?key ~cc csrc in
     match Rp_support.Cas.get cas ~key:k ~kind:"native-bin" with
@@ -225,9 +363,23 @@ let compile ?cache ?key ~cc prog =
       Unix.chmod bin 0o700;
       (bin, true)
     | None ->
-      let bin = cc_compile ~cc csrc in
+      let bin = cc_compile ?sandbox ~cc csrc in
       Rp_support.Cas.put cas ~key:k ~kind:"native-bin" (read_file bin);
       (bin, false))
+
+(* The degradation ladder's second rung: recompile without reading the
+   cache (a CRC-valid but behaviorally bad entry would just be refetched)
+   but write the fresh binary back through, repairing the entry for every
+   later job on this key. *)
+let compile_fresh ?sandbox ?cache ?key ~cc prog =
+  let csrc = Cgen.emit prog in
+  let bin = cc_compile ?sandbox ~cc csrc in
+  (match cache with
+  | Some cas ->
+    Rp_support.Cas.put cas ~key:(bin_key ?key ~cc csrc) ~kind:"native-bin"
+      (read_file bin)
+  | None -> ());
+  bin
 
 (* ------------------------------------------------------------------ *)
 (* Execute                                                             *)
@@ -343,10 +495,10 @@ type timed = {
   cache_hit : bool;
 }
 
-let run_timed ?fuel ?check_tags ?max_depth ?seed ?deadline ?cache ?key ~cc
-    prog =
+let run_timed ?fuel ?check_tags ?max_depth ?seed ?deadline ?sandbox ?cache
+    ?key ~cc prog =
   let t0 = Rp_support.Clock.now () in
-  let bin, cache_hit = compile ?cache ?key ~cc prog in
+  let bin, cache_hit = compile ?sandbox ?cache ?key ~cc prog in
   let t1 = Rp_support.Clock.now () in
   Fun.protect
     ~finally:(fun () -> try Sys.remove bin with Sys_error _ -> ())
@@ -365,7 +517,88 @@ let run_timed ?fuel ?check_tags ?max_depth ?seed ?deadline ?cache ?key ~cc
         cache_hit;
       })
 
-let run ?fuel ?check_tags ?max_depth ?seed ?deadline ?cache ?key ~cc prog =
-  (run_timed ?fuel ?check_tags ?max_depth ?seed ?deadline ?cache ?key ~cc
-     prog)
+let run ?fuel ?check_tags ?max_depth ?seed ?deadline ?sandbox ?cache ?key ~cc
+    prog =
+  (run_timed ?fuel ?check_tags ?max_depth ?seed ?deadline ?sandbox ?cache ?key
+     ~cc prog)
     .result
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type laddered = {
+  l_result : Interp.result;
+  l_mode : [ `Native | `Interp ];
+  l_degraded : string option;
+  l_cc_ms : float;
+  l_exec_ms : float;
+  l_cache_hit : bool;
+}
+
+(* native → recompile-once (cache-read bypassed, write-through) →
+   interpreter.  Only {!Error} — infrastructure failure — descends a
+   rung; faithful program outcomes ([Interp.Error], [Resource_limit],
+   [Invalid_argument]) re-raise from whichever rung produced them,
+   because every rung computes the same answer by contract.  The
+   result is therefore independent of which rungs fired; only the
+   telemetry ([l_mode]/[l_degraded]) and the latency differ. *)
+let run_laddered ?fuel ?check_tags ?max_depth ?seed ?deadline ?sandbox ?cache
+    ?key ~interp ~cc prog =
+  let fallback reason =
+    let result, run_ms = interp () in
+    {
+      l_result = result;
+      l_mode = `Interp;
+      l_degraded = Some reason;
+      l_cc_ms = 0.;
+      l_exec_ms = run_ms;
+      l_cache_hit = false;
+    }
+  in
+  match cc with
+  | None -> fallback "no C compiler"
+  | Some cc -> (
+    match
+      run_timed ?fuel ?check_tags ?max_depth ?seed ?deadline ?sandbox ?cache
+        ?key ~cc prog
+    with
+    | t ->
+      {
+        l_result = t.result;
+        l_mode = `Native;
+        l_degraded = None;
+        l_cc_ms = t.cc_ms;
+        l_exec_ms = t.exec_ms;
+        l_cache_hit = t.cache_hit;
+      }
+    | exception Error first -> (
+      match
+        let t0 = Rp_support.Clock.now () in
+        let bin = compile_fresh ?sandbox ?cache ?key ~cc prog in
+        let t1 = Rp_support.Clock.now () in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove bin with Sys_error _ -> ())
+          (fun () ->
+            let result, elapsed_ms =
+              exec_bin_elapsed ?fuel ?check_tags ?max_depth ?seed ?deadline
+                bin
+            in
+            let t2 = Rp_support.Clock.now () in
+            ( result,
+              (t1 -. t0) *. 1000.,
+              if elapsed_ms > 0. then elapsed_ms else (t2 -. t1) *. 1000. ))
+      with
+      | result, cc_ms, exec_ms ->
+        {
+          l_result = result;
+          l_mode = `Native;
+          l_degraded = Some (Printf.sprintf "recompiled: %s" first);
+          l_cc_ms = cc_ms;
+          l_exec_ms = exec_ms;
+          l_cache_hit = false;
+        }
+      | exception Error second ->
+        fallback
+          (Printf.sprintf "native failed twice (%s; retry: %s)" first second)
+      ))

@@ -26,13 +26,39 @@ type cc = {
           toolchain upgrade invalidates cached binaries *)
 }
 
-val find_cc : ?path:string -> ?flags:string list -> unit -> cc option
+val find_cc :
+  ?cache:Rp_support.Cas.t -> ?path:string -> ?flags:string list -> unit ->
+  cc option
 (** Probe for a working C compiler ([cc] on PATH by default, [-O1] by
     default) and capture its identity line.  [None] when the probe
-    fails — callers skip or error out, visibly, rather than guessing. *)
+    fails — callers skip or error out, visibly, rather than guessing.
+
+    The probe is memoized per process (positive {e and} negative), so
+    repeated callers — the bench host record, gen-fuzz, a daemon serving
+    thousands of native jobs — pay one fork+exec per compiler path.
+    With [?cache] the identity is additionally cached in the CAS keyed
+    on the resolved executable's (path, size, mtime), so a fresh process
+    running an all-warm-cache campaign spawns no compiler subprocess at
+    all; a toolchain upgrade changes the stat triple and re-probes. *)
 
 val default_cache_dir : unit -> string
 (** Per-user binary cache root under the system temp directory. *)
+
+(* ---- cc sandbox -------------------------------------------------- *)
+
+type sandbox = {
+  cpu_s : int;  (** CPU rlimit for the compiler ([ulimit -t]), seconds *)
+  mem_mb : int;  (** address-space rlimit ([ulimit -v]), MiB *)
+  fsize_mb : int;  (** output file-size rlimit ([ulimit -f]), MiB *)
+  wall_s : float;  (** harness-enforced wall-clock deadline, seconds *)
+  spawn_retry : Rp_support.Retry.policy;
+      (** bounded retries for transient spawn failures (fork [EAGAIN],
+          [ETXTBSY] races) *)
+}
+
+val default_sandbox : sandbox
+(** 60 s CPU, 4 GiB AS, 512 MiB output, 120 s wall, 5 spawn attempts —
+    generous for any one translation unit, fatal for a wedged cc. *)
 
 (* ---- trailer protocol (exposed for tests) ------------------------ *)
 
@@ -61,6 +87,7 @@ val parse_trailer : string -> trailer
 (* ---- compile & execute ------------------------------------------- *)
 
 val compile :
+  ?sandbox:sandbox ->
   ?cache:Rp_support.Cas.t ->
   ?key:string ->
   cc:cc ->
@@ -101,6 +128,7 @@ val run :
   ?max_depth:int ->
   ?seed:int ->
   ?deadline:float ->
+  ?sandbox:sandbox ->
   ?cache:Rp_support.Cas.t ->
   ?key:string ->
   cc:cc ->
@@ -127,6 +155,7 @@ val run_timed :
   ?max_depth:int ->
   ?seed:int ->
   ?deadline:float ->
+  ?sandbox:sandbox ->
   ?cache:Rp_support.Cas.t ->
   ?key:string ->
   cc:cc ->
@@ -134,3 +163,42 @@ val run_timed :
   timed
 (** Like {!run} but splitting compile time from execution time, for the
     bench harness's [run_ms] accounting. *)
+
+(* ---- graceful degradation ---------------------------------------- *)
+
+type laddered = {
+  l_result : Rp_exec.Interp.result;
+  l_mode : [ `Native | `Interp ];  (** which rung produced the answer *)
+  l_degraded : string option;
+      (** [Some reason] when any rung below the first fired — including
+          a successful recompile that still answered natively *)
+  l_cc_ms : float;
+  l_exec_ms : float;
+  l_cache_hit : bool;
+}
+
+val run_laddered :
+  ?fuel:int ->
+  ?check_tags:bool ->
+  ?max_depth:int ->
+  ?seed:int ->
+  ?deadline:float ->
+  ?sandbox:sandbox ->
+  ?cache:Rp_support.Cas.t ->
+  ?key:string ->
+  interp:(unit -> Rp_exec.Interp.result * float) ->
+  cc:cc option ->
+  Rp_ir.Program.t ->
+  laddered
+(** The graceful degradation ladder: native → one fresh recompile that
+    bypasses the binary cache's read side (but writes through, repairing
+    a bad entry for later jobs) → the caller's [interp] thunk (which
+    returns the result plus its run time in ms).  Only {!Error} —
+    infrastructure failure: cc missing or crashing, a sandbox-limit
+    trip, a malformed trailer, a corrupt cached binary — descends a
+    rung.  Faithful program outcomes ({!Rp_exec.Interp.Error},
+    {!Rp_exec.Interp.Resource_limit}, [Invalid_argument]) re-raise from
+    whichever rung produced them: every rung computes the same answer by
+    contract, so the result is rung-independent and only the telemetry
+    and latency vary.  Never raises {!Error} itself — if the interpreter
+    rung also fails, that exception is the campaign's to handle. *)

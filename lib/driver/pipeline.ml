@@ -433,7 +433,7 @@ let decode_result raw : (string * int * int * int * int) option =
     [deadline] raises {!Rp_exec.Interp.Resource_limit} before anything is
     cached, so a half-finished job can never poison the store. *)
 let compile_and_run_cached ?(config = Config.default) ?should_stop ?deadline
-    ~(cas : Cas.t) (src : string) : cached_run =
+    ?runner ~(cas : Cas.t) (src : string) : cached_run =
   let key = cache_key ~config src in
   let warm =
     match
@@ -458,7 +458,15 @@ let compile_and_run_cached ?(config = Config.default) ?should_stop ?deadline
     (* capture before [optimize] mutates the program in place *)
     let front_il = Serial.write p in
     let s = optimize ~config ~stats:s p in
-    let r = Rp_exec.Interp.run ?should_stop ?deadline p in
+    (* [runner] swaps the execution engine for the cold path only — warm
+       hits re-serve stored bytes regardless of how they were computed,
+       which is sound because every engine returns the interpreter's
+       answer by contract *)
+    let r =
+      match runner with
+      | Some run -> run p
+      | None -> Rp_exec.Interp.run ?should_stop ?deadline p
+    in
     let il = Serial.write p in
     let stats = stats_json config s in
     let output = r.Rp_exec.Interp.output in

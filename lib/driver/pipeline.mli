@@ -118,6 +118,13 @@ val compile_and_run_cached :
   ?config:Config.t ->
   ?should_stop:(unit -> bool) ->
   ?deadline:float ->
+  ?runner:(Rp_ir.Program.t -> Rp_exec.Interp.result) ->
   cas:Rp_support.Cas.t ->
   string ->
   cached_run
+(** @param runner the execution engine for the cold path (default: the
+    interpreter with [should_stop]/[deadline]).  The daemon's native job
+    mode passes the compiled-C degradation ladder here.  Contract: a
+    runner must return the interpreter-identical result (or raise the
+    interpreter's own exceptions), because its output is cached under the
+    same mode-independent key and re-served to every later caller. *)

@@ -33,9 +33,23 @@ type fault_class =
   | Dangling_target  (** retarget one terminator at a missing block *)
   | Bad_register  (** insert an instruction using out-of-range registers *)
   | Pass_exception  (** raise from inside a pass body *)
+  | Native_cc_fail  (** the C compiler itself cannot be executed *)
+  | Native_truncated_bin  (** a cached native binary loses its tail *)
+  | Native_bad_trailer  (** a cached "binary" emits garbage, no trailer *)
+  | Native_poisoned_cas  (** a cached binary's bytes rot under a stale CRC *)
 
 let all_classes =
-  [ Drop_store; Shrink_tagset; Dangling_target; Bad_register; Pass_exception ]
+  [
+    Drop_store;
+    Shrink_tagset;
+    Dangling_target;
+    Bad_register;
+    Pass_exception;
+    Native_cc_fail;
+    Native_truncated_bin;
+    Native_bad_trailer;
+    Native_poisoned_cas;
+  ]
 
 let class_name = function
   | Drop_store -> "drop_store"
@@ -43,6 +57,10 @@ let class_name = function
   | Dangling_target -> "dangling_target"
   | Bad_register -> "bad_register"
   | Pass_exception -> "pass_exception"
+  | Native_cc_fail -> "native_cc_fail"
+  | Native_truncated_bin -> "native_truncated_bin"
+  | Native_bad_trailer -> "native_bad_trailer"
+  | Native_poisoned_cas -> "native_poisoned_cas"
 
 let class_of_string = function
   | "drop_store" -> Some Drop_store
@@ -50,6 +68,10 @@ let class_of_string = function
   | "dangling_target" -> Some Dangling_target
   | "bad_register" -> Some Bad_register
   | "pass_exception" -> Some Pass_exception
+  | "native_cc_fail" -> Some Native_cc_fail
+  | "native_truncated_bin" -> Some Native_truncated_bin
+  | "native_bad_trailer" -> Some Native_bad_trailer
+  | "native_poisoned_cas" -> Some Native_poisoned_cas
   | _ -> None
 
 type class_stats = {
@@ -172,7 +194,9 @@ let mutate rng (cls : fault_class) (p : Program.t) : string option =
       Some
         (Printf.sprintf "inserted copy of r%d (nreg=%d) in %s/%s" bad
            f.Func.nreg f.Func.name b.Block.label))
-  | Pass_exception -> None (* handled by [exception_trial], not as an IL edit *)
+  | Pass_exception | Native_cc_fail | Native_truncated_bin | Native_bad_trailer
+  | Native_poisoned_cas ->
+    None (* handled by their own trials, not as IL edits *)
 
 (* ------------------------------------------------------------------ *)
 (* Trials                                                              *)
@@ -309,6 +333,206 @@ let exception_trial ?should_stop rng (seed : Corpus.seed) : outcome =
         else fail "result differs from the pass-disabled configuration"))
 
 (* ------------------------------------------------------------------ *)
+(* Native-backend faults                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* These trials attack the compiled-C execution path below the IL: the
+   compiler process, the cached binary, and the store that holds it.
+   The property under test is the degradation ladder's (native →
+   recompile-once → interpreter) end-to-end promise: whatever breaks,
+   the job's observable result must equal a clean interpreter run, and
+   the breakage must be detected (degradation recorded or the corrupt
+   object quarantined), never silently served. *)
+
+module Native = Rp_backend.Native
+module Cas = Rp_support.Cas
+module Crc32 = Rp_support.Crc32
+
+(* probed once per process ({!Native.find_cc} memoizes); the three
+   classes that must first cache a genuine binary are [No_site] on
+   hosts without a compiler.  [Native_cc_fail] needs no compiler at
+   all — its whole point is running without one. *)
+let native_cc = lazy (Native.find_cc ())
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun f -> rm_rf (Filename.concat path f))
+      (try Sys.readdir path with Sys_error _ -> [||]);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let read_raw path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** The store is fresh per trial, so after one priming run it holds
+    exactly one [*.native-bin] object — the trial's compiled binary. *)
+let bin_object root =
+  let objects = Filename.concat root "objects" in
+  Array.fold_left
+    (fun acc shard ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        let dir = Filename.concat objects shard in
+        Array.fold_left
+          (fun acc f ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              if Filename.check_suffix f ".native-bin" then
+                Some (Filename.concat dir f)
+              else None)
+          None
+          (try Sys.readdir dir with Sys_error _ -> [||]))
+    None
+    (try Sys.readdir objects with Sys_error _ -> [||])
+
+(** Replace an object's payload keeping the framing {e valid}: magic and
+    kind are copied from the existing header, CRC and length recomputed
+    over the new payload.  [Cas.get] serves the result without complaint
+    — only the native layer's own defenses (trailer parse, output
+    re-verification, exec failure) can catch the planted corruption. *)
+let replant_object path payload =
+  let raw = read_raw path in
+  let nl = String.index raw '\n' in
+  match String.split_on_char ' ' (String.sub raw 0 nl) with
+  | magic :: kind :: _ ->
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc "%s %s %s %d\n%s" magic kind
+          (Crc32.to_hex (Crc32.string payload))
+          (String.length payload) payload)
+  | _ -> invalid_arg "replant_object: malformed header"
+
+(** Flip the object's last payload byte in place, leaving the now-stale
+    CRC: [Cas.get] must quarantine the entry on the next read. *)
+let poison_object path =
+  let raw = read_raw path in
+  let n = String.length raw in
+  let b = Bytes.of_string raw in
+  Bytes.set b (n - 1) (Char.chr (Char.code (Bytes.get b (n - 1)) lxor 0xFF));
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc b)
+
+(** One native-backend trial: compile the seed program through the real
+    pipeline, plant the class's fault under the execution path, run the
+    degradation ladder, and assert (a) the result equals the clean
+    interpreter baseline and (b) the fault was detected, not silently
+    served. *)
+let native_trial ?should_stop rng cls (seed : Corpus.seed)
+    (baseline : Interp.result) : outcome =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Escaped (Printf.sprintf "%s on %s: %s" (class_name cls) seed.Corpus.name m))
+      fmt
+  in
+  let (p, _) =
+    Pipeline.compile
+      ~config:{ fuzz_config with Config.verify_passes = false; oracle = false }
+      seed.Corpus.source
+  in
+  let interp () =
+    let t0 = Rp_support.Clock.now () in
+    let r = Interp.run ?should_stop p in
+    (r, (Rp_support.Clock.now () -. t0) *. 1000.)
+  in
+  match cls with
+  | Native_cc_fail -> (
+    (* a compiler that cannot be executed: the ladder must descend all
+       the way to the interpreter rung and record why, not abort *)
+    let cc =
+      Some
+        {
+          Native.path = "/nonexistent/rpcc-faultgen-cc";
+          flags = [];
+          identity = "faultgen-broken-cc";
+        }
+    in
+    match Native.run_laddered ~interp ~cc p with
+    | exception e -> fail "ladder raised: %s" (Printexc.to_string e)
+    | lad ->
+      if lad.Native.l_mode <> `Interp then
+        fail "broken cc still claimed a native run"
+      else if lad.Native.l_degraded = None then
+        fail "interpreter fallback not recorded as degradation"
+      else if results_equal lad.Native.l_result baseline then Caught `Exception
+      else fail "interpreter rung result differs from baseline")
+  | Native_truncated_bin | Native_bad_trailer | Native_poisoned_cas -> (
+    match Lazy.force native_cc with
+    | None -> No_site
+    | Some cc -> (
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "rpcc-faultgen-%d-%d" (Unix.getpid ())
+             (R.int rng 0x3FFFFFFF))
+      in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let cache = Cas.open_ dir in
+          (* prime: one honest native run caches the binary *)
+          match Native.run_laddered ~cache ~interp ~cc:(Some cc) p with
+          | exception e -> fail "priming run raised: %s" (Printexc.to_string e)
+          | lad when lad.Native.l_mode <> `Native || lad.Native.l_degraded <> None
+            ->
+            fail "priming run did not execute natively"
+          | _ -> (
+            match bin_object dir with
+            | None -> fail "priming run cached no binary"
+            | Some path -> (
+              (match cls with
+              | Native_truncated_bin ->
+                (* CRC-valid but half a binary: exec (or its trailer)
+                   must fail, the recompile rung must repair *)
+                let raw = read_raw path in
+                let nl = String.index raw '\n' in
+                let payload =
+                  String.sub raw (nl + 1) (String.length raw - nl - 1)
+                in
+                replant_object path
+                  (String.sub payload 0 (String.length payload / 2))
+              | Native_bad_trailer ->
+                (* runs fine, prints garbage: the strict trailer parser
+                   must reject it rather than invent counts *)
+                replant_object path "#!/bin/sh\necho not-a-trailer\n"
+              | _ -> poison_object path);
+              let quarantined_before = (Cas.stats cache).Cas.quarantined in
+              match Native.run_laddered ~cache ~interp ~cc:(Some cc) p with
+              | exception e ->
+                fail "ladder raised on planted fault: %s" (Printexc.to_string e)
+              | lad ->
+                if not (results_equal lad.Native.l_result baseline) then
+                  fail "result differs from baseline after planted fault"
+                else (
+                  match cls with
+                  | Native_poisoned_cas ->
+                    (* the store's own CRC is the detector: the bad
+                       object is quarantined and the miss recompiles
+                       cleanly, no ladder degradation at all *)
+                    if (Cas.stats cache).Cas.quarantined > quarantined_before
+                    then Caught `Validation
+                    else fail "poisoned object was not quarantined"
+                  | _ ->
+                    (* CRC-valid corruption is invisible to the store;
+                       the ladder itself must notice and recompile *)
+                    if lad.Native.l_degraded = None then
+                      fail "planted fault was served without detection"
+                    else Caught `Exception))))))
+  | _ -> No_site
+
+(* ------------------------------------------------------------------ *)
 (* Journal serialization                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -374,6 +598,9 @@ let run_trial ~seed ?should_stop baselines i : fault_class * outcome =
   let outcome =
     match cls with
     | Pass_exception -> exception_trial ?should_stop rng prog
+    | Native_cc_fail | Native_truncated_bin | Native_bad_trailer
+    | Native_poisoned_cas ->
+      native_trial ?should_stop rng cls prog baseline
     | _ -> (
       match pick rng mutation_passes with
       | None -> No_site

@@ -160,6 +160,11 @@ let is_external_stop msg =
   let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
   go 0
 
+(* One probe per process, memoized inside {!Rp_backend.Native.find_cc}
+   (with the CAS rung making it survive restarts), so calling this per
+   native job or health request costs a hashtable lookup. *)
+let native_cc st = Rp_backend.Native.find_cc ~cache:st.cas ()
+
 let result_json (c : Pipeline.cached_run) =
   Json.Obj
     [
@@ -193,9 +198,54 @@ let handle_op ~should_stop st (r : Protocol.request) : Json.t =
     | Protocol.Health ->
       (* answered by the connection loop, never admitted to the pool *)
       err "internal" "health reached the pool"
-    | Protocol.Run { src; config } ->
+    | Protocol.Run { src; config; mode = Protocol.Interp } ->
       compile_family ~src ~config (fun c ->
           [ ("result", result_json c); ("stats", c.Pipeline.stats) ])
+    | Protocol.Run { src; config; mode = Protocol.Native } -> (
+      (* native jobs share the interp path's cache key and artifacts —
+         both engines compute the same answer by contract — so a warm
+         shard serves either mode from one entry, and the rendezvous
+         router keeps this shard's binary cache hot for the cold ones.
+         The degradation ladder means a native request never fails for
+         infrastructure reasons: it answers slower, from a lower rung,
+         and says so in the [exec] object. *)
+      match Protocol.config_of_name config with
+      | None -> err "usage" ("unknown config " ^ config)
+      | Some cfg ->
+        let exec_info = ref ("cached", false) in
+        let runner p =
+          let lad =
+            Rp_backend.Native.run_laddered ?deadline:st.cfg.job_timeout
+              ~cache:st.cas
+              ~key:(Pipeline.cache_key ~config:cfg src)
+              ~interp:(fun () ->
+                let t0 = Rp_support.Clock.now () in
+                let r = Rp_exec.Interp.run ~should_stop p in
+                (r, (Rp_support.Clock.now () -. t0) *. 1000.))
+              ~cc:(native_cc st) p
+          in
+          (exec_info :=
+             match lad.Rp_backend.Native.l_mode with
+             | `Native -> ("native", false)
+             | `Interp -> ("interp", true));
+          lad.Rp_backend.Native.l_result
+        in
+        let c =
+          Pipeline.compile_and_run_cached ~config:cfg ~should_stop ~runner
+            ~cas:st.cas src
+        in
+        let mode_used, degraded = !exec_info in
+        Protocol.ok ~id:r.id ~client:r.client
+          [
+            ("result", result_json c);
+            ("stats", c.Pipeline.stats);
+            ( "exec",
+              Json.Obj
+                [
+                  ("mode", Json.Str mode_used);
+                  ("degraded", Json.Bool degraded);
+                ] );
+          ])
     | Protocol.Compile { src; config } ->
       compile_family ~src ~config (fun c ->
           [ ("il", Json.Str c.Pipeline.il); ("stats", c.Pipeline.stats) ])
@@ -287,6 +337,18 @@ let health_json st ~id ~client =
                 (Float.round (Rp_support.Clock.elapsed st.started *. 1e3)
                 /. 1e3) );
             ("pass_version", Json.Str Pipeline.pass_version);
+            (* probed once per process (memoized in find_cc, persisted
+               via the CAS identity cache); [null]/[null] when there is
+               no system compiler, so clients can pre-degrade instead of
+               submitting native jobs that will ladder down *)
+            ( "cc",
+              match native_cc st with
+              | Some cc -> Json.Str cc.Rp_backend.Native.identity
+              | None -> Json.Null );
+            ( "native",
+              match native_cc st with
+              | Some _ -> Json.Bool true
+              | None -> Json.Null );
             ("served", Json.Int st.served);
             ("errors", Json.Int st.errors);
             ("overloaded", Json.Int st.overloaded);

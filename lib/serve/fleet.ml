@@ -250,6 +250,7 @@ let rec mkdir_p dir =
   end
 
 let sockets t = Array.to_list (Array.map (fun sh -> sh.socket) t.members)
+let cas_dir t = t.cas_dir
 
 let start (cfg : config) =
   if cfg.shards < 1 then invalid_arg "Fleet.start: shards must be >= 1";

@@ -70,6 +70,10 @@ val sockets : t -> string list
 (** Shard socket paths, index = shard id; feed to
     {!Fleet_client.create}. *)
 
+val cas_dir : t -> string
+(** Root of the shared content-addressed store every shard compiles
+    through ([--cas-dir]); chaos drills corrupt cached artifacts here. *)
+
 val kill_shard : t -> int -> unit
 (** SIGKILL shard [i] (counted as planted).  The supervisor reaps and
     respawns it; the router fails its in-flight work over meanwhile. *)

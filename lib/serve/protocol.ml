@@ -1,11 +1,19 @@
-(** The [rpcc-serve/1] wire protocol.  See protocol.mli. *)
+(** The [rpcc-serve/2] wire protocol.  See protocol.mli. *)
 
 module Json = Rp_support.Json
 
-let schema = "rpcc-serve/1"
+let schema = "rpcc-serve/2"
+
+(* v1 requests (no [mode] field) are still accepted; responses always
+   speak v2 *)
+let accepted_schemas = [ schema; "rpcc-serve/1" ]
+
+type exec_mode = Interp | Native
+
+let mode_name = function Interp -> "interp" | Native -> "native"
 
 type op =
-  | Run of { src : string; config : string }
+  | Run of { src : string; config : string; mode : exec_mode }
   | Compile of { src : string; config : string }
   | Stats of { src : string; config : string }
   | Fuzz of { seed : int; trials : int }
@@ -29,9 +37,15 @@ let fuzz_key ~seed ~trials =
     [ Rp_driver.Pipeline.pass_version; "fuzz"; string_of_int seed;
       string_of_int trials ]
 
+(* [Run]'s mode is deliberately absent from the key: both modes compute
+   the same answer by contract, so they share result-cache entries, and
+   routing native and interp jobs for one program to the same shard is
+   exactly what keeps that shard's binary cache hot. *)
 let op_key (op : op) =
   match op with
-  | Run { src; config } | Compile { src; config } | Stats { src; config } -> (
+  | Run { src; config; mode = _ }
+  | Compile { src; config }
+  | Stats { src; config } -> (
     match config_of_name config with
     | Some c -> Rp_driver.Pipeline.cache_key ~config:c src
     | None -> "")
@@ -51,12 +65,20 @@ let parse_request (doc : Json.t) : (request, string) result =
       Ok { id; client; op = mk ~src ~config }
   in
   match Json.member "schema" doc with
-  | Some (Json.Str s) when s <> schema ->
+  | Some (Json.Str s) when not (List.mem s accepted_schemas) ->
     Error (Printf.sprintf "unsupported schema %s (want %s)" s schema)
   | _ -> (
     match str "op" with
     | None -> Error "missing op"
-    | Some "run" -> src_op (fun ~src ~config -> Run { src; config })
+    | Some "run" -> (
+      match Json.member "mode" doc with
+      | None | Some (Json.Str "interp") ->
+        src_op (fun ~src ~config -> Run { src; config; mode = Interp })
+      | Some (Json.Str "native") ->
+        src_op (fun ~src ~config -> Run { src; config; mode = Native })
+      | Some (Json.Str other) ->
+        Error (Printf.sprintf "unknown mode %s (want interp|native)" other)
+      | Some _ -> Error "mode must be a string")
     | Some "compile" -> src_op (fun ~src ~config -> Compile { src; config })
     | Some "stats" -> src_op (fun ~src ~config -> Stats { src; config })
     | Some "fuzz" -> (

@@ -1,17 +1,22 @@
-(** The [rpcc-serve/1] wire protocol.
+(** The [rpcc-serve/2] wire protocol.
 
     Line-oriented JSON over a Unix-domain socket, batch-per-connection:
     the client writes one request object per line, shuts down its write
     side, and the daemon replies with one response object per request,
     {e in request order}, then closes.
 
-    Request: [{"schema": "rpcc-serve/1", "id": <any>, "client": <str>,
+    Request: [{"schema": "rpcc-serve/2", "id": <any>, "client": <str>,
     "op": "run"|"compile"|"stats"|"fuzz"|"health", ...}] with
     op-specific fields — [src] (+ optional [config], a
     {!Rp_driver.Config.named_grid} name, default ["modref/with"]) for
     the compile family, [seed] (+ optional [trials], default 1) for
-    [fuzz].  [id] is echoed verbatim in the response; [client] (default
-    ["anonymous"]) names the circuit-breaker key.
+    [fuzz].  [run] additionally takes an optional [mode] ∈ {["interp"],
+    ["native"]}, default ["interp"]: a [native] run is served through
+    the compiled-C backend's degradation ladder and its payload carries
+    an [exec] object naming the rung that answered.  [id] is echoed
+    verbatim in the response; [client] (default ["anonymous"]) names the
+    circuit-breaker key.  v1 requests ([rpcc-serve/1], which had no
+    [mode]) are still accepted; responses always speak v2.
 
     Response: [{"schema", "id", "client", "status", ...}] where [status]
     is [ok] (op-specific payload fields follow), [error] (fields [code]
@@ -27,11 +32,19 @@
 module Json = Rp_support.Json
 
 val schema : string
-(** ["rpcc-serve/1"]. *)
+(** ["rpcc-serve/2"]. *)
+
+type exec_mode = Interp | Native
+
+val mode_name : exec_mode -> string
+(** ["interp"] / ["native"]. *)
 
 type op =
-  | Run of { src : string; config : string }
-      (** compile + execute; payload [result] + [stats] *)
+  | Run of { src : string; config : string; mode : exec_mode }
+      (** compile + execute; payload [result] + [stats], and for
+          [Native] requests an [exec] object ([mode] actually used +
+          [degraded] flag) — the answer itself is mode-independent by
+          the backend's equivalence contract *)
   | Compile of { src : string; config : string }
       (** payload [il] (serialized post-pipeline program) + [stats] *)
   | Stats of { src : string; config : string }  (** payload [stats] only *)

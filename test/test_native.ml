@@ -106,6 +106,107 @@ let trailer_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Trailer parser under adversarial input                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Property: no mechanical mangling of a well-formed trailer can make
+   the parser {e lie} — every mutation either raises [Native.Error] or
+   parses with all scalar fields (status, ret, checksum, the three
+   counters, outlen) exactly the reference document's, and with every
+   per-function row genuine.  Func rows can be {e lost} (they are
+   free-form accumulation lines after the required fields, e.g. when a
+   swap moves [end] above them — the per-func comparison one layer up
+   catches that), but never forged or altered without an error.  This
+   is the native path's last line of defense: a cached binary that
+   bit-rots (or a hostile one) answers through exactly this parser,
+   and wrong-but-plausible counts are the one outcome that must be
+   impossible.  Mutations are the realistic corruption shapes:
+   truncation at any byte (torn write), line swaps (field reordering),
+   line deletion, digit rot, and garbage insertion. *)
+let trailer_adversarial_prop =
+  let open QCheck in
+  let lines = String.split_on_char '\n' ok_trailer in
+  let nlines = List.length lines in
+  let digit_positions =
+    List.filter
+      (fun i -> match ok_trailer.[i] with '0' .. '9' -> true | _ -> false)
+      (List.init (String.length ok_trailer) Fun.id)
+  in
+  let mangle_gen =
+    Gen.(
+      oneof
+        [
+          (* truncate at an arbitrary byte boundary *)
+          map
+            (fun k -> String.sub ok_trailer 0 (k mod String.length ok_trailer))
+            (int_bound (String.length ok_trailer - 1));
+          (* swap two lines *)
+          map2
+            (fun i j ->
+              let i = i mod nlines and j = j mod nlines in
+              let arr = Array.of_list lines in
+              let t = arr.(i) in
+              arr.(i) <- arr.(j);
+              arr.(j) <- t;
+              String.concat "\n" (Array.to_list arr))
+            (int_bound (nlines - 1))
+            (int_bound (nlines - 1));
+          (* delete one line *)
+          map
+            (fun i ->
+              let i = i mod nlines in
+              String.concat "\n" (List.filteri (fun j _ -> j <> i) lines))
+            (int_bound (nlines - 1));
+          (* rot one digit into a letter: a numeric field, the magic
+             version, or a func counter stops parsing as a number *)
+          map2
+            (fun pos c ->
+              let pos = List.nth digit_positions (pos mod List.length digit_positions) in
+              let b = Bytes.of_string ok_trailer in
+              Bytes.set b pos (Char.chr (Char.code 'A' + (c mod 26)));
+              Bytes.to_string b)
+            (int_bound 10_000)
+            (int_bound 25);
+          (* inject a garbage line at an arbitrary position *)
+          map2
+            (fun i g ->
+              let i = i mod nlines in
+              let garbage = Printf.sprintf "garbage %d" g in
+              String.concat "\n"
+                (List.concat
+                   (List.mapi
+                      (fun j l -> if j = i then [ garbage; l ] else [ l ])
+                      lines)))
+            (int_bound (nlines - 1))
+            (int_bound 1000);
+        ])
+  in
+  let reference = Native.parse_trailer ok_trailer in
+  let never_lies (t : Native.trailer) =
+    t.Native.status = reference.Native.status
+    && t.Native.msg = reference.Native.msg
+    && t.Native.ret = reference.Native.ret
+    && t.Native.checksum = reference.Native.checksum
+    && t.Native.ops = reference.Native.ops
+    && t.Native.loads = reference.Native.loads
+    && t.Native.stores = reference.Native.stores
+    && t.Native.outlen = reference.Native.outlen
+    && List.for_all
+         (fun f -> List.mem f reference.Native.funcs)
+         t.Native.funcs
+  in
+  QCheck.Test.make ~count:500
+    ~name:"trailer: manglings raise or stay truthful, never lie"
+    (make mangle_gen) (fun s ->
+      match Native.parse_trailer s with
+      | exception Native.Error _ -> true
+      | t ->
+        if never_lies t then true
+        else
+          QCheck.Test.fail_reportf
+            "mangled trailer parsed to different values without error:\n%s" s)
+
+(* ------------------------------------------------------------------ *)
 (* Interpreter equivalence on generated programs, across the grid      *)
 (* ------------------------------------------------------------------ *)
 
@@ -183,12 +284,21 @@ let bench_cli_tests =
   [
     Util.tc "bench: --native without --json is a usage error" (fun () ->
         Util.check Alcotest.int "exit code" 2 (bench_exit "--native"));
-    Util.tc "bench: --native cannot ride the daemon" (fun () ->
+    Util.tc "bench: --native rides the daemon protocol, so a dead socket \
+             is the only failure"
+      (fun () ->
+        (* mode-over-daemon is legal since rpcc-serve/2; the request
+           never reaches a cc probe, it fails at connect *)
         Util.check Alcotest.int "exit code" 2
           (bench_exit "--json --native --via-daemon /tmp/nope.sock"));
-    Util.tc "bench: --native cannot ride the fleet" (fun () ->
+    Util.tc "bench: --plant-cc-failure without --native is a usage error"
+      (fun () ->
+        Util.check Alcotest.int "exit code" 2 (bench_exit "--plant-cc-failure"));
+    Util.tc "bench: --plant-cc-failure cannot ride the fleet" (fun () ->
+        (* the planted compiler is a local in-process fault; shards
+           would silently probe their own real cc instead *)
         Util.check Alcotest.int "exit code" 2
-          (bench_exit "--json --native --via-fleet 2"));
+          (bench_exit "--json --native --plant-cc-failure --via-fleet 2"));
   ]
 
 let () =
@@ -207,6 +317,8 @@ let () =
     [
       ("mangle", mangle_tests);
       ("trailer", trailer_tests);
+      ( "trailer-adversarial",
+        [ QCheck_alcotest.to_alcotest trailer_adversarial_prop ] );
       ("equivalence", native_tests);
       ("bench-cli", bench_cli_tests);
     ]

@@ -166,11 +166,14 @@ let test_bench_planted_hang_degrades_one_cell () =
   (* the timeout must be generous enough that only the planted cell hits
      it even on a loaded machine: an honest cell timing out on its first
      attempt would perturb the resilience counters (its retry still keeps
-     the counts identical) *)
+     the counts identical).  The heaviest honest cells (triad) run
+     ~0.8 s alone but multiples of that with four jobs contending on a
+     small core count, so 10 s is the margin that keeps them honest
+     while the planted hang still trips both attempts. *)
   let planted =
     counts "planted"
       [
-        "--jobs"; "4"; "--job-timeout"; "2"; "--retries"; "1"; "--plant-hang";
+        "--jobs"; "4"; "--job-timeout"; "10"; "--retries"; "1"; "--plant-hang";
         "mlink:modref/with";
       ]
   in

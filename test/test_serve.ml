@@ -126,6 +126,87 @@ let cas_tests =
           (let key = Cas.key [ "after"; "reap" ] in
            Cas.put cas2 ~key ~kind:"result" "v";
            Cas.get cas2 ~key ~kind:"result" = Some "v"));
+    Util.tc "cas: two processes racing the same binary key never corrupt it"
+      (fun () ->
+        (* the fleet's shards share one store: two shards compiling the
+           same cell both put the identical native binary under the
+           identical key.  tmp+fsync+rename must make every interleaving
+           safe — a reader sees a complete object (either writer's),
+           never a torn one *)
+        let root = fresh_dir "cas-race" in
+        let key = Cas.key [ "racing"; "binary" ] in
+        (* binary-shaped payload: nulls, newlines, high bytes *)
+        let payload = String.init 4096 (fun i -> Char.chr (i * 7 land 0xff)) in
+        let writer () =
+          match Unix.fork () with
+          | 0 ->
+            (* child: fresh handle, hammer the same key *)
+            let cas = Cas.open_ root in
+            for _ = 1 to 50 do
+              Cas.put cas ~key ~kind:"native-bin" payload
+            done;
+            Unix._exit 0
+          | pid -> pid
+        in
+        let p1 = writer () in
+        let p2 = writer () in
+        let reader = Cas.open_ root in
+        (* read concurrently with the race: every successful get must be
+           the full payload *)
+        for _ = 1 to 200 do
+          match Cas.get reader ~key ~kind:"native-bin" with
+          | None -> ()  (* not yet written: a miss, never a torn read *)
+          | Some got ->
+            if got <> payload then
+              Alcotest.fail "torn or corrupt payload served mid-race"
+        done;
+        ignore (Unix.waitpid [] p1);
+        ignore (Unix.waitpid [] p2);
+        Util.check Alcotest.bool "final read is the payload" true
+          (Cas.get reader ~key ~kind:"native-bin" = Some payload);
+        Util.check Alcotest.int "nothing quarantined by the race" 0
+          (Cas.stats reader).Cas.quarantined;
+        Util.check Alcotest.int "no tmp litter once both writers exit" 0
+          (Array.length (Sys.readdir (Filename.concat root "tmp"))));
+    Util.tc "cas: orphan reaping spares a live writer's in-flight temp"
+      (fun () ->
+        let root = fresh_dir "cas-live-tmp" in
+        ignore (Cas.open_ root : Cas.t);
+        (* a sibling process (here: a sleeping child) mid-[put]: its
+           temp carries its pid and it is very much alive *)
+        let live_pid =
+          Unix.create_process "sleep" [| "sleep"; "30" |] Unix.stdin
+            Unix.stdout Unix.stderr
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.kill live_pid Sys.sigkill with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] live_pid)
+            with Unix.Unix_error _ -> ())
+          (fun () ->
+            let tmp = Filename.concat root "tmp" in
+            let live_name = Printf.sprintf "somekey.native-bin.%d.0" live_pid in
+            write_file (Filename.concat tmp live_name) "in-flight bytes";
+            (* a dead sibling's temp: fork a child that exits at once *)
+            let dead_pid =
+              match Unix.fork () with 0 -> Unix._exit 0 | pid -> pid
+            in
+            ignore (Unix.waitpid [] dead_pid);
+            let dead_name = Printf.sprintf "somekey.native-bin.%d.1" dead_pid in
+            write_file (Filename.concat tmp dead_name) "crashed mid-put";
+            ignore (Cas.open_ root : Cas.t);
+            let left = Array.to_list (Sys.readdir tmp) in
+            Util.check Alcotest.bool "live writer's temp survives" true
+              (List.mem live_name left);
+            Util.check Alcotest.bool "dead writer's temp reaped" false
+              (List.mem dead_name left);
+            (* once the writer is gone, its temp is an orphan like any
+               other and the next open reclaims it *)
+            (try Unix.kill live_pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] live_pid);
+            ignore (Cas.open_ root : Cas.t);
+            Util.check Alcotest.bool "reaped once the writer died" false
+              (List.mem live_name (Array.to_list (Sys.readdir tmp)))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -257,6 +338,51 @@ let protocol_tests =
           Config.named_grid;
         Util.check Alcotest.bool "junk name" true
           (Protocol.config_of_name "no-such-config" = None));
+    Util.tc "protocol: v2 mode field — absent/interp/native/junk" (fun () ->
+        let req extra =
+          Json.Obj
+            ([
+               ("schema", Json.Str Protocol.schema);
+               ("op", Json.Str "run");
+               ("src", Json.Str "int main() { return 0; }");
+             ]
+            @ extra)
+        in
+        let mode_of extra =
+          match Protocol.parse_request (req extra) with
+          | Ok { Protocol.op = Protocol.Run { mode; _ }; _ } -> Ok mode
+          | Ok _ -> Alcotest.fail "expected Run"
+          | Error e -> Error e
+        in
+        Util.check Alcotest.bool "absent defaults to interp (v1 compat)" true
+          (mode_of [] = Ok Protocol.Interp);
+        Util.check Alcotest.bool "explicit interp" true
+          (mode_of [ ("mode", Json.Str "interp") ] = Ok Protocol.Interp);
+        Util.check Alcotest.bool "native" true
+          (mode_of [ ("mode", Json.Str "native") ] = Ok Protocol.Native);
+        Util.check Alcotest.bool "unknown mode rejected" true
+          (Result.is_error (mode_of [ ("mode", Json.Str "warp") ]));
+        Util.check Alcotest.bool "non-string mode rejected" true
+          (Result.is_error (mode_of [ ("mode", Json.Int 3) ])));
+    Util.tc "protocol: v1 requests still parse, responses stamp v2" (fun () ->
+        let v1 =
+          Json.Obj
+            [
+              ("schema", Json.Str "rpcc-serve/1");
+              ("op", Json.Str "run");
+              ("src", Json.Str "int main() { return 0; }");
+            ]
+        in
+        (match Protocol.parse_request v1 with
+        | Ok { Protocol.op = Protocol.Run { mode; _ }; _ } ->
+          Util.check Alcotest.bool "v1 run is interp" true
+            (mode = Protocol.Interp)
+        | Ok _ -> Alcotest.fail "expected Run"
+        | Error e -> Alcotest.fail ("v1 parse failed: " ^ e));
+        match Protocol.ok ~id:(Json.Int 1) ~client:"c" [] with
+        | Json.Obj (("schema", Json.Str s) :: _) ->
+          Util.check Alcotest.string "response schema" "rpcc-serve/2" s
+        | _ -> Alcotest.fail "malformed response");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -581,6 +707,66 @@ let test_journal_compaction_and_health () =
       Util.check Alcotest.bool "standalone daemon has null shard_id" true
         (member_path [ "health"; "shard_id" ] health = Json.Null))
 
+(** The daemon's native job mode (rpcc-serve/2): a [mode: native] run
+    answers with the interpreter-identical result plus an exec stamp;
+    a warm re-request — in either mode — re-serves the cached bytes;
+    and health reports the compiler identity.  Gated on a system cc:
+    without one the ladder's interp rung is covered by the fault
+    harness instead. *)
+let test_daemon_native_mode () =
+  match Rp_backend.Native.find_cc () with
+  | None -> ()
+  | Some _ ->
+    let dir = fresh_dir "daemon-native" in
+    let socket = Filename.concat dir "d.sock" in
+    let state = Filename.concat dir "state" in
+    let log = Filename.concat dir "serve.log" in
+    let pid = spawn_daemon ~socket ~state ~log () in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      (fun () ->
+        if not (Client.wait_ready ~socket ()) then
+          Alcotest.fail "daemon did not come up";
+        let native_req id =
+          req ~id ~op:"run"
+            [
+              ("src", Json.Str daemon_src);
+              ("config", Json.Str "modref/with");
+              ("mode", Json.Str "native");
+            ]
+        in
+        (* cold native: compiled and executed as machine code *)
+        let nat = one socket (native_req 1) in
+        Util.check Alcotest.string "native status ok" "ok"
+          (Protocol.response_status nat);
+        Util.check Alcotest.bool "exec mode is native" true
+          (member_path [ "exec"; "mode" ] nat = Json.Str "native");
+        Util.check Alcotest.bool "not degraded" true
+          (member_path [ "exec"; "degraded" ] nat = Json.Bool false);
+        (* an interp request for the same cell re-serves the identical
+           result and stats bytes: one cache, mode-independent *)
+        let interp = one socket (run_req ~id:2 daemon_src) in
+        Util.check Alcotest.string "result identical across modes"
+          (Json.to_string (member_path [ "result" ] nat))
+          (Json.to_string (member_path [ "result" ] interp));
+        Util.check Alcotest.string "stats identical across modes"
+          (Json.to_string (member_path [ "stats" ] nat))
+          (Json.to_string (member_path [ "stats" ] interp));
+        (* warm native: answered from the store without executing *)
+        let warm = one socket (native_req 3) in
+        Util.check Alcotest.bool "warm native reports cached" true
+          (member_path [ "exec"; "mode" ] warm = Json.Str "cached");
+        (* health carries the probed compiler identity *)
+        let health = one socket (req ~id:9 ~op:"health" []) in
+        Util.check Alcotest.bool "health names a cc" true
+          (match member_path [ "health"; "cc" ] health with
+          | Json.Str s -> String.length s > 0
+          | _ -> false);
+        Util.check Alcotest.bool "health says native available" true
+          (member_path [ "health"; "native" ] health = Json.Bool true))
+
 (* ------------------------------------------------------------------ *)
 (* The fleet: SIGKILL one of three shards mid-campaign                 *)
 (* ------------------------------------------------------------------ *)
@@ -728,6 +914,8 @@ let () =
             test_socket_steal_rejected;
           Util.tc_slow "serve: journal compacted on restart, health identity"
             test_journal_compaction_and_health;
+          Util.tc_slow "serve: native mode end-to-end, one cache, health cc"
+            test_daemon_native_mode;
         ] );
       ( "fleet",
         [
